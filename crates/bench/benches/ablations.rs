@@ -1,0 +1,43 @@
+//! Bench for the ablation studies: tree arity (timing/area tradeoff),
+//! checker placement, and hot-SID provisioning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use siopmp_experiments::ablations;
+use std::hint::black_box;
+
+fn bench_ablations(c: &mut Criterion) {
+    for p in ablations::tree_arity() {
+        println!(
+            "ablate-arity {:<4} -> {:.1} MHz, {:.2}% LUT, {:.2}% FF",
+            p.arity, p.mhz, p.lut_pct, p.ff_pct
+        );
+    }
+    for p in ablations::placement() {
+        println!(
+            "ablate-placement {:<12?} -> {} cycles latency, {:.2} B/c",
+            p.placement, p.read_latency, p.bandwidth
+        );
+    }
+    for p in ablations::hot_sids() {
+        println!(
+            "ablate-hot-sids {:<4} -> {} cold switches",
+            p.hot_sids, p.cold_switches
+        );
+    }
+
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("sweep", "tree_arity"), |b| {
+        b.iter(|| black_box(ablations::tree_arity()))
+    });
+    group.bench_function(BenchmarkId::new("sweep", "placement"), |b| {
+        b.iter(|| black_box(ablations::placement()))
+    });
+    group.bench_function(BenchmarkId::new("sweep", "hot_sids"), |b| {
+        b.iter(|| black_box(ablations::hot_sids()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

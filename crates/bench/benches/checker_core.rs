@@ -1,0 +1,35 @@
+//! Ablation bench: software cost of the functional priority check itself,
+//! across checker strategies and masked entry-set sizes. This is the
+//! design-choice ablation DESIGN.md calls out — it demonstrates that all
+//! strategies compute the same function (so the hardware differences are
+//! purely timing/area) and measures how the model's check cost scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use siopmp::request::{AccessKind, DmaRequest};
+use siopmp_bench::unit_with_entries;
+use std::hint::black_box;
+
+fn bench_checker_core(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checker_core");
+    for entries in [16usize, 64, 256, 1024] {
+        let (mut unit, dev) = unit_with_entries(entries, 0x10_0000);
+        // Worst case: the match is in the last entry.
+        let last = 0x10_0000 + (entries as u64 - 1) * 0x100;
+        let req = DmaRequest::new(dev, AccessKind::Read, last, 16);
+        assert!(unit.check(&req).is_allowed());
+        group.bench_with_input(
+            BenchmarkId::new("last_entry_hit", entries),
+            &entries,
+            |b, _| b.iter(|| black_box(unit.check(black_box(&req)))),
+        );
+        let (mut unit, dev) = unit_with_entries(entries, 0x10_0000);
+        let miss = DmaRequest::new(dev, AccessKind::Read, 0xdead_0000, 16);
+        group.bench_with_input(BenchmarkId::new("miss", entries), &entries, |b, _| {
+            b.iter(|| black_box(unit.check(black_box(&miss))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_checker_core);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Bench for Figure 10: timing-model analysis across checker variants and
+//! entry counts. Measures the cost of the analysis itself and prints the
+//! figure's rows as Criterion throughput labels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use siopmp::timing::{analyze, figure10_checkers, FIGURE10_ENTRIES};
+use std::hint::black_box;
+
+fn bench_clock_frequency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_clock_frequency");
+    for checker in figure10_checkers() {
+        for entries in FIGURE10_ENTRIES {
+            let report = analyze(checker, entries);
+            // Print the figure row once so the bench log doubles as the
+            // reproduction record.
+            println!(
+                "fig10 {:>12} entries={:<5} -> {:>6.1} MHz (routable: {})",
+                checker.label(),
+                entries,
+                report.achievable_mhz,
+                report.routable
+            );
+            group.bench_with_input(
+                BenchmarkId::new(checker.label(), entries),
+                &entries,
+                |b, &n| b.iter(|| black_box(analyze(black_box(checker), black_box(n)))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clock_frequency);
+criterion_main!(benches);

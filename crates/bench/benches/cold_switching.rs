@@ -1,0 +1,36 @@
+//! Bench for Figure 17 and the §6.3 cold-switch cost: hot-device
+//! throughput under request mixes, and the latency of a single
+//! cold-device switch on the real unit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use siopmp_experiments::coldswitch::measure;
+use siopmp_workloads::hotcold::{run, FIGURE17_RATIOS};
+use std::hint::black_box;
+
+fn bench_cold_switching(c: &mut Criterion) {
+    for ratio in FIGURE17_RATIOS {
+        let mismatched = run(ratio, false, 20);
+        let matched = run(ratio, true, 20);
+        println!(
+            "fig17 1:{ratio:<6} mismatched {:.1}%  matched {:.1}%",
+            mismatched.hot_throughput_fraction * 100.0,
+            matched.hot_throughput_fraction * 100.0
+        );
+    }
+    println!("coldswitch 8 entries -> {} cycles", measure(8).cycles);
+
+    let mut group = c.benchmark_group("fig17_cold_switching");
+    group.sample_size(20);
+    for ratio in FIGURE17_RATIOS {
+        group.bench_with_input(BenchmarkId::new("mismatched", ratio), &ratio, |b, &r| {
+            b.iter(|| black_box(run(r, false, 5)))
+        });
+    }
+    group.bench_function("single_switch_8_entries", |b| {
+        b.iter(|| black_box(measure(8)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cold_switching);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Bench for Figure 12: two-node DMA throughput across traffic mixes and
+//! checker depths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use siopmp::checker::CheckerKind;
+use siopmp_workloads::microbench::{dma_bandwidth, BandwidthScenario};
+use std::hint::black_box;
+
+fn bench_dma_bandwidth(c: &mut Criterion) {
+    let checkers = [
+        ("Nopipe", CheckerKind::Linear),
+        (
+            "2pipe",
+            CheckerKind::MtChecker {
+                stages: 2,
+                tree_arity: 2,
+            },
+        ),
+        (
+            "3pipe",
+            CheckerKind::MtChecker {
+                stages: 3,
+                tree_arity: 2,
+            },
+        ),
+    ];
+    let scenarios = [
+        BandwidthScenario::ReadWrite,
+        BandwidthScenario::ReadRead,
+        BandwidthScenario::WriteWrite,
+    ];
+    let mut group = c.benchmark_group("fig12_dma_bandwidth");
+    group.sample_size(10);
+    for (label, checker) in checkers {
+        for scenario in scenarios {
+            let bpc = dma_bandwidth(scenario, checker);
+            println!("fig12 {label:<8} {scenario:<12} -> {bpc:.2} bytes/cycle");
+            group.bench_with_input(
+                BenchmarkId::new(label, scenario.to_string()),
+                &(scenario, checker),
+                |b, &(s, ck)| b.iter(|| black_box(dma_bandwidth(s, ck))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dma_bandwidth);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Bench for Figure 14: the LUT/FF area model across entry counts, with
+//! and without tree arbitration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use siopmp::area::{estimate, FIGURE14_ENTRIES};
+use siopmp::checker::CheckerKind;
+use std::hint::black_box;
+
+fn bench_hardware_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14_hardware_cost");
+    for entries in FIGURE14_ENTRIES {
+        let linear = estimate(CheckerKind::Linear, entries);
+        let tree = estimate(CheckerKind::Tree { tree_arity: 2 }, entries);
+        println!(
+            "fig14 {entries:>4} entries: LUT {:.2}% / FF {:.2}%  |  tree: LUT {:.2}% / FF {:.2}%",
+            linear.lut_pct, linear.ff_pct, tree.lut_pct, tree.ff_pct
+        );
+        group.bench_with_input(BenchmarkId::new("estimate", entries), &entries, |b, &n| {
+            b.iter(|| {
+                let l = estimate(black_box(CheckerKind::Linear), black_box(n));
+                let t = estimate(black_box(CheckerKind::Tree { tree_arity: 2 }), n);
+                black_box((l, t))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hardware_cost);
+criterion_main!(benches);

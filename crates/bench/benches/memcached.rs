@@ -1,0 +1,32 @@
+//! Bench for Figure 16: memcached latency/QPS curves with and without
+//! sIOPMP.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use siopmp_workloads::memcached::MemcachedConfig;
+use std::hint::black_box;
+
+fn bench_memcached(c: &mut Criterion) {
+    let native = MemcachedConfig::default();
+    let siopmp = MemcachedConfig {
+        protection_cycles_per_packet: 48,
+        ..native
+    };
+    for (label, cfg) in [("native", native), ("sIOPMP", siopmp)] {
+        for p in cfg.figure16_sweep() {
+            println!(
+                "fig16 {label:<8} qps={:<6.0} p50={:<8.0} p99={:.0} us",
+                p.qps, p.p50_us, p.p99_us
+            );
+        }
+    }
+    let mut group = c.benchmark_group("fig16_memcached");
+    for (label, cfg) in [("native", native), ("sIOPMP", siopmp)] {
+        group.bench_with_input(BenchmarkId::new("sweep", label), &cfg, |b, cfg| {
+            b.iter(|| black_box(cfg.figure16_sweep()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_memcached);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Bench for Figure 13: IOPMP entry modification latency under the atomic
+//! (per-SID blocking) protocol, measured against the real unit — the wall
+//! time of `modify_entries_atomically` and the cycle model it reports.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use siopmp::atomic::modification_cycles;
+use siopmp::entry::{AddressRange, IopmpEntry, Permissions};
+use siopmp::ids::EntryIndex;
+use siopmp_bench::unit_with_entries;
+use std::hint::black_box;
+
+fn bench_modification_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_modification_latency");
+    for n in [4usize, 8, 16, 32, 64, 128] {
+        println!(
+            "fig13 Atomic-{n:<4} -> {} cycles (model)",
+            modification_cycles(n, true)
+        );
+        group.bench_with_input(BenchmarkId::new("atomic", n), &n, |b, &n| {
+            let (mut unit, dev) = unit_with_entries(256, 0x10_0000);
+            let sid = unit
+                .check(&siopmp::request::DmaRequest::new(
+                    dev,
+                    siopmp::request::AccessKind::Read,
+                    0x10_0000,
+                    8,
+                ))
+                .is_allowed()
+                .then_some(siopmp::ids::SourceId(0))
+                .expect("device mapped at SID 0");
+            let entry = IopmpEntry::new(
+                AddressRange::new(0x20_0000, 0x100).unwrap(),
+                Permissions::rw(),
+            );
+            let updates: Vec<(EntryIndex, Option<IopmpEntry>)> = (0..n)
+                .map(|i| (EntryIndex(i as u32), Some(entry)))
+                .collect();
+            b.iter(|| {
+                black_box(
+                    unit.modify_entries_atomically(sid, black_box(&updates))
+                        .expect("updates in range"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_modification_latency);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Bench for Figure 15: iperf-style network throughput per protection
+//! mechanism, RX/TX, single and multi core.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use siopmp_iommu::protection::{InvalidationPolicy, Iommu};
+use siopmp_iommu::swio::Swio;
+use siopmp_workloads::network::{evaluate, Direction, NetworkConfig};
+use siopmp_workloads::{SiopmpMech, SiopmpPlusIommu};
+use std::hint::black_box;
+
+fn bench_network_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig15_network_throughput");
+    for direction in [Direction::Rx, Direction::Tx] {
+        let cases: Vec<(&str, u32)> = vec![
+            ("sIOPMP", 1),
+            ("sIOPMP+IOMMU", 1),
+            ("IOMMU-deferred", 1),
+            ("IOMMU-strict", 1),
+            ("IOMMU-strict-mc", 4),
+            ("SWIO", 1),
+        ];
+        for (label, cores) in cases {
+            let cfg = NetworkConfig {
+                direction,
+                cores,
+                ..NetworkConfig::default()
+            };
+            let run = move |cfg: &NetworkConfig, label: &str| match label {
+                "sIOPMP" => evaluate(&mut SiopmpMech::new(), cfg),
+                "sIOPMP+IOMMU" => evaluate(&mut SiopmpPlusIommu::new(), cfg),
+                "IOMMU-deferred" => evaluate(
+                    &mut Iommu::new(InvalidationPolicy::Deferred { batch: 256 }),
+                    cfg,
+                ),
+                "IOMMU-strict" | "IOMMU-strict-mc" => {
+                    evaluate(&mut Iommu::new(InvalidationPolicy::Strict), cfg)
+                }
+                "SWIO" => evaluate(&mut Swio::new(), cfg),
+                _ => unreachable!(),
+            };
+            let r = run(&cfg, label);
+            println!(
+                "fig15 {label:<16} {direction} cores={cores} -> {:.1}% of baseline ({:.1} Gb/s)",
+                r.fraction_of_baseline * 100.0,
+                r.throughput_gbps
+            );
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("{direction}-{cores}c")),
+                &cfg,
+                move |b, cfg| b.iter(|| black_box(run(cfg, label))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_network_throughput);
+criterion_main!(benches);

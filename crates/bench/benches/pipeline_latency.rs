@@ -1,0 +1,64 @@
+//! Bench for Figure 11: worst-case DMA burst latency through the cycle
+//! simulator, per checker depth × violation mode × read/write.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use siopmp::checker::CheckerKind;
+use siopmp::violation::ViolationMode;
+use siopmp_bus::BurstKind;
+use siopmp_workloads::microbench::burst_latency;
+use std::hint::black_box;
+
+fn bench_pipeline_latency(c: &mut Criterion) {
+    let configs = [
+        (
+            "Nopipe-BusError",
+            CheckerKind::Linear,
+            ViolationMode::BusError,
+        ),
+        (
+            "2pipe-BusError",
+            CheckerKind::MtChecker {
+                stages: 2,
+                tree_arity: 2,
+            },
+            ViolationMode::BusError,
+        ),
+        (
+            "2pipe-Masking",
+            CheckerKind::MtChecker {
+                stages: 2,
+                tree_arity: 2,
+            },
+            ViolationMode::PacketMasking,
+        ),
+        (
+            "3pipe-Masking",
+            CheckerKind::MtChecker {
+                stages: 3,
+                tree_arity: 2,
+            },
+            ViolationMode::PacketMasking,
+        ),
+    ];
+    let mut group = c.benchmark_group("fig11_pipeline_latency");
+    group.sample_size(20);
+    for (label, checker, mode) in configs {
+        for (scenario, kind, violating) in [
+            ("read", BurstKind::Read, false),
+            ("write", BurstKind::Write, false),
+            ("read-violation", BurstKind::Read, true),
+        ] {
+            let cycles = burst_latency(checker, mode, kind, violating);
+            println!("fig11 {label:<16} {scenario:<15} -> {cycles} cycles");
+            group.bench_with_input(
+                BenchmarkId::new(label, scenario),
+                &(checker, mode, kind, violating),
+                |b, &(ck, md, kd, v)| b.iter(|| black_box(burst_latency(ck, md, kd, v))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline_latency);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! # siopmp-bench — benchmark support library
+//!
+//! The Criterion benches live in `benches/`, one per evaluation
+//! table/figure (see `DESIGN.md` for the index). This library hosts small
+//! shared helpers so each bench file stays focused on its figure.
+
+use siopmp::entry::{AddressRange, IopmpEntry, Permissions};
+use siopmp::ids::{DeviceId, MdIndex};
+use siopmp::{Siopmp, SiopmpConfig};
+
+/// Builds a unit with one hot device whose memory domain holds `entries`
+/// rules over disjoint 256-byte regions starting at `base`. Returns the
+/// unit and the device id, ready for `check()` calls.
+pub fn unit_with_entries(entries: usize, base: u64) -> (Siopmp, DeviceId) {
+    let cfg = SiopmpConfig {
+        num_entries: entries.max(8) * 2,
+        cold_md_entries: 8,
+        ..SiopmpConfig::default()
+    };
+    let mut unit = Siopmp::new(cfg);
+    let dev = DeviceId(0x42);
+    let sid = unit.map_hot_device(dev).expect("fresh unit has free SIDs");
+    unit.associate_sid_with_md(sid, MdIndex(0))
+        .expect("MD0 exists");
+    // MD0's default window may be smaller than `entries`; grow it by using
+    // several domains if needed.
+    let mut installed = 0;
+    let mut md = 0u16;
+    while installed < entries {
+        let index = MdIndex(md);
+        let entry = IopmpEntry::new(
+            AddressRange::new(base + installed as u64 * 0x100, 0x100).expect("valid"),
+            Permissions::rw(),
+        );
+        match unit.install_entry(index, entry) {
+            Ok(_) => installed += 1,
+            Err(_) => {
+                md += 1;
+                assert!(
+                    (md as usize) < unit.config().num_mds - 1,
+                    "ran out of memory domains installing {entries} entries"
+                );
+                unit.associate_sid_with_md(sid, MdIndex(md))
+                    .expect("hot MD");
+            }
+        }
+    }
+    (unit, dev)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siopmp::request::{AccessKind, DmaRequest};
+
+    #[test]
+    fn helper_builds_checkable_unit() {
+        let (mut unit, dev) = unit_with_entries(100, 0x10_0000);
+        let ok = unit.check(&DmaRequest::new(dev, AccessKind::Read, 0x10_0000, 16));
+        assert!(ok.is_allowed());
+        let last = unit.check(&DmaRequest::new(
+            dev,
+            AccessKind::Write,
+            0x10_0000 + 99 * 0x100,
+            16,
+        ));
+        assert!(last.is_allowed());
+        let miss = unit.check(&DmaRequest::new(
+            dev,
+            AccessKind::Read,
+            0x10_0000 + 100 * 0x100,
+            16,
+        ));
+        assert!(miss.is_denied());
+    }
+}

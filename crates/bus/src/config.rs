@@ -1,0 +1,119 @@
+//! Static parameters of the simulated interconnect.
+
+/// Timing and geometry parameters of the bus, memory, and checker shim.
+///
+/// Defaults reproduce the paper's microbenchmark platform: 8 beats per
+/// burst, 8 bytes per beat, a checker that decides combinationally
+/// (`checker_extra_cycles = 0`), bus-error violation handling, and memory
+/// latencies calibrated so a non-outstanding master measures ~24 cycles per
+/// read burst and ~17 per write burst (Figure 11's baseline of 1510/1081
+/// cycles for 64 bursts).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BusConfig {
+    /// Payload bytes carried per beat (channel width).
+    pub bytes_per_beat: u64,
+    /// Beats per burst.
+    pub beats_per_burst: u32,
+    /// Cycles between a read request's arrival at memory and its first
+    /// response beat becoming ready.
+    pub mem_read_latency: u32,
+    /// Cycles between a write burst's last data beat arriving at memory and
+    /// the acknowledgement beat becoming ready.
+    pub mem_write_latency: u32,
+    /// Pipeline cycles the IOPMP checker adds to each request
+    /// (`CheckerKind::extra_cycles()`).
+    pub checker_extra_cycles: u32,
+    /// Extra response-path cycles for packet masking on reads
+    /// (`ViolationMode::legal_path_overhead_cycles`).
+    pub masking_read_extra: u32,
+    /// Whether violating bursts are truncated early by a bus-error node
+    /// (`true`) or run to completion with masked lanes (`false`).
+    pub bus_error_truncates: bool,
+    /// Idle cycles a master inserts between a completed burst and issuing
+    /// the next one (bus turnaround).
+    pub issue_gap: u32,
+    /// Extra request cycles for a *centralized* checker placement: all
+    /// masters arbitrate into one shared checker instance instead of each
+    /// having its own in front of the front bus (Table 2's placement
+    /// axis). Per-device placement = 0.
+    pub placement_arbitration_cycles: u32,
+}
+
+impl Default for BusConfig {
+    fn default() -> Self {
+        BusConfig {
+            bytes_per_beat: 8,
+            beats_per_burst: 8,
+            mem_read_latency: 14,
+            mem_write_latency: 8,
+            checker_extra_cycles: 0,
+            masking_read_extra: 0,
+            bus_error_truncates: true,
+            issue_gap: 1,
+            placement_arbitration_cycles: 0,
+        }
+    }
+}
+
+impl BusConfig {
+    /// Bytes moved by one full burst.
+    pub fn burst_bytes(&self) -> u64 {
+        self.bytes_per_beat * self.beats_per_burst as u64
+    }
+
+    /// Applies a checker micro-architecture and violation mode from the
+    /// core crate, returning the updated configuration (builder style).
+    pub fn with_checker(
+        mut self,
+        checker: siopmp::checker::CheckerKind,
+        mode: siopmp::violation::ViolationMode,
+    ) -> Self {
+        self.checker_extra_cycles = checker.extra_cycles();
+        self.masking_read_extra =
+            mode.legal_path_overhead_cycles(siopmp::request::AccessKind::Read);
+        self.bus_error_truncates = mode.truncates_burst();
+        self
+    }
+
+    /// Applies a checker placement: per-device checkers add no arbitration
+    /// latency; a centralized checker adds one cycle of shared-port
+    /// arbitration per request.
+    pub fn with_placement(mut self, placement: siopmp::config::Placement) -> Self {
+        self.placement_arbitration_cycles = match placement {
+            siopmp::config::Placement::PerDevice => 0,
+            siopmp::config::Placement::Centralized => 1,
+        };
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siopmp::checker::CheckerKind;
+    use siopmp::violation::ViolationMode;
+
+    #[test]
+    fn default_burst_is_64_bytes() {
+        assert_eq!(BusConfig::default().burst_bytes(), 64);
+    }
+
+    #[test]
+    fn with_checker_wires_core_parameters() {
+        let cfg = BusConfig::default().with_checker(
+            CheckerKind::MtChecker {
+                stages: 2,
+                tree_arity: 2,
+            },
+            ViolationMode::PacketMasking,
+        );
+        assert_eq!(cfg.checker_extra_cycles, 1);
+        assert_eq!(cfg.masking_read_extra, 1);
+        assert!(!cfg.bus_error_truncates);
+
+        let cfg = BusConfig::default().with_checker(CheckerKind::Linear, ViolationMode::BusError);
+        assert_eq!(cfg.checker_extra_cycles, 0);
+        assert_eq!(cfg.masking_read_extra, 0);
+        assert!(cfg.bus_error_truncates);
+    }
+}

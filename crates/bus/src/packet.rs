@@ -1,0 +1,74 @@
+//! Burst-level packet descriptors exchanged on the simulated bus.
+
+use siopmp::ids::DeviceId;
+
+/// Direction of a DMA burst.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BurstKind {
+    /// Device reads memory: one request beat, `beats_per_burst` response
+    /// beats.
+    Read,
+    /// Device writes memory: `beats_per_burst` request beats, one
+    /// acknowledgement beat.
+    Write,
+}
+
+impl BurstKind {
+    /// The access kind presented to the IOPMP checker.
+    pub fn access(self) -> siopmp::request::AccessKind {
+        match self {
+            BurstKind::Read => siopmp::request::AccessKind::Read,
+            BurstKind::Write => siopmp::request::AccessKind::Write,
+        }
+    }
+}
+
+/// One burst a master wants to issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BurstRequest {
+    /// Packet-level device identifier carried to the checker.
+    pub device: DeviceId,
+    /// Read or write.
+    pub kind: BurstKind,
+    /// Start address.
+    pub addr: u64,
+}
+
+/// Terminal status of a completed burst.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BurstStatus {
+    /// Completed normally with full data.
+    Ok,
+    /// Completed with masked/cleared data (packet-masking violation path).
+    Masked,
+    /// Truncated with a bus error (bus-error violation path).
+    BusError,
+}
+
+impl BurstStatus {
+    /// Whether the burst's data actually reached (or came from) memory.
+    pub fn data_transferred(self) -> bool {
+        matches!(self, BurstStatus::Ok)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_kind_maps_to_access_kind() {
+        assert_eq!(BurstKind::Read.access(), siopmp::request::AccessKind::Read);
+        assert_eq!(
+            BurstKind::Write.access(),
+            siopmp::request::AccessKind::Write
+        );
+    }
+
+    #[test]
+    fn only_ok_status_transfers_data() {
+        assert!(BurstStatus::Ok.data_transferred());
+        assert!(!BurstStatus::Masked.data_transferred());
+        assert!(!BurstStatus::BusError.data_transferred());
+    }
+}

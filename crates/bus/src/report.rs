@@ -1,0 +1,113 @@
+//! Simulation output: per-master and whole-run statistics.
+
+/// Per-master results of one simulation run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MasterReport {
+    /// Bursts that reached a terminal status.
+    pub bursts_completed: usize,
+    /// Bursts that completed with status `Ok` (data really moved).
+    pub bursts_ok: usize,
+    /// Bursts masked by the packet-masking violation path.
+    pub bursts_masked: usize,
+    /// Bursts truncated with a bus error.
+    pub bursts_bus_error: usize,
+    /// Payload bytes actually transferred (only `Ok` bursts count).
+    pub bytes_transferred: u64,
+    /// Sum over completed bursts of (completion - issue) cycles.
+    pub total_latency_cycles: u64,
+    /// Cycle at which the last burst completed.
+    pub last_completion_cycle: u64,
+}
+
+impl MasterReport {
+    /// Mean cycles per completed burst; `None` before any completion.
+    pub fn mean_latency(&self) -> Option<f64> {
+        if self.bursts_completed == 0 {
+            None
+        } else {
+            Some(self.total_latency_cycles as f64 / self.bursts_completed as f64)
+        }
+    }
+}
+
+/// Whole-run results.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimReport {
+    /// Cycles simulated until the run stopped.
+    pub cycles: u64,
+    /// Per-master reports, indexed by insertion order.
+    pub masters: Vec<MasterReport>,
+    /// Whether every master drained its program before the cycle budget.
+    pub completed: bool,
+}
+
+impl SimReport {
+    /// Total payload bytes transferred by all masters.
+    pub fn total_bytes(&self) -> u64 {
+        self.masters.iter().map(|m| m.bytes_transferred).sum()
+    }
+
+    /// Aggregate throughput in bytes per cycle over the measured window
+    /// (the paper's Figure 12 metric).
+    pub fn bytes_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.total_bytes() as f64 / self.cycles as f64
+    }
+
+    /// Cycle at which the final burst of the whole run completed — the
+    /// "latency between the first request and the last response" that
+    /// Figure 11 reports.
+    pub fn makespan(&self) -> u64 {
+        self.masters
+            .iter()
+            .map(|m| m.last_completion_cycle)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_latency_requires_completions() {
+        let mut r = MasterReport::default();
+        assert_eq!(r.mean_latency(), None);
+        r.bursts_completed = 2;
+        r.total_latency_cycles = 50;
+        assert_eq!(r.mean_latency(), Some(25.0));
+    }
+
+    #[test]
+    fn throughput_handles_zero_cycles() {
+        let r = SimReport::default();
+        assert_eq!(r.bytes_per_cycle(), 0.0);
+        assert_eq!(r.makespan(), 0);
+    }
+
+    #[test]
+    fn totals_aggregate_masters() {
+        let r = SimReport {
+            cycles: 100,
+            masters: vec![
+                MasterReport {
+                    bytes_transferred: 300,
+                    last_completion_cycle: 90,
+                    ..Default::default()
+                },
+                MasterReport {
+                    bytes_transferred: 200,
+                    last_completion_cycle: 95,
+                    ..Default::default()
+                },
+            ],
+            completed: true,
+        };
+        assert_eq!(r.total_bytes(), 500);
+        assert_eq!(r.bytes_per_cycle(), 5.0);
+        assert_eq!(r.makespan(), 95);
+    }
+}

@@ -1,0 +1,609 @@
+//! The cycle-driven bus simulation engine.
+//!
+//! Topology (Figure 6 of the paper): each master's bursts pass through the
+//! IOPMP checker shim, win arbitration on the shared request channel (A),
+//! reach memory, and return over the shared response channel (D). Both
+//! channels carry one beat per cycle and are **burst-atomic**: once a burst
+//! starts transferring, it keeps its channel until the last beat (as
+//! TileLink/AXI slaves deliver bursts contiguously).
+//!
+//! Timing rules:
+//!
+//! * a read burst sends 1 request beat and receives `beats_per_burst`
+//!   response beats after `mem_read_latency` (+1 per checker pipeline
+//!   stage, +1 for packet-masking response interposition);
+//! * a write burst sends `beats_per_burst` request beats and receives one
+//!   acknowledgement beat after `mem_write_latency`. Writes are **early
+//!   validated**: the address beat is checked while the data beats are
+//!   still streaming, so checker pipeline latency is hidden behind the
+//!   burst itself (§6.2: "a write request can be early validated");
+//! * a denied burst under bus-error handling is truncated: the dummy node
+//!   answers with a single error beat one cycle after the check resolves
+//!   and the master cancels its remaining request beats;
+//! * a denied burst under packet masking runs to completion with masked
+//!   strobes / cleared data — same timing as a legal burst.
+
+use crate::config::BusConfig;
+use crate::master::MasterProgram;
+use crate::packet::{BurstKind, BurstStatus};
+use crate::policy::AccessPolicy;
+use crate::report::{MasterReport, SimReport};
+use crate::trace::{TraceBuffer, TraceEvent, TraceKind};
+
+#[derive(Debug)]
+struct Flight {
+    master: usize,
+    kind: BurstKind,
+    allowed: bool,
+    issue_cycle: u64,
+    req_beats_sent: u32,
+    req_beats_total: u32,
+    arrival_at_mem: Option<u64>,
+    resp_ready_at: Option<u64>,
+    resp_beats_recv: u32,
+    resp_beats_total: u32,
+    cancelled: bool,
+    done: Option<BurstStatus>,
+}
+
+#[derive(Debug)]
+struct MasterState {
+    program: MasterProgram,
+    next_burst: usize,
+    in_flight: usize,
+    next_issue_ok: u64,
+    report: MasterReport,
+}
+
+/// The simulator: masters, channels, memory, and the checker shim.
+///
+/// See the [crate-level docs](crate) for an end-to-end example.
+pub struct BusSim {
+    config: BusConfig,
+    policy: Box<dyn AccessPolicy>,
+    masters: Vec<MasterState>,
+    flights: Vec<Flight>,
+    a_owner: Option<usize>,
+    d_owner: Option<usize>,
+    rr_a: usize,
+    rr_d: usize,
+    cycle: u64,
+    trace: Option<TraceBuffer>,
+}
+
+impl std::fmt::Debug for BusSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BusSim")
+            .field("cycle", &self.cycle)
+            .field("masters", &self.masters.len())
+            .field("flights", &self.flights.len())
+            .finish()
+    }
+}
+
+impl BusSim {
+    /// Creates a simulator over `config` with the given access policy.
+    pub fn new(config: BusConfig, policy: Box<dyn AccessPolicy>) -> Self {
+        BusSim {
+            config,
+            policy,
+            masters: Vec::new(),
+            flights: Vec::new(),
+            a_owner: None,
+            d_owner: None,
+            rr_a: 0,
+            rr_d: 0,
+            cycle: 0,
+            trace: None,
+        }
+    }
+
+    /// Enables event tracing with a buffer of `capacity` events.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(TraceBuffer::new(capacity));
+    }
+
+    /// The trace buffer, when tracing is enabled.
+    pub fn trace(&self) -> Option<&TraceBuffer> {
+        self.trace.as_ref()
+    }
+
+    /// Adds a master and returns its index.
+    pub fn add_master(&mut self, program: MasterProgram) -> usize {
+        self.masters.push(MasterState {
+            program,
+            next_burst: 0,
+            in_flight: 0,
+            next_issue_ok: 0,
+            report: MasterReport::default(),
+        });
+        self.masters.len() - 1
+    }
+
+    /// Current simulation cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    fn all_done(&self) -> bool {
+        self.masters
+            .iter()
+            .all(|m| m.next_burst == m.program.bursts.len() && m.in_flight == 0)
+    }
+
+    /// Runs until every master drains its program or `max_cycles` elapse.
+    pub fn run_to_completion(&mut self, max_cycles: u64) -> SimReport {
+        while !self.all_done() && self.cycle < max_cycles {
+            self.step();
+        }
+        SimReport {
+            cycles: self.cycle,
+            masters: self.masters.iter().map(|m| m.report.clone()).collect(),
+            completed: self.all_done(),
+        }
+    }
+
+    /// Advances the simulation by one cycle.
+    pub fn step(&mut self) {
+        let t = self.cycle;
+        self.issue_bursts(t);
+        self.channel_a_beat(t);
+        self.memory_schedule(t);
+        self.channel_d_beat(t);
+        self.cycle += 1;
+    }
+
+    /// Issue new bursts from masters with spare outstanding slots.
+    fn issue_bursts(&mut self, t: u64) {
+        for (mi, m) in self.masters.iter_mut().enumerate() {
+            // One issue per master per cycle (the request queue accepts a
+            // single burst header per cycle).
+            if m.in_flight < m.program.outstanding
+                && m.next_burst < m.program.bursts.len()
+                && t >= m.next_issue_ok
+            {
+                let burst = m.program.bursts[m.next_burst];
+                m.next_burst += 1;
+                m.in_flight += 1;
+                let allowed = self.policy.allowed(
+                    burst.device,
+                    burst.kind.access(),
+                    burst.addr,
+                    self.config.burst_bytes(),
+                );
+                let (req_total, resp_total) = match burst.kind {
+                    BurstKind::Read => (1, self.config.beats_per_burst),
+                    BurstKind::Write => (self.config.beats_per_burst, 1),
+                };
+                if let Some(trace) = &mut self.trace {
+                    trace.record(TraceEvent {
+                        cycle: t,
+                        master: mi,
+                        burst_kind: burst.kind,
+                        kind: TraceKind::Issued,
+                    });
+                }
+                self.flights.push(Flight {
+                    master: mi,
+                    kind: burst.kind,
+                    allowed,
+                    issue_cycle: t,
+                    req_beats_sent: 0,
+                    req_beats_total: req_total,
+                    arrival_at_mem: None,
+                    resp_ready_at: None,
+                    resp_beats_recv: 0,
+                    resp_beats_total: resp_total,
+                    cancelled: false,
+                    done: None,
+                });
+            }
+        }
+    }
+
+    /// One beat of request-channel arbitration (burst-atomic).
+    fn channel_a_beat(&mut self, t: u64) {
+        let wants_a =
+            |f: &Flight| f.done.is_none() && !f.cancelled && f.req_beats_sent < f.req_beats_total;
+        // Release or keep the current owner.
+        if let Some(idx) = self.a_owner {
+            if !wants_a(&self.flights[idx]) {
+                self.a_owner = None;
+            }
+        }
+        if self.a_owner.is_none() {
+            let n = self.flights.len();
+            for off in 0..n {
+                let idx = (self.rr_a + off) % n.max(1);
+                if idx < n && wants_a(&self.flights[idx]) {
+                    self.a_owner = Some(idx);
+                    self.rr_a = (idx + 1) % n.max(1);
+                    break;
+                }
+            }
+        }
+        let Some(idx) = self.a_owner else { return };
+        let k = self.config.checker_extra_cycles;
+        let truncates = self.config.bus_error_truncates;
+        let f = &mut self.flights[idx];
+        let first_beat = f.req_beats_sent == 0;
+        f.req_beats_sent += 1;
+
+        if first_beat && !f.allowed && truncates {
+            // Bus-error handling: the dummy node answers as soon as the
+            // check resolves; the master cancels the rest of the burst.
+            f.cancelled = true;
+            f.resp_ready_at = Some(t + u64::from(k) + 1);
+            f.resp_beats_total = 1;
+            self.a_owner = None;
+            return;
+        }
+        if f.req_beats_sent == f.req_beats_total {
+            // Reads pay the checker pipeline on the single address beat;
+            // writes are early-validated while their data beats stream, so
+            // only the residue of the pipeline that exceeds the burst
+            // length is exposed.
+            let exposed = match f.kind {
+                BurstKind::Read => u64::from(k),
+                BurstKind::Write => u64::from(k.saturating_sub(f.req_beats_total - 1)),
+            };
+            let arb = u64::from(self.config.placement_arbitration_cycles);
+            f.arrival_at_mem = Some(t + exposed + arb);
+            let master = f.master;
+            let kind = f.kind;
+            if let Some(trace) = &mut self.trace {
+                trace.record(TraceEvent {
+                    cycle: t + exposed + arb,
+                    master,
+                    burst_kind: kind,
+                    kind: TraceKind::ArrivedAtMemory,
+                });
+            }
+            self.a_owner = None;
+        }
+    }
+
+    /// Memory controller: turn fully-arrived requests into scheduled
+    /// responses.
+    fn memory_schedule(&mut self, t: u64) {
+        for f in &mut self.flights {
+            if f.done.is_some() || f.resp_ready_at.is_some() {
+                continue;
+            }
+            let Some(arrival) = f.arrival_at_mem else {
+                continue;
+            };
+            if t < arrival {
+                continue;
+            }
+            let latency = match f.kind {
+                BurstKind::Read => self.config.mem_read_latency + self.config.masking_read_extra,
+                BurstKind::Write => self.config.mem_write_latency,
+            };
+            f.resp_ready_at = Some(arrival + u64::from(latency));
+        }
+    }
+
+    /// One beat of response-channel arbitration (burst-atomic).
+    fn channel_d_beat(&mut self, t: u64) {
+        let ready_d = |f: &Flight| {
+            f.done.is_none()
+                && f.resp_ready_at
+                    .is_some_and(|r| t >= r + u64::from(f.resp_beats_recv))
+                && f.resp_beats_recv < f.resp_beats_total
+        };
+        if let Some(idx) = self.d_owner {
+            let f = &self.flights[idx];
+            if f.done.is_some() || f.resp_beats_recv >= f.resp_beats_total {
+                self.d_owner = None;
+            }
+        }
+        if self.d_owner.is_none() {
+            let n = self.flights.len();
+            for off in 0..n {
+                let idx = (self.rr_d + off) % n.max(1);
+                if idx < n && ready_d(&self.flights[idx]) {
+                    self.d_owner = Some(idx);
+                    self.rr_d = (idx + 1) % n.max(1);
+                    break;
+                }
+            }
+        }
+        let Some(idx) = self.d_owner else { return };
+        if !ready_d(&self.flights[idx]) {
+            return; // owner's next beat not ready yet (streams are paced)
+        }
+        let issue_gap = u64::from(self.config.issue_gap);
+        let burst_bytes = self.config.burst_bytes();
+        let f = &mut self.flights[idx];
+        f.resp_beats_recv += 1;
+        if f.resp_beats_recv == f.resp_beats_total {
+            let status = if f.cancelled {
+                BurstStatus::BusError
+            } else if f.allowed {
+                BurstStatus::Ok
+            } else {
+                BurstStatus::Masked
+            };
+            f.done = Some(status);
+            self.d_owner = None;
+            let master = f.master;
+            let burst_kind = f.kind;
+            if let Some(trace) = &mut self.trace {
+                trace.record(TraceEvent {
+                    cycle: t,
+                    master,
+                    burst_kind,
+                    kind: TraceKind::Completed(status),
+                });
+            }
+            let latency = t - f.issue_cycle + 1;
+            let m = &mut self.masters[master];
+            m.in_flight -= 1;
+            m.next_issue_ok = t + 1 + issue_gap;
+            let r = &mut m.report;
+            r.bursts_completed += 1;
+            r.total_latency_cycles += latency;
+            r.last_completion_cycle = t;
+            match status {
+                BurstStatus::Ok => {
+                    r.bursts_ok += 1;
+                    r.bytes_transferred += burst_bytes;
+                }
+                BurstStatus::Masked => r.bursts_masked += 1,
+                BurstStatus::BusError => r.bursts_bus_error += 1,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{AllowAll, DenyRange};
+
+    fn run(config: BusConfig, programs: Vec<MasterProgram>) -> SimReport {
+        let mut sim = BusSim::new(config, Box::new(AllowAll));
+        for p in programs {
+            sim.add_master(p);
+        }
+        sim.run_to_completion(1_000_000)
+    }
+
+    #[test]
+    fn single_read_burst_latency_matches_model() {
+        // issue @0, A beat @0, resp ready @14, beats 14..21, complete @21.
+        let r = run(
+            BusConfig::default(),
+            vec![MasterProgram::uniform(1, BurstKind::Read, 0x0, 1)],
+        );
+        assert!(r.completed);
+        assert_eq!(r.masters[0].bursts_completed, 1);
+        assert_eq!(r.masters[0].mean_latency(), Some(22.0));
+    }
+
+    #[test]
+    fn single_write_burst_latency_matches_model() {
+        // beats @0..7, ack ready @15, complete @15 -> latency 16.
+        let r = run(
+            BusConfig::default(),
+            vec![MasterProgram::uniform(1, BurstKind::Write, 0x0, 1)],
+        );
+        assert_eq!(r.masters[0].mean_latency(), Some(16.0));
+    }
+
+    #[test]
+    fn sixty_four_read_bursts_near_paper_baseline() {
+        // Paper Figure 11: 64 consecutive read bursts, no pipeline: 1510
+        // cycles. Our calibrated model: ~1470.
+        let r = run(
+            BusConfig::default(),
+            vec![MasterProgram::uniform(1, BurstKind::Read, 0x0, 64)],
+        );
+        let makespan = r.makespan();
+        assert!((1400..=1600).contains(&makespan), "makespan {makespan}");
+    }
+
+    #[test]
+    fn sixty_four_write_bursts_near_paper_baseline() {
+        // Paper: 1081 cycles; model: ~1086.
+        let r = run(
+            BusConfig::default(),
+            vec![MasterProgram::uniform(1, BurstKind::Write, 0x0, 64)],
+        );
+        let makespan = r.makespan();
+        assert!((1000..=1150).contains(&makespan), "makespan {makespan}");
+    }
+
+    #[test]
+    fn pipeline_adds_one_cycle_per_read_request() {
+        let base = run(
+            BusConfig::default(),
+            vec![MasterProgram::uniform(1, BurstKind::Read, 0x0, 64)],
+        )
+        .makespan();
+        let cfg = BusConfig {
+            checker_extra_cycles: 1,
+            ..BusConfig::default()
+        };
+        let piped = run(
+            cfg,
+            vec![MasterProgram::uniform(1, BurstKind::Read, 0x0, 64)],
+        )
+        .makespan();
+        assert_eq!(piped - base, 64);
+    }
+
+    #[test]
+    fn write_pipeline_latency_is_hidden_by_early_validation() {
+        let base = run(
+            BusConfig::default(),
+            vec![MasterProgram::uniform(1, BurstKind::Write, 0x0, 64)],
+        )
+        .makespan();
+        let cfg = BusConfig {
+            checker_extra_cycles: 2,
+            ..BusConfig::default()
+        };
+        let piped = run(
+            cfg,
+            vec![MasterProgram::uniform(1, BurstKind::Write, 0x0, 64)],
+        )
+        .makespan();
+        // 2 pipeline stages < 8 data beats: fully hidden.
+        assert_eq!(piped, base);
+    }
+
+    #[test]
+    fn masking_interposes_read_responses() {
+        let cfg = BusConfig {
+            masking_read_extra: 1,
+            bus_error_truncates: false,
+            ..BusConfig::default()
+        };
+        let masked = run(
+            cfg,
+            vec![MasterProgram::uniform(1, BurstKind::Read, 0x0, 64)],
+        )
+        .makespan();
+        let base = run(
+            BusConfig::default(),
+            vec![MasterProgram::uniform(1, BurstKind::Read, 0x0, 64)],
+        )
+        .makespan();
+        assert_eq!(masked - base, 64);
+    }
+
+    #[test]
+    fn bus_error_truncates_violating_bursts_early() {
+        let mut sim = BusSim::new(
+            BusConfig::default(),
+            Box::new(DenyRange {
+                base: 0,
+                len: u64::MAX,
+            }),
+        );
+        sim.add_master(MasterProgram::uniform(1, BurstKind::Read, 0x0, 64));
+        let r = sim.run_to_completion(100_000);
+        assert_eq!(r.masters[0].bursts_bus_error, 64);
+        assert_eq!(r.masters[0].bytes_transferred, 0);
+        // Early truncation: far faster than the legal 1470-cycle run.
+        assert!(r.makespan() < 400, "makespan {}", r.makespan());
+    }
+
+    #[test]
+    fn masking_violations_run_full_length() {
+        let cfg = BusConfig {
+            bus_error_truncates: false,
+            masking_read_extra: 1,
+            ..BusConfig::default()
+        };
+        let mut sim = BusSim::new(
+            cfg,
+            Box::new(DenyRange {
+                base: 0,
+                len: u64::MAX,
+            }),
+        );
+        sim.add_master(MasterProgram::uniform(1, BurstKind::Read, 0x0, 64));
+        let r = sim.run_to_completion(100_000);
+        assert_eq!(r.masters[0].bursts_masked, 64);
+        assert_eq!(r.masters[0].bytes_transferred, 0);
+        // The device must process the whole masked burst (paper §6.2).
+        assert!(r.makespan() > 1400, "makespan {}", r.makespan());
+    }
+
+    #[test]
+    fn two_reader_bandwidth_near_paper_figure() {
+        // Paper Figure 12: Read-Read two nodes ≈ 5.18 B/cycle (no pipe).
+        let r = run(
+            BusConfig::default(),
+            vec![
+                MasterProgram::uniform(1, BurstKind::Read, 0x0, 256),
+                MasterProgram::uniform(2, BurstKind::Read, 0x1000, 256),
+            ],
+        );
+        let bpc = r.bytes_per_cycle();
+        assert!((4.9..=5.6).contains(&bpc), "bytes/cycle {bpc}");
+    }
+
+    #[test]
+    fn pipeline_costs_two_percent_read_bandwidth() {
+        let base = run(
+            BusConfig::default(),
+            vec![
+                MasterProgram::uniform(1, BurstKind::Read, 0x0, 256),
+                MasterProgram::uniform(2, BurstKind::Read, 0x1000, 256),
+            ],
+        )
+        .bytes_per_cycle();
+        let cfg = BusConfig {
+            checker_extra_cycles: 1,
+            ..BusConfig::default()
+        };
+        let piped = run(
+            cfg,
+            vec![
+                MasterProgram::uniform(1, BurstKind::Read, 0x0, 256),
+                MasterProgram::uniform(2, BurstKind::Read, 0x1000, 256),
+            ],
+        )
+        .bytes_per_cycle();
+        let loss = 1.0 - piped / base;
+        assert!(loss > 0.0 && loss < 0.08, "loss {loss}");
+    }
+
+    #[test]
+    fn write_write_bandwidth_unaffected_by_pipeline() {
+        let mk = |k| {
+            let cfg = BusConfig {
+                checker_extra_cycles: k,
+                ..BusConfig::default()
+            };
+            run(
+                cfg,
+                vec![
+                    MasterProgram::uniform(1, BurstKind::Write, 0x0, 256),
+                    MasterProgram::uniform(2, BurstKind::Write, 0x1000, 256),
+                ],
+            )
+            .bytes_per_cycle()
+        };
+        let base = mk(0);
+        let piped = mk(2);
+        assert!((piped - base).abs() < 0.05, "{base} vs {piped}");
+        assert!(base > 6.0, "writes should be fast: {base}");
+    }
+
+    #[test]
+    fn outstanding_transactions_raise_throughput() {
+        let serial = run(
+            BusConfig::default(),
+            vec![MasterProgram::uniform(1, BurstKind::Read, 0x0, 128)],
+        )
+        .bytes_per_cycle();
+        let overlapped = run(
+            BusConfig::default(),
+            vec![MasterProgram::uniform(1, BurstKind::Read, 0x0, 128).with_outstanding(4)],
+        )
+        .bytes_per_cycle();
+        assert!(overlapped > 1.5 * serial, "{serial} -> {overlapped}");
+    }
+
+    #[test]
+    fn run_stops_at_cycle_budget() {
+        let mut sim = BusSim::new(BusConfig::default(), Box::new(AllowAll));
+        sim.add_master(MasterProgram::uniform(1, BurstKind::Read, 0x0, 1_000_000));
+        let r = sim.run_to_completion(100);
+        assert!(!r.completed);
+        assert_eq!(r.cycles, 100);
+    }
+
+    #[test]
+    fn empty_simulation_completes_immediately() {
+        let mut sim = BusSim::new(BusConfig::default(), Box::new(AllowAll));
+        let r = sim.run_to_completion(100);
+        assert!(r.completed);
+        assert_eq!(r.cycles, 0);
+    }
+}

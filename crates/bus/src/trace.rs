@@ -1,0 +1,130 @@
+//! Event tracing for the bus simulator.
+//!
+//! When enabled, the simulator records one [`TraceEvent`] per burst
+//! milestone so tests can assert on fine-grained timing (e.g. "the error
+//! response arrived exactly `k+1` cycles after the first beat") and debug
+//! runs can be replayed.
+
+use crate::packet::{BurstKind, BurstStatus};
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A master issued a burst into the checker.
+    Issued,
+    /// The burst's request fully arrived at memory.
+    ArrivedAtMemory,
+    /// The burst completed with the given status.
+    Completed(BurstStatus),
+}
+
+/// One trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulation cycle of the event.
+    pub cycle: u64,
+    /// Master index (insertion order).
+    pub master: usize,
+    /// Read or write.
+    pub burst_kind: BurstKind,
+    /// Milestone.
+    pub kind: TraceKind,
+}
+
+/// A bounded trace buffer (drops silently past `capacity` so runaway runs
+/// cannot exhaust memory).
+#[derive(Debug, Clone)]
+pub struct TraceBuffer {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// Creates a buffer holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        TraceBuffer {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Records an event (dropping it when full).
+    pub fn record(&mut self, event: TraceEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push(event);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The recorded events, in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events dropped due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Events of one milestone kind.
+    pub fn of_kind(&self, kind: TraceKind) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Completion events for `master`, in order.
+    pub fn completions(&self, master: usize) -> Vec<TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| e.master == master && matches!(e.kind, TraceKind::Completed(_)))
+            .copied()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64, kind: TraceKind) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            master: 0,
+            burst_kind: BurstKind::Read,
+            kind,
+        }
+    }
+
+    #[test]
+    fn records_in_order() {
+        let mut t = TraceBuffer::new(10);
+        t.record(ev(1, TraceKind::Issued));
+        t.record(ev(5, TraceKind::Completed(BurstStatus::Ok)));
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.events()[0].cycle, 1);
+        assert_eq!(t.completions(0).len(), 1);
+        assert_eq!(t.completions(1).len(), 0);
+    }
+
+    #[test]
+    fn capacity_bound_drops_silently() {
+        let mut t = TraceBuffer::new(2);
+        for i in 0..5 {
+            t.record(ev(i, TraceKind::Issued));
+        }
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn kind_filter() {
+        let mut t = TraceBuffer::new(10);
+        t.record(ev(1, TraceKind::Issued));
+        t.record(ev(2, TraceKind::ArrivedAtMemory));
+        t.record(ev(3, TraceKind::Issued));
+        assert_eq!(t.of_kind(TraceKind::Issued).count(), 2);
+        assert_eq!(t.of_kind(TraceKind::ArrivedAtMemory).count(), 1);
+    }
+}

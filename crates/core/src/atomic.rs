@@ -1,0 +1,198 @@
+//! Atomic update primitives and the modification-latency model (§5.3,
+//! Figure 13).
+//!
+//! Modifying IOPMP entries while a device is issuing DMA creates an *entry
+//! inconsistency* window: a transaction can observe a mix of old and new
+//! rules. The paper closes the window with a **SID block bitmap**: before a
+//! batch of entry updates, the monitor blocks the affected SID (DMA from
+//! that device stalls at the checker); after the updates complete, it
+//! unblocks. Blocking is per-SID, so other devices' traffic is unaffected.
+//!
+//! The latency of the whole sequence is small and deterministic — the tables
+//! are plain MMIO registers, not a TLB with an asynchronous invalidation
+//! queue. On the paper's platform the blocking handshake costs 35 cycles and
+//! each entry write 14 cycles, so updating 64 entries stays under 1000
+//! cycles (Figure 13); this is the property that lets sIOPMP reset entries
+//! synchronously on every `dma_unmap` without the IOMMU's IOTLB-flush
+//! penalty.
+
+use crate::ids::SourceId;
+
+/// Cycles consumed by the block/unblock handshake (bus quiesce + monitor
+/// round-trip), from the paper's measurement.
+pub const BLOCK_HANDSHAKE_CYCLES: u64 = 35;
+
+/// Cycles per single IOPMP entry MMIO write.
+pub const ENTRY_WRITE_CYCLES: u64 = 14;
+
+/// Per-SID DMA block bitmap.
+///
+/// Implemented as a dense bit vector indexed by SID. The checker consults
+/// [`SidBlockBitmap::is_blocked`] before admitting a request into the
+/// pipeline; the monitor sets/clears bits around entry modifications and
+/// cold-device switches.
+///
+/// # Examples
+///
+/// ```
+/// use siopmp::atomic::SidBlockBitmap;
+/// use siopmp::ids::SourceId;
+///
+/// let mut bm = SidBlockBitmap::new(64);
+/// bm.block(SourceId(3));
+/// assert!(bm.is_blocked(SourceId(3)));
+/// assert!(!bm.is_blocked(SourceId(4)));
+/// bm.unblock(SourceId(3));
+/// assert!(bm.none_blocked());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SidBlockBitmap {
+    words: Vec<u64>,
+    num_sids: usize,
+}
+
+impl SidBlockBitmap {
+    /// Creates a bitmap covering `num_sids` SIDs, all unblocked.
+    pub fn new(num_sids: usize) -> Self {
+        SidBlockBitmap {
+            words: vec![0; num_sids.div_ceil(64)],
+            num_sids,
+        }
+    }
+
+    /// Number of SIDs covered.
+    pub fn num_sids(&self) -> usize {
+        self.num_sids
+    }
+
+    /// Blocks DMA from `sid`. Out-of-range SIDs are ignored (hardware
+    /// decodes only the configured bits).
+    pub fn block(&mut self, sid: SourceId) {
+        if sid.index() < self.num_sids {
+            self.words[sid.index() / 64] |= 1u64 << (sid.index() % 64);
+        }
+    }
+
+    /// Unblocks DMA from `sid`.
+    pub fn unblock(&mut self, sid: SourceId) {
+        if sid.index() < self.num_sids {
+            self.words[sid.index() / 64] &= !(1u64 << (sid.index() % 64));
+        }
+    }
+
+    /// Whether `sid` is currently blocked.
+    pub fn is_blocked(&self, sid: SourceId) -> bool {
+        sid.index() < self.num_sids
+            && self.words[sid.index() / 64] & (1u64 << (sid.index() % 64)) != 0
+    }
+
+    /// Whether no SID is blocked.
+    pub fn none_blocked(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of blocked SIDs.
+    pub fn blocked_count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// Latency model for a batch modification of `entries` IOPMP entries
+/// (Figure 13).
+///
+/// `atomic` selects whether the per-SID blocking handshake wraps the batch;
+/// without it the update is faster but leaves the inconsistency window open
+/// (the "No-atomic" bar).
+///
+/// # Examples
+///
+/// ```
+/// use siopmp::atomic::modification_cycles;
+/// // 64 entries under the atomic protocol stay under 1000 cycles.
+/// assert!(modification_cycles(64, true) < 1000);
+/// assert_eq!(modification_cycles(4, false), 4 * 14);
+/// ```
+pub fn modification_cycles(entries: usize, atomic: bool) -> u64 {
+    let writes = entries as u64 * ENTRY_WRITE_CYCLES;
+    if atomic {
+        BLOCK_HANDSHAKE_CYCLES + writes
+    } else {
+        writes
+    }
+}
+
+/// Typical latency of a *synchronous* IOTLB invalidation through the
+/// IOMMU's asynchronous command queue, in cycles, for comparison in the
+/// Figure 13 discussion (the paper cites "up to millisecond latency"; we use
+/// a conservative tens-of-microseconds figure at 3.2 GHz).
+pub const IOTLB_INVALIDATION_CYCLES: u64 = 40_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_unblock_round_trip() {
+        let mut bm = SidBlockBitmap::new(128);
+        for i in [0u16, 63, 64, 127] {
+            bm.block(SourceId(i));
+            assert!(bm.is_blocked(SourceId(i)), "sid {i}");
+        }
+        assert_eq!(bm.blocked_count(), 4);
+        for i in [0u16, 63, 64, 127] {
+            bm.unblock(SourceId(i));
+        }
+        assert!(bm.none_blocked());
+    }
+
+    #[test]
+    fn out_of_range_sids_are_ignored() {
+        let mut bm = SidBlockBitmap::new(8);
+        bm.block(SourceId(100));
+        assert!(!bm.is_blocked(SourceId(100)));
+        assert!(bm.none_blocked());
+    }
+
+    #[test]
+    fn blocking_is_per_sid() {
+        let mut bm = SidBlockBitmap::new(64);
+        bm.block(SourceId(5));
+        for i in 0..64u16 {
+            assert_eq!(bm.is_blocked(SourceId(i)), i == 5);
+        }
+    }
+
+    #[test]
+    fn modification_latency_matches_figure13_anchors() {
+        // Atomic-4 ≈ 35 + 4*14 = 91; Atomic-8 ≈ 147; the paper's bars read
+        // ~84 and ~144 — within measurement noise of the model.
+        assert_eq!(modification_cycles(4, true), 91);
+        assert_eq!(modification_cycles(8, true), 147);
+        // 64 entries < 1000 cycles (paper's explicit claim).
+        assert!(modification_cycles(64, true) < 1000);
+        // 128 entries ≈ 1827 (paper bar ~1781).
+        let c128 = modification_cycles(128, true);
+        assert!((1700..=1900).contains(&c128), "{c128}");
+    }
+
+    #[test]
+    fn atomic_adds_exactly_the_handshake() {
+        for n in [1usize, 4, 16, 128] {
+            assert_eq!(
+                modification_cycles(n, true) - modification_cycles(n, false),
+                BLOCK_HANDSHAKE_CYCLES
+            );
+        }
+    }
+
+    #[test]
+    fn iopmp_update_is_orders_faster_than_iotlb_flush() {
+        assert!(modification_cycles(64, true) * 10 < IOTLB_INVALIDATION_CYCLES);
+    }
+
+    #[test]
+    fn zero_entry_modification_costs_only_handshake() {
+        assert_eq!(modification_cycles(0, true), BLOCK_HANDSHAKE_CYCLES);
+        assert_eq!(modification_cycles(0, false), 0);
+    }
+}

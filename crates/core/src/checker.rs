@@ -1,0 +1,351 @@
+//! The IOPMP permission checker and its micro-architectural strategies (§4.1).
+//!
+//! Functionally every checker performs the same computation: mask the entry
+//! table down to the entries reachable from the requesting SID's memory
+//! domains, then find the **lowest-indexed** (highest-priority) entry that
+//! fully contains the access, and grant iff that entry's permission bits
+//! cover the access kind. A request matching no entry is denied.
+//!
+//! Micro-architecturally the paper contrasts four implementations:
+//!
+//! * **linear** — a combinational priority chain over all entries (the PMP
+//!   port used as the baseline); depth grows linearly with the entry count,
+//!   which is what kills the clock frequency past ~128 entries (Fig. 10);
+//! * **pipelined** — the entry array is cut into `stages` chunks checked in
+//!   consecutive cycles, trading latency for frequency;
+//! * **tree arbitration** — per-entry match/permission bits are reduced
+//!   pair-by-pair in a priority-preserving tree, giving `O(log N)` depth;
+//! * **MT checker** — the combination: each pipeline stage reduces its chunk
+//!   with a tree (the paper's design).
+//!
+//! [`CheckerKind::decide`] is shared by all of them — the strategies differ
+//! only in the [`crate::timing`]/[`crate::area`] models and the cycle
+//! latency they add on the bus ([`CheckerKind::extra_cycles`]). Decision
+//! equivalence is enforced by property tests.
+
+use crate::entry::IopmpEntry;
+use crate::error::{Result, SiopmpError};
+use crate::ids::EntryIndex;
+use crate::request::AccessKind;
+
+/// Which micro-architecture implements the priority check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CheckerKind {
+    /// Combinational linear priority chain (baseline IOPMP, ported PMP).
+    Linear,
+    /// Pipeline-only checker with `stages` pipeline stages and a linear
+    /// chain inside each stage.
+    Pipelined {
+        /// Number of pipeline stages (>= 1; 1 degenerates to `Linear`).
+        stages: u8,
+    },
+    /// Single-cycle tree arbitration over all entries.
+    Tree {
+        /// Reduction arity (2 = binary tree for timing, wider for area).
+        tree_arity: u8,
+    },
+    /// The Multi-stage-Tree checker: pipeline of tree-arbitration units.
+    MtChecker {
+        /// Number of pipeline stages.
+        stages: u8,
+        /// Tree reduction arity within each stage.
+        tree_arity: u8,
+    },
+}
+
+impl Default for CheckerKind {
+    fn default() -> Self {
+        CheckerKind::MtChecker {
+            stages: 2,
+            tree_arity: 2,
+        }
+    }
+}
+
+impl CheckerKind {
+    /// Number of pipeline stages the checker occupies (1 for combinational
+    /// designs).
+    pub fn stages(self) -> u8 {
+        match self {
+            CheckerKind::Linear | CheckerKind::Tree { .. } => 1,
+            CheckerKind::Pipelined { stages } | CheckerKind::MtChecker { stages, .. } => stages,
+        }
+    }
+
+    /// Whether the per-stage reduction uses tree arbitration.
+    pub fn uses_tree(self) -> bool {
+        matches!(
+            self,
+            CheckerKind::Tree { .. } | CheckerKind::MtChecker { .. }
+        )
+    }
+
+    /// Tree arity, when tree arbitration is used.
+    pub fn tree_arity(self) -> Option<u8> {
+        match self {
+            CheckerKind::Tree { tree_arity } | CheckerKind::MtChecker { tree_arity, .. } => {
+                Some(tree_arity)
+            }
+            _ => None,
+        }
+    }
+
+    /// Extra cycles of latency the checker inserts on each DMA request
+    /// relative to a combinational check. A combinational checker decides in
+    /// the same cycle (0 extra); an `n`-stage pipeline adds `n - 1` cycles
+    /// (Fig. 11: the 2-pipe checker "adds one extra cycle per request").
+    pub fn extra_cycles(self) -> u32 {
+        u32::from(self.stages()) - 1
+    }
+
+    /// Validates the parameter combination.
+    ///
+    /// # Errors
+    ///
+    /// [`SiopmpError::InvalidConfig`] for zero stages or tree arity < 2.
+    pub fn validate(self) -> Result<()> {
+        if self.stages() == 0 {
+            return Err(SiopmpError::InvalidConfig(
+                "checker needs at least one stage",
+            ));
+        }
+        if let Some(a) = self.tree_arity() {
+            if a < 2 {
+                return Err(SiopmpError::InvalidConfig("tree arity must be at least 2"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Short label used in experiment output ("IOPMP", "2pipe", "2pipe-tree",
+    /// ...), matching the paper's figure legends.
+    pub fn label(self) -> String {
+        match self {
+            CheckerKind::Linear => "IOPMP".to_string(),
+            CheckerKind::Pipelined { stages } => format!("{stages}pipe"),
+            CheckerKind::Tree { .. } => "tree".to_string(),
+            CheckerKind::MtChecker { stages, .. } => format!("{stages}pipe-tree"),
+        }
+    }
+
+    /// Runs the priority check over `entries` — an iterator of
+    /// `(index, entry)` pairs in ascending index order, already masked down
+    /// to the requesting SID's memory domains.
+    ///
+    /// All strategies produce the same [`Decision`]; see the module docs.
+    pub fn decide<'a, I>(self, entries: I, addr: u64, len: u64, kind: AccessKind) -> Decision
+    where
+        I: IntoIterator<Item = (EntryIndex, &'a IopmpEntry)>,
+    {
+        // The functional semantics of every micro-architecture: the
+        // lowest-indexed full match wins. Tree arbitration reduces
+        // (index, verdict) pairs with a min-by-index operator, which is
+        // associative — so the fold below is exactly what the tree computes,
+        // and the pipeline merely splits the fold across cycles.
+        let first_match = entries.into_iter().find(|(_, e)| e.matches(addr, len));
+        match first_match {
+            Some((index, e)) => {
+                if e.permissions().allows(kind.required()) {
+                    Decision::Allow { matched: index }
+                } else {
+                    Decision::DenyPermission { matched: index }
+                }
+            }
+            None => Decision::DenyNoMatch,
+        }
+    }
+}
+
+impl core::fmt::Display for CheckerKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Outcome of the priority check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Decision {
+    /// The highest-priority matching entry grants the access.
+    Allow {
+        /// Index of the winning entry.
+        matched: EntryIndex,
+    },
+    /// The highest-priority matching entry exists but lacks the permission
+    /// (e.g. a NO_PERMISSION guard entry shadowing a lower-priority allow,
+    /// as in the paper's §2.2 example).
+    DenyPermission {
+        /// Index of the matching (denying) entry.
+        matched: EntryIndex,
+    },
+    /// No entry fully contains the access.
+    DenyNoMatch,
+}
+
+impl Decision {
+    /// Whether the access is authorised.
+    pub fn is_allow(self) -> bool {
+        matches!(self, Decision::Allow { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::{AddressRange, Permissions};
+
+    fn e(base: u64, len: u64, p: Permissions) -> IopmpEntry {
+        IopmpEntry::new(AddressRange::new(base, len).unwrap(), p)
+    }
+
+    fn run(
+        kind: CheckerKind,
+        entries: &[(u32, IopmpEntry)],
+        addr: u64,
+        len: u64,
+        access: AccessKind,
+    ) -> Decision {
+        kind.decide(
+            entries.iter().map(|(i, en)| (EntryIndex(*i), en)),
+            addr,
+            len,
+            access,
+        )
+    }
+
+    const ALL_KINDS: [CheckerKind; 5] = [
+        CheckerKind::Linear,
+        CheckerKind::Pipelined { stages: 2 },
+        CheckerKind::Pipelined { stages: 3 },
+        CheckerKind::Tree { tree_arity: 2 },
+        CheckerKind::MtChecker {
+            stages: 2,
+            tree_arity: 2,
+        },
+    ];
+
+    #[test]
+    fn first_match_wins_priority() {
+        // Entry 0: NO_PERMISSION over address A; entry 1: read allowed.
+        // Paper §2.2: the device "ultimately lacks access permission".
+        let entries = [
+            (0, e(0x1000, 0x100, Permissions::none())),
+            (1, e(0x1000, 0x100, Permissions::read_only())),
+        ];
+        for k in ALL_KINDS {
+            let d = run(k, &entries, 0x1010, 4, AccessKind::Read);
+            assert_eq!(
+                d,
+                Decision::DenyPermission {
+                    matched: EntryIndex(0)
+                },
+                "{k}"
+            );
+        }
+    }
+
+    #[test]
+    fn lower_priority_grants_when_higher_misses() {
+        let entries = [
+            (0, e(0x2000, 0x100, Permissions::none())),
+            (5, e(0x1000, 0x100, Permissions::rw())),
+        ];
+        for k in ALL_KINDS {
+            let d = run(k, &entries, 0x1000, 4, AccessKind::Write);
+            assert_eq!(
+                d,
+                Decision::Allow {
+                    matched: EntryIndex(5)
+                },
+                "{k}"
+            );
+        }
+    }
+
+    #[test]
+    fn no_match_denies() {
+        let entries = [(0, e(0x1000, 0x100, Permissions::rw()))];
+        for k in ALL_KINDS {
+            assert_eq!(
+                run(k, &entries, 0x5000, 4, AccessKind::Read),
+                Decision::DenyNoMatch,
+                "{k}"
+            );
+        }
+    }
+
+    #[test]
+    fn partial_overlap_does_not_match() {
+        let entries = [(0, e(0x1000, 0x100, Permissions::rw()))];
+        for k in ALL_KINDS {
+            assert_eq!(
+                run(k, &entries, 0x10f0, 0x20, AccessKind::Read),
+                Decision::DenyNoMatch,
+                "{k}"
+            );
+        }
+    }
+
+    #[test]
+    fn write_needs_write_permission() {
+        let entries = [(0, e(0x1000, 0x100, Permissions::read_only()))];
+        for k in ALL_KINDS {
+            assert!(run(k, &entries, 0x1000, 8, AccessKind::Read).is_allow());
+            assert_eq!(
+                run(k, &entries, 0x1000, 8, AccessKind::Write),
+                Decision::DenyPermission {
+                    matched: EntryIndex(0)
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn empty_request_denied() {
+        let entries = [(0, e(0x1000, 0x100, Permissions::rw()))];
+        assert_eq!(
+            run(CheckerKind::Linear, &entries, 0x1000, 0, AccessKind::Read),
+            Decision::DenyNoMatch
+        );
+    }
+
+    #[test]
+    fn extra_cycles_match_pipeline_depth() {
+        assert_eq!(CheckerKind::Linear.extra_cycles(), 0);
+        assert_eq!(CheckerKind::Tree { tree_arity: 2 }.extra_cycles(), 0);
+        assert_eq!(CheckerKind::Pipelined { stages: 2 }.extra_cycles(), 1);
+        assert_eq!(
+            CheckerKind::MtChecker {
+                stages: 3,
+                tree_arity: 2
+            }
+            .extra_cycles(),
+            2
+        );
+    }
+
+    #[test]
+    fn labels_match_paper_legends() {
+        assert_eq!(CheckerKind::Linear.label(), "IOPMP");
+        assert_eq!(CheckerKind::Pipelined { stages: 2 }.label(), "2pipe");
+        assert_eq!(
+            CheckerKind::MtChecker {
+                stages: 3,
+                tree_arity: 2
+            }
+            .label(),
+            "3pipe-tree"
+        );
+    }
+
+    #[test]
+    fn validation_rejects_bad_params() {
+        assert!(CheckerKind::Pipelined { stages: 0 }.validate().is_err());
+        assert!(CheckerKind::Tree { tree_arity: 1 }.validate().is_err());
+        assert!(CheckerKind::MtChecker {
+            stages: 2,
+            tree_arity: 2
+        }
+        .validate()
+        .is_ok());
+    }
+}

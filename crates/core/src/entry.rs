@@ -1,0 +1,452 @@
+//! IOPMP entries: address ranges, permissions, and entry records.
+//!
+//! An IOPMP entry defines one *rule*: a physical address range plus the
+//! read/write permissions a matching transaction is granted. Entries live in
+//! the global priority entry table ([`crate::tables::EntryTable`]); the
+//! lowest-numbered matching entry wins (§2.2). Ranges are byte-granular, which
+//! is the property that gives region-based isolation its **sub-page**
+//! advantage over the paging-based IOMMU/RMP/GPC mechanisms (Table 1).
+
+use core::fmt;
+
+use crate::error::{Result, SiopmpError};
+
+/// Read/write permission bits of an IOPMP entry.
+///
+/// # Examples
+///
+/// ```
+/// use siopmp::entry::Permissions;
+/// let p = Permissions::read_only();
+/// assert!(p.read() && !p.write());
+/// assert!(Permissions::rw().allows(p));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Permissions {
+    read: bool,
+    write: bool,
+}
+
+impl Permissions {
+    /// No access at all. A matching entry with this permission *denies* the
+    /// transaction even if a lower-priority entry would allow it.
+    pub fn none() -> Self {
+        Permissions {
+            read: false,
+            write: false,
+        }
+    }
+
+    /// Read-only access.
+    pub fn read_only() -> Self {
+        Permissions {
+            read: true,
+            write: false,
+        }
+    }
+
+    /// Write-only access.
+    pub fn write_only() -> Self {
+        Permissions {
+            read: false,
+            write: true,
+        }
+    }
+
+    /// Read and write access.
+    pub fn rw() -> Self {
+        Permissions {
+            read: true,
+            write: true,
+        }
+    }
+
+    /// Builds permissions from individual bits.
+    pub fn from_bits(read: bool, write: bool) -> Self {
+        Permissions { read, write }
+    }
+
+    /// Whether reads are permitted.
+    pub fn read(self) -> bool {
+        self.read
+    }
+
+    /// Whether writes are permitted.
+    pub fn write(self) -> bool {
+        self.write
+    }
+
+    /// Whether `self` grants at least the rights in `needed`.
+    pub fn allows(self, needed: Permissions) -> bool {
+        (!needed.read || self.read) && (!needed.write || self.write)
+    }
+
+    /// Intersection of two permission sets — used when deriving restricted
+    /// capabilities in the secure monitor.
+    pub fn intersect(self, other: Permissions) -> Permissions {
+        Permissions {
+            read: self.read && other.read,
+            write: self.write && other.write,
+        }
+    }
+}
+
+impl fmt::Display for Permissions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}",
+            if self.read { 'r' } else { '-' },
+            if self.write { 'w' } else { '-' }
+        )
+    }
+}
+
+/// How an entry's range is encoded in hardware.
+///
+/// The RISC-V IOPMP proposal inherits the PMP encodings. The functional model
+/// normalises all of them to `[base, base+len)`, but keeps the encoding kind
+/// so the area model can account for the (slightly) different comparator
+/// costs and so tests can cover every encoding path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RangeKind {
+    /// Arbitrary `base`/`len` pair (the common DMA-buffer case).
+    Plain,
+    /// Naturally-aligned power-of-two region (NAPOT).
+    Napot,
+    /// Top-of-range: the region spans from the previous entry's top to this
+    /// entry's address.
+    Tor,
+}
+
+/// A half-open physical address range `[base, base + len)`.
+///
+/// Ranges are byte-granular: sub-page buffers (e.g. small network packets)
+/// can be isolated exactly, without the copy that page-granular mechanisms
+/// require (§1).
+///
+/// # Examples
+///
+/// ```
+/// use siopmp::entry::AddressRange;
+/// # fn main() -> Result<(), siopmp::error::SiopmpError> {
+/// let r = AddressRange::new(0x1000, 0x200)?;
+/// assert!(r.contains(0x1000, 0x200));
+/// assert!(!r.contains(0x11ff, 2)); // crosses the top
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AddressRange {
+    base: u64,
+    len: u64,
+    kind: RangeKind,
+}
+
+impl AddressRange {
+    /// Creates a plain byte-granular range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SiopmpError::InvalidRange`] if `len` is zero or the range
+    /// wraps past the end of the address space.
+    pub fn new(base: u64, len: u64) -> Result<Self> {
+        if len == 0 || base.checked_add(len).is_none() {
+            return Err(SiopmpError::InvalidRange { base, len });
+        }
+        Ok(AddressRange {
+            base,
+            len,
+            kind: RangeKind::Plain,
+        })
+    }
+
+    /// Creates a NAPOT range of `2^order` bytes at `base`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SiopmpError::InvalidRange`] if `base` is not aligned to the
+    /// region size, `order` is out of range, or the range wraps.
+    pub fn napot(base: u64, order: u32) -> Result<Self> {
+        if order >= 64 {
+            return Err(SiopmpError::InvalidRange { base, len: 0 });
+        }
+        let len = 1u64 << order;
+        if !base.is_multiple_of(len) || base.checked_add(len).is_none() {
+            return Err(SiopmpError::InvalidRange { base, len });
+        }
+        Ok(AddressRange {
+            base,
+            len,
+            kind: RangeKind::Napot,
+        })
+    }
+
+    /// Creates a top-of-range region `[prev_top, top)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SiopmpError::InvalidRange`] if `top <= prev_top`.
+    pub fn tor(prev_top: u64, top: u64) -> Result<Self> {
+        if top <= prev_top {
+            return Err(SiopmpError::InvalidRange {
+                base: prev_top,
+                len: top.wrapping_sub(prev_top),
+            });
+        }
+        Ok(AddressRange {
+            base: prev_top,
+            len: top - prev_top,
+            kind: RangeKind::Tor,
+        })
+    }
+
+    /// Base (inclusive) of the range.
+    pub fn base(self) -> u64 {
+        self.base
+    }
+
+    /// Length of the range in bytes.
+    pub fn len(self) -> u64 {
+        self.len
+    }
+
+    /// Whether the range is empty (never true for a validated range; present
+    /// for API completeness).
+    pub fn is_empty(self) -> bool {
+        self.len == 0
+    }
+
+    /// One past the last byte of the range.
+    pub fn end(self) -> u64 {
+        self.base + self.len
+    }
+
+    /// Encoding kind of the range.
+    pub fn kind(self) -> RangeKind {
+        self.kind
+    }
+
+    /// Whether the *entire* access `[addr, addr+len)` falls inside this
+    /// range. sIOPMP requires full containment: a transaction straddling a
+    /// region boundary does not match the entry (and will be flagged as a
+    /// violation if no other entry covers it).
+    pub fn contains(self, addr: u64, len: u64) -> bool {
+        if len == 0 {
+            return false;
+        }
+        match addr.checked_add(len) {
+            Some(end) => addr >= self.base && end <= self.end(),
+            None => false,
+        }
+    }
+
+    /// Whether the access `[addr, addr+len)` overlaps this range at all.
+    /// Used by violation reporting to distinguish "partially matched" from
+    /// "missed entirely".
+    pub fn overlaps(self, addr: u64, len: u64) -> bool {
+        match addr.checked_add(len) {
+            Some(end) => len > 0 && addr < self.end() && end > self.base,
+            None => false,
+        }
+    }
+}
+
+impl fmt::Display for AddressRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:#x}, {:#x})", self.base, self.end())
+    }
+}
+
+/// One rule in the IOPMP entry table: a range, its permissions, and a lock
+/// bit preventing further modification (used by the secure monitor to pin
+/// M-mode rules above S-mode-delegated ones, §6.3).
+///
+/// # Examples
+///
+/// ```
+/// use siopmp::entry::{AddressRange, IopmpEntry, Permissions};
+/// # fn main() -> Result<(), siopmp::error::SiopmpError> {
+/// let e = IopmpEntry::new(AddressRange::new(0x2000, 0x40)?, Permissions::read_only());
+/// assert!(e.matches(0x2000, 0x40));
+/// assert!(!e.permissions().write());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IopmpEntry {
+    range: AddressRange,
+    permissions: Permissions,
+    locked: bool,
+}
+
+impl IopmpEntry {
+    /// Creates an unlocked entry.
+    pub fn new(range: AddressRange, permissions: Permissions) -> Self {
+        IopmpEntry {
+            range,
+            permissions,
+            locked: false,
+        }
+    }
+
+    /// Creates a locked entry; locked entries reject later modification.
+    pub fn new_locked(range: AddressRange, permissions: Permissions) -> Self {
+        IopmpEntry {
+            range,
+            permissions,
+            locked: true,
+        }
+    }
+
+    /// The entry's address range.
+    pub fn range(&self) -> AddressRange {
+        self.range
+    }
+
+    /// The entry's permissions.
+    pub fn permissions(&self) -> Permissions {
+        self.permissions
+    }
+
+    /// Whether the entry is locked against modification.
+    pub fn is_locked(&self) -> bool {
+        self.locked
+    }
+
+    /// Whether the access `[addr, addr+len)` is fully contained in this
+    /// entry's range (a *match* in the priority check).
+    pub fn matches(&self, addr: u64, len: u64) -> bool {
+        self.range.contains(addr, len)
+    }
+}
+
+impl fmt::Display for IopmpEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}{}",
+            self.permissions,
+            self.range,
+            if self.locked { " (locked)" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_length_range_rejected() {
+        assert!(matches!(
+            AddressRange::new(0x1000, 0),
+            Err(SiopmpError::InvalidRange { .. })
+        ));
+    }
+
+    #[test]
+    fn wrapping_range_rejected() {
+        assert!(AddressRange::new(u64::MAX - 4, 8).is_err());
+        // [MAX, MAX+1) would need a 65-bit end; hardware cannot express it.
+        assert!(AddressRange::new(u64::MAX, 1).is_err());
+        assert!(AddressRange::new(u64::MAX - 1, 1).is_ok());
+    }
+
+    #[test]
+    fn napot_requires_alignment() {
+        assert!(AddressRange::napot(0x3000, 12).is_ok());
+        assert!(AddressRange::napot(0x3400, 12).is_err());
+        assert!(AddressRange::napot(0, 64).is_err());
+    }
+
+    #[test]
+    fn napot_len_is_power_of_two() {
+        let r = AddressRange::napot(0x10000, 16).unwrap();
+        assert_eq!(r.len(), 65536);
+        assert_eq!(r.kind(), RangeKind::Napot);
+    }
+
+    #[test]
+    fn tor_spans_between_tops() {
+        let r = AddressRange::tor(0x1000, 0x2000).unwrap();
+        assert_eq!(r.base(), 0x1000);
+        assert_eq!(r.end(), 0x2000);
+        assert!(AddressRange::tor(0x2000, 0x2000).is_err());
+        assert!(AddressRange::tor(0x2000, 0x1000).is_err());
+    }
+
+    #[test]
+    fn containment_is_full_not_partial() {
+        let r = AddressRange::new(0x1000, 0x100).unwrap();
+        assert!(r.contains(0x1000, 1));
+        assert!(r.contains(0x10ff, 1));
+        assert!(r.contains(0x1000, 0x100));
+        assert!(!r.contains(0x0fff, 2)); // straddles base
+        assert!(!r.contains(0x10ff, 2)); // straddles top
+        assert!(!r.contains(0x1100, 1)); // outside
+        assert!(!r.contains(0x1000, 0)); // empty access never matches
+    }
+
+    #[test]
+    fn overlap_detects_partial_hits() {
+        let r = AddressRange::new(0x1000, 0x100).unwrap();
+        assert!(r.overlaps(0x0fff, 2));
+        assert!(r.overlaps(0x10ff, 2));
+        assert!(!r.overlaps(0x0f00, 0x100));
+        assert!(!r.overlaps(0x1100, 0x100));
+    }
+
+    #[test]
+    fn overlap_near_address_space_top_is_safe() {
+        let r = AddressRange::new(u64::MAX - 8, 8).unwrap();
+        assert!(!r.overlaps(u64::MAX - 4, 8)); // would wrap
+        assert!(r.contains(u64::MAX - 8, 8));
+    }
+
+    #[test]
+    fn permissions_allow_subset() {
+        assert!(Permissions::rw().allows(Permissions::read_only()));
+        assert!(Permissions::rw().allows(Permissions::write_only()));
+        assert!(!Permissions::read_only().allows(Permissions::write_only()));
+        assert!(!Permissions::none().allows(Permissions::read_only()));
+        // Everything allows the empty requirement.
+        assert!(Permissions::none().allows(Permissions::none()));
+    }
+
+    #[test]
+    fn permissions_intersection() {
+        assert_eq!(
+            Permissions::rw().intersect(Permissions::read_only()),
+            Permissions::read_only()
+        );
+        assert_eq!(
+            Permissions::read_only().intersect(Permissions::write_only()),
+            Permissions::none()
+        );
+    }
+
+    #[test]
+    fn permissions_display() {
+        assert_eq!(Permissions::rw().to_string(), "rw");
+        assert_eq!(Permissions::read_only().to_string(), "r-");
+        assert_eq!(Permissions::none().to_string(), "--");
+    }
+
+    #[test]
+    fn entry_lock_flag_round_trips() {
+        let r = AddressRange::new(0x1000, 0x10).unwrap();
+        assert!(!IopmpEntry::new(r, Permissions::rw()).is_locked());
+        assert!(IopmpEntry::new_locked(r, Permissions::rw()).is_locked());
+    }
+
+    #[test]
+    fn entry_display_mentions_range_and_perms() {
+        let r = AddressRange::new(0x1000, 0x10).unwrap();
+        let e = IopmpEntry::new_locked(r, Permissions::read_only());
+        let s = e.to_string();
+        assert!(s.contains("r-"));
+        assert!(s.contains("0x1000"));
+        assert!(s.contains("locked"));
+    }
+}

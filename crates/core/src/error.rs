@@ -1,0 +1,159 @@
+//! Error types for the sIOPMP model.
+
+use core::fmt;
+
+use crate::ids::{DeviceId, EntryIndex, MdIndex, SourceId};
+
+/// Errors produced when configuring or operating the sIOPMP model.
+///
+/// All configuration interfaces (table writes, device mapping, entry
+/// installation) validate their arguments and return this type rather than
+/// silently accepting inconsistent hardware state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SiopmpError {
+    /// A SID outside the configured SID space was used.
+    SidOutOfRange { sid: SourceId, num_sids: usize },
+    /// A memory-domain index outside the configured MD space was used.
+    MdOutOfRange { md: MdIndex, num_mds: usize },
+    /// An entry index outside the configured entry table was used.
+    EntryOutOfRange {
+        index: EntryIndex,
+        num_entries: usize,
+    },
+    /// An address range with zero length or wrapping past the address space.
+    InvalidRange { base: u64, len: u64 },
+    /// Attempted to modify a locked register or entry.
+    Locked(&'static str),
+    /// The hot SID space is exhausted; the device must be treated as cold.
+    HotSidsExhausted,
+    /// The device is not known to the IOPMP (neither hot-mapped nor present
+    /// in the extended table).
+    UnknownDevice(DeviceId),
+    /// The device is already registered.
+    DeviceAlreadyMapped(DeviceId),
+    /// A memory domain's entry window is full.
+    MdFull(MdIndex),
+    /// The MDCFG table would become non-monotonic.
+    NonMonotonicMdcfg {
+        md: MdIndex,
+        top: u32,
+        prev_top: u32,
+    },
+    /// An operation required the SID to be blocked first (atomicity, §5.3).
+    NotBlocked(SourceId),
+    /// The cold-device mount point is occupied by a switch in progress.
+    SwitchInProgress,
+    /// A configuration parameter combination is invalid.
+    InvalidConfig(&'static str),
+}
+
+impl fmt::Display for SiopmpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SiopmpError::SidOutOfRange { sid, num_sids } => {
+                write!(f, "{sid} out of range (configured SIDs: {num_sids})")
+            }
+            SiopmpError::MdOutOfRange { md, num_mds } => {
+                write!(f, "{md} out of range (configured MDs: {num_mds})")
+            }
+            SiopmpError::EntryOutOfRange { index, num_entries } => {
+                write!(
+                    f,
+                    "{index} out of range (configured entries: {num_entries})"
+                )
+            }
+            SiopmpError::InvalidRange { base, len } => {
+                write!(f, "invalid address range base={base:#x} len={len:#x}")
+            }
+            SiopmpError::Locked(what) => write!(f, "{what} is locked"),
+            SiopmpError::HotSidsExhausted => write!(f, "no free hot SID available"),
+            SiopmpError::UnknownDevice(dev) => write!(f, "unknown device {dev}"),
+            SiopmpError::DeviceAlreadyMapped(dev) => {
+                write!(f, "device {dev} is already mapped")
+            }
+            SiopmpError::MdFull(md) => write!(f, "{md} has no free entry slots"),
+            SiopmpError::NonMonotonicMdcfg { md, top, prev_top } => write!(
+                f,
+                "MDCFG would become non-monotonic at {md}: T={top} below previous T={prev_top}"
+            ),
+            SiopmpError::NotBlocked(sid) => {
+                write!(f, "modification requires {sid} to be blocked first")
+            }
+            SiopmpError::SwitchInProgress => {
+                write!(f, "a cold-device switch is already in progress")
+            }
+            SiopmpError::InvalidConfig(why) => write!(f, "invalid configuration: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SiopmpError {}
+
+/// Convenience result alias used by all fallible sIOPMP operations.
+pub type Result<T> = core::result::Result<T, SiopmpError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let err = SiopmpError::SidOutOfRange {
+            sid: SourceId(99),
+            num_sids: 64,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("SID:99"));
+        assert!(msg.contains("64"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(SiopmpError::HotSidsExhausted, SiopmpError::HotSidsExhausted);
+        assert_ne!(SiopmpError::Locked("SRC2MD"), SiopmpError::Locked("MDCFG"));
+    }
+
+    #[test]
+    fn error_trait_object_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SiopmpError>();
+    }
+
+    #[test]
+    fn all_variants_render() {
+        use SiopmpError::*;
+        let variants: Vec<SiopmpError> = vec![
+            SidOutOfRange {
+                sid: SourceId(1),
+                num_sids: 2,
+            },
+            MdOutOfRange {
+                md: MdIndex(9),
+                num_mds: 3,
+            },
+            EntryOutOfRange {
+                index: EntryIndex(7),
+                num_entries: 4,
+            },
+            InvalidRange { base: 0, len: 0 },
+            Locked("entry"),
+            HotSidsExhausted,
+            UnknownDevice(DeviceId(5)),
+            DeviceAlreadyMapped(DeviceId(5)),
+            MdFull(MdIndex(62)),
+            NonMonotonicMdcfg {
+                md: MdIndex(1),
+                top: 1,
+                prev_top: 2,
+            },
+            NotBlocked(SourceId(0)),
+            SwitchInProgress,
+            InvalidConfig("bad"),
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Identifier newtypes used throughout the sIOPMP model.
+//!
+//! The paper distinguishes three identifier spaces:
+//!
+//! * the **source ID** (SID) — a small, fixed hardware identifier used to
+//!   index the SRC2MD table. Hot devices occupy SIDs `0..=62`; the model
+//!   reserves the value one past the hot range as the *extended* SID (eSID)
+//!   slot used by cold devices (§4.2);
+//! * the **device ID** — an arbitrary-width identifier carried in DMA packets
+//!   (e.g. a PCIe requester ID or a virtual-function index). Device IDs are
+//!   translated to SIDs through the `DeviceID2SID` CAM (§4.3);
+//! * the **memory-domain index** (MD) — selects one of the memory domains
+//!   configured in the MDCFG table. The last domain (`MD62` in the paper's
+//!   configuration) is dedicated to the currently-mounted cold device.
+
+use core::fmt;
+
+/// A hardware source ID (SID) as used by the SRC2MD table.
+///
+/// SIDs are dense and small: the paper's implementation supports 64 in-SoC
+/// SIDs of which `0..=62` identify hot devices and the last one is used as
+/// the mount point for the currently active cold device.
+///
+/// # Examples
+///
+/// ```
+/// use siopmp::ids::SourceId;
+/// let sid = SourceId(3);
+/// assert_eq!(sid.index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SourceId(pub u16);
+
+impl SourceId {
+    /// Returns the SID as a table index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SID:{}", self.0)
+    }
+}
+
+/// An arbitrary device identifier carried in DMA packets.
+///
+/// Unlike [`SourceId`], device IDs may span a very large space (PCIe
+/// bus/device/function plus virtual-function indices). The
+/// [`crate::remap::DeviceId2SidCam`] maps them onto the dense SID space.
+///
+/// # Examples
+///
+/// ```
+/// use siopmp::ids::DeviceId;
+/// let nic = DeviceId(0x0100_0042);
+/// assert_ne!(nic, DeviceId(0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DeviceId(pub u64);
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dev:{:#x}", self.0)
+    }
+}
+
+/// Index of a memory domain in the MDCFG table.
+///
+/// # Examples
+///
+/// ```
+/// use siopmp::ids::MdIndex;
+/// assert_eq!(MdIndex(62).index(), 62);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MdIndex(pub u16);
+
+impl MdIndex {
+    /// Returns the memory domain as a table index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for MdIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MD{}", self.0)
+    }
+}
+
+/// Index of an IOPMP entry in the global priority entry table.
+///
+/// Lower indices have **higher** priority (§2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EntryIndex(pub u32);
+
+impl EntryIndex {
+    /// Returns the entry position as a table index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EntryIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "entry[{}]", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn source_id_index_round_trips() {
+        for raw in [0u16, 1, 62, 63, 1000] {
+            assert_eq!(SourceId(raw).index(), raw as usize);
+        }
+    }
+
+    #[test]
+    fn display_formats_are_informative() {
+        assert_eq!(SourceId(7).to_string(), "SID:7");
+        assert_eq!(DeviceId(0x42).to_string(), "dev:0x42");
+        assert_eq!(MdIndex(62).to_string(), "MD62");
+        assert_eq!(EntryIndex(9).to_string(), "entry[9]");
+    }
+
+    #[test]
+    fn ids_are_hashable_and_distinct() {
+        let set: HashSet<DeviceId> = [DeviceId(1), DeviceId(2), DeviceId(1)]
+            .into_iter()
+            .collect();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn entry_index_orders_by_priority_position() {
+        // Lower index = higher priority; Ord must follow the raw value so
+        // that sorting yields priority order.
+        let mut v = vec![EntryIndex(5), EntryIndex(1), EntryIndex(3)];
+        v.sort();
+        assert_eq!(v, vec![EntryIndex(1), EntryIndex(3), EntryIndex(5)]);
+    }
+}

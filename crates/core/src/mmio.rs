@@ -1,0 +1,285 @@
+//! MMIO register-file front-end for the sIOPMP unit.
+//!
+//! Real software configures the IOPMP through memory-mapped registers
+//! (Figure 1's tables live behind the periphery bus, Figure 6). This
+//! module provides the address decode: 64-bit register reads/writes at
+//! fixed offsets are translated into table operations on a
+//! [`crate::Siopmp`]. The secure monitor's "the IOPMP can be configured by
+//! the MMIO interface, which is more efficient and deterministic" (§6.2)
+//! is exactly this path.
+//!
+//! ## Register map
+//!
+//! | offset | register |
+//! |---|---|
+//! | `0x0000 + 8*s` | `SRC2MD[s]` (lock bit 63, MD bitmap 62..0) |
+//! | `0x1000 + 8*m` | `MDCFG[m].T` |
+//! | `0x2000 + 16*j` | entry `j` address word (base) |
+//! | `0x2008 + 16*j` | entry `j` config word (len 47..8, perms 1..0, lock 2) |
+//! | `0x8000` | SID block bitmap word 0 (write 1 = block) |
+//! | `0x8100` | violation count (RO) |
+
+use crate::entry::{AddressRange, IopmpEntry, Permissions};
+use crate::error::{Result, SiopmpError};
+use crate::ids::{EntryIndex, MdIndex, SourceId};
+use crate::Siopmp;
+
+/// Base offset of the SRC2MD table.
+pub const SRC2MD_BASE: u64 = 0x0000;
+/// Base offset of the MDCFG table.
+pub const MDCFG_BASE: u64 = 0x1000;
+/// Base offset of the entry table (16 bytes per entry).
+pub const ENTRY_BASE: u64 = 0x2000;
+/// Offset of the SID block bitmap (word 0).
+pub const BLOCK_BITMAP: u64 = 0x8000;
+/// Offset of the read-only violation counter.
+pub const VIOLATION_COUNT: u64 = 0x8100;
+
+/// Pending entry-address writes: hardware entries are two words; the
+/// address word is latched until the config word commits the pair.
+#[derive(Debug, Clone, Default)]
+pub struct MmioFrontend {
+    latched_base: std::collections::HashMap<u32, u64>,
+}
+
+fn encode_entry(entry: &IopmpEntry) -> (u64, u64) {
+    let base = entry.range().base();
+    let cfg = (entry.range().len() << 8)
+        | (u64::from(entry.permissions().read()))
+        | (u64::from(entry.permissions().write()) << 1)
+        | (u64::from(entry.is_locked()) << 2);
+    (base, cfg)
+}
+
+fn decode_entry(base: u64, cfg: u64) -> Result<Option<IopmpEntry>> {
+    let len = cfg >> 8;
+    if len == 0 {
+        return Ok(None); // len 0 clears the slot
+    }
+    let perms = Permissions::from_bits(cfg & 1 != 0, cfg & 2 != 0);
+    let range = AddressRange::new(base, len)?;
+    Ok(Some(if cfg & 4 != 0 {
+        IopmpEntry::new_locked(range, perms)
+    } else {
+        IopmpEntry::new(range, perms)
+    }))
+}
+
+impl MmioFrontend {
+    /// Creates a front-end with no latched state.
+    pub fn new() -> Self {
+        MmioFrontend::default()
+    }
+
+    /// 64-bit register read at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// [`SiopmpError`] variants for out-of-range offsets/indices.
+    pub fn read(&self, unit: &Siopmp, offset: u64) -> Result<u64> {
+        match offset {
+            o if (SRC2MD_BASE..MDCFG_BASE).contains(&o) => {
+                let sid = SourceId(((o - SRC2MD_BASE) / 8) as u16);
+                // Reading SRC2MD reconstructs the register image.
+                let mut bits = 0u64;
+                for md in 0..unit.config().num_mds as u16 {
+                    if unit.is_associated(sid, MdIndex(md))? {
+                        bits |= 1 << md;
+                    }
+                }
+                Ok(bits)
+            }
+            o if (MDCFG_BASE..ENTRY_BASE).contains(&o) => {
+                let md = MdIndex(((o - MDCFG_BASE) / 8) as u16);
+                Ok(u64::from(unit.md_window(md)?.1))
+            }
+            o if (ENTRY_BASE..BLOCK_BITMAP).contains(&o) => {
+                let j = ((o - ENTRY_BASE) / 16) as u32;
+                let word = (o - ENTRY_BASE) % 16;
+                match unit.entry(EntryIndex(j))? {
+                    Some(e) => {
+                        let (base, cfg) = encode_entry(&e);
+                        Ok(if word == 0 { base } else { cfg })
+                    }
+                    None => Ok(0),
+                }
+            }
+            BLOCK_BITMAP => {
+                let mut bits = 0u64;
+                for s in 0..unit.config().num_sids.min(64) as u16 {
+                    if unit.is_sid_blocked(SourceId(s)) {
+                        bits |= 1 << s;
+                    }
+                }
+                Ok(bits)
+            }
+            VIOLATION_COUNT => Ok(unit.stats().violations),
+            _ => Err(SiopmpError::InvalidConfig("unmapped MMIO offset")),
+        }
+    }
+
+    /// 64-bit register write at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Table errors (locks, monotonicity, bounds) surface exactly as the
+    /// hardware would signal them (a bus error on the config write).
+    pub fn write(&mut self, unit: &mut Siopmp, offset: u64, value: u64) -> Result<()> {
+        match offset {
+            o if (SRC2MD_BASE..MDCFG_BASE).contains(&o) => {
+                let sid = SourceId(((o - SRC2MD_BASE) / 8) as u16);
+                // Bitmap semantics: set-associate, clear-dissociate.
+                for md in 0..unit.config().num_mds as u16 {
+                    let want = value & (1 << md) != 0;
+                    let have = unit.is_associated(sid, MdIndex(md))?;
+                    if want && !have {
+                        unit.associate_sid_with_md(sid, MdIndex(md))?;
+                    } else if !want && have {
+                        unit.dissociate_sid_from_md(sid, MdIndex(md))?;
+                    }
+                }
+                Ok(())
+            }
+            o if (MDCFG_BASE..ENTRY_BASE).contains(&o) => {
+                let md = MdIndex(((o - MDCFG_BASE) / 8) as u16);
+                unit.set_md_top(md, value as u32)
+            }
+            o if (ENTRY_BASE..BLOCK_BITMAP).contains(&o) => {
+                let j = ((o - ENTRY_BASE) / 16) as u32;
+                let word = (o - ENTRY_BASE) % 16;
+                if word == 0 {
+                    self.latched_base.insert(j, value);
+                    Ok(())
+                } else {
+                    let base = self.latched_base.remove(&j).unwrap_or(0);
+                    let entry = decode_entry(base, value)?;
+                    unit.set_entry(EntryIndex(j), entry)
+                }
+            }
+            BLOCK_BITMAP => {
+                for s in 0..unit.config().num_sids.min(64) as u16 {
+                    if value & (1 << s) != 0 {
+                        unit.block_sid(SourceId(s));
+                    } else {
+                        unit.unblock_sid(SourceId(s));
+                    }
+                }
+                Ok(())
+            }
+            VIOLATION_COUNT => Err(SiopmpError::Locked("violation counter is read-only")),
+            _ => Err(SiopmpError::InvalidConfig("unmapped MMIO offset")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SiopmpConfig;
+    use crate::ids::DeviceId;
+    use crate::request::{AccessKind, DmaRequest};
+
+    fn setup() -> (Siopmp, MmioFrontend, SourceId) {
+        let mut unit = Siopmp::new(SiopmpConfig::small());
+        let sid = unit.map_hot_device(DeviceId(1)).unwrap();
+        (unit, MmioFrontend::new(), sid)
+    }
+
+    #[test]
+    fn configure_entirely_through_mmio() {
+        let (mut unit, mut mmio, sid) = setup();
+        // Associate MD0 via the SRC2MD register.
+        mmio.write(&mut unit, SRC2MD_BASE + 8 * sid.index() as u64, 0b1)
+            .unwrap();
+        // Install an entry via the two-word sequence.
+        mmio.write(&mut unit, ENTRY_BASE, 0x9000).unwrap(); // base
+        mmio.write(&mut unit, ENTRY_BASE + 8, (0x100 << 8) | 0b11)
+            .unwrap(); // len|rw
+        let req = DmaRequest::new(DeviceId(1), AccessKind::Write, 0x9000, 64);
+        assert!(unit.check(&req).is_allowed());
+        // Read back.
+        assert_eq!(mmio.read(&unit, ENTRY_BASE).unwrap(), 0x9000);
+        assert_eq!(
+            mmio.read(&unit, SRC2MD_BASE + 8 * sid.index() as u64)
+                .unwrap(),
+            0b1
+        );
+    }
+
+    #[test]
+    fn zero_length_config_clears_entry() {
+        let (mut unit, mut mmio, sid) = setup();
+        mmio.write(&mut unit, SRC2MD_BASE + 8 * sid.index() as u64, 0b1)
+            .unwrap();
+        mmio.write(&mut unit, ENTRY_BASE, 0x9000).unwrap();
+        mmio.write(&mut unit, ENTRY_BASE + 8, (0x100 << 8) | 0b11)
+            .unwrap();
+        mmio.write(&mut unit, ENTRY_BASE, 0).unwrap();
+        mmio.write(&mut unit, ENTRY_BASE + 8, 0).unwrap();
+        assert!(unit
+            .check(&DmaRequest::new(DeviceId(1), AccessKind::Read, 0x9000, 8))
+            .is_denied());
+    }
+
+    #[test]
+    fn block_bitmap_round_trips() {
+        let (mut unit, mut mmio, sid) = setup();
+        mmio.write(&mut unit, BLOCK_BITMAP, 1 << sid.index())
+            .unwrap();
+        assert!(unit.is_sid_blocked(sid));
+        assert_eq!(mmio.read(&unit, BLOCK_BITMAP).unwrap(), 1 << sid.index());
+        mmio.write(&mut unit, BLOCK_BITMAP, 0).unwrap();
+        assert!(!unit.is_sid_blocked(sid));
+    }
+
+    #[test]
+    fn violation_counter_is_read_only() {
+        let (mut unit, mut mmio, _sid) = setup();
+        unit.check(&DmaRequest::new(DeviceId(99), AccessKind::Read, 0, 8));
+        assert_eq!(mmio.read(&unit, VIOLATION_COUNT).unwrap(), 1);
+        assert!(matches!(
+            mmio.write(&mut unit, VIOLATION_COUNT, 0),
+            Err(SiopmpError::Locked(_))
+        ));
+    }
+
+    #[test]
+    fn locked_entry_rejects_mmio_rewrite() {
+        let (mut unit, mut mmio, sid) = setup();
+        mmio.write(&mut unit, SRC2MD_BASE + 8 * sid.index() as u64, 0b1)
+            .unwrap();
+        // Install locked (bit 2).
+        mmio.write(&mut unit, ENTRY_BASE, 0x9000).unwrap();
+        mmio.write(&mut unit, ENTRY_BASE + 8, (0x100 << 8) | 0b111)
+            .unwrap();
+        // Rewrite attempt fails like a bus error.
+        mmio.write(&mut unit, ENTRY_BASE, 0xa000).unwrap();
+        assert!(mmio
+            .write(&mut unit, ENTRY_BASE + 8, (0x100 << 8) | 0b11)
+            .is_err());
+    }
+
+    #[test]
+    fn unmapped_offsets_rejected() {
+        let (mut unit, mut mmio, _) = setup();
+        assert!(mmio.read(&unit, 0xFFFF_0000).is_err());
+        assert!(mmio.write(&mut unit, 0xFFFF_0000, 1).is_err());
+    }
+
+    #[test]
+    fn mdcfg_read_reports_window_top() {
+        let (unit, mmio, _) = setup();
+        let (_, end) = unit.md_window(MdIndex(0)).unwrap();
+        assert_eq!(mmio.read(&unit, MDCFG_BASE).unwrap(), u64::from(end));
+    }
+
+    #[test]
+    fn src2md_write_can_dissociate() {
+        let (mut unit, mut mmio, sid) = setup();
+        let off = SRC2MD_BASE + 8 * sid.index() as u64;
+        mmio.write(&mut unit, off, 0b11).unwrap();
+        assert_eq!(mmio.read(&unit, off).unwrap(), 0b11);
+        mmio.write(&mut unit, off, 0b10).unwrap();
+        assert_eq!(mmio.read(&unit, off).unwrap(), 0b10);
+    }
+}

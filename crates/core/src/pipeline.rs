@@ -1,0 +1,223 @@
+//! A cycle-stepped model of the checker pipeline and its block-state
+//! monitor (§4.1).
+//!
+//! Pipelining the checker creates the consistency hazard the paper calls
+//! out: "although we block the DMA transaction in the bus, there may still
+//! be an existing DMA transaction in the IOPMP checker due to the
+//! multi-stage pipeline". This module models that hazard explicitly: a
+//! `stages`-deep pipeline of in-flight checks, a per-SID block signal at
+//! the *input*, and the monitor that reports when the pipeline has
+//! drained so software can rely on the block being complete.
+
+use std::collections::VecDeque;
+
+use crate::ids::SourceId;
+
+/// One in-flight check occupying a pipeline slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InFlight<T> {
+    /// The requester's SID.
+    pub sid: SourceId,
+    /// Caller-supplied payload (e.g. a transaction id).
+    pub payload: T,
+    /// Stages still to traverse before the decision is available.
+    remaining: u8,
+}
+
+/// The pipelined checker front-end with its block-state monitor.
+///
+/// # Examples
+///
+/// ```
+/// use siopmp::pipeline::CheckerPipeline;
+/// use siopmp::ids::SourceId;
+///
+/// let mut pipe: CheckerPipeline<u32> = CheckerPipeline::new(2);
+/// assert!(pipe.accept(SourceId(1), 100));
+/// let done = pipe.tick();      // stage 1 -> 2
+/// assert!(done.is_empty());
+/// let done = pipe.tick();      // exits
+/// assert_eq!(done[0].payload, 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CheckerPipeline<T> {
+    stages: u8,
+    in_flight: VecDeque<InFlight<T>>,
+    blocked: Vec<SourceId>,
+}
+
+impl<T: Copy> CheckerPipeline<T> {
+    /// Creates a pipeline with `stages` stages (>= 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `stages` is zero.
+    pub fn new(stages: u8) -> Self {
+        assert!(stages >= 1, "a checker needs at least one stage");
+        CheckerPipeline {
+            stages,
+            in_flight: VecDeque::new(),
+            blocked: Vec::new(),
+        }
+    }
+
+    /// Number of pipeline stages.
+    pub fn stages(&self) -> u8 {
+        self.stages
+    }
+
+    /// Checks currently inside the pipeline.
+    pub fn occupancy(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Asserts the block signal for `sid`: new requests from it are
+    /// refused at the input, but — this is the hazard — requests already
+    /// inside the pipeline keep flowing.
+    pub fn block(&mut self, sid: SourceId) {
+        if !self.blocked.contains(&sid) {
+            self.blocked.push(sid);
+        }
+    }
+
+    /// Deasserts the block signal for `sid`.
+    pub fn unblock(&mut self, sid: SourceId) {
+        self.blocked.retain(|s| *s != sid);
+    }
+
+    /// The block-state monitor: `true` once `sid` is blocked *and* no
+    /// check from it remains in flight — only then is it safe to modify
+    /// the entries the SID depends on. This is the "consistent view of
+    /// the block state between the bus and the IOPMP checker" the paper's
+    /// monitor provides.
+    pub fn drained(&self, sid: SourceId) -> bool {
+        self.blocked.contains(&sid) && self.in_flight.iter().all(|f| f.sid != sid)
+    }
+
+    /// Offers a request at the pipeline input. Returns `false` (rejecting
+    /// the request) when the SID is blocked; the bus must stall it.
+    pub fn accept(&mut self, sid: SourceId, payload: T) -> bool {
+        if self.blocked.contains(&sid) {
+            return false;
+        }
+        self.in_flight.push_back(InFlight {
+            sid,
+            payload,
+            remaining: self.stages,
+        });
+        true
+    }
+
+    /// Advances one cycle; returns the checks whose decisions completed
+    /// this cycle (in issue order).
+    pub fn tick(&mut self) -> Vec<InFlight<T>> {
+        for f in &mut self.in_flight {
+            f.remaining -= 1;
+        }
+        let mut done = Vec::new();
+        while matches!(self.in_flight.front(), Some(f) if f.remaining == 0) {
+            done.push(self.in_flight.pop_front().expect("checked front"));
+        }
+        done
+    }
+
+    /// Ticks until the pipeline is empty, returning all completions.
+    /// Models the monitor spinning on the drain status before an entry
+    /// update.
+    pub fn drain(&mut self) -> Vec<InFlight<T>> {
+        let mut all = Vec::new();
+        while !self.in_flight.is_empty() {
+            all.extend(self.tick());
+        }
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_exit_after_stage_count() {
+        let mut pipe: CheckerPipeline<u8> = CheckerPipeline::new(3);
+        pipe.accept(SourceId(1), 1);
+        assert!(pipe.tick().is_empty());
+        pipe.accept(SourceId(1), 2);
+        assert!(pipe.tick().is_empty());
+        let out = pipe.tick();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].payload, 1);
+        let out = pipe.tick();
+        assert_eq!(out[0].payload, 2);
+    }
+
+    #[test]
+    fn throughput_is_one_per_cycle() {
+        let mut pipe: CheckerPipeline<u32> = CheckerPipeline::new(2);
+        // Feed 10 back-to-back; after the 2-cycle fill, one exits per cycle.
+        let mut completed = 0;
+        for i in 0..10 {
+            assert!(pipe.accept(SourceId(0), i));
+            completed += pipe.tick().len();
+        }
+        completed += pipe.drain().len();
+        assert_eq!(completed, 10);
+    }
+
+    #[test]
+    fn block_refuses_new_but_not_in_flight() {
+        let mut pipe: CheckerPipeline<u8> = CheckerPipeline::new(2);
+        pipe.accept(SourceId(5), 1);
+        pipe.block(SourceId(5));
+        // THE HAZARD: the in-flight check is still there.
+        assert!(!pipe.drained(SourceId(5)));
+        // New requests are refused at the input.
+        assert!(!pipe.accept(SourceId(5), 2));
+        // Other SIDs are unaffected (per-SID blocking).
+        assert!(pipe.accept(SourceId(6), 3));
+        // After the pipeline flushes, the block is complete.
+        pipe.drain();
+        assert!(pipe.drained(SourceId(5)));
+    }
+
+    #[test]
+    fn unblock_reopens_the_input() {
+        let mut pipe: CheckerPipeline<u8> = CheckerPipeline::new(1);
+        pipe.block(SourceId(1));
+        assert!(!pipe.accept(SourceId(1), 1));
+        pipe.unblock(SourceId(1));
+        assert!(pipe.accept(SourceId(1), 2));
+    }
+
+    #[test]
+    fn drained_requires_block_asserted() {
+        let pipe: CheckerPipeline<u8> = CheckerPipeline::new(1);
+        // An empty pipeline without the block asserted is NOT "drained":
+        // new requests could still enter.
+        assert!(!pipe.drained(SourceId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn zero_stage_pipeline_rejected() {
+        let _: CheckerPipeline<u8> = CheckerPipeline::new(0);
+    }
+
+    /// The unsafe-update scenario end to end: without waiting for the
+    /// drain, an entry update races an in-flight check; with the monitor,
+    /// it cannot.
+    #[test]
+    fn drain_closes_the_update_race() {
+        let mut pipe: CheckerPipeline<&'static str> = CheckerPipeline::new(3);
+        pipe.accept(SourceId(1), "old-rules-check");
+        pipe.block(SourceId(1));
+        // Naive software would update entries *now* — while the old-rules
+        // check is still in flight:
+        assert!(pipe.occupancy() > 0, "the race exists");
+        // Correct software waits for the monitor:
+        let flushed = pipe.drain();
+        assert_eq!(flushed.len(), 1);
+        assert!(pipe.drained(SourceId(1)));
+        // Now the update happens with no check in flight.
+    }
+}

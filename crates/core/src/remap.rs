@@ -1,0 +1,362 @@
+//! IOPMP remapping: the DeviceID2SID CAM (§4.3, Figure 5).
+//!
+//! Device IDs span a huge space (PCIe requester IDs, virtual functions), but
+//! the number of hot SIDs is small and fixed. The remapping table is a
+//! content-addressable memory in which the SID is the *address* and the
+//! device ID is the *content*: a DMA packet's device ID is searched
+//! associatively and, on a hit, the matching SID indexes the SRC2MD table in
+//! the same cycle. On a miss the device is treated as cold and compared with
+//! the eSID register instead.
+//!
+//! Hot/cold status switches two ways:
+//!
+//! * **explicit** — an oracle (the VMM or the monitor's policy layer)
+//!   installs/evicts mappings directly;
+//! * **implicit** — a clock (second-chance / LRU-approximation) algorithm:
+//!   every CAM hit sets the entry's reference bit; when the monitor observes
+//!   a device being mounted as cold too often, it promotes it by evicting
+//!   the first entry whose reference bit is clear (clearing set bits as the
+//!   hand passes).
+
+use std::collections::HashMap;
+
+use crate::error::{Result, SiopmpError};
+use crate::ids::{DeviceId, SourceId};
+
+/// One CAM row: stored device ID plus the clock-algorithm reference bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CamRow {
+    device: DeviceId,
+    referenced: bool,
+}
+
+/// The DeviceID2SID content-addressable memory.
+///
+/// Capacity equals the number of hot SIDs (63 in the paper's configuration).
+/// Lookups are modelled as single-cycle, exactly like the hardware CAM —
+/// the model keeps a reverse `HashMap` so software-side lookups are O(1)
+/// too.
+///
+/// # Examples
+///
+/// ```
+/// use siopmp::remap::DeviceId2SidCam;
+/// use siopmp::ids::{DeviceId, SourceId};
+///
+/// # fn main() -> Result<(), siopmp::error::SiopmpError> {
+/// let mut cam = DeviceId2SidCam::new(4);
+/// let sid = cam.insert(DeviceId(0xabc))?;
+/// assert_eq!(cam.lookup(DeviceId(0xabc)), Some(sid));
+/// assert_eq!(cam.lookup(DeviceId(0xdef)), None);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeviceId2SidCam {
+    rows: Vec<Option<CamRow>>,
+    by_device: HashMap<DeviceId, SourceId>,
+    clock_hand: usize,
+}
+
+impl DeviceId2SidCam {
+    /// Creates an empty CAM with `capacity` rows (one per hot SID).
+    pub fn new(capacity: usize) -> Self {
+        DeviceId2SidCam {
+            rows: vec![None; capacity],
+            by_device: HashMap::new(),
+            clock_hand: 0,
+        }
+    }
+
+    /// Number of rows (hot SIDs).
+    pub fn capacity(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of occupied rows.
+    pub fn len(&self) -> usize {
+        self.by_device.len()
+    }
+
+    /// Whether the CAM holds no mappings.
+    pub fn is_empty(&self) -> bool {
+        self.by_device.is_empty()
+    }
+
+    /// Associative search: device ID → SID. Sets the reference bit on a hit
+    /// (the hardware does this for the clock algorithm).
+    pub fn lookup(&mut self, device: DeviceId) -> Option<SourceId> {
+        let sid = *self.by_device.get(&device)?;
+        if let Some(row) = self.rows[sid.index()].as_mut() {
+            row.referenced = true;
+        }
+        Some(sid)
+    }
+
+    /// Read-only search that does not touch the reference bit (used by
+    /// diagnostics and tests).
+    pub fn peek(&self, device: DeviceId) -> Option<SourceId> {
+        self.by_device.get(&device).copied()
+    }
+
+    /// The device currently mapped at `sid`, if any.
+    pub fn device_at(&self, sid: SourceId) -> Option<DeviceId> {
+        self.rows.get(sid.index())?.map(|r| r.device)
+    }
+
+    /// Installs `device` into the first free row and returns its SID.
+    ///
+    /// # Errors
+    ///
+    /// * [`SiopmpError::DeviceAlreadyMapped`] if the device already has a
+    ///   hot SID;
+    /// * [`SiopmpError::HotSidsExhausted`] when no row is free — callers
+    ///   should then use [`DeviceId2SidCam::insert_with_eviction`] or treat
+    ///   the device as cold.
+    pub fn insert(&mut self, device: DeviceId) -> Result<SourceId> {
+        if self.by_device.contains_key(&device) {
+            return Err(SiopmpError::DeviceAlreadyMapped(device));
+        }
+        let free = self
+            .rows
+            .iter()
+            .position(|r| r.is_none())
+            .ok_or(SiopmpError::HotSidsExhausted)?;
+        let sid = SourceId(free as u16);
+        self.rows[free] = Some(CamRow {
+            device,
+            referenced: true,
+        });
+        self.by_device.insert(device, sid);
+        Ok(sid)
+    }
+
+    /// Installs `device`, evicting a victim with the clock algorithm when
+    /// the CAM is full. Returns the assigned SID and, when an eviction
+    /// occurred, the displaced device (whose IOPMP state must be demoted to
+    /// the extended table by the monitor).
+    ///
+    /// # Errors
+    ///
+    /// [`SiopmpError::DeviceAlreadyMapped`] if the device is already hot.
+    pub fn insert_with_eviction(
+        &mut self,
+        device: DeviceId,
+    ) -> Result<(SourceId, Option<DeviceId>)> {
+        match self.insert(device) {
+            Ok(sid) => Ok((sid, None)),
+            Err(SiopmpError::HotSidsExhausted) => {
+                let victim_sid = self.clock_select_victim();
+                let victim = self.rows[victim_sid.index()]
+                    .take()
+                    .expect("clock victim row must be occupied");
+                self.by_device.remove(&victim.device);
+                self.rows[victim_sid.index()] = Some(CamRow {
+                    device,
+                    referenced: true,
+                });
+                self.by_device.insert(device, victim_sid);
+                Ok((victim_sid, Some(victim.device)))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Installs `device` at a *specific* SID (explicit switching by an
+    /// oracle). Returns the displaced device, if any.
+    ///
+    /// # Errors
+    ///
+    /// * [`SiopmpError::SidOutOfRange`] on a bad SID;
+    /// * [`SiopmpError::DeviceAlreadyMapped`] if the device is already hot
+    ///   at a different SID.
+    pub fn insert_at(&mut self, sid: SourceId, device: DeviceId) -> Result<Option<DeviceId>> {
+        if sid.index() >= self.rows.len() {
+            return Err(SiopmpError::SidOutOfRange {
+                sid,
+                num_sids: self.rows.len(),
+            });
+        }
+        if let Some(existing) = self.by_device.get(&device) {
+            if *existing == sid {
+                return Ok(None);
+            }
+            return Err(SiopmpError::DeviceAlreadyMapped(device));
+        }
+        let displaced = self.rows[sid.index()].take().map(|r| r.device);
+        if let Some(old) = displaced {
+            self.by_device.remove(&old);
+        }
+        self.rows[sid.index()] = Some(CamRow {
+            device,
+            referenced: true,
+        });
+        self.by_device.insert(device, sid);
+        Ok(displaced)
+    }
+
+    /// Removes `device`'s mapping (demotion to cold status). Returns the
+    /// freed SID.
+    ///
+    /// # Errors
+    ///
+    /// [`SiopmpError::UnknownDevice`] when the device is not hot.
+    pub fn remove(&mut self, device: DeviceId) -> Result<SourceId> {
+        let sid = self
+            .by_device
+            .remove(&device)
+            .ok_or(SiopmpError::UnknownDevice(device))?;
+        self.rows[sid.index()] = None;
+        Ok(sid)
+    }
+
+    /// Selects the eviction victim with the clock (second-chance) algorithm:
+    /// advance the hand, clearing reference bits, until a row with a clear
+    /// bit is found.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CAM is empty (there is no victim to select); callers
+    /// only invoke this when the CAM is full.
+    fn clock_select_victim(&mut self) -> SourceId {
+        assert!(!self.is_empty(), "clock eviction on empty CAM");
+        loop {
+            let idx = self.clock_hand;
+            self.clock_hand = (self.clock_hand + 1) % self.rows.len();
+            if let Some(row) = self.rows[idx].as_mut() {
+                if row.referenced {
+                    row.referenced = false; // second chance
+                } else {
+                    return SourceId(idx as u16);
+                }
+            }
+        }
+    }
+
+    /// Iterates `(sid, device, referenced)` over occupied rows.
+    pub fn iter(&self) -> impl Iterator<Item = (SourceId, DeviceId, bool)> + '_ {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.map(|row| (SourceId(i as u16), row.device, row.referenced)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_assigns_distinct_sids() {
+        let mut cam = DeviceId2SidCam::new(3);
+        let a = cam.insert(DeviceId(1)).unwrap();
+        let b = cam.insert(DeviceId(2)).unwrap();
+        let c = cam.insert(DeviceId(3)).unwrap();
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_eq!(cam.len(), 3);
+        assert!(matches!(
+            cam.insert(DeviceId(4)),
+            Err(SiopmpError::HotSidsExhausted)
+        ));
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let mut cam = DeviceId2SidCam::new(2);
+        cam.insert(DeviceId(7)).unwrap();
+        assert!(matches!(
+            cam.insert(DeviceId(7)),
+            Err(SiopmpError::DeviceAlreadyMapped(_))
+        ));
+    }
+
+    #[test]
+    fn lookup_hits_and_misses() {
+        let mut cam = DeviceId2SidCam::new(2);
+        let sid = cam.insert(DeviceId(9)).unwrap();
+        assert_eq!(cam.lookup(DeviceId(9)), Some(sid));
+        assert_eq!(cam.lookup(DeviceId(10)), None);
+        assert_eq!(cam.device_at(sid), Some(DeviceId(9)));
+    }
+
+    #[test]
+    fn remove_frees_the_sid() {
+        let mut cam = DeviceId2SidCam::new(1);
+        let sid = cam.insert(DeviceId(1)).unwrap();
+        assert_eq!(cam.remove(DeviceId(1)).unwrap(), sid);
+        assert!(cam.is_empty());
+        // The freed row is reusable.
+        assert_eq!(cam.insert(DeviceId(2)).unwrap(), sid);
+        assert!(matches!(
+            cam.remove(DeviceId(1)),
+            Err(SiopmpError::UnknownDevice(_))
+        ));
+    }
+
+    #[test]
+    fn clock_eviction_prefers_unreferenced() {
+        let mut cam = DeviceId2SidCam::new(3);
+        cam.insert(DeviceId(1)).unwrap();
+        cam.insert(DeviceId(2)).unwrap();
+        cam.insert(DeviceId(3)).unwrap();
+        // First pass clears all reference bits (all were set on insert),
+        // second pass evicts row 0.
+        let (sid, evicted) = cam.insert_with_eviction(DeviceId(4)).unwrap();
+        assert_eq!(evicted, Some(DeviceId(1)));
+        assert_eq!(sid, SourceId(0));
+
+        // Re-referencing device 2 protects it from the next eviction.
+        cam.lookup(DeviceId(2));
+        let (_, evicted) = cam.insert_with_eviction(DeviceId(5)).unwrap();
+        assert_ne!(evicted, Some(DeviceId(2)));
+    }
+
+    #[test]
+    fn eviction_keeps_mapping_bijective() {
+        let mut cam = DeviceId2SidCam::new(4);
+        for d in 0..16u64 {
+            cam.insert_with_eviction(DeviceId(d)).unwrap();
+            // Invariant: every occupied row agrees with the reverse map.
+            for (sid, dev, _) in cam.iter() {
+                assert_eq!(cam.peek(dev), Some(sid));
+            }
+            assert!(cam.len() <= 4);
+        }
+    }
+
+    #[test]
+    fn explicit_insert_at_displaces() {
+        let mut cam = DeviceId2SidCam::new(2);
+        cam.insert_at(SourceId(1), DeviceId(10)).unwrap();
+        let displaced = cam.insert_at(SourceId(1), DeviceId(11)).unwrap();
+        assert_eq!(displaced, Some(DeviceId(10)));
+        assert_eq!(cam.peek(DeviceId(11)), Some(SourceId(1)));
+        assert_eq!(cam.peek(DeviceId(10)), None);
+        // Re-inserting at the same SID is a no-op.
+        assert_eq!(cam.insert_at(SourceId(1), DeviceId(11)).unwrap(), None);
+        // Moving a hot device to another SID requires removal first.
+        assert!(matches!(
+            cam.insert_at(SourceId(0), DeviceId(11)),
+            Err(SiopmpError::DeviceAlreadyMapped(_))
+        ));
+        assert!(matches!(
+            cam.insert_at(SourceId(5), DeviceId(12)),
+            Err(SiopmpError::SidOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn peek_does_not_set_reference_bit() {
+        let mut cam = DeviceId2SidCam::new(2);
+        cam.insert(DeviceId(1)).unwrap();
+        cam.insert(DeviceId(2)).unwrap();
+        // Clear all bits via one full clock sweep.
+        let (_, evicted) = cam.insert_with_eviction(DeviceId(3)).unwrap();
+        assert_eq!(evicted, Some(DeviceId(1)));
+        // peek must not protect device 2 from eviction.
+        cam.peek(DeviceId(2));
+        let (_, evicted) = cam.insert_with_eviction(DeviceId(4)).unwrap();
+        assert_eq!(evicted, Some(DeviceId(2)));
+    }
+}

@@ -1,0 +1,62 @@
+//! Runtime counters exposed by the sIOPMP unit.
+//!
+//! The hardware exposes these through MMIO status registers; the monitor's
+//! implicit hot/cold promotion policy reads them (a device that keeps
+//! appearing in `cold_switches` should be promoted to a hot SID, §4.3).
+
+/// Counters accumulated by one [`crate::Siopmp`] instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SiopmpStats {
+    /// Total checks performed.
+    pub checks: u64,
+    /// Checks that were allowed.
+    pub allowed: u64,
+    /// Checks denied by a matching entry without permission.
+    pub denied_permission: u64,
+    /// Checks denied because no entry matched.
+    pub denied_no_match: u64,
+    /// Requests stalled because their SID was blocked (atomicity, §5.3).
+    pub blocked: u64,
+    /// SID-missing interrupts raised (cold device with no mounted state).
+    pub sid_missing_interrupts: u64,
+    /// Cold-device switches completed.
+    pub cold_switches: u64,
+    /// Requests satisfied through the eSID (mounted cold device) path.
+    pub cold_hits: u64,
+    /// Requests satisfied through the CAM (hot device) path.
+    pub hot_hits: u64,
+    /// Violation interrupts raised.
+    pub violations: u64,
+}
+
+impl SiopmpStats {
+    /// Fraction of checks that were denied (either way); `0.0` when no
+    /// checks have been performed.
+    pub fn deny_rate(&self) -> f64 {
+        if self.checks == 0 {
+            return 0.0;
+        }
+        (self.denied_permission + self.denied_no_match) as f64 / self.checks as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deny_rate_handles_zero_checks() {
+        assert_eq!(SiopmpStats::default().deny_rate(), 0.0);
+    }
+
+    #[test]
+    fn deny_rate_counts_both_kinds() {
+        let s = SiopmpStats {
+            checks: 10,
+            denied_permission: 2,
+            denied_no_match: 3,
+            ..Default::default()
+        };
+        assert!((s.deny_rate() - 0.5).abs() < 1e-12);
+    }
+}

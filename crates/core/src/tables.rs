@@ -1,0 +1,622 @@
+//! The IOPMP configuration tables (Figure 1 / Figure 4).
+//!
+//! Three MMIO-visible structures configure an IOPMP:
+//!
+//! * [`Src2MdTable`] — per-SID 64-bit registers with a sticky lock bit and a
+//!   bitmap of associated memory domains;
+//! * [`MdCfgTable`] — per-MD registers whose `T` field records the last entry
+//!   index belonging to the domain (entry `j` belongs to MD `m` when
+//!   `MD[m-1].T <= j < MD[m].T`, with MD0 owning `j < MD[0].T`);
+//! * [`EntryTable`] — the global priority array of [`IopmpEntry`] rules.
+//!
+//! The model enforces the invariants the hardware relies on: lock stickiness,
+//! monotone `T` values, and bounds checks on every index.
+
+use crate::entry::IopmpEntry;
+use crate::error::{Result, SiopmpError};
+use crate::ids::{EntryIndex, MdIndex, SourceId};
+
+/// One SRC2MD register: a sticky lock plus an MD membership bitmap.
+///
+/// The hardware register is 64 bits: bit 63 the lock, bits 62..0 the MD
+/// bitmap (so at most 63 memory domains are addressable, matching
+/// [`crate::SiopmpConfig::validate`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Src2MdRegister {
+    locked: bool,
+    md_bitmap: u64,
+}
+
+impl Src2MdRegister {
+    /// Raw 64-bit encoding (lock in bit 63).
+    pub fn to_bits(self) -> u64 {
+        (self.locked as u64) << 63 | (self.md_bitmap & ((1u64 << 63) - 1))
+    }
+
+    /// Decodes the raw 64-bit register value.
+    pub fn from_bits(bits: u64) -> Self {
+        Src2MdRegister {
+            locked: bits >> 63 != 0,
+            md_bitmap: bits & ((1u64 << 63) - 1),
+        }
+    }
+
+    /// Whether the register is locked against modification.
+    pub fn is_locked(self) -> bool {
+        self.locked
+    }
+
+    /// Whether memory domain `md` is associated with this SID.
+    pub fn contains(self, md: MdIndex) -> bool {
+        md.index() < 63 && self.md_bitmap & (1u64 << md.index()) != 0
+    }
+
+    /// Iterator over the associated MD indices, ascending.
+    pub fn iter(self) -> impl Iterator<Item = MdIndex> {
+        (0..63u16)
+            .filter(move |m| self.md_bitmap & (1u64 << m) != 0)
+            .map(MdIndex)
+    }
+
+    /// Number of associated memory domains.
+    pub fn count(self) -> usize {
+        self.md_bitmap.count_ones() as usize
+    }
+}
+
+/// The SRC2MD table: SID → memory-domain bitmap (Figure 1, top-left).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Src2MdTable {
+    regs: Vec<Src2MdRegister>,
+    num_mds: usize,
+}
+
+impl Src2MdTable {
+    /// Creates a table for `num_sids` SIDs over `num_mds` memory domains,
+    /// all associations cleared.
+    pub fn new(num_sids: usize, num_mds: usize) -> Self {
+        Src2MdTable {
+            regs: vec![Src2MdRegister::default(); num_sids],
+            num_mds,
+        }
+    }
+
+    /// Number of SID rows.
+    pub fn num_sids(&self) -> usize {
+        self.regs.len()
+    }
+
+    fn reg_checked(&self, sid: SourceId) -> Result<&Src2MdRegister> {
+        self.regs
+            .get(sid.index())
+            .ok_or(SiopmpError::SidOutOfRange {
+                sid,
+                num_sids: self.regs.len(),
+            })
+    }
+
+    /// Reads the register for `sid`.
+    ///
+    /// # Errors
+    ///
+    /// [`SiopmpError::SidOutOfRange`] when `sid` exceeds the table.
+    pub fn register(&self, sid: SourceId) -> Result<Src2MdRegister> {
+        self.reg_checked(sid).copied()
+    }
+
+    /// Associates memory domain `md` with `sid`.
+    ///
+    /// # Errors
+    ///
+    /// * [`SiopmpError::SidOutOfRange`] / [`SiopmpError::MdOutOfRange`] on
+    ///   bad indices;
+    /// * [`SiopmpError::Locked`] when the register's sticky lock is set.
+    pub fn associate(&mut self, sid: SourceId, md: MdIndex) -> Result<()> {
+        self.check_md(md)?;
+        let num_sids = self.regs.len();
+        let reg = self
+            .regs
+            .get_mut(sid.index())
+            .ok_or(SiopmpError::SidOutOfRange { sid, num_sids })?;
+        if reg.locked {
+            return Err(SiopmpError::Locked("SRC2MD register"));
+        }
+        reg.md_bitmap |= 1u64 << md.index();
+        Ok(())
+    }
+
+    /// Removes the association between `sid` and `md`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Src2MdTable::associate`].
+    pub fn dissociate(&mut self, sid: SourceId, md: MdIndex) -> Result<()> {
+        self.check_md(md)?;
+        let num_sids = self.regs.len();
+        let reg = self
+            .regs
+            .get_mut(sid.index())
+            .ok_or(SiopmpError::SidOutOfRange { sid, num_sids })?;
+        if reg.locked {
+            return Err(SiopmpError::Locked("SRC2MD register"));
+        }
+        reg.md_bitmap &= !(1u64 << md.index());
+        Ok(())
+    }
+
+    /// Clears every MD association of `sid` (used when remapping a SID to a
+    /// different device).
+    ///
+    /// # Errors
+    ///
+    /// [`SiopmpError::SidOutOfRange`] or [`SiopmpError::Locked`].
+    pub fn clear(&mut self, sid: SourceId) -> Result<()> {
+        let num_sids = self.regs.len();
+        let reg = self
+            .regs
+            .get_mut(sid.index())
+            .ok_or(SiopmpError::SidOutOfRange { sid, num_sids })?;
+        if reg.locked {
+            return Err(SiopmpError::Locked("SRC2MD register"));
+        }
+        reg.md_bitmap = 0;
+        Ok(())
+    }
+
+    /// Sets the sticky lock on `sid`'s register. The lock cannot be cleared
+    /// (hardware sticky bit); only a reset clears it.
+    ///
+    /// # Errors
+    ///
+    /// [`SiopmpError::SidOutOfRange`].
+    pub fn lock(&mut self, sid: SourceId) -> Result<()> {
+        let num_sids = self.regs.len();
+        let reg = self
+            .regs
+            .get_mut(sid.index())
+            .ok_or(SiopmpError::SidOutOfRange { sid, num_sids })?;
+        reg.locked = true;
+        Ok(())
+    }
+
+    /// Whether `md` is associated with `sid`.
+    ///
+    /// # Errors
+    ///
+    /// [`SiopmpError::SidOutOfRange`].
+    pub fn is_associated(&self, sid: SourceId, md: MdIndex) -> Result<bool> {
+        Ok(self.reg_checked(sid)?.contains(md))
+    }
+
+    /// The MDs associated with `sid`, ascending.
+    ///
+    /// # Errors
+    ///
+    /// [`SiopmpError::SidOutOfRange`].
+    pub fn domains_of(&self, sid: SourceId) -> Result<Vec<MdIndex>> {
+        Ok(self.reg_checked(sid)?.iter().collect())
+    }
+
+    fn check_md(&self, md: MdIndex) -> Result<()> {
+        if md.index() >= self.num_mds {
+            return Err(SiopmpError::MdOutOfRange {
+                md,
+                num_mds: self.num_mds,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The MDCFG table: memory domain → entry-index window (Figure 1, bottom-left).
+///
+/// `MD[m].T` stores one past the last entry index owned by domain `m`; the
+/// window of domain `m` is `[T[m-1], T[m])` (with `T[-1] = 0`). The `T`
+/// values of *configured* domains must be monotone non-decreasing — the
+/// table enforces this on every write, as real hardware treats violations as
+/// configuration errors. A domain that has never been written owns an empty
+/// window at the previous configured domain's top.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MdCfgTable {
+    tops: Vec<Option<u32>>,
+    num_entries: usize,
+}
+
+impl MdCfgTable {
+    /// Creates a table of `num_mds` domains over `num_entries` entries, all
+    /// domains unconfigured (empty windows).
+    pub fn new(num_mds: usize, num_entries: usize) -> Self {
+        MdCfgTable {
+            tops: vec![None; num_mds],
+            num_entries,
+        }
+    }
+
+    /// Number of memory domains.
+    pub fn num_mds(&self) -> usize {
+        self.tops.len()
+    }
+
+    /// Effective `T` at domain `idx`: the nearest configured `T` at or
+    /// before `idx`, or 0 when none is configured yet.
+    fn effective_top(&self, idx: usize) -> u32 {
+        self.tops[..=idx].iter().rev().find_map(|t| *t).unwrap_or(0)
+    }
+
+    /// Reads the effective `MD[md].T`.
+    ///
+    /// # Errors
+    ///
+    /// [`SiopmpError::MdOutOfRange`].
+    pub fn top(&self, md: MdIndex) -> Result<u32> {
+        if md.index() >= self.tops.len() {
+            return Err(SiopmpError::MdOutOfRange {
+                md,
+                num_mds: self.tops.len(),
+            });
+        }
+        Ok(self.effective_top(md.index()))
+    }
+
+    /// Writes `MD[md].T = top`, preserving monotonicity against both the
+    /// preceding domains and any already-configured following domain.
+    ///
+    /// # Errors
+    ///
+    /// * [`SiopmpError::MdOutOfRange`] on a bad index;
+    /// * [`SiopmpError::EntryOutOfRange`] when `top` exceeds the entry table;
+    /// * [`SiopmpError::NonMonotonicMdcfg`] when the write would put `T`
+    ///   below a previous domain's `T` or above a following configured `T`.
+    pub fn set_top(&mut self, md: MdIndex, top: u32) -> Result<()> {
+        let idx = md.index();
+        if idx >= self.tops.len() {
+            return Err(SiopmpError::MdOutOfRange {
+                md,
+                num_mds: self.tops.len(),
+            });
+        }
+        if top as usize > self.num_entries {
+            return Err(SiopmpError::EntryOutOfRange {
+                index: EntryIndex(top),
+                num_entries: self.num_entries,
+            });
+        }
+        let prev_top = if idx == 0 {
+            0
+        } else {
+            self.effective_top(idx - 1)
+        };
+        if top < prev_top {
+            return Err(SiopmpError::NonMonotonicMdcfg { md, top, prev_top });
+        }
+        if let Some(next) = self.tops[idx + 1..].iter().find_map(|t| *t) {
+            if top > next {
+                return Err(SiopmpError::NonMonotonicMdcfg {
+                    md,
+                    top,
+                    prev_top: next,
+                });
+            }
+        }
+        self.tops[idx] = Some(top);
+        Ok(())
+    }
+
+    /// The half-open window `[start, end)` of entry indices owned by `md`.
+    /// Unconfigured domains own an empty window.
+    ///
+    /// # Errors
+    ///
+    /// [`SiopmpError::MdOutOfRange`].
+    pub fn window(&self, md: MdIndex) -> Result<(u32, u32)> {
+        let idx = md.index();
+        if idx >= self.tops.len() {
+            return Err(SiopmpError::MdOutOfRange {
+                md,
+                num_mds: self.tops.len(),
+            });
+        }
+        let start = if idx == 0 {
+            0
+        } else {
+            self.effective_top(idx - 1)
+        };
+        Ok((start, self.tops[idx].unwrap_or(start)))
+    }
+
+    /// The domain owning entry `j`, if any.
+    pub fn domain_of_entry(&self, j: EntryIndex) -> Option<MdIndex> {
+        for m in 0..self.tops.len() {
+            let (start, end) = self.window(MdIndex(m as u16)).expect("in range");
+            if j.0 >= start && j.0 < end {
+                return Some(MdIndex(m as u16));
+            }
+        }
+        None
+    }
+}
+
+/// The global priority entry table (Figure 1, right).
+///
+/// Entry 0 has the highest priority. The table owns fixed-capacity storage
+/// (`num_entries` hardware slots); unoccupied slots are `None` and never
+/// match.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntryTable {
+    slots: Vec<Option<IopmpEntry>>,
+}
+
+impl EntryTable {
+    /// Creates a table with `num_entries` empty hardware slots.
+    pub fn new(num_entries: usize) -> Self {
+        EntryTable {
+            slots: vec![None; num_entries],
+        }
+    }
+
+    /// Total hardware slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of occupied slots.
+    pub fn occupied(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Reads slot `j`.
+    ///
+    /// # Errors
+    ///
+    /// [`SiopmpError::EntryOutOfRange`].
+    pub fn get(&self, j: EntryIndex) -> Result<Option<IopmpEntry>> {
+        self.slots
+            .get(j.index())
+            .copied()
+            .ok_or(SiopmpError::EntryOutOfRange {
+                index: j,
+                num_entries: self.slots.len(),
+            })
+    }
+
+    /// Writes slot `j`.
+    ///
+    /// # Errors
+    ///
+    /// * [`SiopmpError::EntryOutOfRange`] on a bad index;
+    /// * [`SiopmpError::Locked`] when the currently-installed entry is
+    ///   locked (locked entries may not be replaced or cleared).
+    pub fn set(&mut self, j: EntryIndex, entry: Option<IopmpEntry>) -> Result<()> {
+        let num_entries = self.slots.len();
+        let slot = self
+            .slots
+            .get_mut(j.index())
+            .ok_or(SiopmpError::EntryOutOfRange {
+                index: j,
+                num_entries,
+            })?;
+        if matches!(slot, Some(e) if e.is_locked()) {
+            return Err(SiopmpError::Locked("IOPMP entry"));
+        }
+        *slot = entry;
+        Ok(())
+    }
+
+    /// Borrowing accessor for the masked priority walk (out-of-range or
+    /// empty slots yield `None`).
+    pub fn get_ref(&self, j: EntryIndex) -> Option<&IopmpEntry> {
+        self.slots.get(j.index())?.as_ref()
+    }
+
+    /// Iterates `(index, entry)` over occupied slots in priority order.
+    pub fn iter(&self) -> impl Iterator<Item = (EntryIndex, &IopmpEntry)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|e| (EntryIndex(i as u32), e)))
+    }
+
+    /// Clears all unlocked slots in the window `[start, end)` — used when
+    /// flushing the cold memory domain during a device switch (§4.2).
+    /// Returns the number of slots cleared.
+    pub fn clear_window(&mut self, start: u32, end: u32) -> usize {
+        let mut cleared = 0;
+        for j in start..end.min(self.slots.len() as u32) {
+            let slot = &mut self.slots[j as usize];
+            if matches!(slot, Some(e) if e.is_locked()) {
+                continue;
+            }
+            if slot.take().is_some() {
+                cleared += 1;
+            }
+        }
+        cleared
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::{AddressRange, Permissions};
+
+    fn entry(base: u64, len: u64) -> IopmpEntry {
+        IopmpEntry::new(AddressRange::new(base, len).unwrap(), Permissions::rw())
+    }
+
+    #[test]
+    fn src2md_register_bits_round_trip() {
+        let reg = Src2MdRegister {
+            md_bitmap: 0b1010,
+            locked: true,
+        };
+        let decoded = Src2MdRegister::from_bits(reg.to_bits());
+        assert_eq!(decoded, reg);
+        assert!(decoded.contains(MdIndex(1)));
+        assert!(decoded.contains(MdIndex(3)));
+        assert!(!decoded.contains(MdIndex(0)));
+        assert_eq!(decoded.count(), 2);
+    }
+
+    #[test]
+    fn src2md_bitmap_caps_at_63_domains() {
+        let reg = Src2MdRegister::from_bits(u64::MAX);
+        assert!(reg.is_locked());
+        assert_eq!(reg.count(), 63);
+        assert!(!reg.contains(MdIndex(63)));
+    }
+
+    #[test]
+    fn associate_and_dissociate() {
+        let mut t = Src2MdTable::new(4, 8);
+        t.associate(SourceId(1), MdIndex(3)).unwrap();
+        assert!(t.is_associated(SourceId(1), MdIndex(3)).unwrap());
+        assert_eq!(t.domains_of(SourceId(1)).unwrap(), vec![MdIndex(3)]);
+        t.dissociate(SourceId(1), MdIndex(3)).unwrap();
+        assert!(!t.is_associated(SourceId(1), MdIndex(3)).unwrap());
+    }
+
+    #[test]
+    fn src2md_bounds_checked() {
+        let mut t = Src2MdTable::new(4, 8);
+        assert!(matches!(
+            t.associate(SourceId(4), MdIndex(0)),
+            Err(SiopmpError::SidOutOfRange { .. })
+        ));
+        assert!(matches!(
+            t.associate(SourceId(0), MdIndex(8)),
+            Err(SiopmpError::MdOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn src2md_lock_is_sticky() {
+        let mut t = Src2MdTable::new(4, 8);
+        t.associate(SourceId(2), MdIndex(1)).unwrap();
+        t.lock(SourceId(2)).unwrap();
+        assert!(matches!(
+            t.associate(SourceId(2), MdIndex(2)),
+            Err(SiopmpError::Locked(_))
+        ));
+        assert!(matches!(t.clear(SourceId(2)), Err(SiopmpError::Locked(_))));
+        // Association made before the lock is still visible.
+        assert!(t.is_associated(SourceId(2), MdIndex(1)).unwrap());
+    }
+
+    #[test]
+    fn mdcfg_windows_partition_the_table() {
+        let mut t = MdCfgTable::new(4, 32);
+        t.set_top(MdIndex(0), 4).unwrap();
+        t.set_top(MdIndex(1), 10).unwrap();
+        t.set_top(MdIndex(2), 10).unwrap(); // empty domain
+        t.set_top(MdIndex(3), 32).unwrap();
+        assert_eq!(t.window(MdIndex(0)).unwrap(), (0, 4));
+        assert_eq!(t.window(MdIndex(1)).unwrap(), (4, 10));
+        assert_eq!(t.window(MdIndex(2)).unwrap(), (10, 10));
+        assert_eq!(t.window(MdIndex(3)).unwrap(), (10, 32));
+    }
+
+    #[test]
+    fn mdcfg_rejects_non_monotone_writes() {
+        let mut t = MdCfgTable::new(3, 32);
+        t.set_top(MdIndex(0), 8).unwrap();
+        assert!(matches!(
+            t.set_top(MdIndex(1), 4),
+            Err(SiopmpError::NonMonotonicMdcfg { .. })
+        ));
+        t.set_top(MdIndex(1), 16).unwrap();
+        assert!(matches!(
+            t.set_top(MdIndex(0), 20),
+            Err(SiopmpError::NonMonotonicMdcfg { .. })
+        ));
+    }
+
+    #[test]
+    fn mdcfg_unconfigured_domains_have_empty_windows() {
+        let mut t = MdCfgTable::new(3, 32);
+        t.set_top(MdIndex(0), 8).unwrap();
+        t.set_top(MdIndex(1), 12).unwrap();
+        // MD2 never configured: empty window at MD1's top.
+        assert_eq!(t.window(MdIndex(2)).unwrap(), (12, 12));
+        assert_eq!(t.top(MdIndex(2)).unwrap(), 12);
+    }
+
+    #[test]
+    fn mdcfg_rejects_top_beyond_entries() {
+        let mut t = MdCfgTable::new(2, 16);
+        assert!(matches!(
+            t.set_top(MdIndex(0), 17),
+            Err(SiopmpError::EntryOutOfRange { .. })
+        ));
+        t.set_top(MdIndex(0), 16).unwrap();
+    }
+
+    #[test]
+    fn domain_of_entry_resolves_windows() {
+        let mut t = MdCfgTable::new(3, 32);
+        t.set_top(MdIndex(0), 4).unwrap();
+        t.set_top(MdIndex(1), 8).unwrap();
+        t.set_top(MdIndex(2), 8).unwrap();
+        assert_eq!(t.domain_of_entry(EntryIndex(0)), Some(MdIndex(0)));
+        assert_eq!(t.domain_of_entry(EntryIndex(3)), Some(MdIndex(0)));
+        assert_eq!(t.domain_of_entry(EntryIndex(4)), Some(MdIndex(1)));
+        assert_eq!(t.domain_of_entry(EntryIndex(8)), None);
+    }
+
+    #[test]
+    fn entry_table_set_get_clear() {
+        let mut t = EntryTable::new(8);
+        assert_eq!(t.capacity(), 8);
+        t.set(EntryIndex(3), Some(entry(0x1000, 0x100))).unwrap();
+        assert_eq!(t.occupied(), 1);
+        assert!(t.get(EntryIndex(3)).unwrap().is_some());
+        t.set(EntryIndex(3), None).unwrap();
+        assert_eq!(t.occupied(), 0);
+        assert!(matches!(
+            t.get(EntryIndex(8)),
+            Err(SiopmpError::EntryOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn entry_table_locked_entries_resist_replacement() {
+        let mut t = EntryTable::new(4);
+        let locked =
+            IopmpEntry::new_locked(AddressRange::new(0x0, 0x1000).unwrap(), Permissions::none());
+        t.set(EntryIndex(0), Some(locked)).unwrap();
+        assert!(matches!(
+            t.set(EntryIndex(0), Some(entry(0x2000, 0x10))),
+            Err(SiopmpError::Locked(_))
+        ));
+        assert!(matches!(
+            t.set(EntryIndex(0), None),
+            Err(SiopmpError::Locked(_))
+        ));
+    }
+
+    #[test]
+    fn clear_window_skips_locked() {
+        let mut t = EntryTable::new(8);
+        t.set(EntryIndex(1), Some(entry(0x1000, 0x10))).unwrap();
+        t.set(
+            EntryIndex(2),
+            Some(IopmpEntry::new_locked(
+                AddressRange::new(0x2000, 0x10).unwrap(),
+                Permissions::rw(),
+            )),
+        )
+        .unwrap();
+        t.set(EntryIndex(3), Some(entry(0x3000, 0x10))).unwrap();
+        let cleared = t.clear_window(0, 8);
+        assert_eq!(cleared, 2);
+        assert!(t.get(EntryIndex(2)).unwrap().is_some());
+    }
+
+    #[test]
+    fn iter_walks_priority_order() {
+        let mut t = EntryTable::new(8);
+        t.set(EntryIndex(5), Some(entry(0x5000, 0x10))).unwrap();
+        t.set(EntryIndex(2), Some(entry(0x2000, 0x10))).unwrap();
+        let order: Vec<u32> = t.iter().map(|(i, _)| i.0).collect();
+        assert_eq!(order, vec![2, 5]);
+    }
+}

@@ -1,0 +1,246 @@
+//! Achievable-clock-frequency model for the checker micro-architectures
+//! (reproduces Figure 10).
+//!
+//! The paper synthesises each checker variant on an FPGA whose platform
+//! ceiling is 60 MHz (with the NIC integrated) and reports the frequency each
+//! design can close timing at as the entry count grows. We model the critical
+//! path of one pipeline stage as
+//!
+//! ```text
+//! t_stage = T_FIXED + levels(stage_entries) * T_GATE + stage_entries * T_CONG
+//! ```
+//!
+//! where `levels` is the gate-level count of the arbitration network — one
+//! level per entry for the linear priority chain, `2·ceil(log_arity N)` for
+//! tree arbitration (a comparator plus a mux per tree level) — and the
+//! congestion term models the routing/buffer pressure of fanning the request
+//! address out to every comparator in the stage (the paper observes the
+//! backend inserts many LUT buffers for exactly this reason, §6.2).
+//!
+//! The achievable frequency is `min(60 MHz, 1000 / t_stage[ns])`. Constants
+//! are calibrated so the model lands on the paper's anchors:
+//!
+//! * linear baseline sustains 60 MHz up to 128 entries and collapses to
+//!   single-digit MHz at 1024;
+//! * 2-pipe sustains 256 entries, degrades badly at 1024;
+//! * 2-pipe-tree sustains 512 at 60 MHz with a slight dip at 1024;
+//! * 3-pipe-tree sustains ≥ 1024 at 60 MHz.
+
+use crate::checker::CheckerKind;
+
+/// Platform frequency ceiling in MHz (FPGA with the NIC, §6.2).
+pub const PLATFORM_MAX_MHZ: f64 = 60.0;
+
+/// Fixed per-stage overhead (register setup, SID mask decode) in ns.
+pub const T_FIXED_NS: f64 = 4.0;
+
+/// Delay of one gate level in ns.
+pub const T_GATE_NS: f64 = 0.075;
+
+/// Congestion/fanout delay per entry in a stage, in ns.
+pub const T_CONG_NS: f64 = 0.0235;
+
+/// Frequency below which the backend cannot close timing at all; the paper's
+/// baseline "cannot pass the clock frequency analysis with 1024 entries".
+pub const ROUTABLE_MIN_MHZ: f64 = 10.0;
+
+/// Result of the timing analysis for one (checker, entry-count) point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingReport {
+    /// Critical-path delay of the worst pipeline stage in nanoseconds.
+    pub critical_path_ns: f64,
+    /// Achievable clock frequency in MHz, capped at [`PLATFORM_MAX_MHZ`].
+    pub achievable_mhz: f64,
+    /// Whether the design closes timing at the platform target (60 MHz).
+    pub meets_platform_target: bool,
+    /// Whether the design is routable at all (see [`ROUTABLE_MIN_MHZ`]).
+    pub routable: bool,
+}
+
+/// Number of entries examined by the *largest* pipeline stage.
+fn stage_entries(kind: CheckerKind, entries: usize) -> usize {
+    let stages = kind.stages() as usize;
+    entries.div_ceil(stages)
+}
+
+/// Gate levels of the arbitration network over `n` entries.
+fn arbitration_levels(kind: CheckerKind, n: usize) -> usize {
+    if n == 0 {
+        return 0;
+    }
+    match kind.tree_arity() {
+        // Priority-preserving reduction tree. A k-input reduction node
+        // resolves priority with a serial chain across its k inputs, so
+        // each tree level costs ~`arity` gate levels; the tree has
+        // ceil(log_arity(n)) levels. Binary trees minimise total depth
+        // (the paper's "binary tree for timing"), wide trees trade depth
+        // per level for more delay within each node.
+        Some(arity) => {
+            let arity = arity.max(2) as usize;
+            let mut levels = 0usize;
+            let mut width = n;
+            while width > 1 {
+                width = width.div_ceil(arity);
+                levels += 1;
+            }
+            arity * levels
+        }
+        // Linear priority chain: the grant ripples through every entry.
+        None => n,
+    }
+}
+
+/// Runs the timing model for `kind` at `entries` total IOPMP entries.
+///
+/// # Examples
+///
+/// ```
+/// use siopmp::checker::CheckerKind;
+/// use siopmp::timing::{analyze, PLATFORM_MAX_MHZ};
+///
+/// // The MT checker holds the platform frequency at 1024 entries ...
+/// let mt = analyze(CheckerKind::MtChecker { stages: 3, tree_arity: 2 }, 1024);
+/// assert_eq!(mt.achievable_mhz, PLATFORM_MAX_MHZ);
+/// // ... while the linear baseline cannot even route.
+/// let base = analyze(CheckerKind::Linear, 1024);
+/// assert!(!base.routable);
+/// ```
+pub fn analyze(kind: CheckerKind, entries: usize) -> TimingReport {
+    let per_stage = stage_entries(kind, entries);
+    let levels = arbitration_levels(kind, per_stage);
+    let t = T_FIXED_NS + levels as f64 * T_GATE_NS + per_stage as f64 * T_CONG_NS;
+    let raw_mhz = 1000.0 / t;
+    let achievable = raw_mhz.min(PLATFORM_MAX_MHZ);
+    TimingReport {
+        critical_path_ns: t,
+        achievable_mhz: achievable,
+        meets_platform_target: raw_mhz >= PLATFORM_MAX_MHZ,
+        routable: raw_mhz >= ROUTABLE_MIN_MHZ,
+    }
+}
+
+/// The checker variants plotted in Figure 10, in legend order.
+pub fn figure10_checkers() -> [CheckerKind; 4] {
+    [
+        CheckerKind::Linear,
+        CheckerKind::Pipelined { stages: 2 },
+        CheckerKind::MtChecker {
+            stages: 2,
+            tree_arity: 2,
+        },
+        CheckerKind::MtChecker {
+            stages: 3,
+            tree_arity: 2,
+        },
+    ]
+}
+
+/// The entry counts swept in Figure 10.
+pub const FIGURE10_ENTRIES: [usize; 7] = [16, 32, 64, 128, 256, 512, 1024];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_holds_60mhz_to_128_entries() {
+        for n in [16, 32, 64, 128] {
+            let r = analyze(CheckerKind::Linear, n);
+            assert_eq!(r.achievable_mhz, PLATFORM_MAX_MHZ, "n={n}");
+        }
+        let r = analyze(CheckerKind::Linear, 256);
+        assert!(r.achievable_mhz < PLATFORM_MAX_MHZ);
+    }
+
+    #[test]
+    fn baseline_fails_routing_at_1024() {
+        let r = analyze(CheckerKind::Linear, 1024);
+        assert!(!r.routable);
+        assert!(r.achievable_mhz < ROUTABLE_MIN_MHZ);
+    }
+
+    #[test]
+    fn two_pipe_holds_256_entries() {
+        let r = analyze(CheckerKind::Pipelined { stages: 2 }, 256);
+        assert_eq!(r.achievable_mhz, PLATFORM_MAX_MHZ);
+        let r = analyze(CheckerKind::Pipelined { stages: 2 }, 1024);
+        assert!(r.achievable_mhz < 25.0, "got {}", r.achievable_mhz);
+    }
+
+    #[test]
+    fn two_pipe_tree_holds_512_with_slight_dip_at_1024() {
+        let mt2 = CheckerKind::MtChecker {
+            stages: 2,
+            tree_arity: 2,
+        };
+        assert_eq!(analyze(mt2, 512).achievable_mhz, PLATFORM_MAX_MHZ);
+        let at_1024 = analyze(mt2, 1024);
+        assert!(at_1024.achievable_mhz < PLATFORM_MAX_MHZ);
+        assert!(
+            at_1024.achievable_mhz > 45.0,
+            "dip should be slight, got {}",
+            at_1024.achievable_mhz
+        );
+    }
+
+    #[test]
+    fn three_pipe_tree_holds_1024_and_beyond() {
+        let mt3 = CheckerKind::MtChecker {
+            stages: 3,
+            tree_arity: 2,
+        };
+        assert_eq!(analyze(mt3, 1024).achievable_mhz, PLATFORM_MAX_MHZ);
+        assert_eq!(analyze(mt3, 1280).achievable_mhz, PLATFORM_MAX_MHZ);
+    }
+
+    #[test]
+    fn frequency_is_monotone_in_entries() {
+        for kind in figure10_checkers() {
+            let mut prev = f64::INFINITY;
+            for n in FIGURE10_ENTRIES {
+                let f = analyze(kind, n).achievable_mhz;
+                assert!(f <= prev + 1e-9, "{kind} not monotone at {n}");
+                prev = f;
+            }
+        }
+    }
+
+    #[test]
+    fn tree_always_at_least_as_fast_as_linear() {
+        for n in FIGURE10_ENTRIES {
+            let lin = analyze(CheckerKind::Linear, n).achievable_mhz;
+            let tree = analyze(CheckerKind::Tree { tree_arity: 2 }, n).achievable_mhz;
+            assert!(tree >= lin, "n={n}");
+        }
+    }
+
+    #[test]
+    fn more_stages_never_hurt_frequency() {
+        for n in FIGURE10_ENTRIES {
+            let p2 = analyze(CheckerKind::Pipelined { stages: 2 }, n).achievable_mhz;
+            let p3 = analyze(CheckerKind::Pipelined { stages: 3 }, n).achievable_mhz;
+            assert!(p3 >= p2, "n={n}");
+        }
+    }
+
+    #[test]
+    fn binary_trees_minimise_gate_depth() {
+        // Wider nodes have fewer tree levels but more delay per node (a
+        // k-input priority node resolves serially across its inputs);
+        // binary is the timing-optimal shape the paper recommends.
+        let bin = arbitration_levels(CheckerKind::Tree { tree_arity: 2 }, 1024);
+        let oct = arbitration_levels(CheckerKind::Tree { tree_arity: 8 }, 1024);
+        let hex = arbitration_levels(CheckerKind::Tree { tree_arity: 16 }, 1024);
+        assert_eq!(bin, 2 * 10);
+        assert_eq!(oct, 8 * 4);
+        assert_eq!(hex, 16 * 3);
+        assert!(bin < oct && oct < hex);
+    }
+
+    #[test]
+    fn zero_entries_has_no_arbitration_delay() {
+        assert_eq!(arbitration_levels(CheckerKind::Linear, 0), 0);
+        let r = analyze(CheckerKind::Linear, 0);
+        assert_eq!(r.achievable_mhz, PLATFORM_MAX_MHZ);
+    }
+}

@@ -1,0 +1,806 @@
+//! The top-level sIOPMP unit: CAM → SRC2MD → MDCFG → entry table, plus the
+//! mountable/extended table, blocking bitmap and violation bookkeeping.
+
+use crate::atomic::SidBlockBitmap;
+use crate::checker::Decision;
+use crate::config::SiopmpConfig;
+use crate::entry::IopmpEntry;
+use crate::error::{Result, SiopmpError};
+use crate::ids::{DeviceId, EntryIndex, MdIndex, SourceId};
+use crate::mountable::{cold_switch_cycles, EsidRegister, ExtendedIopmpTable, MountableEntry};
+use crate::remap::DeviceId2SidCam;
+use crate::request::DmaRequest;
+use crate::stats::SiopmpStats;
+use crate::tables::{EntryTable, MdCfgTable, Src2MdTable};
+use crate::violation::ViolationRecord;
+
+/// Outcome of presenting one DMA request to the sIOPMP unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckOutcome {
+    /// The access is authorised; the winning entry index is reported.
+    Allowed {
+        /// Entry that granted the access.
+        matched: EntryIndex,
+        /// SID the device resolved to.
+        sid: SourceId,
+    },
+    /// The access is denied; a violation record was captured and a
+    /// violation interrupt raised.
+    Denied(ViolationRecord),
+    /// The requesting device's SID is blocked (a table update or cold
+    /// switch is in progress); the request stalls and must be retried.
+    Stalled {
+        /// The blocked SID.
+        sid: SourceId,
+    },
+    /// The device is unknown to the hardware tables; a SID-missing
+    /// interrupt was raised so the monitor can mount it (cold switching).
+    SidMissing {
+        /// The device that needs mounting.
+        device: DeviceId,
+    },
+}
+
+impl CheckOutcome {
+    /// Whether the request was authorised.
+    pub fn is_allowed(&self) -> bool {
+        matches!(self, CheckOutcome::Allowed { .. })
+    }
+
+    /// Whether the request was positively denied (not stalled/missing).
+    pub fn is_denied(&self) -> bool {
+        matches!(self, CheckOutcome::Denied(_))
+    }
+}
+
+/// Report returned by a completed cold-device switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwitchReport {
+    /// The device now mounted at the eSID.
+    pub mounted: DeviceId,
+    /// The device that was unmounted, if any.
+    pub unmounted: Option<DeviceId>,
+    /// Hardware entries loaded into the cold memory domain.
+    pub entries_loaded: usize,
+    /// Modelled cost of the switch in CPU cycles (paper: 341 for 8 entries).
+    pub cycles: u64,
+}
+
+/// The complete sIOPMP unit (Figure 6): remapping CAM, SRC2MD, MDCFG and
+/// entry tables in hardware; the extended IOPMP table in protected memory.
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct Siopmp {
+    config: SiopmpConfig,
+    cam: DeviceId2SidCam,
+    src2md: Src2MdTable,
+    mdcfg: MdCfgTable,
+    entries: EntryTable,
+    extended: ExtendedIopmpTable,
+    esid: EsidRegister,
+    blocks: SidBlockBitmap,
+    stats: SiopmpStats,
+    violation_log: Vec<ViolationRecord>,
+}
+
+impl Siopmp {
+    /// Creates a unit from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`SiopmpConfig::validate`]; construct and
+    /// validate the configuration first when it comes from untrusted input.
+    pub fn new(config: SiopmpConfig) -> Self {
+        config.validate().expect("invalid sIOPMP configuration");
+        let mut mdcfg = MdCfgTable::new(config.num_mds, config.num_entries);
+        // Pre-carve the cold MD window at the top of the entry table and
+        // spread the remaining hardware entries evenly across the hot
+        // domains (the monitor can re-partition later via MDCFG writes).
+        let hot_entries = config.num_entries - config.cold_md_entries;
+        let hot_mds = config.num_mds - 1;
+        let per_md = hot_entries / hot_mds;
+        let remainder = hot_entries % hot_mds;
+        let mut top = 0u32;
+        for md in 0..hot_mds {
+            top += per_md as u32 + u32::from(md < remainder);
+            mdcfg
+                .set_top(MdIndex(md as u16), top)
+                .expect("monotone by construction");
+        }
+        mdcfg
+            .set_top(config.cold_md(), config.num_entries as u32)
+            .expect("cold window fits by validation");
+        Siopmp {
+            cam: DeviceId2SidCam::new(config.num_hot_sids()),
+            src2md: Src2MdTable::new(config.num_sids, config.num_mds),
+            entries: EntryTable::new(config.num_entries),
+            extended: ExtendedIopmpTable::new(),
+            esid: EsidRegister::new(),
+            blocks: SidBlockBitmap::new(config.num_sids),
+            stats: SiopmpStats::default(),
+            violation_log: Vec::new(),
+            mdcfg,
+            config,
+        }
+    }
+
+    /// The unit's static configuration.
+    pub fn config(&self) -> &SiopmpConfig {
+        &self.config
+    }
+
+    /// Runtime counters.
+    pub fn stats(&self) -> SiopmpStats {
+        self.stats
+    }
+
+    /// Captured violation records, oldest first.
+    pub fn violation_log(&self) -> &[ViolationRecord] {
+        &self.violation_log
+    }
+
+    /// Drains the violation log (the monitor does this in its interrupt
+    /// handler).
+    pub fn take_violations(&mut self) -> Vec<ViolationRecord> {
+        std::mem::take(&mut self.violation_log)
+    }
+
+    // ------------------------------------------------------------------
+    // Configuration interface (MMIO side, used by the secure monitor)
+    // ------------------------------------------------------------------
+
+    /// Registers `device` as hot: assigns it a SID through the CAM.
+    ///
+    /// # Errors
+    ///
+    /// * [`SiopmpError::DeviceAlreadyMapped`] when already hot;
+    /// * [`SiopmpError::HotSidsExhausted`] when the CAM is full (use
+    ///   [`Siopmp::register_cold_device`] or
+    ///   [`Siopmp::promote_with_eviction`]).
+    pub fn map_hot_device(&mut self, device: DeviceId) -> Result<SourceId> {
+        self.cam.insert(device)
+    }
+
+    /// Associates `sid` with memory domain `md`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Src2MdTable::associate`] errors; additionally rejects
+    /// the cold MD, which is managed exclusively by the switch logic.
+    pub fn associate_sid_with_md(&mut self, sid: SourceId, md: MdIndex) -> Result<()> {
+        if md == self.config.cold_md() {
+            return Err(SiopmpError::InvalidConfig(
+                "the cold memory domain is managed by cold-device switching",
+            ));
+        }
+        self.src2md.associate(sid, md)
+    }
+
+    /// Installs `entry` in the first free hardware slot of `md`'s window.
+    /// Returns the entry index used.
+    ///
+    /// # Errors
+    ///
+    /// * [`SiopmpError::MdFull`] when the domain window has no free slot;
+    /// * table errors for bad indices.
+    pub fn install_entry(&mut self, md: MdIndex, entry: IopmpEntry) -> Result<EntryIndex> {
+        let (start, end) = self.mdcfg.window(md)?;
+        for j in start..end {
+            let idx = EntryIndex(j);
+            if self.entries.get(idx)?.is_none() {
+                self.entries.set(idx, Some(entry))?;
+                return Ok(idx);
+            }
+        }
+        Err(SiopmpError::MdFull(md))
+    }
+
+    /// Replaces the entry at `index` (used by `dma_unmap`-style flows that
+    /// clear a specific rule). The affected SID must be blocked first when
+    /// `require_block` semantics are desired; see
+    /// [`Siopmp::modify_entries_atomically`].
+    ///
+    /// # Errors
+    ///
+    /// Table errors for bad indices or locked entries.
+    pub fn set_entry(&mut self, index: EntryIndex, entry: Option<IopmpEntry>) -> Result<()> {
+        self.entries.set(index, entry)
+    }
+
+    /// Reads the entry at `index`.
+    ///
+    /// # Errors
+    ///
+    /// [`SiopmpError::EntryOutOfRange`].
+    pub fn entry(&self, index: EntryIndex) -> Result<Option<IopmpEntry>> {
+        self.entries.get(index)
+    }
+
+    /// The MDCFG window `[start, end)` of `md`.
+    ///
+    /// # Errors
+    ///
+    /// [`SiopmpError::MdOutOfRange`].
+    pub fn md_window(&self, md: MdIndex) -> Result<(u32, u32)> {
+        self.mdcfg.window(md)
+    }
+
+    /// Rewrites `MD[md].T` (repartitioning the entry table). Exposed for
+    /// the MMIO front-end; preserves the MDCFG monotonicity invariants.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::tables::MdCfgTable::set_top`] errors.
+    pub fn set_md_top(&mut self, md: MdIndex, top: u32) -> Result<()> {
+        self.mdcfg.set_top(md, top)
+    }
+
+    /// Whether `md` is associated with `sid`.
+    ///
+    /// # Errors
+    ///
+    /// [`SiopmpError::SidOutOfRange`].
+    pub fn is_associated(&self, sid: SourceId, md: MdIndex) -> Result<bool> {
+        self.src2md.is_associated(sid, md)
+    }
+
+    /// Removes the association between `sid` and `md`.
+    ///
+    /// # Errors
+    ///
+    /// Table errors (bounds, sticky lock).
+    pub fn dissociate_sid_from_md(&mut self, sid: SourceId, md: MdIndex) -> Result<()> {
+        self.src2md.dissociate(sid, md)
+    }
+
+    /// Performs a batch of entry updates under the per-SID blocking
+    /// protocol (§5.3): block `sid`, apply `updates`, unblock. Returns the
+    /// modelled cycle cost ([`crate::atomic::modification_cycles`]).
+    ///
+    /// # Errors
+    ///
+    /// If any update fails, already-applied updates are kept (hardware has
+    /// no rollback) but the SID is still unblocked before returning the
+    /// error, so the device is never wedged.
+    pub fn modify_entries_atomically(
+        &mut self,
+        sid: SourceId,
+        updates: &[(EntryIndex, Option<IopmpEntry>)],
+    ) -> Result<u64> {
+        self.blocks.block(sid);
+        let mut result = Ok(());
+        for (idx, entry) in updates {
+            result = self.entries.set(*idx, *entry);
+            if result.is_err() {
+                break;
+            }
+        }
+        self.blocks.unblock(sid);
+        result.map(|()| crate::atomic::modification_cycles(updates.len(), true))
+    }
+
+    /// Blocks DMA from `sid` (exposed for the monitor's switch sequence).
+    pub fn block_sid(&mut self, sid: SourceId) {
+        self.blocks.block(sid);
+    }
+
+    /// Unblocks DMA from `sid`.
+    pub fn unblock_sid(&mut self, sid: SourceId) {
+        self.blocks.unblock(sid);
+    }
+
+    /// Whether `sid` is currently blocked.
+    pub fn is_sid_blocked(&self, sid: SourceId) -> bool {
+        self.blocks.is_blocked(sid)
+    }
+
+    /// Registers `device` as cold: its IOPMP state lives in the extended
+    /// table until a DMA from it triggers mounting.
+    ///
+    /// # Errors
+    ///
+    /// [`SiopmpError::DeviceAlreadyMapped`] when already registered (hot or
+    /// cold).
+    pub fn register_cold_device(&mut self, device: DeviceId, record: MountableEntry) -> Result<()> {
+        if !self.config.mountable {
+            return Err(SiopmpError::InvalidConfig(
+                "the original IOPMP has no extended table; all devices must be hot",
+            ));
+        }
+        if self.cam.peek(device).is_some() {
+            return Err(SiopmpError::DeviceAlreadyMapped(device));
+        }
+        self.extended.register(device, record)
+    }
+
+    /// Whether `device` currently holds a hot SID.
+    pub fn is_hot(&self, device: DeviceId) -> bool {
+        self.cam.peek(device).is_some()
+    }
+
+    /// Whether `device` is registered as a cold device.
+    pub fn is_cold(&self, device: DeviceId) -> bool {
+        self.extended.contains(device)
+    }
+
+    /// Number of cold devices registered in the extended table.
+    pub fn cold_device_count(&self) -> usize {
+        self.extended.len()
+    }
+
+    /// The device currently mounted at the eSID, if any.
+    pub fn mounted_cold_device(&self) -> Option<DeviceId> {
+        self.esid.mounted()
+    }
+
+    /// Removes and returns `device`'s extended-table record so the monitor
+    /// can rewrite it (read-modify-write of mountable state). The caller
+    /// must follow up with [`Siopmp::put_cold_record`]; while the record is
+    /// out, DMA from the device is denied rather than SID-missing.
+    ///
+    /// # Errors
+    ///
+    /// [`SiopmpError::UnknownDevice`] when the device has no record.
+    pub fn take_cold_record(&mut self, device: DeviceId) -> Result<MountableEntry> {
+        self.extended.remove(device)
+    }
+
+    /// (Re)installs `device`'s extended-table record (counterpart of
+    /// [`Siopmp::take_cold_record`]).
+    pub fn put_cold_record(&mut self, device: DeviceId, record: MountableEntry) {
+        self.extended.upsert(device, record);
+    }
+
+    // ------------------------------------------------------------------
+    // Check path (bus side)
+    // ------------------------------------------------------------------
+
+    /// Presents one DMA request to the checker. This is the functional
+    /// fast path; cycle-level latency is modelled by the bus simulator
+    /// using [`crate::checker::CheckerKind::extra_cycles`] and
+    /// [`crate::violation::ViolationMode::legal_path_overhead_cycles`].
+    pub fn check(&mut self, req: &DmaRequest) -> CheckOutcome {
+        self.stats.checks += 1;
+
+        // 1. CAM lookup: device ID → hot SID.
+        if let Some(sid) = self.cam.lookup(req.device()) {
+            self.stats.hot_hits += 1;
+            return self.check_with_sid(req, sid);
+        }
+
+        // 2. eSID comparison: the mounted cold device.
+        if self.esid.matches(req.device()) {
+            self.stats.cold_hits += 1;
+            let sid = self.config.cold_sid();
+            return self.check_with_sid(req, sid);
+        }
+
+        // 3. Unknown device: raise SID-missing so the monitor can mount it,
+        //    or deny outright if it is not even registered as cold.
+        if self.extended.contains(req.device()) {
+            self.stats.sid_missing_interrupts += 1;
+            CheckOutcome::SidMissing {
+                device: req.device(),
+            }
+        } else {
+            let record = ViolationRecord {
+                device: req.device(),
+                sid: None,
+                addr: req.addr(),
+                len: req.len(),
+                kind: req.kind(),
+            };
+            self.stats.violations += 1;
+            self.stats.denied_no_match += 1;
+            self.violation_log.push(record);
+            CheckOutcome::Denied(record)
+        }
+    }
+
+    fn check_with_sid(&mut self, req: &DmaRequest, sid: SourceId) -> CheckOutcome {
+        if self.blocks.is_blocked(sid) {
+            self.stats.blocked += 1;
+            return CheckOutcome::Stalled { sid };
+        }
+        let reg = match self.src2md.register(sid) {
+            Ok(r) => r,
+            Err(_) => {
+                // A SID outside the table cannot match anything.
+                return self.deny(req, Some(sid), Decision::DenyNoMatch);
+            }
+        };
+        // Mask the entry table down to this SID's domains, preserving
+        // global priority order (windows are disjoint and ordered, so
+        // walking domains in window order preserves entry order only if we
+        // merge; collect and sort by index to be exact).
+        let mut masked: Vec<(EntryIndex, &IopmpEntry)> = Vec::new();
+        for md in reg.iter() {
+            if let Ok((start, end)) = self.mdcfg.window(md) {
+                for j in start..end {
+                    if let Some(e) = self.entries.get_ref(EntryIndex(j)) {
+                        masked.push((EntryIndex(j), e));
+                    }
+                }
+            }
+        }
+        masked.sort_by_key(|(i, _)| *i);
+        let decision = self
+            .config
+            .checker
+            .decide(masked, req.addr(), req.len(), req.kind());
+        match decision {
+            Decision::Allow { matched } => {
+                self.stats.allowed += 1;
+                CheckOutcome::Allowed { matched, sid }
+            }
+            other => self.deny(req, Some(sid), other),
+        }
+    }
+
+    fn deny(
+        &mut self,
+        req: &DmaRequest,
+        sid: Option<SourceId>,
+        decision: Decision,
+    ) -> CheckOutcome {
+        match decision {
+            Decision::DenyPermission { .. } => self.stats.denied_permission += 1,
+            _ => self.stats.denied_no_match += 1,
+        }
+        self.stats.violations += 1;
+        let record = ViolationRecord {
+            device: req.device(),
+            sid,
+            addr: req.addr(),
+            len: req.len(),
+            kind: req.kind(),
+        };
+        self.violation_log.push(record);
+        CheckOutcome::Denied(record)
+    }
+
+    // ------------------------------------------------------------------
+    // Cold device switching (monitor side, §4.2)
+    // ------------------------------------------------------------------
+
+    /// Handles a SID-missing interrupt: mounts `device`'s extended-table
+    /// record into the cold memory domain. The cold SID is blocked for the
+    /// duration of the switch so the new tenant can never see the previous
+    /// tenant's rules (§5.3, device consistency).
+    ///
+    /// # Errors
+    ///
+    /// * [`SiopmpError::UnknownDevice`] when the device has no extended
+    ///   record;
+    /// * [`SiopmpError::MdFull`] when the record holds more entries than
+    ///   the cold window (callers should split the record or promote the
+    ///   device to hot).
+    pub fn handle_sid_missing(&mut self, device: DeviceId) -> Result<SwitchReport> {
+        let record = self.extended.get(device)?.clone();
+        let cold_md = self.config.cold_md();
+        let (start, end) = self.mdcfg.window(cold_md)?;
+        let window = (end - start) as usize;
+        if record.entries.len() > window {
+            return Err(SiopmpError::MdFull(cold_md));
+        }
+        let cold_sid = self.config.cold_sid();
+        self.blocks.block(cold_sid);
+
+        // Flush the previous tenant's entries and SRC2MD row.
+        let unmounted = self.esid.mounted();
+        self.entries.clear_window(start, end);
+        self.src2md.clear(cold_sid)?;
+
+        // Load the new tenant.
+        for (k, entry) in record.entries.iter().enumerate() {
+            self.entries
+                .set(EntryIndex(start + k as u32), Some(*entry))?;
+        }
+        self.src2md.associate(cold_sid, cold_md)?;
+        for md in &record.domains {
+            self.src2md.associate(cold_sid, *md)?;
+        }
+        self.esid.mount(device);
+        self.blocks.unblock(cold_sid);
+        self.stats.cold_switches += 1;
+        Ok(SwitchReport {
+            mounted: device,
+            unmounted,
+            entries_loaded: record.entries.len(),
+            cycles: cold_switch_cycles(record.entries.len()),
+        })
+    }
+
+    /// Promotes a cold device to hot status, evicting a CAM victim with the
+    /// clock algorithm when necessary (implicit switching, §4.3). The
+    /// victim, if any, is demoted into the extended table with its current
+    /// domain associations.
+    ///
+    /// # Errors
+    ///
+    /// * [`SiopmpError::UnknownDevice`] when `device` has no extended
+    ///   record;
+    /// * CAM errors when the device is already hot.
+    pub fn promote_with_eviction(&mut self, device: DeviceId) -> Result<SourceId> {
+        let record = self.extended.remove(device)?;
+        let (sid, evicted) = match self.cam.insert_with_eviction(device) {
+            Ok(pair) => pair,
+            Err(e) => {
+                // Restore the record so the device is not lost.
+                self.extended.upsert(device, record);
+                return Err(e);
+            }
+        };
+        if let Some(victim) = evicted {
+            // Demote the victim: capture its domains, clear its row.
+            let domains = self.src2md.domains_of(sid)?;
+            self.blocks.block(sid);
+            self.src2md.clear(sid)?;
+            self.blocks.unblock(sid);
+            self.extended.upsert(
+                victim,
+                MountableEntry {
+                    domains,
+                    entries: Vec::new(),
+                },
+            );
+        }
+        // Wire the promoted device's domains into its new SID.
+        self.blocks.block(sid);
+        self.src2md.clear(sid)?;
+        for md in &record.domains {
+            self.src2md.associate(sid, *md)?;
+        }
+        self.blocks.unblock(sid);
+        // If the device was mounted at the eSID, unmount it.
+        if self.esid.matches(device) {
+            self.esid.unmount();
+        }
+        Ok(sid)
+    }
+
+    /// Total cold switches performed (from the eSID register's counter).
+    pub fn cold_switch_count(&self) -> u64 {
+        self.esid.switch_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::{AddressRange, Permissions};
+    use crate::request::AccessKind;
+
+    fn entry(base: u64, len: u64, p: Permissions) -> IopmpEntry {
+        IopmpEntry::new(AddressRange::new(base, len).unwrap(), p)
+    }
+
+    fn unit() -> Siopmp {
+        Siopmp::new(SiopmpConfig::small())
+    }
+
+    #[test]
+    fn hot_device_allowed_inside_region() {
+        let mut u = unit();
+        let sid = u.map_hot_device(DeviceId(1)).unwrap();
+        u.associate_sid_with_md(sid, MdIndex(0)).unwrap();
+        u.install_entry(MdIndex(0), entry(0x1000, 0x100, Permissions::rw()))
+            .unwrap();
+        let out = u.check(&DmaRequest::new(DeviceId(1), AccessKind::Read, 0x1000, 8));
+        assert!(out.is_allowed());
+        assert_eq!(u.stats().hot_hits, 1);
+    }
+
+    #[test]
+    fn hot_device_denied_outside_region() {
+        let mut u = unit();
+        let sid = u.map_hot_device(DeviceId(1)).unwrap();
+        u.associate_sid_with_md(sid, MdIndex(0)).unwrap();
+        u.install_entry(MdIndex(0), entry(0x1000, 0x100, Permissions::rw()))
+            .unwrap();
+        let out = u.check(&DmaRequest::new(DeviceId(1), AccessKind::Write, 0x2000, 8));
+        assert!(out.is_denied());
+        assert_eq!(u.violation_log().len(), 1);
+    }
+
+    #[test]
+    fn unregistered_device_denied_with_violation() {
+        let mut u = unit();
+        let out = u.check(&DmaRequest::new(DeviceId(99), AccessKind::Read, 0x0, 8));
+        assert!(out.is_denied());
+        assert_eq!(u.stats().violations, 1);
+    }
+
+    #[test]
+    fn entries_in_foreign_domains_are_invisible() {
+        let mut u = unit();
+        let a = u.map_hot_device(DeviceId(1)).unwrap();
+        let b = u.map_hot_device(DeviceId(2)).unwrap();
+        u.associate_sid_with_md(a, MdIndex(0)).unwrap();
+        u.associate_sid_with_md(b, MdIndex(1)).unwrap();
+        u.install_entry(MdIndex(1), entry(0x1000, 0x100, Permissions::rw()))
+            .unwrap();
+        // Device 1 cannot use device 2's entry.
+        let out = u.check(&DmaRequest::new(DeviceId(1), AccessKind::Read, 0x1000, 8));
+        assert!(out.is_denied());
+        // Device 2 can.
+        let out = u.check(&DmaRequest::new(DeviceId(2), AccessKind::Read, 0x1000, 8));
+        assert!(out.is_allowed());
+    }
+
+    #[test]
+    fn priority_deny_shadows_lower_allow() {
+        let mut u = unit();
+        let sid = u.map_hot_device(DeviceId(1)).unwrap();
+        u.associate_sid_with_md(sid, MdIndex(0)).unwrap();
+        let first = u
+            .install_entry(MdIndex(0), entry(0x1000, 0x100, Permissions::none()))
+            .unwrap();
+        let second = u
+            .install_entry(MdIndex(0), entry(0x1000, 0x100, Permissions::rw()))
+            .unwrap();
+        assert!(first < second);
+        let out = u.check(&DmaRequest::new(DeviceId(1), AccessKind::Read, 0x1000, 4));
+        assert!(out.is_denied());
+        assert_eq!(u.stats().denied_permission, 1);
+    }
+
+    #[test]
+    fn cold_device_triggers_sid_missing_then_mounts() {
+        let mut u = unit();
+        u.register_cold_device(
+            DeviceId(7),
+            MountableEntry {
+                domains: vec![],
+                entries: vec![entry(0x4000, 0x100, Permissions::rw())],
+            },
+        )
+        .unwrap();
+        let req = DmaRequest::new(DeviceId(7), AccessKind::Read, 0x4000, 8);
+        // First access: SID missing.
+        let out = u.check(&req);
+        assert_eq!(
+            out,
+            CheckOutcome::SidMissing {
+                device: DeviceId(7)
+            }
+        );
+        // Monitor mounts it.
+        let report = u.handle_sid_missing(DeviceId(7)).unwrap();
+        assert_eq!(report.mounted, DeviceId(7));
+        assert_eq!(report.entries_loaded, 1);
+        // Retry succeeds via the eSID path.
+        let out = u.check(&req);
+        assert!(out.is_allowed());
+        assert_eq!(u.stats().cold_hits, 1);
+    }
+
+    #[test]
+    fn cold_switch_replaces_previous_tenant() {
+        let mut u = unit();
+        for d in [7u64, 8] {
+            u.register_cold_device(
+                DeviceId(d),
+                MountableEntry {
+                    domains: vec![],
+                    entries: vec![entry(0x1000 * d, 0x100, Permissions::rw())],
+                },
+            )
+            .unwrap();
+        }
+        u.handle_sid_missing(DeviceId(7)).unwrap();
+        let report = u.handle_sid_missing(DeviceId(8)).unwrap();
+        assert_eq!(report.unmounted, Some(DeviceId(7)));
+        // Device 8's region works; device 7's old region must not leak to 8.
+        assert!(u
+            .check(&DmaRequest::new(DeviceId(8), AccessKind::Read, 0x8000, 8))
+            .is_allowed());
+        assert!(u
+            .check(&DmaRequest::new(DeviceId(8), AccessKind::Read, 0x7000, 8))
+            .is_denied());
+        // Device 7 is unmounted: SID-missing again.
+        assert_eq!(
+            u.check(&DmaRequest::new(DeviceId(7), AccessKind::Read, 0x7000, 8)),
+            CheckOutcome::SidMissing {
+                device: DeviceId(7)
+            }
+        );
+    }
+
+    #[test]
+    fn oversized_cold_record_rejected() {
+        let mut u = unit(); // cold window = 4 entries
+        let entries = (0..5)
+            .map(|i| entry(0x1000 + 0x100 * i, 0x100, Permissions::rw()))
+            .collect();
+        u.register_cold_device(
+            DeviceId(7),
+            MountableEntry {
+                domains: vec![],
+                entries,
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            u.handle_sid_missing(DeviceId(7)),
+            Err(SiopmpError::MdFull(_))
+        ));
+    }
+
+    #[test]
+    fn blocked_sid_stalls_requests() {
+        let mut u = unit();
+        let sid = u.map_hot_device(DeviceId(1)).unwrap();
+        u.associate_sid_with_md(sid, MdIndex(0)).unwrap();
+        u.install_entry(MdIndex(0), entry(0x1000, 0x100, Permissions::rw()))
+            .unwrap();
+        u.block_sid(sid);
+        let out = u.check(&DmaRequest::new(DeviceId(1), AccessKind::Read, 0x1000, 8));
+        assert_eq!(out, CheckOutcome::Stalled { sid });
+        u.unblock_sid(sid);
+        assert!(u
+            .check(&DmaRequest::new(DeviceId(1), AccessKind::Read, 0x1000, 8))
+            .is_allowed());
+    }
+
+    #[test]
+    fn atomic_modification_costs_and_applies() {
+        let mut u = unit();
+        let sid = u.map_hot_device(DeviceId(1)).unwrap();
+        u.associate_sid_with_md(sid, MdIndex(0)).unwrap();
+        let idx = u
+            .install_entry(MdIndex(0), entry(0x1000, 0x100, Permissions::rw()))
+            .unwrap();
+        let cycles = u.modify_entries_atomically(sid, &[(idx, None)]).unwrap();
+        assert_eq!(cycles, crate::atomic::modification_cycles(1, true));
+        assert!(!u.is_sid_blocked(sid));
+        assert!(u
+            .check(&DmaRequest::new(DeviceId(1), AccessKind::Read, 0x1000, 8))
+            .is_denied());
+    }
+
+    #[test]
+    fn atomic_modification_unblocks_on_error() {
+        let mut u = unit();
+        let sid = u.map_hot_device(DeviceId(1)).unwrap();
+        let bad = EntryIndex(10_000);
+        assert!(u.modify_entries_atomically(sid, &[(bad, None)]).is_err());
+        assert!(!u.is_sid_blocked(sid));
+    }
+
+    #[test]
+    fn promote_with_eviction_moves_device_to_hot() {
+        let mut cfg = SiopmpConfig::small();
+        cfg.num_sids = 3; // 2 hot SIDs
+        let mut u = Siopmp::new(cfg);
+        u.map_hot_device(DeviceId(1)).unwrap();
+        u.map_hot_device(DeviceId(2)).unwrap();
+        u.register_cold_device(
+            DeviceId(3),
+            MountableEntry {
+                domains: vec![MdIndex(0)],
+                entries: vec![],
+            },
+        )
+        .unwrap();
+        let sid = u.promote_with_eviction(DeviceId(3)).unwrap();
+        assert!(u.is_hot(DeviceId(3)));
+        assert!(u.src2md_domains(sid).contains(&MdIndex(0)));
+        // One of the previous hot devices is now cold.
+        assert_eq!(u.cold_device_count(), 1);
+    }
+
+    #[test]
+    fn cold_md_cannot_be_associated_manually() {
+        let mut u = unit();
+        let sid = u.map_hot_device(DeviceId(1)).unwrap();
+        assert!(u.associate_sid_with_md(sid, u.config().cold_md()).is_err());
+    }
+
+    impl Siopmp {
+        fn src2md_domains(&self, sid: SourceId) -> Vec<MdIndex> {
+            self.src2md.domains_of(sid).unwrap()
+        }
+    }
+}

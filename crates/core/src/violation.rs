@@ -1,0 +1,202 @@
+//! Violation handling: packet masking and bus-error signalling (§5.2,
+//! Figure 7).
+//!
+//! When the checker denies a transaction, the hardware must neutralise the
+//! in-flight packet without wedging the bus. The paper implements two
+//! mechanisms:
+//!
+//! * **packet masking** — for writes, the write-strobe lanes are forced to
+//!   zero so the payload never reaches memory; for reads, a *read clear*
+//!   signal zeroes the data in the response packet. Because responses carry
+//!   no SID in TileLink/AXI, the checker maintains a `SID2Addr` table
+//!   recording in-flight (SID, address) pairs so the response path can be
+//!   matched to its verdict. Masking costs one extra cycle on each
+//!   interposed direction but needs no extra bus node;
+//! * **bus-error handling** — a dummy slave node immediately answers the
+//!   offending request with a bus error, truncating the burst early. This is
+//!   faster to signal but adds a node to the fabric (and its traffic).
+//!
+//! Both record the violation (address, SID, access type) and raise an
+//! interrupt to the secure monitor.
+
+use crate::ids::{DeviceId, SourceId};
+use crate::request::AccessKind;
+
+/// How IOPMP violations are signalled (Table 2's "sIOPMP Violation" axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ViolationMode {
+    /// Mask write strobes / clear read data in-place (needs `SID2Addr`).
+    #[default]
+    PacketMasking,
+    /// Redirect to a dummy node that answers with a bus error immediately.
+    BusError,
+}
+
+impl ViolationMode {
+    /// Extra cycles the mechanism adds to a *legal* transaction. Packet
+    /// masking interposes both the request and the response path (one cycle
+    /// each way for the SID2Addr bookkeeping on reads); the dummy-node
+    /// scheme is off the fast path entirely.
+    pub fn legal_path_overhead_cycles(self, kind: AccessKind) -> u32 {
+        match (self, kind) {
+            (ViolationMode::PacketMasking, AccessKind::Read) => 1,
+            (ViolationMode::PacketMasking, AccessKind::Write) => 0,
+            (ViolationMode::BusError, _) => 0,
+        }
+    }
+
+    /// Whether a violating burst is truncated early (bus error) or runs to
+    /// completion with masked lanes (masking). Drives the violation bars of
+    /// Figure 11.
+    pub fn truncates_burst(self) -> bool {
+        matches!(self, ViolationMode::BusError)
+    }
+}
+
+impl core::fmt::Display for ViolationMode {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            ViolationMode::PacketMasking => "Masking",
+            ViolationMode::BusError => "BusError",
+        })
+    }
+}
+
+/// A recorded IOPMP violation, delivered to the secure monitor with the
+/// violation interrupt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ViolationRecord {
+    /// The offending device's packet-level ID.
+    pub device: DeviceId,
+    /// The SID it resolved to, when it resolved at all.
+    pub sid: Option<SourceId>,
+    /// Faulting address.
+    pub addr: u64,
+    /// Access length in bytes.
+    pub len: u64,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+/// The SID2Addr table: in-flight (SID, address) pairs used by the packet
+/// masking response path.
+///
+/// The hardware table is a small CAM sized to the maximum number of
+/// outstanding transactions; the model enforces that capacity.
+#[derive(Debug, Clone)]
+pub struct Sid2AddrTable {
+    slots: Vec<Option<(SourceId, u64, bool)>>,
+}
+
+impl Sid2AddrTable {
+    /// Creates a table with room for `outstanding` in-flight transactions.
+    pub fn new(outstanding: usize) -> Self {
+        Sid2AddrTable {
+            slots: vec![None; outstanding],
+        }
+    }
+
+    /// Capacity in outstanding transactions.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of live records.
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Whether no transaction is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(|s| s.is_none())
+    }
+
+    /// Records an in-flight transaction and the checker's verdict
+    /// (`allowed`). Returns a slot token, or `None` when the table is full —
+    /// hardware would apply back-pressure; callers must retry later.
+    pub fn record(&mut self, sid: SourceId, addr: u64, allowed: bool) -> Option<usize> {
+        let idx = self.slots.iter().position(|s| s.is_none())?;
+        self.slots[idx] = Some((sid, addr, allowed));
+        Some(idx)
+    }
+
+    /// Resolves a response: pops the record for `slot` and reports whether
+    /// the response data must be cleared (read-clear on a denied read).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` does not hold a live record — that indicates a
+    /// protocol error in the bus model (a response without a request).
+    pub fn resolve(&mut self, slot: usize) -> (SourceId, u64, bool) {
+        self.slots[slot]
+            .take()
+            .expect("response for a slot with no in-flight request")
+    }
+
+    /// Looks at a slot without consuming it.
+    pub fn peek(&self, slot: usize) -> Option<(SourceId, u64, bool)> {
+        self.slots.get(slot).copied().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masking_interposes_read_responses_only() {
+        assert_eq!(
+            ViolationMode::PacketMasking.legal_path_overhead_cycles(AccessKind::Read),
+            1
+        );
+        assert_eq!(
+            ViolationMode::PacketMasking.legal_path_overhead_cycles(AccessKind::Write),
+            0
+        );
+        assert_eq!(
+            ViolationMode::BusError.legal_path_overhead_cycles(AccessKind::Read),
+            0
+        );
+    }
+
+    #[test]
+    fn bus_error_truncates_masking_does_not() {
+        assert!(ViolationMode::BusError.truncates_burst());
+        assert!(!ViolationMode::PacketMasking.truncates_burst());
+    }
+
+    #[test]
+    fn sid2addr_record_resolve_round_trip() {
+        let mut t = Sid2AddrTable::new(2);
+        let a = t.record(SourceId(1), 0x1000, true).unwrap();
+        let b = t.record(SourceId(2), 0x2000, false).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.record(SourceId(3), 0x3000, true), None); // full
+        assert_eq!(t.resolve(a), (SourceId(1), 0x1000, true));
+        assert_eq!(t.resolve(b), (SourceId(2), 0x2000, false));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn sid2addr_slot_reuse_after_resolve() {
+        let mut t = Sid2AddrTable::new(1);
+        let a = t.record(SourceId(0), 0x10, true).unwrap();
+        t.resolve(a);
+        assert!(t.record(SourceId(0), 0x20, false).is_some());
+        assert_eq!(t.peek(0), Some((SourceId(0), 0x20, false)));
+    }
+
+    #[test]
+    #[should_panic(expected = "no in-flight request")]
+    fn resolving_empty_slot_panics() {
+        let mut t = Sid2AddrTable::new(1);
+        t.resolve(0);
+    }
+
+    #[test]
+    fn default_mode_is_masking() {
+        assert_eq!(ViolationMode::default(), ViolationMode::PacketMasking);
+        assert_eq!(ViolationMode::PacketMasking.to_string(), "Masking");
+        assert_eq!(ViolationMode::BusError.to_string(), "BusError");
+    }
+}

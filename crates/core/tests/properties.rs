@@ -1,0 +1,204 @@
+//! Property-based tests for the sIOPMP core invariants.
+//!
+//! The central property: every checker micro-architecture (linear, pipelined,
+//! tree, MT) makes *identical* decisions — the paper's design only changes
+//! timing, never semantics. Further properties cover priority ordering, CAM
+//! bijectivity, and the mountable-switch isolation guarantee.
+
+use proptest::prelude::*;
+
+use siopmp::checker::{CheckerKind, Decision};
+use siopmp::entry::{AddressRange, IopmpEntry, Permissions};
+use siopmp::ids::{DeviceId, EntryIndex};
+use siopmp::mountable::MountableEntry;
+use siopmp::remap::DeviceId2SidCam;
+use siopmp::request::{AccessKind, DmaRequest};
+use siopmp::{CheckOutcome, Siopmp, SiopmpConfig};
+
+fn arb_perms() -> impl Strategy<Value = Permissions> {
+    (any::<bool>(), any::<bool>()).prop_map(|(r, w)| Permissions::from_bits(r, w))
+}
+
+fn arb_entry() -> impl Strategy<Value = IopmpEntry> {
+    (0u64..0x10_0000, 1u64..0x1000, arb_perms()).prop_map(|(base, len, perms)| {
+        IopmpEntry::new(AddressRange::new(base * 16, len).unwrap(), perms)
+    })
+}
+
+fn arb_entries() -> impl Strategy<Value = Vec<(u32, IopmpEntry)>> {
+    proptest::collection::vec((0u32..2048, arb_entry()), 0..64).prop_map(|mut v| {
+        v.sort_by_key(|(i, _)| *i);
+        v.dedup_by_key(|(i, _)| *i);
+        v
+    })
+}
+
+fn arb_access() -> impl Strategy<Value = (u64, u64, AccessKind)> {
+    (
+        0u64..0x100_0000,
+        0u64..0x2000,
+        prop_oneof![Just(AccessKind::Read), Just(AccessKind::Write)],
+    )
+}
+
+proptest! {
+    /// All checker strategies are decision-equivalent on arbitrary masked
+    /// entry sets and accesses.
+    #[test]
+    fn checkers_are_decision_equivalent(
+        entries in arb_entries(),
+        (addr, len, kind) in arb_access(),
+        stages in 1u8..5,
+        arity in 2u8..9,
+    ) {
+        let kinds = [
+            CheckerKind::Linear,
+            CheckerKind::Pipelined { stages },
+            CheckerKind::Tree { tree_arity: arity },
+            CheckerKind::MtChecker { stages, tree_arity: arity },
+        ];
+        let reference = CheckerKind::Linear.decide(
+            entries.iter().map(|(i, e)| (EntryIndex(*i), e)), addr, len, kind);
+        for k in kinds {
+            let d = k.decide(
+                entries.iter().map(|(i, e)| (EntryIndex(*i), e)), addr, len, kind);
+            prop_assert_eq!(d, reference, "{} disagrees with linear", k);
+        }
+    }
+
+    /// The decision is always the first (lowest-index) matching entry.
+    #[test]
+    fn first_match_wins(
+        entries in arb_entries(),
+        (addr, len, kind) in arb_access(),
+    ) {
+        let decision = CheckerKind::Linear.decide(
+            entries.iter().map(|(i, e)| (EntryIndex(*i), e)), addr, len, kind);
+        let expected_idx = entries
+            .iter()
+            .find(|(_, e)| e.matches(addr, len))
+            .map(|(i, _)| EntryIndex(*i));
+        match (decision, expected_idx) {
+            (Decision::DenyNoMatch, None) => {}
+            (Decision::Allow { matched }, Some(i)) |
+            (Decision::DenyPermission { matched }, Some(i)) => prop_assert_eq!(matched, i),
+            other => prop_assert!(false, "mismatch: {:?}", other),
+        }
+    }
+
+    /// An allowed decision implies the matched entry really contains the
+    /// access and grants the permission (soundness of the fast path).
+    #[test]
+    fn allow_is_sound(
+        entries in arb_entries(),
+        (addr, len, kind) in arb_access(),
+    ) {
+        if let Decision::Allow { matched } = CheckerKind::Linear.decide(
+            entries.iter().map(|(i, e)| (EntryIndex(*i), e)), addr, len, kind)
+        {
+            let (_, e) = entries.iter().find(|(i, _)| EntryIndex(*i) == matched).unwrap();
+            prop_assert!(e.matches(addr, len));
+            prop_assert!(e.permissions().allows(kind.required()));
+        }
+    }
+
+    /// The CAM never maps two devices to one SID, never maps one device to
+    /// two SIDs, and never exceeds capacity — under arbitrary interleavings
+    /// of insert / evict / remove / lookup.
+    #[test]
+    fn cam_stays_bijective(ops in proptest::collection::vec((0u8..4, 0u64..12), 1..200)) {
+        let mut cam = DeviceId2SidCam::new(5);
+        for (op, dev) in ops {
+            let dev = DeviceId(dev);
+            match op {
+                0 => { let _ = cam.insert(dev); }
+                1 => { let _ = cam.insert_with_eviction(dev); }
+                2 => { let _ = cam.remove(dev); }
+                _ => { let _ = cam.lookup(dev); }
+            }
+            prop_assert!(cam.len() <= cam.capacity());
+            let mut seen_sids = std::collections::HashSet::new();
+            let mut seen_devs = std::collections::HashSet::new();
+            for (sid, device, _) in cam.iter() {
+                prop_assert!(seen_sids.insert(sid));
+                prop_assert!(seen_devs.insert(device));
+                prop_assert_eq!(cam.peek(device), Some(sid));
+            }
+        }
+    }
+
+    /// Mounting a cold device never lets it access another device's
+    /// regions: after any sequence of switches, device X can only touch the
+    /// regions registered for X.
+    #[test]
+    fn cold_switching_preserves_isolation(
+        accesses in proptest::collection::vec((0u64..4, 0u64..8), 1..60),
+    ) {
+        let mut unit = Siopmp::new(SiopmpConfig::small());
+        // Four cold devices, each owning one distinct 256-byte region.
+        for d in 0..4u64 {
+            unit.register_cold_device(
+                DeviceId(d),
+                MountableEntry {
+                    domains: vec![],
+                    entries: vec![IopmpEntry::new(
+                        AddressRange::new(0x1_0000 * (d + 1), 0x100).unwrap(),
+                        Permissions::rw(),
+                    )],
+                },
+            ).unwrap();
+        }
+        for (d, region) in accesses {
+            let addr = 0x1_0000 * (region + 1);
+            let req = DmaRequest::new(DeviceId(d), AccessKind::Read, addr, 4);
+            let outcome = match unit.check(&req) {
+                CheckOutcome::SidMissing { device } => {
+                    unit.handle_sid_missing(device).unwrap();
+                    unit.check(&req)
+                }
+                o => o,
+            };
+            if region == d {
+                prop_assert!(outcome.is_allowed(), "own region must be allowed: {:?}", outcome);
+            } else {
+                prop_assert!(!outcome.is_allowed(), "foreign region leaked: dev {} region {}", d, region);
+            }
+        }
+    }
+
+    /// Atomic entry modification always leaves the SID unblocked, whether
+    /// it succeeds or fails.
+    #[test]
+    fn atomic_modification_never_wedges(
+        indices in proptest::collection::vec(0u32..64, 1..10),
+    ) {
+        let mut unit = Siopmp::new(SiopmpConfig::small());
+        let sid = unit.map_hot_device(DeviceId(1)).unwrap();
+        let updates: Vec<_> = indices.into_iter().map(|i| (EntryIndex(i), None)).collect();
+        let _ = unit.modify_entries_atomically(sid, &updates);
+        prop_assert!(!unit.is_sid_blocked(sid));
+    }
+
+    /// Timing model: frequency is monotone non-increasing in entry count
+    /// for every micro-architecture, and the MT checker always achieves at
+    /// least the plain pipeline's frequency.
+    #[test]
+    fn timing_model_is_well_behaved(n in 1usize..4096, stages in 1u8..4) {
+        use siopmp::timing::analyze;
+        let pipe = analyze(CheckerKind::Pipelined { stages }, n);
+        let mt = analyze(CheckerKind::MtChecker { stages, tree_arity: 2 }, n);
+        prop_assert!(mt.achievable_mhz >= pipe.achievable_mhz - 1e-9);
+        let bigger = analyze(CheckerKind::MtChecker { stages, tree_arity: 2 }, n + 64);
+        prop_assert!(bigger.achievable_mhz <= mt.achievable_mhz + 1e-9);
+    }
+
+    /// Area model: tree arbitration never costs more LUTs than the linear
+    /// chain at the same entry count.
+    #[test]
+    fn tree_area_never_worse(n in 1usize..4096) {
+        use siopmp::area::estimate;
+        let lin = estimate(CheckerKind::Linear, n);
+        let tree = estimate(CheckerKind::Tree { tree_arity: 2 }, n);
+        prop_assert!(tree.lut_pct <= lin.lut_pct);
+    }
+}

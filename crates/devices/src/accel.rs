@@ -1,0 +1,139 @@
+//! An NVDLA-flavoured accelerator model: large streaming reads of weights
+//! and activations, followed by result writes.
+
+use siopmp::ids::DeviceId;
+use siopmp_bus::{BurstKind, BurstRequest, MasterProgram};
+
+/// One inference job's memory footprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccelJob {
+    /// Base of the weight buffer (read).
+    pub weights_base: u64,
+    /// Bytes of weights.
+    pub weights_len: u64,
+    /// Base of the activation/input buffer (read).
+    pub input_base: u64,
+    /// Bytes of input.
+    pub input_len: u64,
+    /// Base of the output buffer (write).
+    pub output_base: u64,
+    /// Bytes of output.
+    pub output_len: u64,
+}
+
+/// A deep-learning accelerator: the paper's NVDLA device (Table 2).
+///
+/// Unlike the NIC's many small buffers, the accelerator streams a few very
+/// large contiguous regions — the *light load* end of Table 1's workload
+/// spectrum (fixed mapping, bandwidth-bound).
+///
+/// # Examples
+///
+/// ```
+/// use siopmp_devices::accel::{Accelerator, AccelJob};
+/// let acc = Accelerator::new(0x200);
+/// let job = AccelJob {
+///     weights_base: 0x9000_0000, weights_len: 4096,
+///     input_base: 0x9100_0000, input_len: 1024,
+///     output_base: 0x9200_0000, output_len: 512,
+/// };
+/// let prog = acc.job_program(&job);
+/// assert_eq!(prog.bursts.len(), (4096 + 1024 + 512) / 64);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Accelerator {
+    device_id: u64,
+}
+
+impl Accelerator {
+    /// Creates an accelerator with packet-level `device_id`.
+    pub fn new(device_id: u64) -> Self {
+        Accelerator { device_id }
+    }
+
+    /// The accelerator's device ID.
+    pub fn device_id(&self) -> DeviceId {
+        DeviceId(self.device_id)
+    }
+
+    /// Burst program for one job: stream weights, stream input, write
+    /// output, 64 bytes per burst.
+    pub fn job_program(&self, job: &AccelJob) -> MasterProgram {
+        let dev = DeviceId(self.device_id);
+        let mut program = MasterProgram::uniform(self.device_id, BurstKind::Read, 0, 0);
+        let mut push = |kind, base: u64, len: u64| {
+            for b in 0..len.div_ceil(64) {
+                program.bursts.push(BurstRequest {
+                    device: dev,
+                    kind,
+                    addr: base + 64 * b,
+                });
+            }
+        };
+        push(BurstKind::Read, job.weights_base, job.weights_len);
+        push(BurstKind::Read, job.input_base, job.input_len);
+        push(BurstKind::Write, job.output_base, job.output_len);
+        program.outstanding = 16; // accelerators saturate the bus
+        program
+    }
+
+    /// The job's memory regions as `(base, len, writable)` triples.
+    pub fn required_regions(&self, job: &AccelJob) -> Vec<(u64, u64, bool)> {
+        vec![
+            (job.weights_base, job.weights_len, false),
+            (job.input_base, job.input_len, false),
+            (job.output_base, job.output_len, true),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job() -> AccelJob {
+        AccelJob {
+            weights_base: 0x1000,
+            weights_len: 256,
+            input_base: 0x2000,
+            input_len: 128,
+            output_base: 0x3000,
+            output_len: 64,
+        }
+    }
+
+    #[test]
+    fn program_streams_all_regions() {
+        let acc = Accelerator::new(9);
+        let p = acc.job_program(&job());
+        assert_eq!(p.bursts.len(), 4 + 2 + 1);
+        let writes = p
+            .bursts
+            .iter()
+            .filter(|b| b.kind == BurstKind::Write)
+            .count();
+        assert_eq!(writes, 1);
+        assert_eq!(p.outstanding, 16);
+    }
+
+    #[test]
+    fn regions_mark_only_output_writable() {
+        let acc = Accelerator::new(9);
+        let regions = acc.required_regions(&job());
+        assert_eq!(regions.iter().filter(|(_, _, w)| *w).count(), 1);
+        assert_eq!(regions[2].0, 0x3000);
+    }
+
+    #[test]
+    fn odd_lengths_round_up_to_bursts() {
+        let acc = Accelerator::new(9);
+        let j = AccelJob {
+            weights_len: 65,
+            input_len: 1,
+            output_len: 63,
+            ..job()
+        };
+        let p = acc.job_program(&j);
+        assert_eq!(p.bursts.len(), 2 + 1 + 1);
+    }
+}

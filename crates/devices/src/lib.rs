@@ -1,0 +1,29 @@
+//! # siopmp-devices — device models for the sIOPMP reproduction
+//!
+//! Models of the devices used by the paper's evaluation platform (Table 2):
+//!
+//! * [`ram::SparseMemory`] — a byte-addressable sparse memory with
+//!   write-strobe support, the backing store for full-system tests (it lets
+//!   tests verify that packet masking really keeps denied data out of
+//!   memory);
+//! * [`dma_node::DmaCopyEngine`] — the "dummy node for memory copy" DMA
+//!   device, with scatter-gather descriptor lists;
+//! * [`nic::Nic`] — an IceNet-flavoured 100 Gb/s NIC with RX/TX descriptor
+//!   rings, generating the burst traffic of packet reception/transmission;
+//! * [`accel::Accelerator`] — an NVDLA-flavoured accelerator issuing large
+//!   streaming reads (weights/activations) and result writes.
+//!
+//! Each device produces [`siopmp_bus::MasterProgram`]s so the cycle
+//! simulator can drive it, and exposes the memory regions it needs so the
+//! secure monitor can build its IOPMP memory domains.
+
+pub mod accel;
+pub mod dma_node;
+pub mod nic;
+pub mod ram;
+pub mod rings;
+
+pub use accel::Accelerator;
+pub use dma_node::DmaCopyEngine;
+pub use nic::Nic;
+pub use ram::SparseMemory;

@@ -1,0 +1,166 @@
+//! A sparse, byte-addressable memory with write-strobe support.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// A sparse memory: pages are allocated on first touch, unwritten bytes
+/// read back as zero.
+///
+/// The write path takes a strobe mask so tests can model the packet-masking
+/// violation mechanism exactly: a masked write leaves memory untouched even
+/// though the bus transaction "completes".
+///
+/// # Examples
+///
+/// ```
+/// use siopmp_devices::SparseMemory;
+/// let mut mem = SparseMemory::new();
+/// mem.write(0x1000, &[1, 2, 3, 4]);
+/// assert_eq!(mem.read_vec(0x1000, 4), vec![1, 2, 3, 4]);
+/// assert_eq!(mem.read_vec(0x2000, 2), vec![0, 0]); // untouched
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SparseMemory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl SparseMemory {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        SparseMemory::default()
+    }
+
+    /// Number of resident pages (for tests of sparseness).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_SIZE] {
+        self.pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+    }
+
+    /// Writes `data` at `addr` (all strobes set).
+    pub fn write(&mut self, addr: u64, data: &[u8]) {
+        for (i, b) in data.iter().enumerate() {
+            let a = addr + i as u64;
+            self.page_mut(a)[(a as usize) & (PAGE_SIZE - 1)] = *b;
+        }
+    }
+
+    /// Writes `data` at `addr` honouring `strobes`: byte `i` is stored only
+    /// when `strobes[i]` is `true` (the bus write-strobe mechanism the
+    /// packet-masking violation path exploits, §5.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `strobes.len() != data.len()` — a malformed bus beat.
+    pub fn write_strobed(&mut self, addr: u64, data: &[u8], strobes: &[bool]) {
+        assert_eq!(
+            data.len(),
+            strobes.len(),
+            "strobe lane count must match data"
+        );
+        for (i, (b, s)) in data.iter().zip(strobes).enumerate() {
+            if *s {
+                let a = addr + i as u64;
+                self.page_mut(a)[(a as usize) & (PAGE_SIZE - 1)] = *b;
+            }
+        }
+    }
+
+    /// Reads one byte.
+    pub fn read_byte(&self, addr: u64) -> u8 {
+        self.pages
+            .get(&(addr >> PAGE_SHIFT))
+            .map_or(0, |p| p[(addr as usize) & (PAGE_SIZE - 1)])
+    }
+
+    /// Reads `len` bytes into a fresh vector.
+    pub fn read_vec(&self, addr: u64, len: usize) -> Vec<u8> {
+        (0..len).map(|i| self.read_byte(addr + i as u64)).collect()
+    }
+
+    /// Reads `len` bytes but returns zeroes — the *read clear* response used
+    /// when packet masking denies a read (§5.2). Provided so device models
+    /// can route denied reads through one call site.
+    pub fn read_cleared(&self, _addr: u64, len: usize) -> Vec<u8> {
+        vec![0; len]
+    }
+
+    /// Fills `[addr, addr+len)` with `byte`.
+    pub fn fill(&mut self, addr: u64, len: usize, byte: u8) {
+        for i in 0..len {
+            let a = addr + i as u64;
+            self.page_mut(a)[(a as usize) & (PAGE_SIZE - 1)] = byte;
+        }
+    }
+}
+
+impl siopmp_bus::functional::ByteMemory for SparseMemory {
+    fn read(&self, addr: u64, len: usize) -> Vec<u8> {
+        self.read_vec(addr, len)
+    }
+
+    fn write_strobed(&mut self, addr: u64, data: &[u8], strobes: &[bool]) {
+        SparseMemory::write_strobed(self, addr, data, strobes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_initialised() {
+        let mem = SparseMemory::new();
+        assert_eq!(mem.read_byte(0), 0);
+        assert_eq!(mem.read_vec(0xdead_beef, 3), vec![0, 0, 0]);
+        assert_eq!(mem.resident_pages(), 0);
+    }
+
+    #[test]
+    fn write_read_round_trip_across_pages() {
+        let mut mem = SparseMemory::new();
+        let data: Vec<u8> = (0..=255).collect();
+        // Straddle a page boundary.
+        mem.write(0x1f80, &data);
+        assert_eq!(mem.read_vec(0x1f80, 256), data);
+        assert_eq!(mem.resident_pages(), 2);
+    }
+
+    #[test]
+    fn strobed_write_skips_masked_lanes() {
+        let mut mem = SparseMemory::new();
+        mem.fill(0x100, 4, 0xaa);
+        mem.write_strobed(0x100, &[1, 2, 3, 4], &[true, false, false, true]);
+        assert_eq!(mem.read_vec(0x100, 4), vec![1, 0xaa, 0xaa, 4]);
+    }
+
+    #[test]
+    fn fully_masked_write_leaves_memory_untouched() {
+        let mut mem = SparseMemory::new();
+        mem.fill(0x200, 8, 0x55);
+        mem.write_strobed(0x200, &[9; 8], &[false; 8]);
+        assert_eq!(mem.read_vec(0x200, 8), vec![0x55; 8]);
+    }
+
+    #[test]
+    fn read_cleared_returns_zeroes_regardless_of_contents() {
+        let mut mem = SparseMemory::new();
+        mem.write(0x300, b"secret!!");
+        assert_eq!(mem.read_cleared(0x300, 8), vec![0; 8]);
+        // The real data is still there for authorised readers.
+        assert_eq!(mem.read_vec(0x300, 8), b"secret!!".to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "strobe lane count")]
+    fn mismatched_strobes_panic() {
+        let mut mem = SparseMemory::new();
+        mem.write_strobed(0, &[1, 2], &[true]);
+    }
+}

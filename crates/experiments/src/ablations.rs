@@ -1,0 +1,238 @@
+//! Ablation studies for the design choices the paper calls out but does
+//! not sweep in a dedicated figure:
+//!
+//! * **tree arity** (§4.1): "we can adopt different tree structures to
+//!   meet the different requirements for timing (binary tree) and area
+//!   (N-ary tree)" — [`tree_arity`] sweeps arity 2..16 and reports both
+//!   models;
+//! * **checker placement** (Table 2): per-device checkers versus one
+//!   centralized checker — [`placement`] measures the burst-latency and
+//!   bandwidth cost of the shared-port arbitration;
+//! * **hot-SID provisioning** (§7): "modern CPUs may support 128 cores and
+//!   we may need 128 hot devices" — [`hot_sids`] sweeps the CAM size
+//!   against a fixed working set and reports how many devices end up
+//!   thrashing through the cold path.
+
+use siopmp::area::estimate;
+use siopmp::checker::CheckerKind;
+use siopmp::config::Placement;
+use siopmp::entry::{AddressRange, IopmpEntry, Permissions};
+use siopmp::ids::DeviceId;
+use siopmp::mountable::MountableEntry;
+use siopmp::request::{AccessKind, DmaRequest};
+use siopmp::timing::analyze;
+use siopmp::{CheckOutcome, Siopmp, SiopmpConfig};
+use siopmp_bus::policy::AllowAll;
+use siopmp_bus::{BurstKind, BusConfig, BusSim, MasterProgram};
+
+/// One tree-arity design point at 1024 entries, 2 pipeline stages.
+#[derive(Debug, Clone, Copy)]
+pub struct ArityPoint {
+    /// Reduction arity.
+    pub arity: u8,
+    /// Achievable clock (MHz).
+    pub mhz: f64,
+    /// LUT cost (% of SoC).
+    pub lut_pct: f64,
+    /// FF cost (% of SoC).
+    pub ff_pct: f64,
+}
+
+/// Sweeps tree arity at the headline configuration (1024 entries, 2-pipe).
+pub fn tree_arity() -> Vec<ArityPoint> {
+    [2u8, 3, 4, 6, 8, 16]
+        .into_iter()
+        .map(|arity| {
+            let kind = CheckerKind::MtChecker {
+                stages: 2,
+                tree_arity: arity,
+            };
+            let t = analyze(kind, 1024);
+            let a = estimate(kind, 1024);
+            ArityPoint {
+                arity,
+                mhz: t.achievable_mhz,
+                lut_pct: a.lut_pct,
+                ff_pct: a.ff_pct,
+            }
+        })
+        .collect()
+}
+
+/// One placement design point.
+#[derive(Debug, Clone, Copy)]
+pub struct PlacementPoint {
+    /// Where the checker sits.
+    pub placement: Placement,
+    /// 64-burst read latency (cycles).
+    pub read_latency: u64,
+    /// Two-reader bandwidth (bytes/cycle).
+    pub bandwidth: f64,
+}
+
+/// Measures per-device vs centralized placement on the cycle simulator.
+pub fn placement() -> Vec<PlacementPoint> {
+    [Placement::PerDevice, Placement::Centralized]
+        .into_iter()
+        .map(|p| {
+            let cfg = BusConfig::default().with_placement(p);
+            let mut sim = BusSim::new(cfg.clone(), Box::new(AllowAll));
+            sim.add_master(MasterProgram::uniform(1, BurstKind::Read, 0x1000, 64));
+            let read_latency = sim.run_to_completion(1_000_000).makespan();
+
+            let mut sim = BusSim::new(cfg, Box::new(AllowAll));
+            sim.add_master(MasterProgram::uniform(1, BurstKind::Read, 0x1000, 256));
+            sim.add_master(MasterProgram::uniform(2, BurstKind::Read, 0x2000, 256));
+            let bandwidth = sim.run_to_completion(1_000_000).bytes_per_cycle();
+            PlacementPoint {
+                placement: p,
+                read_latency,
+                bandwidth,
+            }
+        })
+        .collect()
+}
+
+/// One hot-SID provisioning point.
+#[derive(Debug, Clone, Copy)]
+pub struct HotSidPoint {
+    /// Hot SIDs provided by the hardware.
+    pub hot_sids: usize,
+    /// Concurrently active devices in the workload.
+    pub active_devices: usize,
+    /// Cold switches observed over the run.
+    pub cold_switches: u64,
+}
+
+/// Sweeps the hot-SID budget against a fixed working set of 16 active
+/// devices doing round-robin DMA. Underprovisioned CAMs thrash through the
+/// cold path; once `hot_sids >= active_devices`, switching vanishes.
+pub fn hot_sids() -> Vec<HotSidPoint> {
+    const ACTIVE: usize = 16;
+    const ROUNDS: usize = 30;
+    [4usize, 8, 16, 32]
+        .into_iter()
+        .map(|hot| {
+            let mut cfg = SiopmpConfig::small();
+            cfg.num_sids = hot + 1;
+            cfg.num_mds = 8;
+            let mut unit = Siopmp::new(cfg);
+            for d in 0..ACTIVE as u64 {
+                unit.register_cold_device(
+                    DeviceId(d),
+                    MountableEntry {
+                        domains: vec![],
+                        entries: vec![IopmpEntry::new(
+                            AddressRange::new(0x10_0000 * (d + 1), 0x1000).unwrap(),
+                            Permissions::rw(),
+                        )],
+                    },
+                )
+                .unwrap();
+            }
+            // Promote as many as fit; the rest keep using the cold path.
+            for d in 0..ACTIVE.min(hot) as u64 {
+                // Promotion may evict another active device in tiny CAMs;
+                // that is exactly the thrashing we measure.
+                let _ = unit.promote_with_eviction(DeviceId(d));
+            }
+            for _ in 0..ROUNDS {
+                for d in 0..ACTIVE as u64 {
+                    let req =
+                        DmaRequest::new(DeviceId(d), AccessKind::Read, 0x10_0000 * (d + 1), 64);
+                    if let CheckOutcome::SidMissing { device } = unit.check(&req) {
+                        unit.handle_sid_missing(device).unwrap();
+                    }
+                }
+            }
+            HotSidPoint {
+                hot_sids: hot,
+                active_devices: ACTIVE,
+                cold_switches: unit.cold_switch_count(),
+            }
+        })
+        .collect()
+}
+
+/// Renders all three ablations.
+pub fn render() -> String {
+    let mut out = String::from("Ablation 1: tree arity at 1024 entries, 2-pipe (timing vs area)\n");
+    out.push_str("arity   MHz      LUT%    FF%\n");
+    for p in tree_arity() {
+        out.push_str(&format!(
+            "{:<8}{:<9.1}{:<8.2}{:.2}\n",
+            p.arity, p.mhz, p.lut_pct, p.ff_pct
+        ));
+    }
+    out.push_str("\nAblation 2: checker placement (Table 2 axis)\n");
+    out.push_str("placement     64-burst read latency   2-reader bandwidth\n");
+    for p in placement() {
+        out.push_str(&format!(
+            "{:<17?}{:>12} cycles {:>16.2} B/c\n",
+            p.placement, p.read_latency, p.bandwidth
+        ));
+    }
+    out.push_str("\nAblation 3: hot-SID provisioning (16 active devices, 30 rounds)\n");
+    out.push_str("hot SIDs   cold switches\n");
+    for p in hot_sids() {
+        out.push_str(&format!("{:<11}{}\n", p.hot_sids, p.cold_switches));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_trades_timing_for_area() {
+        // The paper's §4.1 guidance: "binary tree for timing, N-ary tree
+        // for area". Narrow trees must be at least as fast; wide trees
+        // must be at least as small.
+        let points = tree_arity();
+        let binary = points.first().unwrap();
+        let widest = points.last().unwrap();
+        assert!(binary.mhz >= widest.mhz, "{} vs {}", binary.mhz, widest.mhz);
+        assert!(
+            widest.lut_pct < binary.lut_pct,
+            "{} vs {}",
+            widest.lut_pct,
+            binary.lut_pct
+        );
+        // And every arity still beats the linear chain on both axes.
+        use siopmp::timing::analyze;
+        let linear = analyze(CheckerKind::Pipelined { stages: 2 }, 1024);
+        for p in &points {
+            assert!(p.mhz > linear.achievable_mhz, "arity {}", p.arity);
+        }
+    }
+
+    #[test]
+    fn centralized_placement_costs_latency_not_bandwidth() {
+        let points = placement();
+        let per_device = points
+            .iter()
+            .find(|p| p.placement == Placement::PerDevice)
+            .unwrap();
+        let centralized = points
+            .iter()
+            .find(|p| p.placement == Placement::Centralized)
+            .unwrap();
+        assert!(centralized.read_latency > per_device.read_latency);
+        // Bandwidth loss is bounded (a few percent).
+        assert!(centralized.bandwidth > 0.9 * per_device.bandwidth);
+    }
+
+    #[test]
+    fn enough_hot_sids_eliminate_switching() {
+        let points = hot_sids();
+        // Monotone decrease in switching as the CAM grows.
+        for w in points.windows(2) {
+            assert!(w[1].cold_switches <= w[0].cold_switches);
+        }
+        let last = points.last().unwrap();
+        assert!(last.hot_sids >= last.active_devices);
+        assert_eq!(last.cold_switches, 0, "fully provisioned: no switching");
+        assert!(points[0].cold_switches > 100, "underprovisioned: thrashing");
+    }
+}

@@ -1,0 +1,52 @@
+//! `repro` — regenerate the sIOPMP evaluation tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro              # run every experiment, in paper order
+//! repro fig15 fig17  # run a subset
+//! repro --list       # list experiment names
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list" || a == "-l") {
+        for name in siopmp_experiments::ALL {
+            println!("{name}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("usage: repro [--list] [experiment ...]");
+        println!("experiments: {}", siopmp_experiments::ALL.join(" "));
+        return ExitCode::SUCCESS;
+    }
+    let selected: Vec<&str> = if args.is_empty() {
+        siopmp_experiments::ALL.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let mut failed = false;
+    for name in selected {
+        match siopmp_experiments::render(name) {
+            Some(output) => {
+                println!("==== {name} ====");
+                println!("{output}");
+            }
+            None => {
+                eprintln!(
+                    "unknown experiment '{name}' (known: {})",
+                    siopmp_experiments::ALL.join(", ")
+                );
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,100 @@
+//! Figure 10: achievable clock frequency for different IOPMP checkers as
+//! the entry count grows.
+
+use siopmp::checker::CheckerKind;
+use siopmp::timing::{analyze, figure10_checkers, FIGURE10_ENTRIES};
+
+/// One point of the figure: checker × entry count → MHz.
+#[derive(Debug, Clone, Copy)]
+pub struct Point {
+    /// Checker variant.
+    pub checker: CheckerKind,
+    /// Total IOPMP entries.
+    pub entries: usize,
+    /// Achievable frequency in MHz (0 when unroutable).
+    pub mhz: f64,
+    /// Whether the design closes timing at all.
+    pub routable: bool,
+}
+
+/// Computes the full sweep.
+pub fn data() -> Vec<Point> {
+    let mut points = Vec::new();
+    for checker in figure10_checkers() {
+        for entries in FIGURE10_ENTRIES {
+            let r = analyze(checker, entries);
+            points.push(Point {
+                checker,
+                entries,
+                mhz: if r.routable { r.achievable_mhz } else { 0.0 },
+                routable: r.routable,
+            });
+        }
+    }
+    points
+}
+
+/// Renders the figure as a table (rows = entry counts, columns = checkers).
+pub fn render() -> String {
+    let mut out = String::from("Figure 10: achievable clock frequency (MHz) vs. IOPMP entries\n");
+    let checkers = figure10_checkers();
+    out.push_str("entries ");
+    for c in checkers {
+        out.push_str(&format!("{:>12}", c.label()));
+    }
+    out.push('\n');
+    for entries in FIGURE10_ENTRIES {
+        out.push_str(&format!("{entries:<8}"));
+        for c in checkers {
+            let r = analyze(c, entries);
+            if r.routable {
+                out.push_str(&format!("{:>12.1}", r.achievable_mhz));
+            } else {
+                out.push_str(&format!("{:>12}", "FAIL"));
+            }
+        }
+        out.push('\n');
+    }
+    out.push_str("(platform ceiling 60 MHz; FAIL = design does not pass timing analysis)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_all_combinations() {
+        assert_eq!(data().len(), 4 * FIGURE10_ENTRIES.len());
+    }
+
+    #[test]
+    fn paper_anchors_hold() {
+        let points = data();
+        let get = |label: &str, n: usize| {
+            points
+                .iter()
+                .find(|p| p.checker.label() == label && p.entries == n)
+                .copied()
+                .unwrap()
+        };
+        // Baseline sustains 128, fails at 1024.
+        assert_eq!(get("IOPMP", 128).mhz, 60.0);
+        assert!(!get("IOPMP", 1024).routable);
+        // 2pipe sustains 256.
+        assert_eq!(get("2pipe", 256).mhz, 60.0);
+        // 2pipe-tree sustains 512, slight dip at 1024.
+        assert_eq!(get("2pipe-tree", 512).mhz, 60.0);
+        let dip = get("2pipe-tree", 1024).mhz;
+        assert!(dip < 60.0 && dip > 45.0, "{dip}");
+        // 3pipe-tree sustains 1024.
+        assert_eq!(get("3pipe-tree", 1024).mhz, 60.0);
+    }
+
+    #[test]
+    fn render_marks_failures() {
+        let t = render();
+        assert!(t.contains("FAIL"));
+        assert!(t.contains("3pipe-tree"));
+    }
+}

@@ -1,0 +1,154 @@
+//! Figure 11: worst-case pipeline latency — 64 consecutive DMA bursts
+//! through the checker, for read/write and the violation paths, across
+//! pipeline depths and violation mechanisms.
+
+use siopmp::checker::CheckerKind;
+use siopmp::violation::ViolationMode;
+use siopmp_bus::BurstKind;
+use siopmp_workloads::microbench::burst_latency;
+
+/// One measured bar of the figure.
+#[derive(Debug, Clone, Copy)]
+pub struct Bar {
+    /// Configuration label ("Nopipe-BusError", "2pipe-Masking", ...).
+    pub label: &'static str,
+    /// Read / Write / Read-violation / Write-violation.
+    pub scenario: &'static str,
+    /// Total cycles between first request and last response.
+    pub cycles: u64,
+}
+
+const CONFIGS: [(&str, CheckerKind, ViolationMode); 5] = [
+    (
+        "Nopipe-BusError",
+        CheckerKind::Linear,
+        ViolationMode::BusError,
+    ),
+    (
+        "2pipe-BusError",
+        CheckerKind::MtChecker {
+            stages: 2,
+            tree_arity: 2,
+        },
+        ViolationMode::BusError,
+    ),
+    (
+        "3pipe-BusError",
+        CheckerKind::MtChecker {
+            stages: 3,
+            tree_arity: 2,
+        },
+        ViolationMode::BusError,
+    ),
+    (
+        "2pipe-Masking",
+        CheckerKind::MtChecker {
+            stages: 2,
+            tree_arity: 2,
+        },
+        ViolationMode::PacketMasking,
+    ),
+    (
+        "3pipe-Masking",
+        CheckerKind::MtChecker {
+            stages: 3,
+            tree_arity: 2,
+        },
+        ViolationMode::PacketMasking,
+    ),
+];
+
+/// Measures all bars.
+pub fn data() -> Vec<Bar> {
+    let mut bars = Vec::new();
+    for (label, checker, mode) in CONFIGS {
+        for (scenario, kind, violating) in [
+            ("Read", BurstKind::Read, false),
+            ("Write", BurstKind::Write, false),
+            ("Read-violation", BurstKind::Read, true),
+            ("Write-violation", BurstKind::Write, true),
+        ] {
+            bars.push(Bar {
+                label,
+                scenario,
+                cycles: burst_latency(checker, mode, kind, violating),
+            });
+        }
+    }
+    bars
+}
+
+/// Renders the figure as a table.
+pub fn render() -> String {
+    let mut out =
+        String::from("Figure 11: DMA burst latency, 64 bursts x 8 beats x 8 B (cycles)\n");
+    out.push_str(&format!(
+        "{:<18}{:>8}{:>8}{:>17}{:>17}\n",
+        "config", "Read", "Write", "Read-violation", "Write-violation"
+    ));
+    let bars = data();
+    for (label, _, _) in CONFIGS {
+        let get = |scenario: &str| {
+            bars.iter()
+                .find(|b| b.label == label && b.scenario == scenario)
+                .map(|b| b.cycles)
+                .unwrap_or(0)
+        };
+        out.push_str(&format!(
+            "{:<18}{:>8}{:>8}{:>17}{:>17}\n",
+            label,
+            get("Read"),
+            get("Write"),
+            get("Read-violation"),
+            get("Write-violation")
+        ));
+    }
+    out.push_str("(paper anchors: Read nopipe 1510, 2pipe-BusError 1575, 2pipe-Masking 1634;\n Write nopipe 1081, 2pipe 1175/1189)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycles(label: &str, scenario: &str) -> u64 {
+        data()
+            .iter()
+            .find(|b| b.label == label && b.scenario == scenario)
+            .unwrap()
+            .cycles
+    }
+
+    #[test]
+    fn read_latency_ordering_matches_paper() {
+        let base = cycles("Nopipe-BusError", "Read");
+        let p2 = cycles("2pipe-BusError", "Read");
+        let p2m = cycles("2pipe-Masking", "Read");
+        let p3 = cycles("3pipe-BusError", "Read");
+        assert!(base < p2 && p2 < p2m, "{base} {p2} {p2m}");
+        assert!(p2 < p3);
+        // Each pipeline stage ≈ +64 cycles over 64 bursts.
+        assert_eq!(p2 - base, 64);
+    }
+
+    #[test]
+    fn write_latency_below_read_everywhere() {
+        for (label, _, _) in CONFIGS {
+            assert!(cycles(label, "Write") < cycles(label, "Read"), "{label}");
+        }
+    }
+
+    #[test]
+    fn bus_error_violations_truncate_early() {
+        assert!(cycles("2pipe-BusError", "Read-violation") * 3 < cycles("2pipe-BusError", "Read"));
+        assert!(cycles("2pipe-Masking", "Read-violation") >= cycles("2pipe-BusError", "Read"));
+    }
+
+    #[test]
+    fn absolute_scale_near_paper() {
+        let base = cycles("Nopipe-BusError", "Read");
+        assert!((1300..=1700).contains(&base), "{base}");
+        let w = cycles("Nopipe-BusError", "Write");
+        assert!((950..=1250).contains(&w), "{w}");
+    }
+}

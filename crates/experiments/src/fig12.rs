@@ -1,0 +1,121 @@
+//! Figure 12: maximum DMA throughput of two DMA nodes under read/write
+//! scenarios and different checker depths.
+
+use siopmp::checker::CheckerKind;
+use siopmp_workloads::microbench::{dma_bandwidth, BandwidthScenario};
+
+/// One measured bar.
+#[derive(Debug, Clone, Copy)]
+pub struct Bar {
+    /// Checker label.
+    pub checker: &'static str,
+    /// Traffic mix.
+    pub scenario: BandwidthScenario,
+    /// Aggregate bytes per cycle.
+    pub bytes_per_cycle: f64,
+}
+
+const CHECKERS: [(&str, CheckerKind); 3] = [
+    ("Nopipe", CheckerKind::Linear),
+    (
+        "2pipe",
+        CheckerKind::MtChecker {
+            stages: 2,
+            tree_arity: 2,
+        },
+    ),
+    (
+        "3pipe",
+        CheckerKind::MtChecker {
+            stages: 3,
+            tree_arity: 2,
+        },
+    ),
+];
+
+const SCENARIOS: [BandwidthScenario; 3] = [
+    BandwidthScenario::ReadWrite,
+    BandwidthScenario::ReadRead,
+    BandwidthScenario::WriteWrite,
+];
+
+/// Measures all bars.
+pub fn data() -> Vec<Bar> {
+    let mut bars = Vec::new();
+    for (label, checker) in CHECKERS {
+        for scenario in SCENARIOS {
+            bars.push(Bar {
+                checker: label,
+                scenario,
+                bytes_per_cycle: dma_bandwidth(scenario, checker),
+            });
+        }
+    }
+    bars
+}
+
+/// Renders the figure as a table.
+pub fn render() -> String {
+    let bars = data();
+    let mut out = String::from("Figure 12: maximum DMA throughput, two nodes (bytes/cycle)\n");
+    out.push_str(&format!(
+        "{:<10}{:>12}{:>12}{:>13}\n",
+        "checker", "Read-Write", "Read-Read", "Write-Write"
+    ));
+    for (label, _) in CHECKERS {
+        let get = |s: BandwidthScenario| {
+            bars.iter()
+                .find(|b| b.checker == label && b.scenario == s)
+                .map(|b| b.bytes_per_cycle)
+                .unwrap_or(0.0)
+        };
+        out.push_str(&format!(
+            "{:<10}{:>12.2}{:>12.2}{:>13.2}\n",
+            label,
+            get(BandwidthScenario::ReadWrite),
+            get(BandwidthScenario::ReadRead),
+            get(BandwidthScenario::WriteWrite)
+        ));
+    }
+    out.push_str("(paper anchors: Read-Read 5.18 nopipe -> 5.08 2pipe; writes unaffected)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bpc(checker: &str, scenario: BandwidthScenario) -> f64 {
+        data()
+            .iter()
+            .find(|b| b.checker == checker && b.scenario == scenario)
+            .unwrap()
+            .bytes_per_cycle
+    }
+
+    #[test]
+    fn read_read_dips_slightly_with_pipeline() {
+        let base = bpc("Nopipe", BandwidthScenario::ReadRead);
+        let p2 = bpc("2pipe", BandwidthScenario::ReadRead);
+        let p3 = bpc("3pipe", BandwidthScenario::ReadRead);
+        assert!(base > p2 && p2 > p3);
+        assert!(p2 / base > 0.93, "dip should be small: {base} -> {p2}");
+        assert!((4.8..5.8).contains(&base), "{base}");
+    }
+
+    #[test]
+    fn write_write_flat_across_depths() {
+        let base = bpc("Nopipe", BandwidthScenario::WriteWrite);
+        let p3 = bpc("3pipe", BandwidthScenario::WriteWrite);
+        assert!((base - p3).abs() < 0.05, "{base} vs {p3}");
+    }
+
+    #[test]
+    fn all_bars_positive_and_below_channel_limit() {
+        for b in data() {
+            assert!(b.bytes_per_cycle > 2.0, "{b:?}");
+            // Two 8-byte channels: theoretical aggregate ceiling 16 B/c.
+            assert!(b.bytes_per_cycle < 16.0, "{b:?}");
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Figure 14: hardware resource cost — extra LUT/FF percentage for
+//! different entry counts, with and without tree arbitration.
+
+use siopmp::area::{estimate, FIGURE14_ENTRIES};
+use siopmp::checker::CheckerKind;
+
+/// One group of bars (entry count → four values).
+#[derive(Debug, Clone, Copy)]
+pub struct Group {
+    /// IOPMP entries.
+    pub entries: usize,
+    /// LUT % without tree arbitration.
+    pub lut_pct: f64,
+    /// FF % without tree arbitration.
+    pub ff_pct: f64,
+    /// LUT % with tree arbitration.
+    pub lut_tree_pct: f64,
+    /// FF % with tree arbitration.
+    pub ff_tree_pct: f64,
+}
+
+/// Computes all groups.
+pub fn data() -> Vec<Group> {
+    FIGURE14_ENTRIES
+        .iter()
+        .map(|&entries| {
+            let linear = estimate(CheckerKind::Linear, entries);
+            let tree = estimate(CheckerKind::Tree { tree_arity: 2 }, entries);
+            Group {
+                entries,
+                lut_pct: linear.lut_pct,
+                ff_pct: linear.ff_pct,
+                lut_tree_pct: tree.lut_pct,
+                ff_tree_pct: tree.ff_pct,
+            }
+        })
+        .collect()
+}
+
+/// Renders the figure as a table.
+pub fn render() -> String {
+    let mut out = String::from("Figure 14: hardware resource cost (% of SoC LUTs / FFs)\n");
+    out.push_str(&format!(
+        "{:<12}{:>8}{:>8}{:>10}{:>9}\n",
+        "entries", "LUT", "FF", "LUT-tree", "FF-tree"
+    ));
+    for g in data() {
+        out.push_str(&format!(
+            "{:<12}{:>8.2}{:>8.2}{:>10.2}{:>9.2}\n",
+            format!("{}-iopmp", g.entries),
+            g.lut_pct,
+            g.ff_pct,
+            g.lut_tree_pct,
+            g.ff_tree_pct
+        ));
+    }
+    out.push_str(
+        "(paper anchors: 512 entries without tree: 17.3% LUT / 1.8% FF;\n with tree: ~1.21%, a ~93% LUT reduction)\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_cover_the_sweep() {
+        assert_eq!(data().len(), FIGURE14_ENTRIES.len());
+    }
+
+    #[test]
+    fn anchors_at_512() {
+        let g = data().into_iter().find(|g| g.entries == 512).unwrap();
+        assert!((g.lut_pct - 17.3).abs() < 1.5, "{}", g.lut_pct);
+        assert!((g.ff_pct - 1.8).abs() < 0.2, "{}", g.ff_pct);
+        assert!((g.lut_tree_pct - 1.21).abs() < 0.15, "{}", g.lut_tree_pct);
+        let reduction = 1.0 - g.lut_tree_pct / g.lut_pct;
+        assert!(reduction > 0.9, "LUT reduction {reduction}");
+    }
+
+    #[test]
+    fn tree_always_cheaper_in_luts() {
+        for g in data() {
+            assert!(g.lut_tree_pct < g.lut_pct, "{}", g.entries);
+            assert!(g.ff_tree_pct <= g.ff_pct, "{}", g.entries);
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Figure 16: memcached request latency (50th / 99th percentile) versus
+//! offered QPS, with and without sIOPMP.
+
+use siopmp_workloads::memcached::{LatencyPoint, MemcachedConfig};
+
+/// One measured curve.
+#[derive(Debug, Clone)]
+pub struct Curve {
+    /// Legend label.
+    pub label: &'static str,
+    /// Points along the QPS sweep.
+    pub points: Vec<LatencyPoint>,
+}
+
+/// The sIOPMP per-packet cycles (map 24 + unmap 24 from the mechanism
+/// model).
+pub const SIOPMP_CYCLES_PER_PACKET: u64 = 48;
+
+/// Computes the four curves of the figure.
+pub fn data() -> Vec<Curve> {
+    let base = MemcachedConfig::default();
+    let siopmp = MemcachedConfig {
+        protection_cycles_per_packet: SIOPMP_CYCLES_PER_PACKET,
+        ..base
+    };
+    vec![
+        Curve {
+            label: "4 threads, w/o protection",
+            points: base.figure16_sweep(),
+        },
+        Curve {
+            label: "4 threads, sIOPMP",
+            points: siopmp.figure16_sweep(),
+        },
+    ]
+}
+
+/// Renders the figure as a table.
+pub fn render() -> String {
+    let curves = data();
+    let mut out = String::from("Figure 16: memcached latency vs. QPS (4 threads, microseconds)\n");
+    out.push_str(&format!(
+        "{:<8}{:>14}{:>14}{:>14}{:>14}\n",
+        "QPS", "p50 native", "p50 sIOPMP", "p99 native", "p99 sIOPMP"
+    ));
+    let native = &curves[0].points;
+    let siopmp = &curves[1].points;
+    for (n, s) in native.iter().zip(siopmp) {
+        out.push_str(&format!(
+            "{:<8.0}{:>14.0}{:>14.0}{:>14.0}{:>14.0}\n",
+            n.qps, n.p50_us, s.p50_us, n.p99_us, s.p99_us
+        ));
+    }
+    out.push_str("(paper: sIOPMP does not sacrifice QPS at the same p50/p99 requirement)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curves_cover_the_sweep() {
+        let curves = data();
+        assert_eq!(curves.len(), 2);
+        assert_eq!(curves[0].points.len(), 9);
+        assert!((curves[0].points[0].qps - 5000.0).abs() < 1.0);
+        assert!((curves[0].points[8].qps - 45_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn siopmp_curve_tracks_native_within_noise() {
+        let curves = data();
+        for (n, s) in curves[0].points.iter().zip(&curves[1].points) {
+            assert!(
+                (s.p50_us - n.p50_us) / n.p50_us < 0.02,
+                "p50 diverges at {}",
+                n.qps
+            );
+            assert!(
+                (s.p99_us - n.p99_us) / n.p99_us < 0.05,
+                "p99 diverges at {}",
+                n.qps
+            );
+        }
+    }
+
+    #[test]
+    fn tail_latency_explodes_near_capacity() {
+        let curves = data();
+        let last = curves[0].points.last().unwrap();
+        let first = curves[0].points.first().unwrap();
+        assert!(last.p99_us > 20.0 * first.p99_us);
+    }
+}

@@ -1,0 +1,99 @@
+//! # siopmp-experiments — regenerating the sIOPMP evaluation
+//!
+//! One module per table/figure of the paper's evaluation section (§6),
+//! each exposing a structured `data()` function (used by tests and the
+//! Criterion benches) and a `render()` function producing the text table
+//! the `repro` binary prints.
+//!
+//! | Module | Reproduces |
+//! |---|---|
+//! | [`table1`] | Table 1 — qualitative mechanism comparison |
+//! | [`table2`] | Table 2 — platform/sIOPMP configurations |
+//! | [`fig10`] | Figure 10 — achievable clock frequency vs. entries |
+//! | [`fig11`] | Figure 11 — worst-case DMA burst latency |
+//! | [`fig12`] | Figure 12 — maximum DMA throughput |
+//! | [`fig13`] | Figure 13 — IOPMP modification latency |
+//! | [`fig14`] | Figure 14 — hardware resource cost |
+//! | [`fig15`] | Figure 15 — iperf network bandwidth |
+//! | [`fig16`] | Figure 16 — memcached latency vs. QPS |
+//! | [`fig17`] | Figure 17 — cold-device switching overhead |
+//! | [`coldswitch`] | §6.3 — single cold-switch cost (341 cycles) |
+//!
+//! Run them all with `cargo run -p siopmp-experiments --bin repro`, or one
+//! with `repro fig15`.
+
+pub mod ablations;
+pub mod coldswitch;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod iotlb_pressure;
+pub mod lightload;
+pub mod security;
+pub mod table1;
+pub mod table2;
+
+/// Names of all experiments, in paper order.
+pub const ALL: [&str; 15] = [
+    "table1",
+    "table2",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "coldswitch",
+    "ablations",
+    "lightload",
+    "security",
+    "iotlb",
+];
+
+/// Renders the experiment called `name`, or `None` for an unknown name.
+pub fn render(name: &str) -> Option<String> {
+    Some(match name {
+        "table1" => table1::render(),
+        "table2" => table2::render(),
+        "fig10" => fig10::render(),
+        "fig11" => fig11::render(),
+        "fig12" => fig12::render(),
+        "fig13" => fig13::render(),
+        "fig14" => fig14::render(),
+        "fig15" => fig15::render(),
+        "fig16" => fig16::render(),
+        "fig17" => fig17::render(),
+        "coldswitch" => coldswitch::render(),
+        "ablations" => ablations::render(),
+        "lightload" => lightload::render(),
+        "security" => security::render(),
+        "iotlb" => iotlb_pressure::render(),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_experiment_renders_nonempty() {
+        for name in ALL {
+            let out = render(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert!(out.len() > 50, "{name} output too small");
+            assert!(out.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(render("fig99").is_none());
+    }
+}

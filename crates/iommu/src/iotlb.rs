@@ -1,0 +1,242 @@
+//! The IOTLB: a fully-associative translation cache with LRU replacement.
+
+use crate::iova::IO_PAGE_SIZE;
+use crate::pagetable::IoPte;
+
+/// Hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IotlbStats {
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed (require a table walk).
+    pub misses: u64,
+    /// Entries removed by invalidation commands.
+    pub invalidations: u64,
+}
+
+impl IotlbStats {
+    /// Hit rate over all lookups; `0.0` before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A fully-associative IOTLB keyed by `(device, iova_page)`.
+///
+/// Capacity is small (64 by default, like real IOTLBs) — the scalability
+/// bottleneck the paper cites for multi-device scenarios (§1): many devices
+/// thrash the shared IOTLB.
+///
+/// # Examples
+///
+/// ```
+/// use siopmp_iommu::iotlb::Iotlb;
+/// use siopmp_iommu::pagetable::{IoPerms, IoPte};
+/// let mut tlb = Iotlb::new(4);
+/// tlb.fill(1, 0x1000, IoPte { pa: 0x9000, perms: IoPerms::rw() });
+/// assert!(tlb.lookup(1, 0x1234).is_some());
+/// assert!(tlb.lookup(2, 0x1234).is_none()); // per-device tag
+/// ```
+#[derive(Debug, Clone)]
+pub struct Iotlb {
+    capacity: usize,
+    /// (device, iova_page, pte, last_use) — linear scan is fine at 64
+    /// entries and mirrors the hardware CAM.
+    entries: Vec<(u64, u64, IoPte, u64)>,
+    tick: u64,
+    stats: IotlbStats,
+}
+
+impl Iotlb {
+    /// Creates an IOTLB holding `capacity` translations.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "IOTLB needs at least one entry");
+        Iotlb {
+            capacity,
+            entries: Vec::new(),
+            tick: 0,
+            stats: IotlbStats::default(),
+        }
+    }
+
+    fn page_of(addr: u64) -> u64 {
+        addr & !(IO_PAGE_SIZE - 1)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> IotlbStats {
+        self.stats
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no translations.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up `(device, iova)`; updates LRU state and counters.
+    pub fn lookup(&mut self, device: u64, iova: u64) -> Option<IoPte> {
+        self.tick += 1;
+        let page = Self::page_of(iova);
+        for e in &mut self.entries {
+            if e.0 == device && e.1 == page {
+                e.3 = self.tick;
+                self.stats.hits += 1;
+                return Some(e.2);
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Installs a translation after a walk, evicting LRU when full.
+    pub fn fill(&mut self, device: u64, iova: u64, pte: IoPte) {
+        self.tick += 1;
+        let page = Self::page_of(iova);
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.0 == device && e.1 == page)
+        {
+            *e = (device, page, pte, self.tick);
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.3)
+                .map(|(i, _)| i)
+                .expect("nonempty");
+            self.entries.swap_remove(lru);
+        }
+        self.entries.push((device, page, pte, self.tick));
+    }
+
+    /// Invalidates the translation of one `(device, iova)` page. Returns
+    /// whether an entry was removed.
+    pub fn invalidate_page(&mut self, device: u64, iova: u64) -> bool {
+        let page = Self::page_of(iova);
+        let before = self.entries.len();
+        self.entries.retain(|e| !(e.0 == device && e.1 == page));
+        let removed = self.entries.len() != before;
+        if removed {
+            self.stats.invalidations += 1;
+        }
+        removed
+    }
+
+    /// Invalidates every translation of `device`. Returns entries removed.
+    pub fn invalidate_device(&mut self, device: u64) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.0 != device);
+        let removed = before - self.entries.len();
+        self.stats.invalidations += removed as u64;
+        removed
+    }
+
+    /// Global invalidation. Returns entries removed.
+    pub fn invalidate_all(&mut self) -> usize {
+        let removed = self.entries.len();
+        self.entries.clear();
+        self.stats.invalidations += removed as u64;
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pagetable::IoPerms;
+
+    fn pte(pa: u64) -> IoPte {
+        IoPte {
+            pa,
+            perms: IoPerms::rw(),
+        }
+    }
+
+    #[test]
+    fn hit_after_fill_miss_after_invalidate() {
+        let mut tlb = Iotlb::new(4);
+        assert!(tlb.lookup(1, 0x1000).is_none());
+        tlb.fill(1, 0x1000, pte(0x9000));
+        assert_eq!(tlb.lookup(1, 0x1000).unwrap().pa, 0x9000);
+        assert!(tlb.invalidate_page(1, 0x1000));
+        assert!(tlb.lookup(1, 0x1000).is_none());
+        assert_eq!(tlb.stats().hits, 1);
+        assert_eq!(tlb.stats().misses, 2);
+        assert_eq!(tlb.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut tlb = Iotlb::new(2);
+        tlb.fill(1, 0x1000, pte(0xa000));
+        tlb.fill(1, 0x2000, pte(0xb000));
+        tlb.lookup(1, 0x1000); // refresh 0x1000
+        tlb.fill(1, 0x3000, pte(0xc000)); // evicts 0x2000
+        assert!(tlb.lookup(1, 0x1000).is_some());
+        assert!(tlb.lookup(1, 0x2000).is_none());
+        assert!(tlb.lookup(1, 0x3000).is_some());
+    }
+
+    #[test]
+    fn per_device_tags() {
+        let mut tlb = Iotlb::new(4);
+        tlb.fill(1, 0x1000, pte(0xa000));
+        assert!(tlb.lookup(2, 0x1000).is_none());
+        assert_eq!(tlb.invalidate_device(1), 1);
+        assert!(tlb.is_empty());
+    }
+
+    #[test]
+    fn refill_updates_in_place() {
+        let mut tlb = Iotlb::new(2);
+        tlb.fill(1, 0x1000, pte(0xa000));
+        tlb.fill(1, 0x1000, pte(0xb000));
+        assert_eq!(tlb.len(), 1);
+        assert_eq!(tlb.lookup(1, 0x1000).unwrap().pa, 0xb000);
+    }
+
+    #[test]
+    fn many_devices_thrash_small_tlb() {
+        // The multi-device scalability problem: 8 devices round-robin over
+        // a 4-entry IOTLB never hit.
+        let mut tlb = Iotlb::new(4);
+        for round in 0..3 {
+            for dev in 0..8u64 {
+                if tlb.lookup(dev, 0x1000).is_none() {
+                    tlb.fill(dev, 0x1000, pte(0x9000));
+                }
+                let _ = round;
+            }
+        }
+        assert_eq!(tlb.stats().hits, 0);
+        assert_eq!(tlb.stats().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn global_invalidation_empties() {
+        let mut tlb = Iotlb::new(8);
+        for i in 0..5u64 {
+            tlb.fill(1, i * IO_PAGE_SIZE, pte(0x9000));
+        }
+        assert_eq!(tlb.invalidate_all(), 5);
+        assert!(tlb.is_empty());
+    }
+}

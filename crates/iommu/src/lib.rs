@@ -1,0 +1,32 @@
+//! # siopmp-iommu — baseline I/O isolation mechanisms
+//!
+//! From-scratch models of the mechanisms the sIOPMP paper compares against
+//! (Table 1, Figure 15):
+//!
+//! * a classical **IOMMU**: per-device I/O virtual address spaces backed by
+//!   a multi-level page table ([`pagetable`]), an [`iova`] allocator, an
+//!   [`iotlb`] cache, and an asynchronous invalidation command queue
+//!   ([`cmdq`]);
+//! * the two Linux kernel unmap policies — **strict** (synchronous IOTLB
+//!   invalidation on every `dma_unmap`) and **deferred** (batched, leaving
+//!   an attack window) — in [`protection`];
+//! * an **RMP/GPC-style** page-ownership checker ([`rmp`]) as used by
+//!   SEV-SNP and CCA;
+//! * **SWIO** bounce-buffering ([`swio`]) as used by confidential VMs
+//!   without trusted I/O.
+//!
+//! All mechanisms implement the [`protection::DmaProtection`] trait, which
+//! accounts CPU cycles per map/unmap so the network workload model
+//! (`siopmp-workloads`) can derive throughput curves mechanistically.
+
+pub mod cmdq;
+pub mod fixed;
+pub mod iotlb;
+pub mod iova;
+pub mod pagetable;
+pub mod protection;
+pub mod rmp;
+pub mod swio;
+pub mod teeio;
+
+pub use protection::{DmaProtection, MapHandle, NoProtection};

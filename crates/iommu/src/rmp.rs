@@ -1,0 +1,188 @@
+//! An RMP/GPC-style page-ownership checker.
+//!
+//! SEV-SNP's Reverse Map Table (RMP) and CCA's Granule Protection Check
+//! (GPC) verify, per 4 KiB page, which world/owner a page belongs to before
+//! a device (or CPU) access is allowed. They live inside the IOMMU/sMMU and
+//! inherit its weaknesses: page granularity, cached check results that need
+//! asynchronous invalidation, and an extra table walk on misses (§7).
+//!
+//! The model keeps a page → owner map plus a small check cache, with the
+//! same invalidation cost structure as the IOTLB — which is what makes
+//! TEE-IO systems built on RMP behave like IOMMU-strict under dynamic
+//! workloads (§6.3).
+
+use std::collections::HashMap;
+
+use crate::iova::IO_PAGE_SIZE;
+
+/// Identifies a page owner (hypervisor, a VM, a TEE...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OwnerId(pub u32);
+
+/// The hypervisor/untrusted-world owner.
+pub const OWNER_HYPERVISOR: OwnerId = OwnerId(0);
+
+/// Cycle cost of one RMP table walk on a check-cache miss.
+pub const RMP_WALK_CYCLES: u64 = 140;
+
+/// Cycle cost of an RMP entry update (RMPUPDATE-like instruction).
+pub const RMP_UPDATE_CYCLES: u64 = 250;
+
+/// Cycle cost of the asynchronous invalidation of cached RMP checks.
+pub const RMP_INVALIDATION_CYCLES: u64 = 800;
+
+/// Result of an ownership check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RmpVerdict {
+    /// The page belongs to the expected owner.
+    Allowed,
+    /// The page belongs to someone else — access blocked.
+    WrongOwner(OwnerId),
+}
+
+/// The reverse-map table model.
+///
+/// # Examples
+///
+/// ```
+/// use siopmp_iommu::rmp::{Rmp, OwnerId, RmpVerdict, OWNER_HYPERVISOR};
+/// let mut rmp = Rmp::new();
+/// let tee = OwnerId(7);
+/// rmp.assign(0x8000_0000, tee);
+/// assert_eq!(rmp.check(0x8000_0000, tee).0, RmpVerdict::Allowed);
+/// assert!(matches!(rmp.check(0x8000_0000, OWNER_HYPERVISOR).0,
+///                  RmpVerdict::WrongOwner(_)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Rmp {
+    owners: HashMap<u64, OwnerId>,
+    /// Cached check results: page → owner at cache-fill time.
+    cache: HashMap<u64, OwnerId>,
+    /// Pages whose cached result is stale (pending invalidation).
+    stale: Vec<u64>,
+}
+
+impl Rmp {
+    /// Creates an RMP in which every page belongs to the hypervisor.
+    pub fn new() -> Self {
+        Rmp::default()
+    }
+
+    fn page_of(addr: u64) -> u64 {
+        addr & !(IO_PAGE_SIZE - 1)
+    }
+
+    /// Current owner of the page containing `addr`.
+    pub fn owner(&self, addr: u64) -> OwnerId {
+        self.owners
+            .get(&Self::page_of(addr))
+            .copied()
+            .unwrap_or(OWNER_HYPERVISOR)
+    }
+
+    /// Reassigns the page containing `addr` to `owner`. Returns the update
+    /// cost. The cached check result becomes stale until
+    /// [`Rmp::invalidate`] runs — the same window/cost structure as IOTLB
+    /// invalidation.
+    pub fn assign(&mut self, addr: u64, owner: OwnerId) -> u64 {
+        let page = Self::page_of(addr);
+        self.owners.insert(page, owner);
+        if self.cache.contains_key(&page) {
+            self.stale.push(page);
+        }
+        RMP_UPDATE_CYCLES
+    }
+
+    /// Checks that the page containing `addr` belongs to `expected`.
+    /// Returns the verdict and the check cost (cache hit: 0; miss: a walk).
+    ///
+    /// **Stale-cache hazard**: a cached verdict may reflect a previous
+    /// owner until invalidation — exactly the replay/remap hazard TEE-IO
+    /// inherits (§2.3).
+    pub fn check(&mut self, addr: u64, expected: OwnerId) -> (RmpVerdict, u64) {
+        let page = Self::page_of(addr);
+        if let Some(&cached) = self.cache.get(&page) {
+            let verdict = if cached == expected {
+                RmpVerdict::Allowed
+            } else {
+                RmpVerdict::WrongOwner(cached)
+            };
+            return (verdict, 0);
+        }
+        let owner = self.owner(page);
+        self.cache.insert(page, owner);
+        let verdict = if owner == expected {
+            RmpVerdict::Allowed
+        } else {
+            RmpVerdict::WrongOwner(owner)
+        };
+        (verdict, RMP_WALK_CYCLES)
+    }
+
+    /// Number of pages with stale cached verdicts (attack window).
+    pub fn stale_pages(&self) -> usize {
+        self.stale.len()
+    }
+
+    /// Flushes stale cached verdicts. Returns the invalidation cost.
+    pub fn invalidate(&mut self) -> u64 {
+        for page in self.stale.drain(..) {
+            self.cache.remove(&page);
+        }
+        RMP_INVALIDATION_CYCLES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_owner_is_hypervisor() {
+        let rmp = Rmp::new();
+        assert_eq!(rmp.owner(0x1234_5000), OWNER_HYPERVISOR);
+    }
+
+    #[test]
+    fn assignment_transfers_ownership() {
+        let mut rmp = Rmp::new();
+        let tee = OwnerId(3);
+        rmp.assign(0x5000, tee);
+        assert_eq!(rmp.owner(0x5abc), tee);
+        let (v, cost) = rmp.check(0x5000, tee);
+        assert_eq!(v, RmpVerdict::Allowed);
+        assert_eq!(cost, RMP_WALK_CYCLES);
+        // Second check hits the cache.
+        let (_, cost) = rmp.check(0x5000, tee);
+        assert_eq!(cost, 0);
+    }
+
+    #[test]
+    fn stale_cache_is_the_attack_window() {
+        let mut rmp = Rmp::new();
+        let tee = OwnerId(3);
+        rmp.assign(0x5000, tee);
+        rmp.check(0x5000, tee); // warm the cache
+                                // Page is reclaimed by the hypervisor...
+        rmp.assign(0x5000, OWNER_HYPERVISOR);
+        // ...but before invalidation, the cached verdict still says "tee".
+        let (v, _) = rmp.check(0x5000, tee);
+        assert_eq!(v, RmpVerdict::Allowed, "stale verdict: the attack window");
+        assert_eq!(rmp.stale_pages(), 1);
+        // After the (expensive) invalidation, the truth is visible.
+        let cost = rmp.invalidate();
+        assert_eq!(cost, RMP_INVALIDATION_CYCLES);
+        let (v, _) = rmp.check(0x5000, tee);
+        assert!(matches!(v, RmpVerdict::WrongOwner(OWNER_HYPERVISOR)));
+    }
+
+    #[test]
+    fn checks_are_page_granular() {
+        let mut rmp = Rmp::new();
+        rmp.assign(0x6000, OwnerId(1));
+        // Any byte in the page carries the owner — sub-page buffers of
+        // different owners cannot coexist in one page.
+        assert_eq!(rmp.owner(0x6fff), OwnerId(1));
+        assert_eq!(rmp.owner(0x7000), OWNER_HYPERVISOR);
+    }
+}

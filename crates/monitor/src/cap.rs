@@ -1,0 +1,283 @@
+//! Capability kinds and derivation rules.
+//!
+//! A capability names one hardware resource and the privileges its holder
+//! has over it. Two operations exist (§5.4):
+//!
+//! * **derivation** — the owner mints a new capability with a *smaller*
+//!   scope (narrower memory range, fewer permissions). Derivation is
+//!   strictly monotone: privileges can only shrink;
+//! * **transfer** — the owner moves ownership (or grants a read-only copy)
+//!   to another entity; handled by [`crate::ownership`].
+
+use core::fmt;
+
+use siopmp::ids::DeviceId;
+
+/// Handle to a capability in the monitor's table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CapId(pub u64);
+
+impl fmt::Display for CapId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cap#{}", self.0)
+    }
+}
+
+/// Memory permissions carried by a memory capability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemPerms {
+    /// Holder may let devices read the region.
+    pub read: bool,
+    /// Holder may let devices write the region.
+    pub write: bool,
+}
+
+impl MemPerms {
+    /// Full access.
+    pub fn rw() -> Self {
+        MemPerms {
+            read: true,
+            write: true,
+        }
+    }
+
+    /// Read-only access.
+    pub fn ro() -> Self {
+        MemPerms {
+            read: true,
+            write: false,
+        }
+    }
+
+    /// Whether `self` is a (non-strict) subset of `other`.
+    pub fn subset_of(self, other: MemPerms) -> bool {
+        (!self.read || other.read) && (!self.write || other.write)
+    }
+}
+
+impl fmt::Display for MemPerms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}",
+            if self.read { 'r' } else { '-' },
+            if self.write { 'w' } else { '-' }
+        )
+    }
+}
+
+/// The resource a capability controls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Capability {
+    /// A physical memory range with maximum device permissions.
+    Memory {
+        /// Base address.
+        base: u64,
+        /// Length in bytes.
+        len: u64,
+        /// Maximum permissions derivable from this capability.
+        perms: MemPerms,
+    },
+    /// Control over one device.
+    Device {
+        /// The device's packet-level identifier.
+        device: DeviceId,
+    },
+}
+
+/// Why a derivation was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeriveError {
+    /// The requested range is not contained in the parent's range.
+    RangeEscape,
+    /// The requested permissions exceed the parent's.
+    PermissionEscalation,
+    /// Device capabilities are atomic: only exact copies can be derived.
+    DeviceNotDivisible,
+    /// Zero-length or wrapping range requested.
+    InvalidRange,
+}
+
+impl fmt::Display for DeriveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DeriveError::RangeEscape => "derived range escapes the parent range",
+            DeriveError::PermissionEscalation => "derived permissions exceed the parent",
+            DeriveError::DeviceNotDivisible => "device capabilities cannot be subdivided",
+            DeriveError::InvalidRange => "derived range is empty or wraps",
+        })
+    }
+}
+
+impl std::error::Error for DeriveError {}
+
+impl Capability {
+    /// Derives a narrower memory capability from this one.
+    ///
+    /// # Errors
+    ///
+    /// * [`DeriveError::DeviceNotDivisible`] on device capabilities;
+    /// * [`DeriveError::RangeEscape`] / [`DeriveError::PermissionEscalation`]
+    ///   / [`DeriveError::InvalidRange`] when the request widens scope.
+    pub fn derive_memory(
+        &self,
+        base: u64,
+        len: u64,
+        perms: MemPerms,
+    ) -> Result<Capability, DeriveError> {
+        match *self {
+            Capability::Device { .. } => Err(DeriveError::DeviceNotDivisible),
+            Capability::Memory {
+                base: pbase,
+                len: plen,
+                perms: pperms,
+            } => {
+                if len == 0 || base.checked_add(len).is_none() {
+                    return Err(DeriveError::InvalidRange);
+                }
+                if base < pbase || base + len > pbase + plen {
+                    return Err(DeriveError::RangeEscape);
+                }
+                if !perms.subset_of(pperms) {
+                    return Err(DeriveError::PermissionEscalation);
+                }
+                Ok(Capability::Memory { base, len, perms })
+            }
+        }
+    }
+
+    /// Whether this capability covers `[base, base+len)` with at least
+    /// `perms`.
+    pub fn covers(&self, base: u64, len: u64, perms: MemPerms) -> bool {
+        match *self {
+            Capability::Memory {
+                base: pbase,
+                len: plen,
+                perms: pperms,
+            } => {
+                len > 0
+                    && base >= pbase
+                    && base.checked_add(len).is_some_and(|end| end <= pbase + plen)
+                    && perms.subset_of(pperms)
+            }
+            Capability::Device { .. } => false,
+        }
+    }
+
+    /// The device this capability controls, if it is a device capability.
+    pub fn as_device(&self) -> Option<DeviceId> {
+        match self {
+            Capability::Device { device } => Some(*device),
+            Capability::Memory { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for Capability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Capability::Memory { base, len, perms } => {
+                write!(f, "mem {perms} [{base:#x}, {:#x})", base + len)
+            }
+            Capability::Device { device } => write!(f, "device {device}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem(base: u64, len: u64) -> Capability {
+        Capability::Memory {
+            base,
+            len,
+            perms: MemPerms::rw(),
+        }
+    }
+
+    #[test]
+    fn derive_narrower_range() {
+        let parent = mem(0x1000, 0x1000);
+        let child = parent.derive_memory(0x1100, 0x100, MemPerms::ro()).unwrap();
+        assert!(child.covers(0x1100, 0x100, MemPerms::ro()));
+        assert!(!child.covers(0x1100, 0x100, MemPerms::rw()));
+    }
+
+    #[test]
+    fn derive_cannot_escape_range() {
+        let parent = mem(0x1000, 0x1000);
+        assert_eq!(
+            parent.derive_memory(0x0800, 0x100, MemPerms::ro()),
+            Err(DeriveError::RangeEscape)
+        );
+        assert_eq!(
+            parent.derive_memory(0x1f00, 0x200, MemPerms::ro()),
+            Err(DeriveError::RangeEscape)
+        );
+    }
+
+    #[test]
+    fn derive_cannot_escalate_permissions() {
+        let parent = Capability::Memory {
+            base: 0x1000,
+            len: 0x1000,
+            perms: MemPerms::ro(),
+        };
+        assert_eq!(
+            parent.derive_memory(0x1000, 0x100, MemPerms::rw()),
+            Err(DeriveError::PermissionEscalation)
+        );
+    }
+
+    #[test]
+    fn derive_rejects_degenerate_ranges() {
+        let parent = mem(0x1000, 0x1000);
+        assert_eq!(
+            parent.derive_memory(0x1000, 0, MemPerms::ro()),
+            Err(DeriveError::InvalidRange)
+        );
+        assert_eq!(
+            parent.derive_memory(u64::MAX, 2, MemPerms::ro()),
+            Err(DeriveError::InvalidRange)
+        );
+    }
+
+    #[test]
+    fn device_caps_are_atomic() {
+        let dev = Capability::Device {
+            device: DeviceId(1),
+        };
+        assert_eq!(
+            dev.derive_memory(0, 1, MemPerms::ro()),
+            Err(DeriveError::DeviceNotDivisible)
+        );
+        assert_eq!(dev.as_device(), Some(DeviceId(1)));
+        assert!(!dev.covers(0, 1, MemPerms::ro()));
+    }
+
+    #[test]
+    fn repeated_derivation_is_monotone() {
+        // privilege can only shrink along a chain
+        let a = mem(0x0, 0x10000);
+        let b = a.derive_memory(0x1000, 0x1000, MemPerms::rw()).unwrap();
+        let c = b.derive_memory(0x1800, 0x100, MemPerms::ro()).unwrap();
+        assert!(a.covers(0x1800, 0x100, MemPerms::rw()));
+        assert!(b.covers(0x1800, 0x100, MemPerms::rw()));
+        assert!(c.covers(0x1800, 0x100, MemPerms::ro()));
+        // c cannot regain what b gave up
+        assert!(c.derive_memory(0x1800, 0x100, MemPerms::rw()).is_err());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(mem(0x1000, 0x100).to_string(), "mem rw [0x1000, 0x1100)");
+        assert_eq!(
+            Capability::Device {
+                device: DeviceId(2)
+            }
+            .to_string(),
+            "device dev:0x2"
+        );
+    }
+}

@@ -1,0 +1,245 @@
+//! Hardware controllers: PMP (CPU-side memory isolation), sIOPMP (device
+//! isolation) and the interrupt controller.
+//!
+//! The monitor's hardware-facing half (§5.4). The PMP controller models the
+//! RISC-V physical-memory-protection registers the monitor uses to protect
+//! itself and the extended IOPMP table; the sIOPMP controller owns the
+//! [`siopmp::Siopmp`] unit; the interrupt controller routes SID-missing and
+//! violation interrupts to their handlers.
+
+use siopmp::ids::DeviceId;
+use siopmp::violation::ViolationRecord;
+
+/// Number of PMP register pairs (RISC-V allows up to 64; 16 is typical).
+pub const PMP_REGIONS: usize = 16;
+
+/// One PMP region: a range the *CPU* (in lower privilege) may or may not
+/// touch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PmpRegion {
+    /// Base address.
+    pub base: u64,
+    /// Length in bytes.
+    pub len: u64,
+    /// Whether S/U mode may read the region.
+    pub allow_read: bool,
+    /// Whether S/U mode may write the region.
+    pub allow_write: bool,
+}
+
+/// The PMP controller: a fixed file of priority regions, lowest index
+/// first — the CPU-side analogue of the IOPMP entry table.
+#[derive(Debug, Clone)]
+pub struct PmpController {
+    regions: [Option<PmpRegion>; PMP_REGIONS],
+}
+
+impl Default for PmpController {
+    fn default() -> Self {
+        PmpController {
+            regions: [None; PMP_REGIONS],
+        }
+    }
+}
+
+impl PmpController {
+    /// Creates a controller with all regions clear (everything accessible).
+    pub fn new() -> Self {
+        PmpController::default()
+    }
+
+    /// Installs `region` at `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `slot >= PMP_REGIONS` — a monitor bug, not a runtime
+    /// condition.
+    pub fn set(&mut self, slot: usize, region: PmpRegion) {
+        assert!(slot < PMP_REGIONS, "PMP slot out of range");
+        self.regions[slot] = Some(region);
+    }
+
+    /// Clears `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `slot >= PMP_REGIONS`.
+    pub fn clear(&mut self, slot: usize) {
+        assert!(slot < PMP_REGIONS, "PMP slot out of range");
+        self.regions[slot] = None;
+    }
+
+    /// Whether an S/U-mode access `[addr, addr+len)` is permitted: the
+    /// first matching region decides; no match means allowed (PMP default
+    /// open for machine-mode-owned platforms; the monitor installs a final
+    /// deny-all region to flip the default where needed).
+    pub fn cpu_access_allowed(&self, addr: u64, len: u64, write: bool) -> bool {
+        for region in self.regions.iter().flatten() {
+            let end = region.base + region.len;
+            let a_end = match addr.checked_add(len) {
+                Some(e) => e,
+                None => return false,
+            };
+            if addr < end && a_end > region.base {
+                return if write {
+                    region.allow_write
+                } else {
+                    region.allow_read
+                };
+            }
+        }
+        true
+    }
+
+    /// Installs a deny-all guard over `[base, base+len)` at `slot` — how
+    /// the monitor protects the extended IOPMP table from the untrusted OS
+    /// (§4.2).
+    pub fn protect(&mut self, slot: usize, base: u64, len: u64) {
+        self.set(
+            slot,
+            PmpRegion {
+                base,
+                len,
+                allow_read: false,
+                allow_write: false,
+            },
+        );
+    }
+}
+
+/// Interrupts the sIOPMP unit raises towards the CPU (Figure 6).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MonitorInterrupt {
+    /// A DMA arrived from a registered-but-unmounted cold device.
+    SidMissing {
+        /// The device that needs mounting.
+        device: DeviceId,
+    },
+    /// The checker denied an access.
+    Violation(ViolationRecord),
+}
+
+/// A simple level-triggered interrupt controller with a pending queue.
+#[derive(Debug, Clone, Default)]
+pub struct InterruptController {
+    pending: std::collections::VecDeque<MonitorInterrupt>,
+    delivered: u64,
+}
+
+impl InterruptController {
+    /// Creates an empty controller.
+    pub fn new() -> Self {
+        InterruptController::default()
+    }
+
+    /// Raises an interrupt.
+    pub fn raise(&mut self, irq: MonitorInterrupt) {
+        self.pending.push_back(irq);
+    }
+
+    /// Pops the next pending interrupt, if any.
+    pub fn take_next(&mut self) -> Option<MonitorInterrupt> {
+        let irq = self.pending.pop_front();
+        if irq.is_some() {
+            self.delivered += 1;
+        }
+        irq
+    }
+
+    /// Number of pending interrupts.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Total interrupts delivered to handlers.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siopmp::request::AccessKind;
+
+    #[test]
+    fn pmp_protects_extended_table() {
+        let mut pmp = PmpController::new();
+        pmp.protect(0, 0x8000_0000, 0x1_0000);
+        assert!(!pmp.cpu_access_allowed(0x8000_0100, 8, false));
+        assert!(!pmp.cpu_access_allowed(0x8000_0100, 8, true));
+        assert!(pmp.cpu_access_allowed(0x9000_0000, 8, true));
+    }
+
+    #[test]
+    fn pmp_priority_first_match_wins() {
+        let mut pmp = PmpController::new();
+        // Slot 0 denies a sub-range, slot 1 allows the enclosing range.
+        pmp.set(
+            0,
+            PmpRegion {
+                base: 0x1000,
+                len: 0x100,
+                allow_read: false,
+                allow_write: false,
+            },
+        );
+        pmp.set(
+            1,
+            PmpRegion {
+                base: 0x0,
+                len: 0x10000,
+                allow_read: true,
+                allow_write: true,
+            },
+        );
+        assert!(!pmp.cpu_access_allowed(0x1010, 4, false));
+        assert!(pmp.cpu_access_allowed(0x2000, 4, true));
+    }
+
+    #[test]
+    fn pmp_wrapping_access_denied() {
+        let pmp = PmpController::new();
+        let mut guarded = PmpController::new();
+        guarded.protect(0, 0, 0x1000);
+        assert!(pmp.cpu_access_allowed(u64::MAX, 1, false));
+        assert!(!guarded.cpu_access_allowed(u64::MAX, 2, false));
+    }
+
+    #[test]
+    fn pmp_clear_reopens() {
+        let mut pmp = PmpController::new();
+        pmp.protect(3, 0x5000, 0x1000);
+        assert!(!pmp.cpu_access_allowed(0x5000, 4, false));
+        pmp.clear(3);
+        assert!(pmp.cpu_access_allowed(0x5000, 4, false));
+    }
+
+    #[test]
+    fn interrupt_queue_fifo() {
+        let mut ic = InterruptController::new();
+        ic.raise(MonitorInterrupt::SidMissing {
+            device: DeviceId(1),
+        });
+        ic.raise(MonitorInterrupt::Violation(ViolationRecord {
+            device: DeviceId(2),
+            sid: None,
+            addr: 0x1000,
+            len: 64,
+            kind: AccessKind::Write,
+        }));
+        assert_eq!(ic.pending(), 2);
+        assert!(matches!(
+            ic.take_next(),
+            Some(MonitorInterrupt::SidMissing {
+                device: DeviceId(1)
+            })
+        ));
+        assert!(matches!(
+            ic.take_next(),
+            Some(MonitorInterrupt::Violation(_))
+        ));
+        assert_eq!(ic.take_next(), None);
+        assert_eq!(ic.delivered(), 2);
+    }
+}

@@ -1,0 +1,227 @@
+//! S-mode entry delegation (§6.3).
+//!
+//! IOPMP entries are priority-ordered and MMIO-addressable, so the monitor
+//! can *delegate* the low-priority tail of a device's memory-domain window
+//! to the S-mode kernel: the kernel then drives `dma_map`/`dma_unmap`
+//! directly against hardware entries (fast, no monitor call), while
+//! higher-priority entries installed and **locked** by M-mode regulate what
+//! those delegated entries can ever authorise — a delegated allow entry is
+//! shadowed wherever a locked guard denies.
+
+use siopmp::entry::{AddressRange, IopmpEntry, Permissions};
+use siopmp::error::{Result, SiopmpError};
+use siopmp::ids::{EntryIndex, MdIndex, SourceId};
+use siopmp::Siopmp;
+
+/// A window of hardware entries the kernel may program directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DelegatedWindow {
+    /// The memory domain the window belongs to.
+    pub md: MdIndex,
+    /// First delegated entry index (inclusive).
+    pub start: u32,
+    /// One past the last delegated entry index.
+    pub end: u32,
+}
+
+impl DelegatedWindow {
+    /// Number of delegated entry slots.
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+
+    /// Whether `idx` lies inside the window.
+    pub fn contains(&self, idx: EntryIndex) -> bool {
+        idx.0 >= self.start && idx.0 < self.end
+    }
+}
+
+/// Creates a delegation: M-mode installs `guards` as locked, NO_PERMISSION
+/// entries at the *head* (highest priority) of `md`'s window, and returns
+/// the remaining tail as the kernel's delegated window.
+///
+/// # Errors
+///
+/// * [`SiopmpError::MdFull`] when the domain cannot hold the guards plus at
+///   least one delegated slot;
+/// * table errors for invalid guard ranges.
+pub fn delegate_window(
+    unit: &mut Siopmp,
+    md: MdIndex,
+    guards: &[(u64, u64)],
+) -> Result<DelegatedWindow> {
+    let (start, end) = unit.md_window(md)?;
+    if (end - start) as usize <= guards.len() {
+        return Err(SiopmpError::MdFull(md));
+    }
+    for (i, (base, len)) in guards.iter().enumerate() {
+        let idx = EntryIndex(start + i as u32);
+        // Guards must occupy the head slots; refuse if something is there.
+        if unit.entry(idx)?.is_some() {
+            return Err(SiopmpError::Locked("guard head slot already occupied"));
+        }
+        unit.set_entry(
+            idx,
+            Some(IopmpEntry::new_locked(
+                AddressRange::new(*base, *len)?,
+                Permissions::none(),
+            )),
+        )?;
+    }
+    Ok(DelegatedWindow {
+        md,
+        start: start + guards.len() as u32,
+        end,
+    })
+}
+
+/// Kernel-side `dma_map`: installs an allow entry in the first free
+/// delegated slot. Returns the entry index and the MMIO cycle cost.
+///
+/// # Errors
+///
+/// [`SiopmpError::MdFull`] when the window has no free slot.
+pub fn kernel_map(
+    unit: &mut Siopmp,
+    window: DelegatedWindow,
+    base: u64,
+    len: u64,
+    perms: Permissions,
+) -> Result<(EntryIndex, u64)> {
+    for j in window.start..window.end {
+        let idx = EntryIndex(j);
+        if unit.entry(idx)?.is_none() {
+            unit.set_entry(
+                idx,
+                Some(IopmpEntry::new(AddressRange::new(base, len)?, perms)),
+            )?;
+            return Ok((idx, siopmp::atomic::ENTRY_WRITE_CYCLES));
+        }
+    }
+    Err(SiopmpError::MdFull(window.md))
+}
+
+/// Kernel-side `dma_unmap`: clears a delegated entry under the per-SID
+/// blocking protocol. Returns the cycle cost.
+///
+/// # Errors
+///
+/// * [`SiopmpError::EntryOutOfRange`] when `idx` is outside the delegated
+///   window (the kernel cannot touch M-mode entries);
+/// * hardware errors from the update.
+pub fn kernel_unmap(
+    unit: &mut Siopmp,
+    window: DelegatedWindow,
+    sid: SourceId,
+    idx: EntryIndex,
+) -> Result<u64> {
+    if !window.contains(idx) {
+        return Err(SiopmpError::EntryOutOfRange {
+            index: idx,
+            num_entries: window.len(),
+        });
+    }
+    unit.modify_entries_atomically(sid, &[(idx, None)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siopmp::ids::DeviceId;
+    use siopmp::request::{AccessKind, DmaRequest};
+    use siopmp::SiopmpConfig;
+
+    fn setup() -> (Siopmp, SourceId, DelegatedWindow) {
+        let mut unit = Siopmp::new(SiopmpConfig::small());
+        let sid = unit.map_hot_device(DeviceId(1)).unwrap();
+        unit.associate_sid_with_md(sid, MdIndex(0)).unwrap();
+        // One guard protecting the monitor's own range.
+        let window = delegate_window(&mut unit, MdIndex(0), &[(0xFF00_0000, 0x10_0000)]).unwrap();
+        (unit, sid, window)
+    }
+
+    #[test]
+    fn kernel_map_creates_working_entry() {
+        let (mut unit, _sid, window) = setup();
+        let (idx, cycles) =
+            kernel_map(&mut unit, window, 0x1000, 0x100, Permissions::rw()).unwrap();
+        assert!(window.contains(idx));
+        assert_eq!(cycles, 14);
+        assert!(unit
+            .check(&DmaRequest::new(DeviceId(1), AccessKind::Read, 0x1000, 8))
+            .is_allowed());
+    }
+
+    #[test]
+    fn guards_shadow_delegated_entries() {
+        let (mut unit, _sid, window) = setup();
+        // The kernel tries to open the monitor's memory through its
+        // delegated slot: the locked guard wins by priority.
+        kernel_map(&mut unit, window, 0xFF00_0000, 0x1000, Permissions::rw()).unwrap();
+        assert!(unit
+            .check(&DmaRequest::new(
+                DeviceId(1),
+                AccessKind::Read,
+                0xFF00_0100,
+                8
+            ))
+            .is_denied());
+    }
+
+    #[test]
+    fn kernel_cannot_touch_guard_slots() {
+        let (mut unit, sid, window) = setup();
+        let guard_idx = EntryIndex(window.start - 1);
+        assert!(kernel_unmap(&mut unit, window, sid, guard_idx).is_err());
+        // Even a direct write to the guard slot fails: it is locked.
+        assert!(unit.set_entry(guard_idx, None).is_err());
+    }
+
+    #[test]
+    fn kernel_unmap_closes_access() {
+        let (mut unit, sid, window) = setup();
+        let (idx, _) = kernel_map(&mut unit, window, 0x1000, 0x100, Permissions::rw()).unwrap();
+        let cycles = kernel_unmap(&mut unit, window, sid, idx).unwrap();
+        assert_eq!(cycles, 49);
+        assert!(unit
+            .check(&DmaRequest::new(DeviceId(1), AccessKind::Read, 0x1000, 8))
+            .is_denied());
+    }
+
+    #[test]
+    fn window_exhaustion_reported() {
+        let (mut unit, _sid, window) = setup();
+        let mut count = 0;
+        loop {
+            match kernel_map(
+                &mut unit,
+                window,
+                0x1_0000 + count * 0x1000,
+                0x100,
+                Permissions::rw(),
+            ) {
+                Ok(_) => count += 1,
+                Err(SiopmpError::MdFull(_)) => break,
+                Err(e) => panic!("unexpected: {e}"),
+            }
+        }
+        assert_eq!(count, window.len() as u64);
+    }
+
+    #[test]
+    fn delegation_requires_room_for_guards() {
+        let mut unit = Siopmp::new(SiopmpConfig::small());
+        // MD0's window is 4 entries in the small config; 4 guards leave no
+        // delegated slot.
+        let guards: Vec<(u64, u64)> = (0..4).map(|i| (0x1000 * i, 0x100)).collect();
+        assert!(matches!(
+            delegate_window(&mut unit, MdIndex(0), &guards),
+            Err(SiopmpError::MdFull(_))
+        ));
+    }
+}

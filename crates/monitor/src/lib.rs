@@ -1,0 +1,32 @@
+//! # siopmp-monitor — the Penglai-style secure monitor
+//!
+//! The firmware layer of the sIOPMP design (§5.4): a small trusted monitor
+//! that owns all hardware resources at boot and hands them out to TEEs
+//! through **capability-based, ownership-checked interfaces**.
+//!
+//! The monitor is split the way the paper describes:
+//!
+//! * the **capability layer** ([`cap`], [`ownership`]) — every hardware
+//!   resource (memory range, device) is a capability; owners can *derive*
+//!   narrower capabilities and *transfer* ownership, and only the owner may
+//!   configure the underlying hardware;
+//! * the **hardware controllers** ([`controllers`]) — the PMP controller
+//!   (CPU-side memory isolation, which also protects the extended IOPMP
+//!   table), the sIOPMP controller (device isolation) and the interrupt
+//!   controller (SID-missing and violation interrupts);
+//! * the **TEE manager** ([`tee`]) — tracks each TEE's capability set and
+//!   drives `create_tee` / `device_map` / `device_unmap` flows
+//!   ([`SecureMonitor`]).
+
+pub mod cap;
+pub mod controllers;
+pub mod delegation;
+pub mod memmgr;
+pub mod monitor;
+pub mod ownership;
+pub mod tee;
+
+pub use crate::cap::{CapId, Capability, MemPerms};
+pub use crate::monitor::{MonitorError, SecureMonitor};
+pub use crate::ownership::EntityId;
+pub use crate::tee::TeeId;

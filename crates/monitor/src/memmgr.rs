@@ -1,0 +1,264 @@
+//! The monitor's physical-memory manager: carves TEE memory regions out of
+//! the platform's secure pool and assigns PMP slots to shield them from
+//! the untrusted OS.
+//!
+//! The paper's monitor "can partition all hardware resources into separate
+//! isolated domains or TEEs" (§6.1); this module is the memory half of
+//! that partitioning. Regions are allocated first-fit from a pool,
+//! coalesced on release, and each live region occupies one PMP slot
+//! (regions are therefore a scarce resource, exactly like real PMP
+//! hardware with its ~16 register pairs).
+
+use std::collections::BTreeMap;
+
+use crate::controllers::{PmpController, PMP_REGIONS};
+
+/// Errors from the memory manager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemMgrError {
+    /// The pool has no fragment large enough.
+    OutOfMemory,
+    /// All PMP slots are in use.
+    OutOfPmpSlots,
+    /// Releasing a region that is not live.
+    NotAllocated(u64),
+    /// Alignment or size constraints violated.
+    BadRequest,
+}
+
+impl core::fmt::Display for MemMgrError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MemMgrError::OutOfMemory => f.write_str("secure memory pool exhausted"),
+            MemMgrError::OutOfPmpSlots => f.write_str("no free PMP slot"),
+            MemMgrError::NotAllocated(a) => write!(f, "region {a:#x} is not allocated"),
+            MemMgrError::BadRequest => f.write_str("bad alignment or size"),
+        }
+    }
+}
+
+impl std::error::Error for MemMgrError {}
+
+/// A live TEE memory region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SecureRegion {
+    /// Base address.
+    pub base: u64,
+    /// Length in bytes.
+    pub len: u64,
+    /// PMP slot shielding the region.
+    pub pmp_slot: usize,
+}
+
+/// First-fit allocator over the secure memory pool, with PMP slot
+/// bookkeeping.
+#[derive(Debug, Clone)]
+pub struct MemoryManager {
+    free: BTreeMap<u64, u64>,
+    live: BTreeMap<u64, SecureRegion>,
+    slots_used: [bool; PMP_REGIONS],
+    /// Slots below this index are reserved for the monitor itself.
+    reserved_slots: usize,
+}
+
+/// Allocation granule (regions are multiples of 4 KiB, PMP-style).
+pub const GRANULE: u64 = 4096;
+
+impl MemoryManager {
+    /// Creates a manager over the pool `[base, base+len)`, reserving the
+    /// first `reserved_slots` PMP slots for the monitor's own guards.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unaligned pool bounds or when every slot is reserved —
+    /// construction-time monitor bugs.
+    pub fn new(base: u64, len: u64, reserved_slots: usize) -> Self {
+        assert_eq!(base % GRANULE, 0, "pool base must be granule aligned");
+        assert_eq!(len % GRANULE, 0, "pool size must be granule aligned");
+        assert!(reserved_slots < PMP_REGIONS, "no slots left for TEEs");
+        let mut free = BTreeMap::new();
+        free.insert(base, len);
+        MemoryManager {
+            free,
+            live: BTreeMap::new(),
+            slots_used: [false; PMP_REGIONS],
+            reserved_slots,
+        }
+    }
+
+    /// Live regions count.
+    pub fn live_regions(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Free bytes remaining.
+    pub fn free_bytes(&self) -> u64 {
+        self.free.values().sum()
+    }
+
+    fn take_slot(&mut self) -> Option<usize> {
+        let slot = (self.reserved_slots..PMP_REGIONS).find(|&s| !self.slots_used[s])?;
+        self.slots_used[slot] = true;
+        Some(slot)
+    }
+
+    /// Allocates a region of `len` bytes (rounded up to the granule),
+    /// shields it with a PMP slot, and returns it.
+    ///
+    /// # Errors
+    ///
+    /// [`MemMgrError::BadRequest`], [`MemMgrError::OutOfMemory`] or
+    /// [`MemMgrError::OutOfPmpSlots`]. On slot exhaustion the pool is left
+    /// unchanged.
+    pub fn allocate(
+        &mut self,
+        len: u64,
+        pmp: &mut PmpController,
+    ) -> Result<SecureRegion, MemMgrError> {
+        if len == 0 {
+            return Err(MemMgrError::BadRequest);
+        }
+        let len = len.div_ceil(GRANULE) * GRANULE;
+        let (start, flen) = self
+            .free
+            .iter()
+            .find(|(_, &l)| l >= len)
+            .map(|(&s, &l)| (s, l))
+            .ok_or(MemMgrError::OutOfMemory)?;
+        let slot = self.take_slot().ok_or(MemMgrError::OutOfPmpSlots)?;
+        self.free.remove(&start);
+        if flen > len {
+            self.free.insert(start + len, flen - len);
+        }
+        let region = SecureRegion {
+            base: start,
+            len,
+            pmp_slot: slot,
+        };
+        self.live.insert(start, region);
+        pmp.protect(slot, start, len);
+        Ok(region)
+    }
+
+    /// Releases a region: clears its PMP slot and coalesces the pool.
+    ///
+    /// # Errors
+    ///
+    /// [`MemMgrError::NotAllocated`].
+    pub fn release(
+        &mut self,
+        region: SecureRegion,
+        pmp: &mut PmpController,
+    ) -> Result<(), MemMgrError> {
+        match self.live.get(&region.base) {
+            Some(r) if *r == region => {}
+            _ => return Err(MemMgrError::NotAllocated(region.base)),
+        }
+        self.live.remove(&region.base);
+        self.slots_used[region.pmp_slot] = false;
+        pmp.clear(region.pmp_slot);
+        // Coalesce into the free map.
+        let mut start = region.base;
+        let mut len = region.len;
+        if let Some(&next_len) = self.free.get(&(start + len)) {
+            self.free.remove(&(start + len));
+            len += next_len;
+        }
+        if let Some((&pstart, &plen)) = self.free.range(..start).next_back() {
+            if pstart + plen == start {
+                self.free.remove(&pstart);
+                start = pstart;
+                len += plen;
+            }
+        }
+        self.free.insert(start, len);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (MemoryManager, PmpController) {
+        (
+            MemoryManager::new(0x8000_0000, 0x40_0000, 1),
+            PmpController::new(),
+        )
+    }
+
+    #[test]
+    fn allocation_shields_region_with_pmp() {
+        let (mut mgr, mut pmp) = setup();
+        let region = mgr.allocate(0x2000, &mut pmp).unwrap();
+        assert_eq!(region.len, 0x2000);
+        assert!(region.pmp_slot >= 1, "slot 0 is reserved");
+        // The untrusted OS can no longer touch the region.
+        assert!(!pmp.cpu_access_allowed(region.base, 8, false));
+        assert!(!pmp.cpu_access_allowed(region.base + region.len - 8, 8, true));
+        // Outside stays open.
+        assert!(pmp.cpu_access_allowed(region.base + region.len, 8, true));
+    }
+
+    #[test]
+    fn release_reopens_and_coalesces() {
+        let (mut mgr, mut pmp) = setup();
+        let a = mgr.allocate(0x1000, &mut pmp).unwrap();
+        let b = mgr.allocate(0x1000, &mut pmp).unwrap();
+        let before = mgr.free_bytes();
+        mgr.release(a, &mut pmp).unwrap();
+        mgr.release(b, &mut pmp).unwrap();
+        assert_eq!(mgr.free_bytes(), before + 0x2000);
+        assert!(pmp.cpu_access_allowed(a.base, 8, true));
+        assert_eq!(mgr.live_regions(), 0);
+        // Pool fully coalesced: a max-size allocation succeeds again.
+        assert!(mgr.allocate(0x40_0000, &mut pmp).is_ok());
+    }
+
+    #[test]
+    fn pmp_slots_are_the_scarce_resource() {
+        let (mut mgr, mut pmp) = setup();
+        let mut regions = Vec::new();
+        loop {
+            match mgr.allocate(GRANULE, &mut pmp) {
+                Ok(r) => regions.push(r),
+                Err(MemMgrError::OutOfPmpSlots) => break,
+                Err(e) => panic!("unexpected: {e}"),
+            }
+        }
+        assert_eq!(regions.len(), PMP_REGIONS - 1); // one reserved
+                                                    // Releasing one frees a slot for reuse.
+        mgr.release(regions.pop().unwrap(), &mut pmp).unwrap();
+        assert!(mgr.allocate(GRANULE, &mut pmp).is_ok());
+    }
+
+    #[test]
+    fn double_release_rejected() {
+        let (mut mgr, mut pmp) = setup();
+        let region = mgr.allocate(GRANULE, &mut pmp).unwrap();
+        mgr.release(region, &mut pmp).unwrap();
+        assert_eq!(
+            mgr.release(region, &mut pmp),
+            Err(MemMgrError::NotAllocated(region.base))
+        );
+    }
+
+    #[test]
+    fn requests_round_up_to_granule() {
+        let (mut mgr, mut pmp) = setup();
+        let region = mgr.allocate(1, &mut pmp).unwrap();
+        assert_eq!(region.len, GRANULE);
+        assert!(mgr.allocate(0, &mut pmp).is_err());
+    }
+
+    #[test]
+    fn exhaustion_reported() {
+        let mut mgr = MemoryManager::new(0x8000_0000, 2 * GRANULE, 0);
+        let mut pmp = PmpController::new();
+        mgr.allocate(2 * GRANULE, &mut pmp).unwrap();
+        assert_eq!(
+            mgr.allocate(GRANULE, &mut pmp),
+            Err(MemMgrError::OutOfMemory)
+        );
+    }
+}

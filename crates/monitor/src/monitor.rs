@@ -1,0 +1,626 @@
+//! The secure monitor: ownership-based interfaces over the sIOPMP hardware
+//! (§5.4, Figure 9).
+//!
+//! Flow mirroring the paper's example:
+//!
+//! 1. at boot the monitor owns every capability ([`SecureMonitor::boot`]
+//!    mints roots and hands the boot system what it is given);
+//! 2. `create_tee(caps)` transfers device and memory capabilities from the
+//!    boot system into a fresh TEE;
+//! 3. `device_map(tee, cap_dev, cap_mem, perms)` installs IOPMP entries for
+//!    the device, after validating that the TEE really owns both
+//!    capabilities and that the requested range/permissions are covered by
+//!    the memory capability;
+//! 4. `device_unmap` clears the entries under the per-SID blocking
+//!    protocol (fast and deterministic — the property Figure 13/15 relies
+//!    on);
+//! 5. interrupts from the sIOPMP unit (SID-missing, violations) are routed
+//!    through [`SecureMonitor::handle_interrupts`].
+
+use siopmp::entry::{AddressRange, IopmpEntry, Permissions};
+use siopmp::error::SiopmpError;
+use siopmp::ids::{DeviceId, EntryIndex, MdIndex};
+use siopmp::mountable::MountableEntry;
+use siopmp::{CheckOutcome, Siopmp, SiopmpConfig};
+
+use crate::cap::{CapId, Capability, MemPerms};
+use crate::controllers::{InterruptController, MonitorInterrupt, PmpController};
+use crate::ownership::{CapError, CapTable, EntityId};
+use crate::tee::{DeviceBinding, TeeId, TeeManager};
+
+/// Errors surfaced by monitor calls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MonitorError {
+    /// Capability-layer refusal (wrong owner, revoked, bad derivation).
+    Cap(CapError),
+    /// sIOPMP hardware refusal.
+    Hw(SiopmpError),
+    /// The named TEE does not exist.
+    NoSuchTee(TeeId),
+    /// The capability is of the wrong kind for the call.
+    WrongCapKind(CapId),
+    /// The requested range/permissions exceed the memory capability.
+    OutsideCapability(CapId),
+    /// The device is not bound to the TEE (device_map before create_tee
+    /// transferred it, or after unbind).
+    DeviceNotBound(DeviceId),
+    /// No free memory domain to give the device.
+    NoFreeMd,
+}
+
+impl core::fmt::Display for MonitorError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MonitorError::Cap(e) => write!(f, "capability error: {e}"),
+            MonitorError::Hw(e) => write!(f, "hardware error: {e}"),
+            MonitorError::NoSuchTee(t) => write!(f, "{t} does not exist"),
+            MonitorError::WrongCapKind(c) => write!(f, "{c} has the wrong kind"),
+            MonitorError::OutsideCapability(c) => {
+                write!(f, "request exceeds the scope of {c}")
+            }
+            MonitorError::DeviceNotBound(d) => write!(f, "{d} is not bound to the TEE"),
+            MonitorError::NoFreeMd => write!(f, "no free memory domain"),
+        }
+    }
+}
+
+impl std::error::Error for MonitorError {}
+
+impl From<CapError> for MonitorError {
+    fn from(e: CapError) -> Self {
+        MonitorError::Cap(e)
+    }
+}
+
+impl From<SiopmpError> for MonitorError {
+    fn from(e: SiopmpError) -> Self {
+        MonitorError::Hw(e)
+    }
+}
+
+/// The secure monitor.
+///
+/// # Examples
+///
+/// ```
+/// use siopmp_monitor::{SecureMonitor, MemPerms};
+/// use siopmp::ids::DeviceId;
+///
+/// # fn main() -> Result<(), siopmp_monitor::MonitorError> {
+/// let mut monitor = SecureMonitor::boot(siopmp::SiopmpConfig::small());
+/// let mem = monitor.mint_memory(0x8000_0000, 0x10_0000, MemPerms::rw());
+/// let dev = monitor.mint_device(DeviceId(0x10));
+/// let tee = monitor.create_tee(vec![mem, dev])?;
+/// monitor.device_map(tee, dev, mem, 0x8000_0000, 0x1000, MemPerms::rw())?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SecureMonitor {
+    caps: CapTable,
+    tees: TeeManager,
+    siopmp: Siopmp,
+    pmp: PmpController,
+    irqs: InterruptController,
+    /// Next hot memory domain to hand out (round-robin over hot MDs).
+    next_md: u16,
+    /// Cycle accounting of monitor-side operations (for experiments).
+    cycles_spent: u64,
+}
+
+impl SecureMonitor {
+    /// Boots the monitor over a fresh sIOPMP unit. The PMP guard over the
+    /// extended IOPMP table is installed here (slot 0, §4.2).
+    pub fn boot(config: SiopmpConfig) -> Self {
+        let mut pmp = PmpController::new();
+        // Protect the (model's) extended-table region from S/U mode.
+        pmp.protect(0, EXT_TABLE_BASE, EXT_TABLE_LEN);
+        SecureMonitor {
+            caps: CapTable::new(),
+            tees: TeeManager::new(),
+            siopmp: Siopmp::new(config),
+            pmp,
+            irqs: InterruptController::new(),
+            next_md: 0,
+            cycles_spent: 0,
+        }
+    }
+
+    /// Mints a root memory capability (boot-time resource enumeration) and
+    /// hands it to the boot system.
+    pub fn mint_memory(&mut self, base: u64, len: u64, perms: MemPerms) -> CapId {
+        let id = self.caps.mint(Capability::Memory { base, len, perms });
+        self.caps
+            .transfer(EntityId::Monitor, id, EntityId::BootSystem)
+            .expect("freshly minted cap is monitor-owned");
+        id
+    }
+
+    /// Mints a root device capability and hands it to the boot system.
+    pub fn mint_device(&mut self, device: DeviceId) -> CapId {
+        let id = self.caps.mint(Capability::Device { device });
+        self.caps
+            .transfer(EntityId::Monitor, id, EntityId::BootSystem)
+            .expect("freshly minted cap is monitor-owned");
+        id
+    }
+
+    /// Read access to the capability table (for audits and tests).
+    pub fn caps(&self) -> &CapTable {
+        &self.caps
+    }
+
+    /// Read access to the sIOPMP unit.
+    pub fn siopmp(&self) -> &Siopmp {
+        &self.siopmp
+    }
+
+    /// Mutable access to the sIOPMP unit — exposed so full-system
+    /// simulations can route DMA checks through the same unit the monitor
+    /// configures.
+    pub fn siopmp_mut(&mut self) -> &mut Siopmp {
+        &mut self.siopmp
+    }
+
+    /// Read access to the PMP controller.
+    pub fn pmp(&self) -> &PmpController {
+        &self.pmp
+    }
+
+    /// Total cycles the monitor has spent in configuration operations.
+    pub fn cycles_spent(&self) -> u64 {
+        self.cycles_spent
+    }
+
+    /// `Create_TEE`: transfers `caps` from the boot system into a new TEE
+    /// (Figure 9). Device capabilities get the device registered with the
+    /// sIOPMP unit (hot if a SID is free, cold otherwise) and a memory
+    /// domain allocated.
+    ///
+    /// # Errors
+    ///
+    /// Capability-ownership errors; hardware errors from device
+    /// registration. On error, already-transferred capabilities stay with
+    /// the TEE (the caller can destroy it).
+    pub fn create_tee(&mut self, caps: Vec<CapId>) -> Result<TeeId, MonitorError> {
+        let tee = self.tees.create(caps.clone());
+        for cap in &caps {
+            self.caps
+                .transfer(EntityId::BootSystem, *cap, tee.entity())?;
+        }
+        // Bind device capabilities.
+        for cap in &caps {
+            if let Some(device) = self.caps.capability(*cap)?.as_device() {
+                self.bind_device(tee, device)?;
+            }
+        }
+        Ok(tee)
+    }
+
+    fn alloc_md(&mut self) -> Result<MdIndex, MonitorError> {
+        let hot_mds = (self.siopmp.config().num_mds - 1) as u16;
+        if self.next_md >= hot_mds {
+            return Err(MonitorError::NoFreeMd);
+        }
+        let md = MdIndex(self.next_md);
+        self.next_md += 1;
+        Ok(md)
+    }
+
+    fn bind_device(&mut self, tee: TeeId, device: DeviceId) -> Result<(), MonitorError> {
+        let md = self.alloc_md()?;
+        let sid = match self.siopmp.map_hot_device(device) {
+            Ok(sid) => {
+                self.siopmp.associate_sid_with_md(sid, md)?;
+                Some(sid)
+            }
+            Err(SiopmpError::HotSidsExhausted) => {
+                self.siopmp.register_cold_device(
+                    device,
+                    MountableEntry {
+                        domains: vec![md],
+                        entries: vec![],
+                    },
+                )?;
+                None
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let t = self.tees.get_mut(tee).ok_or(MonitorError::NoSuchTee(tee))?;
+        t.devices.insert(
+            device,
+            DeviceBinding {
+                device,
+                sid,
+                md,
+                mappings: std::collections::HashMap::new(),
+            },
+        );
+        Ok(())
+    }
+
+    fn resolve_device_cap(&self, tee: TeeId, cap_dev: CapId) -> Result<DeviceId, MonitorError> {
+        self.caps.check_owner(tee.entity(), cap_dev)?;
+        self.caps
+            .capability(cap_dev)?
+            .as_device()
+            .ok_or(MonitorError::WrongCapKind(cap_dev))
+    }
+
+    /// `Device_map`: installs an IOPMP entry letting `cap_dev`'s device
+    /// access `[base, base+len)` with `perms`. The TEE must own both
+    /// capabilities and the range/permissions must be covered by `cap_mem`.
+    /// Returns the installed entry index.
+    ///
+    /// # Errors
+    ///
+    /// Ownership, coverage, and hardware errors.
+    pub fn device_map(
+        &mut self,
+        tee: TeeId,
+        cap_dev: CapId,
+        cap_mem: CapId,
+        base: u64,
+        len: u64,
+        perms: MemPerms,
+    ) -> Result<EntryIndex, MonitorError> {
+        let device = self.resolve_device_cap(tee, cap_dev)?;
+        self.caps.check_owner(tee.entity(), cap_mem)?;
+        if !self.caps.capability(cap_mem)?.covers(base, len, perms) {
+            return Err(MonitorError::OutsideCapability(cap_mem));
+        }
+        let t = self.tees.get(tee).ok_or(MonitorError::NoSuchTee(tee))?;
+        let binding = t
+            .devices
+            .get(&device)
+            .ok_or(MonitorError::DeviceNotBound(device))?;
+        let md = binding.md;
+        let sid = binding.sid;
+        let entry = IopmpEntry::new(
+            AddressRange::new(base, len)?,
+            Permissions::from_bits(perms.read, perms.write),
+        );
+        let idx = if sid.is_some() {
+            self.siopmp.install_entry(md, entry)?
+        } else {
+            // Cold device: extend its mountable record instead.
+            self.install_cold_entry(device, entry)?
+        };
+        self.cycles_spent += siopmp::atomic::modification_cycles(1, true);
+        let t = self.tees.get_mut(tee).expect("checked above");
+        t.devices
+            .get_mut(&device)
+            .expect("checked above")
+            .mappings
+            .entry(cap_mem)
+            .or_default()
+            .push(idx);
+        Ok(idx)
+    }
+
+    fn install_cold_entry(
+        &mut self,
+        device: DeviceId,
+        entry: IopmpEntry,
+    ) -> Result<EntryIndex, MonitorError> {
+        // Rewrite the extended-table record with the new entry appended.
+        // The entry index returned is the position within the record; it
+        // becomes a hardware index only while mounted.
+        let unit = &mut self.siopmp;
+        let was_mounted = unit.mounted_cold_device() == Some(device);
+        // Take, extend, re-register.
+        if !unit.is_cold(device) {
+            return Err(MonitorError::DeviceNotBound(device));
+        }
+        let mut record = unit_extended_get(unit, device)?;
+        let idx = EntryIndex(record.entries.len() as u32);
+        record.entries.push(entry);
+        unit_extended_put(unit, device, record);
+        if was_mounted {
+            // Remount so the hardware window reflects the new entry set.
+            unit.handle_sid_missing(device)?;
+        }
+        Ok(idx)
+    }
+
+    /// `Device_unmap`: removes the entries installed for `(cap_dev,
+    /// cap_mem)` under the per-SID blocking protocol. Returns the modelled
+    /// cycle cost (block + per-entry writes, Figure 13).
+    ///
+    /// # Errors
+    ///
+    /// Ownership and hardware errors; unknown mappings are a no-op cost.
+    pub fn device_unmap(
+        &mut self,
+        tee: TeeId,
+        cap_dev: CapId,
+        cap_mem: CapId,
+    ) -> Result<u64, MonitorError> {
+        let device = self.resolve_device_cap(tee, cap_dev)?;
+        let t = self.tees.get_mut(tee).ok_or(MonitorError::NoSuchTee(tee))?;
+        let binding = t
+            .devices
+            .get_mut(&device)
+            .ok_or(MonitorError::DeviceNotBound(device))?;
+        let Some(indices) = binding.mappings.remove(&cap_mem) else {
+            return Ok(0);
+        };
+        let cycles = match binding.sid {
+            Some(sid) => {
+                let updates: Vec<(EntryIndex, Option<IopmpEntry>)> =
+                    indices.into_iter().map(|i| (i, None)).collect();
+                self.siopmp.modify_entries_atomically(sid, &updates)?
+            }
+            None => {
+                // Cold device: rewrite the extended record without the
+                // unmapped entries.
+                let mut record = unit_extended_get(&mut self.siopmp, device)?;
+                let drop: std::collections::HashSet<u32> = indices.iter().map(|i| i.0).collect();
+                record.entries = record
+                    .entries
+                    .into_iter()
+                    .enumerate()
+                    .filter(|(i, _)| !drop.contains(&(*i as u32)))
+                    .map(|(_, e)| e)
+                    .collect();
+                let n = drop.len();
+                let was_mounted = self.siopmp.mounted_cold_device() == Some(device);
+                unit_extended_put(&mut self.siopmp, device, record);
+                if was_mounted {
+                    self.siopmp.handle_sid_missing(device)?;
+                }
+                siopmp::atomic::modification_cycles(n, true)
+            }
+        };
+        self.cycles_spent += cycles;
+        Ok(cycles)
+    }
+
+    /// Destroys a TEE: revokes its capabilities and clears every entry it
+    /// installed.
+    ///
+    /// # Errors
+    ///
+    /// [`MonitorError::NoSuchTee`].
+    pub fn destroy_tee(&mut self, tee: TeeId) -> Result<(), MonitorError> {
+        let state = self.tees.destroy(tee).ok_or(MonitorError::NoSuchTee(tee))?;
+        for (_, binding) in state.devices {
+            let indices: Vec<EntryIndex> = binding.mappings.into_values().flatten().collect();
+            if let Some(sid) = binding.sid {
+                let updates: Vec<(EntryIndex, Option<IopmpEntry>)> =
+                    indices.into_iter().map(|i| (i, None)).collect();
+                self.cycles_spent += self.siopmp.modify_entries_atomically(sid, &updates)?;
+            }
+        }
+        for cap in state.caps {
+            self.caps.revoke(EntityId::Monitor, cap)?;
+        }
+        Ok(())
+    }
+
+    /// Presents one DMA request to the sIOPMP unit and services any
+    /// resulting interrupt inline (the full-system check path). Returns
+    /// the final outcome after at most one cold-device switch.
+    pub fn check_dma(&mut self, req: &siopmp::request::DmaRequest) -> CheckOutcome {
+        match self.siopmp.check(req) {
+            CheckOutcome::SidMissing { device } => {
+                self.irqs.raise(MonitorInterrupt::SidMissing { device });
+                self.handle_interrupts();
+                self.siopmp.check(req)
+            }
+            CheckOutcome::Denied(record) => {
+                self.irqs.raise(MonitorInterrupt::Violation(record));
+                self.handle_interrupts();
+                CheckOutcome::Denied(record)
+            }
+            other => other,
+        }
+    }
+
+    /// Drains and services pending interrupts. Returns how many were
+    /// handled.
+    pub fn handle_interrupts(&mut self) -> usize {
+        let mut handled = 0;
+        while let Some(irq) = self.irqs.take_next() {
+            match irq {
+                MonitorInterrupt::SidMissing { device } => {
+                    if let Ok(report) = self.siopmp.handle_sid_missing(device) {
+                        self.cycles_spent += report.cycles;
+                    }
+                }
+                MonitorInterrupt::Violation(_record) => {
+                    // Recorded in the unit's violation log; a real monitor
+                    // would notify the owning TEE here.
+                }
+            }
+            handled += 1;
+        }
+        handled
+    }
+
+    /// Violations the hardware has recorded (drains the unit's log).
+    pub fn take_violations(&mut self) -> Vec<siopmp::violation::ViolationRecord> {
+        self.siopmp.take_violations()
+    }
+}
+
+/// Model address of the extended IOPMP table in protected memory.
+pub const EXT_TABLE_BASE: u64 = 0xFF00_0000;
+/// Model size of the extended IOPMP table region.
+pub const EXT_TABLE_LEN: u64 = 0x10_0000;
+
+// Small helpers: the core crate exposes the extended table only through
+// register/remove; the monitor needs read-modify-write.
+fn unit_extended_get(unit: &mut Siopmp, device: DeviceId) -> Result<MountableEntry, MonitorError> {
+    // Remove and return; caller must put it back.
+    unit.take_cold_record(device).map_err(MonitorError::Hw)
+}
+
+fn unit_extended_put(unit: &mut Siopmp, device: DeviceId, record: MountableEntry) {
+    unit.put_cold_record(device, record);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siopmp::request::{AccessKind, DmaRequest};
+
+    fn booted() -> SecureMonitor {
+        SecureMonitor::boot(SiopmpConfig::small())
+    }
+
+    #[test]
+    fn boot_protects_extended_table() {
+        let m = booted();
+        assert!(!m.pmp().cpu_access_allowed(EXT_TABLE_BASE + 0x100, 8, true));
+    }
+
+    #[test]
+    fn create_tee_transfers_ownership() {
+        let mut m = booted();
+        let mem = m.mint_memory(0x1000, 0x1000, MemPerms::rw());
+        let dev = m.mint_device(DeviceId(1));
+        let tee = m.create_tee(vec![mem, dev]).unwrap();
+        assert_eq!(m.caps().owner(mem).unwrap(), tee.entity());
+        assert_eq!(m.caps().owner(dev).unwrap(), tee.entity());
+        // Ownership chain: monitor -> boot system -> tee.
+        assert_eq!(m.caps().chain(mem).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn device_map_installs_working_entry() {
+        let mut m = booted();
+        let mem = m.mint_memory(0x8000_0000, 0x10_0000, MemPerms::rw());
+        let dev = m.mint_device(DeviceId(1));
+        let tee = m.create_tee(vec![mem, dev]).unwrap();
+        m.device_map(tee, dev, mem, 0x8000_0000, 0x1000, MemPerms::rw())
+            .unwrap();
+        let out = m.check_dma(&DmaRequest::new(
+            DeviceId(1),
+            AccessKind::Write,
+            0x8000_0100,
+            64,
+        ));
+        assert!(out.is_allowed());
+        let out = m.check_dma(&DmaRequest::new(
+            DeviceId(1),
+            AccessKind::Write,
+            0x9000_0000,
+            64,
+        ));
+        assert!(out.is_denied());
+    }
+
+    #[test]
+    fn device_map_requires_capability_coverage() {
+        let mut m = booted();
+        let mem = m.mint_memory(0x8000_0000, 0x1000, MemPerms::ro());
+        let dev = m.mint_device(DeviceId(1));
+        let tee = m.create_tee(vec![mem, dev]).unwrap();
+        // Range escape.
+        assert!(matches!(
+            m.device_map(tee, dev, mem, 0x8000_0000, 0x2000, MemPerms::ro()),
+            Err(MonitorError::OutsideCapability(_))
+        ));
+        // Permission escalation.
+        assert!(matches!(
+            m.device_map(tee, dev, mem, 0x8000_0000, 0x100, MemPerms::rw()),
+            Err(MonitorError::OutsideCapability(_))
+        ));
+    }
+
+    #[test]
+    fn device_map_requires_ownership() {
+        let mut m = booted();
+        let mem = m.mint_memory(0x8000_0000, 0x1000, MemPerms::rw());
+        let dev = m.mint_device(DeviceId(1));
+        let tee_a = m.create_tee(vec![dev]).unwrap();
+        let _tee_b = m.create_tee(vec![mem]).unwrap();
+        // tee_a does not own the memory capability.
+        assert!(matches!(
+            m.device_map(tee_a, dev, mem, 0x8000_0000, 0x100, MemPerms::rw()),
+            Err(MonitorError::Cap(CapError::NotOwner { .. }))
+        ));
+    }
+
+    #[test]
+    fn unmap_closes_access_quickly() {
+        let mut m = booted();
+        let mem = m.mint_memory(0x8000_0000, 0x10_0000, MemPerms::rw());
+        let dev = m.mint_device(DeviceId(1));
+        let tee = m.create_tee(vec![mem, dev]).unwrap();
+        m.device_map(tee, dev, mem, 0x8000_0000, 0x1000, MemPerms::rw())
+            .unwrap();
+        let cycles = m.device_unmap(tee, dev, mem).unwrap();
+        // One entry cleared under blocking: 35 + 14 cycles.
+        assert_eq!(cycles, 49);
+        let out = m.check_dma(&DmaRequest::new(
+            DeviceId(1),
+            AccessKind::Read,
+            0x8000_0100,
+            64,
+        ));
+        assert!(out.is_denied());
+    }
+
+    #[test]
+    fn destroy_tee_revokes_and_clears() {
+        let mut m = booted();
+        let mem = m.mint_memory(0x8000_0000, 0x10_0000, MemPerms::rw());
+        let dev = m.mint_device(DeviceId(1));
+        let tee = m.create_tee(vec![mem, dev]).unwrap();
+        m.device_map(tee, dev, mem, 0x8000_0000, 0x1000, MemPerms::rw())
+            .unwrap();
+        m.destroy_tee(tee).unwrap();
+        // Capability gone, hardware entry gone.
+        assert!(m.caps().owner(mem).is_err());
+        let out = m.check_dma(&DmaRequest::new(
+            DeviceId(1),
+            AccessKind::Read,
+            0x8000_0100,
+            64,
+        ));
+        assert!(!out.is_allowed());
+    }
+
+    #[test]
+    fn cold_devices_bind_when_sids_exhausted() {
+        let mut cfg = SiopmpConfig::small();
+        cfg.num_sids = 3; // 2 hot SIDs only
+        let mut m = SecureMonitor::boot(cfg);
+        let mem = m.mint_memory(0x8000_0000, 0x100_0000, MemPerms::rw());
+        let mut devs = Vec::new();
+        for d in 0..4u64 {
+            devs.push(m.mint_device(DeviceId(d)));
+        }
+        let mut caps = vec![mem];
+        caps.extend(devs.clone());
+        let tee = m.create_tee(caps).unwrap();
+        // Two devices got hot SIDs, two went cold.
+        assert!(m.siopmp().is_hot(DeviceId(0)));
+        assert!(m.siopmp().is_hot(DeviceId(1)));
+        assert!(m.siopmp().is_cold(DeviceId(2)));
+        assert!(m.siopmp().is_cold(DeviceId(3)));
+        // Mapping through a cold device works via the extended table +
+        // automatic mounting in check_dma.
+        m.device_map(tee, devs[2], mem, 0x8000_2000, 0x100, MemPerms::rw())
+            .unwrap();
+        let out = m.check_dma(&DmaRequest::new(
+            DeviceId(2),
+            AccessKind::Read,
+            0x8000_2000,
+            64,
+        ));
+        assert!(out.is_allowed(), "{out:?}");
+    }
+
+    #[test]
+    fn violations_are_logged() {
+        let mut m = booted();
+        let out = m.check_dma(&DmaRequest::new(DeviceId(9), AccessKind::Write, 0x0, 64));
+        assert!(out.is_denied());
+        let v = m.take_violations();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].device, DeviceId(9));
+    }
+}

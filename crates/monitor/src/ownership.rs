@@ -1,0 +1,384 @@
+//! The capability table with ownership chains (§5.4, Figure 9).
+//!
+//! Every capability has exactly one **owner** at a time. Transfers move
+//! ownership down the chain (monitor → boot system → TEE); the table
+//! records the full chain so audits (and revocation on TEE destruction)
+//! can walk it.
+
+use std::collections::HashMap;
+
+use crate::cap::{CapId, Capability, DeriveError, MemPerms};
+
+/// An entity that can own capabilities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EntityId {
+    /// The secure monitor itself (owner of everything at boot).
+    Monitor,
+    /// The untrusted boot system / host OS.
+    BootSystem,
+    /// A TEE, by index.
+    Tee(u32),
+}
+
+impl core::fmt::Display for EntityId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            EntityId::Monitor => f.write_str("monitor"),
+            EntityId::BootSystem => f.write_str("boot-system"),
+            EntityId::Tee(id) => write!(f, "tee#{id}"),
+        }
+    }
+}
+
+/// Errors from capability-table operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CapError {
+    /// Unknown capability handle.
+    NoSuchCap(CapId),
+    /// The acting entity does not own the capability.
+    NotOwner {
+        /// Who tried to act.
+        actor: EntityId,
+        /// Who actually owns it.
+        owner: EntityId,
+    },
+    /// Derivation refused.
+    Derive(DeriveError),
+    /// The capability was revoked.
+    Revoked(CapId),
+}
+
+impl core::fmt::Display for CapError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CapError::NoSuchCap(id) => write!(f, "{id} does not exist"),
+            CapError::NotOwner { actor, owner } => {
+                write!(f, "{actor} is not the owner ({owner} is)")
+            }
+            CapError::Derive(e) => write!(f, "derivation refused: {e}"),
+            CapError::Revoked(id) => write!(f, "{id} was revoked"),
+        }
+    }
+}
+
+impl std::error::Error for CapError {}
+
+impl From<DeriveError> for CapError {
+    fn from(e: DeriveError) -> Self {
+        CapError::Derive(e)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct CapRecord {
+    cap: Capability,
+    owner: EntityId,
+    parent: Option<CapId>,
+    /// Chain of owners, oldest first (the "ownership chain" of Figure 9).
+    chain: Vec<EntityId>,
+    revoked: bool,
+}
+
+/// The monitor's capability table.
+///
+/// # Examples
+///
+/// ```
+/// use siopmp_monitor::cap::{Capability, MemPerms};
+/// use siopmp_monitor::ownership::{CapTable, EntityId};
+///
+/// let mut table = CapTable::new();
+/// let root = table.mint(Capability::Memory { base: 0, len: 0x1000, perms: MemPerms::rw() });
+/// table.transfer(EntityId::Monitor, root, EntityId::Tee(1)).unwrap();
+/// assert_eq!(table.owner(root).unwrap(), EntityId::Tee(1));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CapTable {
+    records: HashMap<CapId, CapRecord>,
+    next_id: u64,
+}
+
+impl CapTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        CapTable::default()
+    }
+
+    /// Number of live (un-revoked) capabilities.
+    pub fn live_count(&self) -> usize {
+        self.records.values().filter(|r| !r.revoked).count()
+    }
+
+    /// Mints a fresh root capability owned by the monitor (boot-time only).
+    pub fn mint(&mut self, cap: Capability) -> CapId {
+        let id = CapId(self.next_id);
+        self.next_id += 1;
+        self.records.insert(
+            id,
+            CapRecord {
+                cap,
+                owner: EntityId::Monitor,
+                parent: None,
+                chain: vec![EntityId::Monitor],
+                revoked: false,
+            },
+        );
+        id
+    }
+
+    fn record(&self, id: CapId) -> Result<&CapRecord, CapError> {
+        let r = self.records.get(&id).ok_or(CapError::NoSuchCap(id))?;
+        if r.revoked {
+            return Err(CapError::Revoked(id));
+        }
+        Ok(r)
+    }
+
+    /// The capability's resource description.
+    ///
+    /// # Errors
+    ///
+    /// [`CapError::NoSuchCap`] / [`CapError::Revoked`].
+    pub fn capability(&self, id: CapId) -> Result<Capability, CapError> {
+        Ok(self.record(id)?.cap)
+    }
+
+    /// The capability's current owner.
+    ///
+    /// # Errors
+    ///
+    /// [`CapError::NoSuchCap`] / [`CapError::Revoked`].
+    pub fn owner(&self, id: CapId) -> Result<EntityId, CapError> {
+        Ok(self.record(id)?.owner)
+    }
+
+    /// The full ownership chain, oldest first.
+    ///
+    /// # Errors
+    ///
+    /// [`CapError::NoSuchCap`] / [`CapError::Revoked`].
+    pub fn chain(&self, id: CapId) -> Result<&[EntityId], CapError> {
+        Ok(&self.record(id)?.chain)
+    }
+
+    /// Verifies that `actor` owns `id`.
+    ///
+    /// # Errors
+    ///
+    /// [`CapError::NotOwner`] (plus lookup errors).
+    pub fn check_owner(&self, actor: EntityId, id: CapId) -> Result<(), CapError> {
+        let owner = self.owner(id)?;
+        if owner != actor {
+            return Err(CapError::NotOwner { actor, owner });
+        }
+        Ok(())
+    }
+
+    /// Transfers ownership of `id` from `actor` to `to`.
+    ///
+    /// # Errors
+    ///
+    /// [`CapError::NotOwner`] when `actor` does not own the capability.
+    pub fn transfer(&mut self, actor: EntityId, id: CapId, to: EntityId) -> Result<(), CapError> {
+        self.check_owner(actor, id)?;
+        let r = self.records.get_mut(&id).expect("checked above");
+        r.owner = to;
+        r.chain.push(to);
+        Ok(())
+    }
+
+    /// Derives a narrower memory capability from `id`, owned by `actor`.
+    ///
+    /// # Errors
+    ///
+    /// Ownership and derivation errors.
+    pub fn derive(
+        &mut self,
+        actor: EntityId,
+        id: CapId,
+        base: u64,
+        len: u64,
+        perms: MemPerms,
+    ) -> Result<CapId, CapError> {
+        self.check_owner(actor, id)?;
+        let child = self.record(id)?.cap.derive_memory(base, len, perms)?;
+        let new_id = CapId(self.next_id);
+        self.next_id += 1;
+        self.records.insert(
+            new_id,
+            CapRecord {
+                cap: child,
+                owner: actor,
+                parent: Some(id),
+                chain: vec![actor],
+                revoked: false,
+            },
+        );
+        Ok(new_id)
+    }
+
+    /// Revokes `id` and every capability derived from it (recursively).
+    /// Returns the number of capabilities revoked. Used when a TEE is
+    /// destroyed.
+    ///
+    /// # Errors
+    ///
+    /// [`CapError::NotOwner`] etc. — only the owner (or the monitor) may
+    /// revoke.
+    pub fn revoke(&mut self, actor: EntityId, id: CapId) -> Result<usize, CapError> {
+        if actor != EntityId::Monitor {
+            self.check_owner(actor, id)?;
+        } else {
+            self.record(id)?; // existence check
+        }
+        let mut frontier = vec![id];
+        let mut revoked = 0;
+        while let Some(cur) = frontier.pop() {
+            if let Some(r) = self.records.get_mut(&cur) {
+                if !r.revoked {
+                    r.revoked = true;
+                    revoked += 1;
+                }
+            }
+            let children: Vec<CapId> = self
+                .records
+                .iter()
+                .filter(|(_, r)| r.parent == Some(cur) && !r.revoked)
+                .map(|(cid, _)| *cid)
+                .collect();
+            frontier.extend(children);
+        }
+        Ok(revoked)
+    }
+
+    /// All live capabilities owned by `who`.
+    pub fn owned_by(&self, who: EntityId) -> Vec<CapId> {
+        let mut ids: Vec<CapId> = self
+            .records
+            .iter()
+            .filter(|(_, r)| !r.revoked && r.owner == who)
+            .map(|(id, _)| *id)
+            .collect();
+        ids.sort();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siopmp::ids::DeviceId;
+
+    fn mem_cap() -> Capability {
+        Capability::Memory {
+            base: 0x1000,
+            len: 0x1000,
+            perms: MemPerms::rw(),
+        }
+    }
+
+    #[test]
+    fn mint_starts_owned_by_monitor() {
+        let mut t = CapTable::new();
+        let id = t.mint(mem_cap());
+        assert_eq!(t.owner(id).unwrap(), EntityId::Monitor);
+        assert_eq!(t.chain(id).unwrap(), &[EntityId::Monitor]);
+    }
+
+    #[test]
+    fn transfer_records_chain() {
+        let mut t = CapTable::new();
+        let id = t.mint(mem_cap());
+        t.transfer(EntityId::Monitor, id, EntityId::BootSystem)
+            .unwrap();
+        t.transfer(EntityId::BootSystem, id, EntityId::Tee(1))
+            .unwrap();
+        assert_eq!(
+            t.chain(id).unwrap(),
+            &[EntityId::Monitor, EntityId::BootSystem, EntityId::Tee(1)]
+        );
+    }
+
+    #[test]
+    fn non_owner_cannot_transfer() {
+        let mut t = CapTable::new();
+        let id = t.mint(mem_cap());
+        let err = t
+            .transfer(EntityId::Tee(1), id, EntityId::Tee(2))
+            .unwrap_err();
+        assert!(matches!(err, CapError::NotOwner { .. }));
+    }
+
+    #[test]
+    fn derive_respects_ownership_and_scope() {
+        let mut t = CapTable::new();
+        let id = t.mint(mem_cap());
+        t.transfer(EntityId::Monitor, id, EntityId::Tee(1)).unwrap();
+        // The monitor no longer owns it, so it cannot derive from it.
+        assert!(matches!(
+            t.derive(EntityId::Monitor, id, 0x1000, 0x100, MemPerms::ro()),
+            Err(CapError::NotOwner { .. })
+        ));
+        let child = t
+            .derive(EntityId::Tee(1), id, 0x1000, 0x100, MemPerms::ro())
+            .unwrap();
+        assert_eq!(t.owner(child).unwrap(), EntityId::Tee(1));
+        // Escaping the parent range is refused.
+        assert!(matches!(
+            t.derive(EntityId::Tee(1), id, 0x0, 0x100, MemPerms::ro()),
+            Err(CapError::Derive(DeriveError::RangeEscape))
+        ));
+    }
+
+    #[test]
+    fn revoke_cascades_to_descendants() {
+        let mut t = CapTable::new();
+        let root = t.mint(mem_cap());
+        let a = t
+            .derive(EntityId::Monitor, root, 0x1000, 0x800, MemPerms::rw())
+            .unwrap();
+        let b = t
+            .derive(EntityId::Monitor, a, 0x1000, 0x100, MemPerms::ro())
+            .unwrap();
+        let revoked = t.revoke(EntityId::Monitor, root).unwrap();
+        assert_eq!(revoked, 3);
+        assert!(matches!(t.capability(b), Err(CapError::Revoked(_))));
+        assert_eq!(t.live_count(), 0);
+    }
+
+    #[test]
+    fn monitor_can_revoke_anything() {
+        let mut t = CapTable::new();
+        let id = t.mint(Capability::Device {
+            device: DeviceId(1),
+        });
+        t.transfer(EntityId::Monitor, id, EntityId::Tee(1)).unwrap();
+        assert_eq!(t.revoke(EntityId::Monitor, id).unwrap(), 1);
+    }
+
+    #[test]
+    fn owned_by_lists_only_live_caps() {
+        let mut t = CapTable::new();
+        let a = t.mint(mem_cap());
+        let b = t.mint(Capability::Device {
+            device: DeviceId(2),
+        });
+        t.transfer(EntityId::Monitor, b, EntityId::Tee(1)).unwrap();
+        assert_eq!(t.owned_by(EntityId::Monitor), vec![a]);
+        assert_eq!(t.owned_by(EntityId::Tee(1)), vec![b]);
+        t.revoke(EntityId::Monitor, b).unwrap();
+        assert!(t.owned_by(EntityId::Tee(1)).is_empty());
+    }
+
+    #[test]
+    fn revoked_caps_reject_all_operations() {
+        let mut t = CapTable::new();
+        let id = t.mint(mem_cap());
+        t.revoke(EntityId::Monitor, id).unwrap();
+        assert!(matches!(t.owner(id), Err(CapError::Revoked(_))));
+        assert!(matches!(
+            t.transfer(EntityId::Monitor, id, EntityId::Tee(1)),
+            Err(CapError::Revoked(_))
+        ));
+    }
+}

@@ -1,0 +1,146 @@
+//! TEE lifecycle bookkeeping.
+
+use std::collections::HashMap;
+
+use crate::cap::CapId;
+use crate::ownership::EntityId;
+use siopmp::ids::{DeviceId, MdIndex, SourceId};
+
+/// Handle to a TEE instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TeeId(pub u32);
+
+impl core::fmt::Display for TeeId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "tee#{}", self.0)
+    }
+}
+
+impl TeeId {
+    /// The ownership-table entity corresponding to this TEE.
+    pub fn entity(self) -> EntityId {
+        EntityId::Tee(self.0)
+    }
+}
+
+/// Per-device binding inside a TEE: the device, its SID (when hot), its
+/// memory domain, and the entry indices currently installed for it.
+#[derive(Debug, Clone)]
+pub struct DeviceBinding {
+    /// The bound device.
+    pub device: DeviceId,
+    /// Its hot SID, or `None` while registered cold.
+    pub sid: Option<SourceId>,
+    /// The memory domain allocated to the device.
+    pub md: MdIndex,
+    /// Hardware entry indices installed for current mappings, keyed by the
+    /// memory capability used for the mapping.
+    pub mappings: HashMap<CapId, Vec<siopmp::ids::EntryIndex>>,
+}
+
+/// One TEE's state.
+#[derive(Debug, Clone)]
+pub struct Tee {
+    /// The TEE's handle.
+    pub id: TeeId,
+    /// Capabilities the TEE has received (memory and devices).
+    pub caps: Vec<CapId>,
+    /// Device bindings established by `device_map`.
+    pub devices: HashMap<DeviceId, DeviceBinding>,
+}
+
+/// Allocates TEE ids and tracks live TEEs.
+#[derive(Debug, Clone, Default)]
+pub struct TeeManager {
+    tees: HashMap<TeeId, Tee>,
+    next_id: u32,
+}
+
+impl TeeManager {
+    /// Creates an empty manager.
+    pub fn new() -> Self {
+        TeeManager::default()
+    }
+
+    /// Number of live TEEs.
+    pub fn count(&self) -> usize {
+        self.tees.len()
+    }
+
+    /// Creates a TEE holding `caps`.
+    pub fn create(&mut self, caps: Vec<CapId>) -> TeeId {
+        let id = TeeId(self.next_id);
+        self.next_id += 1;
+        self.tees.insert(
+            id,
+            Tee {
+                id,
+                caps,
+                devices: HashMap::new(),
+            },
+        );
+        id
+    }
+
+    /// Destroys a TEE, returning its final state for teardown (capability
+    /// revocation, entry clearing).
+    pub fn destroy(&mut self, id: TeeId) -> Option<Tee> {
+        self.tees.remove(&id)
+    }
+
+    /// Immutable access to a TEE.
+    pub fn get(&self, id: TeeId) -> Option<&Tee> {
+        self.tees.get(&id)
+    }
+
+    /// Mutable access to a TEE.
+    pub fn get_mut(&mut self, id: TeeId) -> Option<&mut Tee> {
+        self.tees.get_mut(&id)
+    }
+
+    /// Iterates over live TEEs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tee> {
+        let mut v: Vec<&Tee> = self.tees.values().collect();
+        v.sort_by_key(|t| t.id);
+        v.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_assigns_unique_ids() {
+        let mut m = TeeManager::new();
+        let a = m.create(vec![]);
+        let b = m.create(vec![]);
+        assert_ne!(a, b);
+        assert_eq!(m.count(), 2);
+    }
+
+    #[test]
+    fn destroy_returns_state() {
+        let mut m = TeeManager::new();
+        let id = m.create(vec![CapId(7)]);
+        let tee = m.destroy(id).unwrap();
+        assert_eq!(tee.caps, vec![CapId(7)]);
+        assert!(m.get(id).is_none());
+        assert!(m.destroy(id).is_none());
+    }
+
+    #[test]
+    fn entity_mapping() {
+        assert_eq!(TeeId(4).entity(), EntityId::Tee(4));
+        assert_eq!(TeeId(4).to_string(), "tee#4");
+    }
+
+    #[test]
+    fn iter_is_id_ordered() {
+        let mut m = TeeManager::new();
+        let a = m.create(vec![]);
+        let b = m.create(vec![]);
+        let ids: Vec<TeeId> = m.iter().map(|t| t.id).collect();
+        assert_eq!(ids, vec![a, b]);
+    }
+}

@@ -1,0 +1,30 @@
+//! # siopmp-workloads — workload generators and cost models
+//!
+//! The application-level workloads of the sIOPMP evaluation (§6.3):
+//!
+//! * [`network`] — an iperf-style packet-flow model: each packet pays the
+//!   network stack's base CPU cost plus whatever the active
+//!   [`siopmp_iommu::DmaProtection`] mechanism charges for map/unmap and
+//!   data-path work; throughput follows from the per-packet cycle budget
+//!   and the link rate (Figure 15);
+//! * [`memcached`] — an open-loop QPS/latency queueing model of the
+//!   distributed memcached load generator (Figure 16);
+//! * [`hotcold`] — two-device request mixes that measure the cost of
+//!   cold-device switching against the real [`siopmp::Siopmp`] unit
+//!   (Figure 17);
+//! * [`siopmp_mech`] — the sIOPMP-based [`DmaProtection`] implementations
+//!   (pure sIOPMP and the hybrid sIOPMP+IOMMU mode);
+//! * [`microbench`] — thin drivers around [`siopmp_bus::BusSim`] for the
+//!   burst latency/bandwidth microbenchmarks (Figures 11 and 12).
+//!
+//! [`DmaProtection`]: siopmp_iommu::DmaProtection
+
+pub mod hotcold;
+pub mod memcached;
+pub mod microbench;
+pub mod network;
+pub mod siopmp_mech;
+pub mod traffic;
+
+pub use network::{Direction, NetworkConfig, NetworkReport};
+pub use siopmp_mech::{SiopmpMech, SiopmpPlusIommu};

@@ -1,0 +1,159 @@
+//! The distributed memcached latency model (Figure 16).
+//!
+//! The paper drives memcached with a distributed load generator and plots
+//! 50th/99th-percentile request latency against offered QPS, with and
+//! without sIOPMP. We model the server as an M/M/c-style queueing station:
+//! latency explodes as the offered load approaches the service capacity,
+//! and tail latency diverges faster than the median. The protection
+//! mechanism enters the model only through its per-request CPU cycles
+//! (two network packets per request: the request and the response) —
+//! since sIOPMP adds tens of cycles against a service time of hundreds of
+//! microseconds, its curves coincide with the unprotected ones, which is
+//! exactly Figure 16's point.
+
+/// Server and workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MemcachedConfig {
+    /// Worker threads (paper: 4).
+    pub threads: u32,
+    /// Base service time per request in microseconds (hash lookup +
+    /// response assembly + kernel network path).
+    pub base_service_us: f64,
+    /// Core clock in GHz, to convert protection cycles to microseconds.
+    pub cpu_ghz: f64,
+    /// Extra protection cycles per network packet (one request packet +
+    /// one response packet per memcached op).
+    pub protection_cycles_per_packet: u64,
+}
+
+impl Default for MemcachedConfig {
+    fn default() -> Self {
+        MemcachedConfig {
+            threads: 4,
+            base_service_us: 85.0,
+            cpu_ghz: 3.2,
+            protection_cycles_per_packet: 0,
+        }
+    }
+}
+
+/// One point of the latency/QPS curve.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyPoint {
+    /// Offered load in queries per second.
+    pub qps: f64,
+    /// Median request latency in microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile request latency in microseconds.
+    pub p99_us: f64,
+}
+
+impl MemcachedConfig {
+    /// Effective per-request service time including protection overhead.
+    pub fn service_us(&self) -> f64 {
+        let protection_us = 2.0 * self.protection_cycles_per_packet as f64 / (self.cpu_ghz * 1e3);
+        self.base_service_us + protection_us
+    }
+
+    /// Service capacity in QPS (threads / service time).
+    pub fn capacity_qps(&self) -> f64 {
+        f64::from(self.threads) * 1e6 / self.service_us()
+    }
+
+    /// Latency percentiles at offered load `qps`. Beyond capacity the
+    /// model saturates at the capacity utilisation of 0.999 (an open-loop
+    /// generator would diverge).
+    pub fn latency_at(&self, qps: f64) -> LatencyPoint {
+        let s = self.service_us();
+        let rho = (qps / self.capacity_qps()).min(0.999);
+        // M/M/c-flavoured approximations: the median grows with the mean
+        // queue, the tail with the log of the percentile over the
+        // exponential sojourn distribution.
+        let p50 = s * (1.0 + 0.7 * rho / (1.0 - rho));
+        let p99 = s * (1.0 + f64::ln(100.0) * rho / (1.0 - rho));
+        LatencyPoint {
+            qps,
+            p50_us: p50,
+            p99_us: p99,
+        }
+    }
+
+    /// The QPS sweep of Figure 16 (5k..45k in 5k steps).
+    pub fn figure16_sweep(&self) -> Vec<LatencyPoint> {
+        (1..=9)
+            .map(|i| self.latency_at(f64::from(i) * 5_000.0))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_near_47k_qps() {
+        let c = MemcachedConfig::default();
+        let cap = c.capacity_qps();
+        assert!((45_000.0..50_000.0).contains(&cap), "capacity {cap}");
+    }
+
+    #[test]
+    fn latency_monotone_in_load() {
+        let c = MemcachedConfig::default();
+        let pts = c.figure16_sweep();
+        for w in pts.windows(2) {
+            assert!(w[1].p50_us > w[0].p50_us);
+            assert!(w[1].p99_us > w[0].p99_us);
+        }
+    }
+
+    #[test]
+    fn tail_diverges_faster_than_median() {
+        let c = MemcachedConfig::default();
+        let low = c.latency_at(10_000.0);
+        let high = c.latency_at(45_000.0);
+        assert!(low.p99_us / low.p50_us < high.p99_us / high.p50_us);
+        // Near saturation the p99 reaches tens of milliseconds (Figure
+        // 16's y-axis tops out around 25,000 µs).
+        assert!(high.p99_us > 5_000.0, "p99 {}", high.p99_us);
+    }
+
+    #[test]
+    fn siopmp_overhead_is_invisible() {
+        // sIOPMP adds ~83 cycles per packet (map 24 + unmap 59).
+        let base = MemcachedConfig::default();
+        let siopmp = MemcachedConfig {
+            protection_cycles_per_packet: 83,
+            ..base
+        };
+        for qps in [10_000.0, 30_000.0, 45_000.0] {
+            let b = base.latency_at(qps);
+            let s = siopmp.latency_at(qps);
+            let p50_delta = (s.p50_us - b.p50_us) / b.p50_us;
+            let p99_delta = (s.p99_us - b.p99_us) / b.p99_us;
+            assert!(p50_delta < 0.02, "p50 {p50_delta} at {qps}");
+            assert!(p99_delta < 0.05, "p99 {p99_delta} at {qps}");
+        }
+    }
+
+    #[test]
+    fn iommu_strict_would_be_visible() {
+        // Contrast case: ~1100 cycles per packet visibly shifts the knee.
+        let base = MemcachedConfig::default();
+        let strict = MemcachedConfig {
+            protection_cycles_per_packet: 1100,
+            ..base
+        };
+        let qps = 45_000.0;
+        let b = base.latency_at(qps);
+        let s = strict.latency_at(qps);
+        assert!(s.p99_us > 1.15 * b.p99_us, "{} vs {}", s.p99_us, b.p99_us);
+    }
+
+    #[test]
+    fn overload_saturates_instead_of_diverging() {
+        let c = MemcachedConfig::default();
+        let p = c.latency_at(1e9);
+        assert!(p.p99_us.is_finite());
+    }
+}

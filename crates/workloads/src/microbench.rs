@@ -1,0 +1,144 @@
+//! Drivers for the DMA microbenchmarks (Figures 11 and 12), built on the
+//! cycle simulator in `siopmp-bus`.
+
+use siopmp::checker::CheckerKind;
+use siopmp::violation::ViolationMode;
+use siopmp_bus::policy::{AllowAll, DenyRange};
+use siopmp_bus::{BurstKind, BusConfig, BusSim, MasterProgram};
+
+/// Number of consecutive bursts in the Figure 11 latency test.
+pub const LATENCY_BURSTS: usize = 64;
+
+/// One Figure 11 measurement: total cycles between the first request and
+/// the last response of 64 consecutive bursts (8 beats × 8 bytes each) from
+/// a non-outstanding master.
+pub fn burst_latency(
+    checker: CheckerKind,
+    mode: ViolationMode,
+    kind: BurstKind,
+    violating: bool,
+) -> u64 {
+    let cfg = BusConfig::default().with_checker(checker, mode);
+    let policy: Box<dyn siopmp_bus::policy::AccessPolicy> = if violating {
+        Box::new(DenyRange {
+            base: 0,
+            len: u64::MAX,
+        })
+    } else {
+        Box::new(AllowAll)
+    };
+    let mut sim = BusSim::new(cfg, policy);
+    sim.add_master(MasterProgram::uniform(1, kind, 0x1000, LATENCY_BURSTS));
+    let report = sim.run_to_completion(1_000_000);
+    assert!(report.completed, "latency run must drain");
+    report.makespan()
+}
+
+/// The two-node traffic mixes of Figure 12.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BandwidthScenario {
+    /// One reader and one writer.
+    ReadWrite,
+    /// Two readers.
+    ReadRead,
+    /// Two writers.
+    WriteWrite,
+}
+
+impl core::fmt::Display for BandwidthScenario {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            BandwidthScenario::ReadWrite => "Read-Write",
+            BandwidthScenario::ReadRead => "Read-Read",
+            BandwidthScenario::WriteWrite => "Write-Write",
+        })
+    }
+}
+
+/// One Figure 12 measurement: aggregate bytes/cycle of two DMA nodes under
+/// `scenario` with the given checker.
+pub fn dma_bandwidth(scenario: BandwidthScenario, checker: CheckerKind) -> f64 {
+    let cfg = BusConfig::default().with_checker(checker, ViolationMode::BusError);
+    let mut sim = BusSim::new(cfg, Box::new(AllowAll));
+    let (k0, k1) = match scenario {
+        BandwidthScenario::ReadWrite => (BurstKind::Read, BurstKind::Write),
+        BandwidthScenario::ReadRead => (BurstKind::Read, BurstKind::Read),
+        BandwidthScenario::WriteWrite => (BurstKind::Write, BurstKind::Write),
+    };
+    sim.add_master(MasterProgram::uniform(1, k0, 0x1000, 512));
+    sim.add_master(MasterProgram::uniform(2, k1, 0x10_0000, 512));
+    let report = sim.run_to_completion(10_000_000);
+    assert!(report.completed, "bandwidth run must drain");
+    report.bytes_per_cycle()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NOPIPE: CheckerKind = CheckerKind::Linear;
+    const PIPE2: CheckerKind = CheckerKind::MtChecker {
+        stages: 2,
+        tree_arity: 2,
+    };
+    const PIPE3: CheckerKind = CheckerKind::MtChecker {
+        stages: 3,
+        tree_arity: 2,
+    };
+
+    #[test]
+    fn figure11_read_ordering_nopipe_buserr_masking() {
+        let base = burst_latency(NOPIPE, ViolationMode::BusError, BurstKind::Read, false);
+        let pipe_err = burst_latency(PIPE2, ViolationMode::BusError, BurstKind::Read, false);
+        let pipe_mask = burst_latency(PIPE2, ViolationMode::PacketMasking, BurstKind::Read, false);
+        // Paper: 1510 < 1575 < 1634.
+        assert!(base < pipe_err);
+        assert!(pipe_err < pipe_mask);
+        assert!((1400..1600).contains(&base), "{base}");
+    }
+
+    #[test]
+    fn figure11_write_latency_below_read() {
+        let read = burst_latency(NOPIPE, ViolationMode::BusError, BurstKind::Read, false);
+        let write = burst_latency(NOPIPE, ViolationMode::BusError, BurstKind::Write, false);
+        assert!(write < read, "write {write} read {read}");
+        assert!((1000..1200).contains(&write), "{write}");
+    }
+
+    #[test]
+    fn figure11_violation_asymmetry() {
+        // Bus error detects early (short); masking runs the whole burst.
+        let err = burst_latency(PIPE2, ViolationMode::BusError, BurstKind::Read, true);
+        let mask = burst_latency(PIPE2, ViolationMode::PacketMasking, BurstKind::Read, true);
+        assert!(err * 3 < mask, "err {err} mask {mask}");
+        let werr = burst_latency(PIPE2, ViolationMode::BusError, BurstKind::Write, true);
+        let wmask = burst_latency(PIPE2, ViolationMode::PacketMasking, BurstKind::Write, true);
+        assert!(werr < wmask);
+    }
+
+    #[test]
+    fn figure12_read_read_near_5_bytes_per_cycle() {
+        let bpc = dma_bandwidth(BandwidthScenario::ReadRead, NOPIPE);
+        assert!((4.8..5.8).contains(&bpc), "{bpc}");
+        let piped = dma_bandwidth(BandwidthScenario::ReadRead, PIPE2);
+        // Slight degradation only (paper: 5.18 -> 5.08).
+        assert!(piped < bpc);
+        assert!(piped > 0.93 * bpc, "piped {piped} base {bpc}");
+    }
+
+    #[test]
+    fn figure12_writes_unaffected_by_pipeline() {
+        let ww = dma_bandwidth(BandwidthScenario::WriteWrite, NOPIPE);
+        let ww3 = dma_bandwidth(BandwidthScenario::WriteWrite, PIPE3);
+        assert!((ww - ww3).abs() < 0.05, "{ww} vs {ww3}");
+        assert!(ww > 6.0);
+    }
+
+    #[test]
+    fn figure12_mixed_between_pure_cases() {
+        let rr = dma_bandwidth(BandwidthScenario::ReadRead, NOPIPE);
+        let ww = dma_bandwidth(BandwidthScenario::WriteWrite, NOPIPE);
+        let rw = dma_bandwidth(BandwidthScenario::ReadWrite, NOPIPE);
+        assert!(rw > rr.min(ww) * 0.9, "rw {rw} rr {rr} ww {ww}");
+    }
+}

@@ -1,0 +1,293 @@
+//! The iperf-style network throughput model (Figure 15).
+//!
+//! Model: the host network stack spends a fixed CPU budget per packet
+//! (`per_packet_cpu_cycles`, TCP/IP processing + driver work) plus whatever
+//! the active DMA-protection mechanism charges for buffer map/unmap and
+//! data-path work (bounce copies). Achievable packet rate is then
+//!
+//! ```text
+//! pps = min(link_pps, cores * cpu_hz * mc_factor / per_packet_cycles)
+//! ```
+//!
+//! where `mc_factor` captures how well the mechanism's serialized portions
+//! (IOTLB flush queues) overlap across cores. Figure 15 reports throughput
+//! as a percentage of the unprotected baseline measured with the *same*
+//! core count — the model does the same.
+//!
+//! RX is costlier than TX for mapping-based mechanisms: receive buffers
+//! are remapped per packet *and* the RX ring must be refilled, so RX pays
+//! ~1.5 mapping operations per packet (`RX_MAP_FACTOR`).
+
+use siopmp_iommu::DmaProtection;
+
+/// Extra mapping operations per RX packet relative to TX (ring refill).
+pub const RX_MAP_FACTOR: f64 = 1.5;
+
+/// Traffic direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Packets received by the host (device writes memory).
+    Rx,
+    /// Packets transmitted by the host (device reads memory).
+    Tx,
+}
+
+impl core::fmt::Display for Direction {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            Direction::Rx => "RX",
+            Direction::Tx => "TX",
+        })
+    }
+}
+
+/// Platform and workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct NetworkConfig {
+    /// Link rate in Gb/s (paper: 100).
+    pub link_gbps: f64,
+    /// Packet payload bytes (paper: MTU 1500).
+    pub mtu_bytes: u64,
+    /// Core clock in GHz (paper: 3.2).
+    pub cpu_ghz: f64,
+    /// Cores driving the workload (1 or multiple).
+    pub cores: u32,
+    /// Base network-stack cycles per packet (TCP/IP + driver, no
+    /// protection).
+    pub per_packet_cpu_cycles: u64,
+    /// Direction of the measured flow.
+    pub direction: Direction,
+    /// Packets to simulate when accumulating mechanism costs.
+    pub sample_packets: u32,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            link_gbps: 100.0,
+            mtu_bytes: 1500,
+            cpu_ghz: 3.2,
+            cores: 1,
+            per_packet_cpu_cycles: 3000,
+            direction: Direction::Tx,
+            sample_packets: 2000,
+        }
+    }
+}
+
+impl NetworkConfig {
+    /// Link capacity in packets per second.
+    pub fn link_pps(&self) -> f64 {
+        self.link_gbps * 1e9 / 8.0 / self.mtu_bytes as f64
+    }
+}
+
+/// Result of one throughput evaluation.
+#[derive(Debug, Clone)]
+pub struct NetworkReport {
+    /// Mechanism legend name.
+    pub mechanism: &'static str,
+    /// Direction measured.
+    pub direction: Direction,
+    /// Cores used.
+    pub cores: u32,
+    /// Achieved throughput in Gb/s.
+    pub throughput_gbps: f64,
+    /// Throughput as a fraction of the unprotected baseline at the same
+    /// core count (the Figure 15 y-axis).
+    pub fraction_of_baseline: f64,
+    /// Mean protection cycles added per packet.
+    pub overhead_cycles_per_packet: f64,
+    /// Residual attack-window pages after the run.
+    pub attack_window_pages: u64,
+}
+
+/// How well a mechanism's per-packet overhead overlaps across cores.
+/// 1.0 = fully parallel (each core pays it all); values below 1.0 model
+/// per-CPU flush queues batching synchronous waits (observed for the
+/// strict IOMMU under multi-core iperf).
+pub fn multicore_overlap(mechanism_name: &str, cores: u32) -> f64 {
+    if cores <= 1 {
+        return 1.0;
+    }
+    match mechanism_name {
+        // Strict invalidations batch across cores in per-CPU flush queues.
+        "IOMMU-strict" => 0.6,
+        _ => 1.0,
+    }
+}
+
+/// Measures the mean per-packet protection cost by running `mech` over a
+/// sample of packets (map → data path → unmap per packet).
+fn mean_overhead_cycles(mech: &mut dyn DmaProtection, cfg: &NetworkConfig) -> f64 {
+    let mut total = 0u64;
+    let map_ops = match cfg.direction {
+        Direction::Rx => RX_MAP_FACTOR,
+        Direction::Tx => 1.0,
+    };
+    for i in 0..cfg.sample_packets {
+        let pa = 0x10_0000 + u64::from(i % 256) * 0x1000;
+        let (h, map_c) = mech.map(1, pa, cfg.mtu_bytes);
+        let unmap_c = mech.unmap(h);
+        total += map_c + unmap_c + mech.data_path_cycles(cfg.mtu_bytes);
+        let _ = map_ops;
+    }
+    let base = total as f64 / f64::from(cfg.sample_packets);
+    // Apply the RX ring-refill factor to the mapping portion only; the
+    // data path (copies) is direction-symmetric. We approximate by scaling
+    // the whole mapping overhead, since data-path mechanisms (SWIO) have
+    // near-zero mapping cost.
+    let data = mech.data_path_cycles(cfg.mtu_bytes) as f64;
+    (base - data) * map_ops + data
+}
+
+/// Evaluates `mech` under `cfg`, returning throughput absolute and
+/// relative to the unprotected baseline.
+pub fn evaluate(mech: &mut dyn DmaProtection, cfg: &NetworkConfig) -> NetworkReport {
+    let overhead = mean_overhead_cycles(mech, cfg);
+    let overlap = multicore_overlap(mech.name(), cfg.cores);
+    let cycles_per_packet = cfg.per_packet_cpu_cycles as f64 + overhead * overlap;
+    let cpu_pps = f64::from(cfg.cores) * cfg.cpu_ghz * 1e9 / cycles_per_packet;
+    let pps = cpu_pps.min(cfg.link_pps());
+
+    let base_pps = (f64::from(cfg.cores) * cfg.cpu_ghz * 1e9 / cfg.per_packet_cpu_cycles as f64)
+        .min(cfg.link_pps());
+
+    let gbps = pps * cfg.mtu_bytes as f64 * 8.0 / 1e9;
+    NetworkReport {
+        mechanism: mech.name(),
+        direction: cfg.direction,
+        cores: cfg.cores,
+        throughput_gbps: gbps,
+        fraction_of_baseline: pps / base_pps,
+        overhead_cycles_per_packet: overhead,
+        attack_window_pages: mech.attack_window_pages(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::siopmp_mech::{SiopmpMech, SiopmpPlusIommu};
+    use siopmp_iommu::protection::{InvalidationPolicy, Iommu, NoProtection};
+    use siopmp_iommu::swio::Swio;
+
+    fn cfg(direction: Direction, cores: u32) -> NetworkConfig {
+        NetworkConfig {
+            direction,
+            cores,
+            ..NetworkConfig::default()
+        }
+    }
+
+    #[test]
+    fn baseline_is_100_percent() {
+        let r = evaluate(&mut NoProtection, &cfg(Direction::Tx, 1));
+        assert!((r.fraction_of_baseline - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn siopmp_loses_under_3_percent() {
+        for dir in [Direction::Tx, Direction::Rx] {
+            let r = evaluate(&mut SiopmpMech::new(), &cfg(dir, 1));
+            assert!(
+                r.fraction_of_baseline > 0.97,
+                "{dir}: {}",
+                r.fraction_of_baseline
+            );
+        }
+    }
+
+    #[test]
+    fn iommu_strict_loses_25_to_38_percent_single_core() {
+        for dir in [Direction::Tx, Direction::Rx] {
+            let mut strict = Iommu::new(InvalidationPolicy::Strict);
+            let r = evaluate(&mut strict, &cfg(dir, 1));
+            let loss = 1.0 - r.fraction_of_baseline;
+            assert!(
+                (0.20..=0.40).contains(&loss),
+                "{dir}: loss {loss} ({} cyc/pkt)",
+                r.overhead_cycles_per_packet
+            );
+        }
+        // RX is worse than TX.
+        let mut s1 = Iommu::new(InvalidationPolicy::Strict);
+        let mut s2 = Iommu::new(InvalidationPolicy::Strict);
+        let rx = evaluate(&mut s1, &cfg(Direction::Rx, 1));
+        let tx = evaluate(&mut s2, &cfg(Direction::Tx, 1));
+        assert!(rx.fraction_of_baseline < tx.fraction_of_baseline);
+    }
+
+    #[test]
+    fn iommu_strict_multicore_loses_less() {
+        let mut single = Iommu::new(InvalidationPolicy::Strict);
+        let mut multi = Iommu::new(InvalidationPolicy::Strict);
+        let s = evaluate(&mut single, &cfg(Direction::Tx, 1));
+        let m = evaluate(&mut multi, &cfg(Direction::Tx, 4));
+        assert!(m.fraction_of_baseline > s.fraction_of_baseline);
+        let loss = 1.0 - m.fraction_of_baseline;
+        assert!((0.12..=0.28).contains(&loss), "multi-core loss {loss}");
+    }
+
+    #[test]
+    fn iommu_deferred_close_to_native_but_unsafe() {
+        let mut deferred = Iommu::new(InvalidationPolicy::Deferred { batch: 256 });
+        let r = evaluate(&mut deferred, &cfg(Direction::Tx, 1));
+        assert!(r.fraction_of_baseline > 0.90, "{}", r.fraction_of_baseline);
+        assert!(r.attack_window_pages > 0, "deferred must leave a window");
+    }
+
+    #[test]
+    fn swio_loses_about_a_quarter() {
+        let mut swio = Swio::new();
+        let r = evaluate(&mut swio, &cfg(Direction::Tx, 1));
+        let loss = 1.0 - r.fraction_of_baseline;
+        assert!((0.18..=0.32).contains(&loss), "loss {loss}");
+    }
+
+    #[test]
+    fn hybrid_matches_deferred_and_improves_on_strict() {
+        let mut hybrid = SiopmpPlusIommu::new();
+        let mut strict = Iommu::new(InvalidationPolicy::Strict);
+        let h = evaluate(&mut hybrid, &cfg(Direction::Tx, 1));
+        let s = evaluate(&mut strict, &cfg(Direction::Tx, 1));
+        // ~19% improvement over IOMMU-strict (paper's number), no window.
+        assert!(h.fraction_of_baseline - s.fraction_of_baseline > 0.12);
+        assert_eq!(h.attack_window_pages, 0);
+        assert!(h.fraction_of_baseline > 0.88);
+    }
+
+    #[test]
+    fn ranking_matches_figure15() {
+        // sIOPMP > sIOPMP+IOMMU ≈ deferred > SWIO ≈ strict-multi > strict.
+        let c = cfg(Direction::Tx, 1);
+        let siopmp = evaluate(&mut SiopmpMech::new(), &c).fraction_of_baseline;
+        let hybrid = evaluate(&mut SiopmpPlusIommu::new(), &c).fraction_of_baseline;
+        let deferred = evaluate(
+            &mut Iommu::new(InvalidationPolicy::Deferred { batch: 256 }),
+            &c,
+        )
+        .fraction_of_baseline;
+        let swio = evaluate(&mut Swio::new(), &c).fraction_of_baseline;
+        let strict = evaluate(&mut Iommu::new(InvalidationPolicy::Strict), &c).fraction_of_baseline;
+        assert!(siopmp > hybrid);
+        assert!(hybrid > swio);
+        assert!(deferred > swio);
+        assert!(swio > strict);
+    }
+
+    #[test]
+    fn two_pipe_ties_baseline_siopmp() {
+        let c = cfg(Direction::Rx, 1);
+        let a = evaluate(&mut SiopmpMech::new(), &c).fraction_of_baseline;
+        let b = evaluate(&mut SiopmpMech::two_pipe(), &c).fraction_of_baseline;
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn link_pps_computation() {
+        let c = NetworkConfig::default();
+        let pps = c.link_pps();
+        assert!((pps - 8_333_333.3).abs() < 1.0);
+    }
+}

@@ -1,0 +1,103 @@
+//! TEE + NIC end to end: the secure monitor creates a TEE, grants it the
+//! NIC through capability transfer, maps the RX/TX/ring regions, and the
+//! NIC's burst traffic then flows through the cycle simulator with the
+//! real sIOPMP unit as the bus policy. A rogue NIC program targeting
+//! memory outside the TEE is blocked.
+//!
+//! Run with `cargo run --example tee_network`.
+
+use siopmp_suite::bus::policy::SiopmpPolicy;
+use siopmp_suite::bus::{BusConfig, BusSim};
+use siopmp_suite::devices::nic::{Nic, NicLayout};
+use siopmp_suite::monitor::{MemPerms, SecureMonitor};
+use siopmp_suite::siopmp::ids::DeviceId;
+use siopmp_suite::siopmp::SiopmpConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Boot the monitor and enumerate the platform.
+    let mut monitor = SecureMonitor::boot(SiopmpConfig::default());
+    let nic_dev = DeviceId(0x100);
+    let layout = NicLayout {
+        rx_base: 0x8000_0000,
+        tx_base: 0x8010_0000,
+        ring_base: 0x8020_0000,
+        slot_bytes: 2048,
+        slots: 256,
+    };
+    let nic = Nic::new(0x100, layout);
+
+    // Root capabilities, handed to the boot system.
+    let mem_cap = monitor.mint_memory(0x8000_0000, 0x100_0000, MemPerms::rw());
+    let dev_cap = monitor.mint_device(nic_dev);
+
+    // --- Create the TEE; ownership moves boot-system -> TEE (Figure 9).
+    let tee = monitor.create_tee(vec![mem_cap, dev_cap])?;
+    println!(
+        "created {tee:?}; ownership chain: {:?}",
+        monitor.caps().chain(mem_cap)?
+    );
+
+    // --- Device_map each NIC region with its proper permissions.
+    for (base, len, writable) in layout.regions() {
+        let perms = if writable {
+            MemPerms::rw()
+        } else {
+            MemPerms::ro()
+        };
+        let idx = monitor.device_map(tee, dev_cap, mem_cap, base, len, perms)?;
+        println!(
+            "  mapped [{base:#x}, {:#x}) {} at {idx}",
+            base + len,
+            if writable { "rw" } else { "ro" }
+        );
+    }
+
+    // --- Drive the NIC's receive path through the cycle simulator, with
+    // the monitor-configured sIOPMP unit checking every burst.
+    let policy = SiopmpPolicy::new(monitor.siopmp().clone());
+    let mut sim = BusSim::new(BusConfig::default(), Box::new(policy));
+    sim.add_master(nic.rx_program(1500, 32));
+    let report = sim.run_to_completion(1_000_000);
+    let m = &report.masters[0];
+    println!(
+        "\nRX of 32 MTU packets: {} bursts, {} ok, {} denied, {} bytes in {} cycles ({:.2} B/c)",
+        m.bursts_completed,
+        m.bursts_ok,
+        m.bursts_completed - m.bursts_ok,
+        m.bytes_transferred,
+        report.cycles,
+        report.bytes_per_cycle()
+    );
+    assert_eq!(
+        m.bursts_ok, m.bursts_completed,
+        "legal NIC traffic must pass"
+    );
+
+    // --- A compromised NIC redirects payload writes at the monitor's own
+    // memory: every write burst is blocked.
+    let rogue_policy = SiopmpPolicy::new(monitor.siopmp().clone());
+    let mut rogue_sim = BusSim::new(BusConfig::default(), Box::new(rogue_policy));
+    rogue_sim.add_master(nic.rogue_rx_program(1500, 8, 0xFF00_0000));
+    let rogue = rogue_sim.run_to_completion(1_000_000);
+    let rm = &rogue.masters[0];
+    let denied = rm.bursts_masked + rm.bursts_bus_error;
+    // The descriptor-ring reads stay inside the TEE's mapped region and
+    // are legitimately allowed; every redirected payload WRITE is blocked.
+    println!(
+        "rogue RX: {} bursts, {} redirected writes blocked, {} in-region descriptor reads allowed",
+        rm.bursts_completed, denied, rm.bursts_ok
+    );
+    assert!(denied > 0, "the attack must be blocked");
+    assert_eq!(
+        rm.bursts_completed - rm.bursts_ok,
+        denied,
+        "only the redirected writes may be denied"
+    );
+
+    // --- Tear down: unmapping closes access in ~49 cycles, synchronously.
+    let cycles = monitor.device_unmap(tee, dev_cap, mem_cap)?;
+    println!("\ndevice_unmap completed in {cycles} cycles (no IOTLB flush needed)");
+    monitor.destroy_tee(tee)?;
+    println!("TEE destroyed; capabilities revoked");
+    Ok(())
+}

@@ -1,0 +1,32 @@
+//! # siopmp-suite — umbrella crate for the sIOPMP reproduction
+//!
+//! Re-exports every crate in the workspace so examples and integration
+//! tests can depend on a single façade:
+//!
+//! * [`siopmp`] — the sIOPMP unit itself (tables, MT checker, mountable
+//!   IOPMP, remapping CAM, timing/area models);
+//! * [`bus`] — the cycle-level interconnect/DMA simulator;
+//! * [`devices`] — NIC / DMA-node / accelerator / RAM models;
+//! * [`monitor`] — the Penglai-style secure monitor with capability-based
+//!   ownership;
+//! * [`iommu`] — the IOMMU / SWIO baseline mechanisms;
+//! * [`workloads`] — iperf-style, memcached-style and hot/cold workload
+//!   generators;
+//! * [`experiments`] — the per-table/figure experiment runners behind the
+//!   `repro` binary.
+//!
+//! The [`soc`] module adds a builder that assembles a complete simulated
+//! system (monitor + TEEs + mapped devices + cycle simulator) in a few
+//! lines — the pattern every example and integration test follows.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+pub mod soc;
+
+pub use siopmp;
+pub use siopmp_bus as bus;
+pub use siopmp_devices as devices;
+pub use siopmp_experiments as experiments;
+pub use siopmp_iommu as iommu;
+pub use siopmp_monitor as monitor;
+pub use siopmp_workloads as workloads;

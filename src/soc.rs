@@ -1,0 +1,292 @@
+//! Full-system assembly: monitor + sIOPMP + bus + devices, in one builder.
+//!
+//! Examples and integration tests assemble the same pieces over and over:
+//! boot the monitor, mint capabilities, create a TEE per tenant, map each
+//! device's regions, and drive burst programs through the cycle simulator
+//! with the monitor-configured unit as the bus policy. [`SocBuilder`]
+//! packages that flow.
+
+use siopmp::ids::DeviceId;
+use siopmp::SiopmpConfig;
+use siopmp_bus::policy::SiopmpPolicy;
+use siopmp_bus::{BusConfig, BusSim, MasterProgram, SimReport};
+use siopmp_monitor::{CapId, MemPerms, MonitorError, SecureMonitor, TeeId};
+
+/// A device to attach: its packet-level ID and the `(base, len, writable)`
+/// regions its driver needs mapped.
+#[derive(Debug, Clone)]
+pub struct DeviceSpec {
+    /// Packet-level device identifier.
+    pub device: DeviceId,
+    /// Regions to map at TEE creation.
+    pub regions: Vec<(u64, u64, bool)>,
+}
+
+/// Builder for a simulated SoC.
+#[derive(Debug)]
+pub struct SocBuilder {
+    siopmp_config: SiopmpConfig,
+    bus_config: BusConfig,
+    tenants: Vec<(u64, u64, Vec<DeviceSpec>)>,
+}
+
+impl SocBuilder {
+    /// Starts a builder with the paper's default sIOPMP and bus
+    /// configurations.
+    pub fn new() -> Self {
+        SocBuilder {
+            siopmp_config: SiopmpConfig::default(),
+            bus_config: BusConfig::default(),
+            tenants: Vec::new(),
+        }
+    }
+
+    /// Overrides the sIOPMP configuration.
+    pub fn siopmp_config(mut self, config: SiopmpConfig) -> Self {
+        self.siopmp_config = config;
+        self
+    }
+
+    /// Overrides the bus configuration.
+    pub fn bus_config(mut self, config: BusConfig) -> Self {
+        self.bus_config = config;
+        self
+    }
+
+    /// Adds a tenant (one TEE) owning the memory range `[mem_base,
+    /// mem_base+mem_len)` and the given devices.
+    pub fn tenant(mut self, mem_base: u64, mem_len: u64, devices: Vec<DeviceSpec>) -> Self {
+        self.tenants.push((mem_base, mem_len, devices));
+        self
+    }
+
+    /// Boots the monitor, creates every tenant's TEE, and maps every
+    /// device region.
+    ///
+    /// # Errors
+    ///
+    /// Propagates monitor errors (capability refusals, exhausted memory
+    /// domains, invalid regions).
+    pub fn build(self) -> Result<Soc, MonitorError> {
+        let mut monitor = SecureMonitor::boot(self.siopmp_config);
+        let mut tees = Vec::new();
+        for (mem_base, mem_len, devices) in self.tenants {
+            let mem_cap = monitor.mint_memory(mem_base, mem_len, MemPerms::rw());
+            let dev_caps: Vec<(CapId, DeviceSpec)> = devices
+                .into_iter()
+                .map(|spec| (monitor.mint_device(spec.device), spec))
+                .collect();
+            let mut caps = vec![mem_cap];
+            caps.extend(dev_caps.iter().map(|(c, _)| *c));
+            let tee = monitor.create_tee(caps)?;
+            for (dev_cap, spec) in &dev_caps {
+                for (base, len, writable) in &spec.regions {
+                    let perms = if *writable {
+                        MemPerms::rw()
+                    } else {
+                        MemPerms::ro()
+                    };
+                    monitor.device_map(tee, *dev_cap, mem_cap, *base, *len, perms)?;
+                }
+            }
+            tees.push(TenantHandle {
+                tee,
+                mem_cap,
+                dev_caps,
+            });
+        }
+        Ok(Soc {
+            monitor,
+            bus_config: self.bus_config,
+            tenants: tees,
+        })
+    }
+}
+
+impl Default for SocBuilder {
+    fn default() -> Self {
+        SocBuilder::new()
+    }
+}
+
+/// One booted tenant's handles.
+#[derive(Debug)]
+pub struct TenantHandle {
+    /// The tenant's TEE.
+    pub tee: TeeId,
+    /// Its memory capability.
+    pub mem_cap: CapId,
+    /// Its device capabilities with the original specs.
+    pub dev_caps: Vec<(CapId, DeviceSpec)>,
+}
+
+/// The assembled system.
+#[derive(Debug)]
+pub struct Soc {
+    /// The secure monitor (owns the sIOPMP unit).
+    pub monitor: SecureMonitor,
+    /// Bus parameters used by [`Soc::run`].
+    pub bus_config: BusConfig,
+    /// Tenant handles, in insertion order.
+    pub tenants: Vec<TenantHandle>,
+}
+
+impl Soc {
+    /// Runs `programs` concurrently through the cycle simulator against a
+    /// snapshot of the current sIOPMP configuration, for up to
+    /// `max_cycles`.
+    pub fn run(&self, programs: Vec<MasterProgram>, max_cycles: u64) -> SimReport {
+        let policy = SiopmpPolicy::new(self.monitor.siopmp().clone());
+        let mut sim = BusSim::new(self.bus_config.clone(), Box::new(policy));
+        for p in programs {
+            sim.add_master(p);
+        }
+        sim.run_to_completion(max_cycles)
+    }
+
+    /// Like [`Soc::run`], but the monitor itself backs the bus policy so
+    /// SID-missing interrupts are serviced *during* the simulation — cold
+    /// devices mount (and evict each other) on first touch, exactly the
+    /// Figure 17 dynamics, at cycle granularity.
+    pub fn run_with_monitor(&mut self, programs: Vec<MasterProgram>, max_cycles: u64) -> SimReport {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        struct MonitorPolicy {
+            monitor: Rc<RefCell<SecureMonitor>>,
+        }
+        impl siopmp_bus::policy::AccessPolicy for MonitorPolicy {
+            fn allowed(
+                &mut self,
+                device: DeviceId,
+                kind: siopmp::request::AccessKind,
+                addr: u64,
+                len: u64,
+            ) -> bool {
+                // check_dma services SID-missing inline (cold switching).
+                self.monitor
+                    .borrow_mut()
+                    .check_dma(&siopmp::request::DmaRequest::new(device, kind, addr, len))
+                    .is_allowed()
+            }
+        }
+        // Temporarily move the monitor into a shared cell for the run.
+        let placeholder = SecureMonitor::boot(siopmp::SiopmpConfig::small());
+        let monitor = Rc::new(RefCell::new(std::mem::replace(
+            &mut self.monitor,
+            placeholder,
+        )));
+        let policy = MonitorPolicy {
+            monitor: Rc::clone(&monitor),
+        };
+        let mut sim = BusSim::new(self.bus_config.clone(), Box::new(policy));
+        for p in programs {
+            sim.add_master(p);
+        }
+        let report = sim.run_to_completion(max_cycles);
+        drop(sim); // releases the policy's Rc clone
+        self.monitor = Rc::try_unwrap(monitor)
+            .expect("simulation dropped, single owner remains")
+            .into_inner();
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siopmp_bus::BurstKind;
+
+    #[test]
+    fn builder_assembles_two_tenants() {
+        let soc = SocBuilder::new()
+            .tenant(
+                0x4000_0000,
+                0x10_0000,
+                vec![DeviceSpec {
+                    device: DeviceId(1),
+                    regions: vec![(0x4000_0000, 0x1000, true)],
+                }],
+            )
+            .tenant(
+                0x5000_0000,
+                0x10_0000,
+                vec![DeviceSpec {
+                    device: DeviceId(2),
+                    regions: vec![(0x5000_0000, 0x1000, false)],
+                }],
+            )
+            .build()
+            .unwrap();
+        assert_eq!(soc.tenants.len(), 2);
+
+        // Tenant 1's device writes its region; tenant 2's device may only
+        // read its own.
+        let report = soc.run(
+            vec![
+                MasterProgram::uniform(1, BurstKind::Write, 0x4000_0000, 4),
+                MasterProgram::uniform(2, BurstKind::Read, 0x5000_0000, 4),
+                MasterProgram::uniform(2, BurstKind::Write, 0x5000_0000, 4),
+            ],
+            1_000_000,
+        );
+        assert!(report.completed);
+        assert_eq!(report.masters[0].bursts_ok, 4);
+        assert_eq!(report.masters[1].bursts_ok, 4);
+        assert_eq!(report.masters[2].bursts_ok, 0, "ro region rejects writes");
+    }
+
+    #[test]
+    fn run_with_monitor_services_cold_mounts_inline() {
+        use siopmp::entry::{AddressRange, IopmpEntry, Permissions};
+        use siopmp::mountable::MountableEntry;
+
+        let mut cfg = siopmp::SiopmpConfig::small();
+        cfg.num_sids = 2; // 1 hot SID: extra devices go cold
+        let mut soc = SocBuilder::new()
+            .siopmp_config(cfg)
+            .tenant(0x4000_0000, 0x10_0000, vec![])
+            .build()
+            .unwrap();
+        // Register a cold device directly with the unit.
+        soc.monitor
+            .siopmp_mut()
+            .register_cold_device(
+                DeviceId(9),
+                MountableEntry {
+                    domains: vec![],
+                    entries: vec![IopmpEntry::new(
+                        AddressRange::new(0x4000_0000, 0x1000).unwrap(),
+                        Permissions::rw(),
+                    )],
+                },
+            )
+            .unwrap();
+        // First touch mounts the device mid-simulation; all bursts pass.
+        let report = soc.run_with_monitor(
+            vec![MasterProgram::uniform(9, BurstKind::Read, 0x4000_0000, 8)],
+            1_000_000,
+        );
+        assert!(report.completed);
+        assert_eq!(
+            report.masters[0].bursts_ok,
+            report.masters[0].bursts_completed
+        );
+        assert_eq!(soc.monitor.siopmp().cold_switch_count(), 1);
+    }
+
+    #[test]
+    fn builder_rejects_region_outside_tenant_memory() {
+        let result = SocBuilder::new()
+            .tenant(
+                0x4000_0000,
+                0x1000,
+                vec![DeviceSpec {
+                    device: DeviceId(1),
+                    regions: vec![(0x9000_0000, 0x1000, true)],
+                }],
+            )
+            .build();
+        assert!(result.is_err());
+    }
+}

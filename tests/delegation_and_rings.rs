@@ -1,0 +1,139 @@
+//! Integration tests for the S-mode delegation fast path (§6.3) and the
+//! functional descriptor-ring data path, combined with the sIOPMP unit.
+
+use siopmp_suite::devices::rings::{Descriptor, DescriptorRing};
+use siopmp_suite::devices::SparseMemory;
+use siopmp_suite::monitor::delegation::{delegate_window, kernel_map, kernel_unmap};
+use siopmp_suite::siopmp::entry::Permissions;
+use siopmp_suite::siopmp::ids::{DeviceId, MdIndex};
+use siopmp_suite::siopmp::request::{AccessKind, DmaRequest};
+use siopmp_suite::siopmp::{Siopmp, SiopmpConfig};
+
+/// The kernel drives a NIC's dma_map/dma_unmap cycle entirely through its
+/// delegated window — the fast path behind Figure 15's sIOPMP bars — while
+/// the monitor's locked guard keeps the extended-table region unreachable.
+#[test]
+fn kernel_fast_path_handles_packet_churn() {
+    let mut unit = Siopmp::new(SiopmpConfig::default());
+    let nic = DeviceId(0x10);
+    let sid = unit.map_hot_device(nic).unwrap();
+    unit.associate_sid_with_md(sid, MdIndex(0)).unwrap();
+    let window = delegate_window(&mut unit, MdIndex(0), &[(0xFF00_0000, 0x10_0000)]).unwrap();
+    assert!(window.len() >= 8);
+
+    // Simulate per-packet buffer churn: map, DMA, unmap, repeat.
+    let mut total_cycles = 0u64;
+    for pkt in 0..200u64 {
+        let buf = 0x8000_0000 + (pkt % 16) * 0x1000;
+        let (idx, map_cycles) =
+            kernel_map(&mut unit, window, buf, 1500, Permissions::rw()).unwrap();
+        let req = DmaRequest::new(nic, AccessKind::Write, buf, 1500);
+        assert!(unit.check(&req).is_allowed(), "packet {pkt}");
+        let unmap_cycles = kernel_unmap(&mut unit, window, sid, idx).unwrap();
+        assert!(unit.check(&req).is_denied(), "window closed after unmap");
+        total_cycles += map_cycles + unmap_cycles;
+    }
+    // Mean per-packet protection cost stays tiny (the <3% story).
+    let mean = total_cycles / 200;
+    assert!(mean < 100, "mean {mean} cycles/packet");
+
+    // Throughout the churn, the guard never opened.
+    assert!(unit
+        .check(&DmaRequest::new(nic, AccessKind::Read, 0xFF00_0100, 8))
+        .is_denied());
+}
+
+/// Functional RX through a descriptor ring with the checker gating each
+/// device access: honest descriptors work; a descriptor retargeted at
+/// guarded memory is caught when the device tries to use it.
+#[test]
+fn ring_rx_with_checker_gating() {
+    let mut mem = SparseMemory::new();
+    let mut unit = Siopmp::new(SiopmpConfig::small());
+    let nic = DeviceId(0x10);
+    let sid = unit.map_hot_device(nic).unwrap();
+    unit.associate_sid_with_md(sid, MdIndex(0)).unwrap();
+    // The NIC may write packet buffers and the ring region only.
+    unit.install_entry(
+        MdIndex(0),
+        siopmp_suite::siopmp::entry::IopmpEntry::new(
+            siopmp_suite::siopmp::entry::AddressRange::new(0x8000_0000, 0x1_0000).unwrap(),
+            Permissions::rw(),
+        ),
+    )
+    .unwrap();
+    unit.install_entry(
+        MdIndex(0),
+        siopmp_suite::siopmp::entry::IopmpEntry::new(
+            siopmp_suite::siopmp::entry::AddressRange::new(0x8020_0000, 0x1000).unwrap(),
+            Permissions::rw(),
+        ),
+    )
+    .unwrap();
+
+    let ring = DescriptorRing {
+        base: 0x8020_0000,
+        slots: 4,
+    };
+    // Honest flow: driver publishes, device receives.
+    ring.publish(
+        &mut mem,
+        0,
+        Descriptor {
+            buffer: 0x8000_0000,
+            len: 64,
+            device_owned: true,
+            complete: false,
+        },
+    );
+    let desc = ring.read(&mem, 0);
+    let dma = DmaRequest::new(nic, AccessKind::Write, desc.buffer, u64::from(desc.len));
+    assert!(unit.check(&dma).is_allowed());
+    assert!(ring.device_receive(&mut mem, 0, b"payload"));
+    assert_eq!(mem.read_vec(0x8000_0000, 7), b"payload".to_vec());
+
+    // Thunderclap-style: somebody rewrote a descriptor to point at secret
+    // memory. The descriptor write itself may have happened via the CPU
+    // (compromised driver), but the *device's DMA through it* is what the
+    // checker sees — and denies.
+    mem.write(0x9999_0000, b"secret");
+    ring.publish(
+        &mut mem,
+        1,
+        Descriptor {
+            buffer: 0x9999_0000,
+            len: 64,
+            device_owned: true,
+            complete: false,
+        },
+    );
+    let evil = ring.read(&mem, 1);
+    let dma = DmaRequest::new(nic, AccessKind::Write, evil.buffer, u64::from(evil.len));
+    assert!(unit.check(&dma).is_denied());
+    // With the DMA denied (strobes masked), the device's receive is a
+    // no-op on memory:
+    mem.write_strobed(evil.buffer, &[0u8; 6], &[false; 6]);
+    assert_eq!(mem.read_vec(0x9999_0000, 6), b"secret".to_vec());
+}
+
+/// Delegated windows are per-domain: a second device's kernel window
+/// cannot authorise the first device's traffic.
+#[test]
+fn delegated_windows_are_domain_scoped() {
+    let mut unit = Siopmp::new(SiopmpConfig::small());
+    let a = DeviceId(1);
+    let b = DeviceId(2);
+    let sid_a = unit.map_hot_device(a).unwrap();
+    let sid_b = unit.map_hot_device(b).unwrap();
+    unit.associate_sid_with_md(sid_a, MdIndex(0)).unwrap();
+    unit.associate_sid_with_md(sid_b, MdIndex(1)).unwrap();
+    let win_b = delegate_window(&mut unit, MdIndex(1), &[]).unwrap();
+    kernel_map(&mut unit, win_b, 0x2000, 0x100, Permissions::rw()).unwrap();
+    // Device B gains access; device A does not (different domain).
+    assert!(unit
+        .check(&DmaRequest::new(b, AccessKind::Read, 0x2000, 8))
+        .is_allowed());
+    assert!(unit
+        .check(&DmaRequest::new(a, AccessKind::Read, 0x2000, 8))
+        .is_denied());
+}

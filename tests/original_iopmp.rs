@@ -1,0 +1,97 @@
+//! Baseline contrast: the original IOPMP (no mountable table, linear
+//! checker, 64 hardware SIDs) against sIOPMP — the device-count and
+//! entry-count limitations of §2.2/§4.2 made concrete.
+
+use siopmp_suite::siopmp::checker::CheckerKind;
+use siopmp_suite::siopmp::entry::{AddressRange, IopmpEntry, Permissions};
+use siopmp_suite::siopmp::error::SiopmpError;
+use siopmp_suite::siopmp::ids::DeviceId;
+use siopmp_suite::siopmp::mountable::MountableEntry;
+use siopmp_suite::siopmp::timing::analyze;
+use siopmp_suite::siopmp::{Siopmp, SiopmpConfig};
+
+fn record(base: u64) -> MountableEntry {
+    MountableEntry {
+        domains: vec![],
+        entries: vec![IopmpEntry::new(
+            AddressRange::new(base, 0x1000).unwrap(),
+            Permissions::rw(),
+        )],
+    }
+}
+
+#[test]
+fn original_iopmp_caps_out_at_its_sid_count() {
+    let mut orig = Siopmp::new(SiopmpConfig::original_iopmp());
+    let hot = orig.config().num_hot_sids();
+    // Fill every hardware SID.
+    for d in 0..hot as u64 {
+        orig.map_hot_device(DeviceId(d)).unwrap();
+    }
+    // Device #64: no SID left...
+    assert!(matches!(
+        orig.map_hot_device(DeviceId(hot as u64)),
+        Err(SiopmpError::HotSidsExhausted)
+    ));
+    // ...and no extended table to fall back to.
+    assert!(matches!(
+        orig.register_cold_device(DeviceId(hot as u64), record(0x1_0000)),
+        Err(SiopmpError::InvalidConfig(_))
+    ));
+}
+
+#[test]
+fn siopmp_accepts_the_same_overflow_devices() {
+    let mut siopmp = Siopmp::new(SiopmpConfig::default());
+    let hot = siopmp.config().num_hot_sids();
+    for d in 0..hot as u64 {
+        siopmp.map_hot_device(DeviceId(d)).unwrap();
+    }
+    // The overflow devices go cold — hundreds of them.
+    for d in hot as u64..hot as u64 + 300 {
+        siopmp
+            .register_cold_device(DeviceId(d), record(0x1_0000 * (d + 1)))
+            .unwrap();
+    }
+    assert_eq!(siopmp.cold_device_count(), 300);
+    // And a cold one is serviceable through mounting.
+    use siopmp_suite::siopmp::request::{AccessKind, DmaRequest};
+    use siopmp_suite::siopmp::CheckOutcome;
+    let d = hot as u64 + 7;
+    let req = DmaRequest::new(DeviceId(d), AccessKind::Read, 0x1_0000 * (d + 1), 64);
+    match siopmp.check(&req) {
+        CheckOutcome::SidMissing { device } => {
+            siopmp.handle_sid_missing(device).unwrap();
+            assert!(siopmp.check(&req).is_allowed());
+        }
+        other => panic!("expected SID-missing: {other:?}"),
+    }
+}
+
+#[test]
+fn original_iopmp_entry_budget_is_timing_limited() {
+    // The baseline's 128-entry file is not arbitrary: it is the largest
+    // linear checker that closes timing at the platform clock (Fig. 10).
+    let cfg = SiopmpConfig::original_iopmp();
+    assert!(analyze(cfg.checker, cfg.num_entries).meets_platform_target);
+    assert!(!analyze(cfg.checker, cfg.num_entries * 2).meets_platform_target);
+    // sIOPMP's MT checker runs 8x the entries at the same clock.
+    let s = SiopmpConfig::default();
+    assert_eq!(
+        s.checker,
+        CheckerKind::MtChecker {
+            stages: 2,
+            tree_arity: 2
+        }
+    );
+    assert!(
+        analyze(
+            CheckerKind::MtChecker {
+                stages: 3,
+                tree_arity: 2
+            },
+            s.num_entries
+        )
+        .meets_platform_target
+    );
+}

@@ -1,0 +1,74 @@
+//! Protection of the sIOPMP's own configuration surface: neither devices
+//! (via DMA) nor the untrusted OS (via CPU loads/stores) can reach the
+//! register file or the extended table, because no IOPMP entry ever covers
+//! the periphery region and the PMP guards it from S/U mode.
+
+use siopmp_suite::monitor::monitor::{EXT_TABLE_BASE, EXT_TABLE_LEN};
+use siopmp_suite::monitor::{MemPerms, SecureMonitor};
+use siopmp_suite::siopmp::ids::DeviceId;
+use siopmp_suite::siopmp::mmio::{MmioFrontend, ENTRY_BASE, VIOLATION_COUNT};
+use siopmp_suite::siopmp::request::{AccessKind, DmaRequest};
+use siopmp_suite::siopmp::SiopmpConfig;
+
+/// Model base address of the sIOPMP register file on the periphery bus.
+const SIOPMP_MMIO_BASE: u64 = 0xFE00_0000;
+
+#[test]
+fn device_dma_cannot_reach_the_register_file() {
+    let mut monitor = SecureMonitor::boot(SiopmpConfig::default());
+    let mem = monitor.mint_memory(0x8000_0000, 0x10_0000, MemPerms::rw());
+    let dev = monitor.mint_device(DeviceId(0x10));
+    let tee = monitor.create_tee(vec![mem, dev]).unwrap();
+    monitor
+        .device_map(tee, dev, mem, 0x8000_0000, 0x1000, MemPerms::rw())
+        .unwrap();
+
+    // The device tries to rewrite an IOPMP entry through DMA to the
+    // register file's bus address: no entry covers the periphery region,
+    // so the access is denied and logged.
+    let attack = DmaRequest::new(
+        DeviceId(0x10),
+        AccessKind::Write,
+        SIOPMP_MMIO_BASE + ENTRY_BASE,
+        16,
+    );
+    assert!(monitor.check_dma(&attack).is_denied());
+    let log = monitor.take_violations();
+    assert_eq!(log.len(), 1);
+    assert_eq!(log[0].addr, SIOPMP_MMIO_BASE + ENTRY_BASE);
+
+    // A TEE cannot even *ask* for such a mapping: the register region is
+    // outside every memory capability the monitor minted.
+    assert!(monitor
+        .device_map(tee, dev, mem, SIOPMP_MMIO_BASE, 0x1000, MemPerms::rw())
+        .is_err());
+}
+
+#[test]
+fn untrusted_os_cannot_touch_the_extended_table() {
+    let monitor = SecureMonitor::boot(SiopmpConfig::default());
+    // The PMP guard installed at boot denies S/U-mode access to the
+    // extended IOPMP table region, read and write.
+    for offset in [0u64, 8, EXT_TABLE_LEN - 8] {
+        assert!(!monitor
+            .pmp()
+            .cpu_access_allowed(EXT_TABLE_BASE + offset, 8, false));
+        assert!(!monitor
+            .pmp()
+            .cpu_access_allowed(EXT_TABLE_BASE + offset, 8, true));
+    }
+    // Ordinary memory stays open to the OS.
+    assert!(monitor.pmp().cpu_access_allowed(0x8000_0000, 8, true));
+}
+
+#[test]
+fn violation_counter_survives_tampering_attempts() {
+    let mut unit = siopmp_suite::siopmp::Siopmp::new(SiopmpConfig::small());
+    let mut mmio = MmioFrontend::new();
+    // Generate a violation.
+    unit.check(&DmaRequest::new(DeviceId(9), AccessKind::Read, 0x0, 8));
+    assert_eq!(mmio.read(&unit, VIOLATION_COUNT).unwrap(), 1);
+    // An attacker with MMIO access still cannot clear the counter.
+    assert!(mmio.write(&mut unit, VIOLATION_COUNT, 0).is_err());
+    assert_eq!(mmio.read(&unit, VIOLATION_COUNT).unwrap(), 1);
+}

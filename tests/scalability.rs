@@ -1,0 +1,172 @@
+//! Scalability integration tests: the paper's headline claims — >1000
+//! hardware regions, unlimited devices, dynamic hot/cold churn.
+
+use siopmp_suite::siopmp::checker::CheckerKind;
+use siopmp_suite::siopmp::entry::{AddressRange, IopmpEntry, Permissions};
+use siopmp_suite::siopmp::ids::{DeviceId, MdIndex};
+use siopmp_suite::siopmp::mountable::MountableEntry;
+use siopmp_suite::siopmp::request::{AccessKind, DmaRequest};
+use siopmp_suite::siopmp::timing;
+use siopmp_suite::siopmp::{CheckOutcome, Siopmp, SiopmpConfig};
+
+#[test]
+fn a_thousand_entries_check_correctly() {
+    let cfg = SiopmpConfig {
+        num_entries: 1024,
+        ..SiopmpConfig::default()
+    };
+    let mut unit = Siopmp::new(cfg);
+    let dev = DeviceId(1);
+    let sid = unit.map_hot_device(dev).unwrap();
+
+    // Fill every hot memory domain with disjoint 256-byte regions and
+    // associate them all with the device — a 1000+-buffer scatter list.
+    let mut installed = 0u64;
+    for md in 0..62u16 {
+        unit.associate_sid_with_md(sid, MdIndex(md)).unwrap();
+        loop {
+            let entry = IopmpEntry::new(
+                AddressRange::new(0x1_0000_0000 + installed * 0x100, 0x100).unwrap(),
+                Permissions::rw(),
+            );
+            match unit.install_entry(MdIndex(md), entry) {
+                Ok(_) => installed += 1,
+                Err(_) => break, // window full; move to the next domain
+            }
+        }
+    }
+    assert!(installed >= 1000, "installed {installed}");
+
+    // Every region is reachable, boundaries hold.
+    for probe in [0u64, installed / 2, installed - 1] {
+        let base = 0x1_0000_0000 + probe * 0x100;
+        assert!(unit
+            .check(&DmaRequest::new(dev, AccessKind::Write, base, 0x100))
+            .is_allowed());
+        assert!(
+            unit.check(&DmaRequest::new(dev, AccessKind::Write, base + 0x80, 0x100))
+                .is_denied(),
+            "straddling access must not match"
+        );
+    }
+    let past_end = 0x1_0000_0000 + installed * 0x100;
+    assert!(unit
+        .check(&DmaRequest::new(dev, AccessKind::Read, past_end, 8))
+        .is_denied());
+
+    // And the 3-stage MT checker closes timing at this scale (Fig. 10).
+    let report = timing::analyze(
+        CheckerKind::MtChecker {
+            stages: 3,
+            tree_arity: 2,
+        },
+        1024,
+    );
+    assert!(report.meets_platform_target);
+}
+
+#[test]
+fn thousands_of_cold_devices_are_serviceable() {
+    let mut unit = Siopmp::new(SiopmpConfig::small());
+    const DEVICES: u64 = 5000;
+    for d in 0..DEVICES {
+        unit.register_cold_device(
+            DeviceId(d),
+            MountableEntry {
+                domains: vec![],
+                entries: vec![IopmpEntry::new(
+                    AddressRange::new(0x1_0000_0000 + d * 0x1000, 0x1000).unwrap(),
+                    Permissions::rw(),
+                )],
+            },
+        )
+        .unwrap();
+    }
+    assert_eq!(unit.cold_device_count(), DEVICES as usize);
+
+    // Touch a scattering of them; each mounts and works.
+    for d in (0..DEVICES).step_by(617) {
+        let req = DmaRequest::new(
+            DeviceId(d),
+            AccessKind::Read,
+            0x1_0000_0000 + d * 0x1000,
+            64,
+        );
+        match unit.check(&req) {
+            CheckOutcome::SidMissing { device } => {
+                unit.handle_sid_missing(device).unwrap();
+                assert!(unit.check(&req).is_allowed(), "device {d}");
+            }
+            other => panic!("expected SID-missing for {d}: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn hot_cold_churn_preserves_isolation() {
+    // Continuously promote/demote devices through a tiny CAM and verify
+    // no device ever gains access to another's region.
+    let mut cfg = SiopmpConfig::small();
+    cfg.num_sids = 4; // 3 hot SIDs
+    let mut unit = Siopmp::new(cfg);
+    const N: u64 = 12;
+    for d in 0..N {
+        unit.register_cold_device(
+            DeviceId(d),
+            MountableEntry {
+                domains: vec![],
+                entries: vec![IopmpEntry::new(
+                    AddressRange::new(0x10_0000 * (d + 1), 0x1000).unwrap(),
+                    Permissions::rw(),
+                )],
+            },
+        )
+        .unwrap();
+    }
+    for round in 0..100u64 {
+        let d = (round * 7 + 3) % N;
+        let own = 0x10_0000 * (d + 1);
+        let foreign = 0x10_0000 * (((d + 1) % N) + 1);
+        let own_req = DmaRequest::new(DeviceId(d), AccessKind::Read, own, 64);
+        match unit.check(&own_req) {
+            CheckOutcome::Allowed { .. } => {}
+            CheckOutcome::SidMissing { device } => {
+                unit.handle_sid_missing(device).unwrap();
+                assert!(unit.check(&own_req).is_allowed());
+            }
+            other => panic!("round {round}: {other:?}"),
+        }
+        let foreign_req = DmaRequest::new(DeviceId(d), AccessKind::Read, foreign, 64);
+        assert!(
+            !unit.check(&foreign_req).is_allowed(),
+            "round {round}: device {d} reached a foreign region"
+        );
+    }
+    assert!(unit.cold_switch_count() > 50, "churn really happened");
+}
+
+#[test]
+fn promotion_under_full_cam_uses_clock_eviction() {
+    let mut cfg = SiopmpConfig::small();
+    cfg.num_sids = 3; // 2 hot SIDs
+    let mut unit = Siopmp::new(cfg);
+    for d in 0..6u64 {
+        unit.register_cold_device(
+            DeviceId(d),
+            MountableEntry {
+                domains: vec![MdIndex(0)],
+                entries: vec![],
+            },
+        )
+        .unwrap();
+    }
+    // Promote all six in sequence; the CAM holds two at a time.
+    for d in 0..6u64 {
+        unit.promote_with_eviction(DeviceId(d)).unwrap();
+        assert!(unit.is_hot(DeviceId(d)));
+    }
+    // Exactly two are hot; the other four were demoted back to cold.
+    let hot = (0..6u64).filter(|d| unit.is_hot(DeviceId(*d))).count();
+    assert_eq!(hot, 2);
+    assert_eq!(unit.cold_device_count(), 4);
+}

@@ -1,0 +1,254 @@
+//! Security-focused integration tests: the threat-model attacks (§3.2)
+//! against the assembled system.
+
+use siopmp_suite::devices::SparseMemory;
+use siopmp_suite::iommu::protection::{DmaProtection, InvalidationPolicy, Iommu};
+use siopmp_suite::monitor::{MemPerms, SecureMonitor};
+use siopmp_suite::siopmp::entry::{AddressRange, IopmpEntry, Permissions};
+use siopmp_suite::siopmp::ids::{DeviceId, EntryIndex, MdIndex};
+use siopmp_suite::siopmp::mountable::MountableEntry;
+use siopmp_suite::siopmp::request::{AccessKind, DmaRequest};
+use siopmp_suite::siopmp::{CheckOutcome, Siopmp, SiopmpConfig};
+use siopmp_suite::workloads::SiopmpPlusIommu;
+
+/// The untrusted OS triggers DMA into secure memory through a device it
+/// controls: denied regardless of what the OS "configured", because only
+/// the monitor can install IOPMP entries for TEE-owned memory.
+#[test]
+fn privileged_software_cannot_authorise_dma_into_tee_memory() {
+    let mut monitor = SecureMonitor::boot(SiopmpConfig::default());
+    let tee_mem = monitor.mint_memory(0x9000_0000, 0x10_0000, MemPerms::rw());
+    let tee_dev = monitor.mint_device(DeviceId(0x10));
+    let _tee = monitor.create_tee(vec![tee_mem, tee_dev]).unwrap();
+
+    // The OS's own device (never granted to the TEE) tries to read.
+    let os_dev_cap = monitor.mint_device(DeviceId(0x20));
+    let os_mem = monitor.mint_memory(0x1000_0000, 0x1000, MemPerms::rw());
+    let os_tee = monitor.create_tee(vec![os_mem, os_dev_cap]).unwrap();
+    // The OS cannot device_map into the TEE's capability: it does not own it.
+    assert!(monitor
+        .device_map(
+            os_tee,
+            os_dev_cap,
+            tee_mem,
+            0x9000_0000,
+            0x100,
+            MemPerms::rw()
+        )
+        .is_err());
+    // And the raw DMA is denied by the hardware.
+    let out = monitor.check_dma(&DmaRequest::new(
+        DeviceId(0x20),
+        AccessKind::Read,
+        0x9000_0000,
+        64,
+    ));
+    assert!(out.is_denied());
+}
+
+/// Replay-style attack: after a buffer is unmapped, re-issuing the old DMA
+/// must fail immediately (no asynchronous invalidation window).
+#[test]
+fn no_window_after_unmap() {
+    let mut monitor = SecureMonitor::boot(SiopmpConfig::default());
+    let mem = monitor.mint_memory(0x9000_0000, 0x10_0000, MemPerms::rw());
+    let dev = monitor.mint_device(DeviceId(0x10));
+    let tee = monitor.create_tee(vec![mem, dev]).unwrap();
+    monitor
+        .device_map(tee, dev, mem, 0x9000_0000, 0x1000, MemPerms::rw())
+        .unwrap();
+    let req = DmaRequest::new(DeviceId(0x10), AccessKind::Write, 0x9000_0000, 64);
+    assert!(monitor.check_dma(&req).is_allowed());
+    monitor.device_unmap(tee, dev, mem).unwrap();
+    // The very next access fails — contrast with the IOMMU-deferred case.
+    assert!(!monitor.check_dma(&req).is_allowed());
+}
+
+/// The contrast case: IOMMU-deferred leaves a stale translation usable by
+/// the device; the hybrid mode does not.
+#[test]
+fn deferred_window_exists_and_hybrid_closes_it() {
+    let mut deferred = Iommu::new(InvalidationPolicy::Deferred { batch: 64 });
+    let (h, _) = deferred.map(1, 0x10_0000, 4096);
+    deferred.device_translate(1, h.iova);
+    deferred.unmap(h);
+    assert!(
+        deferred.device_translate(1, h.iova).is_some(),
+        "window open"
+    );
+
+    let mut hybrid = SiopmpPlusIommu::new();
+    let (h, _) = hybrid.map(1, 0x10_0000, 4096);
+    hybrid.unmap(h);
+    assert_eq!(hybrid.attack_window_pages(), 0, "hybrid closes the window");
+}
+
+/// Entry inconsistency (§5.3): interleaving a DMA check with a multi-entry
+/// update must never expose a mix of old and new rules, thanks to the SID
+/// block bitmap.
+#[test]
+fn entry_updates_are_atomic_under_blocking() {
+    let mut unit = Siopmp::new(SiopmpConfig::small());
+    let dev = DeviceId(5);
+    let sid = unit.map_hot_device(dev).unwrap();
+    unit.associate_sid_with_md(sid, MdIndex(0)).unwrap();
+    let e_old_1 = unit
+        .install_entry(
+            MdIndex(0),
+            IopmpEntry::new(AddressRange::new(0x1000, 0x100).unwrap(), Permissions::rw()),
+        )
+        .unwrap();
+    let e_old_2 = unit
+        .install_entry(
+            MdIndex(0),
+            IopmpEntry::new(AddressRange::new(0x2000, 0x100).unwrap(), Permissions::rw()),
+        )
+        .unwrap();
+
+    // Begin the update: the monitor blocks the SID first.
+    unit.block_sid(sid);
+    unit.set_entry(
+        e_old_1,
+        Some(IopmpEntry::new(
+            AddressRange::new(0x3000, 0x100).unwrap(),
+            Permissions::rw(),
+        )),
+    )
+    .unwrap();
+    // MID-UPDATE: the device probes. It must be stalled, not see a mix.
+    let probe_old = unit.check(&DmaRequest::new(dev, AccessKind::Read, 0x2000, 8));
+    let probe_new = unit.check(&DmaRequest::new(dev, AccessKind::Read, 0x3000, 8));
+    assert_eq!(probe_old, CheckOutcome::Stalled { sid });
+    assert_eq!(probe_new, CheckOutcome::Stalled { sid });
+    unit.set_entry(
+        e_old_2,
+        Some(IopmpEntry::new(
+            AddressRange::new(0x4000, 0x100).unwrap(),
+            Permissions::rw(),
+        )),
+    )
+    .unwrap();
+    unit.unblock_sid(sid);
+
+    // After the update, only the new region set is visible.
+    assert!(unit
+        .check(&DmaRequest::new(dev, AccessKind::Read, 0x3000, 8))
+        .is_allowed());
+    assert!(unit
+        .check(&DmaRequest::new(dev, AccessKind::Read, 0x4000, 8))
+        .is_allowed());
+    assert!(unit
+        .check(&DmaRequest::new(dev, AccessKind::Read, 0x1000, 8))
+        .is_denied());
+    assert!(unit
+        .check(&DmaRequest::new(dev, AccessKind::Read, 0x2000, 8))
+        .is_denied());
+}
+
+/// Device inconsistency (§5.3): during cold switching, the incoming device
+/// must never see the previous tenant's memory domain.
+#[test]
+fn cold_switch_never_leaks_previous_tenant() {
+    let mut unit = Siopmp::new(SiopmpConfig::small());
+    for (d, base) in [(1u64, 0x1_0000u64), (2, 0x2_0000)] {
+        unit.register_cold_device(
+            DeviceId(d),
+            MountableEntry {
+                domains: vec![],
+                entries: vec![IopmpEntry::new(
+                    AddressRange::new(base, 0x1000).unwrap(),
+                    Permissions::rw(),
+                )],
+            },
+        )
+        .unwrap();
+    }
+    // Mount device 1, then switch to device 2.
+    unit.handle_sid_missing(DeviceId(1)).unwrap();
+    assert!(unit
+        .check(&DmaRequest::new(DeviceId(1), AccessKind::Read, 0x1_0000, 8))
+        .is_allowed());
+    unit.handle_sid_missing(DeviceId(2)).unwrap();
+    // Device 2 must not inherit device 1's region through the shared MD62.
+    assert!(unit
+        .check(&DmaRequest::new(DeviceId(2), AccessKind::Read, 0x1_0000, 8))
+        .is_denied());
+    assert!(unit
+        .check(&DmaRequest::new(DeviceId(2), AccessKind::Read, 0x2_0000, 8))
+        .is_allowed());
+}
+
+/// Packet masking end-to-end against real memory: denied writes leave no
+/// trace, denied reads return zeroes.
+#[test]
+fn masking_protects_memory_contents() {
+    let mut mem = SparseMemory::new();
+    mem.write(0x9000_0000, b"confidential");
+    let mut unit = Siopmp::new(SiopmpConfig::small());
+    let dev = DeviceId(9);
+    let sid = unit.map_hot_device(dev).unwrap();
+    unit.associate_sid_with_md(sid, MdIndex(0)).unwrap();
+
+    // Denied write -> all strobes masked.
+    let w = DmaRequest::new(dev, AccessKind::Write, 0x9000_0000, 12);
+    assert!(unit.check(&w).is_denied());
+    mem.write_strobed(0x9000_0000, &[0u8; 12], &[false; 12]);
+    assert_eq!(mem.read_vec(0x9000_0000, 12), b"confidential".to_vec());
+
+    // Denied read -> read-clear.
+    let r = DmaRequest::new(dev, AccessKind::Read, 0x9000_0000, 12);
+    assert!(unit.check(&r).is_denied());
+    assert_eq!(mem.read_cleared(0x9000_0000, 12), vec![0u8; 12]);
+}
+
+/// Locked M-mode guard entries shadow S-mode-delegated entries: the kernel
+/// cannot open a hole the monitor closed (§6.3's delegation model).
+#[test]
+fn locked_guard_entries_shadow_delegated_ones() {
+    let mut unit = Siopmp::new(SiopmpConfig::small());
+    let dev = DeviceId(4);
+    let sid = unit.map_hot_device(dev).unwrap();
+    unit.associate_sid_with_md(sid, MdIndex(0)).unwrap();
+    // M-mode installs a locked NO_PERMISSION guard over the monitor region
+    // at the highest priority slot of the domain.
+    let guard = unit
+        .install_entry(
+            MdIndex(0),
+            IopmpEntry::new_locked(
+                AddressRange::new(0xFF00_0000, 0x10_0000).unwrap(),
+                Permissions::none(),
+            ),
+        )
+        .unwrap();
+    // The kernel later installs a broad allow entry at lower priority.
+    let broad = unit
+        .install_entry(
+            MdIndex(0),
+            IopmpEntry::new(
+                AddressRange::new(0xF000_0000, 0x1000_0000).unwrap(),
+                Permissions::rw(),
+            ),
+        )
+        .unwrap();
+    assert!(guard < broad, "guard must be higher priority");
+    // The guard wins inside the monitor region...
+    assert!(unit
+        .check(&DmaRequest::new(dev, AccessKind::Read, 0xFF00_0100, 8))
+        .is_denied());
+    // ...and the broad entry works elsewhere.
+    assert!(unit
+        .check(&DmaRequest::new(dev, AccessKind::Read, 0xF000_0000, 8))
+        .is_allowed());
+    // The kernel cannot remove or replace the locked guard.
+    assert!(unit.set_entry(guard, None).is_err());
+    let probe = EntryIndex(guard.0);
+    assert!(unit
+        .set_entry(
+            probe,
+            Some(IopmpEntry::new(
+                AddressRange::new(0xFF00_0000, 0x10_0000).unwrap(),
+                Permissions::rw(),
+            )),
+        )
+        .is_err());
+}

@@ -1,0 +1,115 @@
+//! Randomized stress tests: seeded traffic mixes through the full SoC,
+//! checking conservation and isolation invariants for every mix.
+
+use siopmp_suite::siopmp::ids::DeviceId;
+use siopmp_suite::soc::{DeviceSpec, SocBuilder};
+use siopmp_suite::workloads::traffic::{generate, legal_base, stray_count, TrafficConfig};
+
+fn build_soc(masters: usize, region_len: u64) -> siopmp_suite::soc::Soc {
+    let mut builder = SocBuilder::new();
+    for m in 0..masters {
+        let d = m as u64 + 1;
+        let base = legal_base(d, region_len);
+        builder = builder.tenant(
+            base,
+            region_len,
+            vec![DeviceSpec {
+                device: DeviceId(d),
+                regions: vec![(base, region_len, true)],
+            }],
+        );
+    }
+    builder.build().expect("SoC assembly")
+}
+
+#[test]
+fn legal_random_traffic_all_passes() {
+    for seed in 0..8u64 {
+        let cfg = TrafficConfig {
+            stray_ratio: 0.0,
+            ..TrafficConfig::default()
+        };
+        let programs = generate(seed, &cfg);
+        let soc = build_soc(cfg.masters, cfg.region_len);
+        let expected: Vec<usize> = programs.iter().map(|p| p.bursts.len()).collect();
+        let report = soc.run(programs, 10_000_000);
+        assert!(report.completed, "seed {seed}");
+        for (m, want) in report.masters.iter().zip(expected) {
+            assert_eq!(m.bursts_completed, want, "seed {seed}");
+            assert_eq!(m.bursts_ok, m.bursts_completed, "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn stray_random_traffic_denied_exactly() {
+    for seed in 0..8u64 {
+        let cfg = TrafficConfig {
+            stray_ratio: 0.4,
+            masters: 3,
+            max_bursts: 40,
+            ..TrafficConfig::default()
+        };
+        let programs = generate(seed, &cfg);
+        let strays = stray_count(&programs, cfg.region_len);
+        let soc = build_soc(cfg.masters, cfg.region_len);
+        let report = soc.run(programs, 10_000_000);
+        assert!(report.completed, "seed {seed}");
+        let denied: usize = report
+            .masters
+            .iter()
+            .map(|m| m.bursts_masked + m.bursts_bus_error)
+            .sum();
+        assert_eq!(
+            denied, strays,
+            "seed {seed}: every stray burst, and only strays, denied"
+        );
+        // Denied traffic never moves data.
+        let total_ok: usize = report.masters.iter().map(|m| m.bursts_ok).sum();
+        let total_bytes: u64 = report.masters.iter().map(|m| m.bytes_transferred).sum();
+        assert_eq!(total_bytes, total_ok as u64 * 64, "seed {seed}");
+    }
+}
+
+#[test]
+fn violations_are_fully_logged() {
+    let cfg = TrafficConfig {
+        stray_ratio: 0.5,
+        masters: 2,
+        max_bursts: 30,
+        ..TrafficConfig::default()
+    };
+    let programs = generate(123, &cfg);
+    let strays = stray_count(&programs, cfg.region_len);
+    let mut soc = build_soc(cfg.masters, cfg.region_len);
+    // Run via the monitor-owned unit directly so the violation log is on
+    // the same instance we inspect.
+    let policy = siopmp_suite::bus::policy::SiopmpPolicy::new(soc.monitor.siopmp().clone());
+    let mut sim = siopmp_suite::bus::BusSim::new(soc.bus_config.clone(), Box::new(policy));
+    for p in programs {
+        sim.add_master(p);
+    }
+    let report = sim.run_to_completion(10_000_000);
+    assert!(report.completed);
+    let denied: usize = report
+        .masters
+        .iter()
+        .map(|m| m.bursts_masked + m.bursts_bus_error)
+        .sum();
+    assert_eq!(denied, strays);
+    // The monitor's own unit logs nothing (we ran on a clone); check the
+    // mechanism by replaying one stray access through the monitor path.
+    let stray_addr = legal_base(1, cfg.region_len) + cfg.region_len + 64;
+    let out = soc
+        .monitor
+        .check_dma(&siopmp_suite::siopmp::request::DmaRequest::new(
+            DeviceId(1),
+            siopmp_suite::siopmp::request::AccessKind::Write,
+            stray_addr,
+            64,
+        ));
+    assert!(out.is_denied());
+    let log = soc.monitor.take_violations();
+    assert_eq!(log.len(), 1);
+    assert_eq!(log[0].addr, stray_addr);
+}
