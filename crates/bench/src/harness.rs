@@ -1,0 +1,251 @@
+//! The measurement engine: warmup, timed iterations, median-of-runs and
+//! outlier trimming — no external benchmark framework.
+//!
+//! Each scenario provides a closure whose one invocation does a full
+//! "unit of work" (typically: reproduce one evaluation figure once). The
+//! engine times `iters` invocations per run, repeats for `runs` runs,
+//! sorts each run's samples and drops the configured fraction from both
+//! tails (trimming scheduler noise), then records the retained samples
+//! into a log2 [`siopmp::telemetry::Histogram`] registered as
+//! `bench.wall_ns` in the scenario's telemetry registry. The headline
+//! number is the median of the per-run medians, which is robust to a
+//! whole run being perturbed.
+
+use siopmp::json::Json;
+use siopmp::telemetry::{Telemetry, TelemetrySnapshot};
+use std::time::Instant;
+
+/// How much work one benchmark invocation does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchMode {
+    /// Human name, recorded in the JSON (`"full"` / `"smoke"`).
+    pub name: &'static str,
+    /// Untimed warmup invocations before the first run.
+    pub warmup: usize,
+    /// Timed invocations per run.
+    pub iters: usize,
+    /// Independent runs (the headline is the median of their medians).
+    pub runs: usize,
+}
+
+impl BenchMode {
+    /// The default mode for local measurement.
+    pub fn full() -> Self {
+        BenchMode {
+            name: "full",
+            warmup: 4,
+            iters: 24,
+            runs: 5,
+        }
+    }
+
+    /// A fast mode for CI: enough iterations to exercise every code path
+    /// and produce a well-formed report, not enough for stable numbers.
+    pub fn smoke() -> Self {
+        BenchMode {
+            name: "smoke",
+            warmup: 1,
+            iters: 6,
+            runs: 2,
+        }
+    }
+}
+
+/// Fraction of samples dropped from *each* tail of every run.
+const TRIM_FRACTION: f64 = 0.1;
+
+/// Timing summary of one scenario measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Mode the measurement ran under.
+    pub mode: BenchMode,
+    /// Median of the per-run median wall times, in nanoseconds.
+    pub median_ns: u64,
+    /// Samples dropped as outliers across all runs.
+    pub trimmed: usize,
+    /// Snapshot of the retained samples (also lives in the scenario
+    /// telemetry as `bench.wall_ns`).
+    pub wall_ns: siopmp::telemetry::HistogramSnapshot,
+}
+
+/// Times `f` under `mode`, recording retained samples into `telemetry`
+/// (`bench.wall_ns` histogram, `bench.iterations` / `bench.outliers_trimmed`
+/// counters).
+pub fn measure(mode: BenchMode, telemetry: &Telemetry, mut f: impl FnMut()) -> Measurement {
+    for _ in 0..mode.warmup {
+        f();
+    }
+    let hist = telemetry.histogram("bench.wall_ns");
+    let iterations = telemetry.counter("bench.iterations");
+    let outliers = telemetry.counter("bench.outliers_trimmed");
+    let trim = ((mode.iters as f64 * TRIM_FRACTION) as usize).min(mode.iters.saturating_sub(1) / 2);
+    let mut run_medians = Vec::with_capacity(mode.runs);
+    let mut trimmed = 0usize;
+    for _ in 0..mode.runs {
+        let mut samples = Vec::with_capacity(mode.iters);
+        for _ in 0..mode.iters {
+            let start = Instant::now();
+            f();
+            samples.push(start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        }
+        iterations.add(mode.iters as u64);
+        samples.sort_unstable();
+        run_medians.push(samples[samples.len() / 2]);
+        let retained = &samples[trim..samples.len() - trim];
+        trimmed += samples.len() - retained.len();
+        for &ns in retained {
+            hist.record(ns);
+        }
+    }
+    outliers.add(trimmed as u64);
+    run_medians.sort_unstable();
+    Measurement {
+        mode,
+        median_ns: run_medians[run_medians.len() / 2],
+        trimmed,
+        wall_ns: hist.snapshot(),
+    }
+}
+
+/// The full result of one benchmark scenario, serializable to
+/// `BENCH_<scenario>.json`.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// Scenario name (the file stem).
+    pub scenario: String,
+    /// Timing of the figure-reproduction closure.
+    pub timing: Measurement,
+    /// Unit of the headline throughput value (e.g. `"checks/s"`).
+    pub throughput_unit: String,
+    /// Headline throughput in `throughput_unit`.
+    pub throughput: f64,
+    /// Modelled cycles per request, where the scenario has one.
+    pub cycles_per_request: Option<f64>,
+    /// Scenario-specific metrics (figure rows, sweep tables, ...).
+    pub metrics: Vec<(String, Json)>,
+    /// Dump of the scenario's telemetry registry (always contains the
+    /// `bench.*` metrics; scenarios that build real units also carry
+    /// their `siopmp.*` counters).
+    pub telemetry: TelemetrySnapshot,
+}
+
+impl ScenarioReport {
+    /// Iterations per second of the timed closure.
+    pub fn closure_hz(&self) -> f64 {
+        if self.timing.median_ns == 0 {
+            return 0.0;
+        }
+        1e9 / self.timing.median_ns as f64
+    }
+
+    /// Serializes the report (see README "Observability & benchmarking"
+    /// for the schema).
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("scenario", Json::str(self.scenario.clone())),
+            ("mode", Json::str(self.timing.mode.name)),
+            ("warmup", Json::u64(self.timing.mode.warmup as u64)),
+            ("iters", Json::u64(self.timing.mode.iters as u64)),
+            ("runs", Json::u64(self.timing.mode.runs as u64)),
+            (
+                "wall_ns",
+                Json::object([
+                    ("median", Json::u64(self.timing.median_ns)),
+                    ("p50", Json::u64(self.timing.wall_ns.p50())),
+                    ("p99", Json::u64(self.timing.wall_ns.p99())),
+                    ("max", Json::u64(self.timing.wall_ns.max)),
+                    ("mean", Json::f64(self.timing.wall_ns.mean())),
+                    ("trimmed", Json::u64(self.timing.trimmed as u64)),
+                    ("histogram", self.timing.wall_ns.to_json()),
+                ]),
+            ),
+            (
+                "throughput",
+                Json::object([
+                    ("unit", Json::str(self.throughput_unit.clone())),
+                    ("value", Json::f64(self.throughput)),
+                ]),
+            ),
+            (
+                "cycles_per_request",
+                match self.cycles_per_request {
+                    Some(c) => Json::f64(c),
+                    None => Json::Null,
+                },
+            ),
+            ("metrics", Json::Object(self.metrics.to_vec())),
+            ("telemetry", self.telemetry.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_records_all_retained_samples() {
+        let t = Telemetry::new();
+        let mode = BenchMode {
+            name: "test",
+            warmup: 1,
+            iters: 10,
+            runs: 2,
+        };
+        let mut calls = 0u64;
+        let m = measure(mode, &t, || calls += 1);
+        // warmup + iters*runs invocations.
+        assert_eq!(calls, 1 + 10 * 2);
+        // 10% trim from each tail of a 10-sample run drops 2 per run.
+        assert_eq!(m.trimmed, 4);
+        assert_eq!(m.wall_ns.count, 16);
+        let snap = t.snapshot();
+        assert_eq!(snap.counters["bench.iterations"], 20);
+        assert_eq!(snap.counters["bench.outliers_trimmed"], 4);
+        assert!(snap.histograms.contains_key("bench.wall_ns"));
+    }
+
+    #[test]
+    fn tiny_iteration_counts_do_not_trim_everything() {
+        let t = Telemetry::new();
+        let mode = BenchMode {
+            name: "test",
+            warmup: 0,
+            iters: 1,
+            runs: 1,
+        };
+        let m = measure(mode, &t, || {});
+        assert_eq!(m.trimmed, 0);
+        assert_eq!(m.wall_ns.count, 1);
+    }
+
+    #[test]
+    fn report_serializes_the_schema() {
+        let t = Telemetry::new();
+        let m = measure(BenchMode::smoke(), &t, || {});
+        let report = ScenarioReport {
+            scenario: "unit_test".into(),
+            timing: m,
+            throughput_unit: "ops/s".into(),
+            throughput: 123.0,
+            cycles_per_request: Some(341.0),
+            metrics: vec![("answer".into(), Json::u64(42))],
+            telemetry: t.snapshot(),
+        };
+        let json = report.to_json().to_string();
+        for key in [
+            "\"scenario\":\"unit_test\"",
+            "\"mode\":\"smoke\"",
+            "\"wall_ns\"",
+            "\"p50\"",
+            "\"p99\"",
+            "\"throughput\"",
+            "\"cycles_per_request\":341",
+            "\"answer\":42",
+            "\"telemetry\"",
+            "bench.iterations",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

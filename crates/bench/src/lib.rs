@@ -1,23 +1,37 @@
-//! # siopmp-bench — benchmark support library
+//! # siopmp-bench — self-contained benchmark harness
 //!
-//! The Criterion benches live in `benches/`, one per evaluation
-//! table/figure (see `DESIGN.md` for the index). This library hosts small
-//! shared helpers so each bench file stays focused on its figure.
+//! A zero-external-dependency replacement for the old Criterion benches:
+//! [`harness`] is the measurement engine (warmup, timed iterations,
+//! median-of-runs, outlier trim, log2 latency histograms via
+//! `siopmp::telemetry`), and [`scenarios`] reimplements every evaluation
+//! table/figure scenario (see `DESIGN.md` for the index). The
+//! `siopmp-bench` binary runs scenarios and writes one
+//! `BENCH_<scenario>.json` per scenario.
 
 use siopmp::entry::{AddressRange, IopmpEntry, Permissions};
 use siopmp::ids::{DeviceId, MdIndex};
+use siopmp::telemetry::Telemetry;
 use siopmp::{Siopmp, SiopmpConfig};
+
+pub mod harness;
+pub mod scenarios;
 
 /// Builds a unit with one hot device whose memory domain holds `entries`
 /// rules over disjoint 256-byte regions starting at `base`. Returns the
 /// unit and the device id, ready for `check()` calls.
 pub fn unit_with_entries(entries: usize, base: u64) -> (Siopmp, DeviceId) {
+    unit_with_entries_in(entries, base, Telemetry::new())
+}
+
+/// Like [`unit_with_entries`], but registers the unit's `siopmp.*` metrics
+/// in `telemetry` so a scenario's JSON dump carries its counters.
+pub fn unit_with_entries_in(entries: usize, base: u64, telemetry: Telemetry) -> (Siopmp, DeviceId) {
     let cfg = SiopmpConfig {
         num_entries: entries.max(8) * 2,
         cold_md_entries: 8,
         ..SiopmpConfig::default()
     };
-    let mut unit = Siopmp::new(cfg);
+    let mut unit = Siopmp::with_telemetry(cfg, telemetry);
     let dev = DeviceId(0x42);
     let sid = unit.map_hot_device(dev).expect("fresh unit has free SIDs");
     unit.associate_sid_with_md(sid, MdIndex(0))

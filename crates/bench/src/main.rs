@@ -1,0 +1,147 @@
+//! The `siopmp-bench` binary: runs the benchmark scenarios and writes one
+//! `BENCH_<scenario>.json` per scenario.
+//!
+//! ```text
+//! siopmp-bench [--smoke] [--out DIR] [--list] [SCENARIO ...]
+//! ```
+//!
+//! With no scenario arguments, every scenario runs. `--smoke` switches to
+//! the fast CI mode (few iterations, same code paths and schema);
+//! `--out DIR` redirects the JSON files (default: current directory);
+//! `--list` prints the scenario names and exits.
+
+use siopmp_bench::harness::BenchMode;
+use siopmp_bench::scenarios;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Cli {
+    mode: BenchMode,
+    out_dir: PathBuf,
+    list: bool,
+    scenarios: Vec<String>,
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
+    let mut cli = Cli {
+        mode: BenchMode::full(),
+        out_dir: PathBuf::from("."),
+        list: false,
+        scenarios: Vec::new(),
+    };
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => cli.mode = BenchMode::smoke(),
+            "--list" => cli.list = true,
+            "--out" => {
+                let dir = args.next().ok_or("--out requires a directory argument")?;
+                cli.out_dir = PathBuf::from(dir);
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: siopmp-bench [--smoke] [--out DIR] [--list] [SCENARIO ...]".to_string(),
+                )
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other}; see --help"));
+            }
+            name => {
+                if !scenarios::ALL.contains(&name) {
+                    return Err(format!(
+                        "unknown scenario {name}; known: {}",
+                        scenarios::ALL.join(", ")
+                    ));
+                }
+                cli.scenarios.push(name.to_string());
+            }
+        }
+    }
+    if cli.scenarios.is_empty() {
+        cli.scenarios = scenarios::ALL.iter().map(|s| s.to_string()).collect();
+    }
+    Ok(cli)
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args(std::env::args().skip(1)) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if cli.list {
+        for name in scenarios::ALL {
+            println!("{name}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    if let Err(e) = std::fs::create_dir_all(&cli.out_dir) {
+        eprintln!("cannot create {}: {e}", cli.out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "running {} scenario(s) in {} mode ({} warmup + {}x{} iters each)",
+        cli.scenarios.len(),
+        cli.mode.name,
+        cli.mode.warmup,
+        cli.mode.runs,
+        cli.mode.iters
+    );
+    for name in &cli.scenarios {
+        let report = scenarios::run(name, cli.mode).expect("scenario validated during parsing");
+        let path = cli.out_dir.join(format!("BENCH_{name}.json"));
+        if let Err(e) = std::fs::write(&path, report.to_json().pretty()) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        let cycles = report
+            .cycles_per_request
+            .map(|c| format!(", {c:.0} cycles/req"))
+            .unwrap_or_default();
+        println!(
+            "{name:<22} p50 {:>10} ns  p99 {:>10} ns  {:>12.1} {}{}  -> {}",
+            report.timing.wall_ns.p50(),
+            report.timing.wall_ns.p99(),
+            report.throughput,
+            report.throughput_unit,
+            cycles,
+            path.display()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> std::vec::IntoIter<String> {
+        s.iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    #[test]
+    fn default_runs_all_scenarios_in_full_mode() {
+        let cli = parse_args(args(&[])).unwrap();
+        assert_eq!(cli.mode.name, "full");
+        assert_eq!(cli.scenarios.len(), scenarios::ALL.len());
+    }
+
+    #[test]
+    fn smoke_and_out_are_parsed() {
+        let cli = parse_args(args(&["--smoke", "--out", "/tmp/x", "memcached"])).unwrap();
+        assert_eq!(cli.mode.name, "smoke");
+        assert_eq!(cli.out_dir, PathBuf::from("/tmp/x"));
+        assert_eq!(cli.scenarios, vec!["memcached".to_string()]);
+    }
+
+    #[test]
+    fn unknown_scenario_is_rejected() {
+        assert!(parse_args(args(&["bogus"])).is_err());
+        assert!(parse_args(args(&["--frobnicate"])).is_err());
+    }
+}

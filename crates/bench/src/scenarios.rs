@@ -1,0 +1,663 @@
+//! The benchmark scenarios, one per evaluation table/figure (the same set
+//! the old Criterion benches covered — see DESIGN.md for the figure
+//! index). Each scenario times "reproduce the figure once" as its work
+//! unit and reports the figure's rows in `metrics`, so the JSON file
+//! doubles as the reproduction record.
+
+use crate::harness::{measure, BenchMode, ScenarioReport};
+use siopmp::atomic::modification_cycles;
+use siopmp::checker::CheckerKind;
+use siopmp::entry::{AddressRange, IopmpEntry, Permissions};
+use siopmp::ids::EntryIndex;
+use siopmp::json::Json;
+use siopmp::request::{AccessKind, DmaRequest};
+use siopmp::telemetry::Telemetry;
+use siopmp::violation::ViolationMode;
+use siopmp_bus::BurstKind;
+use siopmp_experiments::{ablations, coldswitch};
+use siopmp_iommu::protection::{InvalidationPolicy, Iommu};
+use siopmp_iommu::swio::Swio;
+use siopmp_workloads::hotcold::{self, FIGURE17_RATIOS};
+use siopmp_workloads::memcached::MemcachedConfig;
+use siopmp_workloads::microbench::{burst_latency, dma_bandwidth, BandwidthScenario};
+use siopmp_workloads::network::{evaluate, Direction, NetworkConfig};
+use siopmp_workloads::{SiopmpMech, SiopmpPlusIommu};
+use std::hint::black_box;
+
+/// Every scenario name, in reporting order.
+pub const ALL: [&str; 10] = [
+    "clock_frequency",
+    "pipeline_latency",
+    "dma_bandwidth",
+    "modification_latency",
+    "hardware_cost",
+    "network_throughput",
+    "memcached",
+    "cold_switching",
+    "checker_core",
+    "ablations",
+];
+
+/// Runs scenario `name` under `mode`; `None` for an unknown name.
+pub fn run(name: &str, mode: BenchMode) -> Option<ScenarioReport> {
+    match name {
+        "clock_frequency" => Some(clock_frequency(mode)),
+        "pipeline_latency" => Some(pipeline_latency(mode)),
+        "dma_bandwidth" => Some(dma_bandwidth_scenario(mode)),
+        "modification_latency" => Some(modification_latency(mode)),
+        "hardware_cost" => Some(hardware_cost(mode)),
+        "network_throughput" => Some(network_throughput(mode)),
+        "memcached" => Some(memcached(mode)),
+        "cold_switching" => Some(cold_switching(mode)),
+        "checker_core" => Some(checker_core(mode)),
+        "ablations" => Some(ablations_scenario(mode)),
+        _ => None,
+    }
+}
+
+fn rows(items: impl IntoIterator<Item = Json>) -> Json {
+    Json::array(items)
+}
+
+/// Figure 10: achievable clock frequency across checker variants and
+/// entry counts.
+fn clock_frequency(mode: BenchMode) -> ScenarioReport {
+    use siopmp::timing::{analyze, figure10_checkers, FIGURE10_ENTRIES};
+    let telemetry = Telemetry::new();
+    let combos: Vec<(CheckerKind, usize)> = figure10_checkers()
+        .into_iter()
+        .flat_map(|c| FIGURE10_ENTRIES.into_iter().map(move |n| (c, n)))
+        .collect();
+    let timing = measure(mode, &telemetry, || {
+        for &(checker, entries) in &combos {
+            black_box(analyze(black_box(checker), black_box(entries)));
+        }
+    });
+    let metrics = vec![(
+        "fig10_rows".to_string(),
+        rows(combos.iter().map(|&(checker, entries)| {
+            let r = analyze(checker, entries);
+            Json::object([
+                ("checker", Json::str(checker.label())),
+                ("entries", Json::u64(entries as u64)),
+                ("mhz", Json::f64(r.achievable_mhz)),
+                ("routable", Json::Bool(r.routable)),
+            ])
+        })),
+    )];
+    let analyses_per_sec = combos.len() as f64 * 1e9 / timing.median_ns.max(1) as f64;
+    ScenarioReport {
+        scenario: "clock_frequency".into(),
+        timing,
+        throughput_unit: "analyses/s".into(),
+        throughput: analyses_per_sec,
+        cycles_per_request: None,
+        metrics,
+        telemetry: telemetry.snapshot(),
+    }
+}
+
+/// Figure 11: worst-case burst latency through the cycle simulator, per
+/// checker depth × violation mode × access kind.
+fn pipeline_latency(mode: BenchMode) -> ScenarioReport {
+    let configs: [(&str, CheckerKind, ViolationMode); 4] = [
+        (
+            "Nopipe-BusError",
+            CheckerKind::Linear,
+            ViolationMode::BusError,
+        ),
+        (
+            "2pipe-BusError",
+            CheckerKind::MtChecker {
+                stages: 2,
+                tree_arity: 2,
+            },
+            ViolationMode::BusError,
+        ),
+        (
+            "2pipe-Masking",
+            CheckerKind::MtChecker {
+                stages: 2,
+                tree_arity: 2,
+            },
+            ViolationMode::PacketMasking,
+        ),
+        (
+            "3pipe-Masking",
+            CheckerKind::MtChecker {
+                stages: 3,
+                tree_arity: 2,
+            },
+            ViolationMode::PacketMasking,
+        ),
+    ];
+    let cases: [(&str, BurstKind, bool); 3] = [
+        ("read", BurstKind::Read, false),
+        ("write", BurstKind::Write, false),
+        ("read-violation", BurstKind::Read, true),
+    ];
+    let telemetry = Telemetry::new();
+    let timing = measure(mode, &telemetry, || {
+        for &(_, checker, vmode) in &configs {
+            for &(_, kind, violating) in &cases {
+                black_box(burst_latency(checker, vmode, kind, violating));
+            }
+        }
+    });
+    let mut reference = None;
+    let metrics = vec![(
+        "fig11_rows".to_string(),
+        rows(configs.iter().flat_map(|&(label, checker, vmode)| {
+            cases.iter().map(move |&(case, kind, violating)| {
+                let cycles = burst_latency(checker, vmode, kind, violating);
+                Json::object([
+                    ("config", Json::str(label)),
+                    ("case", Json::str(case)),
+                    ("cycles", Json::u64(cycles)),
+                ])
+            })
+        })),
+    )];
+    // Reference request cost: the pipelined masking checker on a clean read.
+    for &(label, checker, vmode) in &configs {
+        if label == "2pipe-Masking" {
+            reference = Some(burst_latency(checker, vmode, BurstKind::Read, false) as f64);
+        }
+    }
+    let sims = (configs.len() * cases.len()) as f64;
+    let sims_per_sec = sims * 1e9 / timing.median_ns.max(1) as f64;
+    ScenarioReport {
+        scenario: "pipeline_latency".into(),
+        timing,
+        throughput_unit: "latency_sims/s".into(),
+        throughput: sims_per_sec,
+        cycles_per_request: reference,
+        metrics,
+        telemetry: telemetry.snapshot(),
+    }
+}
+
+/// Figure 12: two-node DMA throughput across traffic mixes and checker
+/// depths.
+fn dma_bandwidth_scenario(mode: BenchMode) -> ScenarioReport {
+    let checkers: [(&str, CheckerKind); 3] = [
+        ("Nopipe", CheckerKind::Linear),
+        (
+            "2pipe",
+            CheckerKind::MtChecker {
+                stages: 2,
+                tree_arity: 2,
+            },
+        ),
+        (
+            "3pipe",
+            CheckerKind::MtChecker {
+                stages: 3,
+                tree_arity: 2,
+            },
+        ),
+    ];
+    let scenarios = [
+        BandwidthScenario::ReadWrite,
+        BandwidthScenario::ReadRead,
+        BandwidthScenario::WriteWrite,
+    ];
+    let telemetry = Telemetry::new();
+    let timing = measure(mode, &telemetry, || {
+        for &(_, checker) in &checkers {
+            for &scenario in &scenarios {
+                black_box(dma_bandwidth(scenario, checker));
+            }
+        }
+    });
+    let mut best = 0.0f64;
+    let metrics = vec![(
+        "fig12_rows".to_string(),
+        rows(checkers.iter().flat_map(|&(label, checker)| {
+            scenarios.iter().map(move |&scenario| {
+                let bpc = dma_bandwidth(scenario, checker);
+                Json::object([
+                    ("checker", Json::str(label)),
+                    ("scenario", Json::str(scenario.to_string())),
+                    ("bytes_per_cycle", Json::f64(bpc)),
+                ])
+            })
+        })),
+    )];
+    for &(_, checker) in &checkers {
+        for &scenario in &scenarios {
+            best = best.max(dma_bandwidth(scenario, checker));
+        }
+    }
+    ScenarioReport {
+        scenario: "dma_bandwidth".into(),
+        timing,
+        throughput_unit: "bytes/cycle".into(),
+        throughput: best,
+        cycles_per_request: None,
+        metrics,
+        telemetry: telemetry.snapshot(),
+    }
+}
+
+/// Figure 13: atomic entry-modification latency, measured on the real
+/// unit (wall time) and via the cycle model.
+fn modification_latency(mode: BenchMode) -> ScenarioReport {
+    const BATCH: usize = 64;
+    let telemetry = Telemetry::new();
+    let (mut unit, dev) = crate::unit_with_entries_in(256, 0x10_0000, telemetry.clone());
+    let req = DmaRequest::new(dev, AccessKind::Read, 0x10_0000, 8);
+    assert!(unit.check(&req).is_allowed(), "device mapped at SID 0");
+    let sid = siopmp::ids::SourceId(0);
+    let entry = IopmpEntry::new(
+        AddressRange::new(0x20_0000, 0x100).unwrap(),
+        Permissions::rw(),
+    );
+    let updates: Vec<(EntryIndex, Option<IopmpEntry>)> = (0..BATCH)
+        .map(|i| (EntryIndex(i as u32), Some(entry)))
+        .collect();
+    let timing = measure(mode, &telemetry, || {
+        black_box(
+            unit.modify_entries_atomically(sid, black_box(&updates))
+                .expect("updates in range"),
+        );
+    });
+    let metrics = vec![(
+        "fig13_rows".to_string(),
+        rows([4usize, 8, 16, 32, 64, 128].into_iter().map(|n| {
+            Json::object([
+                ("updates", Json::u64(n as u64)),
+                ("model_cycles", Json::u64(modification_cycles(n, true))),
+            ])
+        })),
+    )];
+    let updates_per_sec = BATCH as f64 * 1e9 / timing.median_ns.max(1) as f64;
+    ScenarioReport {
+        scenario: "modification_latency".into(),
+        timing,
+        throughput_unit: "entry_updates/s".into(),
+        throughput: updates_per_sec,
+        cycles_per_request: Some(modification_cycles(BATCH, true) as f64 / BATCH as f64),
+        metrics,
+        telemetry: telemetry.snapshot(),
+    }
+}
+
+/// Figure 14: LUT/FF area model across entry counts, with and without
+/// tree arbitration.
+fn hardware_cost(mode: BenchMode) -> ScenarioReport {
+    use siopmp::area::{estimate, FIGURE14_ENTRIES};
+    let telemetry = Telemetry::new();
+    let timing = measure(mode, &telemetry, || {
+        for entries in FIGURE14_ENTRIES {
+            black_box(estimate(CheckerKind::Linear, black_box(entries)));
+            black_box(estimate(CheckerKind::Tree { tree_arity: 2 }, entries));
+        }
+    });
+    let metrics = vec![(
+        "fig14_rows".to_string(),
+        rows(FIGURE14_ENTRIES.into_iter().map(|entries| {
+            let linear = estimate(CheckerKind::Linear, entries);
+            let tree = estimate(CheckerKind::Tree { tree_arity: 2 }, entries);
+            Json::object([
+                ("entries", Json::u64(entries as u64)),
+                ("linear_lut_pct", Json::f64(linear.lut_pct)),
+                ("linear_ff_pct", Json::f64(linear.ff_pct)),
+                ("tree_lut_pct", Json::f64(tree.lut_pct)),
+                ("tree_ff_pct", Json::f64(tree.ff_pct)),
+            ])
+        })),
+    )];
+    let estimates = FIGURE14_ENTRIES.len() as f64 * 2.0;
+    let estimates_per_sec = estimates * 1e9 / timing.median_ns.max(1) as f64;
+    ScenarioReport {
+        scenario: "hardware_cost".into(),
+        timing,
+        throughput_unit: "estimates/s".into(),
+        throughput: estimates_per_sec,
+        cycles_per_request: None,
+        metrics,
+        telemetry: telemetry.snapshot(),
+    }
+}
+
+fn network_case(label: &str, cfg: &NetworkConfig) -> siopmp_workloads::NetworkReport {
+    match label {
+        "sIOPMP" => evaluate(&mut SiopmpMech::new(), cfg),
+        "sIOPMP+IOMMU" => evaluate(&mut SiopmpPlusIommu::new(), cfg),
+        "IOMMU-deferred" => evaluate(
+            &mut Iommu::new(InvalidationPolicy::Deferred { batch: 256 }),
+            cfg,
+        ),
+        "IOMMU-strict" | "IOMMU-strict-mc" => {
+            evaluate(&mut Iommu::new(InvalidationPolicy::Strict), cfg)
+        }
+        "SWIO" => evaluate(&mut Swio::new(), cfg),
+        _ => unreachable!("unknown mechanism {label}"),
+    }
+}
+
+/// Figure 15: iperf-style network throughput per protection mechanism,
+/// RX/TX, single and multi core.
+fn network_throughput(mode: BenchMode) -> ScenarioReport {
+    let cases: [(&str, u32); 6] = [
+        ("sIOPMP", 1),
+        ("sIOPMP+IOMMU", 1),
+        ("IOMMU-deferred", 1),
+        ("IOMMU-strict", 1),
+        ("IOMMU-strict-mc", 4),
+        ("SWIO", 1),
+    ];
+    let configs: Vec<(&str, NetworkConfig)> = [Direction::Rx, Direction::Tx]
+        .into_iter()
+        .flat_map(|direction| {
+            cases.into_iter().map(move |(label, cores)| {
+                (
+                    label,
+                    NetworkConfig {
+                        direction,
+                        cores,
+                        ..NetworkConfig::default()
+                    },
+                )
+            })
+        })
+        .collect();
+    let telemetry = Telemetry::new();
+    let timing = measure(mode, &telemetry, || {
+        for (label, cfg) in &configs {
+            black_box(network_case(label, cfg));
+        }
+    });
+    let mut headline_gbps = 0.0;
+    let mut headline_overhead = None;
+    let metrics = vec![(
+        "fig15_rows".to_string(),
+        rows(configs.iter().map(|(label, cfg)| {
+            let r = network_case(label, cfg);
+            Json::object([
+                ("mechanism", Json::str(*label)),
+                ("direction", Json::str(cfg.direction.to_string())),
+                ("cores", Json::u64(cfg.cores as u64)),
+                ("throughput_gbps", Json::f64(r.throughput_gbps)),
+                ("fraction_of_baseline", Json::f64(r.fraction_of_baseline)),
+                (
+                    "overhead_cycles_per_packet",
+                    Json::f64(r.overhead_cycles_per_packet),
+                ),
+                ("attack_window_pages", Json::u64(r.attack_window_pages)),
+            ])
+        })),
+    )];
+    for (label, cfg) in &configs {
+        if *label == "sIOPMP" && cfg.direction == Direction::Rx {
+            let r = network_case(label, cfg);
+            headline_gbps = r.throughput_gbps;
+            headline_overhead = Some(r.overhead_cycles_per_packet);
+        }
+    }
+    ScenarioReport {
+        scenario: "network_throughput".into(),
+        timing,
+        throughput_unit: "Gb/s".into(),
+        throughput: headline_gbps,
+        cycles_per_request: headline_overhead,
+        metrics,
+        telemetry: telemetry.snapshot(),
+    }
+}
+
+/// Figure 16: memcached latency/QPS curves with and without sIOPMP.
+fn memcached(mode: BenchMode) -> ScenarioReport {
+    let native = MemcachedConfig::default();
+    let protected = MemcachedConfig {
+        protection_cycles_per_packet: 48,
+        ..native
+    };
+    let telemetry = Telemetry::new();
+    let timing = measure(mode, &telemetry, || {
+        black_box(native.figure16_sweep());
+        black_box(protected.figure16_sweep());
+    });
+    let mut max_qps = 0.0f64;
+    let metrics = vec![(
+        "fig16_rows".to_string(),
+        rows(
+            [("native", native), ("sIOPMP", protected)]
+                .into_iter()
+                .flat_map(|(label, cfg)| {
+                    cfg.figure16_sweep().into_iter().map(move |p| {
+                        Json::object([
+                            ("config", Json::str(label)),
+                            ("qps", Json::f64(p.qps)),
+                            ("p50_us", Json::f64(p.p50_us)),
+                            ("p99_us", Json::f64(p.p99_us)),
+                        ])
+                    })
+                }),
+        ),
+    )];
+    for p in protected.figure16_sweep() {
+        max_qps = max_qps.max(p.qps);
+    }
+    ScenarioReport {
+        scenario: "memcached".into(),
+        timing,
+        throughput_unit: "qps".into(),
+        throughput: max_qps,
+        cycles_per_request: Some(protected.protection_cycles_per_packet as f64),
+        metrics,
+        telemetry: telemetry.snapshot(),
+    }
+}
+
+/// Figure 17 + §6.3: hot-device throughput under hot:cold request mixes,
+/// and the cost of a single cold switch on the real unit.
+fn cold_switching(mode: BenchMode) -> ScenarioReport {
+    let windows = if mode.name == "smoke" { 5 } else { 20 };
+    let telemetry = Telemetry::new();
+    // Exercise a real mounted-cold path inside the scenario registry so
+    // the dump carries `siopmp.cold_switches` / `siopmp.sid_missing_interrupts`.
+    let mut unit = siopmp::Siopmp::with_telemetry(siopmp::SiopmpConfig::small(), telemetry.clone());
+    let cold_dev = siopmp::ids::DeviceId(0xc01d);
+    unit.register_cold_device(
+        cold_dev,
+        siopmp::mountable::MountableEntry {
+            domains: vec![],
+            entries: vec![IopmpEntry::new(
+                AddressRange::new(0x20_0000, 0x1000).unwrap(),
+                Permissions::rw(),
+            )],
+        },
+    )
+    .expect("fresh unit accepts cold devices");
+    let cold_req = DmaRequest::new(cold_dev, AccessKind::Read, 0x20_0000, 64);
+    assert!(matches!(
+        unit.check(&cold_req),
+        siopmp::CheckOutcome::SidMissing { .. }
+    ));
+    unit.handle_sid_missing(cold_dev).expect("registered");
+    assert!(unit.check(&cold_req).is_allowed());
+
+    let timing = measure(mode, &telemetry, || {
+        for ratio in FIGURE17_RATIOS {
+            black_box(hotcold::run(ratio, false, windows));
+        }
+        black_box(coldswitch::measure(8));
+    });
+    let switch = coldswitch::measure(8);
+    let metrics = vec![
+        (
+            "fig17_rows".to_string(),
+            rows(FIGURE17_RATIOS.into_iter().map(|ratio| {
+                let mismatched = hotcold::run(ratio, false, windows);
+                let matched = hotcold::run(ratio, true, windows);
+                Json::object([
+                    ("ratio", Json::u64(ratio)),
+                    (
+                        "mismatched_fraction",
+                        Json::f64(mismatched.hot_throughput_fraction),
+                    ),
+                    (
+                        "matched_fraction",
+                        Json::f64(matched.hot_throughput_fraction),
+                    ),
+                    ("switches", Json::u64(mismatched.switches)),
+                ])
+            })),
+        ),
+        (
+            "cold_switch_cycles_8_entries".to_string(),
+            Json::u64(switch.cycles),
+        ),
+    ];
+    let sweeps_per_sec = 1e9 / timing.median_ns.max(1) as f64;
+    ScenarioReport {
+        scenario: "cold_switching".into(),
+        timing,
+        throughput_unit: "fig17_sweeps/s".into(),
+        throughput: sweeps_per_sec,
+        cycles_per_request: Some(switch.cycles as f64),
+        metrics,
+        telemetry: telemetry.snapshot(),
+    }
+}
+
+/// Ablation: software cost of the functional priority check itself, per
+/// masked entry-set size (last-entry hit and miss).
+fn checker_core(mode: BenchMode) -> ScenarioReport {
+    const SIZES: [usize; 4] = [16, 64, 256, 1024];
+    const CHECKS_PER_ITER: usize = 128;
+    let telemetry = Telemetry::new();
+    let mut per_size = Vec::new();
+    let mut main_timing = None;
+    for entries in SIZES {
+        let (mut unit, dev) = crate::unit_with_entries_in(entries, 0x10_0000, telemetry.clone());
+        let last = 0x10_0000 + (entries as u64 - 1) * 0x100;
+        let hit = DmaRequest::new(dev, AccessKind::Read, last, 16);
+        assert!(unit.check(&hit).is_allowed());
+        let miss = DmaRequest::new(dev, AccessKind::Read, 0xdead_0000, 16);
+        let timing = measure(mode, &telemetry, || {
+            for _ in 0..CHECKS_PER_ITER / 2 {
+                black_box(unit.check(black_box(&hit)));
+                black_box(unit.check(black_box(&miss)));
+            }
+        });
+        per_size.push(Json::object([
+            ("entries", Json::u64(entries as u64)),
+            (
+                "ns_per_check",
+                Json::f64(timing.median_ns as f64 / CHECKS_PER_ITER as f64),
+            ),
+        ]));
+        main_timing = Some(timing);
+    }
+    let timing = main_timing.expect("SIZES is non-empty");
+    let metrics = vec![("ns_per_check_by_entries".to_string(), Json::Array(per_size))];
+    let checks_per_sec = CHECKS_PER_ITER as f64 * 1e9 / timing.median_ns.max(1) as f64;
+    ScenarioReport {
+        scenario: "checker_core".into(),
+        timing,
+        throughput_unit: "checks/s".into(),
+        throughput: checks_per_sec,
+        cycles_per_request: None,
+        metrics,
+        telemetry: telemetry.snapshot(),
+    }
+}
+
+/// Ablation sweeps: tree arity, checker placement, hot-SID provisioning.
+fn ablations_scenario(mode: BenchMode) -> ScenarioReport {
+    let telemetry = Telemetry::new();
+    let timing = measure(mode, &telemetry, || {
+        black_box(ablations::tree_arity());
+        black_box(ablations::placement());
+        black_box(ablations::hot_sids());
+    });
+    let metrics = vec![
+        (
+            "tree_arity".to_string(),
+            rows(ablations::tree_arity().into_iter().map(|p| {
+                Json::object([
+                    ("arity", Json::u64(p.arity as u64)),
+                    ("mhz", Json::f64(p.mhz)),
+                    ("lut_pct", Json::f64(p.lut_pct)),
+                    ("ff_pct", Json::f64(p.ff_pct)),
+                ])
+            })),
+        ),
+        (
+            "placement".to_string(),
+            rows(ablations::placement().into_iter().map(|p| {
+                Json::object([
+                    ("placement", Json::str(format!("{:?}", p.placement))),
+                    ("read_latency", Json::u64(p.read_latency)),
+                    ("bandwidth", Json::f64(p.bandwidth)),
+                ])
+            })),
+        ),
+        (
+            "hot_sids".to_string(),
+            rows(ablations::hot_sids().into_iter().map(|p| {
+                Json::object([
+                    ("hot_sids", Json::u64(p.hot_sids as u64)),
+                    ("cold_switches", Json::u64(p.cold_switches)),
+                ])
+            })),
+        ),
+    ];
+    let sweeps_per_sec = 1e9 / timing.median_ns.max(1) as f64;
+    ScenarioReport {
+        scenario: "ablations".into(),
+        timing,
+        throughput_unit: "sweeps/s".into(),
+        throughput: sweeps_per_sec,
+        cycles_per_request: None,
+        metrics,
+        telemetry: telemetry.snapshot(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_scenario_is_none() {
+        assert!(run("no_such_scenario", BenchMode::smoke()).is_none());
+    }
+
+    #[test]
+    fn every_scenario_runs_in_smoke_mode() {
+        for name in ALL {
+            let report = run(name, BenchMode::smoke()).expect("scenario listed in ALL");
+            assert_eq!(report.scenario, name);
+            assert!(
+                report.timing.wall_ns.count > 0,
+                "{name} recorded no samples"
+            );
+            assert!(
+                report.throughput > 0.0,
+                "{name} throughput must be positive"
+            );
+            let json = report.to_json().to_string();
+            assert!(json.contains("\"telemetry\""), "{name} missing telemetry");
+            assert!(
+                json.contains("bench.wall_ns"),
+                "{name} missing bench histogram"
+            );
+        }
+    }
+
+    #[test]
+    fn cold_switching_dump_has_unit_counters() {
+        let report = run("cold_switching", BenchMode::smoke()).unwrap();
+        assert_eq!(report.telemetry.counters["siopmp.cold_switches"], 1);
+        assert_eq!(
+            report.telemetry.counters["siopmp.sid_missing_interrupts"],
+            1
+        );
+        // §6.3: a switch loading 8 entries costs 341 cycles.
+        assert_eq!(report.cycles_per_request, Some(341.0));
+    }
+}

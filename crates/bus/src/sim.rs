@@ -29,6 +29,33 @@ use crate::packet::{BurstKind, BurstStatus};
 use crate::policy::AccessPolicy;
 use crate::report::{MasterReport, SimReport};
 use crate::trace::{TraceBuffer, TraceEvent, TraceKind};
+use siopmp::telemetry::{Counter, Histogram, Telemetry};
+
+/// Pre-resolved handles for the `bus.*` metrics, mirroring the aggregate
+/// side of [`SimReport`] into the shared registry (the per-master breakdown
+/// stays in [`MasterReport`]; these are the fleet-wide view).
+#[derive(Debug, Clone)]
+struct BusCounters {
+    bursts_issued: Counter,
+    bursts_completed: Counter,
+    bursts_ok: Counter,
+    bursts_masked: Counter,
+    bursts_bus_error: Counter,
+    bytes_transferred: Counter,
+}
+
+impl BusCounters {
+    fn attach(t: &Telemetry) -> Self {
+        BusCounters {
+            bursts_issued: t.counter("bus.bursts_issued"),
+            bursts_completed: t.counter("bus.bursts_completed"),
+            bursts_ok: t.counter("bus.bursts_ok"),
+            bursts_masked: t.counter("bus.bursts_masked"),
+            bursts_bus_error: t.counter("bus.bursts_bus_error"),
+            bytes_transferred: t.counter("bus.bytes_transferred"),
+        }
+    }
+}
 
 #[derive(Debug)]
 struct Flight {
@@ -69,6 +96,9 @@ pub struct BusSim {
     rr_d: usize,
     cycle: u64,
     trace: Option<TraceBuffer>,
+    telemetry: Telemetry,
+    counters: BusCounters,
+    burst_latency: Histogram,
 }
 
 impl std::fmt::Debug for BusSim {
@@ -84,6 +114,17 @@ impl std::fmt::Debug for BusSim {
 impl BusSim {
     /// Creates a simulator over `config` with the given access policy.
     pub fn new(config: BusConfig, policy: Box<dyn AccessPolicy>) -> Self {
+        Self::with_telemetry(config, policy, Telemetry::new())
+    }
+
+    /// Creates a simulator registering its `bus.*` metrics (aggregate burst
+    /// counters and the `bus.burst_latency_cycles` histogram) in the
+    /// caller's shared `telemetry` registry.
+    pub fn with_telemetry(
+        config: BusConfig,
+        policy: Box<dyn AccessPolicy>,
+        telemetry: Telemetry,
+    ) -> Self {
         BusSim {
             config,
             policy,
@@ -95,7 +136,15 @@ impl BusSim {
             rr_d: 0,
             cycle: 0,
             trace: None,
+            counters: BusCounters::attach(&telemetry),
+            burst_latency: telemetry.histogram("bus.burst_latency_cycles"),
+            telemetry,
         }
+    }
+
+    /// The simulator's telemetry registry.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Enables event tracing with a buffer of `capacity` events.
@@ -183,6 +232,7 @@ impl BusSim {
                         kind: TraceKind::Issued,
                     });
                 }
+                self.counters.bursts_issued.inc();
                 self.flights.push(Flight {
                     master: mi,
                     kind: burst.kind,
@@ -338,6 +388,16 @@ impl BusSim {
                 });
             }
             let latency = t - f.issue_cycle + 1;
+            self.counters.bursts_completed.inc();
+            self.burst_latency.record(latency);
+            match status {
+                BurstStatus::Ok => {
+                    self.counters.bursts_ok.inc();
+                    self.counters.bytes_transferred.add(burst_bytes);
+                }
+                BurstStatus::Masked => self.counters.bursts_masked.inc(),
+                BurstStatus::BusError => self.counters.bursts_bus_error.inc(),
+            }
             let m = &mut self.masters[master];
             m.in_flight -= 1;
             m.next_issue_ok = t + 1 + issue_gap;
@@ -597,6 +657,24 @@ mod tests {
         let r = sim.run_to_completion(100);
         assert!(!r.completed);
         assert_eq!(r.cycles, 100);
+    }
+
+    #[test]
+    fn telemetry_mirrors_the_report_aggregates() {
+        let t = siopmp::telemetry::Telemetry::new();
+        let mut sim = BusSim::with_telemetry(BusConfig::default(), Box::new(AllowAll), t.clone());
+        sim.add_master(MasterProgram::uniform(1, BurstKind::Read, 0x0, 8));
+        let r = sim.run_to_completion(100_000);
+        let snap = t.snapshot();
+        assert_eq!(snap.counters["bus.bursts_issued"], 8);
+        assert_eq!(snap.counters["bus.bursts_completed"], 8);
+        assert_eq!(
+            snap.counters["bus.bytes_transferred"],
+            r.masters[0].bytes_transferred
+        );
+        let lat = &snap.histograms["bus.burst_latency_cycles"];
+        assert_eq!(lat.count, 8);
+        assert!(lat.max >= 22, "latency max {}", lat.max);
     }
 
     #[test]

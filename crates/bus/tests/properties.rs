@@ -1,28 +1,29 @@
 //! Property-based tests for the cycle simulator: conservation laws and
 //! timing monotonicity under randomly generated traffic.
 
-use proptest::prelude::*;
+use siopmp_testkit::{check, check_eq, prop_check, Gen};
 
 use siopmp_bus::policy::{AllowAll, DenyRange};
 use siopmp_bus::trace::TraceKind;
 use siopmp_bus::{BurstKind, BusConfig, BusSim, MasterProgram};
 
-fn arb_kind() -> impl Strategy<Value = BurstKind> {
-    prop_oneof![Just(BurstKind::Read), Just(BurstKind::Write)]
+fn arb_kind(g: &mut Gen) -> BurstKind {
+    *g.choose(&[BurstKind::Read, BurstKind::Write])
 }
 
-fn arb_program(device: u64) -> impl Strategy<Value = MasterProgram> {
-    (arb_kind(), 1usize..30, 1usize..5).prop_map(move |(kind, count, outstanding)| {
-        MasterProgram::streaming(device, kind, 0x1000 * device, 64, count)
-            .with_outstanding(outstanding)
-    })
+fn arb_program(g: &mut Gen, device: u64) -> MasterProgram {
+    let kind = arb_kind(g);
+    let count = g.usize(1..30);
+    let outstanding = g.usize(1..5);
+    MasterProgram::streaming(device, kind, 0x1000 * device, 64, count).with_outstanding(outstanding)
 }
 
-proptest! {
-    /// Every issued burst completes exactly once; transferred bytes equal
-    /// burst-size times the number of Ok bursts.
-    #[test]
-    fn bursts_are_conserved(programs in proptest::collection::vec(arb_program(1), 1..4)) {
+/// Every issued burst completes exactly once; transferred bytes equal
+/// burst-size times the number of Ok bursts.
+#[test]
+fn bursts_are_conserved() {
+    prop_check(64, |g| {
+        let programs = g.vec(1..4, |g| arb_program(g, 1));
         let mut sim = BusSim::new(BusConfig::default(), Box::new(AllowAll));
         let mut expected = 0usize;
         for (i, mut p) in programs.into_iter().enumerate() {
@@ -35,58 +36,78 @@ proptest! {
         }
         sim.enable_trace(100_000);
         let report = sim.run_to_completion(1_000_000);
-        prop_assert!(report.completed);
-        let completed: usize =
-            report.masters.iter().map(|m| m.bursts_completed).sum();
-        prop_assert_eq!(completed, expected);
+        check!(report.completed);
+        let completed: usize = report.masters.iter().map(|m| m.bursts_completed).sum();
+        check_eq!(completed, expected);
         for m in &report.masters {
-            prop_assert_eq!(m.bursts_ok, m.bursts_completed);
-            prop_assert_eq!(m.bytes_transferred, m.bursts_ok as u64 * 64);
+            check_eq!(m.bursts_ok, m.bursts_completed);
+            check_eq!(m.bytes_transferred, m.bursts_ok as u64 * 64);
         }
         // Trace agrees with the report.
         let trace = sim.trace().unwrap();
-        prop_assert_eq!(trace.of_kind(TraceKind::Issued).count(), expected);
-    }
+        check_eq!(trace.of_kind(TraceKind::Issued).count(), expected);
+        Ok(())
+    });
+}
 
-    /// Makespan is monotone non-decreasing in checker pipeline depth for
-    /// read traffic (the Figure 11 effect, under arbitrary burst counts).
-    #[test]
-    fn makespan_monotone_in_pipeline_depth(count in 1usize..50) {
+/// Makespan is monotone non-decreasing in checker pipeline depth for
+/// read traffic (the Figure 11 effect, under arbitrary burst counts).
+#[test]
+fn makespan_monotone_in_pipeline_depth() {
+    prop_check(48, |g| {
+        let count = g.usize(1..50);
         let mut prev = 0u64;
         for k in 0..4u32 {
-            let cfg = BusConfig { checker_extra_cycles: k, ..BusConfig::default() };
+            let cfg = BusConfig {
+                checker_extra_cycles: k,
+                ..BusConfig::default()
+            };
             let mut sim = BusSim::new(cfg, Box::new(AllowAll));
             sim.add_master(MasterProgram::uniform(1, BurstKind::Read, 0x1000, count));
             let report = sim.run_to_completion(1_000_000);
-            prop_assert!(report.completed);
+            check!(report.completed);
             let makespan = report.makespan();
-            prop_assert!(makespan >= prev, "k={} {} < {}", k, makespan, prev);
+            check!(makespan >= prev, "k={} {} < {}", k, makespan, prev);
             prev = makespan;
         }
-    }
+        Ok(())
+    });
+}
 
-    /// A violating run never transfers bytes, under either violation mode.
-    #[test]
-    fn denied_traffic_moves_no_data(
-        kind in arb_kind(),
-        count in 1usize..40,
-        truncates in any::<bool>(),
-    ) {
-        let cfg = BusConfig { bus_error_truncates: truncates, ..BusConfig::default() };
-        let mut sim = BusSim::new(cfg, Box::new(DenyRange { base: 0, len: u64::MAX }));
+/// A violating run never transfers bytes, under either violation mode.
+#[test]
+fn denied_traffic_moves_no_data() {
+    prop_check(64, |g| {
+        let kind = arb_kind(g);
+        let count = g.usize(1..40);
+        let truncates = g.bool();
+        let cfg = BusConfig {
+            bus_error_truncates: truncates,
+            ..BusConfig::default()
+        };
+        let mut sim = BusSim::new(
+            cfg,
+            Box::new(DenyRange {
+                base: 0,
+                len: u64::MAX,
+            }),
+        );
         sim.add_master(MasterProgram::uniform(1, kind, 0x1000, count));
         let report = sim.run_to_completion(1_000_000);
-        prop_assert!(report.completed);
-        prop_assert_eq!(report.masters[0].bytes_transferred, 0);
-        prop_assert_eq!(report.masters[0].bursts_ok, 0);
-        let denied = report.masters[0].bursts_masked
-            + report.masters[0].bursts_bus_error;
-        prop_assert_eq!(denied, count);
-    }
+        check!(report.completed);
+        check_eq!(report.masters[0].bytes_transferred, 0);
+        check_eq!(report.masters[0].bursts_ok, 0);
+        let denied = report.masters[0].bursts_masked + report.masters[0].bursts_bus_error;
+        check_eq!(denied, count);
+        Ok(())
+    });
+}
 
-    /// Raising the outstanding limit never reduces throughput.
-    #[test]
-    fn outstanding_monotone_throughput(count in 16usize..64) {
+/// Raising the outstanding limit never reduces throughput.
+#[test]
+fn outstanding_monotone_throughput() {
+    prop_check(48, |g| {
+        let count = g.usize(16..64);
         let mut prev = 0.0f64;
         for outstanding in [1usize, 2, 4, 8] {
             let mut sim = BusSim::new(BusConfig::default(), Box::new(AllowAll));
@@ -96,25 +117,29 @@ proptest! {
             );
             let report = sim.run_to_completion(1_000_000);
             let bpc = report.bytes_per_cycle();
-            prop_assert!(bpc >= prev * 0.999, "outstanding={outstanding}");
+            check!(bpc >= prev * 0.999, "outstanding={outstanding}");
             prev = bpc;
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Centralized placement is never faster than per-device placement.
-    #[test]
-    fn centralized_never_beats_per_device(count in 4usize..40) {
-        let per_device = BusConfig::default()
-            .with_placement(siopmp::config::Placement::PerDevice);
-        let centralized = BusConfig::default()
-            .with_placement(siopmp::config::Placement::Centralized);
+/// Centralized placement is never faster than per-device placement.
+#[test]
+fn centralized_never_beats_per_device() {
+    prop_check(48, |g| {
+        let count = g.usize(4..40);
+        let per_device = BusConfig::default().with_placement(siopmp::config::Placement::PerDevice);
+        let centralized =
+            BusConfig::default().with_placement(siopmp::config::Placement::Centralized);
         let run = |cfg: BusConfig| {
             let mut sim = BusSim::new(cfg, Box::new(AllowAll));
             sim.add_master(MasterProgram::uniform(1, BurstKind::Read, 0x1000, count));
             sim.run_to_completion(1_000_000).makespan()
         };
-        prop_assert!(run(per_device) <= run(centralized));
-    }
+        check!(run(per_device) <= run(centralized));
+        Ok(())
+    });
 }
 
 /// Deterministic trace-level check: the error response of a bus-error

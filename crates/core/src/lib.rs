@@ -67,6 +67,7 @@ pub mod config;
 pub mod entry;
 pub mod error;
 pub mod ids;
+pub mod json;
 pub mod mmio;
 pub mod mountable;
 pub mod pipeline;
@@ -74,6 +75,7 @@ pub mod remap;
 pub mod request;
 pub mod stats;
 pub mod tables;
+pub mod telemetry;
 pub mod timing;
 pub mod tree;
 pub mod violation;

@@ -3,6 +3,13 @@
 //! The hardware exposes these through MMIO status registers; the monitor's
 //! implicit hot/cold promotion policy reads them (a device that keeps
 //! appearing in `cold_switches` should be promoted to a hot SID, §4.3).
+//!
+//! Since the observability rework these counters live in the unit's
+//! [`crate::telemetry::Telemetry`] registry (under `siopmp.*` names);
+//! [`SiopmpStats`] is the legacy *view* materialized from those counters by
+//! [`CoreCounters::snapshot`].
+
+use crate::telemetry::{Counter, Telemetry};
 
 /// Counters accumulated by one [`crate::Siopmp`] instance.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -40,9 +47,85 @@ impl SiopmpStats {
     }
 }
 
+/// Pre-resolved [`Counter`] handles for every `siopmp.*` metric, so the
+/// check hot path pays one relaxed atomic add per event instead of a
+/// registry lookup.
+#[derive(Debug, Clone)]
+pub struct CoreCounters {
+    /// `siopmp.checks`
+    pub checks: Counter,
+    /// `siopmp.allowed`
+    pub allowed: Counter,
+    /// `siopmp.denied_permission`
+    pub denied_permission: Counter,
+    /// `siopmp.denied_no_match`
+    pub denied_no_match: Counter,
+    /// `siopmp.blocked`
+    pub blocked: Counter,
+    /// `siopmp.sid_missing_interrupts`
+    pub sid_missing_interrupts: Counter,
+    /// `siopmp.cold_switches`
+    pub cold_switches: Counter,
+    /// `siopmp.cold_hits`
+    pub cold_hits: Counter,
+    /// `siopmp.hot_hits`
+    pub hot_hits: Counter,
+    /// `siopmp.violations`
+    pub violations: Counter,
+}
+
+impl CoreCounters {
+    /// Resolves (creating on first use) every `siopmp.*` counter in `t`.
+    pub fn attach(t: &Telemetry) -> Self {
+        CoreCounters {
+            checks: t.counter("siopmp.checks"),
+            allowed: t.counter("siopmp.allowed"),
+            denied_permission: t.counter("siopmp.denied_permission"),
+            denied_no_match: t.counter("siopmp.denied_no_match"),
+            blocked: t.counter("siopmp.blocked"),
+            sid_missing_interrupts: t.counter("siopmp.sid_missing_interrupts"),
+            cold_switches: t.counter("siopmp.cold_switches"),
+            cold_hits: t.counter("siopmp.cold_hits"),
+            hot_hits: t.counter("siopmp.hot_hits"),
+            violations: t.counter("siopmp.violations"),
+        }
+    }
+
+    /// Materializes the legacy stats struct from the live counters.
+    pub fn snapshot(&self) -> SiopmpStats {
+        SiopmpStats {
+            checks: self.checks.get(),
+            allowed: self.allowed.get(),
+            denied_permission: self.denied_permission.get(),
+            denied_no_match: self.denied_no_match.get(),
+            blocked: self.blocked.get(),
+            sid_missing_interrupts: self.sid_missing_interrupts.get(),
+            cold_switches: self.cold_switches.get(),
+            cold_hits: self.cold_hits.get(),
+            hot_hits: self.hot_hits.get(),
+            violations: self.violations.get(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn counters_materialize_into_stats() {
+        let t = Telemetry::new();
+        let c = CoreCounters::attach(&t);
+        c.checks.add(4);
+        c.hot_hits.add(3);
+        c.denied_no_match.inc();
+        let s = c.snapshot();
+        assert_eq!(s.checks, 4);
+        assert_eq!(s.hot_hits, 3);
+        assert_eq!(s.denied_no_match, 1);
+        // The same numbers are visible through the registry.
+        assert_eq!(t.snapshot().counters["siopmp.checks"], 4);
+    }
 
     #[test]
     fn deny_rate_handles_zero_checks() {

@@ -1,0 +1,593 @@
+//! Unified, zero-dependency observability: monotonic counters, log2-bucketed
+//! latency histograms and bounded event rings, collected in a shared
+//! [`Telemetry`] registry.
+//!
+//! The paper's whole evaluation (Figs. 10–14) is counter-driven — checker
+//! hits, cold switches, added cycles per burst, bandwidth — so every crate
+//! in the workspace registers its metrics here instead of growing its own
+//! ad-hoc stats struct. The legacy [`crate::stats::SiopmpStats`] and the bus
+//! `SimReport` aggregates are now *views* over this registry.
+//!
+//! Handles are cheap (`Arc` clones) and thread-safe: counters and histogram
+//! buckets are atomics, rings take a mutex only on push/snapshot. Hot paths
+//! hold a pre-resolved handle ([`Telemetry::counter`] is get-or-create, done
+//! once at construction) so recording is a single atomic add.
+//!
+//! ```
+//! use siopmp::telemetry::Telemetry;
+//!
+//! let t = Telemetry::new();
+//! let checks = t.counter("siopmp.checks");
+//! let lat = t.histogram("bus.burst_latency_cycles");
+//! checks.inc();
+//! lat.record(17);
+//! let snap = t.snapshot();
+//! assert_eq!(snap.counters["siopmp.checks"], 1);
+//! // Bucket [16,31], clamped to the observed max.
+//! assert_eq!(snap.histograms["bus.burst_latency_cycles"].p50(), 17);
+//! ```
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::json::Json;
+
+/// Number of histogram buckets: one for zero plus one per power of two.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+// ---------------------------------------------------------------------------
+// Counter
+// ---------------------------------------------------------------------------
+
+/// A monotonic counter handle. Cloning shares the underlying cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh, unregistered counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` (wrapping on overflow — counters are monotone deltas, and
+    /// wrapping keeps the hot path branch-free).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A log2-bucketed histogram handle: values land in bucket
+/// `⌊log2(v)⌋ + 1` (zero in bucket 0), so the full `u64` range fits in
+/// [`HISTOGRAM_BUCKETS`] cells and percentiles are answered without storing
+/// samples. Cloning shares the underlying cells.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram(Arc::new(HistogramInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }))
+    }
+}
+
+impl Histogram {
+    /// A fresh, unregistered histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// The bucket index `value` lands in: 0 for 0, else `64 − clz(value)`.
+    #[inline]
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// The largest value bucket `i` can hold (`0`, then `2^i − 1`;
+    /// `u64::MAX` for the last bucket). Percentiles report this upper
+    /// bound, i.e. they are conservative (never under-estimate).
+    pub fn bucket_ceiling(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            i if i >= 64 => u64::MAX,
+            i => (1u64 << i) - 1,
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let inner = &*self.0;
+        inner.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(value, Ordering::Relaxed);
+        inner.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the histogram state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let inner = &*self.0;
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| inner.buckets[i].load(Ordering::Relaxed)),
+            count: inner.count.load(Ordering::Relaxed),
+            sum: inner.sum.load(Ordering::Relaxed),
+            max: inner.max.load(Ordering::Relaxed),
+        }
+    }
+
+    fn absorb(&self, snap: &HistogramSnapshot) {
+        let inner = &*self.0;
+        for (i, b) in snap.buckets.iter().enumerate() {
+            inner.buckets[i].fetch_add(*b, Ordering::Relaxed);
+        }
+        inner.count.fetch_add(snap.count, Ordering::Relaxed);
+        inner.sum.fetch_add(snap.sum, Ordering::Relaxed);
+        inner.max.fetch_max(snap.max, Ordering::Relaxed);
+    }
+}
+
+/// Frozen histogram state with percentile queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (see [`Histogram::bucket_index`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples (wrapping).
+    pub sum: u64,
+    /// Largest sample seen.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// The value at quantile `q` in `[0, 1]`, reported as the ceiling of
+    /// the bucket the quantile falls in (clamped to the observed max).
+    /// Returns 0 for an empty histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cumulative += b;
+            if cumulative >= rank {
+                return Histogram::bucket_ceiling(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (conservative bucket upper bound).
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 99th percentile (conservative bucket upper bound).
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
+    /// Arithmetic mean of the exact recorded sum; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// JSON form: `{count, sum, max, p50, p99, mean, buckets: {"<floor>": n}}`
+    /// with only non-empty buckets listed (keyed by their floor value).
+    pub fn to_json(&self) -> Json {
+        let buckets: Vec<(String, Json)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| **b > 0)
+            .map(|(i, b)| {
+                let floor = if i == 0 { 0 } else { 1u64 << (i - 1) };
+                (floor.to_string(), Json::u64(*b))
+            })
+            .collect();
+        Json::object([
+            ("count", Json::u64(self.count)),
+            ("sum", Json::u64(self.sum)),
+            ("max", Json::u64(self.max)),
+            ("p50", Json::u64(self.p50())),
+            ("p99", Json::u64(self.p99())),
+            ("mean", Json::f64(self.mean())),
+            ("buckets", Json::Object(buckets)),
+        ])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Event ring
+// ---------------------------------------------------------------------------
+
+/// One entry in an [`EventRing`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Monotone sequence number (never reused, so consumers can detect
+    /// gaps created by drops).
+    pub seq: u64,
+    /// Free-form payload.
+    pub message: String,
+}
+
+#[derive(Debug)]
+struct RingInner {
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+    events: VecDeque<Event>,
+}
+
+/// A bounded ring of recent events. When full, the *oldest* event is
+/// overwritten and counted in `dropped` — the same accountability contract
+/// as the bus `TraceBuffer` (which reports `dropped` too, though it keeps
+/// the earliest events instead; a ring keeps the most recent because its
+/// consumers are post-mortem debuggers).
+#[derive(Debug, Clone)]
+pub struct EventRing(Arc<Mutex<RingInner>>);
+
+impl EventRing {
+    /// A fresh ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        EventRing(Arc::new(Mutex::new(RingInner {
+            capacity: capacity.max(1),
+            next_seq: 0,
+            dropped: 0,
+            events: VecDeque::new(),
+        })))
+    }
+
+    /// Appends an event, evicting (and counting) the oldest when full.
+    pub fn push(&self, message: impl Into<String>) {
+        let mut inner = self.0.lock().unwrap();
+        if inner.events.len() == inner.capacity {
+            inner.events.pop_front();
+            inner.dropped += 1;
+        }
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.events.push_back(Event {
+            seq,
+            message: message.into(),
+        });
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.0.lock().unwrap().events.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.0.lock().unwrap().dropped
+    }
+
+    /// A point-in-time copy.
+    pub fn snapshot(&self) -> RingSnapshot {
+        let inner = self.0.lock().unwrap();
+        RingSnapshot {
+            capacity: inner.capacity,
+            dropped: inner.dropped,
+            events: inner.events.iter().cloned().collect(),
+        }
+    }
+}
+
+/// Frozen [`EventRing`] state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RingSnapshot {
+    /// Ring capacity.
+    pub capacity: usize,
+    /// Events evicted before this snapshot.
+    pub dropped: u64,
+    /// Retained events, oldest first.
+    pub events: Vec<Event>,
+}
+
+impl RingSnapshot {
+    /// JSON form: `{capacity, dropped, events: [{seq, message}]}`.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("capacity", Json::u64(self.capacity as u64)),
+            ("dropped", Json::u64(self.dropped)),
+            (
+                "events",
+                Json::array(self.events.iter().map(|e| {
+                    Json::object([
+                        ("seq", Json::u64(e.seq)),
+                        ("message", Json::str(e.message.clone())),
+                    ])
+                })),
+            ),
+        ])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct TelemetryInner {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+    rings: Mutex<BTreeMap<String, EventRing>>,
+}
+
+/// The shared metric registry. Cloning shares the registry; use
+/// [`Telemetry::fork`] for an independent copy (what [`crate::Siopmp`]'s
+/// `Clone` does, so a cloned unit keeps its history but counts alone).
+///
+/// Metric names are dotted paths by convention: `<crate>.<metric>`, e.g.
+/// `siopmp.cold_switches`, `bus.burst_latency_cycles`.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry(Arc<TelemetryInner>);
+
+impl Telemetry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Telemetry::default()
+    }
+
+    /// The counter registered under `name`, created at zero on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.0.counters.lock().unwrap();
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The histogram registered under `name`, created empty on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.0.histograms.lock().unwrap();
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The event ring registered under `name`, created with `capacity` on
+    /// first use (an existing ring keeps its original capacity).
+    pub fn ring(&self, name: &str, capacity: usize) -> EventRing {
+        let mut map = self.0.rings.lock().unwrap();
+        map.entry(name.to_string())
+            .or_insert_with(|| EventRing::new(capacity))
+            .clone()
+    }
+
+    /// An independent registry pre-loaded with this one's current values:
+    /// counters keep their totals, histograms their buckets, rings their
+    /// retained events — but future updates on either side are invisible
+    /// to the other.
+    pub fn fork(&self) -> Telemetry {
+        let fresh = Telemetry::new();
+        for (name, counter) in self.0.counters.lock().unwrap().iter() {
+            fresh.counter(name).add(counter.get());
+        }
+        for (name, histogram) in self.0.histograms.lock().unwrap().iter() {
+            fresh.histogram(name).absorb(&histogram.snapshot());
+        }
+        for (name, ring) in self.0.rings.lock().unwrap().iter() {
+            let snap = ring.snapshot();
+            let copy = fresh.ring(name, snap.capacity);
+            for e in snap.events {
+                copy.push(e.message);
+            }
+        }
+        fresh
+    }
+
+    /// A point-in-time copy of every registered metric.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            counters: self
+                .0
+                .counters
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .0
+                .histograms
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+            rings: self
+                .0
+                .rings
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// Frozen [`Telemetry`] state, ready for JSON export.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetrySnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Ring snapshots by name.
+    pub rings: BTreeMap<String, RingSnapshot>,
+}
+
+impl TelemetrySnapshot {
+    /// JSON form: `{counters: {...}, histograms: {...}, rings: {...}}`.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            (
+                "counters",
+                Json::Object(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::u64(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms",
+                Json::Object(
+                    self.histograms
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.to_json()))
+                        .collect(),
+                ),
+            ),
+            (
+                "rings",
+                Json::Object(
+                    self.rings
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_shared_handles() {
+        let t = Telemetry::new();
+        let a = t.counter("x");
+        let b = t.counter("x");
+        a.inc();
+        b.add(2);
+        assert_eq!(t.counter("x").get(), 3);
+        assert_eq!(t.counter("y").get(), 0);
+    }
+
+    #[test]
+    fn bucket_index_edges() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_index(1 << 63), 64);
+    }
+
+    #[test]
+    fn bucket_ceiling_edges() {
+        assert_eq!(Histogram::bucket_ceiling(0), 0);
+        assert_eq!(Histogram::bucket_ceiling(1), 1);
+        assert_eq!(Histogram::bucket_ceiling(2), 3);
+        assert_eq!(Histogram::bucket_ceiling(64), u64::MAX);
+    }
+
+    #[test]
+    fn percentiles_are_conservative_and_empty_safe() {
+        let h = Histogram::new();
+        assert_eq!(h.snapshot().percentile(0.5), 0);
+        assert_eq!(h.snapshot().p99(), 0);
+        for v in [10u64, 20, 30, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // p50 falls in bucket [16,31] → reported as 31.
+        assert_eq!(s.p50(), 31);
+        // p99 falls in the 1000 sample's bucket, clamped to max.
+        assert_eq!(s.p99(), 1000.min(Histogram::bucket_ceiling(10)));
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.count, 4);
+    }
+
+    #[test]
+    fn ring_reports_drops() {
+        let r = EventRing::new(2);
+        r.push("a");
+        r.push("b");
+        r.push("c");
+        assert_eq!(r.dropped(), 1);
+        let s = r.snapshot();
+        assert_eq!(s.events.len(), 2);
+        assert_eq!(s.events[0].message, "b");
+        assert_eq!(s.events[1].seq, 2);
+    }
+
+    #[test]
+    fn fork_is_independent() {
+        let t = Telemetry::new();
+        t.counter("c").add(5);
+        t.histogram("h").record(7);
+        t.ring("r", 4).push("e");
+        let f = t.fork();
+        assert_eq!(f.counter("c").get(), 5);
+        assert_eq!(f.histogram("h").count(), 1);
+        assert_eq!(f.ring("r", 4).len(), 1);
+        t.counter("c").inc();
+        f.counter("c").add(10);
+        assert_eq!(t.counter("c").get(), 6);
+        assert_eq!(f.counter("c").get(), 15);
+    }
+
+    #[test]
+    fn snapshot_serializes_to_json() {
+        let t = Telemetry::new();
+        t.counter("siopmp.checks").add(3);
+        t.histogram("lat").record(100);
+        t.ring("viol", 8).push("deny");
+        let json = t.snapshot().to_json().to_string();
+        assert!(json.contains("\"siopmp.checks\":3"), "{json}");
+        assert!(json.contains("\"counters\""), "{json}");
+        assert!(json.contains("\"deny\""), "{json}");
+    }
+}

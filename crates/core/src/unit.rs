@@ -10,9 +10,15 @@ use crate::ids::{DeviceId, EntryIndex, MdIndex, SourceId};
 use crate::mountable::{cold_switch_cycles, EsidRegister, ExtendedIopmpTable, MountableEntry};
 use crate::remap::DeviceId2SidCam;
 use crate::request::DmaRequest;
-use crate::stats::SiopmpStats;
+use crate::stats::{CoreCounters, SiopmpStats};
 use crate::tables::{EntryTable, MdCfgTable, Src2MdTable};
+use crate::telemetry::{EventRing, Histogram, Telemetry};
 use crate::violation::ViolationRecord;
+
+/// Capacity of the `siopmp.violation_events` telemetry ring: enough for a
+/// post-mortem window without unbounded growth (the full, precise log is
+/// still [`Siopmp::violation_log`]).
+const VIOLATION_RING_CAPACITY: usize = 64;
 
 /// Outcome of presenting one DMA request to the sIOPMP unit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,7 +76,7 @@ pub struct SwitchReport {
 /// entry tables in hardware; the extended IOPMP table in protected memory.
 ///
 /// See the [crate-level documentation](crate) for an end-to-end example.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Siopmp {
     config: SiopmpConfig,
     cam: DeviceId2SidCam,
@@ -80,8 +86,35 @@ pub struct Siopmp {
     extended: ExtendedIopmpTable,
     esid: EsidRegister,
     blocks: SidBlockBitmap,
-    stats: SiopmpStats,
+    telemetry: Telemetry,
+    counters: CoreCounters,
+    switch_cycles: Histogram,
+    violation_events: EventRing,
     violation_log: Vec<ViolationRecord>,
+}
+
+impl Clone for Siopmp {
+    /// Clones the unit with a *forked* telemetry registry: the clone keeps
+    /// every counter value accumulated so far but counts independently from
+    /// here on (matching the old value-struct stats semantics).
+    fn clone(&self) -> Self {
+        let telemetry = self.telemetry.fork();
+        Siopmp {
+            config: self.config.clone(),
+            cam: self.cam.clone(),
+            src2md: self.src2md.clone(),
+            mdcfg: self.mdcfg.clone(),
+            entries: self.entries.clone(),
+            extended: self.extended.clone(),
+            esid: self.esid.clone(),
+            blocks: self.blocks.clone(),
+            counters: CoreCounters::attach(&telemetry),
+            switch_cycles: telemetry.histogram("siopmp.cold_switch_cycles"),
+            violation_events: telemetry.ring("siopmp.violation_events", VIOLATION_RING_CAPACITY),
+            telemetry,
+            violation_log: self.violation_log.clone(),
+        }
+    }
 }
 
 impl Siopmp {
@@ -92,6 +125,19 @@ impl Siopmp {
     /// Panics if `config` fails [`SiopmpConfig::validate`]; construct and
     /// validate the configuration first when it comes from untrusted input.
     pub fn new(config: SiopmpConfig) -> Self {
+        Self::with_telemetry(config, Telemetry::new())
+    }
+
+    /// Creates a unit from `config`, registering its metrics (the
+    /// `siopmp.*` namespace) in the caller's shared `telemetry` registry —
+    /// how the monitor, the bus simulator and the bench harness observe one
+    /// unit through a single snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`SiopmpConfig::validate`]; construct and
+    /// validate the configuration first when it comes from untrusted input.
+    pub fn with_telemetry(config: SiopmpConfig, telemetry: Telemetry) -> Self {
         config.validate().expect("invalid sIOPMP configuration");
         let mut mdcfg = MdCfgTable::new(config.num_mds, config.num_entries);
         // Pre-carve the cold MD window at the top of the entry table and
@@ -118,11 +164,20 @@ impl Siopmp {
             extended: ExtendedIopmpTable::new(),
             esid: EsidRegister::new(),
             blocks: SidBlockBitmap::new(config.num_sids),
-            stats: SiopmpStats::default(),
+            counters: CoreCounters::attach(&telemetry),
+            switch_cycles: telemetry.histogram("siopmp.cold_switch_cycles"),
+            violation_events: telemetry.ring("siopmp.violation_events", VIOLATION_RING_CAPACITY),
+            telemetry,
             violation_log: Vec::new(),
             mdcfg,
             config,
         }
+    }
+
+    /// The unit's telemetry registry (shared with whoever constructed the
+    /// unit through [`Siopmp::with_telemetry`]).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The unit's static configuration.
@@ -130,9 +185,9 @@ impl Siopmp {
         &self.config
     }
 
-    /// Runtime counters.
+    /// Runtime counters, materialized from the telemetry registry.
     pub fn stats(&self) -> SiopmpStats {
-        self.stats
+        self.counters.snapshot()
     }
 
     /// Captured violation records, oldest first.
@@ -361,17 +416,17 @@ impl Siopmp {
     /// using [`crate::checker::CheckerKind::extra_cycles`] and
     /// [`crate::violation::ViolationMode::legal_path_overhead_cycles`].
     pub fn check(&mut self, req: &DmaRequest) -> CheckOutcome {
-        self.stats.checks += 1;
+        self.counters.checks.inc();
 
         // 1. CAM lookup: device ID → hot SID.
         if let Some(sid) = self.cam.lookup(req.device()) {
-            self.stats.hot_hits += 1;
+            self.counters.hot_hits.inc();
             return self.check_with_sid(req, sid);
         }
 
         // 2. eSID comparison: the mounted cold device.
         if self.esid.matches(req.device()) {
-            self.stats.cold_hits += 1;
+            self.counters.cold_hits.inc();
             let sid = self.config.cold_sid();
             return self.check_with_sid(req, sid);
         }
@@ -379,7 +434,7 @@ impl Siopmp {
         // 3. Unknown device: raise SID-missing so the monitor can mount it,
         //    or deny outright if it is not even registered as cold.
         if self.extended.contains(req.device()) {
-            self.stats.sid_missing_interrupts += 1;
+            self.counters.sid_missing_interrupts.inc();
             CheckOutcome::SidMissing {
                 device: req.device(),
             }
@@ -391,8 +446,9 @@ impl Siopmp {
                 len: req.len(),
                 kind: req.kind(),
             };
-            self.stats.violations += 1;
-            self.stats.denied_no_match += 1;
+            self.counters.violations.inc();
+            self.counters.denied_no_match.inc();
+            self.push_violation_event(&record);
             self.violation_log.push(record);
             CheckOutcome::Denied(record)
         }
@@ -400,7 +456,7 @@ impl Siopmp {
 
     fn check_with_sid(&mut self, req: &DmaRequest, sid: SourceId) -> CheckOutcome {
         if self.blocks.is_blocked(sid) {
-            self.stats.blocked += 1;
+            self.counters.blocked.inc();
             return CheckOutcome::Stalled { sid };
         }
         let reg = match self.src2md.register(sid) {
@@ -431,7 +487,7 @@ impl Siopmp {
             .decide(masked, req.addr(), req.len(), req.kind());
         match decision {
             Decision::Allow { matched } => {
-                self.stats.allowed += 1;
+                self.counters.allowed.inc();
                 CheckOutcome::Allowed { matched, sid }
             }
             other => self.deny(req, Some(sid), other),
@@ -445,10 +501,10 @@ impl Siopmp {
         decision: Decision,
     ) -> CheckOutcome {
         match decision {
-            Decision::DenyPermission { .. } => self.stats.denied_permission += 1,
-            _ => self.stats.denied_no_match += 1,
+            Decision::DenyPermission { .. } => self.counters.denied_permission.inc(),
+            _ => self.counters.denied_no_match.inc(),
         }
-        self.stats.violations += 1;
+        self.counters.violations.inc();
         let record = ViolationRecord {
             device: req.device(),
             sid,
@@ -456,8 +512,16 @@ impl Siopmp {
             len: req.len(),
             kind: req.kind(),
         };
+        self.push_violation_event(&record);
         self.violation_log.push(record);
         CheckOutcome::Denied(record)
+    }
+
+    fn push_violation_event(&self, record: &ViolationRecord) {
+        self.violation_events.push(format!(
+            "deny device={} addr={:#x} len={} kind={}",
+            record.device.0, record.addr, record.len, record.kind
+        ));
     }
 
     // ------------------------------------------------------------------
@@ -503,12 +567,14 @@ impl Siopmp {
         }
         self.esid.mount(device);
         self.blocks.unblock(cold_sid);
-        self.stats.cold_switches += 1;
+        self.counters.cold_switches.inc();
+        let cycles = cold_switch_cycles(record.entries.len());
+        self.switch_cycles.record(cycles);
         Ok(SwitchReport {
             mounted: device,
             unmounted,
             entries_loaded: record.entries.len(),
-            cycles: cold_switch_cycles(record.entries.len()),
+            cycles,
         })
     }
 

@@ -5,7 +5,7 @@
 //! over a plain data model); any divergence between it and the unit under
 //! random configuration/traffic is a bug in one of them.
 
-use proptest::prelude::*;
+use siopmp_testkit::{check, check_eq, prop_check, Gen};
 use std::collections::HashMap;
 
 use siopmp::entry::{AddressRange, IopmpEntry, Permissions};
@@ -57,42 +57,31 @@ struct ConfigOp {
     perms: Permissions,
 }
 
-fn arb_config_op() -> impl Strategy<Value = ConfigOp> {
-    (
-        0u64..4,
-        0u16..3,
-        0u64..0x40,
-        1u64..8,
-        any::<bool>(),
-        any::<bool>(),
-    )
-        .prop_map(|(device_slot, md, base, len, r, w)| ConfigOp {
-            device_slot,
-            md,
-            base: 0x1_0000 + base * 0x100,
-            len: len * 0x40,
-            perms: Permissions::from_bits(r, w),
-        })
+fn arb_config_op(g: &mut Gen) -> ConfigOp {
+    ConfigOp {
+        device_slot: g.u64(0..4),
+        md: g.u16(0..3),
+        base: 0x1_0000 + g.u64(0..0x40) * 0x100,
+        len: g.u64(1..8) * 0x40,
+        perms: Permissions::from_bits(g.bool(), g.bool()),
+    }
 }
 
-fn arb_check() -> impl Strategy<Value = (u64, AccessKind, u64, u64)> {
-    (
-        0u64..5, // includes a never-registered device
-        prop_oneof![Just(AccessKind::Read), Just(AccessKind::Write)],
-        0u64..0x80,
-        1u64..0x200,
-    )
-        .prop_map(|(d, k, a, l)| (d, k, 0x1_0000 + a * 0x80, l))
+fn arb_check(g: &mut Gen) -> (u64, AccessKind, u64, u64) {
+    let d = g.u64(0..5); // includes a never-registered device
+    let k = *g.choose(&[AccessKind::Read, AccessKind::Write]);
+    let a = g.u64(0..0x80);
+    let l = g.u64(1..0x200);
+    (d, k, 0x1_0000 + a * 0x80, l)
 }
 
-proptest! {
-    /// Random configurations + random checks: the unit and the oracle
-    /// agree on every allow/deny decision.
-    #[test]
-    fn unit_matches_reference_oracle(
-        config_ops in proptest::collection::vec(arb_config_op(), 1..24),
-        checks in proptest::collection::vec(arb_check(), 1..60),
-    ) {
+/// Random configurations + random checks: the unit and the oracle
+/// agree on every allow/deny decision.
+#[test]
+fn unit_matches_reference_oracle() {
+    prop_check(96, |g| {
+        let config_ops = g.vec(1..24, arb_config_op);
+        let checks = g.vec(1..60, arb_check);
         let mut unit = Siopmp::new(SiopmpConfig::small());
         let mut oracle = Oracle::default();
         let mut device_sid = HashMap::new();
@@ -100,20 +89,30 @@ proptest! {
 
         for op in config_ops {
             let sid = *device_sid.entry(op.device_slot).or_insert_with(|| {
-                unit.map_hot_device(DeviceId(op.device_slot)).expect("4 < hot SIDs")
+                unit.map_hot_device(DeviceId(op.device_slot))
+                    .expect("4 < hot SIDs")
             });
             let mds = device_mds.entry(op.device_slot).or_default();
             if !mds.contains(&op.md) {
-                unit.associate_sid_with_md(sid, MdIndex(op.md)).expect("hot MD");
+                unit.associate_sid_with_md(sid, MdIndex(op.md))
+                    .expect("hot MD");
                 mds.push(op.md);
-                oracle.device_mds.entry(op.device_slot).or_default().push(op.md);
+                oracle
+                    .device_mds
+                    .entry(op.device_slot)
+                    .or_default()
+                    .push(op.md);
             }
             let entry = IopmpEntry::new(
                 AddressRange::new(op.base, op.len).expect("valid by construction"),
                 op.perms,
             );
             if let Ok(idx) = unit.install_entry(MdIndex(op.md), entry) {
-                oracle.md_entries.entry(op.md).or_default().push((idx.0, entry));
+                oracle
+                    .md_entries
+                    .entry(op.md)
+                    .or_default()
+                    .push((idx.0, entry));
             }
             // Window full: drop the op in both models (oracle untouched).
         }
@@ -123,21 +122,27 @@ proptest! {
                 .check(&DmaRequest::new(DeviceId(device), kind, addr, len))
                 .is_allowed();
             let oracle_says = oracle.check(device, kind, addr, len);
-            prop_assert_eq!(
-                unit_says, oracle_says,
-                "divergence: dev {} {} {:#x}+{:#x}", device, kind, addr, len
+            check_eq!(
+                unit_says,
+                oracle_says,
+                "divergence: dev {} {} {:#x}+{:#x}",
+                device,
+                kind,
+                addr,
+                len
             );
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Driving the unit exclusively through the MMIO front-end produces
-    /// the same decisions as the direct API.
-    #[test]
-    fn mmio_program_equals_direct_api(
-        entries in proptest::collection::vec(
-            (0u64..0x20, 1u64..8, any::<bool>(), any::<bool>()), 1..4),
-        checks in proptest::collection::vec(arb_check(), 1..30),
-    ) {
+/// Driving the unit exclusively through the MMIO front-end produces
+/// the same decisions as the direct API.
+#[test]
+fn mmio_program_equals_direct_api() {
+    prop_check(96, |g| {
+        let entries = g.vec(1..4, |g| (g.u64(0..0x20), g.u64(1..8), g.bool(), g.bool()));
+        let checks = g.vec(1..30, arb_check);
         // Unit A: direct API. Unit B: MMIO writes only.
         let mut direct = Siopmp::new(SiopmpConfig::small());
         let mut mmio_unit = Siopmp::new(SiopmpConfig::small());
@@ -145,13 +150,10 @@ proptest! {
 
         let sid_a = direct.map_hot_device(DeviceId(0)).unwrap();
         let sid_b = mmio_unit.map_hot_device(DeviceId(0)).unwrap();
-        prop_assert_eq!(sid_a, sid_b);
+        check_eq!(sid_a, sid_b);
         direct.associate_sid_with_md(sid_a, MdIndex(0)).unwrap();
-        mmio.write(
-            &mut mmio_unit,
-            SRC2MD_BASE + 8 * sid_b.index() as u64,
-            0b1,
-        ).unwrap();
+        mmio.write(&mut mmio_unit, SRC2MD_BASE + 8 * sid_b.index() as u64, 0b1)
+            .unwrap();
 
         let (start, _) = direct.md_window(MdIndex(0)).unwrap();
         for (slot, (base, len, r, w)) in entries.iter().enumerate() {
@@ -172,11 +174,12 @@ proptest! {
             let a = direct.check(&req);
             let b = mmio_unit.check(&req);
             let same = matches!(
-                (a, b),
+                (&a, &b),
                 (CheckOutcome::Allowed { .. }, CheckOutcome::Allowed { .. })
                     | (CheckOutcome::Denied(_), CheckOutcome::Denied(_))
             );
-            prop_assert!(same, "mmio diverged: {:?} vs {:?}", a, b);
+            check!(same, "mmio diverged: {:?} vs {:?}", a, b);
         }
-    }
+        Ok(())
+    });
 }

@@ -5,7 +5,7 @@
 //! timing, never semantics. Further properties cover priority ordering, CAM
 //! bijectivity, and the mountable-switch isolation guarantee.
 
-use proptest::prelude::*;
+use siopmp_testkit::{check, check_eq, prop_check, Gen};
 
 use siopmp::checker::{CheckerKind, Decision};
 use siopmp::entry::{AddressRange, IopmpEntry, Permissions};
@@ -15,125 +15,162 @@ use siopmp::remap::DeviceId2SidCam;
 use siopmp::request::{AccessKind, DmaRequest};
 use siopmp::{CheckOutcome, Siopmp, SiopmpConfig};
 
-fn arb_perms() -> impl Strategy<Value = Permissions> {
-    (any::<bool>(), any::<bool>()).prop_map(|(r, w)| Permissions::from_bits(r, w))
+fn arb_perms(g: &mut Gen) -> Permissions {
+    Permissions::from_bits(g.bool(), g.bool())
 }
 
-fn arb_entry() -> impl Strategy<Value = IopmpEntry> {
-    (0u64..0x10_0000, 1u64..0x1000, arb_perms()).prop_map(|(base, len, perms)| {
-        IopmpEntry::new(AddressRange::new(base * 16, len).unwrap(), perms)
-    })
+fn arb_entry(g: &mut Gen) -> IopmpEntry {
+    let base = g.u64(0..0x10_0000);
+    let len = g.u64(1..0x1000);
+    let perms = arb_perms(g);
+    IopmpEntry::new(AddressRange::new(base * 16, len).unwrap(), perms)
 }
 
-fn arb_entries() -> impl Strategy<Value = Vec<(u32, IopmpEntry)>> {
-    proptest::collection::vec((0u32..2048, arb_entry()), 0..64).prop_map(|mut v| {
-        v.sort_by_key(|(i, _)| *i);
-        v.dedup_by_key(|(i, _)| *i);
-        v
-    })
+fn arb_entries(g: &mut Gen) -> Vec<(u32, IopmpEntry)> {
+    let mut v = g.vec(0..64, |g| (g.u32(0..2048), arb_entry(g)));
+    v.sort_by_key(|(i, _)| *i);
+    v.dedup_by_key(|(i, _)| *i);
+    v
 }
 
-fn arb_access() -> impl Strategy<Value = (u64, u64, AccessKind)> {
-    (
-        0u64..0x100_0000,
-        0u64..0x2000,
-        prop_oneof![Just(AccessKind::Read), Just(AccessKind::Write)],
-    )
+fn arb_access(g: &mut Gen) -> (u64, u64, AccessKind) {
+    let addr = g.u64(0..0x100_0000);
+    let len = g.u64(0..0x2000);
+    let kind = *g.choose(&[AccessKind::Read, AccessKind::Write]);
+    (addr, len, kind)
 }
 
-proptest! {
-    /// All checker strategies are decision-equivalent on arbitrary masked
-    /// entry sets and accesses.
-    #[test]
-    fn checkers_are_decision_equivalent(
-        entries in arb_entries(),
-        (addr, len, kind) in arb_access(),
-        stages in 1u8..5,
-        arity in 2u8..9,
-    ) {
+/// All checker strategies are decision-equivalent on arbitrary masked
+/// entry sets and accesses.
+#[test]
+fn checkers_are_decision_equivalent() {
+    prop_check(96, |g| {
+        let entries = arb_entries(g);
+        let (addr, len, kind) = arb_access(g);
+        let stages = g.u8(1..5);
+        let arity = g.u8(2..9);
         let kinds = [
             CheckerKind::Linear,
             CheckerKind::Pipelined { stages },
             CheckerKind::Tree { tree_arity: arity },
-            CheckerKind::MtChecker { stages, tree_arity: arity },
+            CheckerKind::MtChecker {
+                stages,
+                tree_arity: arity,
+            },
         ];
         let reference = CheckerKind::Linear.decide(
-            entries.iter().map(|(i, e)| (EntryIndex(*i), e)), addr, len, kind);
+            entries.iter().map(|(i, e)| (EntryIndex(*i), e)),
+            addr,
+            len,
+            kind,
+        );
         for k in kinds {
             let d = k.decide(
-                entries.iter().map(|(i, e)| (EntryIndex(*i), e)), addr, len, kind);
-            prop_assert_eq!(d, reference, "{} disagrees with linear", k);
+                entries.iter().map(|(i, e)| (EntryIndex(*i), e)),
+                addr,
+                len,
+                kind,
+            );
+            check_eq!(d, reference, "{} disagrees with linear", k);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// The decision is always the first (lowest-index) matching entry.
-    #[test]
-    fn first_match_wins(
-        entries in arb_entries(),
-        (addr, len, kind) in arb_access(),
-    ) {
+/// The decision is always the first (lowest-index) matching entry.
+#[test]
+fn first_match_wins() {
+    prop_check(128, |g| {
+        let entries = arb_entries(g);
+        let (addr, len, kind) = arb_access(g);
         let decision = CheckerKind::Linear.decide(
-            entries.iter().map(|(i, e)| (EntryIndex(*i), e)), addr, len, kind);
+            entries.iter().map(|(i, e)| (EntryIndex(*i), e)),
+            addr,
+            len,
+            kind,
+        );
         let expected_idx = entries
             .iter()
             .find(|(_, e)| e.matches(addr, len))
             .map(|(i, _)| EntryIndex(*i));
         match (decision, expected_idx) {
             (Decision::DenyNoMatch, None) => {}
-            (Decision::Allow { matched }, Some(i)) |
-            (Decision::DenyPermission { matched }, Some(i)) => prop_assert_eq!(matched, i),
-            other => prop_assert!(false, "mismatch: {:?}", other),
+            (Decision::Allow { matched }, Some(i))
+            | (Decision::DenyPermission { matched }, Some(i)) => check_eq!(matched, i),
+            other => check!(false, "mismatch: {:?}", other),
         }
-    }
+        Ok(())
+    });
+}
 
-    /// An allowed decision implies the matched entry really contains the
-    /// access and grants the permission (soundness of the fast path).
-    #[test]
-    fn allow_is_sound(
-        entries in arb_entries(),
-        (addr, len, kind) in arb_access(),
-    ) {
+/// An allowed decision implies the matched entry really contains the
+/// access and grants the permission (soundness of the fast path).
+#[test]
+fn allow_is_sound() {
+    prop_check(128, |g| {
+        let entries = arb_entries(g);
+        let (addr, len, kind) = arb_access(g);
         if let Decision::Allow { matched } = CheckerKind::Linear.decide(
-            entries.iter().map(|(i, e)| (EntryIndex(*i), e)), addr, len, kind)
-        {
-            let (_, e) = entries.iter().find(|(i, _)| EntryIndex(*i) == matched).unwrap();
-            prop_assert!(e.matches(addr, len));
-            prop_assert!(e.permissions().allows(kind.required()));
+            entries.iter().map(|(i, e)| (EntryIndex(*i), e)),
+            addr,
+            len,
+            kind,
+        ) {
+            let (_, e) = entries
+                .iter()
+                .find(|(i, _)| EntryIndex(*i) == matched)
+                .unwrap();
+            check!(e.matches(addr, len));
+            check!(e.permissions().allows(kind.required()));
         }
-    }
+        Ok(())
+    });
+}
 
-    /// The CAM never maps two devices to one SID, never maps one device to
-    /// two SIDs, and never exceeds capacity — under arbitrary interleavings
-    /// of insert / evict / remove / lookup.
-    #[test]
-    fn cam_stays_bijective(ops in proptest::collection::vec((0u8..4, 0u64..12), 1..200)) {
+/// The CAM never maps two devices to one SID, never maps one device to
+/// two SIDs, and never exceeds capacity — under arbitrary interleavings
+/// of insert / evict / remove / lookup.
+#[test]
+fn cam_stays_bijective() {
+    prop_check(96, |g| {
+        let ops = g.vec(1..200, |g| (g.u8(0..4), g.u64(0..12)));
         let mut cam = DeviceId2SidCam::new(5);
         for (op, dev) in ops {
             let dev = DeviceId(dev);
             match op {
-                0 => { let _ = cam.insert(dev); }
-                1 => { let _ = cam.insert_with_eviction(dev); }
-                2 => { let _ = cam.remove(dev); }
-                _ => { let _ = cam.lookup(dev); }
+                0 => {
+                    let _ = cam.insert(dev);
+                }
+                1 => {
+                    let _ = cam.insert_with_eviction(dev);
+                }
+                2 => {
+                    let _ = cam.remove(dev);
+                }
+                _ => {
+                    let _ = cam.lookup(dev);
+                }
             }
-            prop_assert!(cam.len() <= cam.capacity());
+            check!(cam.len() <= cam.capacity());
             let mut seen_sids = std::collections::HashSet::new();
             let mut seen_devs = std::collections::HashSet::new();
             for (sid, device, _) in cam.iter() {
-                prop_assert!(seen_sids.insert(sid));
-                prop_assert!(seen_devs.insert(device));
-                prop_assert_eq!(cam.peek(device), Some(sid));
+                check!(seen_sids.insert(sid));
+                check!(seen_devs.insert(device));
+                check_eq!(cam.peek(device), Some(sid));
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Mounting a cold device never lets it access another device's
-    /// regions: after any sequence of switches, device X can only touch the
-    /// regions registered for X.
-    #[test]
-    fn cold_switching_preserves_isolation(
-        accesses in proptest::collection::vec((0u64..4, 0u64..8), 1..60),
-    ) {
+/// Mounting a cold device never lets it access another device's
+/// regions: after any sequence of switches, device X can only touch the
+/// regions registered for X.
+#[test]
+fn cold_switching_preserves_isolation() {
+    prop_check(96, |g| {
+        let accesses = g.vec(1..60, |g| (g.u64(0..4), g.u64(0..8)));
         let mut unit = Siopmp::new(SiopmpConfig::small());
         // Four cold devices, each owning one distinct 256-byte region.
         for d in 0..4u64 {
@@ -146,7 +183,8 @@ proptest! {
                         Permissions::rw(),
                     )],
                 },
-            ).unwrap();
+            )
+            .unwrap();
         }
         for (d, region) in accesses {
             let addr = 0x1_0000 * (region + 1);
@@ -159,46 +197,79 @@ proptest! {
                 o => o,
             };
             if region == d {
-                prop_assert!(outcome.is_allowed(), "own region must be allowed: {:?}", outcome);
+                check!(
+                    outcome.is_allowed(),
+                    "own region must be allowed: {:?}",
+                    outcome
+                );
             } else {
-                prop_assert!(!outcome.is_allowed(), "foreign region leaked: dev {} region {}", d, region);
+                check!(
+                    !outcome.is_allowed(),
+                    "foreign region leaked: dev {} region {}",
+                    d,
+                    region
+                );
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Atomic entry modification always leaves the SID unblocked, whether
-    /// it succeeds or fails.
-    #[test]
-    fn atomic_modification_never_wedges(
-        indices in proptest::collection::vec(0u32..64, 1..10),
-    ) {
+/// Atomic entry modification always leaves the SID unblocked, whether
+/// it succeeds or fails.
+#[test]
+fn atomic_modification_never_wedges() {
+    prop_check(64, |g| {
+        let indices = g.vec(1..10, |g| g.u32(0..64));
         let mut unit = Siopmp::new(SiopmpConfig::small());
         let sid = unit.map_hot_device(DeviceId(1)).unwrap();
         let updates: Vec<_> = indices.into_iter().map(|i| (EntryIndex(i), None)).collect();
         let _ = unit.modify_entries_atomically(sid, &updates);
-        prop_assert!(!unit.is_sid_blocked(sid));
-    }
+        check!(!unit.is_sid_blocked(sid));
+        Ok(())
+    });
+}
 
-    /// Timing model: frequency is monotone non-increasing in entry count
-    /// for every micro-architecture, and the MT checker always achieves at
-    /// least the plain pipeline's frequency.
-    #[test]
-    fn timing_model_is_well_behaved(n in 1usize..4096, stages in 1u8..4) {
+/// Timing model: frequency is monotone non-increasing in entry count
+/// for every micro-architecture, and the MT checker always achieves at
+/// least the plain pipeline's frequency.
+#[test]
+fn timing_model_is_well_behaved() {
+    prop_check(96, |g| {
+        let n = g.usize(1..4096);
+        let stages = g.u8(1..4);
         use siopmp::timing::analyze;
         let pipe = analyze(CheckerKind::Pipelined { stages }, n);
-        let mt = analyze(CheckerKind::MtChecker { stages, tree_arity: 2 }, n);
-        prop_assert!(mt.achievable_mhz >= pipe.achievable_mhz - 1e-9);
-        let bigger = analyze(CheckerKind::MtChecker { stages, tree_arity: 2 }, n + 64);
-        prop_assert!(bigger.achievable_mhz <= mt.achievable_mhz + 1e-9);
-    }
+        let mt = analyze(
+            CheckerKind::MtChecker {
+                stages,
+                tree_arity: 2,
+            },
+            n,
+        );
+        check!(mt.achievable_mhz >= pipe.achievable_mhz - 1e-9);
+        let bigger = analyze(
+            CheckerKind::MtChecker {
+                stages,
+                tree_arity: 2,
+            },
+            n + 64,
+        );
+        check!(bigger.achievable_mhz <= mt.achievable_mhz + 1e-9);
+        Ok(())
+    });
+}
 
-    /// Area model: tree arbitration never costs more LUTs than the linear
-    /// chain at the same entry count.
-    #[test]
-    fn tree_area_never_worse(n in 1usize..4096) {
+/// Area model: tree arbitration never costs more LUTs than the linear
+/// chain at the same entry count.
+#[test]
+fn tree_area_never_worse() {
+    prop_check(128, |g| {
+        let n = g.usize(1..4096);
         use siopmp::area::estimate;
         let lin = estimate(CheckerKind::Linear, n);
         let tree = estimate(CheckerKind::Tree { tree_arity: 2 }, n);
-        prop_assert!(tree.lut_pct <= lin.lut_pct);
-    }
+        check!(tree.lut_pct <= lin.lut_pct);
+        Ok(())
+    });
 }

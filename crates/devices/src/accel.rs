@@ -2,7 +2,24 @@
 //! and activations, followed by result writes.
 
 use siopmp::ids::DeviceId;
+use siopmp::telemetry::{Counter, Telemetry};
 use siopmp_bus::{BurstKind, BurstRequest, MasterProgram};
+
+/// Pre-resolved handles for the `accel.*` metrics.
+#[derive(Debug, Clone)]
+struct AccelCounters {
+    jobs: Counter,
+    bursts_emitted: Counter,
+}
+
+impl AccelCounters {
+    fn attach(t: &Telemetry) -> Self {
+        AccelCounters {
+            jobs: t.counter("accel.jobs"),
+            bursts_emitted: t.counter("accel.bursts_emitted"),
+        }
+    }
+}
 
 /// One inference job's memory footprint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,12 +60,29 @@ pub struct AccelJob {
 #[derive(Debug, Clone)]
 pub struct Accelerator {
     device_id: u64,
+    telemetry: Telemetry,
+    counters: AccelCounters,
 }
 
 impl Accelerator {
     /// Creates an accelerator with packet-level `device_id`.
     pub fn new(device_id: u64) -> Self {
-        Accelerator { device_id }
+        Self::with_telemetry(device_id, Telemetry::new())
+    }
+
+    /// Creates an accelerator that registers its `accel.*` metrics in
+    /// `telemetry`.
+    pub fn with_telemetry(device_id: u64, telemetry: Telemetry) -> Self {
+        Accelerator {
+            device_id,
+            counters: AccelCounters::attach(&telemetry),
+            telemetry,
+        }
+    }
+
+    /// The accelerator's telemetry registry.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The accelerator's device ID.
@@ -74,6 +108,10 @@ impl Accelerator {
         push(BurstKind::Read, job.input_base, job.input_len);
         push(BurstKind::Write, job.output_base, job.output_len);
         program.outstanding = 16; // accelerators saturate the bus
+        self.counters.jobs.inc();
+        self.counters
+            .bursts_emitted
+            .add(program.bursts.len() as u64);
         program
     }
 
@@ -122,6 +160,16 @@ mod tests {
         let regions = acc.required_regions(&job());
         assert_eq!(regions.iter().filter(|(_, _, w)| *w).count(), 1);
         assert_eq!(regions[2].0, 0x3000);
+    }
+
+    #[test]
+    fn telemetry_counts_jobs() {
+        let t = Telemetry::new();
+        let acc = Accelerator::with_telemetry(9, t.clone());
+        let p = acc.job_program(&job());
+        let snap = t.snapshot();
+        assert_eq!(snap.counters["accel.jobs"], 1);
+        assert_eq!(snap.counters["accel.bursts_emitted"], p.bursts.len() as u64);
     }
 
     #[test]

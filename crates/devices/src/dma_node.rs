@@ -1,7 +1,28 @@
 //! The "dummy node for memory copy" DMA device (Table 2) with
 //! scatter-gather descriptor support.
 
+use siopmp::telemetry::{Counter, Telemetry};
 use siopmp_bus::{BurstKind, MasterProgram};
+
+/// Pre-resolved handles for the `dma.*` metrics.
+#[derive(Debug, Clone)]
+struct DmaCounters {
+    copy_programs: Counter,
+    segments: Counter,
+    bursts_emitted: Counter,
+    bytes_copied: Counter,
+}
+
+impl DmaCounters {
+    fn attach(t: &Telemetry) -> Self {
+        DmaCounters {
+            copy_programs: t.counter("dma.copy_programs"),
+            segments: t.counter("dma.segments"),
+            bursts_emitted: t.counter("dma.bursts_emitted"),
+            bytes_copied: t.counter("dma.bytes_copied"),
+        }
+    }
+}
 
 /// One scatter-gather segment: a contiguous byte range to copy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,6 +55,8 @@ pub struct SgSegment {
 pub struct DmaCopyEngine {
     device_id: u64,
     burst_bytes: u64,
+    telemetry: Telemetry,
+    counters: DmaCounters,
 }
 
 impl DmaCopyEngine {
@@ -44,11 +67,27 @@ impl DmaCopyEngine {
     ///
     /// Panics when `burst_bytes` is zero.
     pub fn new(device_id: u64, burst_bytes: u64) -> Self {
+        Self::with_telemetry(device_id, burst_bytes, Telemetry::new())
+    }
+
+    /// Creates an engine that registers its `dma.*` metrics in `telemetry`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `burst_bytes` is zero.
+    pub fn with_telemetry(device_id: u64, burst_bytes: u64, telemetry: Telemetry) -> Self {
         assert!(burst_bytes > 0, "burst size must be nonzero");
         DmaCopyEngine {
             device_id,
             burst_bytes,
+            counters: DmaCounters::attach(&telemetry),
+            telemetry,
         }
+    }
+
+    /// The engine's telemetry registry.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The engine's device ID.
@@ -76,6 +115,11 @@ impl DmaCopyEngine {
                 });
             }
         }
+        self.counters.copy_programs.inc();
+        self.counters.segments.add(segments.len() as u64);
+        self.counters
+            .bursts_emitted
+            .add(program.bursts.len() as u64);
         program
     }
 
@@ -97,6 +141,7 @@ impl DmaCopyEngine {
         for seg in segments {
             let data = mem.read_vec(seg.src, seg.len as usize);
             mem.write(seg.dst, &data);
+            self.counters.bytes_copied.add(seg.len);
         }
     }
 }
@@ -164,6 +209,25 @@ mod tests {
         let prog = eng.copy_program(&segments);
         assert_eq!(prog.bursts.len(), 1024);
         assert_eq!(eng.required_regions(&segments).len(), 1024);
+    }
+
+    #[test]
+    fn telemetry_counts_segments_and_bytes() {
+        let t = Telemetry::new();
+        let eng = DmaCopyEngine::with_telemetry(1, 64, t.clone());
+        let segs = [SgSegment {
+            src: 0x100,
+            dst: 0x900,
+            len: 128,
+        }];
+        let _ = eng.copy_program(&segs);
+        let mut mem = SparseMemory::new();
+        eng.execute(&mut mem, &segs);
+        let snap = t.snapshot();
+        assert_eq!(snap.counters["dma.copy_programs"], 1);
+        assert_eq!(snap.counters["dma.segments"], 1);
+        assert_eq!(snap.counters["dma.bursts_emitted"], 4);
+        assert_eq!(snap.counters["dma.bytes_copied"], 128);
     }
 
     #[test]

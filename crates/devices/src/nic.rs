@@ -10,7 +10,28 @@
 //! paper's example memory domain contains (§2.2).
 
 use siopmp::ids::DeviceId;
+use siopmp::telemetry::{Counter, Telemetry};
 use siopmp_bus::{BurstKind, BurstRequest, MasterProgram};
+
+/// Pre-resolved handles for the `nic.*` metrics.
+#[derive(Debug, Clone)]
+struct NicCounters {
+    rx_programs: Counter,
+    tx_programs: Counter,
+    rogue_programs: Counter,
+    bursts_emitted: Counter,
+}
+
+impl NicCounters {
+    fn attach(t: &Telemetry) -> Self {
+        NicCounters {
+            rx_programs: t.counter("nic.rx_programs"),
+            tx_programs: t.counter("nic.tx_programs"),
+            rogue_programs: t.counter("nic.rogue_programs"),
+            bursts_emitted: t.counter("nic.bursts_emitted"),
+        }
+    }
+}
 
 /// Memory layout the NIC driver established for the device.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,12 +96,30 @@ impl NicLayout {
 pub struct Nic {
     device_id: u64,
     layout: NicLayout,
+    telemetry: Telemetry,
+    counters: NicCounters,
 }
 
 impl Nic {
-    /// Creates a NIC with packet-level `device_id` over `layout`.
+    /// Creates a NIC with packet-level `device_id` over `layout`, with a
+    /// private telemetry registry.
     pub fn new(device_id: u64, layout: NicLayout) -> Self {
-        Nic { device_id, layout }
+        Self::with_telemetry(device_id, layout, Telemetry::new())
+    }
+
+    /// Creates a NIC that registers its `nic.*` metrics in `telemetry`.
+    pub fn with_telemetry(device_id: u64, layout: NicLayout, telemetry: Telemetry) -> Self {
+        Nic {
+            device_id,
+            layout,
+            counters: NicCounters::attach(&telemetry),
+            telemetry,
+        }
+    }
+
+    /// The NIC's telemetry registry.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The NIC's device ID.
@@ -121,6 +160,10 @@ impl Nic {
                 .push(self.burst(BurstKind::Write, self.layout.descriptor(true, p)));
         }
         program.outstanding = 8; // NICs pipeline aggressively
+        self.counters.rx_programs.inc();
+        self.counters
+            .bursts_emitted
+            .add(program.bursts.len() as u64);
         program
     }
 
@@ -142,6 +185,10 @@ impl Nic {
                 .push(self.burst(BurstKind::Write, self.layout.descriptor(false, p)));
         }
         program.outstanding = 8;
+        self.counters.tx_programs.inc();
+        self.counters
+            .bursts_emitted
+            .add(program.bursts.len() as u64);
         program
     }
 
@@ -150,6 +197,7 @@ impl Nic {
     /// model defends against (§3.2). Used by the security tests and the
     /// `dma_attack` example.
     pub fn rogue_rx_program(&self, mtu: u64, packets: u32, target: u64) -> MasterProgram {
+        self.counters.rogue_programs.inc();
         let mut program = self.rx_program(mtu, packets);
         for b in &mut program.bursts {
             if b.kind == BurstKind::Write {
@@ -220,6 +268,21 @@ mod tests {
                 BurstKind::Read => assert_ne!(b.addr, 0xdead_0000),
             }
         }
+    }
+
+    #[test]
+    fn telemetry_counts_programs_and_bursts() {
+        let t = Telemetry::new();
+        let nic = Nic::with_telemetry(7, layout(), t.clone());
+        let rx = nic.rx_program(1500, 2);
+        let tx = nic.tx_program(64, 1);
+        let snap = t.snapshot();
+        assert_eq!(snap.counters["nic.rx_programs"], 1);
+        assert_eq!(snap.counters["nic.tx_programs"], 1);
+        assert_eq!(
+            snap.counters["nic.bursts_emitted"],
+            (rx.bursts.len() + tx.bursts.len()) as u64
+        );
     }
 
     #[test]

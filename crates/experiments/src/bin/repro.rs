@@ -6,8 +6,14 @@
 //! repro              # run every experiment, in paper order
 //! repro fig15 fig17  # run a subset
 //! repro --list       # list experiment names
+//! repro --json       # machine-readable output + live telemetry dump
 //! ```
+//!
+//! With `--json`, the selected experiments' outputs are wrapped in one
+//! JSON document together with a telemetry snapshot of a representative
+//! monitored run (see `siopmp_experiments::telemetry_exercise`).
 
+use siopmp::json::Json;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -19,21 +25,34 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        println!("usage: repro [--list] [experiment ...]");
+        println!("usage: repro [--list] [--json] [experiment ...]");
         println!("experiments: {}", siopmp_experiments::ALL.join(" "));
         return ExitCode::SUCCESS;
     }
-    let selected: Vec<&str> = if args.is_empty() {
-        siopmp_experiments::ALL.to_vec()
-    } else {
-        args.iter().map(String::as_str).collect()
+    let json_mode = args.iter().any(|a| a == "--json");
+    let selected: Vec<&str> = {
+        let named: Vec<&str> = args
+            .iter()
+            .filter(|a| !a.starts_with("--"))
+            .map(String::as_str)
+            .collect();
+        if named.is_empty() {
+            siopmp_experiments::ALL.to_vec()
+        } else {
+            named
+        }
     };
     let mut failed = false;
+    let mut rendered: Vec<(String, String)> = Vec::new();
     for name in selected {
         match siopmp_experiments::render(name) {
             Some(output) => {
-                println!("==== {name} ====");
-                println!("{output}");
+                if json_mode {
+                    rendered.push((name.to_string(), output));
+                } else {
+                    println!("==== {name} ====");
+                    println!("{output}");
+                }
             }
             None => {
                 eprintln!(
@@ -43,6 +62,21 @@ fn main() -> ExitCode {
                 failed = true;
             }
         }
+    }
+    if json_mode && !failed {
+        let doc = Json::object([
+            (
+                "experiments",
+                Json::array(rendered.into_iter().map(|(name, output)| {
+                    Json::object([("name", Json::str(name)), ("output", Json::str(output))])
+                })),
+            ),
+            (
+                "telemetry",
+                siopmp_experiments::telemetry_exercise().to_json(),
+            ),
+        ]);
+        println!("{}", doc.pretty());
     }
     if failed {
         ExitCode::FAILURE

@@ -11,7 +11,30 @@ use crate::cmdq::{CommandQueue, InvCommand};
 use crate::iotlb::Iotlb;
 use crate::iova::{IovaAllocator, IO_PAGE_SIZE};
 use crate::pagetable::{IoPageTable, IoPerms};
+use siopmp::telemetry::{Counter, Histogram, Telemetry};
 use std::collections::HashMap;
+
+/// Pre-resolved handles for the `iommu.*` metrics.
+#[derive(Debug, Clone)]
+struct IommuCounters {
+    maps: Counter,
+    unmaps: Counter,
+    flushes: Counter,
+    map_cycles: Histogram,
+    unmap_cycles: Histogram,
+}
+
+impl IommuCounters {
+    fn attach(t: &Telemetry) -> Self {
+        IommuCounters {
+            maps: t.counter("iommu.maps"),
+            unmaps: t.counter("iommu.unmaps"),
+            flushes: t.counter("iommu.flushes"),
+            map_cycles: t.histogram("iommu.map_cycles"),
+            unmap_cycles: t.histogram("iommu.unmap_cycles"),
+        }
+    }
+}
 
 /// Token returned by a map operation, needed for the matching unmap.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,12 +132,20 @@ pub struct Iommu {
     /// (device, iova) pairs unmapped in software whose IOTLB entries may
     /// still be live — cleared at the next sync.
     stale: Vec<(u64, u64)>,
+    telemetry: Telemetry,
+    counters: IommuCounters,
 }
 
 impl Iommu {
     /// Creates an IOMMU with the given invalidation policy, a 64-entry
     /// IOTLB, and a 1 GiB shared IOVA arena.
     pub fn new(policy: InvalidationPolicy) -> Self {
+        Self::with_telemetry(policy, Telemetry::new())
+    }
+
+    /// Creates an IOMMU registering its `iommu.*` metrics (map/unmap
+    /// counters, cycle histograms) in the caller's shared registry.
+    pub fn with_telemetry(policy: InvalidationPolicy, telemetry: Telemetry) -> Self {
         Iommu {
             policy,
             iova: IovaAllocator::new(0x4000_0000, 0x4000_0000),
@@ -122,7 +153,14 @@ impl Iommu {
             iotlb: Iotlb::new(64),
             cmdq: CommandQueue::new(),
             stale: Vec::new(),
+            counters: IommuCounters::attach(&telemetry),
+            telemetry,
         }
+    }
+
+    /// The IOMMU's telemetry registry.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Simulates a device-side translation of `(device, iova)` — used by
@@ -144,6 +182,7 @@ impl Iommu {
     }
 
     fn flush_stale(&mut self) -> u64 {
+        self.counters.flushes.inc();
         let (cycles, _) = self.cmdq.sync_and_take();
         for (device, iova) in self.stale.drain(..) {
             self.iotlb.invalidate_page(device, iova);
@@ -177,6 +216,8 @@ impl DmaProtection for Iommu {
                 )
                 .expect("fresh IOVA cannot be already mapped");
         }
+        self.counters.maps.inc();
+        self.counters.map_cycles.record(cycles);
         (MapHandle { device, iova, len }, cycles)
     }
 
@@ -219,6 +260,8 @@ impl DmaProtection for Iommu {
         self.iova
             .free(handle.iova, handle.len)
             .expect("double unmap of handle");
+        self.counters.unmaps.inc();
+        self.counters.unmap_cycles.record(cycles);
         cycles
     }
 
@@ -331,6 +374,24 @@ mod tests {
             let (h, _) = iommu.map(1, 0x10_0000 + (i % 16) * IO_PAGE_SIZE, 1500);
             iommu.unmap(h);
         }
+    }
+
+    #[test]
+    fn telemetry_counts_map_unmap_pairs() {
+        let t = Telemetry::new();
+        let mut iommu = Iommu::with_telemetry(InvalidationPolicy::Strict, t.clone());
+        for i in 0..5u64 {
+            let (h, _) = iommu.map(1, 0x10_0000 + i * IO_PAGE_SIZE, 1500);
+            iommu.unmap(h);
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.counters["iommu.maps"], 5);
+        assert_eq!(snap.counters["iommu.unmaps"], 5);
+        assert_eq!(snap.histograms["iommu.unmap_cycles"].count, 5);
+        assert!(
+            snap.counters["iommu.flushes"] >= 5,
+            "strict flushes per unmap"
+        );
     }
 
     #[test]

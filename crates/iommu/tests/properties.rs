@@ -2,7 +2,7 @@
 //! IOTLB coherence after strict invalidation, and the strict/deferred
 //! security contract under arbitrary map/unmap interleavings.
 
-use proptest::prelude::*;
+use siopmp_testkit::{check, check_eq, prop_check};
 use std::collections::HashMap;
 
 use siopmp_iommu::iotlb::Iotlb;
@@ -10,13 +10,12 @@ use siopmp_iommu::iova::{IovaAllocator, IO_PAGE_SIZE};
 use siopmp_iommu::pagetable::{IoPageTable, IoPerms, IoPte};
 use siopmp_iommu::protection::{DmaProtection, InvalidationPolicy, Iommu, MapHandle};
 
-proptest! {
-    /// The IOVA allocator never hands out overlapping ranges and always
-    /// recycles freed space completely.
-    #[test]
-    fn iova_allocations_never_overlap(
-        ops in proptest::collection::vec((any::<bool>(), 1u64..5), 1..120),
-    ) {
+/// The IOVA allocator never hands out overlapping ranges and always
+/// recycles freed space completely.
+#[test]
+fn iova_allocations_never_overlap() {
+    prop_check(96, |g| {
+        let ops = g.vec(1..120, |g| (g.bool(), g.u64(1..5)));
         let mut alloc = IovaAllocator::new(0, 64 * IO_PAGE_SIZE);
         let mut live: Vec<(u64, u64)> = Vec::new();
         for (is_alloc, pages) in ops {
@@ -25,30 +24,32 @@ proptest! {
                     let len = pages * IO_PAGE_SIZE;
                     for (base, l) in &live {
                         let disjoint = iova + len <= *base || *base + *l <= iova;
-                        prop_assert!(disjoint, "overlap: {iova:#x}+{len:#x} vs {base:#x}+{l:#x}");
+                        check!(disjoint, "overlap: {iova:#x}+{len:#x} vs {base:#x}+{l:#x}");
                     }
                     live.push((iova, len));
                 }
             } else if let Some((iova, len)) = live.pop() {
-                prop_assert!(alloc.free(iova, len).is_ok());
+                check!(alloc.free(iova, len).is_ok());
             }
         }
         let live_total: u64 = live.iter().map(|(_, l)| l).sum();
-        prop_assert_eq!(alloc.allocated_bytes(), live_total);
+        check_eq!(alloc.allocated_bytes(), live_total);
         // Full drain restores a single free fragment.
         for (iova, len) in live {
             alloc.free(iova, len).unwrap();
         }
-        prop_assert_eq!(alloc.fragments(), 1);
-        prop_assert_eq!(alloc.allocated_bytes(), 0);
-    }
+        check_eq!(alloc.fragments(), 1);
+        check_eq!(alloc.allocated_bytes(), 0);
+        Ok(())
+    });
+}
 
-    /// The page table behaves as a partial map: translate succeeds exactly
-    /// for mapped, not-yet-unmapped pages and returns the latest PA.
-    #[test]
-    fn page_table_is_a_partial_map(
-        ops in proptest::collection::vec((0u64..16, any::<bool>()), 1..100),
-    ) {
+/// The page table behaves as a partial map: translate succeeds exactly
+/// for mapped, not-yet-unmapped pages and returns the latest PA.
+#[test]
+fn page_table_is_a_partial_map() {
+    prop_check(96, |g| {
+        let ops = g.vec(1..100, |g| (g.u64(0..16), g.bool()));
         let mut pt = IoPageTable::new();
         let mut model: HashMap<u64, u64> = HashMap::new();
         for (page, map) in ops {
@@ -56,33 +57,38 @@ proptest! {
             let pa = 0x8000_0000 + page * IO_PAGE_SIZE;
             if map {
                 let r = pt.map(iova, pa, IoPerms::rw());
-                prop_assert_eq!(r.is_ok(), !model.contains_key(&iova));
+                check_eq!(r.is_ok(), !model.contains_key(&iova));
                 model.entry(iova).or_insert(pa);
             } else {
                 let r = pt.unmap(iova);
-                prop_assert_eq!(r.is_ok(), model.remove(&iova).is_some());
+                check_eq!(r.is_ok(), model.remove(&iova).is_some());
             }
             for (k, v) in &model {
                 let (pte, _) = pt.translate(*k).expect("modelled page present");
-                prop_assert_eq!(pte.pa, *v);
+                check_eq!(pte.pa, *v);
             }
-            prop_assert_eq!(pt.mapped_pages(), model.len());
+            check_eq!(pt.mapped_pages(), model.len());
         }
-    }
+        Ok(())
+    });
+}
 
-    /// The IOTLB never returns a translation that was invalidated and not
-    /// refilled, and never exceeds capacity.
-    #[test]
-    fn iotlb_coherent_after_invalidation(
-        ops in proptest::collection::vec((0u64..3, 0u64..8, 0u8..3), 1..150),
-    ) {
+/// The IOTLB never returns a translation that was invalidated and not
+/// refilled, and never exceeds capacity.
+#[test]
+fn iotlb_coherent_after_invalidation() {
+    prop_check(96, |g| {
+        let ops = g.vec(1..150, |g| (g.u64(0..3), g.u64(0..8), g.u8(0..3)));
         let mut tlb = Iotlb::new(4);
         let mut resident: HashMap<(u64, u64), u64> = HashMap::new();
         for (dev, page, op) in ops {
             let iova = page * IO_PAGE_SIZE;
             match op {
                 0 => {
-                    let pte = IoPte { pa: 0x1000 * (page + 1), perms: IoPerms::rw() };
+                    let pte = IoPte {
+                        pa: 0x1000 * (page + 1),
+                        perms: IoPerms::rw(),
+                    };
                     tlb.fill(dev, iova, pte);
                     resident.insert((dev, iova), pte.pa);
                 }
@@ -95,22 +101,24 @@ proptest! {
                         // A hit must match what was filled (never a stale
                         // invalidated value, never another device's).
                         let expected = resident.get(&(dev, iova));
-                        prop_assert_eq!(expected, Some(&pte.pa));
+                        check_eq!(expected, Some(&pte.pa));
                     }
                 }
             }
-            prop_assert!(tlb.len() <= 4);
+            check!(tlb.len() <= 4);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Strict IOMMU: after ANY interleaving of maps and unmaps, no
-    /// unmapped buffer is reachable by the device. Deferred: reachable
-    /// stale pages are exactly the reported attack window.
-    #[test]
-    fn strict_has_no_window_deferred_reports_it(
-        ops in proptest::collection::vec(any::<bool>(), 1..60),
-        strict in any::<bool>(),
-    ) {
+/// Strict IOMMU: after ANY interleaving of maps and unmaps, no
+/// unmapped buffer is reachable by the device. Deferred: reachable
+/// stale pages are exactly the reported attack window.
+#[test]
+fn strict_has_no_window_deferred_reports_it() {
+    prop_check(96, |g| {
+        let ops = g.vec(1..60, |g| g.bool());
+        let strict = g.bool();
         let policy = if strict {
             InvalidationPolicy::Strict
         } else {
@@ -140,11 +148,11 @@ proptest! {
             .filter(|(h, pa)| iommu.device_translate(1, h.iova) == Some(*pa))
             .count() as u64;
         if strict {
-            prop_assert_eq!(reachable_dead, 0, "strict must leave no window");
-            prop_assert_eq!(iommu.attack_window_pages(), 0);
+            check_eq!(reachable_dead, 0, "strict must leave no window");
+            check_eq!(iommu.attack_window_pages(), 0);
         } else {
             // Every reachable dead page is accounted in the window.
-            prop_assert!(reachable_dead <= iommu.attack_window_pages());
+            check!(reachable_dead <= iommu.attack_window_pages());
         }
         // Live buffers always stay reachable. Under strict invalidation
         // the translation is exact; under deferred, a recycled IOVA may be
@@ -153,10 +161,11 @@ proptest! {
         for (h, pa) in &live {
             let got = iommu.device_translate(1, h.iova);
             if strict {
-                prop_assert_eq!(got, Some(*pa));
+                check_eq!(got, Some(*pa));
             } else {
-                prop_assert!(got.is_some());
+                check!(got.is_some());
             }
         }
-    }
+        Ok(())
+    });
 }

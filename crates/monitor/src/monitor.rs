@@ -21,7 +21,34 @@ use siopmp::entry::{AddressRange, IopmpEntry, Permissions};
 use siopmp::error::SiopmpError;
 use siopmp::ids::{DeviceId, EntryIndex, MdIndex};
 use siopmp::mountable::MountableEntry;
+use siopmp::telemetry::{Counter, Telemetry};
 use siopmp::{CheckOutcome, Siopmp, SiopmpConfig};
+
+/// Pre-resolved handles for the `monitor.*` metrics.
+#[derive(Debug, Clone)]
+struct MonitorCounters {
+    tees_created: Counter,
+    tees_destroyed: Counter,
+    device_maps: Counter,
+    device_unmaps: Counter,
+    dma_checks: Counter,
+    interrupts_handled: Counter,
+    cycles_spent: Counter,
+}
+
+impl MonitorCounters {
+    fn attach(t: &Telemetry) -> Self {
+        MonitorCounters {
+            tees_created: t.counter("monitor.tees_created"),
+            tees_destroyed: t.counter("monitor.tees_destroyed"),
+            device_maps: t.counter("monitor.device_maps"),
+            device_unmaps: t.counter("monitor.device_unmaps"),
+            dma_checks: t.counter("monitor.dma_checks"),
+            interrupts_handled: t.counter("monitor.interrupts_handled"),
+            cycles_spent: t.counter("monitor.cycles_spent"),
+        }
+    }
+}
 
 use crate::cap::{CapId, Capability, MemPerms};
 use crate::controllers::{InterruptController, MonitorInterrupt, PmpController};
@@ -104,26 +131,39 @@ pub struct SecureMonitor {
     irqs: InterruptController,
     /// Next hot memory domain to hand out (round-robin over hot MDs).
     next_md: u16,
-    /// Cycle accounting of monitor-side operations (for experiments).
-    cycles_spent: u64,
+    telemetry: Telemetry,
+    counters: MonitorCounters,
 }
 
 impl SecureMonitor {
     /// Boots the monitor over a fresh sIOPMP unit. The PMP guard over the
     /// extended IOPMP table is installed here (slot 0, §4.2).
     pub fn boot(config: SiopmpConfig) -> Self {
+        Self::boot_with_telemetry(config, Telemetry::new())
+    }
+
+    /// Boots the monitor over a fresh sIOPMP unit, registering both the
+    /// monitor's `monitor.*` metrics and the unit's `siopmp.*` metrics in
+    /// the caller's shared `telemetry` registry.
+    pub fn boot_with_telemetry(config: SiopmpConfig, telemetry: Telemetry) -> Self {
         let mut pmp = PmpController::new();
         // Protect the (model's) extended-table region from S/U mode.
         pmp.protect(0, EXT_TABLE_BASE, EXT_TABLE_LEN);
         SecureMonitor {
             caps: CapTable::new(),
             tees: TeeManager::new(),
-            siopmp: Siopmp::new(config),
+            siopmp: Siopmp::with_telemetry(config, telemetry.clone()),
             pmp,
             irqs: InterruptController::new(),
             next_md: 0,
-            cycles_spent: 0,
+            counters: MonitorCounters::attach(&telemetry),
+            telemetry,
         }
+    }
+
+    /// The monitor's telemetry registry (shared with its sIOPMP unit).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Mints a root memory capability (boot-time resource enumeration) and
@@ -167,9 +207,10 @@ impl SecureMonitor {
         &self.pmp
     }
 
-    /// Total cycles the monitor has spent in configuration operations.
+    /// Total cycles the monitor has spent in configuration operations
+    /// (the `monitor.cycles_spent` telemetry counter).
     pub fn cycles_spent(&self) -> u64 {
-        self.cycles_spent
+        self.counters.cycles_spent.get()
     }
 
     /// `Create_TEE`: transfers `caps` from the boot system into a new TEE
@@ -194,6 +235,7 @@ impl SecureMonitor {
                 self.bind_device(tee, device)?;
             }
         }
+        self.counters.tees_created.inc();
         Ok(tee)
     }
 
@@ -286,7 +328,10 @@ impl SecureMonitor {
             // Cold device: extend its mountable record instead.
             self.install_cold_entry(device, entry)?
         };
-        self.cycles_spent += siopmp::atomic::modification_cycles(1, true);
+        self.counters
+            .cycles_spent
+            .add(siopmp::atomic::modification_cycles(1, true));
+        self.counters.device_maps.inc();
         let t = self.tees.get_mut(tee).expect("checked above");
         t.devices
             .get_mut(&device)
@@ -372,7 +417,8 @@ impl SecureMonitor {
                 siopmp::atomic::modification_cycles(n, true)
             }
         };
-        self.cycles_spent += cycles;
+        self.counters.cycles_spent.add(cycles);
+        self.counters.device_unmaps.inc();
         Ok(cycles)
     }
 
@@ -389,12 +435,14 @@ impl SecureMonitor {
             if let Some(sid) = binding.sid {
                 let updates: Vec<(EntryIndex, Option<IopmpEntry>)> =
                     indices.into_iter().map(|i| (i, None)).collect();
-                self.cycles_spent += self.siopmp.modify_entries_atomically(sid, &updates)?;
+                let cycles = self.siopmp.modify_entries_atomically(sid, &updates)?;
+                self.counters.cycles_spent.add(cycles);
             }
         }
         for cap in state.caps {
             self.caps.revoke(EntityId::Monitor, cap)?;
         }
+        self.counters.tees_destroyed.inc();
         Ok(())
     }
 
@@ -402,6 +450,7 @@ impl SecureMonitor {
     /// resulting interrupt inline (the full-system check path). Returns
     /// the final outcome after at most one cold-device switch.
     pub fn check_dma(&mut self, req: &siopmp::request::DmaRequest) -> CheckOutcome {
+        self.counters.dma_checks.inc();
         match self.siopmp.check(req) {
             CheckOutcome::SidMissing { device } => {
                 self.irqs.raise(MonitorInterrupt::SidMissing { device });
@@ -425,7 +474,7 @@ impl SecureMonitor {
             match irq {
                 MonitorInterrupt::SidMissing { device } => {
                     if let Ok(report) = self.siopmp.handle_sid_missing(device) {
-                        self.cycles_spent += report.cycles;
+                        self.counters.cycles_spent.add(report.cycles);
                     }
                 }
                 MonitorInterrupt::Violation(_record) => {
@@ -435,6 +484,7 @@ impl SecureMonitor {
             }
             handled += 1;
         }
+        self.counters.interrupts_handled.add(handled as u64);
         handled
     }
 
@@ -612,6 +662,31 @@ mod tests {
             64,
         ));
         assert!(out.is_allowed(), "{out:?}");
+    }
+
+    #[test]
+    fn telemetry_spans_monitor_and_unit() {
+        let t = Telemetry::new();
+        let mut m = SecureMonitor::boot_with_telemetry(SiopmpConfig::small(), t.clone());
+        let mem = m.mint_memory(0x8000_0000, 0x10_0000, MemPerms::rw());
+        let dev = m.mint_device(DeviceId(1));
+        let tee = m.create_tee(vec![mem, dev]).unwrap();
+        m.device_map(tee, dev, mem, 0x8000_0000, 0x1000, MemPerms::rw())
+            .unwrap();
+        m.check_dma(&DmaRequest::new(
+            DeviceId(1),
+            AccessKind::Read,
+            0x8000_0100,
+            64,
+        ));
+        let snap = t.snapshot();
+        assert_eq!(snap.counters["monitor.tees_created"], 1);
+        assert_eq!(snap.counters["monitor.device_maps"], 1);
+        assert_eq!(snap.counters["monitor.dma_checks"], 1);
+        // The unit's own counters live in the same registry.
+        assert_eq!(snap.counters["siopmp.checks"], 1);
+        assert_eq!(snap.counters["siopmp.allowed"], 1);
+        assert_eq!(snap.counters["monitor.cycles_spent"], m.cycles_spent());
     }
 
     #[test]

@@ -2,31 +2,39 @@
 //! only shrink, ownership checks gate every mutation, and revocation is
 //! total over derivation trees.
 
-use proptest::prelude::*;
+use siopmp_testkit::{check, check_eq, prop_check, Gen};
 
 use siopmp_monitor::cap::{Capability, MemPerms};
 use siopmp_monitor::ownership::{CapTable, EntityId};
 
-fn arb_entity() -> impl Strategy<Value = EntityId> {
-    prop_oneof![
-        Just(EntityId::Monitor),
-        Just(EntityId::BootSystem),
-        (0u32..4).prop_map(EntityId::Tee),
-    ]
+fn arb_entity(g: &mut Gen) -> EntityId {
+    match g.u8(0..3) {
+        0 => EntityId::Monitor,
+        1 => EntityId::BootSystem,
+        _ => EntityId::Tee(g.u32(0..4)),
+    }
 }
 
-fn arb_perms() -> impl Strategy<Value = MemPerms> {
-    (any::<bool>(), any::<bool>()).prop_map(|(read, write)| MemPerms { read, write })
+fn arb_perms(g: &mut Gen) -> MemPerms {
+    MemPerms {
+        read: g.bool(),
+        write: g.bool(),
+    }
 }
 
-proptest! {
-    /// Derivation chains are monotone: any capability reachable by
-    /// derivation covers a subset of what its ancestor covers.
-    #[test]
-    fn derivation_is_monotone(
-        steps in proptest::collection::vec((0u64..0x1000, 1u64..0x1000, arb_perms()), 1..10),
-    ) {
-        let root = Capability::Memory { base: 0, len: 0x1_0000, perms: MemPerms::rw() };
+/// Derivation chains are monotone: any capability reachable by
+/// derivation covers a subset of what its ancestor covers.
+#[test]
+fn derivation_is_monotone() {
+    prop_check(96, |g| {
+        let steps = g.vec(1..10, |g| {
+            (g.u64(0..0x1000), g.u64(1..0x1000), arb_perms(g))
+        });
+        let root = Capability::Memory {
+            base: 0,
+            len: 0x1_0000,
+            perms: MemPerms::rw(),
+        };
         let mut current = root;
         for (off, len, perms) in steps {
             let (cbase, clen) = match current {
@@ -37,52 +45,68 @@ proptest! {
             let len = len.min(cbase + clen - base).max(1);
             if let Ok(child) = current.derive_memory(base, len, perms) {
                 // Everything the child covers, the parent covers too.
-                prop_assert!(current.covers(base, len, perms));
+                check!(current.covers(base, len, perms));
                 // Probe a few points.
                 for probe in [base, base + len / 2, base + len - 1] {
                     if child.covers(probe, 1, perms) {
-                        prop_assert!(current.covers(probe, 1, perms));
-                        prop_assert!(root.covers(probe, 1, perms));
+                        check!(current.covers(probe, 1, perms));
+                        check!(root.covers(probe, 1, perms));
                     }
                 }
                 current = child;
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Only the owner can transfer or derive; ownership transfers compose
-    /// into a faithful chain.
-    #[test]
-    fn ownership_gates_every_mutation(
-        transfers in proptest::collection::vec((arb_entity(), arb_entity()), 1..20),
-    ) {
+/// Only the owner can transfer or derive; ownership transfers compose
+/// into a faithful chain.
+#[test]
+fn ownership_gates_every_mutation() {
+    prop_check(96, |g| {
+        let transfers = g.vec(1..20, |g| (arb_entity(g), arb_entity(g)));
         let mut table = CapTable::new();
         let id = table.mint(Capability::Memory {
-            base: 0, len: 0x1000, perms: MemPerms::rw(),
+            base: 0,
+            len: 0x1000,
+            perms: MemPerms::rw(),
         });
         let mut owner = EntityId::Monitor;
         let mut chain_len = 1usize;
         for (actor, to) in transfers {
             let result = table.transfer(actor, id, to);
             if actor == owner {
-                prop_assert!(result.is_ok());
+                check!(result.is_ok());
                 owner = to;
                 chain_len += 1;
             } else {
-                prop_assert!(result.is_err());
+                check!(result.is_err());
             }
-            prop_assert_eq!(table.owner(id).unwrap(), owner);
-            prop_assert_eq!(table.chain(id).unwrap().len(), chain_len);
+            check_eq!(table.owner(id).unwrap(), owner);
+            check_eq!(table.chain(id).unwrap().len(), chain_len);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Revoking a capability revokes the entire derivation subtree and
-    /// nothing outside it.
-    #[test]
-    fn revocation_is_exactly_the_subtree(split in 1u64..15) {
+/// Revoking a capability revokes the entire derivation subtree and
+/// nothing outside it.
+#[test]
+fn revocation_is_exactly_the_subtree() {
+    prop_check(64, |g| {
+        let split = g.u64(1..15);
         let mut table = CapTable::new();
-        let a = table.mint(Capability::Memory { base: 0, len: 0x1000, perms: MemPerms::rw() });
-        let b = table.mint(Capability::Memory { base: 0x1000, len: 0x1000, perms: MemPerms::rw() });
+        let a = table.mint(Capability::Memory {
+            base: 0,
+            len: 0x1000,
+            perms: MemPerms::rw(),
+        });
+        let b = table.mint(Capability::Memory {
+            base: 0x1000,
+            len: 0x1000,
+            perms: MemPerms::rw(),
+        });
         // Build a chain of derivations under `a`.
         let mut subtree = vec![a];
         let mut parent = a;
@@ -96,11 +120,12 @@ proptest! {
             parent = child;
         }
         let revoked = table.revoke(EntityId::Monitor, a).unwrap();
-        prop_assert_eq!(revoked, subtree.len());
+        check_eq!(revoked, subtree.len());
         for id in subtree {
-            prop_assert!(table.capability(id).is_err());
+            check!(table.capability(id).is_err());
         }
         // `b` is untouched.
-        prop_assert!(table.capability(b).is_ok());
-    }
+        check!(table.capability(b).is_ok());
+        Ok(())
+    });
 }

@@ -5,8 +5,7 @@
 //! violation rates — the fuzz side of the test suite: conservation and
 //! isolation invariants must hold for *any* traffic the generator emits.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use siopmp_testkit::Rng;
 
 use siopmp::ids::DeviceId;
 use siopmp_bus::{BurstKind, BurstRequest, MasterProgram};
@@ -62,13 +61,13 @@ pub fn legal_base(d: u64, region_len: u64) -> u64 {
 /// assert_eq!(a.len(), b.len()); // seeded: fully reproducible
 /// ```
 pub fn generate(seed: u64, config: &TrafficConfig) -> Vec<MasterProgram> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     (0..config.masters)
         .map(|m| {
             let device_id = m as u64 + 1;
             let device = DeviceId(device_id);
             let base = legal_base(device_id, config.region_len);
-            let count = rng.gen_range(1..=config.max_bursts);
+            let count = rng.gen_range_inclusive(1, config.max_bursts as u64) as usize;
             let bursts = (0..count)
                 .map(|_| {
                     let kind = if rng.gen_bool(config.write_ratio) {
@@ -90,7 +89,7 @@ pub fn generate(seed: u64, config: &TrafficConfig) -> Vec<MasterProgram> {
             MasterProgram {
                 device,
                 bursts,
-                outstanding: rng.gen_range(1..=config.max_outstanding),
+                outstanding: rng.gen_range_inclusive(1, config.max_outstanding as u64) as usize,
             }
         })
         .collect()

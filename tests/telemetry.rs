@@ -1,0 +1,138 @@
+//! Integration: the legacy [`siopmp::stats::SiopmpStats`] view and the
+//! telemetry registry are two readings of the same counters — they must
+//! agree exactly after a mixed hot/cold DMA workload, and clones must
+//! count independently.
+
+use siopmp::entry::{AddressRange, IopmpEntry, Permissions};
+use siopmp::ids::{DeviceId, MdIndex};
+use siopmp::mountable::MountableEntry;
+use siopmp::request::{AccessKind, DmaRequest};
+use siopmp::telemetry::Telemetry;
+use siopmp::{CheckOutcome, Siopmp, SiopmpConfig};
+
+fn mixed_workload_unit() -> (Siopmp, Telemetry) {
+    let telemetry = Telemetry::new();
+    let mut unit = Siopmp::with_telemetry(SiopmpConfig::small(), telemetry.clone());
+    let hot = DeviceId(1);
+    let sid = unit.map_hot_device(hot).expect("fresh unit");
+    unit.associate_sid_with_md(sid, MdIndex(0)).unwrap();
+    unit.install_entry(
+        MdIndex(0),
+        IopmpEntry::new(
+            AddressRange::new(0x10_0000, 0x1000).unwrap(),
+            Permissions::read_only(),
+        ),
+    )
+    .unwrap();
+    unit.register_cold_device(
+        DeviceId(2),
+        MountableEntry {
+            domains: vec![],
+            entries: vec![IopmpEntry::new(
+                AddressRange::new(0x20_0000, 0x1000).unwrap(),
+                Permissions::rw(),
+            )],
+        },
+    )
+    .unwrap();
+    (unit, telemetry)
+}
+
+#[test]
+fn stats_view_matches_registry_on_mixed_hot_cold_dma() {
+    let (mut unit, telemetry) = mixed_workload_unit();
+
+    let mut issued = 0u64;
+    let mut allowed_seen = 0u64;
+    let mut denied_seen = 0u64;
+    for i in 0..32u64 {
+        let req = match i % 4 {
+            // Hot read inside the region: allowed via the CAM path.
+            0 => DmaRequest::new(DeviceId(1), AccessKind::Read, 0x10_0000 + 64 * i, 16),
+            // Hot write to a read-only entry: denied by permission.
+            1 => DmaRequest::new(DeviceId(1), AccessKind::Write, 0x10_0000, 16),
+            // Hot read with no matching entry: denied.
+            2 => DmaRequest::new(DeviceId(1), AccessKind::Read, 0xdead_0000, 16),
+            // Cold read: SID-missing once, then eSID hits.
+            _ => DmaRequest::new(DeviceId(2), AccessKind::Read, 0x20_0000, 16),
+        };
+        let mut outcome = unit.check(&req);
+        issued += 1;
+        if let CheckOutcome::SidMissing { device } = outcome {
+            unit.handle_sid_missing(device).expect("registered cold");
+            outcome = unit.check(&req);
+            issued += 1;
+        }
+        if outcome.is_allowed() {
+            allowed_seen += 1;
+        } else {
+            denied_seen += 1;
+        }
+    }
+
+    let stats = unit.stats();
+    let snap = unit.telemetry().snapshot();
+    assert!(std::ptr::eq(unit.telemetry(), unit.telemetry()));
+    // Field-by-field: the stats view is exactly the registry's counters.
+    for (field, value) in [
+        ("checks", stats.checks),
+        ("allowed", stats.allowed),
+        ("denied_permission", stats.denied_permission),
+        ("denied_no_match", stats.denied_no_match),
+        ("blocked", stats.blocked),
+        ("sid_missing_interrupts", stats.sid_missing_interrupts),
+        ("cold_switches", stats.cold_switches),
+        ("cold_hits", stats.cold_hits),
+        ("hot_hits", stats.hot_hits),
+        ("violations", stats.violations),
+    ] {
+        assert_eq!(
+            snap.counters[&format!("siopmp.{field}")],
+            value,
+            "registry disagrees with stats view on {field}"
+        );
+    }
+    // And both agree with what the workload observed.
+    assert_eq!(stats.checks, issued);
+    assert_eq!(stats.allowed, allowed_seen);
+    assert_eq!(stats.denied_permission + stats.denied_no_match, denied_seen);
+    // Every check resolves through the CAM, the eSID, or SID-missing.
+    assert_eq!(
+        stats.hot_hits + stats.cold_hits + stats.sid_missing_interrupts,
+        issued
+    );
+    assert_eq!(stats.sid_missing_interrupts, 1);
+    assert_eq!(stats.cold_switches, 1);
+    assert_eq!(stats.denied_permission, 8);
+    assert_eq!(stats.denied_no_match, 8);
+    assert_eq!(stats.violations, 16);
+    // The cold-switch latency histogram saw exactly the switches.
+    assert_eq!(
+        snap.histograms["siopmp.cold_switch_cycles"].count,
+        stats.cold_switches
+    );
+    // Denials were logged to the bounded violation ring, none dropped.
+    let ring = &snap.rings["siopmp.violation_events"];
+    assert_eq!(ring.events.len() as u64 + ring.dropped, stats.violations);
+    assert_eq!(ring.dropped, 0);
+
+    // The same numbers flow into the shared registry handle the caller kept.
+    assert_eq!(telemetry.snapshot().counters["siopmp.checks"], issued);
+}
+
+#[test]
+fn cloned_units_count_independently() {
+    let (mut unit, _telemetry) = mixed_workload_unit();
+    let hot_read = DmaRequest::new(DeviceId(1), AccessKind::Read, 0x10_0000, 16);
+    assert!(unit.check(&hot_read).is_allowed());
+
+    let mut clone = unit.clone();
+    // The clone keeps the accumulated history...
+    assert_eq!(clone.stats(), unit.stats());
+    // ...but new activity on the clone does not leak into the original.
+    assert!(clone.check(&hot_read).is_allowed());
+    assert_eq!(clone.stats().checks, 2);
+    assert_eq!(unit.stats().checks, 1);
+    assert_eq!(unit.telemetry().snapshot().counters["siopmp.checks"], 1);
+    assert_eq!(clone.telemetry().snapshot().counters["siopmp.checks"], 2);
+}
