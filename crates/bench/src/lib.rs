@@ -31,7 +31,40 @@ pub fn unit_with_entries_in(entries: usize, base: u64, telemetry: Telemetry) -> 
         cold_md_entries: 8,
         ..SiopmpConfig::default()
     };
-    let mut unit = Siopmp::with_telemetry(cfg, telemetry);
+    build_spread(cfg, entries, base, 0x100, telemetry)
+}
+
+/// Like [`unit_with_entries_in`], but installs page-sized (4 KiB) entries —
+/// each fully containing its page, so the decision cache can hold one
+/// verdict per entry — and lets the caller size the decision cache.
+/// `decision_cache_slots == 0` disables the fast path entirely, producing
+/// the cache-free reference arm of the `check_fastpath` scenario.
+pub fn page_unit_with_entries_in(
+    entries: usize,
+    base: u64,
+    decision_cache_slots: usize,
+    telemetry: Telemetry,
+) -> (Siopmp, DeviceId) {
+    let cfg = SiopmpConfig {
+        num_entries: entries.max(8) * 2,
+        cold_md_entries: 8,
+        decision_cache_slots,
+        ..SiopmpConfig::default()
+    };
+    build_spread(cfg, entries, base, siopmp::cache::PAGE_SIZE, telemetry)
+}
+
+/// Maps one hot device and installs `entries` rw rules over disjoint
+/// `stride`-byte regions starting at `base`, spilling across memory
+/// domains as their windows fill.
+fn build_spread(
+    cfg: SiopmpConfig,
+    entries: usize,
+    base: u64,
+    stride: u64,
+    telemetry: Telemetry,
+) -> (Siopmp, DeviceId) {
+    let mut unit = Siopmp::build(cfg, telemetry);
     let dev = DeviceId(0x42);
     let sid = unit.map_hot_device(dev).expect("fresh unit has free SIDs");
     unit.associate_sid_with_md(sid, MdIndex(0))
@@ -43,7 +76,7 @@ pub fn unit_with_entries_in(entries: usize, base: u64, telemetry: Telemetry) -> 
     while installed < entries {
         let index = MdIndex(md);
         let entry = IopmpEntry::new(
-            AddressRange::new(base + installed as u64 * 0x100, 0x100).expect("valid"),
+            AddressRange::new(base + installed as u64 * stride, stride).expect("valid"),
             Permissions::rw(),
         );
         match unit.install_entry(index, entry) {
@@ -86,5 +119,24 @@ mod tests {
             16,
         ));
         assert!(miss.is_denied());
+    }
+
+    #[test]
+    fn page_helper_arms_agree_and_only_one_caches() {
+        let cached_reg = Telemetry::new();
+        let (mut cached, dev) = page_unit_with_entries_in(32, 0x10_0000, 1024, cached_reg.clone());
+        let (mut reference, _) = page_unit_with_entries_in(32, 0x10_0000, 0, Telemetry::new());
+        for addr in [0x10_0000u64, 0x10_0000 + 31 * 0x1000, 0xdead_0000] {
+            for _ in 0..2 {
+                let a = cached.check(&DmaRequest::new(dev, AccessKind::Read, addr, 16));
+                let b = reference.check(&DmaRequest::new(dev, AccessKind::Read, addr, 16));
+                assert_eq!(a, b, "arms diverged at {addr:#x}");
+            }
+        }
+        assert!(cached_reg.snapshot().counters["siopmp.cache.hits"] > 0);
+        assert_eq!(
+            reference.stats().cache_hits + reference.stats().cache_misses,
+            0
+        );
     }
 }

@@ -2,13 +2,20 @@
 //! `BENCH_<scenario>.json` per scenario.
 //!
 //! ```text
-//! siopmp-bench [--smoke] [--out DIR] [--list] [SCENARIO ...]
+//! siopmp-bench [--smoke] [--out DIR] [--baseline FILE] [--list] [SCENARIO ...]
 //! ```
 //!
 //! With no scenario arguments, every scenario runs. `--smoke` switches to
 //! the fast CI mode (few iterations, same code paths and schema);
 //! `--out DIR` redirects the JSON files (default: current directory);
 //! `--list` prints the scenario names and exits.
+//!
+//! `--baseline FILE` is the CI regression guard: the file holds one
+//! `<scenario> <cycles_per_request>` pair per line (`#` comments allowed),
+//! and after the run every listed scenario's measured cycles/request is
+//! compared against it. A measurement more than 15% above the baseline
+//! fails the run; one more than 15% below prints a note suggesting the
+//! baseline be refreshed (improvements never fail).
 
 use siopmp_bench::harness::BenchMode;
 use siopmp_bench::scenarios;
@@ -18,6 +25,7 @@ use std::process::ExitCode;
 struct Cli {
     mode: BenchMode,
     out_dir: PathBuf,
+    baseline: Option<PathBuf>,
     list: bool,
     scenarios: Vec<String>,
 }
@@ -26,6 +34,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
     let mut cli = Cli {
         mode: BenchMode::full(),
         out_dir: PathBuf::from("."),
+        baseline: None,
         list: false,
         scenarios: Vec::new(),
     };
@@ -38,9 +47,14 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
                 let dir = args.next().ok_or("--out requires a directory argument")?;
                 cli.out_dir = PathBuf::from(dir);
             }
+            "--baseline" => {
+                let file = args.next().ok_or("--baseline requires a file argument")?;
+                cli.baseline = Some(PathBuf::from(file));
+            }
             "--help" | "-h" => {
                 return Err(
-                    "usage: siopmp-bench [--smoke] [--out DIR] [--list] [SCENARIO ...]".to_string(),
+                    "usage: siopmp-bench [--smoke] [--out DIR] [--baseline FILE] [--list] [SCENARIO ...]"
+                        .to_string(),
                 )
             }
             other if other.starts_with('-') => {
@@ -61,6 +75,71 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
         cli.scenarios = scenarios::ALL.iter().map(|s| s.to_string()).collect();
     }
     Ok(cli)
+}
+
+/// Fractional tolerance of the `--baseline` guard, on each side.
+const BASELINE_TOLERANCE: f64 = 0.15;
+
+/// Parses a baseline file: one `<scenario> <cycles_per_request>` per
+/// line, blank lines and `#` comments ignored.
+fn parse_baseline(text: &str) -> Result<Vec<(String, f64)>, String> {
+    let mut out = Vec::new();
+    for (n, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let name = parts.next().expect("non-empty line has a first token");
+        let cycles = parts
+            .next()
+            .and_then(|v| v.parse::<f64>().ok())
+            .filter(|c| c.is_finite() && *c > 0.0)
+            .ok_or(format!(
+                "baseline line {}: expected `<scenario> <cycles_per_request>`, got {raw:?}",
+                n + 1
+            ))?;
+        out.push((name.to_string(), cycles));
+    }
+    Ok(out)
+}
+
+/// Compares measured cycles/request against the baseline entries. Returns
+/// informational notes on success (improvements beyond the tolerance, or
+/// baselined scenarios that did not run) and the regression messages on
+/// failure.
+fn enforce_baseline(
+    baselines: &[(String, f64)],
+    measured: &[(String, Option<f64>)],
+) -> Result<Vec<String>, Vec<String>> {
+    let mut notes = Vec::new();
+    let mut regressions = Vec::new();
+    for (name, base) in baselines {
+        let Some((_, cycles)) = measured.iter().find(|(m, _)| m == name) else {
+            notes.push(format!("baseline: {name} not run, skipping"));
+            continue;
+        };
+        let Some(cycles) = cycles else {
+            regressions.push(format!("baseline: {name} reports no cycles/request"));
+            continue;
+        };
+        if *cycles > base * (1.0 + BASELINE_TOLERANCE) {
+            regressions.push(format!(
+                "baseline: {name} regressed — {cycles:.1} cycles/req vs baseline {base:.1} (+{:.0}% > {:.0}% tolerance)",
+                (cycles / base - 1.0) * 100.0,
+                BASELINE_TOLERANCE * 100.0
+            ));
+        } else if *cycles < base * (1.0 - BASELINE_TOLERANCE) {
+            notes.push(format!(
+                "baseline: {name} improved — {cycles:.1} cycles/req vs baseline {base:.1}; consider refreshing the baseline"
+            ));
+        }
+    }
+    if regressions.is_empty() {
+        Ok(notes)
+    } else {
+        Err(regressions)
+    }
 }
 
 fn main() -> ExitCode {
@@ -89,6 +168,7 @@ fn main() -> ExitCode {
         cli.mode.runs,
         cli.mode.iters
     );
+    let mut measured = Vec::new();
     for name in &cli.scenarios {
         let report = scenarios::run(name, cli.mode).expect("scenario validated during parsing");
         let path = cli.out_dir.join(format!("BENCH_{name}.json"));
@@ -109,6 +189,41 @@ fn main() -> ExitCode {
             cycles,
             path.display()
         );
+        measured.push((name.clone(), report.cycles_per_request));
+    }
+    if let Some(path) = &cli.baseline {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("cannot read baseline {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let baselines = match parse_baseline(&text) {
+            Ok(b) => b,
+            Err(msg) => {
+                eprintln!("{}: {msg}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        match enforce_baseline(&baselines, &measured) {
+            Ok(notes) => {
+                for note in notes {
+                    println!("{note}");
+                }
+                println!(
+                    "baseline: {} scenario(s) within ±{:.0}%",
+                    baselines.len(),
+                    BASELINE_TOLERANCE * 100.0
+                );
+            }
+            Err(regressions) => {
+                for r in regressions {
+                    eprintln!("{r}");
+                }
+                return ExitCode::FAILURE;
+            }
+        }
     }
     ExitCode::SUCCESS
 }
@@ -143,5 +258,59 @@ mod tests {
     fn unknown_scenario_is_rejected() {
         assert!(parse_args(args(&["bogus"])).is_err());
         assert!(parse_args(args(&["--frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn baseline_flag_is_parsed() {
+        let cli = parse_args(args(&["--baseline", "ci/b.txt"])).unwrap();
+        assert_eq!(cli.baseline, Some(PathBuf::from("ci/b.txt")));
+        assert!(parse_args(args(&["--baseline"])).is_err());
+    }
+
+    #[test]
+    fn baseline_file_parses_pairs_and_comments() {
+        let text = "# cycles/request baselines\ncheck_fastpath 42.5\n\nmemcached 48 # protected\n";
+        let b = parse_baseline(text).unwrap();
+        assert_eq!(
+            b,
+            vec![
+                ("check_fastpath".to_string(), 42.5),
+                ("memcached".to_string(), 48.0)
+            ]
+        );
+        assert!(parse_baseline("check_fastpath").is_err());
+        assert!(parse_baseline("check_fastpath notanumber").is_err());
+        assert!(parse_baseline("check_fastpath -3").is_err());
+    }
+
+    #[test]
+    fn baseline_guard_tolerates_15_percent_each_way() {
+        let base = vec![("check_fastpath".to_string(), 100.0)];
+        let ok = |cycles: f64| {
+            enforce_baseline(&base, &[("check_fastpath".to_string(), Some(cycles))]).is_ok()
+        };
+        assert!(ok(100.0));
+        assert!(ok(114.9), "within +15%");
+        assert!(!ok(115.1), "past +15% fails");
+        assert!(ok(50.0), "improvements never fail");
+        let notes = enforce_baseline(&base, &[("check_fastpath".to_string(), Some(50.0))]).unwrap();
+        assert_eq!(notes.len(), 1, "big improvement suggests a refresh");
+        assert!(
+            ok(86.0)
+                && enforce_baseline(&base, &[("check_fastpath".to_string(), Some(86.0))])
+                    .unwrap()
+                    .is_empty()
+        );
+    }
+
+    #[test]
+    fn baseline_guard_handles_missing_scenarios() {
+        let base = vec![("check_fastpath".to_string(), 100.0)];
+        // Baselined scenario not in this run: note, not failure.
+        let notes = enforce_baseline(&base, &[("memcached".to_string(), Some(1.0))]).unwrap();
+        assert_eq!(notes.len(), 1);
+        // Ran but reported no cycles/request: that is a failure (the guard
+        // would otherwise silently stop guarding).
+        assert!(enforce_baseline(&base, &[("check_fastpath".to_string(), None)]).is_err());
     }
 }

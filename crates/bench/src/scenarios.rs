@@ -4,7 +4,7 @@
 //! unit and reports the figure's rows in `metrics`, so the JSON file
 //! doubles as the reproduction record.
 
-use crate::harness::{measure, BenchMode, ScenarioReport};
+use crate::harness::{measure, BenchMode, Measurement, ScenarioReport};
 use siopmp::atomic::modification_cycles;
 use siopmp::checker::CheckerKind;
 use siopmp::entry::{AddressRange, IopmpEntry, Permissions};
@@ -25,7 +25,7 @@ use siopmp_workloads::{SiopmpMech, SiopmpPlusIommu};
 use std::hint::black_box;
 
 /// Every scenario name, in reporting order.
-pub const ALL: [&str; 10] = [
+pub const ALL: [&str; 11] = [
     "clock_frequency",
     "pipeline_latency",
     "dma_bandwidth",
@@ -35,6 +35,7 @@ pub const ALL: [&str; 10] = [
     "memcached",
     "cold_switching",
     "checker_core",
+    "check_fastpath",
     "ablations",
 ];
 
@@ -50,6 +51,7 @@ pub fn run(name: &str, mode: BenchMode) -> Option<ScenarioReport> {
         "memcached" => Some(memcached(mode)),
         "cold_switching" => Some(cold_switching(mode)),
         "checker_core" => Some(checker_core(mode)),
+        "check_fastpath" => Some(check_fastpath(mode)),
         "ablations" => Some(ablations_scenario(mode)),
         _ => None,
     }
@@ -326,11 +328,11 @@ fn network_case(label: &str, cfg: &NetworkConfig) -> siopmp_workloads::NetworkRe
         "sIOPMP" => evaluate(&mut SiopmpMech::new(), cfg),
         "sIOPMP+IOMMU" => evaluate(&mut SiopmpPlusIommu::new(), cfg),
         "IOMMU-deferred" => evaluate(
-            &mut Iommu::new(InvalidationPolicy::Deferred { batch: 256 }),
+            &mut Iommu::build(InvalidationPolicy::Deferred { batch: 256 }, None),
             cfg,
         ),
         "IOMMU-strict" | "IOMMU-strict-mc" => {
-            evaluate(&mut Iommu::new(InvalidationPolicy::Strict), cfg)
+            evaluate(&mut Iommu::build(InvalidationPolicy::Strict, None), cfg)
         }
         "SWIO" => evaluate(&mut Swio::new(), cfg),
         _ => unreachable!("unknown mechanism {label}"),
@@ -458,7 +460,7 @@ fn cold_switching(mode: BenchMode) -> ScenarioReport {
     let telemetry = Telemetry::new();
     // Exercise a real mounted-cold path inside the scenario registry so
     // the dump carries `siopmp.cold_switches` / `siopmp.sid_missing_interrupts`.
-    let mut unit = siopmp::Siopmp::with_telemetry(siopmp::SiopmpConfig::small(), telemetry.clone());
+    let mut unit = siopmp::Siopmp::build(siopmp::SiopmpConfig::small(), telemetry.clone());
     let cold_dev = siopmp::ids::DeviceId(0xc01d);
     unit.register_cold_device(
         cold_dev,
@@ -566,6 +568,97 @@ fn checker_core(mode: BenchMode) -> ScenarioReport {
     }
 }
 
+/// Checks per timed iteration of a `check_fastpath` arm (half hot-page
+/// hits, half single-page misses — both verdicts are page-cacheable).
+const FASTPATH_CHECKS_PER_ITER: usize = 128;
+
+/// Times one arm of the fast-path comparison: a unit with `slots` decision
+/// slots (0 = the walk-and-sort reference path) under a hot single-page
+/// workload against `entries` page-sized rules. The hit targets the
+/// *last* entry, the priority checker's worst case; both the hit page and
+/// the miss page are warmed before timing, so the cached arm runs entirely
+/// on cache hits.
+fn fastpath_arm(
+    entries: usize,
+    slots: usize,
+    mode: BenchMode,
+    registry: &Telemetry,
+) -> Measurement {
+    let (mut unit, dev) =
+        crate::page_unit_with_entries_in(entries, 0x10_0000, slots, registry.clone());
+    let last_page = 0x10_0000 + (entries as u64 - 1) * siopmp::cache::PAGE_SIZE;
+    let hit = DmaRequest::new(dev, AccessKind::Read, last_page + 0x40, 16);
+    assert!(unit.check(&hit).is_allowed(), "last entry reachable");
+    let miss = DmaRequest::new(dev, AccessKind::Read, 0xdead_0000, 16);
+    assert!(unit.check(&miss).is_denied(), "miss page unmapped");
+    measure(mode, registry, || {
+        for _ in 0..FASTPATH_CHECKS_PER_ITER / 2 {
+            black_box(unit.check(black_box(&hit)));
+            black_box(unit.check(black_box(&miss)));
+        }
+    })
+}
+
+/// Tentpole bench: the epoch-invalidated decision cache against the
+/// cache-free reference path, across masked-entry-set sizes 1–1024.
+/// Cycles/request uses a 1 GHz nominal clock (cycles == ns). The headline
+/// timing (and the report's telemetry dump, including the
+/// `siopmp.cache.*` counters) comes from the cached 1024-entry arm.
+fn check_fastpath(mode: BenchMode) -> ScenarioReport {
+    const SIZES: [usize; 5] = [1, 16, 64, 256, 1024];
+    let default_slots = siopmp::SiopmpConfig::default().decision_cache_slots;
+    let telemetry = Telemetry::new();
+    let mut per_size = Vec::new();
+    let mut headline = None;
+    for entries in SIZES {
+        // Each arm gets its own registry so p50/p99 are per-arm — except
+        // the headline (cached, largest size), which records into the
+        // report's main registry and doubles as the scenario timing.
+        let cached = if entries == *SIZES.last().expect("non-empty") {
+            let m = fastpath_arm(entries, default_slots, mode, &telemetry);
+            headline = Some(m.clone());
+            m
+        } else {
+            fastpath_arm(entries, default_slots, mode, &Telemetry::new())
+        };
+        let uncached = fastpath_arm(entries, 0, mode, &Telemetry::new());
+        let cached_ns = cached.median_ns as f64 / FASTPATH_CHECKS_PER_ITER as f64;
+        let uncached_ns = uncached.median_ns as f64 / FASTPATH_CHECKS_PER_ITER as f64;
+        per_size.push(Json::object([
+            ("entries", Json::u64(entries as u64)),
+            ("cached_ns_per_check", Json::f64(cached_ns)),
+            ("uncached_ns_per_check", Json::f64(uncached_ns)),
+            (
+                "speedup",
+                Json::f64(uncached_ns / cached_ns.max(f64::MIN_POSITIVE)),
+            ),
+            ("cached_p50_ns", Json::u64(cached.wall_ns.p50())),
+            ("cached_p99_ns", Json::u64(cached.wall_ns.p99())),
+            ("uncached_p50_ns", Json::u64(uncached.wall_ns.p50())),
+            ("uncached_p99_ns", Json::u64(uncached.wall_ns.p99())),
+        ]));
+    }
+    let timing = headline.expect("SIZES is non-empty");
+    let metrics = vec![
+        ("fastpath_rows".to_string(), Json::Array(per_size)),
+        (
+            "cycles_model".to_string(),
+            Json::str("1 GHz nominal clock: cycles/request == ns/check"),
+        ),
+    ];
+    let checks_per_sec = FASTPATH_CHECKS_PER_ITER as f64 * 1e9 / timing.median_ns.max(1) as f64;
+    let cycles = timing.median_ns as f64 / FASTPATH_CHECKS_PER_ITER as f64;
+    ScenarioReport {
+        scenario: "check_fastpath".into(),
+        timing,
+        throughput_unit: "checks/s".into(),
+        throughput: checks_per_sec,
+        cycles_per_request: Some(cycles),
+        metrics,
+        telemetry: telemetry.snapshot(),
+    }
+}
+
 /// Ablation sweeps: tree arity, checker placement, hot-SID provisioning.
 fn ablations_scenario(mode: BenchMode) -> ScenarioReport {
     let telemetry = Telemetry::new();
@@ -647,6 +740,45 @@ mod tests {
                 "{name} missing bench histogram"
             );
         }
+    }
+
+    #[test]
+    fn check_fastpath_dump_has_cache_counters() {
+        let report = run("check_fastpath", BenchMode::smoke()).unwrap();
+        // Headline arm runs hot: hits dominate after the warmup misses.
+        let hits = report.telemetry.counters["siopmp.cache.hits"];
+        let misses = report.telemetry.counters["siopmp.cache.misses"];
+        assert!(
+            hits > misses,
+            "hot arm must be hit-dominated ({hits} vs {misses})"
+        );
+        let json = report.to_json().to_string();
+        for key in [
+            "fastpath_rows",
+            "cached_ns_per_check",
+            "uncached_ns_per_check",
+            "speedup",
+            "cached_p99_ns",
+            "siopmp.cache.view_rebuilds",
+        ] {
+            assert!(json.contains(key), "missing {key}");
+        }
+    }
+
+    #[test]
+    fn cached_beats_uncached_at_1024_entries() {
+        // The acceptance bar is ≥2× at 1024 entries hot; the real margin
+        // (O(1) lookup vs walk+sort of 1024 entries) is orders larger, so
+        // this stays robust under CI noise.
+        let mode = BenchMode::smoke();
+        let cached = fastpath_arm(1024, 1024, mode, &Telemetry::new());
+        let uncached = fastpath_arm(1024, 0, mode, &Telemetry::new());
+        assert!(
+            cached.median_ns * 2 <= uncached.median_ns,
+            "cached {}ns vs uncached {}ns",
+            cached.median_ns,
+            uncached.median_ns
+        );
     }
 
     #[test]

@@ -70,7 +70,9 @@ where
 {
     let mut report = FunctionalReport::default();
     for (i, burst) in program.bursts.iter().enumerate() {
-        let allowed = policy.allowed(burst.device, burst.kind.access(), burst.addr, burst_bytes);
+        let allowed = policy
+            .decide(burst.device, burst.kind.access(), burst.addr, burst_bytes)
+            .is_allowed();
         let effect = match burst.kind {
             BurstKind::Read => {
                 // Read clear: a denied read returns zeroes to the device

@@ -24,7 +24,7 @@
 //! use siopmp_bus::{BusConfig, BusSim, MasterProgram, BurstKind};
 //! use siopmp_bus::policy::AllowAll;
 //!
-//! let mut sim = BusSim::new(BusConfig::default(), Box::new(AllowAll));
+//! let mut sim = BusSim::build(BusConfig::default(), Box::new(AllowAll), None);
 //! sim.add_master(MasterProgram::uniform(0, BurstKind::Read, 0x1000, 1));
 //! let report = sim.run_to_completion(10_000);
 //! assert_eq!(report.masters[0].bursts_completed, 1);
@@ -42,5 +42,6 @@ pub mod trace;
 pub use config::BusConfig;
 pub use master::MasterProgram;
 pub use packet::{BurstKind, BurstRequest};
+pub use policy::PolicyVerdict;
 pub use report::{MasterReport, SimReport};
 pub use sim::BusSim;

@@ -6,11 +6,55 @@
 
 use siopmp::ids::DeviceId;
 use siopmp::request::{AccessKind, DmaRequest};
+use siopmp::CheckOutcome;
+
+/// What the policy decided about one access, mirroring
+/// [`siopmp::CheckOutcome`] without the outcome payloads so the bus can
+/// account for each class of refusal separately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyVerdict {
+    /// The access may proceed.
+    Allowed,
+    /// The access was denied by the protection rules (no match or no
+    /// permission) — the bus masks or errors the burst.
+    Denied,
+    /// The source is temporarily blocked (e.g. mid cold-switch); the
+    /// request would be retried by real hardware, the simulator masks it
+    /// but reports it as a stall, not a violation.
+    Stalled,
+    /// The device has no mounted protection state; the monitor must
+    /// service a SID-missing interrupt before traffic can flow.
+    SidMissing,
+}
+
+impl PolicyVerdict {
+    /// `true` only for [`PolicyVerdict::Allowed`].
+    pub fn is_allowed(self) -> bool {
+        matches!(self, PolicyVerdict::Allowed)
+    }
+}
+
+impl From<&CheckOutcome> for PolicyVerdict {
+    fn from(outcome: &CheckOutcome) -> Self {
+        match outcome {
+            CheckOutcome::Allowed { .. } => PolicyVerdict::Allowed,
+            CheckOutcome::Denied(_) => PolicyVerdict::Denied,
+            CheckOutcome::Stalled { .. } => PolicyVerdict::Stalled,
+            CheckOutcome::SidMissing { .. } => PolicyVerdict::SidMissing,
+        }
+    }
+}
 
 /// Decides whether a DMA access is authorised.
 pub trait AccessPolicy {
+    /// Classifies the access.
+    fn decide(&mut self, device: DeviceId, kind: AccessKind, addr: u64, len: u64) -> PolicyVerdict;
+
     /// Returns `true` when the access is allowed.
-    fn allowed(&mut self, device: DeviceId, kind: AccessKind, addr: u64, len: u64) -> bool;
+    #[deprecated(note = "use `decide(...)` and match on the verdict")]
+    fn allowed(&mut self, device: DeviceId, kind: AccessKind, addr: u64, len: u64) -> bool {
+        self.decide(device, kind, addr, len).is_allowed()
+    }
 }
 
 /// Allows every access (the "no protection" baseline).
@@ -18,8 +62,8 @@ pub trait AccessPolicy {
 pub struct AllowAll;
 
 impl AccessPolicy for AllowAll {
-    fn allowed(&mut self, _: DeviceId, _: AccessKind, _: u64, _: u64) -> bool {
-        true
+    fn decide(&mut self, _: DeviceId, _: AccessKind, _: u64, _: u64) -> PolicyVerdict {
+        PolicyVerdict::Allowed
     }
 }
 
@@ -34,16 +78,21 @@ pub struct DenyRange {
 }
 
 impl AccessPolicy for DenyRange {
-    fn allowed(&mut self, _: DeviceId, _: AccessKind, addr: u64, len: u64) -> bool {
+    fn decide(&mut self, _: DeviceId, _: AccessKind, addr: u64, len: u64) -> PolicyVerdict {
         let end = addr.saturating_add(len);
         let deny_end = self.base.saturating_add(self.len);
-        !(addr < deny_end && end > self.base)
+        if addr < deny_end && end > self.base {
+            PolicyVerdict::Denied
+        } else {
+            PolicyVerdict::Allowed
+        }
     }
 }
 
-/// Adapts a full [`siopmp::Siopmp`] unit as a bus policy. SID-missing and
-/// stalled outcomes are treated as "not allowed" at the bus level; the
-/// owner is expected to service the unit's interrupts between runs.
+/// Adapts a full [`siopmp::Siopmp`] unit as a bus policy. Stalled and
+/// SID-missing outcomes surface as their own verdicts so the bus can count
+/// them; the owner is expected to service the unit's interrupts between
+/// runs.
 #[derive(Debug)]
 pub struct SiopmpPolicy {
     unit: siopmp::Siopmp,
@@ -72,10 +121,8 @@ impl SiopmpPolicy {
 }
 
 impl AccessPolicy for SiopmpPolicy {
-    fn allowed(&mut self, device: DeviceId, kind: AccessKind, addr: u64, len: u64) -> bool {
-        self.unit
-            .check(&DmaRequest::new(device, kind, addr, len))
-            .is_allowed()
+    fn decide(&mut self, device: DeviceId, kind: AccessKind, addr: u64, len: u64) -> PolicyVerdict {
+        PolicyVerdict::from(&self.unit.check(&DmaRequest::new(device, kind, addr, len)))
     }
 }
 
@@ -86,7 +133,10 @@ mod tests {
     #[test]
     fn allow_all_allows() {
         let mut p = AllowAll;
-        assert!(p.allowed(DeviceId(1), AccessKind::Read, 0, 64));
+        assert_eq!(
+            p.decide(DeviceId(1), AccessKind::Read, 0, 64),
+            PolicyVerdict::Allowed
+        );
     }
 
     #[test]
@@ -95,18 +145,42 @@ mod tests {
             base: 0x1000,
             len: 0x100,
         };
-        assert!(!p.allowed(DeviceId(1), AccessKind::Read, 0x1000, 8));
-        assert!(!p.allowed(DeviceId(1), AccessKind::Write, 0x0ff8, 16));
-        assert!(p.allowed(DeviceId(1), AccessKind::Read, 0x2000, 8));
-        assert!(p.allowed(DeviceId(1), AccessKind::Read, 0x0f00, 0x100));
+        assert_eq!(
+            p.decide(DeviceId(1), AccessKind::Read, 0x1000, 8),
+            PolicyVerdict::Denied
+        );
+        assert_eq!(
+            p.decide(DeviceId(1), AccessKind::Write, 0x0ff8, 16),
+            PolicyVerdict::Denied
+        );
+        assert!(p
+            .decide(DeviceId(1), AccessKind::Read, 0x2000, 8)
+            .is_allowed());
+        assert!(p
+            .decide(DeviceId(1), AccessKind::Read, 0x0f00, 0x100)
+            .is_allowed());
     }
 
     #[test]
-    fn siopmp_policy_enforces_unit_rules() {
+    fn deprecated_allowed_shim_matches_decide() {
+        let mut p = DenyRange {
+            base: 0x1000,
+            len: 0x100,
+        };
+        #[allow(deprecated)]
+        {
+            assert!(!p.allowed(DeviceId(1), AccessKind::Read, 0x1000, 8));
+            assert!(p.allowed(DeviceId(1), AccessKind::Read, 0x2000, 8));
+        }
+    }
+
+    #[test]
+    fn siopmp_policy_maps_each_outcome_class() {
         use siopmp::entry::{AddressRange, IopmpEntry, Permissions};
         use siopmp::ids::MdIndex;
+        use siopmp::mountable::MountableEntry;
 
-        let mut unit = siopmp::Siopmp::new(siopmp::SiopmpConfig::small());
+        let mut unit = siopmp::Siopmp::build(siopmp::SiopmpConfig::small(), None);
         let sid = unit.map_hot_device(DeviceId(5)).unwrap();
         unit.associate_sid_with_md(sid, MdIndex(0)).unwrap();
         unit.install_entry(
@@ -117,11 +191,37 @@ mod tests {
             ),
         )
         .unwrap();
+        unit.register_cold_device(
+            DeviceId(9),
+            MountableEntry {
+                domains: vec![],
+                entries: vec![],
+            },
+        )
+        .unwrap();
 
         let mut p = SiopmpPolicy::new(unit);
-        assert!(p.allowed(DeviceId(5), AccessKind::Read, 0x8000, 64));
-        assert!(!p.allowed(DeviceId(5), AccessKind::Read, 0x4000, 64));
-        assert!(!p.allowed(DeviceId(6), AccessKind::Read, 0x8000, 64));
+        assert_eq!(
+            p.decide(DeviceId(5), AccessKind::Read, 0x8000, 64),
+            PolicyVerdict::Allowed
+        );
+        assert_eq!(
+            p.decide(DeviceId(5), AccessKind::Read, 0x4000, 64),
+            PolicyVerdict::Denied
+        );
+        assert_eq!(
+            p.decide(DeviceId(6), AccessKind::Read, 0x8000, 64),
+            PolicyVerdict::Denied
+        );
+        assert_eq!(
+            p.decide(DeviceId(9), AccessKind::Read, 0x8000, 64),
+            PolicyVerdict::SidMissing
+        );
+        p.unit_mut().block_sid(sid);
+        assert_eq!(
+            p.decide(DeviceId(5), AccessKind::Read, 0x8000, 64),
+            PolicyVerdict::Stalled
+        );
         assert_eq!(p.unit().stats().violations, 2);
     }
 }

@@ -11,6 +11,13 @@ pub struct MasterReport {
     pub bursts_masked: usize,
     /// Bursts truncated with a bus error.
     pub bursts_bus_error: usize,
+    /// Refused bursts whose verdict was a stall (source blocked mid
+    /// cold-switch) rather than a protection violation. Subset of
+    /// `bursts_masked + bursts_bus_error`.
+    pub bursts_stalled: usize,
+    /// Refused bursts whose device had no mounted protection state
+    /// (SID-missing). Subset of `bursts_masked + bursts_bus_error`.
+    pub bursts_sid_missing: usize,
     /// Payload bytes actually transferred (only `Ok` bursts count).
     pub bytes_transferred: u64,
     /// Sum over completed bursts of (completion - issue) cycles.

@@ -26,7 +26,7 @@
 use crate::config::BusConfig;
 use crate::master::MasterProgram;
 use crate::packet::{BurstKind, BurstStatus};
-use crate::policy::AccessPolicy;
+use crate::policy::{AccessPolicy, PolicyVerdict};
 use crate::report::{MasterReport, SimReport};
 use crate::trace::{TraceBuffer, TraceEvent, TraceKind};
 use siopmp::telemetry::{Counter, Histogram, Telemetry};
@@ -41,6 +41,8 @@ struct BusCounters {
     bursts_ok: Counter,
     bursts_masked: Counter,
     bursts_bus_error: Counter,
+    bursts_stalled: Counter,
+    bursts_sid_missing: Counter,
     bytes_transferred: Counter,
 }
 
@@ -52,6 +54,8 @@ impl BusCounters {
             bursts_ok: t.counter("bus.bursts_ok"),
             bursts_masked: t.counter("bus.bursts_masked"),
             bursts_bus_error: t.counter("bus.bursts_bus_error"),
+            bursts_stalled: t.counter("bus.bursts_stalled"),
+            bursts_sid_missing: t.counter("bus.bursts_sid_missing"),
             bytes_transferred: t.counter("bus.bytes_transferred"),
         }
     }
@@ -61,7 +65,7 @@ impl BusCounters {
 struct Flight {
     master: usize,
     kind: BurstKind,
-    allowed: bool,
+    verdict: PolicyVerdict,
     issue_cycle: u64,
     req_beats_sent: u32,
     req_beats_total: u32,
@@ -112,19 +116,16 @@ impl std::fmt::Debug for BusSim {
 }
 
 impl BusSim {
-    /// Creates a simulator over `config` with the given access policy.
-    pub fn new(config: BusConfig, policy: Box<dyn AccessPolicy>) -> Self {
-        Self::with_telemetry(config, policy, Telemetry::new())
-    }
-
-    /// Creates a simulator registering its `bus.*` metrics (aggregate burst
-    /// counters and the `bus.burst_latency_cycles` histogram) in the
-    /// caller's shared `telemetry` registry.
-    pub fn with_telemetry(
+    /// Creates a simulator over `config` with the given access policy,
+    /// registering its `bus.*` metrics (aggregate burst counters and the
+    /// `bus.burst_latency_cycles` histogram) in `telemetry` — pass `None`
+    /// for a private registry.
+    pub fn build(
         config: BusConfig,
         policy: Box<dyn AccessPolicy>,
-        telemetry: Telemetry,
+        telemetry: impl Into<Option<Telemetry>>,
     ) -> Self {
+        let telemetry = telemetry.into().unwrap_or_else(Telemetry::new);
         BusSim {
             config,
             policy,
@@ -140,6 +141,22 @@ impl BusSim {
             burst_latency: telemetry.histogram("bus.burst_latency_cycles"),
             telemetry,
         }
+    }
+
+    /// Creates a simulator with a private telemetry registry.
+    #[deprecated(note = "use `BusSim::build(config, policy, None)`")]
+    pub fn new(config: BusConfig, policy: Box<dyn AccessPolicy>) -> Self {
+        Self::build(config, policy, None)
+    }
+
+    /// Creates a simulator sharing the caller's `telemetry` registry.
+    #[deprecated(note = "use `BusSim::build(config, policy, telemetry)`")]
+    pub fn with_telemetry(
+        config: BusConfig,
+        policy: Box<dyn AccessPolicy>,
+        telemetry: Telemetry,
+    ) -> Self {
+        Self::build(config, policy, telemetry)
     }
 
     /// The simulator's telemetry registry.
@@ -214,7 +231,7 @@ impl BusSim {
                 let burst = m.program.bursts[m.next_burst];
                 m.next_burst += 1;
                 m.in_flight += 1;
-                let allowed = self.policy.allowed(
+                let verdict = self.policy.decide(
                     burst.device,
                     burst.kind.access(),
                     burst.addr,
@@ -236,7 +253,7 @@ impl BusSim {
                 self.flights.push(Flight {
                     master: mi,
                     kind: burst.kind,
-                    allowed,
+                    verdict,
                     issue_cycle: t,
                     req_beats_sent: 0,
                     req_beats_total: req_total,
@@ -279,7 +296,7 @@ impl BusSim {
         let first_beat = f.req_beats_sent == 0;
         f.req_beats_sent += 1;
 
-        if first_beat && !f.allowed && truncates {
+        if first_beat && !f.verdict.is_allowed() && truncates {
             // Bus-error handling: the dummy node answers as soon as the
             // check resolves; the master cancels the rest of the burst.
             f.cancelled = true;
@@ -370,11 +387,12 @@ impl BusSim {
         if f.resp_beats_recv == f.resp_beats_total {
             let status = if f.cancelled {
                 BurstStatus::BusError
-            } else if f.allowed {
+            } else if f.verdict.is_allowed() {
                 BurstStatus::Ok
             } else {
                 BurstStatus::Masked
             };
+            let verdict = f.verdict;
             f.done = Some(status);
             self.d_owner = None;
             let master = f.master;
@@ -398,6 +416,11 @@ impl BusSim {
                 BurstStatus::Masked => self.counters.bursts_masked.inc(),
                 BurstStatus::BusError => self.counters.bursts_bus_error.inc(),
             }
+            match verdict {
+                PolicyVerdict::Stalled => self.counters.bursts_stalled.inc(),
+                PolicyVerdict::SidMissing => self.counters.bursts_sid_missing.inc(),
+                _ => {}
+            }
             let m = &mut self.masters[master];
             m.in_flight -= 1;
             m.next_issue_ok = t + 1 + issue_gap;
@@ -413,6 +436,11 @@ impl BusSim {
                 BurstStatus::Masked => r.bursts_masked += 1,
                 BurstStatus::BusError => r.bursts_bus_error += 1,
             }
+            match verdict {
+                PolicyVerdict::Stalled => r.bursts_stalled += 1,
+                PolicyVerdict::SidMissing => r.bursts_sid_missing += 1,
+                _ => {}
+            }
         }
     }
 }
@@ -423,7 +451,7 @@ mod tests {
     use crate::policy::{AllowAll, DenyRange};
 
     fn run(config: BusConfig, programs: Vec<MasterProgram>) -> SimReport {
-        let mut sim = BusSim::new(config, Box::new(AllowAll));
+        let mut sim = BusSim::build(config, Box::new(AllowAll), None);
         for p in programs {
             sim.add_master(p);
         }
@@ -536,12 +564,13 @@ mod tests {
 
     #[test]
     fn bus_error_truncates_violating_bursts_early() {
-        let mut sim = BusSim::new(
+        let mut sim = BusSim::build(
             BusConfig::default(),
             Box::new(DenyRange {
                 base: 0,
                 len: u64::MAX,
             }),
+            None,
         );
         sim.add_master(MasterProgram::uniform(1, BurstKind::Read, 0x0, 64));
         let r = sim.run_to_completion(100_000);
@@ -558,12 +587,13 @@ mod tests {
             masking_read_extra: 1,
             ..BusConfig::default()
         };
-        let mut sim = BusSim::new(
+        let mut sim = BusSim::build(
             cfg,
             Box::new(DenyRange {
                 base: 0,
                 len: u64::MAX,
             }),
+            None,
         );
         sim.add_master(MasterProgram::uniform(1, BurstKind::Read, 0x0, 64));
         let r = sim.run_to_completion(100_000);
@@ -652,7 +682,7 @@ mod tests {
 
     #[test]
     fn run_stops_at_cycle_budget() {
-        let mut sim = BusSim::new(BusConfig::default(), Box::new(AllowAll));
+        let mut sim = BusSim::build(BusConfig::default(), Box::new(AllowAll), None);
         sim.add_master(MasterProgram::uniform(1, BurstKind::Read, 0x0, 1_000_000));
         let r = sim.run_to_completion(100);
         assert!(!r.completed);
@@ -662,7 +692,7 @@ mod tests {
     #[test]
     fn telemetry_mirrors_the_report_aggregates() {
         let t = siopmp::telemetry::Telemetry::new();
-        let mut sim = BusSim::with_telemetry(BusConfig::default(), Box::new(AllowAll), t.clone());
+        let mut sim = BusSim::build(BusConfig::default(), Box::new(AllowAll), t.clone());
         sim.add_master(MasterProgram::uniform(1, BurstKind::Read, 0x0, 8));
         let r = sim.run_to_completion(100_000);
         let snap = t.snapshot();
@@ -678,8 +708,46 @@ mod tests {
     }
 
     #[test]
+    fn stalls_and_sid_missing_are_counted_separately() {
+        use crate::policy::SiopmpPolicy;
+        use siopmp::ids::DeviceId;
+        use siopmp::mountable::MountableEntry;
+
+        let mut unit = siopmp::Siopmp::build(siopmp::SiopmpConfig::small(), None);
+        let sid = unit.map_hot_device(DeviceId(1)).unwrap();
+        unit.block_sid(sid); // every burst from device 1 stalls
+        unit.register_cold_device(
+            DeviceId(2),
+            MountableEntry {
+                domains: vec![],
+                entries: vec![],
+            },
+        )
+        .unwrap(); // device 2 raises SID-missing until mounted
+
+        let t = siopmp::telemetry::Telemetry::new();
+        let mut sim = BusSim::build(
+            BusConfig::default(),
+            Box::new(SiopmpPolicy::new(unit)),
+            t.clone(),
+        );
+        sim.add_master(MasterProgram::uniform(1, BurstKind::Read, 0x0, 3));
+        sim.add_master(MasterProgram::uniform(2, BurstKind::Read, 0x0, 2));
+        let r = sim.run_to_completion(100_000);
+        assert_eq!(r.masters[0].bursts_stalled, 3);
+        assert_eq!(r.masters[0].bursts_sid_missing, 0);
+        assert_eq!(r.masters[1].bursts_sid_missing, 2);
+        // Refusals still resolve to a terminal bus status; the verdict
+        // classes are an orthogonal breakdown.
+        assert_eq!(r.masters[0].bursts_bus_error, 3);
+        let snap = t.snapshot();
+        assert_eq!(snap.counters["bus.bursts_stalled"], 3);
+        assert_eq!(snap.counters["bus.bursts_sid_missing"], 2);
+    }
+
+    #[test]
     fn empty_simulation_completes_immediately() {
-        let mut sim = BusSim::new(BusConfig::default(), Box::new(AllowAll));
+        let mut sim = BusSim::build(BusConfig::default(), Box::new(AllowAll), None);
         let r = sim.run_to_completion(100);
         assert!(r.completed);
         assert_eq!(r.cycles, 0);

@@ -24,7 +24,7 @@ fn arb_program(g: &mut Gen, device: u64) -> MasterProgram {
 fn bursts_are_conserved() {
     prop_check(64, |g| {
         let programs = g.vec(1..4, |g| arb_program(g, 1));
-        let mut sim = BusSim::new(BusConfig::default(), Box::new(AllowAll));
+        let mut sim = BusSim::build(BusConfig::default(), Box::new(AllowAll), None);
         let mut expected = 0usize;
         for (i, mut p) in programs.into_iter().enumerate() {
             // distinct device ids per master
@@ -62,7 +62,7 @@ fn makespan_monotone_in_pipeline_depth() {
                 checker_extra_cycles: k,
                 ..BusConfig::default()
             };
-            let mut sim = BusSim::new(cfg, Box::new(AllowAll));
+            let mut sim = BusSim::build(cfg, Box::new(AllowAll), None);
             sim.add_master(MasterProgram::uniform(1, BurstKind::Read, 0x1000, count));
             let report = sim.run_to_completion(1_000_000);
             check!(report.completed);
@@ -85,12 +85,13 @@ fn denied_traffic_moves_no_data() {
             bus_error_truncates: truncates,
             ..BusConfig::default()
         };
-        let mut sim = BusSim::new(
+        let mut sim = BusSim::build(
             cfg,
             Box::new(DenyRange {
                 base: 0,
                 len: u64::MAX,
             }),
+            None,
         );
         sim.add_master(MasterProgram::uniform(1, kind, 0x1000, count));
         let report = sim.run_to_completion(1_000_000);
@@ -110,7 +111,7 @@ fn outstanding_monotone_throughput() {
         let count = g.usize(16..64);
         let mut prev = 0.0f64;
         for outstanding in [1usize, 2, 4, 8] {
-            let mut sim = BusSim::new(BusConfig::default(), Box::new(AllowAll));
+            let mut sim = BusSim::build(BusConfig::default(), Box::new(AllowAll), None);
             sim.add_master(
                 MasterProgram::uniform(1, BurstKind::Read, 0x1000, count)
                     .with_outstanding(outstanding),
@@ -133,7 +134,7 @@ fn centralized_never_beats_per_device() {
         let centralized =
             BusConfig::default().with_placement(siopmp::config::Placement::Centralized);
         let run = |cfg: BusConfig| {
-            let mut sim = BusSim::new(cfg, Box::new(AllowAll));
+            let mut sim = BusSim::build(cfg, Box::new(AllowAll), None);
             sim.add_master(MasterProgram::uniform(1, BurstKind::Read, 0x1000, count));
             sim.run_to_completion(1_000_000).makespan()
         };
@@ -152,12 +153,13 @@ fn bus_error_response_timing_exact() {
             bus_error_truncates: true,
             ..BusConfig::default()
         };
-        let mut sim = BusSim::new(
+        let mut sim = BusSim::build(
             cfg,
             Box::new(DenyRange {
                 base: 0,
                 len: u64::MAX,
             }),
+            None,
         );
         sim.add_master(MasterProgram::uniform(1, BurstKind::Read, 0x0, 1));
         sim.enable_trace(16);

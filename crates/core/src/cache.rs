@@ -1,0 +1,361 @@
+//! The allocation-free check fast path: per-SID compiled masked views and
+//! a page-granular, epoch-invalidated decision cache.
+//!
+//! The naive check path re-walks every memory-domain window, heap-allocates
+//! a scratch vector and re-sorts the masked entry list on **every** DMA
+//! beat — the opposite of the paper's single-cycle MT checker. This module
+//! provides the two structures [`crate::Siopmp`] uses to make the hot path
+//! cheap without changing semantics:
+//!
+//! * a **compiled masked view** per SID — the sorted
+//!   `(EntryIndex, IopmpEntry)` slice reachable from the SID's SRC2MD
+//!   registration, built lazily on first use and reused (the backing
+//!   vector's capacity survives rebuilds, so steady-state checks allocate
+//!   nothing);
+//! * a **decision cache** — a direct-mapped table of page-granular
+//!   verdicts keyed by `(SourceId, page, AccessKind)`.
+//!
+//! Both are guarded by a single table **epoch**: every configuration
+//! mutator (entry writes, MDCFG repartitioning, SRC2MD changes, SID
+//! block/unblock, cold mounts) bumps it, and a view or cached verdict is
+//! only consulted when its stored epoch equals the current one. Stale
+//! verdicts are therefore impossible by construction — invalidation is one
+//! integer increment, never a table scan.
+//!
+//! # Page-granularity soundness
+//!
+//! Entries are byte-granular and priority-ordered, so a verdict computed
+//! for one access is only cacheable for its whole page when the page
+//! resolves uniformly. [`page_verdict`] encodes the rule: walking the
+//! compiled view in priority order, find the first entry that *overlaps*
+//! the page at all —
+//!
+//! * **no entry overlaps** — no in-page access can match anything, so
+//!   `DenyNoMatch` holds for the whole page;
+//! * **the first overlapping entry fully contains the page** — every
+//!   in-page access is contained in that entry, and no higher-priority
+//!   entry can match (it would have to overlap the page), so that entry's
+//!   verdict for the access kind holds for the whole page;
+//! * **otherwise** — the page straddles an entry boundary; different
+//!   in-page accesses may resolve differently, so nothing is cached.
+//!
+//! Accesses that span a page boundary (or the unrepresentable top page of
+//! the address space) bypass the cache entirely. The differential property
+//! suite in `tests/cache_differential.rs` checks the cached unit against a
+//! cache-free reference across randomized mutation/check interleavings.
+
+use crate::checker::Decision;
+use crate::entry::IopmpEntry;
+use crate::ids::{EntryIndex, SourceId};
+use crate::request::AccessKind;
+
+/// Log2 of the decision-cache page size.
+pub const PAGE_SHIFT: u32 = 12;
+
+/// Granularity of cached verdicts (4 KiB, the paper's IOMMU page size).
+pub const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
+
+/// The page base of `addr`.
+pub fn page_of(addr: u64) -> u64 {
+    addr & !(PAGE_SIZE - 1)
+}
+
+/// Whether the access `[addr, addr+len)` is non-empty, does not wrap, and
+/// lies entirely within one page — the precondition for both consulting
+/// and filling the decision cache.
+pub fn within_one_page(addr: u64, len: u64) -> bool {
+    if len == 0 {
+        return false;
+    }
+    match addr.checked_add(len - 1) {
+        Some(last) => page_of(addr) == page_of(last),
+        None => false,
+    }
+}
+
+/// Computes the uniform verdict for the whole page starting at `page`, or
+/// `None` when the page does not resolve uniformly (see the module docs
+/// for why each arm is sound). `view` must be sorted by ascending entry
+/// index.
+pub fn page_verdict(
+    view: &[(EntryIndex, IopmpEntry)],
+    page: u64,
+    kind: AccessKind,
+) -> Option<Decision> {
+    // The top page cannot be described as [page, page + PAGE_SIZE): entry
+    // ranges may still contain sub-accesses there, so never cache it.
+    page.checked_add(PAGE_SIZE)?;
+    for (index, entry) in view {
+        if entry.range().overlaps(page, PAGE_SIZE) {
+            if !entry.range().contains(page, PAGE_SIZE) {
+                return None;
+            }
+            return Some(if entry.permissions().allows(kind.required()) {
+                Decision::Allow { matched: *index }
+            } else {
+                Decision::DenyPermission { matched: *index }
+            });
+        }
+    }
+    Some(Decision::DenyNoMatch)
+}
+
+/// One SID's compiled masked view: the entries reachable from its SRC2MD
+/// registration, sorted by index, tagged with the epoch they were built at.
+#[derive(Debug, Clone, Default)]
+struct CompiledView {
+    /// Epoch this view was compiled at (`0` = never built; the global
+    /// epoch starts at 1).
+    built_epoch: u64,
+    entries: Vec<(EntryIndex, IopmpEntry)>,
+}
+
+/// One direct-mapped cache slot. `epoch == 0` marks an empty slot.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    epoch: u64,
+    sid: SourceId,
+    page: u64,
+    kind: AccessKind,
+    decision: Decision,
+}
+
+impl Slot {
+    const EMPTY: Slot = Slot {
+        epoch: 0,
+        sid: SourceId(0),
+        page: 0,
+        kind: AccessKind::Read,
+        decision: Decision::DenyNoMatch,
+    };
+}
+
+/// The check fast path's state: compiled per-SID views plus the
+/// direct-mapped page decision cache, both invalidated by one shared
+/// epoch. Constructed with `slots == 0` the whole fast path is disabled
+/// and [`crate::Siopmp`] falls back to the walk-and-sort reference path
+/// (the configuration used by the differential suite and the uncached
+/// benchmark arm).
+#[derive(Debug, Clone)]
+pub struct DecisionCache {
+    epoch: u64,
+    views: Vec<CompiledView>,
+    slots: Vec<Slot>,
+    mask: u64,
+}
+
+impl DecisionCache {
+    /// Creates a cache with `slots` decision slots (rounded up to a power
+    /// of two; `0` disables the fast path) covering `num_sids` SIDs.
+    pub fn new(slots: usize, num_sids: usize) -> Self {
+        let slots = if slots == 0 {
+            0
+        } else {
+            slots.next_power_of_two()
+        };
+        DecisionCache {
+            epoch: 1,
+            views: vec![CompiledView::default(); if slots == 0 { 0 } else { num_sids }],
+            slots: vec![Slot::EMPTY; slots],
+            mask: (slots as u64).wrapping_sub(1),
+        }
+    }
+
+    /// Whether the fast path is enabled (`slots > 0` at construction).
+    pub fn is_enabled(&self) -> bool {
+        !self.slots.is_empty()
+    }
+
+    /// Number of decision slots.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The current table epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Invalidates every view and cached verdict by bumping the epoch —
+    /// O(1), called by every configuration mutator.
+    pub fn invalidate_all(&mut self) {
+        self.epoch += 1;
+    }
+
+    fn index(&self, sid: SourceId, page: u64, kind: AccessKind) -> usize {
+        let key = (page >> PAGE_SHIFT) ^ (u64::from(sid.0) << 48) ^ ((kind as u64) << 63);
+        ((key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 24) & self.mask) as usize
+    }
+
+    /// Looks up the cached verdict for `(sid, page, kind)` at the current
+    /// epoch.
+    pub fn lookup(&self, sid: SourceId, page: u64, kind: AccessKind) -> Option<Decision> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let slot = &self.slots[self.index(sid, page, kind)];
+        (slot.epoch == self.epoch && slot.sid == sid && slot.page == page && slot.kind == kind)
+            .then_some(slot.decision)
+    }
+
+    /// Stores `decision` for `(sid, page, kind)` at the current epoch,
+    /// evicting whatever occupied the slot.
+    pub fn insert(&mut self, sid: SourceId, page: u64, kind: AccessKind, decision: Decision) {
+        if self.slots.is_empty() {
+            return;
+        }
+        let index = self.index(sid, page, kind);
+        self.slots[index] = Slot {
+            epoch: self.epoch,
+            sid,
+            page,
+            kind,
+            decision,
+        };
+    }
+
+    /// Starts a rebuild of `sid`'s compiled view when it is stale: returns
+    /// the cleared backing vector (capacity preserved) for the caller to
+    /// fill and sort, and marks the view current. Returns `None` when the
+    /// view is already at the current epoch.
+    pub fn begin_view_rebuild(
+        &mut self,
+        sid: SourceId,
+    ) -> Option<&mut Vec<(EntryIndex, IopmpEntry)>> {
+        let view = &mut self.views[sid.0 as usize];
+        if view.built_epoch == self.epoch {
+            return None;
+        }
+        view.built_epoch = self.epoch;
+        view.entries.clear();
+        Some(&mut view.entries)
+    }
+
+    /// The compiled view for `sid`. Only meaningful after
+    /// [`DecisionCache::begin_view_rebuild`] returned `None` or its buffer
+    /// was filled for the current epoch.
+    pub fn view(&self, sid: SourceId) -> &[(EntryIndex, IopmpEntry)] {
+        &self.views[sid.0 as usize].entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::{AddressRange, Permissions};
+
+    fn entry(base: u64, len: u64, p: Permissions) -> IopmpEntry {
+        IopmpEntry::new(AddressRange::new(base, len).unwrap(), p)
+    }
+
+    #[test]
+    fn page_helpers_handle_edges() {
+        assert_eq!(page_of(0x1234), 0x1000);
+        assert!(within_one_page(0x1000, PAGE_SIZE));
+        assert!(!within_one_page(0x1001, PAGE_SIZE));
+        assert!(!within_one_page(0x1000, 0));
+        assert!(!within_one_page(u64::MAX, 2));
+        assert!(within_one_page(u64::MAX, 1));
+    }
+
+    #[test]
+    fn verdict_no_overlap_caches_deny_no_match() {
+        let view = [(EntryIndex(0), entry(0x10_000, 0x1000, Permissions::rw()))];
+        assert_eq!(
+            page_verdict(&view, 0x2000, AccessKind::Read),
+            Some(Decision::DenyNoMatch)
+        );
+    }
+
+    #[test]
+    fn verdict_full_containment_caches_entry_decision() {
+        let view = [
+            (
+                EntryIndex(3),
+                entry(0x1000, 0x3000, Permissions::read_only()),
+            ),
+            (EntryIndex(9), entry(0x2000, 0x1000, Permissions::rw())),
+        ];
+        assert_eq!(
+            page_verdict(&view, 0x2000, AccessKind::Read),
+            Some(Decision::Allow {
+                matched: EntryIndex(3)
+            })
+        );
+        assert_eq!(
+            page_verdict(&view, 0x2000, AccessKind::Write),
+            Some(Decision::DenyPermission {
+                matched: EntryIndex(3)
+            })
+        );
+    }
+
+    #[test]
+    fn verdict_partial_overlap_is_uncacheable() {
+        // Entry covers only half the page.
+        let view = [(EntryIndex(0), entry(0x2000, 0x800, Permissions::rw()))];
+        assert_eq!(page_verdict(&view, 0x2000, AccessKind::Read), None);
+        // A lower-priority entry containing the page does not help: the
+        // partial entry still wins for some in-page accesses.
+        let view = [
+            (EntryIndex(0), entry(0x2000, 0x800, Permissions::none())),
+            (EntryIndex(1), entry(0x0, 0x10_000, Permissions::rw())),
+        ];
+        assert_eq!(page_verdict(&view, 0x2000, AccessKind::Read), None);
+    }
+
+    #[test]
+    fn verdict_top_page_never_cached() {
+        let top = page_of(u64::MAX);
+        assert_eq!(page_verdict(&[], top, AccessKind::Read), None);
+    }
+
+    #[test]
+    fn lookup_respects_epoch_and_key() {
+        let mut c = DecisionCache::new(64, 4);
+        let sid = SourceId(1);
+        let d = Decision::Allow {
+            matched: EntryIndex(7),
+        };
+        c.insert(sid, 0x3000, AccessKind::Read, d);
+        assert_eq!(c.lookup(sid, 0x3000, AccessKind::Read), Some(d));
+        assert_eq!(c.lookup(sid, 0x3000, AccessKind::Write), None);
+        assert_eq!(c.lookup(SourceId(2), 0x3000, AccessKind::Read), None);
+        c.invalidate_all();
+        assert_eq!(c.lookup(sid, 0x3000, AccessKind::Read), None);
+    }
+
+    #[test]
+    fn disabled_cache_is_inert() {
+        let mut c = DecisionCache::new(0, 4);
+        assert!(!c.is_enabled());
+        c.insert(SourceId(0), 0x1000, AccessKind::Read, Decision::DenyNoMatch);
+        assert_eq!(c.lookup(SourceId(0), 0x1000, AccessKind::Read), None);
+    }
+
+    #[test]
+    fn view_rebuild_reuses_capacity_and_epoch_tags() {
+        let mut c = DecisionCache::new(8, 2);
+        let sid = SourceId(0);
+        {
+            let buf = c.begin_view_rebuild(sid).expect("first build");
+            buf.push((EntryIndex(1), entry(0x1000, 0x100, Permissions::rw())));
+        }
+        assert!(c.begin_view_rebuild(sid).is_none(), "fresh view reused");
+        assert_eq!(c.view(sid).len(), 1);
+        let cap = {
+            c.invalidate_all();
+            let buf = c.begin_view_rebuild(sid).expect("stale after bump");
+            assert!(buf.is_empty(), "rebuild starts from a cleared buffer");
+            buf.capacity()
+        };
+        assert!(cap >= 1, "capacity survives the rebuild");
+    }
+
+    #[test]
+    fn slot_count_rounds_to_power_of_two() {
+        assert_eq!(DecisionCache::new(1000, 1).slot_count(), 1024);
+        assert_eq!(DecisionCache::new(1, 1).slot_count(), 1);
+        assert_eq!(DecisionCache::new(0, 1).slot_count(), 0);
+    }
+}

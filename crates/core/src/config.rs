@@ -51,6 +51,16 @@ pub struct SiopmpConfig {
     /// IOPMP proposal has none — every device must hold a hardware SID,
     /// which is the device-count limitation §4.2 removes.
     pub mountable: bool,
+    /// Slots in the page-granular decision cache backing the check fast
+    /// path (rounded up to a power of two). `0` disables the fast path
+    /// entirely — every check walks and sorts the masked entry list, the
+    /// reference behaviour the differential test suite compares against.
+    pub decision_cache_slots: usize,
+    /// Maximum retained [`crate::violation::ViolationRecord`]s. When the
+    /// log is full the oldest record is dropped (and counted in
+    /// `siopmp.violation_log_dropped`), bounding memory under adversarial
+    /// violation storms.
+    pub violation_log_capacity: usize,
 }
 
 impl Default for SiopmpConfig {
@@ -71,6 +81,8 @@ impl Default for SiopmpConfig {
             violation_mode: ViolationMode::PacketMasking,
             placement: Placement::PerDevice,
             mountable: true,
+            decision_cache_slots: 1024,
+            violation_log_capacity: 4096,
         }
     }
 }
@@ -124,6 +136,11 @@ impl SiopmpConfig {
                 "cold MD reservation must be nonzero and smaller than the entry table",
             ));
         }
+        if self.violation_log_capacity == 0 {
+            return Err(SiopmpError::InvalidConfig(
+                "violation log needs room for at least one record",
+            ));
+        }
         self.checker.validate()?;
         Ok(())
     }
@@ -142,6 +159,8 @@ impl SiopmpConfig {
             violation_mode: ViolationMode::BusError,
             placement: Placement::PerDevice,
             mountable: false,
+            decision_cache_slots: 1024,
+            violation_log_capacity: 4096,
         }
     }
 
@@ -205,6 +224,24 @@ mod tests {
             ..default
         };
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn fast_path_knobs_default_on_and_bounded() {
+        let cfg = SiopmpConfig::default();
+        assert_eq!(cfg.decision_cache_slots, 1024);
+        assert_eq!(cfg.violation_log_capacity, 4096);
+        let cfg = SiopmpConfig {
+            violation_log_capacity: 0,
+            ..SiopmpConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        let cfg = SiopmpConfig {
+            decision_cache_slots: 0,
+            ..SiopmpConfig::default()
+        };
+        cfg.validate()
+            .expect("cache-free reference config is valid");
     }
 
     #[test]

@@ -39,7 +39,7 @@
 //! use siopmp::request::{AccessKind, DmaRequest};
 //!
 //! # fn main() -> Result<(), siopmp::error::SiopmpError> {
-//! let mut iopmp = Siopmp::new(SiopmpConfig::default());
+//! let mut iopmp = Siopmp::build(SiopmpConfig::default(), None);
 //!
 //! // Give device 0x10 a hot SID and one readable+writable region.
 //! let sid = iopmp.map_hot_device(DeviceId(0x10))?;
@@ -62,6 +62,7 @@
 
 pub mod area;
 pub mod atomic;
+pub mod cache;
 pub mod checker;
 pub mod config;
 pub mod entry;

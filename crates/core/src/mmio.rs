@@ -180,7 +180,7 @@ mod tests {
     use crate::request::{AccessKind, DmaRequest};
 
     fn setup() -> (Siopmp, MmioFrontend, SourceId) {
-        let mut unit = Siopmp::new(SiopmpConfig::small());
+        let mut unit = Siopmp::build(SiopmpConfig::small(), None);
         let sid = unit.map_hot_device(DeviceId(1)).unwrap();
         (unit, MmioFrontend::new(), sid)
     }

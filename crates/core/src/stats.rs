@@ -34,6 +34,16 @@ pub struct SiopmpStats {
     pub hot_hits: u64,
     /// Violation interrupts raised.
     pub violations: u64,
+    /// Checks answered from the page-granular decision cache.
+    pub cache_hits: u64,
+    /// Cache-eligible checks that had to walk the compiled view.
+    pub cache_misses: u64,
+    /// Epoch bumps (each invalidates every view and cached verdict).
+    pub cache_invalidations: u64,
+    /// Compiled per-SID views (re)built after an epoch bump.
+    pub cache_view_rebuilds: u64,
+    /// Violation records dropped because the bounded log was full.
+    pub violation_log_dropped: u64,
 }
 
 impl SiopmpStats {
@@ -44,6 +54,16 @@ impl SiopmpStats {
             return 0.0;
         }
         (self.denied_permission + self.denied_no_match) as f64 / self.checks as f64
+    }
+
+    /// Fraction of cache-eligible checks answered from the decision
+    /// cache; `0.0` before any eligible check.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let eligible = self.cache_hits + self.cache_misses;
+        if eligible == 0 {
+            return 0.0;
+        }
+        self.cache_hits as f64 / eligible as f64
     }
 }
 
@@ -72,6 +92,16 @@ pub struct CoreCounters {
     pub hot_hits: Counter,
     /// `siopmp.violations`
     pub violations: Counter,
+    /// `siopmp.cache.hits`
+    pub cache_hits: Counter,
+    /// `siopmp.cache.misses`
+    pub cache_misses: Counter,
+    /// `siopmp.cache.invalidations`
+    pub cache_invalidations: Counter,
+    /// `siopmp.cache.view_rebuilds`
+    pub cache_view_rebuilds: Counter,
+    /// `siopmp.violation_log_dropped`
+    pub violation_log_dropped: Counter,
 }
 
 impl CoreCounters {
@@ -88,6 +118,11 @@ impl CoreCounters {
             cold_hits: t.counter("siopmp.cold_hits"),
             hot_hits: t.counter("siopmp.hot_hits"),
             violations: t.counter("siopmp.violations"),
+            cache_hits: t.counter("siopmp.cache.hits"),
+            cache_misses: t.counter("siopmp.cache.misses"),
+            cache_invalidations: t.counter("siopmp.cache.invalidations"),
+            cache_view_rebuilds: t.counter("siopmp.cache.view_rebuilds"),
+            violation_log_dropped: t.counter("siopmp.violation_log_dropped"),
         }
     }
 
@@ -104,6 +139,11 @@ impl CoreCounters {
             cold_hits: self.cold_hits.get(),
             hot_hits: self.hot_hits.get(),
             violations: self.violations.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
+            cache_invalidations: self.cache_invalidations.get(),
+            cache_view_rebuilds: self.cache_view_rebuilds.get(),
+            violation_log_dropped: self.violation_log_dropped.get(),
         }
     }
 }
@@ -125,6 +165,30 @@ mod tests {
         assert_eq!(s.denied_no_match, 1);
         // The same numbers are visible through the registry.
         assert_eq!(t.snapshot().counters["siopmp.checks"], 4);
+    }
+
+    #[test]
+    fn cache_counters_materialize_under_their_namespace() {
+        let t = Telemetry::new();
+        let c = CoreCounters::attach(&t);
+        c.cache_hits.add(3);
+        c.cache_misses.inc();
+        c.cache_invalidations.add(2);
+        c.cache_view_rebuilds.inc();
+        c.violation_log_dropped.add(5);
+        let s = c.snapshot();
+        assert_eq!(s.cache_hits, 3);
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.cache_invalidations, 2);
+        assert_eq!(s.cache_view_rebuilds, 1);
+        assert_eq!(s.violation_log_dropped, 5);
+        assert!((s.cache_hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(t.snapshot().counters["siopmp.cache.hits"], 3);
+    }
+
+    #[test]
+    fn cache_hit_rate_handles_no_eligible_checks() {
+        assert_eq!(SiopmpStats::default().cache_hit_rate(), 0.0);
     }
 
     #[test]

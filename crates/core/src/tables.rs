@@ -416,6 +416,22 @@ impl EntryTable {
             .filter_map(|(i, s)| s.as_ref().map(|e| (EntryIndex(i as u32), e)))
     }
 
+    /// Iterates `(index, entry)` over occupied slots of the window
+    /// `[start, end)` in priority order — the per-domain walk used when
+    /// compiling a SID's masked view.
+    pub fn iter_window(
+        &self,
+        start: u32,
+        end: u32,
+    ) -> impl Iterator<Item = (EntryIndex, &IopmpEntry)> {
+        let end = end.min(self.slots.len() as u32) as usize;
+        let start = (start as usize).min(end);
+        self.slots[start..end]
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, s)| s.as_ref().map(|e| (EntryIndex((start + i) as u32), e)))
+    }
+
     /// Clears all unlocked slots in the window `[start, end)` — used when
     /// flushing the cold memory domain during a device switch (§4.2).
     /// Returns the number of slots cleared.

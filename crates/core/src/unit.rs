@@ -2,6 +2,7 @@
 //! mountable/extended table, blocking bitmap and violation bookkeeping.
 
 use crate::atomic::SidBlockBitmap;
+use crate::cache::{self, DecisionCache};
 use crate::checker::Decision;
 use crate::config::SiopmpConfig;
 use crate::entry::IopmpEntry;
@@ -14,6 +15,7 @@ use crate::stats::{CoreCounters, SiopmpStats};
 use crate::tables::{EntryTable, MdCfgTable, Src2MdTable};
 use crate::telemetry::{EventRing, Histogram, Telemetry};
 use crate::violation::ViolationRecord;
+use std::collections::VecDeque;
 
 /// Capacity of the `siopmp.violation_events` telemetry ring: enough for a
 /// post-mortem window without unbounded growth (the full, precise log is
@@ -90,7 +92,8 @@ pub struct Siopmp {
     counters: CoreCounters,
     switch_cycles: Histogram,
     violation_events: EventRing,
-    violation_log: Vec<ViolationRecord>,
+    violation_log: VecDeque<ViolationRecord>,
+    cache: DecisionCache,
 }
 
 impl Clone for Siopmp {
@@ -113,31 +116,24 @@ impl Clone for Siopmp {
             violation_events: telemetry.ring("siopmp.violation_events", VIOLATION_RING_CAPACITY),
             telemetry,
             violation_log: self.violation_log.clone(),
+            cache: self.cache.clone(),
         }
     }
 }
 
 impl Siopmp {
-    /// Creates a unit from `config`.
+    /// Creates a unit from `config`. Pass a [`Telemetry`] registry to have
+    /// the unit record its metrics (the `siopmp.*` namespace) in the
+    /// caller's shared registry — how the monitor, the bus simulator and
+    /// the bench harness observe one unit through a single snapshot — or
+    /// `None` for a private registry.
     ///
     /// # Panics
     ///
     /// Panics if `config` fails [`SiopmpConfig::validate`]; construct and
     /// validate the configuration first when it comes from untrusted input.
-    pub fn new(config: SiopmpConfig) -> Self {
-        Self::with_telemetry(config, Telemetry::new())
-    }
-
-    /// Creates a unit from `config`, registering its metrics (the
-    /// `siopmp.*` namespace) in the caller's shared `telemetry` registry —
-    /// how the monitor, the bus simulator and the bench harness observe one
-    /// unit through a single snapshot.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `config` fails [`SiopmpConfig::validate`]; construct and
-    /// validate the configuration first when it comes from untrusted input.
-    pub fn with_telemetry(config: SiopmpConfig, telemetry: Telemetry) -> Self {
+    pub fn build(config: SiopmpConfig, telemetry: impl Into<Option<Telemetry>>) -> Self {
+        let telemetry = telemetry.into().unwrap_or_else(Telemetry::new);
         config.validate().expect("invalid sIOPMP configuration");
         let mut mdcfg = MdCfgTable::new(config.num_mds, config.num_entries);
         // Pre-carve the cold MD window at the top of the entry table and
@@ -168,14 +164,35 @@ impl Siopmp {
             switch_cycles: telemetry.histogram("siopmp.cold_switch_cycles"),
             violation_events: telemetry.ring("siopmp.violation_events", VIOLATION_RING_CAPACITY),
             telemetry,
-            violation_log: Vec::new(),
+            violation_log: VecDeque::new(),
+            cache: DecisionCache::new(config.decision_cache_slots, config.num_sids),
             mdcfg,
             config,
         }
     }
 
+    /// Creates a unit from `config` with a private telemetry registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`SiopmpConfig::validate`].
+    #[deprecated(note = "use `Siopmp::build(config, None)`")]
+    pub fn new(config: SiopmpConfig) -> Self {
+        Self::build(config, None)
+    }
+
+    /// Creates a unit from `config`, registering its metrics in `telemetry`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`SiopmpConfig::validate`].
+    #[deprecated(note = "use `Siopmp::build(config, telemetry)`")]
+    pub fn with_telemetry(config: SiopmpConfig, telemetry: Telemetry) -> Self {
+        Self::build(config, telemetry)
+    }
+
     /// The unit's telemetry registry (shared with whoever constructed the
-    /// unit through [`Siopmp::with_telemetry`]).
+    /// unit through [`Siopmp::build`]).
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
     }
@@ -190,15 +207,35 @@ impl Siopmp {
         self.counters.snapshot()
     }
 
-    /// Captured violation records, oldest first.
-    pub fn violation_log(&self) -> &[ViolationRecord] {
+    /// Captured violation records, oldest first. The log is a bounded ring
+    /// ([`SiopmpConfig::violation_log_capacity`]); once full, each new
+    /// record evicts the oldest and bumps `siopmp.violation_log_dropped`.
+    pub fn violation_log(&self) -> &VecDeque<ViolationRecord> {
         &self.violation_log
     }
 
     /// Drains the violation log (the monitor does this in its interrupt
     /// handler).
     pub fn take_violations(&mut self) -> Vec<ViolationRecord> {
-        std::mem::take(&mut self.violation_log)
+        self.violation_log.drain(..).collect()
+    }
+
+    /// Bumps the table epoch, invalidating every compiled view and cached
+    /// verdict. Called by every configuration mutator — correctness of the
+    /// decision cache rests on no mutation path skipping this.
+    fn invalidate_cache(&mut self) {
+        if self.cache.is_enabled() {
+            self.cache.invalidate_all();
+            self.counters.cache_invalidations.inc();
+        }
+    }
+
+    fn record_violation(&mut self, record: ViolationRecord) {
+        if self.violation_log.len() >= self.config.violation_log_capacity {
+            self.violation_log.pop_front();
+            self.counters.violation_log_dropped.inc();
+        }
+        self.violation_log.push_back(record);
     }
 
     // ------------------------------------------------------------------
@@ -214,6 +251,7 @@ impl Siopmp {
     ///   [`Siopmp::register_cold_device`] or
     ///   [`Siopmp::promote_with_eviction`]).
     pub fn map_hot_device(&mut self, device: DeviceId) -> Result<SourceId> {
+        self.invalidate_cache();
         self.cam.insert(device)
     }
 
@@ -229,6 +267,7 @@ impl Siopmp {
                 "the cold memory domain is managed by cold-device switching",
             ));
         }
+        self.invalidate_cache();
         self.src2md.associate(sid, md)
     }
 
@@ -240,6 +279,7 @@ impl Siopmp {
     /// * [`SiopmpError::MdFull`] when the domain window has no free slot;
     /// * table errors for bad indices.
     pub fn install_entry(&mut self, md: MdIndex, entry: IopmpEntry) -> Result<EntryIndex> {
+        self.invalidate_cache();
         let (start, end) = self.mdcfg.window(md)?;
         for j in start..end {
             let idx = EntryIndex(j);
@@ -260,6 +300,7 @@ impl Siopmp {
     ///
     /// Table errors for bad indices or locked entries.
     pub fn set_entry(&mut self, index: EntryIndex, entry: Option<IopmpEntry>) -> Result<()> {
+        self.invalidate_cache();
         self.entries.set(index, entry)
     }
 
@@ -288,6 +329,7 @@ impl Siopmp {
     ///
     /// [`crate::tables::MdCfgTable::set_top`] errors.
     pub fn set_md_top(&mut self, md: MdIndex, top: u32) -> Result<()> {
+        self.invalidate_cache();
         self.mdcfg.set_top(md, top)
     }
 
@@ -306,6 +348,7 @@ impl Siopmp {
     ///
     /// Table errors (bounds, sticky lock).
     pub fn dissociate_sid_from_md(&mut self, sid: SourceId, md: MdIndex) -> Result<()> {
+        self.invalidate_cache();
         self.src2md.dissociate(sid, md)
     }
 
@@ -323,6 +366,7 @@ impl Siopmp {
         sid: SourceId,
         updates: &[(EntryIndex, Option<IopmpEntry>)],
     ) -> Result<u64> {
+        self.invalidate_cache();
         self.blocks.block(sid);
         let mut result = Ok(());
         for (idx, entry) in updates {
@@ -337,11 +381,13 @@ impl Siopmp {
 
     /// Blocks DMA from `sid` (exposed for the monitor's switch sequence).
     pub fn block_sid(&mut self, sid: SourceId) {
+        self.invalidate_cache();
         self.blocks.block(sid);
     }
 
     /// Unblocks DMA from `sid`.
     pub fn unblock_sid(&mut self, sid: SourceId) {
+        self.invalidate_cache();
         self.blocks.unblock(sid);
     }
 
@@ -366,6 +412,7 @@ impl Siopmp {
         if self.cam.peek(device).is_some() {
             return Err(SiopmpError::DeviceAlreadyMapped(device));
         }
+        self.invalidate_cache();
         self.extended.register(device, record)
     }
 
@@ -398,12 +445,14 @@ impl Siopmp {
     ///
     /// [`SiopmpError::UnknownDevice`] when the device has no record.
     pub fn take_cold_record(&mut self, device: DeviceId) -> Result<MountableEntry> {
+        self.invalidate_cache();
         self.extended.remove(device)
     }
 
     /// (Re)installs `device`'s extended-table record (counterpart of
     /// [`Siopmp::take_cold_record`]).
     pub fn put_cold_record(&mut self, device: DeviceId, record: MountableEntry) {
+        self.invalidate_cache();
         self.extended.upsert(device, record);
     }
 
@@ -449,7 +498,7 @@ impl Siopmp {
             self.counters.violations.inc();
             self.counters.denied_no_match.inc();
             self.push_violation_event(&record);
-            self.violation_log.push(record);
+            self.record_violation(record);
             CheckOutcome::Denied(record)
         }
     }
@@ -466,25 +515,73 @@ impl Siopmp {
                 return self.deny(req, Some(sid), Decision::DenyNoMatch);
             }
         };
-        // Mask the entry table down to this SID's domains, preserving
-        // global priority order (windows are disjoint and ordered, so
-        // walking domains in window order preserves entry order only if we
-        // merge; collect and sort by index to be exact).
-        let mut masked: Vec<(EntryIndex, &IopmpEntry)> = Vec::new();
-        for md in reg.iter() {
-            if let Ok((start, end)) = self.mdcfg.window(md) {
-                for j in start..end {
-                    if let Some(e) = self.entries.get_ref(EntryIndex(j)) {
-                        masked.push((EntryIndex(j), e));
-                    }
+
+        if !self.cache.is_enabled() {
+            // Cache-free reference path: mask the entry table down to this
+            // SID's domains, preserving global priority order (windows are
+            // disjoint but not ordered by domain, so collect and sort).
+            let mut masked: Vec<(EntryIndex, &IopmpEntry)> = Vec::new();
+            for md in reg.iter() {
+                if let Ok((start, end)) = self.mdcfg.window(md) {
+                    masked.extend(self.entries.iter_window(start, end));
                 }
             }
+            masked.sort_by_key(|(i, _)| *i);
+            let decision = self
+                .config
+                .checker
+                .decide(masked, req.addr(), req.len(), req.kind());
+            return self.resolve(req, sid, decision);
         }
-        masked.sort_by_key(|(i, _)| *i);
-        let decision = self
-            .config
-            .checker
-            .decide(masked, req.addr(), req.len(), req.kind());
+
+        // Fast path: a hit in the page-granular decision cache answers
+        // single-page requests without touching the entry table at all.
+        let page = cache::page_of(req.addr());
+        let cacheable = cache::within_one_page(req.addr(), req.len());
+        if cacheable {
+            if let Some(decision) = self.cache.lookup(sid, page, req.kind()) {
+                self.counters.cache_hits.inc();
+                return self.resolve(req, sid, decision);
+            }
+            self.counters.cache_misses.inc();
+        }
+
+        // Slow path: walk this SID's compiled view (rebuilding it first if
+        // a mutator bumped the epoch since it was last compiled).
+        if let Some(buf) = self.cache.begin_view_rebuild(sid) {
+            for md in reg.iter() {
+                if let Ok((start, end)) = self.mdcfg.window(md) {
+                    buf.extend(self.entries.iter_window(start, end).map(|(i, e)| (i, *e)));
+                }
+            }
+            buf.sort_unstable_by_key(|(i, _)| *i);
+            self.counters.cache_view_rebuilds.inc();
+        }
+        let (decision, fill) = {
+            let view = self.cache.view(sid);
+            let decision = self.config.checker.decide(
+                view.iter().map(|(i, e)| (*i, e)),
+                req.addr(),
+                req.len(),
+                req.kind(),
+            );
+            let fill = if cacheable {
+                cache::page_verdict(view, page, req.kind())
+            } else {
+                None
+            };
+            (decision, fill)
+        };
+        if let Some(verdict) = fill {
+            // A cacheable page verdict is by construction the decision for
+            // every access confined to that page, including this one.
+            debug_assert_eq!(verdict, decision);
+            self.cache.insert(sid, page, req.kind(), verdict);
+        }
+        self.resolve(req, sid, decision)
+    }
+
+    fn resolve(&mut self, req: &DmaRequest, sid: SourceId, decision: Decision) -> CheckOutcome {
         match decision {
             Decision::Allow { matched } => {
                 self.counters.allowed.inc();
@@ -513,7 +610,7 @@ impl Siopmp {
             kind: req.kind(),
         };
         self.push_violation_event(&record);
-        self.violation_log.push(record);
+        self.record_violation(record);
         CheckOutcome::Denied(record)
     }
 
@@ -549,6 +646,7 @@ impl Siopmp {
             return Err(SiopmpError::MdFull(cold_md));
         }
         let cold_sid = self.config.cold_sid();
+        self.invalidate_cache();
         self.blocks.block(cold_sid);
 
         // Flush the previous tenant's entries and SRC2MD row.
@@ -589,6 +687,7 @@ impl Siopmp {
     ///   record;
     /// * CAM errors when the device is already hot.
     pub fn promote_with_eviction(&mut self, device: DeviceId) -> Result<SourceId> {
+        self.invalidate_cache();
         let record = self.extended.remove(device)?;
         let (sid, evicted) = match self.cam.insert_with_eviction(device) {
             Ok(pair) => pair,
@@ -643,7 +742,7 @@ mod tests {
     }
 
     fn unit() -> Siopmp {
-        Siopmp::new(SiopmpConfig::small())
+        Siopmp::build(SiopmpConfig::small(), None)
     }
 
     #[test]
@@ -839,7 +938,7 @@ mod tests {
     fn promote_with_eviction_moves_device_to_hot() {
         let mut cfg = SiopmpConfig::small();
         cfg.num_sids = 3; // 2 hot SIDs
-        let mut u = Siopmp::new(cfg);
+        let mut u = Siopmp::build(cfg, None);
         u.map_hot_device(DeviceId(1)).unwrap();
         u.map_hot_device(DeviceId(2)).unwrap();
         u.register_cold_device(
@@ -862,6 +961,118 @@ mod tests {
         let mut u = unit();
         let sid = u.map_hot_device(DeviceId(1)).unwrap();
         assert!(u.associate_sid_with_md(sid, u.config().cold_md()).is_err());
+    }
+
+    #[test]
+    fn repeated_single_page_check_hits_decision_cache() {
+        let mut u = unit();
+        let sid = u.map_hot_device(DeviceId(1)).unwrap();
+        u.associate_sid_with_md(sid, MdIndex(0)).unwrap();
+        u.install_entry(MdIndex(0), entry(0x1000, 0x1000, Permissions::rw()))
+            .unwrap();
+        let req = DmaRequest::new(DeviceId(1), AccessKind::Read, 0x1100, 8);
+        assert!(u.check(&req).is_allowed());
+        assert!(u.check(&req).is_allowed());
+        let s = u.stats();
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_view_rebuilds, 1);
+    }
+
+    #[test]
+    fn mutation_invalidates_cached_verdicts() {
+        let mut u = unit();
+        let sid = u.map_hot_device(DeviceId(1)).unwrap();
+        u.associate_sid_with_md(sid, MdIndex(0)).unwrap();
+        let idx = u
+            .install_entry(MdIndex(0), entry(0x1000, 0x1000, Permissions::rw()))
+            .unwrap();
+        let req = DmaRequest::new(DeviceId(1), AccessKind::Write, 0x1000, 8);
+        assert!(u.check(&req).is_allowed());
+        assert!(u.check(&req).is_allowed());
+        // Dropping the entry must be visible on the very next check even
+        // though the previous verdict for this page was cached.
+        u.set_entry(idx, None).unwrap();
+        assert!(u.check(&req).is_denied());
+        let s = u.stats();
+        assert!(s.cache_invalidations > 0);
+        assert!(s.cache_view_rebuilds >= 2);
+    }
+
+    #[test]
+    fn block_unblock_round_trips_through_cache() {
+        let mut u = unit();
+        let sid = u.map_hot_device(DeviceId(1)).unwrap();
+        u.associate_sid_with_md(sid, MdIndex(0)).unwrap();
+        u.install_entry(MdIndex(0), entry(0x1000, 0x1000, Permissions::rw()))
+            .unwrap();
+        let req = DmaRequest::new(DeviceId(1), AccessKind::Read, 0x1000, 8);
+        assert!(u.check(&req).is_allowed());
+        u.block_sid(sid);
+        assert!(matches!(u.check(&req), CheckOutcome::Stalled { .. }));
+        u.unblock_sid(sid);
+        assert!(u.check(&req).is_allowed());
+    }
+
+    #[test]
+    fn multi_page_requests_bypass_the_cache() {
+        let mut u = unit();
+        let sid = u.map_hot_device(DeviceId(1)).unwrap();
+        u.associate_sid_with_md(sid, MdIndex(0)).unwrap();
+        u.install_entry(MdIndex(0), entry(0x1000, 0x4000, Permissions::rw()))
+            .unwrap();
+        // Spans two pages: eligible for neither lookup nor insert.
+        let req = DmaRequest::new(DeviceId(1), AccessKind::Read, 0x1ffc, 16);
+        assert!(u.check(&req).is_allowed());
+        assert!(u.check(&req).is_allowed());
+        let s = u.stats();
+        assert_eq!(s.cache_hits, 0);
+        assert_eq!(s.cache_misses, 0);
+    }
+
+    #[test]
+    fn disabled_cache_still_checks_correctly() {
+        let cfg = SiopmpConfig {
+            decision_cache_slots: 0,
+            ..SiopmpConfig::small()
+        };
+        let mut u = Siopmp::build(cfg, None);
+        let sid = u.map_hot_device(DeviceId(1)).unwrap();
+        u.associate_sid_with_md(sid, MdIndex(0)).unwrap();
+        u.install_entry(MdIndex(0), entry(0x1000, 0x1000, Permissions::rw()))
+            .unwrap();
+        let req = DmaRequest::new(DeviceId(1), AccessKind::Read, 0x1000, 8);
+        assert!(u.check(&req).is_allowed());
+        assert!(u.check(&req).is_allowed());
+        let s = u.stats();
+        assert_eq!(s.cache_hits, 0);
+        assert_eq!(s.cache_misses, 0);
+        assert_eq!(s.cache_view_rebuilds, 0);
+        assert_eq!(s.cache_invalidations, 0);
+    }
+
+    #[test]
+    fn violation_log_is_a_bounded_ring() {
+        let cfg = SiopmpConfig {
+            violation_log_capacity: 2,
+            ..SiopmpConfig::small()
+        };
+        let mut u = Siopmp::build(cfg, None);
+        let sid = u.map_hot_device(DeviceId(1)).unwrap();
+        u.associate_sid_with_md(sid, MdIndex(0)).unwrap();
+        for i in 0..4u64 {
+            let req = DmaRequest::new(DeviceId(1), AccessKind::Read, 0x9000 + i * 0x10, 8);
+            assert!(u.check(&req).is_denied());
+        }
+        assert_eq!(u.violation_log().len(), 2);
+        assert_eq!(u.stats().violation_log_dropped, 2);
+        // The survivors are the two newest records.
+        let addrs: Vec<u64> = u.violation_log().iter().map(|r| r.addr).collect();
+        assert_eq!(addrs, vec![0x9020, 0x9030]);
+        // Draining resets the ring but not the dropped counter.
+        assert_eq!(u.take_violations().len(), 2);
+        assert!(u.violation_log().is_empty());
+        assert_eq!(u.stats().violation_log_dropped, 2);
     }
 
     impl Siopmp {

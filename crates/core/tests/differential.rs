@@ -82,7 +82,7 @@ fn unit_matches_reference_oracle() {
     prop_check(96, |g| {
         let config_ops = g.vec(1..24, arb_config_op);
         let checks = g.vec(1..60, arb_check);
-        let mut unit = Siopmp::new(SiopmpConfig::small());
+        let mut unit = Siopmp::build(SiopmpConfig::small(), None);
         let mut oracle = Oracle::default();
         let mut device_sid = HashMap::new();
         let mut device_mds: HashMap<u64, Vec<u16>> = HashMap::new();
@@ -144,8 +144,8 @@ fn mmio_program_equals_direct_api() {
         let entries = g.vec(1..4, |g| (g.u64(0..0x20), g.u64(1..8), g.bool(), g.bool()));
         let checks = g.vec(1..30, arb_check);
         // Unit A: direct API. Unit B: MMIO writes only.
-        let mut direct = Siopmp::new(SiopmpConfig::small());
-        let mut mmio_unit = Siopmp::new(SiopmpConfig::small());
+        let mut direct = Siopmp::build(SiopmpConfig::small(), None);
+        let mut mmio_unit = Siopmp::build(SiopmpConfig::small(), None);
         let mut mmio = MmioFrontend::new();
 
         let sid_a = direct.map_hot_device(DeviceId(0)).unwrap();

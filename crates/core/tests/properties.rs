@@ -171,7 +171,7 @@ fn cam_stays_bijective() {
 fn cold_switching_preserves_isolation() {
     prop_check(96, |g| {
         let accesses = g.vec(1..60, |g| (g.u64(0..4), g.u64(0..8)));
-        let mut unit = Siopmp::new(SiopmpConfig::small());
+        let mut unit = Siopmp::build(SiopmpConfig::small(), None);
         // Four cold devices, each owning one distinct 256-byte region.
         for d in 0..4u64 {
             unit.register_cold_device(
@@ -221,7 +221,7 @@ fn cold_switching_preserves_isolation() {
 fn atomic_modification_never_wedges() {
     prop_check(64, |g| {
         let indices = g.vec(1..10, |g| g.u32(0..64));
-        let mut unit = Siopmp::new(SiopmpConfig::small());
+        let mut unit = Siopmp::build(SiopmpConfig::small(), None);
         let sid = unit.map_hot_device(DeviceId(1)).unwrap();
         let updates: Vec<_> = indices.into_iter().map(|i| (EntryIndex(i), None)).collect();
         let _ = unit.modify_entries_atomically(sid, &updates);

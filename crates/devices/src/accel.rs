@@ -48,7 +48,7 @@ pub struct AccelJob {
 ///
 /// ```
 /// use siopmp_devices::accel::{Accelerator, AccelJob};
-/// let acc = Accelerator::new(0x200);
+/// let acc = Accelerator::build(0x200, None);
 /// let job = AccelJob {
 ///     weights_base: 0x9000_0000, weights_len: 4096,
 ///     input_base: 0x9100_0000, input_len: 1024,
@@ -65,19 +65,28 @@ pub struct Accelerator {
 }
 
 impl Accelerator {
-    /// Creates an accelerator with packet-level `device_id`.
-    pub fn new(device_id: u64) -> Self {
-        Self::with_telemetry(device_id, Telemetry::new())
-    }
-
-    /// Creates an accelerator that registers its `accel.*` metrics in
-    /// `telemetry`.
-    pub fn with_telemetry(device_id: u64, telemetry: Telemetry) -> Self {
+    /// Creates an accelerator with packet-level `device_id`, registering
+    /// its `accel.*` metrics in `telemetry` — pass `None` for a private
+    /// registry.
+    pub fn build(device_id: u64, telemetry: impl Into<Option<Telemetry>>) -> Self {
+        let telemetry = telemetry.into().unwrap_or_else(Telemetry::new);
         Accelerator {
             device_id,
             counters: AccelCounters::attach(&telemetry),
             telemetry,
         }
+    }
+
+    /// Creates an accelerator with a private telemetry registry.
+    #[deprecated(note = "use `Accelerator::build(device_id, None)`")]
+    pub fn new(device_id: u64) -> Self {
+        Self::build(device_id, None)
+    }
+
+    /// Creates an accelerator sharing the caller's `telemetry` registry.
+    #[deprecated(note = "use `Accelerator::build(device_id, telemetry)`")]
+    pub fn with_telemetry(device_id: u64, telemetry: Telemetry) -> Self {
+        Self::build(device_id, telemetry)
     }
 
     /// The accelerator's telemetry registry.
@@ -142,7 +151,7 @@ mod tests {
 
     #[test]
     fn program_streams_all_regions() {
-        let acc = Accelerator::new(9);
+        let acc = Accelerator::build(9, None);
         let p = acc.job_program(&job());
         assert_eq!(p.bursts.len(), 4 + 2 + 1);
         let writes = p
@@ -156,7 +165,7 @@ mod tests {
 
     #[test]
     fn regions_mark_only_output_writable() {
-        let acc = Accelerator::new(9);
+        let acc = Accelerator::build(9, None);
         let regions = acc.required_regions(&job());
         assert_eq!(regions.iter().filter(|(_, _, w)| *w).count(), 1);
         assert_eq!(regions[2].0, 0x3000);
@@ -165,7 +174,7 @@ mod tests {
     #[test]
     fn telemetry_counts_jobs() {
         let t = Telemetry::new();
-        let acc = Accelerator::with_telemetry(9, t.clone());
+        let acc = Accelerator::build(9, t.clone());
         let p = acc.job_program(&job());
         let snap = t.snapshot();
         assert_eq!(snap.counters["accel.jobs"], 1);
@@ -174,7 +183,7 @@ mod tests {
 
     #[test]
     fn odd_lengths_round_up_to_bursts() {
-        let acc = Accelerator::new(9);
+        let acc = Accelerator::build(9, None);
         let j = AccelJob {
             weights_len: 65,
             input_len: 1,

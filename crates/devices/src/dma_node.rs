@@ -46,7 +46,7 @@ pub struct SgSegment {
 ///
 /// ```
 /// use siopmp_devices::dma_node::{DmaCopyEngine, SgSegment};
-/// let eng = DmaCopyEngine::new(3, 64);
+/// let eng = DmaCopyEngine::build(3, 64, None);
 /// let prog = eng.copy_program(&[SgSegment { src: 0x1000, dst: 0x8000, len: 128 }]);
 /// // 2 read bursts + 2 write bursts for 128 bytes at 64 B/burst.
 /// assert_eq!(prog.bursts.len(), 4);
@@ -66,16 +66,12 @@ impl DmaCopyEngine {
     /// # Panics
     ///
     /// Panics when `burst_bytes` is zero.
-    pub fn new(device_id: u64, burst_bytes: u64) -> Self {
-        Self::with_telemetry(device_id, burst_bytes, Telemetry::new())
-    }
-
-    /// Creates an engine that registers its `dma.*` metrics in `telemetry`.
-    ///
-    /// # Panics
-    ///
-    /// Panics when `burst_bytes` is zero.
-    pub fn with_telemetry(device_id: u64, burst_bytes: u64, telemetry: Telemetry) -> Self {
+    pub fn build(
+        device_id: u64,
+        burst_bytes: u64,
+        telemetry: impl Into<Option<Telemetry>>,
+    ) -> Self {
+        let telemetry = telemetry.into().unwrap_or_else(Telemetry::new);
         assert!(burst_bytes > 0, "burst size must be nonzero");
         DmaCopyEngine {
             device_id,
@@ -83,6 +79,26 @@ impl DmaCopyEngine {
             counters: DmaCounters::attach(&telemetry),
             telemetry,
         }
+    }
+
+    /// Creates an engine with a private telemetry registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `burst_bytes` is zero.
+    #[deprecated(note = "use `DmaCopyEngine::build(device_id, burst_bytes, None)`")]
+    pub fn new(device_id: u64, burst_bytes: u64) -> Self {
+        Self::build(device_id, burst_bytes, None)
+    }
+
+    /// Creates an engine sharing the caller's `telemetry` registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `burst_bytes` is zero.
+    #[deprecated(note = "use `DmaCopyEngine::build(device_id, burst_bytes, telemetry)`")]
+    pub fn with_telemetry(device_id: u64, burst_bytes: u64, telemetry: Telemetry) -> Self {
+        Self::build(device_id, burst_bytes, telemetry)
     }
 
     /// The engine's telemetry registry.
@@ -153,7 +169,7 @@ mod tests {
 
     #[test]
     fn program_covers_whole_segment() {
-        let eng = DmaCopyEngine::new(1, 64);
+        let eng = DmaCopyEngine::build(1, 64, None);
         let prog = eng.copy_program(&[SgSegment {
             src: 0,
             dst: 0x1000,
@@ -171,7 +187,7 @@ mod tests {
 
     #[test]
     fn regions_mark_destination_writable() {
-        let eng = DmaCopyEngine::new(1, 64);
+        let eng = DmaCopyEngine::build(1, 64, None);
         let regions = eng.required_regions(&[SgSegment {
             src: 0x100,
             dst: 0x200,
@@ -182,7 +198,7 @@ mod tests {
 
     #[test]
     fn execute_moves_bytes() {
-        let eng = DmaCopyEngine::new(1, 64);
+        let eng = DmaCopyEngine::build(1, 64, None);
         let mut mem = SparseMemory::new();
         mem.write(0x100, b"hello dma world!");
         eng.execute(
@@ -198,7 +214,7 @@ mod tests {
 
     #[test]
     fn scatter_gather_handles_many_segments() {
-        let eng = DmaCopyEngine::new(1, 64);
+        let eng = DmaCopyEngine::build(1, 64, None);
         let segments: Vec<SgSegment> = (0..512)
             .map(|i| SgSegment {
                 src: i * 0x100,
@@ -214,7 +230,7 @@ mod tests {
     #[test]
     fn telemetry_counts_segments_and_bytes() {
         let t = Telemetry::new();
-        let eng = DmaCopyEngine::with_telemetry(1, 64, t.clone());
+        let eng = DmaCopyEngine::build(1, 64, t.clone());
         let segs = [SgSegment {
             src: 0x100,
             dst: 0x900,
@@ -233,6 +249,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "burst size")]
     fn zero_burst_size_rejected() {
-        let _ = DmaCopyEngine::new(1, 0);
+        let _ = DmaCopyEngine::build(1, 0, None);
     }
 }

@@ -85,10 +85,10 @@ impl NicLayout {
 ///
 /// ```
 /// use siopmp_devices::nic::{Nic, NicLayout};
-/// let nic = Nic::new(0x100, NicLayout {
+/// let nic = Nic::build(0x100, NicLayout {
 ///     rx_base: 0x8000_0000, tx_base: 0x8010_0000,
 ///     ring_base: 0x8020_0000, slot_bytes: 2048, slots: 256,
-/// });
+/// }, None);
 /// let prog = nic.rx_program(1500, 10);
 /// assert!(prog.bursts.len() > 10); // descriptor + payload + completion per packet
 /// ```
@@ -101,20 +101,33 @@ pub struct Nic {
 }
 
 impl Nic {
-    /// Creates a NIC with packet-level `device_id` over `layout`, with a
-    /// private telemetry registry.
-    pub fn new(device_id: u64, layout: NicLayout) -> Self {
-        Self::with_telemetry(device_id, layout, Telemetry::new())
-    }
-
-    /// Creates a NIC that registers its `nic.*` metrics in `telemetry`.
-    pub fn with_telemetry(device_id: u64, layout: NicLayout, telemetry: Telemetry) -> Self {
+    /// Creates a NIC with packet-level `device_id` over `layout`,
+    /// registering its `nic.*` metrics in `telemetry` — pass `None` for a
+    /// private registry.
+    pub fn build(
+        device_id: u64,
+        layout: NicLayout,
+        telemetry: impl Into<Option<Telemetry>>,
+    ) -> Self {
+        let telemetry = telemetry.into().unwrap_or_else(Telemetry::new);
         Nic {
             device_id,
             layout,
             counters: NicCounters::attach(&telemetry),
             telemetry,
         }
+    }
+
+    /// Creates a NIC with a private telemetry registry.
+    #[deprecated(note = "use `Nic::build(device_id, layout, None)`")]
+    pub fn new(device_id: u64, layout: NicLayout) -> Self {
+        Self::build(device_id, layout, None)
+    }
+
+    /// Creates a NIC sharing the caller's `telemetry` registry.
+    #[deprecated(note = "use `Nic::build(device_id, layout, telemetry)`")]
+    pub fn with_telemetry(device_id: u64, layout: NicLayout, telemetry: Telemetry) -> Self {
+        Self::build(device_id, layout, telemetry)
     }
 
     /// The NIC's telemetry registry.
@@ -241,7 +254,7 @@ mod tests {
 
     #[test]
     fn rx_program_shape() {
-        let nic = Nic::new(7, layout());
+        let nic = Nic::build(7, layout(), None);
         let p = nic.rx_program(1500, 2);
         // Per packet: 1 descriptor read + 24 payload writes + 1 completion.
         assert_eq!(p.bursts.len(), 2 * (1 + 24 + 1));
@@ -251,7 +264,7 @@ mod tests {
 
     #[test]
     fn tx_program_reads_payload() {
-        let nic = Nic::new(7, layout());
+        let nic = Nic::build(7, layout(), None);
         let p = nic.tx_program(64, 1);
         assert_eq!(p.bursts.len(), 3);
         assert_eq!(p.bursts[1].kind, BurstKind::Read);
@@ -260,7 +273,7 @@ mod tests {
 
     #[test]
     fn rogue_program_redirects_writes_only() {
-        let nic = Nic::new(7, layout());
+        let nic = Nic::build(7, layout(), None);
         let p = nic.rogue_rx_program(128, 1, 0xdead_0000);
         for b in &p.bursts {
             match b.kind {
@@ -273,7 +286,7 @@ mod tests {
     #[test]
     fn telemetry_counts_programs_and_bursts() {
         let t = Telemetry::new();
-        let nic = Nic::with_telemetry(7, layout(), t.clone());
+        let nic = Nic::build(7, layout(), t.clone());
         let rx = nic.rx_program(1500, 2);
         let tx = nic.tx_program(64, 1);
         let snap = t.snapshot();
@@ -289,7 +302,7 @@ mod tests {
     fn sub_page_packets_fit_byte_granular_regions() {
         // A 128-byte packet occupies 2 bursts, far below a 4 KiB page —
         // the sub-page isolation case the IOMMU cannot express (§1).
-        let nic = Nic::new(7, layout());
+        let nic = Nic::build(7, layout(), None);
         let p = nic.rx_program(128, 1);
         let payload_writes = p
             .bursts

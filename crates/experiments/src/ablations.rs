@@ -76,11 +76,11 @@ pub fn placement() -> Vec<PlacementPoint> {
         .into_iter()
         .map(|p| {
             let cfg = BusConfig::default().with_placement(p);
-            let mut sim = BusSim::new(cfg.clone(), Box::new(AllowAll));
+            let mut sim = BusSim::build(cfg.clone(), Box::new(AllowAll), None);
             sim.add_master(MasterProgram::uniform(1, BurstKind::Read, 0x1000, 64));
             let read_latency = sim.run_to_completion(1_000_000).makespan();
 
-            let mut sim = BusSim::new(cfg, Box::new(AllowAll));
+            let mut sim = BusSim::build(cfg, Box::new(AllowAll), None);
             sim.add_master(MasterProgram::uniform(1, BurstKind::Read, 0x1000, 256));
             sim.add_master(MasterProgram::uniform(2, BurstKind::Read, 0x2000, 256));
             let bandwidth = sim.run_to_completion(1_000_000).bytes_per_cycle();
@@ -116,7 +116,7 @@ pub fn hot_sids() -> Vec<HotSidPoint> {
             let mut cfg = SiopmpConfig::small();
             cfg.num_sids = hot + 1;
             cfg.num_mds = 8;
-            let mut unit = Siopmp::new(cfg);
+            let mut unit = Siopmp::build(cfg, None);
             for d in 0..ACTIVE as u64 {
                 unit.register_cold_device(
                     DeviceId(d),

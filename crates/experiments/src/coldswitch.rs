@@ -23,7 +23,7 @@ pub fn measure(entries: usize) -> Measurement {
     let mut cfg = SiopmpConfig::small();
     cfg.cold_md_entries = entries.max(1);
     cfg.num_entries = 64 + cfg.cold_md_entries;
-    let mut unit = Siopmp::new(cfg);
+    let mut unit = Siopmp::build(cfg, None);
     let dev = DeviceId(0xc01d);
     let record = MountableEntry {
         domains: vec![],

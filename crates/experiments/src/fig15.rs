@@ -36,22 +36,32 @@ fn mechanisms() -> Vec<MechanismCase> {
         ),
         (
             "IOMMU-deferred".into(),
-            Box::new(|| boxed(Iommu::new(InvalidationPolicy::Deferred { batch: 256 }))),
+            Box::new(|| {
+                boxed(Iommu::build(
+                    InvalidationPolicy::Deferred { batch: 256 },
+                    None,
+                ))
+            }),
             1,
         ),
         (
             "IOMMU-strict".into(),
-            Box::new(|| boxed(Iommu::new(InvalidationPolicy::Strict))),
+            Box::new(|| boxed(Iommu::build(InvalidationPolicy::Strict, None))),
             1,
         ),
         (
             "IOMMU-deferred-multi-core".into(),
-            Box::new(|| boxed(Iommu::new(InvalidationPolicy::Deferred { batch: 256 }))),
+            Box::new(|| {
+                boxed(Iommu::build(
+                    InvalidationPolicy::Deferred { batch: 256 },
+                    None,
+                ))
+            }),
             4,
         ),
         (
             "IOMMU-strict-multi-core".into(),
-            Box::new(|| boxed(Iommu::new(InvalidationPolicy::Strict))),
+            Box::new(|| boxed(Iommu::build(InvalidationPolicy::Strict, None))),
             4,
         ),
         (

@@ -73,7 +73,7 @@ pub fn telemetry_exercise() -> siopmp::telemetry::TelemetrySnapshot {
     use siopmp_monitor::{MemPerms, SecureMonitor};
 
     let telemetry = Telemetry::new();
-    let mut m = SecureMonitor::boot_with_telemetry(SiopmpConfig::small(), telemetry.clone());
+    let mut m = SecureMonitor::build(SiopmpConfig::small(), telemetry.clone());
     let mem = m.mint_memory(0x8000_0000, 0x10_0000, MemPerms::rw());
     let dev = m.mint_device(DeviceId(1));
     let tee = m.create_tee(vec![mem, dev]).expect("fresh monitor");

@@ -48,8 +48,11 @@ pub fn data() -> Vec<Row> {
     vec![
         run(&mut NoProtection),
         run(&mut SiopmpMech::new()),
-        run(&mut Iommu::new(InvalidationPolicy::Strict)),
-        run(&mut Iommu::new(InvalidationPolicy::Deferred { batch: 256 })),
+        run(&mut Iommu::build(InvalidationPolicy::Strict, None)),
+        run(&mut Iommu::build(
+            InvalidationPolicy::Deferred { batch: 256 },
+            None,
+        )),
         run(&mut SiopmpPlusIommu::new()),
         run(&mut Swio::new()),
     ]

@@ -50,13 +50,13 @@ pub fn data() -> Vec<WindowReport> {
     vec![
         measure(&mut SiopmpMech::new(), rounds),
         measure(&mut SiopmpPlusIommu::new(), rounds),
-        measure(&mut Iommu::new(InvalidationPolicy::Strict), rounds),
+        measure(&mut Iommu::build(InvalidationPolicy::Strict, None), rounds),
         measure(
-            &mut Iommu::new(InvalidationPolicy::Deferred { batch: 256 }),
+            &mut Iommu::build(InvalidationPolicy::Deferred { batch: 256 }, None),
             rounds,
         ),
         measure(
-            &mut Iommu::new(InvalidationPolicy::Deferred { batch: 32 }),
+            &mut Iommu::build(InvalidationPolicy::Deferred { batch: 32 }, None),
             rounds,
         ),
     ]

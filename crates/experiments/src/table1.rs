@@ -37,8 +37,8 @@ pub struct Row {
 /// verifiable columns.
 pub fn data() -> Vec<Row> {
     // Exercise the real mechanisms to derive the verifiable properties.
-    let mut strict = Iommu::new(InvalidationPolicy::Strict);
-    let mut deferred = Iommu::new(InvalidationPolicy::Deferred { batch: 64 });
+    let mut strict = Iommu::build(InvalidationPolicy::Strict, None);
+    let mut deferred = Iommu::build(InvalidationPolicy::Deferred { batch: 64 }, None);
     let gran = |sub: bool| if sub { "Sub-page" } else { "Page" };
 
     // The deferred attack window is observable fact, not an opinion.

@@ -152,7 +152,7 @@ mod tests {
 
     #[test]
     fn fixed_mappings_beat_strict_iommu_under_churn() {
-        let mut strict = Iommu::new(InvalidationPolicy::Strict);
+        let mut strict = Iommu::build(InvalidationPolicy::Strict, None);
         let mut sb = ShadowBuffer::new();
         let mut damn = Damn::new();
         let run = |m: &mut dyn DmaProtection| -> u64 {

@@ -138,14 +138,11 @@ pub struct Iommu {
 
 impl Iommu {
     /// Creates an IOMMU with the given invalidation policy, a 64-entry
-    /// IOTLB, and a 1 GiB shared IOVA arena.
-    pub fn new(policy: InvalidationPolicy) -> Self {
-        Self::with_telemetry(policy, Telemetry::new())
-    }
-
-    /// Creates an IOMMU registering its `iommu.*` metrics (map/unmap
-    /// counters, cycle histograms) in the caller's shared registry.
-    pub fn with_telemetry(policy: InvalidationPolicy, telemetry: Telemetry) -> Self {
+    /// IOTLB, and a 1 GiB shared IOVA arena, registering its `iommu.*`
+    /// metrics (map/unmap counters, cycle histograms) in `telemetry` —
+    /// pass `None` for a private registry.
+    pub fn build(policy: InvalidationPolicy, telemetry: impl Into<Option<Telemetry>>) -> Self {
+        let telemetry = telemetry.into().unwrap_or_else(Telemetry::new);
         Iommu {
             policy,
             iova: IovaAllocator::new(0x4000_0000, 0x4000_0000),
@@ -156,6 +153,18 @@ impl Iommu {
             counters: IommuCounters::attach(&telemetry),
             telemetry,
         }
+    }
+
+    /// Creates an IOMMU with a private telemetry registry.
+    #[deprecated(note = "use `Iommu::build(policy, None)`")]
+    pub fn new(policy: InvalidationPolicy) -> Self {
+        Self::build(policy, None)
+    }
+
+    /// Creates an IOMMU sharing the caller's `telemetry` registry.
+    #[deprecated(note = "use `Iommu::build(policy, telemetry)`")]
+    pub fn with_telemetry(policy: InvalidationPolicy, telemetry: Telemetry) -> Self {
+        Self::build(policy, telemetry)
     }
 
     /// The IOMMU's telemetry registry.
@@ -289,7 +298,7 @@ mod tests {
 
     #[test]
     fn strict_unmap_is_expensive_and_safe() {
-        let mut iommu = Iommu::new(InvalidationPolicy::Strict);
+        let mut iommu = Iommu::build(InvalidationPolicy::Strict, None);
         let (h, map_cycles) = iommu.map(1, 0x10_0000, IO_PAGE_SIZE);
         assert!(map_cycles > 0);
         // Device can use the mapping.
@@ -307,7 +316,7 @@ mod tests {
 
     #[test]
     fn deferred_unmap_is_cheap_but_leaves_window() {
-        let mut iommu = Iommu::new(InvalidationPolicy::Deferred { batch: 32 });
+        let mut iommu = Iommu::build(InvalidationPolicy::Deferred { batch: 32 }, None);
         let (h, _) = iommu.map(1, 0x10_0000, IO_PAGE_SIZE);
         // Touch the translation so it is resident in the IOTLB.
         assert!(iommu.device_translate(1, h.iova).is_some());
@@ -325,7 +334,7 @@ mod tests {
     #[test]
     fn deferred_window_closes_at_batch_flush() {
         let batch = 4;
-        let mut iommu = Iommu::new(InvalidationPolicy::Deferred { batch });
+        let mut iommu = Iommu::build(InvalidationPolicy::Deferred { batch }, None);
         let mut handles = Vec::new();
         for i in 0..batch as u64 {
             let (h, _) = iommu.map(1, 0x10_0000 + i * IO_PAGE_SIZE, IO_PAGE_SIZE);
@@ -347,8 +356,8 @@ mod tests {
 
     #[test]
     fn strict_costs_more_than_deferred_per_packet() {
-        let mut strict = Iommu::new(InvalidationPolicy::Strict);
-        let mut deferred = Iommu::new(InvalidationPolicy::Deferred { batch: 256 });
+        let mut strict = Iommu::build(InvalidationPolicy::Strict, None);
+        let mut deferred = Iommu::build(InvalidationPolicy::Deferred { batch: 256 }, None);
         let run = |iommu: &mut Iommu| -> u64 {
             let mut total = 0;
             for i in 0..256u64 {
@@ -368,7 +377,7 @@ mod tests {
 
     #[test]
     fn iova_space_is_recycled() {
-        let mut iommu = Iommu::new(InvalidationPolicy::Strict);
+        let mut iommu = Iommu::build(InvalidationPolicy::Strict, None);
         // Far more map/unmap cycles than the arena could hold at once.
         for i in 0..100_000u64 {
             let (h, _) = iommu.map(1, 0x10_0000 + (i % 16) * IO_PAGE_SIZE, 1500);
@@ -379,7 +388,7 @@ mod tests {
     #[test]
     fn telemetry_counts_map_unmap_pairs() {
         let t = Telemetry::new();
-        let mut iommu = Iommu::with_telemetry(InvalidationPolicy::Strict, t.clone());
+        let mut iommu = Iommu::build(InvalidationPolicy::Strict, t.clone());
         for i in 0..5u64 {
             let (h, _) = iommu.map(1, 0x10_0000 + i * IO_PAGE_SIZE, 1500);
             iommu.unmap(h);
@@ -396,7 +405,7 @@ mod tests {
 
     #[test]
     fn page_granularity_reported() {
-        assert!(!Iommu::new(InvalidationPolicy::Strict).sub_page_granularity());
+        assert!(!Iommu::build(InvalidationPolicy::Strict, None).sub_page_granularity());
         assert!(NoProtection.sub_page_granularity());
     }
 }

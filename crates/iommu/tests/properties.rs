@@ -124,7 +124,7 @@ fn strict_has_no_window_deferred_reports_it() {
         } else {
             InvalidationPolicy::Deferred { batch: 1024 }
         };
-        let mut iommu = Iommu::new(policy);
+        let mut iommu = Iommu::build(policy, None);
         // (handle, physical page) pairs: IOVAs are legitimately recycled,
         // so "still reachable" must be judged against the dead buffer's
         // physical page, not just the IOVA.

@@ -137,7 +137,7 @@ mod tests {
     use siopmp::SiopmpConfig;
 
     fn setup() -> (Siopmp, SourceId, DelegatedWindow) {
-        let mut unit = Siopmp::new(SiopmpConfig::small());
+        let mut unit = Siopmp::build(SiopmpConfig::small(), None);
         let sid = unit.map_hot_device(DeviceId(1)).unwrap();
         unit.associate_sid_with_md(sid, MdIndex(0)).unwrap();
         // One guard protecting the monitor's own range.
@@ -215,7 +215,7 @@ mod tests {
 
     #[test]
     fn delegation_requires_room_for_guards() {
-        let mut unit = Siopmp::new(SiopmpConfig::small());
+        let mut unit = Siopmp::build(SiopmpConfig::small(), None);
         // MD0's window is 4 entries in the small config; 4 guards leave no
         // delegated slot.
         let guards: Vec<(u64, u64)> = (0..4).map(|i| (0x1000 * i, 0x100)).collect();

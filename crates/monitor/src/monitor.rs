@@ -114,7 +114,7 @@ impl From<SiopmpError> for MonitorError {
 /// use siopmp::ids::DeviceId;
 ///
 /// # fn main() -> Result<(), siopmp_monitor::MonitorError> {
-/// let mut monitor = SecureMonitor::boot(siopmp::SiopmpConfig::small());
+/// let mut monitor = SecureMonitor::build(siopmp::SiopmpConfig::small(), None);
 /// let mem = monitor.mint_memory(0x8000_0000, 0x10_0000, MemPerms::rw());
 /// let dev = monitor.mint_device(DeviceId(0x10));
 /// let tee = monitor.create_tee(vec![mem, dev])?;
@@ -136,29 +136,37 @@ pub struct SecureMonitor {
 }
 
 impl SecureMonitor {
-    /// Boots the monitor over a fresh sIOPMP unit. The PMP guard over the
-    /// extended IOPMP table is installed here (slot 0, §4.2).
-    pub fn boot(config: SiopmpConfig) -> Self {
-        Self::boot_with_telemetry(config, Telemetry::new())
-    }
-
     /// Boots the monitor over a fresh sIOPMP unit, registering both the
     /// monitor's `monitor.*` metrics and the unit's `siopmp.*` metrics in
-    /// the caller's shared `telemetry` registry.
-    pub fn boot_with_telemetry(config: SiopmpConfig, telemetry: Telemetry) -> Self {
+    /// `telemetry` — pass `None` for a private registry. The PMP guard
+    /// over the extended IOPMP table is installed here (slot 0, §4.2).
+    pub fn build(config: SiopmpConfig, telemetry: impl Into<Option<Telemetry>>) -> Self {
+        let telemetry = telemetry.into().unwrap_or_else(Telemetry::new);
         let mut pmp = PmpController::new();
         // Protect the (model's) extended-table region from S/U mode.
         pmp.protect(0, EXT_TABLE_BASE, EXT_TABLE_LEN);
         SecureMonitor {
             caps: CapTable::new(),
             tees: TeeManager::new(),
-            siopmp: Siopmp::with_telemetry(config, telemetry.clone()),
+            siopmp: Siopmp::build(config, telemetry.clone()),
             pmp,
             irqs: InterruptController::new(),
             next_md: 0,
             counters: MonitorCounters::attach(&telemetry),
             telemetry,
         }
+    }
+
+    /// Boots the monitor with a private telemetry registry.
+    #[deprecated(note = "use `SecureMonitor::build(config, None)`")]
+    pub fn boot(config: SiopmpConfig) -> Self {
+        Self::build(config, None)
+    }
+
+    /// Boots the monitor sharing the caller's `telemetry` registry.
+    #[deprecated(note = "use `SecureMonitor::build(config, telemetry)`")]
+    pub fn boot_with_telemetry(config: SiopmpConfig, telemetry: Telemetry) -> Self {
+        Self::build(config, telemetry)
     }
 
     /// The monitor's telemetry registry (shared with its sIOPMP unit).
@@ -516,7 +524,7 @@ mod tests {
     use siopmp::request::{AccessKind, DmaRequest};
 
     fn booted() -> SecureMonitor {
-        SecureMonitor::boot(SiopmpConfig::small())
+        SecureMonitor::build(SiopmpConfig::small(), None)
     }
 
     #[test]
@@ -637,7 +645,7 @@ mod tests {
     fn cold_devices_bind_when_sids_exhausted() {
         let mut cfg = SiopmpConfig::small();
         cfg.num_sids = 3; // 2 hot SIDs only
-        let mut m = SecureMonitor::boot(cfg);
+        let mut m = SecureMonitor::build(cfg, None);
         let mem = m.mint_memory(0x8000_0000, 0x100_0000, MemPerms::rw());
         let mut devs = Vec::new();
         for d in 0..4u64 {
@@ -667,7 +675,7 @@ mod tests {
     #[test]
     fn telemetry_spans_monitor_and_unit() {
         let t = Telemetry::new();
-        let mut m = SecureMonitor::boot_with_telemetry(SiopmpConfig::small(), t.clone());
+        let mut m = SecureMonitor::build(SiopmpConfig::small(), t.clone());
         let mem = m.mint_memory(0x8000_0000, 0x10_0000, MemPerms::rw());
         let dev = m.mint_device(DeviceId(1));
         let tee = m.create_tee(vec![mem, dev]).unwrap();

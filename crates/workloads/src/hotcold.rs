@@ -49,7 +49,7 @@ fn region(base: u64) -> IopmpEntry {
 /// Runs `windows` windows of (`ratio` hot requests + 1 cold request)
 /// against a fresh sIOPMP unit and measures hot-device throughput.
 pub fn run(ratio: u64, matched: bool, windows: u32) -> HotColdReport {
-    let mut unit = Siopmp::new(SiopmpConfig::small());
+    let mut unit = Siopmp::build(SiopmpConfig::small(), None);
     let hot_dev = DeviceId(1);
     let cold_dev = DeviceId(2);
     let hot_base = 0x10_0000u64;

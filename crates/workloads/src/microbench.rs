@@ -27,7 +27,7 @@ pub fn burst_latency(
     } else {
         Box::new(AllowAll)
     };
-    let mut sim = BusSim::new(cfg, policy);
+    let mut sim = BusSim::build(cfg, policy, None);
     sim.add_master(MasterProgram::uniform(1, kind, 0x1000, LATENCY_BURSTS));
     let report = sim.run_to_completion(1_000_000);
     assert!(report.completed, "latency run must drain");
@@ -59,7 +59,7 @@ impl core::fmt::Display for BandwidthScenario {
 /// `scenario` with the given checker.
 pub fn dma_bandwidth(scenario: BandwidthScenario, checker: CheckerKind) -> f64 {
     let cfg = BusConfig::default().with_checker(checker, ViolationMode::BusError);
-    let mut sim = BusSim::new(cfg, Box::new(AllowAll));
+    let mut sim = BusSim::build(cfg, Box::new(AllowAll), None);
     let (k0, k1) = match scenario {
         BandwidthScenario::ReadWrite => (BurstKind::Read, BurstKind::Write),
         BandwidthScenario::ReadRead => (BurstKind::Read, BurstKind::Read),

@@ -201,7 +201,7 @@ mod tests {
     #[test]
     fn iommu_strict_loses_25_to_38_percent_single_core() {
         for dir in [Direction::Tx, Direction::Rx] {
-            let mut strict = Iommu::new(InvalidationPolicy::Strict);
+            let mut strict = Iommu::build(InvalidationPolicy::Strict, None);
             let r = evaluate(&mut strict, &cfg(dir, 1));
             let loss = 1.0 - r.fraction_of_baseline;
             assert!(
@@ -211,8 +211,8 @@ mod tests {
             );
         }
         // RX is worse than TX.
-        let mut s1 = Iommu::new(InvalidationPolicy::Strict);
-        let mut s2 = Iommu::new(InvalidationPolicy::Strict);
+        let mut s1 = Iommu::build(InvalidationPolicy::Strict, None);
+        let mut s2 = Iommu::build(InvalidationPolicy::Strict, None);
         let rx = evaluate(&mut s1, &cfg(Direction::Rx, 1));
         let tx = evaluate(&mut s2, &cfg(Direction::Tx, 1));
         assert!(rx.fraction_of_baseline < tx.fraction_of_baseline);
@@ -220,8 +220,8 @@ mod tests {
 
     #[test]
     fn iommu_strict_multicore_loses_less() {
-        let mut single = Iommu::new(InvalidationPolicy::Strict);
-        let mut multi = Iommu::new(InvalidationPolicy::Strict);
+        let mut single = Iommu::build(InvalidationPolicy::Strict, None);
+        let mut multi = Iommu::build(InvalidationPolicy::Strict, None);
         let s = evaluate(&mut single, &cfg(Direction::Tx, 1));
         let m = evaluate(&mut multi, &cfg(Direction::Tx, 4));
         assert!(m.fraction_of_baseline > s.fraction_of_baseline);
@@ -231,7 +231,7 @@ mod tests {
 
     #[test]
     fn iommu_deferred_close_to_native_but_unsafe() {
-        let mut deferred = Iommu::new(InvalidationPolicy::Deferred { batch: 256 });
+        let mut deferred = Iommu::build(InvalidationPolicy::Deferred { batch: 256 }, None);
         let r = evaluate(&mut deferred, &cfg(Direction::Tx, 1));
         assert!(r.fraction_of_baseline > 0.90, "{}", r.fraction_of_baseline);
         assert!(r.attack_window_pages > 0, "deferred must leave a window");
@@ -248,7 +248,7 @@ mod tests {
     #[test]
     fn hybrid_matches_deferred_and_improves_on_strict() {
         let mut hybrid = SiopmpPlusIommu::new();
-        let mut strict = Iommu::new(InvalidationPolicy::Strict);
+        let mut strict = Iommu::build(InvalidationPolicy::Strict, None);
         let h = evaluate(&mut hybrid, &cfg(Direction::Tx, 1));
         let s = evaluate(&mut strict, &cfg(Direction::Tx, 1));
         // ~19% improvement over IOMMU-strict (paper's number), no window.
@@ -264,12 +264,13 @@ mod tests {
         let siopmp = evaluate(&mut SiopmpMech::new(), &c).fraction_of_baseline;
         let hybrid = evaluate(&mut SiopmpPlusIommu::new(), &c).fraction_of_baseline;
         let deferred = evaluate(
-            &mut Iommu::new(InvalidationPolicy::Deferred { batch: 256 }),
+            &mut Iommu::build(InvalidationPolicy::Deferred { batch: 256 }, None),
             &c,
         )
         .fraction_of_baseline;
         let swio = evaluate(&mut Swio::new(), &c).fraction_of_baseline;
-        let strict = evaluate(&mut Iommu::new(InvalidationPolicy::Strict), &c).fraction_of_baseline;
+        let strict =
+            evaluate(&mut Iommu::build(InvalidationPolicy::Strict, None), &c).fraction_of_baseline;
         assert!(siopmp > hybrid);
         assert!(hybrid > swio);
         assert!(deferred > swio);

@@ -114,7 +114,7 @@ impl SiopmpPlusIommu {
     /// Creates the hybrid with a 256-entry deferred flush batch.
     pub fn new() -> Self {
         SiopmpPlusIommu {
-            iommu: Iommu::new(InvalidationPolicy::Deferred { batch: 256 }),
+            iommu: Iommu::build(InvalidationPolicy::Deferred { batch: 256 }, None),
             siopmp: SiopmpMech::new(),
         }
     }
@@ -199,7 +199,7 @@ mod tests {
     #[test]
     fn hybrid_cost_is_much_below_strict() {
         let mut hybrid = SiopmpPlusIommu::new();
-        let mut strict = Iommu::new(InvalidationPolicy::Strict);
+        let mut strict = Iommu::build(InvalidationPolicy::Strict, None);
         let mut hybrid_cost = 0;
         let mut strict_cost = 0;
         for i in 0..64u64 {

@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut mem = SparseMemory::new();
     mem.write(0x9000_0000, b"TEE disk encryption key!");
 
-    let mut iopmp = Siopmp::new(SiopmpConfig::small());
+    let mut iopmp = Siopmp::build(SiopmpConfig::small(), None);
     let evil = DeviceId(0x666);
     let sid = iopmp.map_hot_device(evil)?;
     iopmp.associate_sid_with_md(sid, MdIndex(0))?;
@@ -62,7 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. The deferred-IOMMU attack window.
     // ------------------------------------------------------------------
     println!("--- scenario 2: IOMMU-deferred attack window ---");
-    let mut iommu = Iommu::new(InvalidationPolicy::Deferred { batch: 128 });
+    let mut iommu = Iommu::build(InvalidationPolicy::Deferred { batch: 128 }, None);
     let (h, _) = iommu.map(7, 0x5000_0000, 4096);
     iommu.device_translate(7, h.iova); // warm the IOTLB
     iommu.unmap(h);

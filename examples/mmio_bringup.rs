@@ -13,7 +13,7 @@ use siopmp_suite::siopmp::request::{AccessKind, DmaRequest};
 use siopmp_suite::siopmp::{Siopmp, SiopmpConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut unit = Siopmp::new(SiopmpConfig::small());
+    let mut unit = Siopmp::build(SiopmpConfig::small(), None);
     let mut mmio = MmioFrontend::new();
     let nic = DeviceId(0x10);
     let sid = unit.map_hot_device(nic)?;

@@ -35,7 +35,7 @@ fn vf_request(vf: u64) -> DmaRequest {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut cfg = SiopmpConfig::small();
     cfg.num_sids = 9; // 8 hot SIDs + the cold mount slot
-    let mut iopmp = Siopmp::new(cfg);
+    let mut iopmp = Siopmp::build(cfg, None);
 
     // Register 200 virtual functions — all cold; no hardware limit.
     const VFS: u64 = 200;

@@ -11,7 +11,7 @@ use siopmp_suite::siopmp::{CheckOutcome, Siopmp, SiopmpConfig};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The paper's headline configuration: 64 SIDs, 63 memory domains,
     // 1024 entries, 2-stage MT checker with tree arbitration.
-    let mut iopmp = Siopmp::new(SiopmpConfig::default());
+    let mut iopmp = Siopmp::build(SiopmpConfig::default(), None);
     println!("sIOPMP configured: {:?}", iopmp.config().checker);
 
     // --- A hot device: a NIC with an RX buffer and a read-only TX buffer.

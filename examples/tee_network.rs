@@ -15,7 +15,7 @@ use siopmp_suite::siopmp::SiopmpConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Boot the monitor and enumerate the platform.
-    let mut monitor = SecureMonitor::boot(SiopmpConfig::default());
+    let mut monitor = SecureMonitor::build(SiopmpConfig::default(), None);
     let nic_dev = DeviceId(0x100);
     let layout = NicLayout {
         rx_base: 0x8000_0000,
@@ -24,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         slot_bytes: 2048,
         slots: 256,
     };
-    let nic = Nic::new(0x100, layout);
+    let nic = Nic::build(0x100, layout, None);
 
     // Root capabilities, handed to the boot system.
     let mem_cap = monitor.mint_memory(0x8000_0000, 0x100_0000, MemPerms::rw());
@@ -55,7 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Drive the NIC's receive path through the cycle simulator, with
     // the monitor-configured sIOPMP unit checking every burst.
     let policy = SiopmpPolicy::new(monitor.siopmp().clone());
-    let mut sim = BusSim::new(BusConfig::default(), Box::new(policy));
+    let mut sim = BusSim::build(BusConfig::default(), Box::new(policy), None);
     sim.add_master(nic.rx_program(1500, 32));
     let report = sim.run_to_completion(1_000_000);
     let m = &report.masters[0];
@@ -76,7 +76,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- A compromised NIC redirects payload writes at the monitor's own
     // memory: every write burst is blocked.
     let rogue_policy = SiopmpPolicy::new(monitor.siopmp().clone());
-    let mut rogue_sim = BusSim::new(BusConfig::default(), Box::new(rogue_policy));
+    let mut rogue_sim = BusSim::build(BusConfig::default(), Box::new(rogue_policy), None);
     rogue_sim.add_master(nic.rogue_rx_program(1500, 8, 0xFF00_0000));
     let rogue = rogue_sim.run_to_completion(1_000_000);
     let rm = &rogue.masters[0];

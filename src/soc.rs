@@ -68,7 +68,7 @@ impl SocBuilder {
     /// Propagates monitor errors (capability refusals, exhausted memory
     /// domains, invalid regions).
     pub fn build(self) -> Result<Soc, MonitorError> {
-        let mut monitor = SecureMonitor::boot(self.siopmp_config);
+        let mut monitor = SecureMonitor::build(self.siopmp_config, None);
         let mut tees = Vec::new();
         for (mem_base, mem_len, devices) in self.tenants {
             let mem_cap = monitor.mint_memory(mem_base, mem_len, MemPerms::rw());
@@ -137,7 +137,7 @@ impl Soc {
     /// `max_cycles`.
     pub fn run(&self, programs: Vec<MasterProgram>, max_cycles: u64) -> SimReport {
         let policy = SiopmpPolicy::new(self.monitor.siopmp().clone());
-        let mut sim = BusSim::new(self.bus_config.clone(), Box::new(policy));
+        let mut sim = BusSim::build(self.bus_config.clone(), Box::new(policy), None);
         for p in programs {
             sim.add_master(p);
         }
@@ -156,22 +156,23 @@ impl Soc {
             monitor: Rc<RefCell<SecureMonitor>>,
         }
         impl siopmp_bus::policy::AccessPolicy for MonitorPolicy {
-            fn allowed(
+            fn decide(
                 &mut self,
                 device: DeviceId,
                 kind: siopmp::request::AccessKind,
                 addr: u64,
                 len: u64,
-            ) -> bool {
+            ) -> siopmp_bus::PolicyVerdict {
                 // check_dma services SID-missing inline (cold switching).
-                self.monitor
+                let outcome = self
+                    .monitor
                     .borrow_mut()
-                    .check_dma(&siopmp::request::DmaRequest::new(device, kind, addr, len))
-                    .is_allowed()
+                    .check_dma(&siopmp::request::DmaRequest::new(device, kind, addr, len));
+                siopmp_bus::PolicyVerdict::from(&outcome)
             }
         }
         // Temporarily move the monitor into a shared cell for the run.
-        let placeholder = SecureMonitor::boot(siopmp::SiopmpConfig::small());
+        let placeholder = SecureMonitor::build(siopmp::SiopmpConfig::small(), None);
         let monitor = Rc::new(RefCell::new(std::mem::replace(
             &mut self.monitor,
             placeholder,
@@ -179,7 +180,7 @@ impl Soc {
         let policy = MonitorPolicy {
             monitor: Rc::clone(&monitor),
         };
-        let mut sim = BusSim::new(self.bus_config.clone(), Box::new(policy));
+        let mut sim = BusSim::build(self.bus_config.clone(), Box::new(policy), None);
         for p in programs {
             sim.add_master(p);
         }

@@ -14,7 +14,7 @@ use siopmp_suite::siopmp::{Siopmp, SiopmpConfig};
 /// the monitor's locked guard keeps the extended-table region unreachable.
 #[test]
 fn kernel_fast_path_handles_packet_churn() {
-    let mut unit = Siopmp::new(SiopmpConfig::default());
+    let mut unit = Siopmp::build(SiopmpConfig::default(), None);
     let nic = DeviceId(0x10);
     let sid = unit.map_hot_device(nic).unwrap();
     unit.associate_sid_with_md(sid, MdIndex(0)).unwrap();
@@ -49,7 +49,7 @@ fn kernel_fast_path_handles_packet_churn() {
 #[test]
 fn ring_rx_with_checker_gating() {
     let mut mem = SparseMemory::new();
-    let mut unit = Siopmp::new(SiopmpConfig::small());
+    let mut unit = Siopmp::build(SiopmpConfig::small(), None);
     let nic = DeviceId(0x10);
     let sid = unit.map_hot_device(nic).unwrap();
     unit.associate_sid_with_md(sid, MdIndex(0)).unwrap();
@@ -120,7 +120,7 @@ fn ring_rx_with_checker_gating() {
 /// cannot authorise the first device's traffic.
 #[test]
 fn delegated_windows_are_domain_scoped() {
-    let mut unit = Siopmp::new(SiopmpConfig::small());
+    let mut unit = Siopmp::build(SiopmpConfig::small(), None);
     let a = DeviceId(1);
     let b = DeviceId(2);
     let sid_a = unit.map_hot_device(a).unwrap();

@@ -25,7 +25,7 @@ fn nic_layout() -> NicLayout {
 /// Boots a monitor, creates a TEE owning the NIC and its memory, and maps
 /// all NIC regions. Returns the monitor plus the capability handles.
 fn tee_with_nic() -> (SecureMonitor, siopmp_suite::monitor::TeeId) {
-    let mut monitor = SecureMonitor::boot(SiopmpConfig::default());
+    let mut monitor = SecureMonitor::build(SiopmpConfig::default(), None);
     let mem = monitor.mint_memory(0x8000_0000, 0x100_0000, MemPerms::rw());
     let dev = monitor.mint_device(DeviceId(0x100));
     let tee = monitor.create_tee(vec![mem, dev]).unwrap();
@@ -43,11 +43,11 @@ fn tee_with_nic() -> (SecureMonitor, siopmp_suite::monitor::TeeId) {
 #[test]
 fn nic_rx_and_tx_flow_through_the_checker() {
     let (monitor, _tee) = tee_with_nic();
-    let nic = Nic::new(0x100, nic_layout());
+    let nic = Nic::build(0x100, nic_layout(), None);
 
     for program in [nic.rx_program(1500, 16), nic.tx_program(1500, 16)] {
         let policy = SiopmpPolicy::new(monitor.siopmp().clone());
-        let mut sim = BusSim::new(BusConfig::default(), Box::new(policy));
+        let mut sim = BusSim::build(BusConfig::default(), Box::new(policy), None);
         sim.add_master(program);
         let report = sim.run_to_completion(2_000_000);
         assert!(report.completed);
@@ -61,7 +61,7 @@ fn nic_rx_and_tx_flow_through_the_checker() {
 fn rogue_nic_blocked_under_both_violation_modes() {
     for mode in [ViolationMode::PacketMasking, ViolationMode::BusError] {
         let (monitor, _tee) = tee_with_nic();
-        let nic = Nic::new(0x100, nic_layout());
+        let nic = Nic::build(0x100, nic_layout(), None);
         let cfg = BusConfig::default().with_checker(
             CheckerKind::MtChecker {
                 stages: 2,
@@ -70,7 +70,7 @@ fn rogue_nic_blocked_under_both_violation_modes() {
             mode,
         );
         let policy = SiopmpPolicy::new(monitor.siopmp().clone());
-        let mut sim = BusSim::new(cfg, Box::new(policy));
+        let mut sim = BusSim::build(cfg, Box::new(policy), None);
         sim.add_master(nic.rogue_rx_program(1500, 4, 0xFF00_0000));
         let report = sim.run_to_completion(2_000_000);
         let m = &report.masters[0];
@@ -85,12 +85,12 @@ fn rogue_nic_blocked_under_both_violation_modes() {
 
 #[test]
 fn dma_copy_engine_respects_direction_permissions() {
-    let mut monitor = SecureMonitor::boot(SiopmpConfig::default());
+    let mut monitor = SecureMonitor::build(SiopmpConfig::default(), None);
     let mem = monitor.mint_memory(0x1000_0000, 0x100_0000, MemPerms::rw());
     let dev = monitor.mint_device(DeviceId(3));
     let tee = monitor.create_tee(vec![mem, dev]).unwrap();
 
-    let engine = DmaCopyEngine::new(3, 64);
+    let engine = DmaCopyEngine::build(3, 64, None);
     let segments = [SgSegment {
         src: 0x1000_0000,
         dst: 0x1080_0000,
@@ -105,7 +105,7 @@ fn dma_copy_engine_respects_direction_permissions() {
         monitor.device_map(tee, dev, mem, base, len, perms).unwrap();
     }
     let policy = SiopmpPolicy::new(monitor.siopmp().clone());
-    let mut sim = BusSim::new(BusConfig::default(), Box::new(policy));
+    let mut sim = BusSim::build(BusConfig::default(), Box::new(policy), None);
     sim.add_master(engine.copy_program(&segments));
     let report = sim.run_to_completion(2_000_000);
     let m = &report.masters[0];
@@ -119,7 +119,7 @@ fn dma_copy_engine_respects_direction_permissions() {
         len: 64,
     }];
     let policy = SiopmpPolicy::new(monitor.siopmp().clone());
-    let mut sim = BusSim::new(BusConfig::default(), Box::new(policy));
+    let mut sim = BusSim::build(BusConfig::default(), Box::new(policy), None);
     sim.add_master(engine.copy_program(&reversed));
     let report = sim.run_to_completion(2_000_000);
     let m = &report.masters[0];
@@ -131,12 +131,12 @@ fn dma_copy_engine_respects_direction_permissions() {
 
 #[test]
 fn accelerator_job_runs_with_scatter_regions() {
-    let mut monitor = SecureMonitor::boot(SiopmpConfig::default());
+    let mut monitor = SecureMonitor::build(SiopmpConfig::default(), None);
     let mem = monitor.mint_memory(0x2000_0000, 0x1000_0000, MemPerms::rw());
     let dev = monitor.mint_device(DeviceId(0x200));
     let tee = monitor.create_tee(vec![mem, dev]).unwrap();
 
-    let accel = Accelerator::new(0x200);
+    let accel = Accelerator::build(0x200, None);
     let job = AccelJob {
         weights_base: 0x2000_0000,
         weights_len: 64 * 1024,
@@ -154,7 +154,7 @@ fn accelerator_job_runs_with_scatter_regions() {
         monitor.device_map(tee, dev, mem, base, len, perms).unwrap();
     }
     let policy = SiopmpPolicy::new(monitor.siopmp().clone());
-    let mut sim = BusSim::new(BusConfig::default(), Box::new(policy));
+    let mut sim = BusSim::build(BusConfig::default(), Box::new(policy), None);
     sim.add_master(accel.job_program(&job));
     let report = sim.run_to_completion(10_000_000);
     assert!(report.completed);
@@ -165,7 +165,7 @@ fn accelerator_job_runs_with_scatter_regions() {
 
 #[test]
 fn two_tees_cannot_reach_each_other() {
-    let mut monitor = SecureMonitor::boot(SiopmpConfig::default());
+    let mut monitor = SecureMonitor::build(SiopmpConfig::default(), None);
     let mem_a = monitor.mint_memory(0x4000_0000, 0x10_0000, MemPerms::rw());
     let dev_a = monitor.mint_device(DeviceId(1));
     let mem_b = monitor.mint_memory(0x5000_0000, 0x10_0000, MemPerms::rw());
@@ -222,7 +222,7 @@ fn two_tees_cannot_reach_each_other() {
 
 #[test]
 fn destroying_one_tee_leaves_the_other_running() {
-    let mut monitor = SecureMonitor::boot(SiopmpConfig::default());
+    let mut monitor = SecureMonitor::build(SiopmpConfig::default(), None);
     let mem_a = monitor.mint_memory(0x4000_0000, 0x10_0000, MemPerms::rw());
     let dev_a = monitor.mint_device(DeviceId(1));
     let mem_b = monitor.mint_memory(0x5000_0000, 0x10_0000, MemPerms::rw());

@@ -22,7 +22,7 @@ fn record(base: u64) -> MountableEntry {
 
 #[test]
 fn original_iopmp_caps_out_at_its_sid_count() {
-    let mut orig = Siopmp::new(SiopmpConfig::original_iopmp());
+    let mut orig = Siopmp::build(SiopmpConfig::original_iopmp(), None);
     let hot = orig.config().num_hot_sids();
     // Fill every hardware SID.
     for d in 0..hot as u64 {
@@ -42,7 +42,7 @@ fn original_iopmp_caps_out_at_its_sid_count() {
 
 #[test]
 fn siopmp_accepts_the_same_overflow_devices() {
-    let mut siopmp = Siopmp::new(SiopmpConfig::default());
+    let mut siopmp = Siopmp::build(SiopmpConfig::default(), None);
     let hot = siopmp.config().num_hot_sids();
     for d in 0..hot as u64 {
         siopmp.map_hot_device(DeviceId(d)).unwrap();

@@ -15,7 +15,7 @@ const SIOPMP_MMIO_BASE: u64 = 0xFE00_0000;
 
 #[test]
 fn device_dma_cannot_reach_the_register_file() {
-    let mut monitor = SecureMonitor::boot(SiopmpConfig::default());
+    let mut monitor = SecureMonitor::build(SiopmpConfig::default(), None);
     let mem = monitor.mint_memory(0x8000_0000, 0x10_0000, MemPerms::rw());
     let dev = monitor.mint_device(DeviceId(0x10));
     let tee = monitor.create_tee(vec![mem, dev]).unwrap();
@@ -46,7 +46,7 @@ fn device_dma_cannot_reach_the_register_file() {
 
 #[test]
 fn untrusted_os_cannot_touch_the_extended_table() {
-    let monitor = SecureMonitor::boot(SiopmpConfig::default());
+    let monitor = SecureMonitor::build(SiopmpConfig::default(), None);
     // The PMP guard installed at boot denies S/U-mode access to the
     // extended IOPMP table region, read and write.
     for offset in [0u64, 8, EXT_TABLE_LEN - 8] {
@@ -63,7 +63,7 @@ fn untrusted_os_cannot_touch_the_extended_table() {
 
 #[test]
 fn violation_counter_survives_tampering_attempts() {
-    let mut unit = siopmp_suite::siopmp::Siopmp::new(SiopmpConfig::small());
+    let mut unit = siopmp_suite::siopmp::Siopmp::build(SiopmpConfig::small(), None);
     let mut mmio = MmioFrontend::new();
     // Generate a violation.
     unit.check(&DmaRequest::new(DeviceId(9), AccessKind::Read, 0x0, 8));

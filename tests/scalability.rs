@@ -15,7 +15,7 @@ fn a_thousand_entries_check_correctly() {
         num_entries: 1024,
         ..SiopmpConfig::default()
     };
-    let mut unit = Siopmp::new(cfg);
+    let mut unit = Siopmp::build(cfg, None);
     let dev = DeviceId(1);
     let sid = unit.map_hot_device(dev).unwrap();
 
@@ -67,7 +67,7 @@ fn a_thousand_entries_check_correctly() {
 
 #[test]
 fn thousands_of_cold_devices_are_serviceable() {
-    let mut unit = Siopmp::new(SiopmpConfig::small());
+    let mut unit = Siopmp::build(SiopmpConfig::small(), None);
     const DEVICES: u64 = 5000;
     for d in 0..DEVICES {
         unit.register_cold_device(
@@ -108,7 +108,7 @@ fn hot_cold_churn_preserves_isolation() {
     // no device ever gains access to another's region.
     let mut cfg = SiopmpConfig::small();
     cfg.num_sids = 4; // 3 hot SIDs
-    let mut unit = Siopmp::new(cfg);
+    let mut unit = Siopmp::build(cfg, None);
     const N: u64 = 12;
     for d in 0..N {
         unit.register_cold_device(
@@ -149,7 +149,7 @@ fn hot_cold_churn_preserves_isolation() {
 fn promotion_under_full_cam_uses_clock_eviction() {
     let mut cfg = SiopmpConfig::small();
     cfg.num_sids = 3; // 2 hot SIDs
-    let mut unit = Siopmp::new(cfg);
+    let mut unit = Siopmp::build(cfg, None);
     for d in 0..6u64 {
         unit.register_cold_device(
             DeviceId(d),

@@ -16,7 +16,7 @@ use siopmp_suite::workloads::SiopmpPlusIommu;
 /// the monitor can install IOPMP entries for TEE-owned memory.
 #[test]
 fn privileged_software_cannot_authorise_dma_into_tee_memory() {
-    let mut monitor = SecureMonitor::boot(SiopmpConfig::default());
+    let mut monitor = SecureMonitor::build(SiopmpConfig::default(), None);
     let tee_mem = monitor.mint_memory(0x9000_0000, 0x10_0000, MemPerms::rw());
     let tee_dev = monitor.mint_device(DeviceId(0x10));
     let _tee = monitor.create_tee(vec![tee_mem, tee_dev]).unwrap();
@@ -50,7 +50,7 @@ fn privileged_software_cannot_authorise_dma_into_tee_memory() {
 /// must fail immediately (no asynchronous invalidation window).
 #[test]
 fn no_window_after_unmap() {
-    let mut monitor = SecureMonitor::boot(SiopmpConfig::default());
+    let mut monitor = SecureMonitor::build(SiopmpConfig::default(), None);
     let mem = monitor.mint_memory(0x9000_0000, 0x10_0000, MemPerms::rw());
     let dev = monitor.mint_device(DeviceId(0x10));
     let tee = monitor.create_tee(vec![mem, dev]).unwrap();
@@ -68,7 +68,7 @@ fn no_window_after_unmap() {
 /// the device; the hybrid mode does not.
 #[test]
 fn deferred_window_exists_and_hybrid_closes_it() {
-    let mut deferred = Iommu::new(InvalidationPolicy::Deferred { batch: 64 });
+    let mut deferred = Iommu::build(InvalidationPolicy::Deferred { batch: 64 }, None);
     let (h, _) = deferred.map(1, 0x10_0000, 4096);
     deferred.device_translate(1, h.iova);
     deferred.unmap(h);
@@ -88,7 +88,7 @@ fn deferred_window_exists_and_hybrid_closes_it() {
 /// block bitmap.
 #[test]
 fn entry_updates_are_atomic_under_blocking() {
-    let mut unit = Siopmp::new(SiopmpConfig::small());
+    let mut unit = Siopmp::build(SiopmpConfig::small(), None);
     let dev = DeviceId(5);
     let sid = unit.map_hot_device(dev).unwrap();
     unit.associate_sid_with_md(sid, MdIndex(0)).unwrap();
@@ -149,7 +149,7 @@ fn entry_updates_are_atomic_under_blocking() {
 /// must never see the previous tenant's memory domain.
 #[test]
 fn cold_switch_never_leaks_previous_tenant() {
-    let mut unit = Siopmp::new(SiopmpConfig::small());
+    let mut unit = Siopmp::build(SiopmpConfig::small(), None);
     for (d, base) in [(1u64, 0x1_0000u64), (2, 0x2_0000)] {
         unit.register_cold_device(
             DeviceId(d),
@@ -184,7 +184,7 @@ fn cold_switch_never_leaks_previous_tenant() {
 fn masking_protects_memory_contents() {
     let mut mem = SparseMemory::new();
     mem.write(0x9000_0000, b"confidential");
-    let mut unit = Siopmp::new(SiopmpConfig::small());
+    let mut unit = Siopmp::build(SiopmpConfig::small(), None);
     let dev = DeviceId(9);
     let sid = unit.map_hot_device(dev).unwrap();
     unit.associate_sid_with_md(sid, MdIndex(0)).unwrap();
@@ -205,7 +205,7 @@ fn masking_protects_memory_contents() {
 /// cannot open a hole the monitor closed (§6.3's delegation model).
 #[test]
 fn locked_guard_entries_shadow_delegated_ones() {
-    let mut unit = Siopmp::new(SiopmpConfig::small());
+    let mut unit = Siopmp::build(SiopmpConfig::small(), None);
     let dev = DeviceId(4);
     let sid = unit.map_hot_device(dev).unwrap();
     unit.associate_sid_with_md(sid, MdIndex(0)).unwrap();

@@ -85,7 +85,7 @@ fn violations_are_fully_logged() {
     // Run via the monitor-owned unit directly so the violation log is on
     // the same instance we inspect.
     let policy = siopmp_suite::bus::policy::SiopmpPolicy::new(soc.monitor.siopmp().clone());
-    let mut sim = siopmp_suite::bus::BusSim::new(soc.bus_config.clone(), Box::new(policy));
+    let mut sim = siopmp_suite::bus::BusSim::build(soc.bus_config.clone(), Box::new(policy), None);
     for p in programs {
         sim.add_master(p);
     }

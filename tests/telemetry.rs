@@ -12,7 +12,7 @@ use siopmp::{CheckOutcome, Siopmp, SiopmpConfig};
 
 fn mixed_workload_unit() -> (Siopmp, Telemetry) {
     let telemetry = Telemetry::new();
-    let mut unit = Siopmp::with_telemetry(SiopmpConfig::small(), telemetry.clone());
+    let mut unit = Siopmp::build(SiopmpConfig::small(), telemetry.clone());
     let hot = DeviceId(1);
     let sid = unit.map_hot_device(hot).expect("fresh unit");
     unit.associate_sid_with_md(sid, MdIndex(0)).unwrap();
