@@ -25,7 +25,7 @@ use siopmp_workloads::{SiopmpMech, SiopmpPlusIommu};
 use std::hint::black_box;
 
 /// Every scenario name, in reporting order.
-pub const ALL: [&str; 11] = [
+pub const ALL: [&str; 12] = [
     "clock_frequency",
     "pipeline_latency",
     "dma_bandwidth",
@@ -36,6 +36,7 @@ pub const ALL: [&str; 11] = [
     "cold_switching",
     "checker_core",
     "check_fastpath",
+    "analyze",
     "ablations",
 ];
 
@@ -52,6 +53,7 @@ pub fn run(name: &str, mode: BenchMode) -> Option<ScenarioReport> {
         "cold_switching" => Some(cold_switching(mode)),
         "checker_core" => Some(checker_core(mode)),
         "check_fastpath" => Some(check_fastpath(mode)),
+        "analyze" => Some(analyze_scenario(mode)),
         "ablations" => Some(ablations_scenario(mode)),
         _ => None,
     }
@@ -659,6 +661,50 @@ fn check_fastpath(mode: BenchMode) -> ScenarioReport {
     }
 }
 
+/// Static-analyzer cost: one full `siopmp_verify::analyze` pass over units
+/// holding 1–1024 installed entries. The headline timing is the largest
+/// table; per-size rows record how the interval sweep scales.
+fn analyze_scenario(mode: BenchMode) -> ScenarioReport {
+    const SIZES: [usize; 5] = [1, 16, 64, 256, 1024];
+    let telemetry = Telemetry::new();
+    let mut per_size = Vec::new();
+    let mut headline = None;
+    for entries in SIZES {
+        let (unit, _) = crate::unit_with_entries_in(entries, 0x10_0000, Telemetry::new());
+        let registry = if entries == *SIZES.last().expect("non-empty") {
+            telemetry.clone()
+        } else {
+            Telemetry::new()
+        };
+        let timing = measure(mode, &registry, || {
+            black_box(siopmp_verify::analyze(black_box(&unit), None));
+        });
+        let report = siopmp_verify::analyze(&unit, None);
+        let intervals: usize = report.views().iter().map(|v| v.intervals.len()).sum();
+        per_size.push(Json::object([
+            ("entries", Json::u64(entries as u64)),
+            ("ns_per_analyze", Json::u64(timing.median_ns)),
+            ("intervals", Json::u64(intervals as u64)),
+            ("diagnostics", Json::u64(report.diagnostics().len() as u64)),
+        ]));
+        if entries == *SIZES.last().expect("non-empty") {
+            headline = Some(timing);
+        }
+    }
+    let timing = headline.expect("SIZES is non-empty");
+    let metrics = vec![("analyze_rows".to_string(), Json::Array(per_size))];
+    let analyses_per_sec = 1e9 / timing.median_ns.max(1) as f64;
+    ScenarioReport {
+        scenario: "analyze".into(),
+        timing,
+        throughput_unit: "analyses/s".into(),
+        throughput: analyses_per_sec,
+        cycles_per_request: None,
+        metrics,
+        telemetry: telemetry.snapshot(),
+    }
+}
+
 /// Ablation sweeps: tree arity, checker placement, hot-SID provisioning.
 fn ablations_scenario(mode: BenchMode) -> ScenarioReport {
     let telemetry = Telemetry::new();
@@ -779,6 +825,16 @@ mod tests {
             cached.median_ns,
             uncached.median_ns
         );
+    }
+
+    #[test]
+    fn analyze_scenario_sweeps_table_sizes() {
+        let report = run("analyze", BenchMode::smoke()).unwrap();
+        let json = report.to_json().to_string();
+        for key in ["analyze_rows", "ns_per_analyze", "\"entries\":1024"] {
+            assert!(json.contains(key), "missing {key}");
+        }
+        assert!(report.throughput > 0.0);
     }
 
     #[test]

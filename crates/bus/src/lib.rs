@@ -42,6 +42,6 @@ pub mod trace;
 pub use config::BusConfig;
 pub use master::MasterProgram;
 pub use packet::{BurstKind, BurstRequest};
-pub use policy::PolicyVerdict;
+pub use policy::{PolicyVerdict, SiopmpPolicy};
 pub use report::{MasterReport, SimReport};
 pub use sim::BusSim;

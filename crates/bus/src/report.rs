@@ -1,5 +1,7 @@
 //! Simulation output: per-master and whole-run statistics.
 
+use siopmp::json::Json;
+
 /// Per-master results of one simulation run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MasterReport {
@@ -34,6 +36,32 @@ impl MasterReport {
         } else {
             Some(self.total_latency_cycles as f64 / self.bursts_completed as f64)
         }
+    }
+
+    /// Machine-readable form, including the policy-verdict breakdown
+    /// (`bursts_stalled`, `bursts_sid_missing`) that the terminal bus
+    /// statuses alone do not distinguish.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("bursts_completed", Json::u64(self.bursts_completed as u64)),
+            ("bursts_ok", Json::u64(self.bursts_ok as u64)),
+            ("bursts_masked", Json::u64(self.bursts_masked as u64)),
+            ("bursts_bus_error", Json::u64(self.bursts_bus_error as u64)),
+            ("bursts_stalled", Json::u64(self.bursts_stalled as u64)),
+            (
+                "bursts_sid_missing",
+                Json::u64(self.bursts_sid_missing as u64),
+            ),
+            ("bytes_transferred", Json::u64(self.bytes_transferred)),
+            (
+                "mean_latency_cycles",
+                Json::f64(self.mean_latency().unwrap_or(0.0)),
+            ),
+            (
+                "last_completion_cycle",
+                Json::u64(self.last_completion_cycle),
+            ),
+        ])
     }
 }
 
@@ -72,6 +100,36 @@ impl SimReport {
             .map(|m| m.last_completion_cycle)
             .max()
             .unwrap_or(0)
+    }
+
+    /// Total refused bursts whose verdict was a stall, across masters.
+    pub fn total_stalled(&self) -> usize {
+        self.masters.iter().map(|m| m.bursts_stalled).sum()
+    }
+
+    /// Total refused bursts whose verdict was SID-missing, across masters.
+    pub fn total_sid_missing(&self) -> usize {
+        self.masters.iter().map(|m| m.bursts_sid_missing).sum()
+    }
+
+    /// Machine-readable form with run aggregates plus per-master reports.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("cycles", Json::u64(self.cycles)),
+            ("completed", Json::u64(self.completed as u64)),
+            ("total_bytes", Json::u64(self.total_bytes())),
+            ("bytes_per_cycle", Json::f64(self.bytes_per_cycle())),
+            ("makespan", Json::u64(self.makespan())),
+            ("bursts_stalled", Json::u64(self.total_stalled() as u64)),
+            (
+                "bursts_sid_missing",
+                Json::u64(self.total_sid_missing() as u64),
+            ),
+            (
+                "masters",
+                Json::array(self.masters.iter().map(MasterReport::to_json)),
+            ),
+        ])
     }
 }
 
@@ -116,5 +174,27 @@ mod tests {
         assert_eq!(r.total_bytes(), 500);
         assert_eq!(r.bytes_per_cycle(), 5.0);
         assert_eq!(r.makespan(), 95);
+    }
+
+    #[test]
+    fn json_serializes_verdict_breakdown() {
+        let r = SimReport {
+            cycles: 10,
+            masters: vec![MasterReport {
+                bursts_completed: 5,
+                bursts_bus_error: 3,
+                bursts_stalled: 3,
+                bursts_sid_missing: 2,
+                total_latency_cycles: 50,
+                ..Default::default()
+            }],
+            completed: true,
+        };
+        assert_eq!(r.total_stalled(), 3);
+        assert_eq!(r.total_sid_missing(), 2);
+        let text = r.to_json().pretty();
+        assert!(text.contains("\"bursts_stalled\": 3"), "{text}");
+        assert!(text.contains("\"bursts_sid_missing\": 2"), "{text}");
+        assert!(text.contains("\"mean_latency_cycles\": 10"), "{text}");
     }
 }

@@ -220,6 +220,29 @@ impl Siopmp {
         self.violation_log.drain(..).collect()
     }
 
+    /// Resizes the violation ring at runtime. Shrinking below the current
+    /// occupancy evicts the oldest records, each counted in
+    /// `siopmp.violation_log_dropped` exactly as an adversarial overflow
+    /// would be.
+    ///
+    /// # Errors
+    ///
+    /// [`SiopmpError::InvalidConfig`] for a zero capacity (the ring must be
+    /// able to hold at least one record).
+    pub fn set_violation_log_capacity(&mut self, capacity: usize) -> Result<()> {
+        if capacity == 0 {
+            return Err(SiopmpError::InvalidConfig(
+                "violation log needs room for at least one record",
+            ));
+        }
+        self.config.violation_log_capacity = capacity;
+        while self.violation_log.len() > capacity {
+            self.violation_log.pop_front();
+            self.counters.violation_log_dropped.inc();
+        }
+        Ok(())
+    }
+
     /// Bumps the table epoch, invalidating every compiled view and cached
     /// verdict. Called by every configuration mutator — correctness of the
     /// decision cache rests on no mutation path skipping this.
@@ -454,6 +477,38 @@ impl Siopmp {
     pub fn put_cold_record(&mut self, device: DeviceId, record: MountableEntry) {
         self.invalidate_cache();
         self.extended.upsert(device, record);
+    }
+
+    // ------------------------------------------------------------------
+    // State snapshot (read-only introspection for audits and the static
+    // analyzer in `siopmp-verify`)
+    // ------------------------------------------------------------------
+
+    /// The hot device mappings currently held in the remapping CAM, in
+    /// ascending SID order. Reading does not disturb the CAM's clock
+    /// (reference) bits.
+    pub fn hot_devices(&self) -> Vec<(SourceId, DeviceId)> {
+        self.cam.iter().map(|(sid, dev, _)| (sid, dev)).collect()
+    }
+
+    /// The memory domains associated with `sid`, ascending.
+    ///
+    /// # Errors
+    ///
+    /// [`SiopmpError::SidOutOfRange`].
+    pub fn sid_domains(&self, sid: SourceId) -> Result<Vec<MdIndex>> {
+        self.src2md.domains_of(sid)
+    }
+
+    /// The cold devices registered in the extended table and their
+    /// mountable records (iteration order is unspecified).
+    pub fn cold_devices(&self) -> impl Iterator<Item = (DeviceId, &MountableEntry)> {
+        self.extended.iter()
+    }
+
+    /// The occupied hardware entries in global priority order.
+    pub fn entries(&self) -> impl Iterator<Item = (EntryIndex, &IopmpEntry)> {
+        self.entries.iter()
     }
 
     // ------------------------------------------------------------------
@@ -1073,6 +1128,90 @@ mod tests {
         assert_eq!(u.take_violations().len(), 2);
         assert!(u.violation_log().is_empty());
         assert_eq!(u.stats().violation_log_dropped, 2);
+    }
+
+    /// Builds a unit whose device 1 has no matching entry, so every probe
+    /// at a distinct address lands in the violation log.
+    fn violating_unit(capacity: usize) -> Siopmp {
+        let cfg = SiopmpConfig {
+            violation_log_capacity: capacity,
+            ..SiopmpConfig::small()
+        };
+        let mut u = Siopmp::build(cfg, None);
+        let sid = u.map_hot_device(DeviceId(1)).unwrap();
+        u.associate_sid_with_md(sid, MdIndex(0)).unwrap();
+        u
+    }
+
+    fn violate_at(u: &mut Siopmp, addr: u64) {
+        let req = DmaRequest::new(DeviceId(1), AccessKind::Read, addr, 8);
+        assert!(u.check(&req).is_denied());
+    }
+
+    #[test]
+    fn violation_ring_preserves_order_at_and_past_capacity() {
+        let mut u = violating_unit(4);
+        // Exactly at capacity: nothing dropped, insertion order kept.
+        for i in 0..4u64 {
+            violate_at(&mut u, 0x9000 + i * 0x10);
+        }
+        assert_eq!(u.stats().violation_log_dropped, 0);
+        let addrs: Vec<u64> = u.violation_log().iter().map(|r| r.addr).collect();
+        assert_eq!(addrs, vec![0x9000, 0x9010, 0x9020, 0x9030]);
+        // Push well past capacity — more than one full wraparound — and
+        // the survivors must still be the newest records, oldest first.
+        for i in 4..13u64 {
+            violate_at(&mut u, 0x9000 + i * 0x10);
+        }
+        assert_eq!(u.violation_log().len(), 4);
+        let addrs: Vec<u64> = u.violation_log().iter().map(|r| r.addr).collect();
+        assert_eq!(addrs, vec![0x9090, 0x90A0, 0x90B0, 0x90C0]);
+    }
+
+    #[test]
+    fn violation_ring_dropped_counter_counts_every_eviction() {
+        let mut u = violating_unit(3);
+        for i in 0..10u64 {
+            violate_at(&mut u, 0x9000 + i * 0x10);
+            let expected = i.saturating_sub(2); // first 3 fit for free
+            assert_eq!(u.stats().violation_log_dropped, expected);
+        }
+        // Drained records are not drops; the counter is monotonic.
+        u.take_violations();
+        assert_eq!(u.stats().violation_log_dropped, 7);
+        violate_at(&mut u, 0xA000);
+        assert_eq!(u.stats().violation_log_dropped, 7);
+    }
+
+    #[test]
+    fn violation_ring_resizes_mid_run() {
+        let mut u = violating_unit(4);
+        for i in 0..4u64 {
+            violate_at(&mut u, 0x9000 + i * 0x10);
+        }
+        // Shrinking evicts the oldest records and counts each one.
+        u.set_violation_log_capacity(2).unwrap();
+        assert_eq!(u.stats().violation_log_dropped, 2);
+        let addrs: Vec<u64> = u.violation_log().iter().map(|r| r.addr).collect();
+        assert_eq!(addrs, vec![0x9020, 0x9030]);
+        // Growing keeps the survivors and restores headroom.
+        u.set_violation_log_capacity(5).unwrap();
+        for i in 0..3u64 {
+            violate_at(&mut u, 0xA000 + i * 0x10);
+        }
+        assert_eq!(u.violation_log().len(), 5);
+        assert_eq!(u.stats().violation_log_dropped, 2);
+        violate_at(&mut u, 0xB000);
+        assert_eq!(u.violation_log().len(), 5);
+        assert_eq!(u.stats().violation_log_dropped, 3);
+        let addrs: Vec<u64> = u.violation_log().iter().map(|r| r.addr).collect();
+        assert_eq!(addrs, vec![0x9030, 0xA000, 0xA010, 0xA020, 0xB000]);
+        // A zero capacity is rejected without disturbing the ring.
+        assert!(matches!(
+            u.set_violation_log_capacity(0),
+            Err(SiopmpError::InvalidConfig(_))
+        ));
+        assert_eq!(u.violation_log().len(), 5);
     }
 
     impl Siopmp {

@@ -11,7 +11,10 @@
 //!
 //! With `--json`, the selected experiments' outputs are wrapped in one
 //! JSON document together with a telemetry snapshot of a representative
-//! monitored run (see `siopmp_experiments::telemetry_exercise`).
+//! monitored run (see `siopmp_experiments::telemetry_exercise`) and a
+//! bus-simulation report whose `PolicyVerdict` breakdown separates
+//! stalled bursts from SID-missing ones (see
+//! `siopmp_experiments::bus_exercise`).
 
 use siopmp::json::Json;
 use std::process::ExitCode;
@@ -75,6 +78,7 @@ fn main() -> ExitCode {
                 "telemetry",
                 siopmp_experiments::telemetry_exercise().to_json(),
             ),
+            ("bus", siopmp_experiments::bus_exercise().to_json()),
         ]);
         println!("{}", doc.pretty());
     }

@@ -115,6 +115,51 @@ pub fn telemetry_exercise() -> siopmp::telemetry::TelemetrySnapshot {
     telemetry.snapshot()
 }
 
+/// Drives a small bus simulation that exercises both refusal verdict
+/// classes — a blocked (stalling) hot SID and an unmounted cold device
+/// raising SID-missing — and returns the run report. This is the
+/// `PolicyVerdict` breakdown `repro --json` serializes in its `bus`
+/// section: the terminal bus statuses alone cannot distinguish a stall
+/// from a missing mount, but the per-master report counts them
+/// separately.
+pub fn bus_exercise() -> siopmp_bus::SimReport {
+    use siopmp_bus::{BurstKind, BusConfig, BusSim, MasterProgram, SiopmpPolicy};
+
+    let mut sim = BusSim::build(
+        BusConfig::default(),
+        Box::new(SiopmpPolicy::new(bus_exercise_unit())),
+        None,
+    );
+    sim.add_master(MasterProgram::uniform(1, BurstKind::Read, 0x0, 3));
+    sim.add_master(MasterProgram::uniform(2, BurstKind::Read, 0x0, 2));
+    sim.run_to_completion(100_000)
+}
+
+/// The sIOPMP state [`bus_exercise`] drives traffic against: one blocked
+/// hot SID (device 1) and one registered-but-unmounted cold device
+/// (device 2). Split out so the lint-coverage tests can run the static
+/// analyzer over exactly this configuration.
+fn bus_exercise_unit() -> siopmp::Siopmp {
+    use siopmp::ids::DeviceId;
+    use siopmp::mountable::MountableEntry;
+    use siopmp::SiopmpConfig;
+
+    let mut unit = siopmp::Siopmp::build(SiopmpConfig::small(), None);
+    let sid = unit
+        .map_hot_device(DeviceId(1))
+        .expect("fresh unit has hot SIDs");
+    unit.block_sid(sid); // every burst from device 1 stalls
+    unit.register_cold_device(
+        DeviceId(2),
+        MountableEntry {
+            domains: vec![],
+            entries: vec![],
+        },
+    )
+    .expect("fresh unit accepts cold devices"); // device 2 raises SID-missing
+    unit
+}
+
 /// Renders the experiment called `name`, or `None` for an unknown name.
 pub fn render(name: &str) -> Option<String> {
     Some(match name {
@@ -153,6 +198,38 @@ mod tests {
     #[test]
     fn unknown_name_is_none() {
         assert!(render("fig99").is_none());
+    }
+
+    #[test]
+    fn experiment_configs_lint_clean() {
+        use siopmp::{Siopmp, SiopmpConfig};
+        // Every configuration the experiments assemble must pass the
+        // static analyzer without Error-severity findings.
+        for (name, cfg) in [
+            ("default", SiopmpConfig::default()),
+            ("original-iopmp", SiopmpConfig::original_iopmp()),
+            ("small", SiopmpConfig::small()),
+        ] {
+            let report = siopmp_verify::analyze(&Siopmp::build(cfg, None), None);
+            assert!(!report.has_errors(), "{name}: {:?}", report.diagnostics());
+        }
+        let report = siopmp_verify::analyze(&bus_exercise_unit(), None);
+        assert!(
+            report.diagnostics().is_empty(),
+            "bus exercise: {:?}",
+            report.diagnostics()
+        );
+    }
+
+    #[test]
+    fn bus_exercise_separates_verdict_classes() {
+        let r = bus_exercise();
+        assert!(r.completed);
+        assert_eq!(r.total_stalled(), 3);
+        assert_eq!(r.total_sid_missing(), 2);
+        let text = r.to_json().pretty();
+        assert!(text.contains("\"bursts_stalled\": 3"), "{text}");
+        assert!(text.contains("\"bursts_sid_missing\": 2"), "{text}");
     }
 
     #[test]

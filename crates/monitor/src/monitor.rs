@@ -54,6 +54,7 @@ use crate::cap::{CapId, Capability, MemPerms};
 use crate::controllers::{InterruptController, MonitorInterrupt, PmpController};
 use crate::ownership::{CapError, CapTable, EntityId};
 use crate::tee::{DeviceBinding, TeeId, TeeManager};
+use siopmp_verify::{analyze, CapabilityMap, DeviceGrants, MemoryGrant, Report, TeeRegion};
 
 /// Errors surfaced by monitor calls.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -131,6 +132,9 @@ pub struct SecureMonitor {
     irqs: InterruptController,
     /// Next hot memory domain to hand out (round-robin over hot MDs).
     next_md: u16,
+    /// When set, a cold switch is committed only after the static analyzer
+    /// clears the post-switch state of Error-severity findings.
+    preswitch_verify: bool,
     telemetry: Telemetry,
     counters: MonitorCounters,
 }
@@ -152,6 +156,7 @@ impl SecureMonitor {
             pmp,
             irqs: InterruptController::new(),
             next_md: 0,
+            preswitch_verify: false,
             counters: MonitorCounters::attach(&telemetry),
             telemetry,
         }
@@ -481,7 +486,12 @@ impl SecureMonitor {
         while let Some(irq) = self.irqs.take_next() {
             match irq {
                 MonitorInterrupt::SidMissing { device } => {
-                    if let Ok(report) = self.siopmp.handle_sid_missing(device) {
+                    if self.preswitch_verify && !self.preswitch_allows(device) {
+                        // The analyzer found an isolation violation in the
+                        // post-switch state: leave the device unmounted.
+                        // Its next access raises SID-missing again, so a
+                        // repaired capability map unblocks it naturally.
+                    } else if let Ok(report) = self.siopmp.handle_sid_missing(device) {
                         self.counters.cycles_spent.add(report.cycles);
                     }
                 }
@@ -499,6 +509,90 @@ impl SecureMonitor {
     /// Violations the hardware has recorded (drains the unit's log).
     pub fn take_violations(&mut self) -> Vec<siopmp::violation::ViolationRecord> {
         self.siopmp.take_violations()
+    }
+
+    // ------------------------------------------------------------------
+    // Static verification (siopmp-verify integration)
+    // ------------------------------------------------------------------
+
+    /// Enables or disables pre-switch verification: when on,
+    /// [`SecureMonitor::handle_interrupts`] refuses to commit a cold
+    /// switch whose post-switch table state the analyzer flags with an
+    /// Error-severity finding (capability divergence or cross-SID
+    /// overlap). Off by default — switches stay on the paper's fast path.
+    pub fn set_preswitch_verify(&mut self, on: bool) {
+        self.preswitch_verify = on;
+    }
+
+    /// Whether pre-switch verification is enabled.
+    pub fn preswitch_verify(&self) -> bool {
+        self.preswitch_verify
+    }
+
+    /// Exports the monitor's capability/ownership state as the plain-data
+    /// map the analyzer consumes: per-device grants (the live memory
+    /// capabilities referenced by each device's mappings — revoked ones
+    /// drop out) and per-TEE owned memory regions. Deterministically
+    /// ordered.
+    pub fn capability_map(&self) -> CapabilityMap {
+        let mut devices = Vec::new();
+        let mut regions = Vec::new();
+        for tee in self.tees.iter() {
+            for cap in self.caps.owned_by(tee.id.entity()) {
+                if let Ok(Capability::Memory { base, len, .. }) = self.caps.capability(cap) {
+                    regions.push(TeeRegion {
+                        tee: tee.id.0,
+                        base,
+                        len,
+                    });
+                }
+            }
+            for (device, binding) in &tee.devices {
+                let mut grants = Vec::new();
+                for cap_mem in binding.mappings.keys() {
+                    // A revoked capability fails the lookup and drops out,
+                    // which is exactly what turns a stale table grant into
+                    // a divergence finding.
+                    if let Ok(Capability::Memory { base, len, perms }) =
+                        self.caps.capability(*cap_mem)
+                    {
+                        grants.push(MemoryGrant {
+                            base,
+                            len,
+                            read: perms.read,
+                            write: perms.write,
+                        });
+                    }
+                }
+                grants.sort_unstable_by_key(|g| (g.base, g.len));
+                devices.push(DeviceGrants {
+                    device: *device,
+                    tee: tee.id.0,
+                    grants,
+                });
+            }
+        }
+        devices.sort_unstable_by_key(|g| g.device);
+        regions.sort_unstable_by_key(|r| (r.tee, r.base));
+        CapabilityMap { devices, regions }
+    }
+
+    /// Runs the static analyzer over the live hardware state and the
+    /// current capability map.
+    pub fn verify_now(&self) -> Report {
+        analyze(&self.siopmp, Some(&self.capability_map()))
+    }
+
+    /// Dry-runs the cold switch for `device` on a cloned unit and reports
+    /// whether the post-switch state is free of Error-severity findings.
+    /// A clone whose switch itself fails is approved — the real call will
+    /// surface the hardware error through its own path.
+    fn preswitch_allows(&self, device: DeviceId) -> bool {
+        let mut shadow = self.siopmp.clone();
+        if shadow.handle_sid_missing(device).is_err() {
+            return true;
+        }
+        !analyze(&shadow, Some(&self.capability_map())).has_errors()
     }
 }
 
@@ -695,6 +789,114 @@ mod tests {
         assert_eq!(snap.counters["siopmp.checks"], 1);
         assert_eq!(snap.counters["siopmp.allowed"], 1);
         assert_eq!(snap.counters["monitor.cycles_spent"], m.cycles_spent());
+    }
+
+    #[test]
+    fn capability_map_tracks_grants_and_regions() {
+        let mut m = booted();
+        let mem = m.mint_memory(0x8000_0000, 0x10_0000, MemPerms::rw());
+        let dev = m.mint_device(DeviceId(1));
+        let tee = m.create_tee(vec![mem, dev]).unwrap();
+        m.device_map(tee, dev, mem, 0x8000_0000, 0x1000, MemPerms::rw())
+            .unwrap();
+        let map = m.capability_map();
+        assert_eq!(map.regions.len(), 1);
+        assert_eq!(map.regions[0].base, 0x8000_0000);
+        let grants = &map.grants_for(DeviceId(1)).unwrap().grants;
+        assert_eq!(grants.len(), 1);
+        assert!(grants[0].read && grants[0].write);
+        // Everything the table grants is capability-backed.
+        assert!(!m.verify_now().has_errors());
+    }
+
+    #[test]
+    fn verify_now_flags_out_of_band_table_edits() {
+        let mut m = booted();
+        let mem = m.mint_memory(0x8000_0000, 0x10_0000, MemPerms::rw());
+        let dev = m.mint_device(DeviceId(1));
+        let tee = m.create_tee(vec![mem, dev]).unwrap();
+        m.device_map(tee, dev, mem, 0x8000_0000, 0x1000, MemPerms::rw())
+            .unwrap();
+        // Smuggle an entry past the capability layer, straight into the
+        // device's memory domain.
+        let md = m.tees.get(tee).unwrap().devices[&DeviceId(1)].md;
+        m.siopmp_mut()
+            .install_entry(
+                md,
+                IopmpEntry::new(
+                    AddressRange::new(0xDEAD_0000, 0x1000).unwrap(),
+                    Permissions::rw(),
+                ),
+            )
+            .unwrap();
+        let report = m.verify_now();
+        assert!(report.has_errors());
+        assert!(report
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == siopmp_verify::DiagnosticCode::CapabilityDivergence));
+    }
+
+    #[test]
+    fn preswitch_verify_rejects_divergent_cold_switch() {
+        let mut cfg = SiopmpConfig::small();
+        cfg.num_sids = 2; // 1 hot SID: the second device goes cold
+        let mut m = SecureMonitor::build(cfg, None);
+        let mem = m.mint_memory(0x8000_0000, 0x100_0000, MemPerms::rw());
+        let d0 = m.mint_device(DeviceId(0));
+        let d1 = m.mint_device(DeviceId(1));
+        let tee = m.create_tee(vec![mem, d0, d1]).unwrap();
+        assert!(m.siopmp().is_cold(DeviceId(1)));
+        m.device_map(tee, d1, mem, 0x8000_2000, 0x100, MemPerms::rw())
+            .unwrap();
+
+        // Poison the cold record behind the capability layer's back: an
+        // entry granting rw over memory no capability covers.
+        let mut record = m.siopmp_mut().take_cold_record(DeviceId(1)).unwrap();
+        record.entries.push(IopmpEntry::new(
+            AddressRange::new(0xDEAD_0000, 0x1000).unwrap(),
+            Permissions::rw(),
+        ));
+        m.siopmp_mut().put_cold_record(DeviceId(1), record);
+
+        // With verification on, the switch is refused: the DMA keeps
+        // reporting SID-missing instead of being served.
+        m.set_preswitch_verify(true);
+        let probe = DmaRequest::new(DeviceId(1), AccessKind::Read, 0x8000_2000, 64);
+        let out = m.check_dma(&probe);
+        assert!(
+            matches!(out, CheckOutcome::SidMissing { .. }),
+            "switch must be rejected, got {out:?}"
+        );
+        assert_eq!(m.siopmp().mounted_cold_device(), None);
+
+        // With verification off, the (divergent) switch goes through —
+        // the paper's unchecked fast path.
+        m.set_preswitch_verify(false);
+        assert!(m.check_dma(&probe).is_allowed());
+        assert_eq!(m.siopmp().mounted_cold_device(), Some(DeviceId(1)));
+    }
+
+    #[test]
+    fn preswitch_verify_passes_clean_cold_switch() {
+        let mut cfg = SiopmpConfig::small();
+        cfg.num_sids = 2;
+        let mut m = SecureMonitor::build(cfg, None);
+        let mem = m.mint_memory(0x8000_0000, 0x100_0000, MemPerms::rw());
+        let d0 = m.mint_device(DeviceId(0));
+        let d1 = m.mint_device(DeviceId(1));
+        let tee = m.create_tee(vec![mem, d0, d1]).unwrap();
+        m.device_map(tee, d1, mem, 0x8000_2000, 0x100, MemPerms::rw())
+            .unwrap();
+        m.set_preswitch_verify(true);
+        let out = m.check_dma(&DmaRequest::new(
+            DeviceId(1),
+            AccessKind::Read,
+            0x8000_2000,
+            64,
+        ));
+        assert!(out.is_allowed(), "{out:?}");
+        assert_eq!(m.siopmp().mounted_cold_device(), Some(DeviceId(1)));
     }
 
     #[test]

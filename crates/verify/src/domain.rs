@@ -1,0 +1,262 @@
+//! The interval/priority abstract domain.
+//!
+//! The sIOPMP check is a priority match: the lowest-indexed entry that
+//! fully contains the access wins, and its permissions decide the outcome.
+//! For a *single byte* at address `a` this induces a total function
+//! `a -> Option<(winning entry, permissions)>`, and because entries are
+//! finite half-open ranges the function is piecewise constant: it is fully
+//! described by a sorted list of disjoint [`Interval`]s.
+//!
+//! [`reachable`] computes that list for one SID's visible entry list by
+//! replaying the priority order: each entry claims whatever part of its
+//! range no higher-priority entry already claimed. An entry whose range is
+//! claimed away completely is *dead* (shadowed) — it can never decide any
+//! access, which is the analyzer's `shadowed-entry` diagnostic.
+//!
+//! Multi-byte accesses need the full entry list (a request spanning two
+//! intervals can still be allowed by a lower-priority entry that contains
+//! the whole request), so the per-SID view keeps both representations; the
+//! interval map is exact for any access confined to one interval and for
+//! all byte-granular reasoning the diagnostics do.
+
+use siopmp::entry::{IopmpEntry, Permissions};
+use siopmp::ids::EntryIndex;
+
+/// One piece of the per-SID reachability map: over `[start, end)` the
+/// priority check resolves to `winner`, granting `perms`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// First byte covered (inclusive).
+    pub start: u64,
+    /// One past the last byte covered.
+    pub end: u64,
+    /// The entry that wins the priority match over this span.
+    pub winner: EntryIndex,
+    /// The winner's permissions.
+    pub perms: Permissions,
+}
+
+impl Interval {
+    /// Length of the interval in bytes.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Whether the interval is empty (never produced by [`reachable`]).
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+/// Subtracts a sorted, disjoint list of `claimed` spans from `span`,
+/// returning the uncovered pieces in ascending order.
+pub fn subtract(span: (u64, u64), claimed: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    let (mut s, e) = span;
+    let mut out = Vec::new();
+    for &(cs, ce) in claimed {
+        if ce <= s {
+            continue;
+        }
+        if cs >= e {
+            break;
+        }
+        if cs > s {
+            out.push((s, cs));
+        }
+        s = s.max(ce);
+        if s >= e {
+            return out;
+        }
+    }
+    if s < e {
+        out.push((s, e));
+    }
+    out
+}
+
+/// Sorts spans by start and merges overlapping/adjacent ones.
+pub fn merge_spans(mut spans: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    spans.retain(|&(s, e)| s < e);
+    spans.sort_unstable();
+    let mut merged: Vec<(u64, u64)> = Vec::with_capacity(spans.len());
+    for (s, e) in spans {
+        if let Some(last) = merged.last_mut() {
+            if s <= last.1 {
+                last.1 = last.1.max(e);
+                continue;
+            }
+        }
+        merged.push((s, e));
+    }
+    merged
+}
+
+/// Computes the reachability map of a priority-ordered visible entry list.
+///
+/// Returns the disjoint interval map (sorted by start) and the indices of
+/// *dead* entries: occupied entries whose entire range is claimed by
+/// higher-priority entries, so they can never decide an access.
+///
+/// `visible` must be sorted by ascending [`EntryIndex`] (global priority
+/// order), which is how every caller obtains it.
+pub fn reachable(visible: &[(EntryIndex, IopmpEntry)]) -> (Vec<Interval>, Vec<EntryIndex>) {
+    let mut claimed: Vec<(u64, u64)> = Vec::new();
+    let mut intervals: Vec<Interval> = Vec::new();
+    let mut dead: Vec<EntryIndex> = Vec::new();
+    for (idx, entry) in visible {
+        let span = (entry.range().base(), entry.range().end());
+        let pieces = subtract(span, &claimed);
+        if pieces.is_empty() {
+            dead.push(*idx);
+            continue;
+        }
+        for (s, e) in pieces {
+            intervals.push(Interval {
+                start: s,
+                end: e,
+                winner: *idx,
+                perms: entry.permissions(),
+            });
+        }
+        claimed.push(span);
+        claimed = merge_spans(claimed);
+    }
+    intervals.sort_unstable_by_key(|iv| iv.start);
+    (intervals, dead)
+}
+
+/// Looks up the interval containing `addr`, if any (binary search).
+pub fn interval_at(intervals: &[Interval], addr: u64) -> Option<&Interval> {
+    let pos = intervals.partition_point(|iv| iv.end <= addr);
+    intervals.get(pos).filter(|iv| iv.start <= addr)
+}
+
+/// The merged spans over which `map` grants the given access right.
+pub fn granted_spans(map: &[Interval], write: bool) -> Vec<(u64, u64)> {
+    merge_spans(
+        map.iter()
+            .filter(|iv| {
+                if write {
+                    iv.perms.write()
+                } else {
+                    iv.perms.read()
+                }
+            })
+            .map(|iv| (iv.start, iv.end))
+            .collect(),
+    )
+}
+
+/// Regions where `next` grants an access right that `now` does not —
+/// permission *widening* if `next` replaces `now` (e.g. across a cold
+/// switch remount). Returns `(start, end, right)` triples.
+pub fn widened(now: &[Interval], next: &[Interval]) -> Vec<(u64, u64, &'static str)> {
+    let mut out = Vec::new();
+    for (write, name) in [(false, "read"), (true, "write")] {
+        let have = granted_spans(now, write);
+        for span in granted_spans(next, write) {
+            for (s, e) in subtract(span, &have) {
+                out.push((s, e, name));
+            }
+        }
+    }
+    out.sort_unstable_by_key(|&(s, e, _)| (s, e));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siopmp::entry::AddressRange;
+
+    fn e(base: u64, len: u64, p: Permissions) -> IopmpEntry {
+        IopmpEntry::new(AddressRange::new(base, len).unwrap(), p)
+    }
+
+    #[test]
+    fn disjoint_entries_map_one_to_one() {
+        let visible = vec![
+            (EntryIndex(0), e(0x1000, 0x100, Permissions::rw())),
+            (EntryIndex(1), e(0x3000, 0x100, Permissions::read_only())),
+        ];
+        let (map, dead) = reachable(&visible);
+        assert!(dead.is_empty());
+        assert_eq!(map.len(), 2);
+        assert_eq!(map[0].winner, EntryIndex(0));
+        assert_eq!(map[1].winner, EntryIndex(1));
+        assert_eq!(interval_at(&map, 0x3050).unwrap().winner, EntryIndex(1));
+        assert!(interval_at(&map, 0x2000).is_none());
+        assert!(interval_at(&map, 0xfff).is_none());
+    }
+
+    #[test]
+    fn higher_priority_claims_overlap() {
+        let visible = vec![
+            (EntryIndex(0), e(0x1000, 0x100, Permissions::none())),
+            (EntryIndex(1), e(0x1000, 0x200, Permissions::rw())),
+        ];
+        let (map, dead) = reachable(&visible);
+        assert!(dead.is_empty());
+        // [0x1000, 0x1100) -> entry 0 (deny), [0x1100, 0x1200) -> entry 1.
+        assert_eq!(map.len(), 2);
+        assert_eq!(interval_at(&map, 0x1080).unwrap().winner, EntryIndex(0));
+        assert!(!interval_at(&map, 0x1080).unwrap().perms.read());
+        assert_eq!(interval_at(&map, 0x1180).unwrap().winner, EntryIndex(1));
+    }
+
+    #[test]
+    fn fully_covered_entry_is_dead() {
+        let visible = vec![
+            (EntryIndex(2), e(0x1000, 0x400, Permissions::rw())),
+            (EntryIndex(5), e(0x1100, 0x100, Permissions::read_only())),
+        ];
+        let (map, dead) = reachable(&visible);
+        assert_eq!(dead, vec![EntryIndex(5)]);
+        assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn split_coverage_leaves_middle_dead() {
+        // Two high-priority entries cover the low one's range entirely.
+        let visible = vec![
+            (EntryIndex(0), e(0x1000, 0x100, Permissions::rw())),
+            (EntryIndex(1), e(0x1100, 0x100, Permissions::rw())),
+            (EntryIndex(2), e(0x1000, 0x200, Permissions::none())),
+        ];
+        let (_, dead) = reachable(&visible);
+        assert_eq!(dead, vec![EntryIndex(2)]);
+    }
+
+    #[test]
+    fn subtract_handles_all_positions() {
+        let claimed = [(10, 20), (30, 40)];
+        assert_eq!(
+            subtract((0, 50), &claimed),
+            vec![(0, 10), (20, 30), (40, 50)]
+        );
+        assert_eq!(subtract((10, 20), &claimed), vec![]);
+        assert_eq!(subtract((15, 35), &claimed), vec![(20, 30)]);
+        assert_eq!(subtract((40, 45), &claimed), vec![(40, 45)]);
+    }
+
+    #[test]
+    fn merge_spans_coalesces() {
+        assert_eq!(
+            merge_spans(vec![(30, 40), (0, 10), (10, 20), (35, 50), (60, 60)]),
+            vec![(0, 20), (30, 50)]
+        );
+    }
+
+    #[test]
+    fn widened_reports_new_rights_only() {
+        let (now, _) = reachable(&[(EntryIndex(0), e(0x1000, 0x100, Permissions::read_only()))]);
+        let (next, _) = reachable(&[(EntryIndex(0), e(0x1000, 0x200, Permissions::rw()))]);
+        let w = widened(&now, &next);
+        // New read coverage over [0x1100, 0x1200); new write over the full range.
+        assert!(w.contains(&(0x1100, 0x1200, "read")));
+        assert!(w.contains(&(0x1000, 0x1200, "write")));
+        assert!(widened(&next, &next).is_empty());
+        // Narrowing reports nothing.
+        assert!(widened(&next, &now).is_empty());
+    }
+}

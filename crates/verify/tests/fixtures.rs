@@ -1,0 +1,312 @@
+//! Seeded misconfiguration fixtures: each constructs a table state with a
+//! known defect and asserts the analyzer reports the expected diagnostic
+//! code (and severity) for it.
+
+use siopmp::entry::{AddressRange, IopmpEntry, Permissions};
+use siopmp::ids::{DeviceId, MdIndex};
+use siopmp::mountable::MountableEntry;
+use siopmp::{Siopmp, SiopmpConfig};
+use siopmp_verify::{
+    analyze, CapabilityMap, DeviceGrants, DiagnosticCode, MemoryGrant, Severity, TeeRegion,
+};
+
+fn entry(base: u64, len: u64, p: Permissions) -> IopmpEntry {
+    IopmpEntry::new(AddressRange::new(base, len).unwrap(), p)
+}
+
+fn grant(base: u64, len: u64) -> MemoryGrant {
+    MemoryGrant {
+        base,
+        len,
+        read: true,
+        write: true,
+    }
+}
+
+#[test]
+fn shadowed_entry_is_flagged() {
+    let mut unit = Siopmp::build(SiopmpConfig::small(), None);
+    let sid = unit.map_hot_device(DeviceId(1)).unwrap();
+    unit.associate_sid_with_md(sid, MdIndex(0)).unwrap();
+    unit.install_entry(MdIndex(0), entry(0x1000, 0x1000, Permissions::rw()))
+        .unwrap();
+    let dead = unit
+        .install_entry(MdIndex(0), entry(0x1800, 0x100, Permissions::read_only()))
+        .unwrap();
+
+    let report = analyze(&unit, None);
+    let finding = report
+        .diagnostics()
+        .iter()
+        .find(|d| d.code == DiagnosticCode::ShadowedEntry)
+        .expect("shadowed entry must be reported");
+    assert_eq!(finding.severity, Severity::Warning);
+    assert_eq!(finding.entry, Some(dead));
+    assert_eq!(finding.sid, Some(sid));
+    // Shadowing is a lint, not an isolation violation.
+    assert!(!report.has_errors());
+}
+
+#[test]
+fn entry_in_unviewed_window_is_informational() {
+    let mut unit = Siopmp::build(SiopmpConfig::small(), None);
+    // MD1's window gets an entry but no SID is associated with MD1.
+    unit.install_entry(MdIndex(1), entry(0x2000, 0x100, Permissions::rw()))
+        .unwrap();
+    let report = analyze(&unit, None);
+    let finding = report
+        .diagnostics()
+        .iter()
+        .find(|d| d.code == DiagnosticCode::ShadowedEntry)
+        .expect("unviewable entry must be reported");
+    assert_eq!(finding.severity, Severity::Info);
+}
+
+#[test]
+fn capability_divergence_is_an_error() {
+    let mut unit = Siopmp::build(SiopmpConfig::small(), None);
+    let sid = unit.map_hot_device(DeviceId(1)).unwrap();
+    unit.associate_sid_with_md(sid, MdIndex(0)).unwrap();
+    // Hardware grants rw over [0x1000, 0x2000)...
+    unit.install_entry(MdIndex(0), entry(0x1000, 0x1000, Permissions::rw()))
+        .unwrap();
+    // ...but the monitor only ever granted [0x1000, 0x1800).
+    let caps = CapabilityMap {
+        devices: vec![DeviceGrants {
+            device: DeviceId(1),
+            tee: 1,
+            grants: vec![grant(0x1000, 0x800)],
+        }],
+        regions: vec![],
+    };
+
+    let report = analyze(&unit, Some(&caps));
+    let findings: Vec<_> = report
+        .diagnostics()
+        .iter()
+        .filter(|d| d.code == DiagnosticCode::CapabilityDivergence)
+        .collect();
+    assert!(!findings.is_empty(), "divergence must be reported");
+    for f in &findings {
+        assert_eq!(f.severity, Severity::Error);
+        assert_eq!(f.region, Some((0x1800, 0x2000)));
+        assert_eq!(f.device, Some(DeviceId(1)));
+    }
+    // Both the read and the write right are unjustified over the tail.
+    assert_eq!(findings.len(), 2);
+    assert!(report.has_errors());
+}
+
+#[test]
+fn matching_capabilities_are_silent() {
+    let mut unit = Siopmp::build(SiopmpConfig::small(), None);
+    let sid = unit.map_hot_device(DeviceId(1)).unwrap();
+    unit.associate_sid_with_md(sid, MdIndex(0)).unwrap();
+    unit.install_entry(MdIndex(0), entry(0x1000, 0x1000, Permissions::rw()))
+        .unwrap();
+    let caps = CapabilityMap {
+        devices: vec![DeviceGrants {
+            device: DeviceId(1),
+            tee: 1,
+            grants: vec![grant(0x1000, 0x1000)],
+        }],
+        regions: vec![TeeRegion {
+            tee: 1,
+            base: 0x1000,
+            len: 0x1000,
+        }],
+    };
+    let report = analyze(&unit, Some(&caps));
+    assert!(
+        report.diagnostics().is_empty(),
+        "{:?}",
+        report.diagnostics()
+    );
+}
+
+#[test]
+fn cross_sid_overlap_into_foreign_enclave_is_an_error() {
+    let mut unit = Siopmp::build(SiopmpConfig::small(), None);
+    let sid_a = unit.map_hot_device(DeviceId(1)).unwrap();
+    unit.associate_sid_with_md(sid_a, MdIndex(0)).unwrap();
+    unit.install_entry(MdIndex(0), entry(0x1000, 0x2000, Permissions::rw()))
+        .unwrap();
+    // Device 1 belongs to TEE 1 and its grants cover the range, but
+    // [0x2000, 0x3000) is enclave memory of TEE 2.
+    let caps = CapabilityMap {
+        devices: vec![DeviceGrants {
+            device: DeviceId(1),
+            tee: 1,
+            grants: vec![grant(0x1000, 0x2000)],
+        }],
+        regions: vec![
+            TeeRegion {
+                tee: 1,
+                base: 0x1000,
+                len: 0x1000,
+            },
+            TeeRegion {
+                tee: 2,
+                base: 0x2000,
+                len: 0x1000,
+            },
+        ],
+    };
+    let report = analyze(&unit, Some(&caps));
+    let finding = report
+        .diagnostics()
+        .iter()
+        .find(|d| d.code == DiagnosticCode::CrossSidOverlap)
+        .expect("cross-SID overlap must be reported");
+    assert_eq!(finding.severity, Severity::Error);
+    assert_eq!(finding.sid, Some(sid_a));
+    assert_eq!(finding.region, Some((0x2000, 0x3000)));
+    assert!(report.has_errors());
+}
+
+#[test]
+fn cold_record_widening_across_remount_is_flagged() {
+    let mut unit = Siopmp::build(SiopmpConfig::small(), None);
+    let device = DeviceId(50);
+    unit.register_cold_device(
+        device,
+        MountableEntry {
+            domains: vec![],
+            entries: vec![entry(0x4000, 0x1000, Permissions::read_only())],
+        },
+    )
+    .unwrap();
+    unit.handle_sid_missing(device).unwrap();
+
+    // The live cold window now grants r- over [0x4000, 0x5000). Widen the
+    // *record* behind the hardware's back: the next remount replays it.
+    let mut record = unit.take_cold_record(device).unwrap();
+    record.entries = vec![entry(0x4000, 0x2000, Permissions::rw())];
+    unit.put_cold_record(device, record);
+
+    let report = analyze(&unit, None);
+    let findings: Vec<_> = report
+        .diagnostics()
+        .iter()
+        .filter(|d| d.code == DiagnosticCode::PermissionWidening)
+        .collect();
+    assert!(!findings.is_empty(), "widening must be reported");
+    for f in &findings {
+        assert_eq!(f.severity, Severity::Warning);
+        assert_eq!(f.device, Some(device));
+    }
+    // New read coverage over [0x5000, 0x6000) and new write coverage over
+    // the whole doubled range.
+    assert!(findings
+        .iter()
+        .any(|f| f.region == Some((0x5000, 0x6000)) && f.message.contains("read")));
+    assert!(findings
+        .iter()
+        .any(|f| f.region == Some((0x4000, 0x6000)) && f.message.contains("write")));
+}
+
+#[test]
+fn priority_conflict_widening_is_a_warning() {
+    let mut unit = Siopmp::build(SiopmpConfig::small(), None);
+    let sid = unit.map_hot_device(DeviceId(1)).unwrap();
+    unit.associate_sid_with_md(sid, MdIndex(0)).unwrap();
+    // The high-priority rule grants rw over the first half of a deny
+    // guard: the overlap outcome flips with entry order.
+    let hi = unit
+        .install_entry(MdIndex(0), entry(0x1000, 0x100, Permissions::rw()))
+        .unwrap();
+    let lo = unit
+        .install_entry(MdIndex(0), entry(0x1080, 0x100, Permissions::none()))
+        .unwrap();
+
+    let report = analyze(&unit, None);
+    let finding = report
+        .diagnostics()
+        .iter()
+        .find(|d| d.code == DiagnosticCode::PriorityConflict)
+        .expect("priority conflict must be reported");
+    assert_eq!(finding.severity, Severity::Warning);
+    assert_eq!(finding.entry, Some(lo));
+    assert_eq!(finding.region, Some((0x1080, 0x1100)));
+    assert!(finding.message.contains(&hi.to_string()));
+}
+
+#[test]
+fn narrowing_conflict_is_informational() {
+    let mut unit = Siopmp::build(SiopmpConfig::small(), None);
+    let sid = unit.map_hot_device(DeviceId(1)).unwrap();
+    unit.associate_sid_with_md(sid, MdIndex(0)).unwrap();
+    // The high-priority rule *denies* part of a lower allow rule — a
+    // legitimate guard-entry pattern (§2.2), so informational only.
+    unit.install_entry(MdIndex(0), entry(0x1000, 0x100, Permissions::none()))
+        .unwrap();
+    unit.install_entry(MdIndex(0), entry(0x1080, 0x100, Permissions::rw()))
+        .unwrap();
+    let report = analyze(&unit, None);
+    let finding = report
+        .diagnostics()
+        .iter()
+        .find(|d| d.code == DiagnosticCode::PriorityConflict)
+        .expect("conflict must be reported");
+    assert_eq!(finding.severity, Severity::Info);
+}
+
+#[test]
+fn unmounted_cold_record_divergence_is_flagged() {
+    let mut unit = Siopmp::build(SiopmpConfig::small(), None);
+    let device = DeviceId(60);
+    unit.register_cold_device(
+        device,
+        MountableEntry {
+            domains: vec![],
+            entries: vec![entry(0x7000, 0x1000, Permissions::write_only())],
+        },
+    )
+    .unwrap();
+    // The capability map knows the device but grants it nothing.
+    let caps = CapabilityMap {
+        devices: vec![DeviceGrants {
+            device,
+            tee: 3,
+            grants: vec![],
+        }],
+        regions: vec![],
+    };
+    let report = analyze(&unit, Some(&caps));
+    let finding = report
+        .diagnostics()
+        .iter()
+        .find(|d| d.code == DiagnosticCode::CapabilityDivergence)
+        .expect("record divergence must be reported");
+    assert_eq!(finding.severity, Severity::Error);
+    assert_eq!(finding.device, Some(device));
+    assert!(finding.message.contains("extended-table record"));
+}
+
+#[test]
+fn diagnostics_are_sorted_most_severe_first() {
+    let mut unit = Siopmp::build(SiopmpConfig::small(), None);
+    let sid = unit.map_hot_device(DeviceId(1)).unwrap();
+    unit.associate_sid_with_md(sid, MdIndex(0)).unwrap();
+    // One shadowed entry (Warning) and one ungranted rw entry (Error via
+    // the capability map).
+    unit.install_entry(MdIndex(0), entry(0x1000, 0x1000, Permissions::rw()))
+        .unwrap();
+    unit.install_entry(MdIndex(0), entry(0x1400, 0x100, Permissions::rw()))
+        .unwrap();
+    let caps = CapabilityMap {
+        devices: vec![DeviceGrants {
+            device: DeviceId(1),
+            tee: 1,
+            grants: vec![],
+        }],
+        regions: vec![],
+    };
+    let report = analyze(&unit, Some(&caps));
+    assert!(report.has_errors());
+    let severities: Vec<Severity> = report.diagnostics().iter().map(|d| d.severity).collect();
+    let mut sorted = severities.clone();
+    sorted.sort_by(|a, b| b.cmp(a));
+    assert_eq!(severities, sorted);
+    assert_eq!(report.diagnostics()[0].severity, Severity::Error);
+}

@@ -46,9 +46,12 @@ fn region(base: u64) -> IopmpEntry {
     IopmpEntry::new(AddressRange::new(base, 0x1000).unwrap(), Permissions::rw())
 }
 
-/// Runs `windows` windows of (`ratio` hot requests + 1 cold request)
-/// against a fresh sIOPMP unit and measures hot-device throughput.
-pub fn run(ratio: u64, matched: bool, windows: u32) -> HotColdReport {
+/// Assembles the workload's sIOPMP configuration without driving traffic:
+/// the hot device at `0x10_0000`, the cold device at `0x20_0000`, wired
+/// matched (hot SID + extended table) or mismatched (both cold). Exposed
+/// so the `siopmp-verify` lint coverage can analyze exactly the tables
+/// the measured runs use.
+pub fn build_unit(matched: bool) -> Siopmp {
     let mut unit = Siopmp::build(SiopmpConfig::small(), None);
     let hot_dev = DeviceId(1);
     let cold_dev = DeviceId(2);
@@ -80,6 +83,17 @@ pub fn run(ratio: u64, matched: bool, windows: u32) -> HotColdReport {
         },
     )
     .unwrap();
+    unit
+}
+
+/// Runs `windows` windows of (`ratio` hot requests + 1 cold request)
+/// against a fresh sIOPMP unit and measures hot-device throughput.
+pub fn run(ratio: u64, matched: bool, windows: u32) -> HotColdReport {
+    let mut unit = build_unit(matched);
+    let hot_dev = DeviceId(1);
+    let cold_dev = DeviceId(2);
+    let hot_base = 0x10_0000u64;
+    let cold_base = 0x20_0000u64;
 
     // Cycles on the hot device's timeline. A plain DMA from the cold
     // device overlaps with hot traffic on the bus (independent streams),
@@ -171,6 +185,21 @@ mod tests {
         }
         // At 1:10000 the overhead is negligible even when mismatched.
         assert!(run(10_000, false, 3).hot_throughput_fraction > 0.99);
+    }
+
+    #[test]
+    fn workload_configurations_lint_clean() {
+        // Both wirings must pass the static analyzer with no findings of
+        // any severity: no shadowed entries, no conflicts, no overlap.
+        for matched in [true, false] {
+            let unit = build_unit(matched);
+            let report = siopmp_verify::analyze(&unit, None);
+            assert!(
+                report.diagnostics().is_empty(),
+                "matched={matched}: {:?}",
+                report.diagnostics()
+            );
+        }
     }
 
     #[test]

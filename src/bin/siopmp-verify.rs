@@ -1,0 +1,242 @@
+//! `siopmp-verify` — lint the checked-in scenario/experiment
+//! configurations with the static analyzer.
+//!
+//! Every scenario below is a configuration the repository actually ships
+//! (config presets, the experiments' monitored-system exercise, the SoC
+//! builder examples): the linter assembles each one, runs
+//! [`siopmp_verify::analyze`] over the resulting hardware state (plus the
+//! monitor's capability map when one exists), and reports the findings.
+//!
+//! ```text
+//! siopmp-verify [--list] [--json] [--out PATH] [scenario ...]
+//! ```
+//!
+//! Exits non-zero when any scenario carries an Error-severity diagnostic —
+//! the `verify-lint` CI job gates on that, with `--out` providing the JSON
+//! artifact.
+
+use std::process::ExitCode;
+
+use siopmp::ids::DeviceId;
+use siopmp::json::Json;
+use siopmp::{Siopmp, SiopmpConfig};
+use siopmp_monitor::{MemPerms, SecureMonitor};
+use siopmp_suite::soc::{DeviceSpec, SocBuilder};
+use siopmp_verify::{analyze, Report, Severity};
+
+struct Scenario {
+    name: &'static str,
+    description: &'static str,
+    build: fn() -> Report,
+}
+
+const SCENARIOS: &[Scenario] = &[
+    Scenario {
+        name: "preset-default",
+        description: "the paper's default 64-SID / 1024-entry configuration, bare",
+        build: || analyze(&Siopmp::build(SiopmpConfig::default(), None), None),
+    },
+    Scenario {
+        name: "preset-original-iopmp",
+        description: "the original-IOPMP baseline preset (linear checker, no mountable table)",
+        build: || analyze(&Siopmp::build(SiopmpConfig::original_iopmp(), None), None),
+    },
+    Scenario {
+        name: "preset-small",
+        description: "the small unit-test preset",
+        build: || analyze(&Siopmp::build(SiopmpConfig::small(), None), None),
+    },
+    Scenario {
+        name: "monitor-exercise",
+        description: "the experiments' monitored system: one TEE, one mapping, one cold device",
+        build: monitor_exercise,
+    },
+    Scenario {
+        name: "soc-two-tenant",
+        description: "the SoC builder's two-tenant example (hot devices, disjoint memory)",
+        build: soc_two_tenant,
+    },
+    Scenario {
+        name: "cold-churn",
+        description: "one hot SID with two cold tenants churning through the mount point",
+        build: cold_churn,
+    },
+];
+
+/// Mirrors `siopmp_experiments::telemetry_exercise`'s configuration work
+/// (without driving traffic): one TEE owning a device and memory, one
+/// mapping, plus a monitor-bound cold device.
+fn monitor_exercise() -> Report {
+    let mut m = SecureMonitor::build(SiopmpConfig::small(), None);
+    let mem = m.mint_memory(0x8000_0000, 0x10_0000, MemPerms::rw());
+    let dev = m.mint_device(DeviceId(1));
+    let tee = m.create_tee(vec![mem, dev]).expect("fresh monitor");
+    m.device_map(tee, dev, mem, 0x8000_0000, 0x1000, MemPerms::rw())
+        .expect("capability covers the mapping");
+    m.verify_now()
+}
+
+fn soc_two_tenant() -> Report {
+    let soc = SocBuilder::new()
+        .tenant(
+            0x4000_0000,
+            0x10_0000,
+            vec![DeviceSpec {
+                device: DeviceId(1),
+                regions: vec![(0x4000_0000, 0x1000, true)],
+            }],
+        )
+        .tenant(
+            0x5000_0000,
+            0x10_0000,
+            vec![DeviceSpec {
+                device: DeviceId(2),
+                regions: vec![(0x5000_0000, 0x1000, false)],
+            }],
+        )
+        .build()
+        .expect("two disjoint tenants assemble");
+    soc.monitor.verify_now()
+}
+
+fn cold_churn() -> Report {
+    let mut cfg = SiopmpConfig::small();
+    cfg.num_sids = 2; // one hot SID: every further device goes cold
+    let mut m = SecureMonitor::build(cfg, None);
+    let mem = m.mint_memory(0x8000_0000, 0x100_0000, MemPerms::rw());
+    let devs: Vec<_> = (0..3u64).map(|d| m.mint_device(DeviceId(d))).collect();
+    let mut caps = vec![mem];
+    caps.extend(devs.iter().copied());
+    let tee = m.create_tee(caps).expect("fresh monitor");
+    for (i, dev) in devs.iter().enumerate() {
+        m.device_map(
+            tee,
+            *dev,
+            mem,
+            0x8000_0000 + (i as u64) * 0x1000,
+            0x1000,
+            MemPerms::rw(),
+        )
+        .expect("capability covers each mapping");
+    }
+    // Touch both cold devices so the mount point has churned.
+    for d in [1u64, 2] {
+        let _ = m.check_dma(&siopmp::request::DmaRequest::new(
+            DeviceId(d),
+            siopmp::request::AccessKind::Read,
+            0x8000_0000 + d * 0x1000,
+            64,
+        ));
+    }
+    m.verify_now()
+}
+
+fn usage() -> String {
+    let mut s = String::from(
+        "usage: siopmp-verify [--list] [--json] [--out PATH] [scenario ...]\n\nscenarios:\n",
+    );
+    for sc in SCENARIOS {
+        s.push_str(&format!("  {:<22} {}\n", sc.name, sc.description));
+    }
+    s
+}
+
+fn main() -> ExitCode {
+    let mut json_stdout = false;
+    let mut out_path: Option<String> = None;
+    let mut list = false;
+    let mut selected: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json_stdout = true,
+            "--list" => list = true,
+            "--out" => match args.next() {
+                Some(path) => out_path = Some(path),
+                None => {
+                    eprintln!("--out needs a path\n\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                print!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other}\n\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+            name => selected.push(name.to_string()),
+        }
+    }
+
+    if list {
+        print!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    for name in &selected {
+        if !SCENARIOS.iter().any(|sc| sc.name == name) {
+            eprintln!("unknown scenario {name}\n\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let mut rendered = Vec::new();
+    let mut totals = [0usize; 3]; // info, warning, error
+    for sc in SCENARIOS {
+        if !selected.is_empty() && !selected.iter().any(|n| n == sc.name) {
+            continue;
+        }
+        let report = (sc.build)();
+        totals[0] += report.count(Severity::Info);
+        totals[1] += report.count(Severity::Warning);
+        totals[2] += report.count(Severity::Error);
+        if !json_stdout {
+            println!(
+                "{:<22} {} error(s), {} warning(s), {} info",
+                sc.name,
+                report.count(Severity::Error),
+                report.count(Severity::Warning),
+                report.count(Severity::Info),
+            );
+            for d in report.diagnostics() {
+                println!("  [{}] {}: {}", d.severity, d.code, d.message);
+            }
+        }
+        rendered.push((sc.name, report));
+    }
+
+    let json = Json::object([
+        (
+            "summary",
+            Json::object([
+                ("errors", Json::u64(totals[2] as u64)),
+                ("warnings", Json::u64(totals[1] as u64)),
+                ("info", Json::u64(totals[0] as u64)),
+                ("scenarios", Json::u64(rendered.len() as u64)),
+            ]),
+        ),
+        (
+            "scenarios",
+            Json::array(rendered.iter().map(|(name, report)| {
+                Json::object([("name", Json::str(*name)), ("report", report.to_json())])
+            })),
+        ),
+    ]);
+    if json_stdout {
+        println!("{}", json.pretty());
+    }
+    if let Some(path) = out_path {
+        if let Err(e) = std::fs::write(&path, format!("{}\n", json.pretty())) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if totals[2] > 0 {
+        eprintln!("siopmp-verify: {} Error-severity finding(s)", totals[2]);
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

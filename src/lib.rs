@@ -29,4 +29,5 @@ pub use siopmp_devices as devices;
 pub use siopmp_experiments as experiments;
 pub use siopmp_iommu as iommu;
 pub use siopmp_monitor as monitor;
+pub use siopmp_verify as verify;
 pub use siopmp_workloads as workloads;

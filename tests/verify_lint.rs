@@ -1,0 +1,109 @@
+//! Integration coverage for the static analyzer against the assembled
+//! system: a monitor-built configuration lints clean through its whole
+//! lifecycle, an out-of-band table edit is caught as capability
+//! divergence, and the pre-switch gate composes with the cold path.
+
+use siopmp_suite::monitor::{MemPerms, SecureMonitor};
+use siopmp_suite::siopmp::entry::{AddressRange, IopmpEntry, Permissions};
+use siopmp_suite::siopmp::ids::{DeviceId, MdIndex};
+use siopmp_suite::siopmp::request::{AccessKind, DmaRequest};
+use siopmp_suite::siopmp::SiopmpConfig;
+use siopmp_suite::verify::DiagnosticCode;
+
+#[test]
+fn monitor_lifecycle_lints_clean() {
+    let mut monitor = SecureMonitor::build(SiopmpConfig::default(), None);
+    assert!(!monitor.verify_now().has_errors(), "fresh monitor");
+
+    let mem = monitor.mint_memory(0x9000_0000, 0x10_0000, MemPerms::rw());
+    let dev = monitor.mint_device(DeviceId(0x10));
+    let tee = monitor.create_tee(vec![mem, dev]).unwrap();
+    monitor
+        .device_map(tee, dev, mem, 0x9000_0000, 0x1000, MemPerms::rw())
+        .unwrap();
+    let report = monitor.verify_now();
+    assert!(!report.has_errors(), "{:?}", report.diagnostics());
+
+    monitor.device_unmap(tee, dev, mem).unwrap();
+    let report = monitor.verify_now();
+    assert!(!report.has_errors(), "{:?}", report.diagnostics());
+}
+
+/// Hardware state programmed behind the monitor's back — a hot device the
+/// capability system has never heard of — is exactly the divergence the
+/// analyzer exists to catch.
+#[test]
+fn out_of_band_hot_device_is_capability_divergence() {
+    let mut monitor = SecureMonitor::build(SiopmpConfig::default(), None);
+    let mem = monitor.mint_memory(0x9000_0000, 0x10_0000, MemPerms::rw());
+    let dev = monitor.mint_device(DeviceId(0x10));
+    let tee = monitor.create_tee(vec![mem, dev]).unwrap();
+    monitor
+        .device_map(tee, dev, mem, 0x9000_0000, 0x1000, MemPerms::rw())
+        .unwrap();
+
+    // Rogue path: program the unit directly, skipping every capability.
+    let unit = monitor.siopmp_mut();
+    let rogue = unit.map_hot_device(DeviceId(0x99)).unwrap();
+    unit.associate_sid_with_md(rogue, MdIndex(0)).unwrap();
+    unit.install_entry(
+        MdIndex(0),
+        IopmpEntry::new(
+            AddressRange::new(0xDEAD_0000, 0x1000).unwrap(),
+            Permissions::rw(),
+        ),
+    )
+    .unwrap();
+
+    let report = monitor.verify_now();
+    assert!(report.has_errors());
+    assert!(
+        report
+            .diagnostics()
+            .iter()
+            .any(|d| d.code == DiagnosticCode::CapabilityDivergence
+                && d.device == Some(DeviceId(0x99))),
+        "{:?}",
+        report.diagnostics()
+    );
+    let json = report.to_json().pretty();
+    assert!(json.contains("capability-divergence"), "{json}");
+}
+
+/// With the pre-switch gate armed, a clean configuration still cold-mounts
+/// transparently end to end.
+#[test]
+fn preswitch_gate_passes_clean_cold_switch_in_full_system() {
+    let mut cfg = SiopmpConfig::small();
+    cfg.num_sids = 2; // one hot SID: the second device must go cold
+    let mut monitor = SecureMonitor::build(cfg, None);
+    monitor.set_preswitch_verify(true);
+
+    let mem = monitor.mint_memory(0x8000_0000, 0x10_0000, MemPerms::rw());
+    let devs = [
+        monitor.mint_device(DeviceId(1)),
+        monitor.mint_device(DeviceId(2)),
+    ];
+    let tee = monitor.create_tee(vec![mem, devs[0], devs[1]]).unwrap();
+    for (i, dev) in devs.iter().enumerate() {
+        monitor
+            .device_map(
+                tee,
+                *dev,
+                mem,
+                0x8000_0000 + (i as u64) * 0x1000,
+                0x1000,
+                MemPerms::rw(),
+            )
+            .unwrap();
+    }
+
+    let out = monitor.check_dma(&DmaRequest::new(
+        DeviceId(2),
+        AccessKind::Read,
+        0x8000_1000,
+        64,
+    ));
+    assert!(out.is_allowed(), "clean cold switch mounts: {out:?}");
+    assert!(!monitor.verify_now().has_errors());
+}
