@@ -1,0 +1,289 @@
+//! Deterministic fault injection for the bus simulator.
+//!
+//! A [`FaultPlan`] is a finite, seeded schedule of fault events — slave
+//! errors, dropped/duplicated beats, delayed grants, device resets
+//! mid-DMA, SID-block storms, CAM-eviction races and undrained cold
+//! switches — generated from the in-tree testkit PRNG so every chaos run
+//! replays bit-for-bit from its seed. The plan is handed to
+//! [`crate::sim::BusSim::set_fault_plan`]; the simulator applies each
+//! event at its scheduled cycle:
+//!
+//! * **data-plane** faults perturb in-flight bursts (and are attributed to
+//!   the targeted master's `faults_injected` report counter);
+//! * **control-plane** faults are routed through
+//!   [`crate::policy::AccessPolicy::control`], mutating the live
+//!   protection configuration while traffic is in flight — the transition
+//!   windows where, per the formal-PMP literature, the bugs actually live.
+//!
+//! The plan's *budget* (its event count) is finite by construction, which
+//! is what makes the chaos suite's liveness claim meaningful: once the
+//! plan is exhausted no new perturbation arrives, so bounded retries must
+//! either converge or report exhaustion.
+
+use siopmp::ids::{DeviceId, SourceId};
+use siopmp_testkit::Rng;
+
+use crate::policy::ControlOp;
+
+/// One kind of injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The slave answers an in-flight burst of `master` with an error
+    /// response regardless of its verdict.
+    SlaveError {
+        /// Index of the targeted master.
+        master: usize,
+    },
+    /// A beat of an in-flight burst of `master` is lost on the wire and
+    /// must be resent (latency penalty, no data loss).
+    DropBeat {
+        /// Index of the targeted master.
+        master: usize,
+    },
+    /// A beat of an in-flight burst of `master` is delivered twice,
+    /// wasting a channel slot (latency penalty).
+    DuplicateBeat {
+        /// Index of the targeted master.
+        master: usize,
+    },
+    /// The request-channel arbiter withholds every grant for `cycles`.
+    DelayedGrant {
+        /// Cycles during which channel A issues no beats.
+        cycles: u64,
+    },
+    /// `master`'s device resets mid-DMA: all its in-flight bursts abort
+    /// with bus errors and the master pauses for its recovery time.
+    DeviceReset {
+        /// Index of the targeted master.
+        master: usize,
+    },
+    /// Control-plane fault applied through the policy (SID-block storm
+    /// pulses, CAM-eviction races, undrained cold switches).
+    Control(ControlOp),
+}
+
+impl FaultKind {
+    /// The master a data-plane fault targets; `None` for control faults
+    /// and the (global) delayed grant.
+    pub fn target_master(&self) -> Option<usize> {
+        match *self {
+            FaultKind::SlaveError { master }
+            | FaultKind::DropBeat { master }
+            | FaultKind::DuplicateBeat { master }
+            | FaultKind::DeviceReset { master } => Some(master),
+            FaultKind::DelayedGrant { .. } | FaultKind::Control(_) => None,
+        }
+    }
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Cycle at which the simulator applies the fault.
+    pub at: u64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// Shape parameters for [`FaultPlan::generate`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlanConfig {
+    /// Cycles over which events are scheduled (events land in `0..horizon`).
+    pub horizon: u64,
+    /// Number of fault events to generate — the finite fault budget.
+    pub budget: usize,
+    /// Number of masters eligible for data-plane faults (indices
+    /// `0..masters`). With zero masters no data-plane faults are drawn.
+    pub masters: usize,
+    /// SIDs eligible for block-storm pulses. Each blocked SID gets a
+    /// matching unblock scheduled a short time later (outside the budget)
+    /// so storms perturb rather than permanently wedge traffic.
+    pub block_sids: Vec<SourceId>,
+    /// Devices eligible for undrained cold-switch faults.
+    pub cold_devices: Vec<DeviceId>,
+    /// Devices eligible for CAM-eviction (promotion) races.
+    pub churn_devices: Vec<DeviceId>,
+}
+
+/// A seeded, finite schedule of fault events, sorted by cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn empty() -> Self {
+        FaultPlan {
+            seed: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// Builds a plan from explicit events (sorted by cycle internally).
+    /// Useful for directed regression schedules; `generate` is the usual
+    /// entry point.
+    pub fn from_events(seed: u64, mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by_key(|e| e.at);
+        FaultPlan { seed, events }
+    }
+
+    /// Generates `config.budget` fault events over `config.horizon`
+    /// cycles, deterministically from `seed`. Equal seeds and configs
+    /// yield equal plans.
+    pub fn generate(seed: u64, config: &FaultPlanConfig) -> Self {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut events = Vec::with_capacity(config.budget * 2);
+        let horizon = config.horizon.max(1);
+        for _ in 0..config.budget {
+            let at = rng.gen_range(0..horizon);
+            // Weighted draw over the fault classes that are expressible
+            // with this config; retry until one applies (every config
+            // admits DelayedGrant, so this terminates).
+            let kind = loop {
+                match rng.gen_range(0..6) {
+                    0 if config.masters > 0 => {
+                        let master = rng.gen_usize(0..config.masters);
+                        break match rng.gen_range(0..4) {
+                            0 => FaultKind::SlaveError { master },
+                            1 => FaultKind::DropBeat { master },
+                            2 => FaultKind::DuplicateBeat { master },
+                            _ => FaultKind::DeviceReset { master },
+                        };
+                    }
+                    1 => {
+                        break FaultKind::DelayedGrant {
+                            cycles: rng.gen_range_inclusive(1, 16),
+                        }
+                    }
+                    2 if !config.block_sids.is_empty() => {
+                        let sid = *rng.choose(&config.block_sids);
+                        // A storm pulse: block now, release a little later.
+                        // The release rides outside the budget so a storm
+                        // can stall but never permanently wedge a SID.
+                        let hold = rng.gen_range_inclusive(4, 64);
+                        events.push(FaultEvent {
+                            at: at + hold,
+                            kind: FaultKind::Control(ControlOp::UnblockSid(sid)),
+                        });
+                        break FaultKind::Control(ControlOp::BlockSid(sid));
+                    }
+                    3 if !config.cold_devices.is_empty() => {
+                        let dev = *rng.choose(&config.cold_devices);
+                        break FaultKind::Control(ControlOp::ColdSwitch(dev));
+                    }
+                    4 if !config.churn_devices.is_empty() => {
+                        let dev = *rng.choose(&config.churn_devices);
+                        break FaultKind::Control(ControlOp::CamChurn(dev));
+                    }
+                    5 if config.masters > 0 => {
+                        break FaultKind::SlaveError {
+                            master: rng.gen_usize(0..config.masters),
+                        }
+                    }
+                    _ => continue,
+                }
+            };
+            events.push(FaultEvent { at, kind });
+        }
+        events.sort_by_key(|e| e.at);
+        FaultPlan { seed, events }
+    }
+
+    /// The seed the plan was generated from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The scheduled events, ascending by cycle.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> FaultPlanConfig {
+        FaultPlanConfig {
+            horizon: 1000,
+            budget: 32,
+            masters: 3,
+            block_sids: vec![SourceId(0), SourceId(1)],
+            cold_devices: vec![DeviceId(7), DeviceId(8)],
+            churn_devices: vec![DeviceId(7)],
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = FaultPlan::generate(42, &config());
+        let b = FaultPlan::generate(42, &config());
+        assert_eq!(a, b);
+        let c = FaultPlan::generate(43, &config());
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn budget_bounds_primary_events_and_events_are_sorted() {
+        let plan = FaultPlan::generate(7, &config());
+        // Every block pulse adds a paired unblock, so the total may exceed
+        // the budget, but never by more than the budget itself.
+        assert!(plan.len() >= 32 && plan.len() <= 64, "{}", plan.len());
+        assert!(plan.events().windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn block_pulses_always_carry_a_release() {
+        let plan = FaultPlan::generate(11, &config());
+        let blocks = plan
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::Control(ControlOp::BlockSid(_))))
+            .count();
+        let unblocks = plan
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::Control(ControlOp::UnblockSid(_))))
+            .count();
+        assert_eq!(blocks, unblocks);
+    }
+
+    #[test]
+    fn sparse_configs_fall_back_to_expressible_faults() {
+        // No masters, no SIDs, no devices: only delayed grants remain.
+        let cfg = FaultPlanConfig {
+            horizon: 100,
+            budget: 8,
+            ..FaultPlanConfig::default()
+        };
+        let plan = FaultPlan::generate(3, &cfg);
+        assert_eq!(plan.len(), 8);
+        assert!(plan
+            .events()
+            .iter()
+            .all(|e| matches!(e.kind, FaultKind::DelayedGrant { .. })));
+    }
+
+    #[test]
+    fn target_master_classifies_data_plane_faults() {
+        assert_eq!(FaultKind::SlaveError { master: 2 }.target_master(), Some(2));
+        assert_eq!(FaultKind::DelayedGrant { cycles: 3 }.target_master(), None);
+        assert_eq!(
+            FaultKind::Control(ControlOp::ColdSwitch(DeviceId(1))).target_master(),
+            None
+        );
+    }
+}

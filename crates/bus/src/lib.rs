@@ -31,6 +31,7 @@
 //! ```
 
 pub mod config;
+pub mod faults;
 pub mod functional;
 pub mod master;
 pub mod packet;
@@ -40,8 +41,9 @@ pub mod sim;
 pub mod trace;
 
 pub use config::BusConfig;
-pub use master::MasterProgram;
-pub use packet::{BurstKind, BurstRequest};
-pub use policy::{PolicyVerdict, SiopmpPolicy};
+pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultPlanConfig};
+pub use master::{MasterProgram, RetryPolicy};
+pub use packet::{BurstKind, BurstRequest, BurstStatus};
+pub use policy::{ControlOp, PolicyVerdict, SiopmpPolicy};
 pub use report::{MasterReport, SimReport};
-pub use sim::BusSim;
+pub use sim::{BusSim, DecisionRecord};

@@ -4,6 +4,78 @@ use siopmp::ids::DeviceId;
 
 use crate::packet::{BurstKind, BurstRequest};
 
+/// Bounded-retry policy for bursts refused transiently (stalls, injected
+/// faults). Real DMA masters retry `Stalled` responses — the paper's
+/// per-SID blocking (§5.3) *assumes* they do — and a bounded budget with
+/// exponential backoff is what turns a fault storm into either eventual
+/// completion or a clean, reportable exhaustion instead of a livelock.
+///
+/// The default ([`RetryPolicy::none`]) disables retries entirely,
+/// preserving the historical terminal-refusal semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum re-issues per burst (0 = retries disabled).
+    pub max_retries: u32,
+    /// Backoff before the first retry, in cycles; doubles per attempt.
+    pub backoff_base: u64,
+    /// Ceiling on the per-retry backoff, in cycles.
+    pub backoff_cap: u64,
+    /// Whether `SidMissing` refusals are also retried (useful when a
+    /// monitor model mounts the device concurrently; off by default since
+    /// without a monitor in the loop such retries can never succeed).
+    pub retry_sid_missing: bool,
+}
+
+impl RetryPolicy {
+    /// No retries: every refusal is terminal (the historical behaviour).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            backoff_base: 0,
+            backoff_cap: 0,
+            retry_sid_missing: false,
+        }
+    }
+
+    /// Up to `max_retries` re-issues with exponential backoff starting at
+    /// `backoff_base` cycles, capped at 64× the base.
+    pub fn bounded(max_retries: u32, backoff_base: u64) -> Self {
+        RetryPolicy {
+            max_retries,
+            backoff_base,
+            backoff_cap: backoff_base.saturating_mul(64).max(1),
+            retry_sid_missing: false,
+        }
+    }
+
+    /// Enables retrying `SidMissing` refusals too (builder style).
+    pub fn with_sid_missing_retry(mut self) -> Self {
+        self.retry_sid_missing = true;
+        self
+    }
+
+    /// Whether this policy ever retries.
+    pub fn is_enabled(&self) -> bool {
+        self.max_retries > 0
+    }
+
+    /// Backoff in cycles before re-issuing attempt number
+    /// `attempt` (1-based): `base << (attempt-1)`, saturating, capped.
+    pub fn backoff_for(&self, attempt: u32) -> u64 {
+        let shifted = self
+            .backoff_base
+            .checked_shl(attempt.saturating_sub(1))
+            .unwrap_or(u64::MAX);
+        shifted.min(self.backoff_cap)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
+
 /// A scripted DMA master: a list of bursts to issue plus an
 /// outstanding-transaction limit.
 ///
@@ -18,6 +90,8 @@ pub struct MasterProgram {
     pub bursts: Vec<BurstRequest>,
     /// Maximum bursts in flight simultaneously (>= 1).
     pub outstanding: usize,
+    /// Retry policy for transiently refused bursts (default: no retries).
+    pub retry: RetryPolicy,
 }
 
 impl MasterProgram {
@@ -31,6 +105,7 @@ impl MasterProgram {
                 .map(|_| BurstRequest { device, kind, addr })
                 .collect(),
             outstanding: 1,
+            retry: RetryPolicy::none(),
         }
     }
 
@@ -54,6 +129,7 @@ impl MasterProgram {
                 })
                 .collect(),
             outstanding: 1,
+            retry: RetryPolicy::none(),
         }
     }
 
@@ -61,6 +137,12 @@ impl MasterProgram {
     pub fn with_outstanding(mut self, outstanding: usize) -> Self {
         assert!(outstanding >= 1, "outstanding limit must be at least 1");
         self.outstanding = outstanding;
+        self
+    }
+
+    /// Sets the retry policy (builder style).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 
@@ -94,6 +176,24 @@ mod tests {
     #[should_panic(expected = "outstanding limit")]
     fn zero_outstanding_rejected() {
         let _ = MasterProgram::uniform(1, BurstKind::Read, 0, 1).with_outstanding(0);
+    }
+
+    #[test]
+    fn retry_backoff_is_exponential_and_capped() {
+        let p = RetryPolicy::bounded(5, 8);
+        assert!(p.is_enabled());
+        assert_eq!(p.backoff_for(1), 8);
+        assert_eq!(p.backoff_for(2), 16);
+        assert_eq!(p.backoff_for(4), 64);
+        assert_eq!(p.backoff_for(32), 8 * 64); // capped
+        assert_eq!(p.backoff_for(200), 8 * 64); // shift overflow saturates
+        assert!(!RetryPolicy::none().is_enabled());
+        assert_eq!(RetryPolicy::default(), RetryPolicy::none());
+        assert!(
+            RetryPolicy::bounded(1, 4)
+                .with_sid_missing_retry()
+                .retry_sid_missing
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! *authorisation* (this trait), so microbenchmarks can use trivial
 //! policies while full-system runs plug in a real [`siopmp::Siopmp`] unit.
 
-use siopmp::ids::DeviceId;
+use siopmp::ids::{DeviceId, SourceId};
 use siopmp::request::{AccessKind, DmaRequest};
 use siopmp::CheckOutcome;
 
@@ -45,10 +45,49 @@ impl From<&CheckOutcome> for PolicyVerdict {
     }
 }
 
+/// A control-plane reconfiguration the fault injector (or a monitor model)
+/// applies to the policy *while traffic is in flight*. Trivial policies
+/// ignore these; [`SiopmpPolicy`] maps them onto the unit's mutators, which
+/// is exactly what makes mid-run SID-block storms, CAM-eviction races and
+/// undrained cold switches expressible in a fault schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlOp {
+    /// Block `sid`: its traffic stalls until unblocked.
+    BlockSid(SourceId),
+    /// Unblock `sid`.
+    UnblockSid(SourceId),
+    /// Cold-switch the mountable window to `device` immediately — the
+    /// *undrained* switch the quiesce protocol exists to prevent.
+    ColdSwitch(DeviceId),
+    /// Promote `device` from cold to hot, evicting a CAM victim when the
+    /// CAM is full (implicit-switching churn, §4.3).
+    CamChurn(DeviceId),
+}
+
 /// Decides whether a DMA access is authorised.
 pub trait AccessPolicy {
     /// Classifies the access.
     fn decide(&mut self, device: DeviceId, kind: AccessKind, addr: u64, len: u64) -> PolicyVerdict;
+
+    /// Applies a control-plane reconfiguration, returning `true` when the
+    /// policy's configuration actually changed. The default ignores every
+    /// op — stateless policies have no control plane.
+    fn control(&mut self, op: &ControlOp) -> bool {
+        let _ = op;
+        false
+    }
+
+    /// The wrapped [`siopmp::Siopmp`] unit, for policies that have one.
+    /// Lets differential tests snapshot the live configuration without
+    /// downcasting through `Box<dyn AccessPolicy>`.
+    fn siopmp_unit(&self) -> Option<&siopmp::Siopmp> {
+        None
+    }
+
+    /// Mutable counterpart of [`AccessPolicy::siopmp_unit`].
+    fn siopmp_unit_mut(&mut self) -> Option<&mut siopmp::Siopmp> {
+        None
+    }
 
     /// Returns `true` when the access is allowed.
     #[deprecated(note = "use `decide(...)` and match on the verdict")]
@@ -124,6 +163,41 @@ impl AccessPolicy for SiopmpPolicy {
     fn decide(&mut self, device: DeviceId, kind: AccessKind, addr: u64, len: u64) -> PolicyVerdict {
         PolicyVerdict::from(&self.unit.check(&DmaRequest::new(device, kind, addr, len)))
     }
+
+    fn control(&mut self, op: &ControlOp) -> bool {
+        match *op {
+            ControlOp::BlockSid(sid) => {
+                if self.unit.is_sid_blocked(sid) {
+                    return false;
+                }
+                self.unit.block_sid(sid);
+                true
+            }
+            ControlOp::UnblockSid(sid) => {
+                if !self.unit.is_sid_blocked(sid) {
+                    return false;
+                }
+                self.unit.unblock_sid(sid);
+                true
+            }
+            // A switch to the already-mounted device is a free no-op and
+            // does not change configuration, so it reports `false`.
+            ControlOp::ColdSwitch(device) => self
+                .unit
+                .handle_sid_missing(device)
+                .map(|report| report.cycles > 0)
+                .unwrap_or(false),
+            ControlOp::CamChurn(device) => self.unit.promote_with_eviction(device).is_ok(),
+        }
+    }
+
+    fn siopmp_unit(&self) -> Option<&siopmp::Siopmp> {
+        Some(&self.unit)
+    }
+
+    fn siopmp_unit_mut(&mut self) -> Option<&mut siopmp::Siopmp> {
+        Some(&mut self.unit)
+    }
 }
 
 #[cfg(test)]
@@ -159,6 +233,53 @@ mod tests {
         assert!(p
             .decide(DeviceId(1), AccessKind::Read, 0x0f00, 0x100)
             .is_allowed());
+    }
+
+    #[test]
+    fn control_ops_are_noops_on_stateless_policies() {
+        let mut p = AllowAll;
+        assert!(!p.control(&ControlOp::BlockSid(SourceId(0))));
+        assert!(p.siopmp_unit().is_none());
+    }
+
+    #[test]
+    fn siopmp_policy_applies_control_ops() {
+        use siopmp::mountable::MountableEntry;
+
+        let mut unit = siopmp::Siopmp::build(siopmp::SiopmpConfig::small(), None);
+        let sid = unit.map_hot_device(DeviceId(5)).unwrap();
+        unit.register_cold_device(
+            DeviceId(9),
+            MountableEntry {
+                domains: vec![],
+                entries: vec![],
+            },
+        )
+        .unwrap();
+        let mut p = SiopmpPolicy::new(unit);
+
+        assert!(p.control(&ControlOp::BlockSid(sid)));
+        assert!(!p.control(&ControlOp::BlockSid(sid)), "already blocked");
+        assert_eq!(
+            p.decide(DeviceId(5), AccessKind::Read, 0x8000, 64),
+            PolicyVerdict::Stalled
+        );
+        assert!(p.control(&ControlOp::UnblockSid(sid)));
+
+        assert!(p.control(&ControlOp::ColdSwitch(DeviceId(9))));
+        assert_eq!(
+            p.siopmp_unit().unwrap().mounted_cold_device(),
+            Some(DeviceId(9))
+        );
+        assert!(
+            !p.control(&ControlOp::ColdSwitch(DeviceId(9))),
+            "no-op remount reports no change"
+        );
+        assert!(!p.control(&ControlOp::ColdSwitch(DeviceId(404))));
+
+        assert!(p.control(&ControlOp::CamChurn(DeviceId(9))));
+        assert!(p.siopmp_unit().unwrap().is_hot(DeviceId(9)));
+        assert!(!p.control(&ControlOp::CamChurn(DeviceId(9))), "already hot");
     }
 
     #[test]

@@ -26,6 +26,14 @@ pub struct MasterReport {
     pub total_latency_cycles: u64,
     /// Cycle at which the last burst completed.
     pub last_completion_cycle: u64,
+    /// Re-issues performed under the master's retry policy (attempts
+    /// beyond the first; not counted in `bursts_completed`).
+    pub bursts_retried: usize,
+    /// Bursts whose retry budget ran out — they then completed with their
+    /// last refusal as the terminal status (counted in `bursts_completed`).
+    pub retry_exhausted: usize,
+    /// Data-plane faults injected into this master's in-flight bursts.
+    pub faults_injected: usize,
 }
 
 impl MasterReport {
@@ -61,6 +69,9 @@ impl MasterReport {
                 "last_completion_cycle",
                 Json::u64(self.last_completion_cycle),
             ),
+            ("bursts_retried", Json::u64(self.bursts_retried as u64)),
+            ("retry_exhausted", Json::u64(self.retry_exhausted as u64)),
+            ("faults_injected", Json::u64(self.faults_injected as u64)),
         ])
     }
 }
@@ -74,6 +85,9 @@ pub struct SimReport {
     pub masters: Vec<MasterReport>,
     /// Whether every master drained its program before the cycle budget.
     pub completed: bool,
+    /// Control-plane faults applied through the policy during the run
+    /// (not attributable to a single master).
+    pub control_faults: usize,
 }
 
 impl SimReport {
@@ -112,6 +126,26 @@ impl SimReport {
         self.masters.iter().map(|m| m.bursts_sid_missing).sum()
     }
 
+    /// Total retry re-issues, across masters.
+    pub fn total_retried(&self) -> usize {
+        self.masters.iter().map(|m| m.bursts_retried).sum()
+    }
+
+    /// Total bursts whose retry budget ran out, across masters.
+    pub fn total_retry_exhausted(&self) -> usize {
+        self.masters.iter().map(|m| m.retry_exhausted).sum()
+    }
+
+    /// Total faults injected: per-master data-plane faults plus
+    /// control-plane faults.
+    pub fn total_faults_injected(&self) -> usize {
+        self.masters
+            .iter()
+            .map(|m| m.faults_injected)
+            .sum::<usize>()
+            + self.control_faults
+    }
+
     /// Machine-readable form with run aggregates plus per-master reports.
     pub fn to_json(&self) -> Json {
         Json::object([
@@ -125,6 +159,16 @@ impl SimReport {
                 "bursts_sid_missing",
                 Json::u64(self.total_sid_missing() as u64),
             ),
+            ("bursts_retried", Json::u64(self.total_retried() as u64)),
+            (
+                "retry_exhausted",
+                Json::u64(self.total_retry_exhausted() as u64),
+            ),
+            (
+                "faults_injected",
+                Json::u64(self.total_faults_injected() as u64),
+            ),
+            ("control_faults", Json::u64(self.control_faults as u64)),
             (
                 "masters",
                 Json::array(self.masters.iter().map(MasterReport::to_json)),
@@ -170,6 +214,7 @@ mod tests {
                 },
             ],
             completed: true,
+            control_faults: 0,
         };
         assert_eq!(r.total_bytes(), 500);
         assert_eq!(r.bytes_per_cycle(), 5.0);
@@ -189,6 +234,7 @@ mod tests {
                 ..Default::default()
             }],
             completed: true,
+            control_faults: 0,
         };
         assert_eq!(r.total_stalled(), 3);
         assert_eq!(r.total_sid_missing(), 2);
@@ -196,5 +242,29 @@ mod tests {
         assert!(text.contains("\"bursts_stalled\": 3"), "{text}");
         assert!(text.contains("\"bursts_sid_missing\": 2"), "{text}");
         assert!(text.contains("\"mean_latency_cycles\": 10"), "{text}");
+    }
+
+    #[test]
+    fn json_serializes_retry_and_fault_counters() {
+        let r = SimReport {
+            cycles: 10,
+            masters: vec![MasterReport {
+                bursts_completed: 4,
+                bursts_retried: 6,
+                retry_exhausted: 1,
+                faults_injected: 3,
+                ..Default::default()
+            }],
+            completed: true,
+            control_faults: 2,
+        };
+        assert_eq!(r.total_retried(), 6);
+        assert_eq!(r.total_retry_exhausted(), 1);
+        assert_eq!(r.total_faults_injected(), 5);
+        let text = r.to_json().pretty();
+        assert!(text.contains("\"bursts_retried\": 6"), "{text}");
+        assert!(text.contains("\"retry_exhausted\": 1"), "{text}");
+        assert!(text.contains("\"faults_injected\": 5"), "{text}");
+        assert!(text.contains("\"control_faults\": 2"), "{text}");
     }
 }

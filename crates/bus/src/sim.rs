@@ -24,12 +24,18 @@
 //!   strobes / cleared data — same timing as a legal burst.
 
 use crate::config::BusConfig;
+use crate::faults::{FaultKind, FaultPlan};
 use crate::master::MasterProgram;
-use crate::packet::{BurstKind, BurstStatus};
+use crate::packet::{BurstKind, BurstRequest, BurstStatus};
 use crate::policy::{AccessPolicy, PolicyVerdict};
 use crate::report::{MasterReport, SimReport};
 use crate::trace::{TraceBuffer, TraceEvent, TraceKind};
+use siopmp::ids::DeviceId;
 use siopmp::telemetry::{Counter, Histogram, Telemetry};
+
+/// Cycles a master pauses after its device resets mid-DMA before it may
+/// issue again (firmware re-initialising rings and doorbells).
+pub const RESET_RECOVERY_CYCLES: u64 = 16;
 
 /// Pre-resolved handles for the `bus.*` metrics, mirroring the aggregate
 /// side of [`SimReport`] into the shared registry (the per-master breakdown
@@ -44,6 +50,10 @@ struct BusCounters {
     bursts_stalled: Counter,
     bursts_sid_missing: Counter,
     bytes_transferred: Counter,
+    retries: Counter,
+    retry_exhausted: Counter,
+    backoff_cycles: Counter,
+    faults_injected: Counter,
 }
 
 impl BusCounters {
@@ -57,13 +67,48 @@ impl BusCounters {
             bursts_stalled: t.counter("bus.bursts_stalled"),
             bursts_sid_missing: t.counter("bus.bursts_sid_missing"),
             bytes_transferred: t.counter("bus.bytes_transferred"),
+            retries: t.counter("bus.retries"),
+            retry_exhausted: t.counter("bus.retry_exhausted"),
+            backoff_cycles: t.counter("bus.backoff_cycles"),
+            faults_injected: t.counter("bus.faults_injected"),
         }
     }
+}
+
+/// One authorisation decision as resolved at issue time, plus how the
+/// burst eventually terminated. The `generation` field counts the
+/// control-plane mutations applied so far, which is what lets a post-hoc
+/// differential pin every verdict to the exact configuration that was
+/// live when it was made (see the chaos suite).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecisionRecord {
+    /// Cycle the burst was issued (and the verdict resolved).
+    pub cycle: u64,
+    /// Issuing master's index.
+    pub master: usize,
+    /// Device the burst claims to be from.
+    pub device: DeviceId,
+    /// Read or write.
+    pub kind: BurstKind,
+    /// Target address.
+    pub addr: u64,
+    /// Checked length in bytes (one burst).
+    pub len: u64,
+    /// The verdict the checker pinned to the burst at issue.
+    pub verdict: PolicyVerdict,
+    /// Control-plane configuration generation live at issue time.
+    pub generation: u64,
+    /// Retry attempt number (0 = first issue).
+    pub attempt: u32,
+    /// Terminal status, filled when the burst resolves (`None` if the
+    /// run stopped while it was still in flight).
+    pub status: Option<BurstStatus>,
 }
 
 #[derive(Debug)]
 struct Flight {
     master: usize,
+    req: BurstRequest,
     kind: BurstKind,
     verdict: PolicyVerdict,
     issue_cycle: u64,
@@ -74,7 +119,19 @@ struct Flight {
     resp_beats_recv: u32,
     resp_beats_total: u32,
     cancelled: bool,
+    /// A fault hit this flight (slave error / reset / forced abort), so
+    /// its terminal error is transient rather than a protection verdict.
+    faulted: bool,
+    attempt: u32,
+    decision: Option<usize>,
     done: Option<BurstStatus>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RetryEntry {
+    eligible: u64,
+    burst: BurstRequest,
+    attempt: u32,
 }
 
 #[derive(Debug)]
@@ -83,6 +140,7 @@ struct MasterState {
     next_burst: usize,
     in_flight: usize,
     next_issue_ok: u64,
+    retry_queue: Vec<RetryEntry>,
     report: MasterReport,
 }
 
@@ -103,6 +161,12 @@ pub struct BusSim {
     telemetry: Telemetry,
     counters: BusCounters,
     burst_latency: Histogram,
+    plan: FaultPlan,
+    plan_cursor: usize,
+    generation: u64,
+    a_stall_until: u64,
+    control_faults: usize,
+    decision_log: Option<Vec<DecisionRecord>>,
 }
 
 impl std::fmt::Debug for BusSim {
@@ -140,6 +204,12 @@ impl BusSim {
             counters: BusCounters::attach(&telemetry),
             burst_latency: telemetry.histogram("bus.burst_latency_cycles"),
             telemetry,
+            plan: FaultPlan::empty(),
+            plan_cursor: 0,
+            generation: 0,
+            a_stall_until: 0,
+            control_faults: 0,
+            decision_log: None,
         }
     }
 
@@ -181,6 +251,7 @@ impl BusSim {
             next_burst: 0,
             in_flight: 0,
             next_issue_ok: 0,
+            retry_queue: Vec::new(),
             report: MasterReport::default(),
         });
         self.masters.len() - 1
@@ -191,10 +262,97 @@ impl BusSim {
         self.cycle
     }
 
-    fn all_done(&self) -> bool {
-        self.masters
+    /// Installs a fault plan; events at cycles already in the past are
+    /// applied on the next step. Replaces any previous plan.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.plan = plan;
+        self.plan_cursor = 0;
+    }
+
+    /// Control-plane configuration generation: bumped each time a fault
+    /// (or [`BusSim::apply_control`]) actually changes the policy's
+    /// configuration. Verdicts in the decision log are tagged with the
+    /// generation live when they were resolved.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Applies a control op through the policy outside of any fault plan
+    /// (monitor models use this to drive quiesced switches). Returns
+    /// whether the configuration changed (and the generation advanced).
+    pub fn apply_control(&mut self, op: &crate::policy::ControlOp) -> bool {
+        let changed = self.policy.control(op);
+        if changed {
+            self.generation += 1;
+        }
+        changed
+    }
+
+    /// Starts recording one [`DecisionRecord`] per issued burst attempt.
+    pub fn enable_decision_log(&mut self) {
+        self.decision_log = Some(Vec::new());
+    }
+
+    /// The recorded decisions, when logging is enabled.
+    pub fn decision_log(&self) -> Option<&[DecisionRecord]> {
+        self.decision_log.as_deref()
+    }
+
+    /// The access policy.
+    pub fn policy(&self) -> &dyn AccessPolicy {
+        &*self.policy
+    }
+
+    /// Mutable access to the policy. Reconfiguring it directly bypasses
+    /// generation tracking — prefer [`BusSim::apply_control`] when the
+    /// decision log is in use.
+    pub fn policy_mut(&mut self) -> &mut dyn AccessPolicy {
+        &mut *self.policy
+    }
+
+    /// Bursts currently in flight that carry `device`'s ID — the quantity
+    /// a quiesce/drain protocol must see reach zero before committing a
+    /// switch affecting that device.
+    pub fn in_flight_for_device(&self, device: DeviceId) -> usize {
+        self.flights
             .iter()
-            .all(|m| m.next_burst == m.program.bursts.len() && m.in_flight == 0)
+            .filter(|f| f.done.is_none() && f.req.device == device)
+            .count()
+    }
+
+    /// Total bursts currently in flight across all masters.
+    pub fn in_flight_total(&self) -> usize {
+        self.flights.iter().filter(|f| f.done.is_none()).count()
+    }
+
+    /// Forcibly aborts every in-flight burst carrying `device`'s ID (the
+    /// drain protocol's timeout path). Each aborted burst terminates with
+    /// a bus error this cycle; masters with a retry policy will re-issue
+    /// it, re-deciding under whatever configuration is then live. Returns
+    /// the number of bursts aborted.
+    pub fn abort_in_flight_for_device(&mut self, device: DeviceId) -> usize {
+        let t = self.cycle;
+        let mut aborted = 0;
+        for idx in 0..self.flights.len() {
+            let f = &mut self.flights[idx];
+            if f.done.is_none() && f.req.device == device {
+                f.faulted = true;
+                f.cancelled = true;
+                self.resolve_terminal(idx, BurstStatus::BusError, t);
+                aborted += 1;
+            }
+        }
+        aborted
+    }
+
+    /// Whether every master has drained its program: nothing left to
+    /// issue, nothing in flight, nothing queued for retry. Chaos tests
+    /// step the simulator manually (snapshotting configuration between
+    /// steps) and use this as their loop condition.
+    pub fn all_done(&self) -> bool {
+        self.masters.iter().all(|m| {
+            m.next_burst == m.program.bursts.len() && m.in_flight == 0 && m.retry_queue.is_empty()
+        })
     }
 
     /// Runs until every master drains its program or `max_cycles` elapse.
@@ -206,12 +364,14 @@ impl BusSim {
             cycles: self.cycle,
             masters: self.masters.iter().map(|m| m.report.clone()).collect(),
             completed: self.all_done(),
+            control_faults: self.control_faults,
         }
     }
 
     /// Advances the simulation by one cycle.
     pub fn step(&mut self) {
         let t = self.cycle;
+        self.apply_faults(t);
         self.issue_bursts(t);
         self.channel_a_beat(t);
         self.memory_schedule(t);
@@ -219,57 +379,198 @@ impl BusSim {
         self.cycle += 1;
     }
 
-    /// Issue new bursts from masters with spare outstanding slots.
+    /// Applies every fault-plan event scheduled at or before `t`.
+    fn apply_faults(&mut self, t: u64) {
+        while self.plan_cursor < self.plan.events().len()
+            && self.plan.events()[self.plan_cursor].at <= t
+        {
+            let event = self.plan.events()[self.plan_cursor];
+            self.plan_cursor += 1;
+            self.apply_fault(t, event.kind);
+        }
+    }
+
+    /// Oldest live (un-resolved, not already error-bound) flight of
+    /// `master`, if any.
+    fn pick_live_flight(&self, master: usize) -> Option<usize> {
+        self.flights
+            .iter()
+            .position(|f| f.master == master && f.done.is_none() && !f.cancelled)
+    }
+
+    fn count_master_fault(&mut self, master: usize) {
+        self.masters[master].report.faults_injected += 1;
+        self.counters.faults_injected.inc();
+    }
+
+    fn apply_fault(&mut self, t: u64, kind: FaultKind) {
+        match kind {
+            FaultKind::SlaveError { master } => {
+                let Some(idx) = self.pick_live_flight(master) else {
+                    return;
+                };
+                let f = &mut self.flights[idx];
+                // The slave errors the burst: truncate the response to one
+                // more (error) beat, regardless of the verdict.
+                f.faulted = true;
+                f.cancelled = true;
+                f.resp_beats_total = f.resp_beats_recv + 1;
+                if f.resp_ready_at.is_none() {
+                    f.resp_ready_at = Some(t + 1);
+                }
+                self.count_master_fault(master);
+            }
+            FaultKind::DropBeat { master } => {
+                let Some(idx) = self.pick_live_flight(master) else {
+                    return;
+                };
+                let f = &mut self.flights[idx];
+                // A link-level retransmit: the lost beat is resent, so the
+                // burst merely pays an extra channel slot.
+                if f.resp_beats_recv > 0 && f.resp_beats_recv < f.resp_beats_total {
+                    f.resp_beats_recv -= 1;
+                } else if f.req_beats_sent > 0 && f.req_beats_sent < f.req_beats_total {
+                    f.req_beats_sent -= 1;
+                } else {
+                    return;
+                }
+                self.count_master_fault(master);
+            }
+            FaultKind::DuplicateBeat { master } => {
+                let Some(idx) = self.pick_live_flight(master) else {
+                    return;
+                };
+                let f = &mut self.flights[idx];
+                // The duplicated beat wastes a slot: push the next
+                // response (or memory arrival) out by one cycle.
+                if let Some(r) = f.resp_ready_at {
+                    f.resp_ready_at = Some(r.max(t) + 1);
+                } else if let Some(a) = f.arrival_at_mem {
+                    f.arrival_at_mem = Some(a.max(t) + 1);
+                } else {
+                    return;
+                }
+                self.count_master_fault(master);
+            }
+            FaultKind::DelayedGrant { cycles } => {
+                self.a_stall_until = self.a_stall_until.max(t + cycles);
+                self.control_faults += 1;
+                self.counters.faults_injected.inc();
+            }
+            FaultKind::DeviceReset { master } => {
+                if master >= self.masters.len() {
+                    return;
+                }
+                let live: Vec<usize> = self
+                    .flights
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, f)| f.master == master && f.done.is_none())
+                    .map(|(i, _)| i)
+                    .collect();
+                for idx in &live {
+                    let f = &mut self.flights[*idx];
+                    f.faulted = true;
+                    f.cancelled = true;
+                    self.resolve_terminal(*idx, BurstStatus::BusError, t);
+                }
+                let m = &mut self.masters[master];
+                m.next_issue_ok = m.next_issue_ok.max(t + RESET_RECOVERY_CYCLES);
+                self.count_master_fault(master);
+            }
+            FaultKind::Control(op) => {
+                if self.policy.control(&op) {
+                    self.generation += 1;
+                    self.control_faults += 1;
+                    self.counters.faults_injected.inc();
+                }
+            }
+        }
+    }
+
+    /// Issue new bursts from masters with spare outstanding slots. Retried
+    /// bursts whose backoff elapsed take priority over fresh program
+    /// bursts; either way the verdict is re-resolved at issue time.
     fn issue_bursts(&mut self, t: u64) {
-        for (mi, m) in self.masters.iter_mut().enumerate() {
+        for mi in 0..self.masters.len() {
             // One issue per master per cycle (the request queue accepts a
             // single burst header per cycle).
-            if m.in_flight < m.program.outstanding
-                && m.next_burst < m.program.bursts.len()
-                && t >= m.next_issue_ok
-            {
-                let burst = m.program.bursts[m.next_burst];
-                m.next_burst += 1;
-                m.in_flight += 1;
-                let verdict = self.policy.decide(
-                    burst.device,
-                    burst.kind.access(),
-                    burst.addr,
-                    self.config.burst_bytes(),
-                );
-                let (req_total, resp_total) = match burst.kind {
-                    BurstKind::Read => (1, self.config.beats_per_burst),
-                    BurstKind::Write => (self.config.beats_per_burst, 1),
+            let m = &mut self.masters[mi];
+            if m.in_flight >= m.program.outstanding || t < m.next_issue_ok {
+                continue;
+            }
+            let (burst, attempt) =
+                if let Some(pos) = m.retry_queue.iter().position(|r| r.eligible <= t) {
+                    let entry = m.retry_queue.swap_remove(pos);
+                    (entry.burst, entry.attempt)
+                } else if m.next_burst < m.program.bursts.len() {
+                    let burst = m.program.bursts[m.next_burst];
+                    m.next_burst += 1;
+                    (burst, 0)
+                } else {
+                    continue;
                 };
-                if let Some(trace) = &mut self.trace {
-                    trace.record(TraceEvent {
-                        cycle: t,
-                        master: mi,
-                        burst_kind: burst.kind,
-                        kind: TraceKind::Issued,
-                    });
-                }
-                self.counters.bursts_issued.inc();
-                self.flights.push(Flight {
+            m.in_flight += 1;
+            let verdict = self.policy.decide(
+                burst.device,
+                burst.kind.access(),
+                burst.addr,
+                self.config.burst_bytes(),
+            );
+            let (req_total, resp_total) = match burst.kind {
+                BurstKind::Read => (1, self.config.beats_per_burst),
+                BurstKind::Write => (self.config.beats_per_burst, 1),
+            };
+            if let Some(trace) = &mut self.trace {
+                trace.record(TraceEvent {
+                    cycle: t,
                     master: mi,
-                    kind: burst.kind,
-                    verdict,
-                    issue_cycle: t,
-                    req_beats_sent: 0,
-                    req_beats_total: req_total,
-                    arrival_at_mem: None,
-                    resp_ready_at: None,
-                    resp_beats_recv: 0,
-                    resp_beats_total: resp_total,
-                    cancelled: false,
-                    done: None,
+                    burst_kind: burst.kind,
+                    kind: TraceKind::Issued,
                 });
             }
+            self.counters.bursts_issued.inc();
+            let decision = self.decision_log.as_mut().map(|log| {
+                log.push(DecisionRecord {
+                    cycle: t,
+                    master: mi,
+                    device: burst.device,
+                    kind: burst.kind,
+                    addr: burst.addr,
+                    len: self.config.burst_bytes(),
+                    verdict,
+                    generation: self.generation,
+                    attempt,
+                    status: None,
+                });
+                log.len() - 1
+            });
+            self.flights.push(Flight {
+                master: mi,
+                req: burst,
+                kind: burst.kind,
+                verdict,
+                issue_cycle: t,
+                req_beats_sent: 0,
+                req_beats_total: req_total,
+                arrival_at_mem: None,
+                resp_ready_at: None,
+                resp_beats_recv: 0,
+                resp_beats_total: resp_total,
+                cancelled: false,
+                faulted: false,
+                attempt,
+                decision,
+                done: None,
+            });
         }
     }
 
     /// One beat of request-channel arbitration (burst-atomic).
     fn channel_a_beat(&mut self, t: u64) {
+        if t < self.a_stall_until {
+            return; // injected DelayedGrant: the arbiter withholds grants
+        }
         let wants_a =
             |f: &Flight| f.done.is_none() && !f.cancelled && f.req_beats_sent < f.req_beats_total;
         // Release or keep the current owner.
@@ -380,8 +681,6 @@ impl BusSim {
         if !ready_d(&self.flights[idx]) {
             return; // owner's next beat not ready yet (streams are paced)
         }
-        let issue_gap = u64::from(self.config.issue_gap);
-        let burst_bytes = self.config.burst_bytes();
         let f = &mut self.flights[idx];
         f.resp_beats_recv += 1;
         if f.resp_beats_recv == f.resp_beats_total {
@@ -392,55 +691,114 @@ impl BusSim {
             } else {
                 BurstStatus::Masked
             };
-            let verdict = f.verdict;
-            f.done = Some(status);
+            self.resolve_terminal(idx, status, t);
+        }
+    }
+
+    /// Terminal resolution of flight `idx` at cycle `t` with bus status
+    /// `status`. Transient refusals (stalls, injected faults, optionally
+    /// SID-missing) under an enabled retry policy with remaining budget
+    /// re-queue the burst after its exponential backoff instead of
+    /// completing; everything else counts as completed, including bursts
+    /// whose retry budget just ran out (`retry_exhausted`).
+    fn resolve_terminal(&mut self, idx: usize, status: BurstStatus, t: u64) {
+        let f = &mut self.flights[idx];
+        if f.done.is_some() {
+            return;
+        }
+        let verdict = f.verdict;
+        let faulted = f.faulted;
+        let attempt = f.attempt;
+        let req = f.req;
+        let decision = f.decision;
+        let issue_cycle = f.issue_cycle;
+        let master = f.master;
+        let burst_kind = f.kind;
+        f.done = Some(status);
+        if self.a_owner == Some(idx) {
+            self.a_owner = None;
+        }
+        if self.d_owner == Some(idx) {
             self.d_owner = None;
-            let master = f.master;
-            let burst_kind = f.kind;
-            if let Some(trace) = &mut self.trace {
-                trace.record(TraceEvent {
-                    cycle: t,
-                    master,
-                    burst_kind,
-                    kind: TraceKind::Completed(status),
-                });
-            }
-            let latency = t - f.issue_cycle + 1;
-            self.counters.bursts_completed.inc();
-            self.burst_latency.record(latency);
-            match status {
-                BurstStatus::Ok => {
-                    self.counters.bursts_ok.inc();
-                    self.counters.bytes_transferred.add(burst_bytes);
-                }
-                BurstStatus::Masked => self.counters.bursts_masked.inc(),
-                BurstStatus::BusError => self.counters.bursts_bus_error.inc(),
-            }
-            match verdict {
-                PolicyVerdict::Stalled => self.counters.bursts_stalled.inc(),
-                PolicyVerdict::SidMissing => self.counters.bursts_sid_missing.inc(),
-                _ => {}
-            }
+        }
+        if let (Some(di), Some(log)) = (decision, self.decision_log.as_mut()) {
+            log[di].status = Some(status);
+        }
+        if let Some(trace) = &mut self.trace {
+            trace.record(TraceEvent {
+                cycle: t,
+                master,
+                burst_kind,
+                kind: TraceKind::Completed(status),
+            });
+        }
+        let issue_gap = u64::from(self.config.issue_gap);
+        let burst_bytes = self.config.burst_bytes();
+        let retry = self.masters[master].program.retry;
+        let transient = status != BurstStatus::Ok
+            && (faulted
+                || verdict == PolicyVerdict::Stalled
+                || (verdict == PolicyVerdict::SidMissing && retry.retry_sid_missing));
+        if transient && retry.is_enabled() && attempt < retry.max_retries {
+            // Retry: the refusal is not terminal for the burst. The
+            // re-issue will re-resolve its verdict under whatever
+            // configuration is live then.
+            let next_attempt = attempt + 1;
+            let backoff = retry.backoff_for(next_attempt);
+            self.counters.retries.inc();
+            self.counters.backoff_cycles.add(backoff);
             let m = &mut self.masters[master];
             m.in_flight -= 1;
-            m.next_issue_ok = t + 1 + issue_gap;
-            let r = &mut m.report;
-            r.bursts_completed += 1;
-            r.total_latency_cycles += latency;
-            r.last_completion_cycle = t;
-            match status {
-                BurstStatus::Ok => {
-                    r.bursts_ok += 1;
-                    r.bytes_transferred += burst_bytes;
-                }
-                BurstStatus::Masked => r.bursts_masked += 1,
-                BurstStatus::BusError => r.bursts_bus_error += 1,
+            m.next_issue_ok = m.next_issue_ok.max(t + 1 + issue_gap);
+            m.report.bursts_retried += 1;
+            m.retry_queue.push(RetryEntry {
+                eligible: t + 1 + backoff,
+                burst: req,
+                attempt: next_attempt,
+            });
+            return;
+        }
+        let latency = t - issue_cycle + 1;
+        self.counters.bursts_completed.inc();
+        self.burst_latency.record(latency);
+        match status {
+            BurstStatus::Ok => {
+                self.counters.bursts_ok.inc();
+                self.counters.bytes_transferred.add(burst_bytes);
             }
-            match verdict {
-                PolicyVerdict::Stalled => r.bursts_stalled += 1,
-                PolicyVerdict::SidMissing => r.bursts_sid_missing += 1,
-                _ => {}
+            BurstStatus::Masked => self.counters.bursts_masked.inc(),
+            BurstStatus::BusError => self.counters.bursts_bus_error.inc(),
+        }
+        match verdict {
+            PolicyVerdict::Stalled => self.counters.bursts_stalled.inc(),
+            PolicyVerdict::SidMissing => self.counters.bursts_sid_missing.inc(),
+            _ => {}
+        }
+        if transient && retry.is_enabled() {
+            self.counters.retry_exhausted.inc();
+        }
+        let m = &mut self.masters[master];
+        m.in_flight -= 1;
+        m.next_issue_ok = m.next_issue_ok.max(t + 1 + issue_gap);
+        let r = &mut m.report;
+        r.bursts_completed += 1;
+        r.total_latency_cycles += latency;
+        r.last_completion_cycle = t;
+        if transient && retry.is_enabled() {
+            r.retry_exhausted += 1;
+        }
+        match status {
+            BurstStatus::Ok => {
+                r.bursts_ok += 1;
+                r.bytes_transferred += burst_bytes;
             }
+            BurstStatus::Masked => r.bursts_masked += 1,
+            BurstStatus::BusError => r.bursts_bus_error += 1,
+        }
+        match verdict {
+            PolicyVerdict::Stalled => r.bursts_stalled += 1,
+            PolicyVerdict::SidMissing => r.bursts_sid_missing += 1,
+            _ => {}
         }
     }
 }
@@ -751,5 +1109,190 @@ mod tests {
         let r = sim.run_to_completion(100);
         assert!(r.completed);
         assert_eq!(r.cycles, 0);
+    }
+
+    /// A unit whose hot `device` is fully authorised but blocked: every
+    /// burst stalls until the SID is unblocked.
+    fn blocked_unit(device: u64) -> (siopmp::Siopmp, siopmp::ids::SourceId) {
+        use siopmp::entry::{AddressRange, IopmpEntry, Permissions};
+        use siopmp::ids::MdIndex;
+
+        let mut unit = siopmp::Siopmp::build(siopmp::SiopmpConfig::small(), None);
+        let sid = unit.map_hot_device(DeviceId(device)).unwrap();
+        unit.associate_sid_with_md(sid, MdIndex(0)).unwrap();
+        unit.install_entry(
+            MdIndex(0),
+            IopmpEntry::new(AddressRange::new(0x0, 0x1_0000).unwrap(), Permissions::rw()),
+        )
+        .unwrap();
+        unit.block_sid(sid);
+        (unit, sid)
+    }
+
+    #[test]
+    fn retries_recover_once_the_stall_clears() {
+        use crate::faults::{FaultEvent, FaultKind, FaultPlan};
+        use crate::master::RetryPolicy;
+        use crate::policy::{ControlOp, SiopmpPolicy};
+
+        let (unit, sid) = blocked_unit(1);
+        let t = siopmp::telemetry::Telemetry::new();
+        let mut sim = BusSim::build(
+            BusConfig::default(),
+            Box::new(SiopmpPolicy::new(unit)),
+            t.clone(),
+        );
+        sim.add_master(
+            MasterProgram::uniform(1, BurstKind::Read, 0x0, 3)
+                .with_retry(RetryPolicy::bounded(10, 4)),
+        );
+        sim.set_fault_plan(FaultPlan::from_events(
+            0,
+            vec![FaultEvent {
+                at: 50,
+                kind: FaultKind::Control(ControlOp::UnblockSid(sid)),
+            }],
+        ));
+        let r = sim.run_to_completion(100_000);
+        assert!(r.completed);
+        assert_eq!(r.masters[0].bursts_ok, 3, "{:?}", r.masters[0]);
+        assert_eq!(r.masters[0].retry_exhausted, 0);
+        assert!(r.masters[0].bursts_retried > 0);
+        assert_eq!(sim.generation(), 1);
+        let snap = t.snapshot();
+        assert_eq!(
+            snap.counters["bus.retries"],
+            r.masters[0].bursts_retried as u64
+        );
+        assert!(snap.counters["bus.backoff_cycles"] > 0);
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_is_reported_not_hung() {
+        use crate::master::RetryPolicy;
+        use crate::policy::SiopmpPolicy;
+
+        let (unit, _sid) = blocked_unit(1);
+        let mut sim = BusSim::build(
+            BusConfig::default(),
+            Box::new(SiopmpPolicy::new(unit)),
+            None,
+        );
+        sim.add_master(
+            MasterProgram::uniform(1, BurstKind::Read, 0x0, 2)
+                .with_retry(RetryPolicy::bounded(3, 2)),
+        );
+        let r = sim.run_to_completion(100_000);
+        assert!(r.completed, "exhaustion must terminate the run");
+        assert_eq!(r.masters[0].bursts_completed, 2);
+        assert_eq!(r.masters[0].bursts_retried, 6); // 3 retries per burst
+        assert_eq!(r.masters[0].retry_exhausted, 2);
+        assert_eq!(r.masters[0].bursts_ok, 0);
+        assert_eq!(r.masters[0].bursts_stalled, 2);
+    }
+
+    #[test]
+    fn delayed_grant_stalls_the_request_channel() {
+        use crate::faults::{FaultEvent, FaultKind, FaultPlan};
+
+        let mut sim = BusSim::build(BusConfig::default(), Box::new(AllowAll), None);
+        sim.add_master(MasterProgram::uniform(1, BurstKind::Read, 0x0, 1));
+        sim.set_fault_plan(FaultPlan::from_events(
+            0,
+            vec![FaultEvent {
+                at: 0,
+                kind: FaultKind::DelayedGrant { cycles: 40 },
+            }],
+        ));
+        let r = sim.run_to_completion(10_000);
+        assert!(r.completed);
+        // Baseline latency is 22; the 40-cycle grant stall shifts it.
+        assert!(r.makespan() >= 60, "makespan {}", r.makespan());
+        assert_eq!(r.control_faults, 1);
+        assert_eq!(r.total_faults_injected(), 1);
+    }
+
+    #[test]
+    fn device_reset_aborts_in_flight_and_retry_recovers() {
+        use crate::faults::{FaultEvent, FaultKind, FaultPlan};
+        use crate::master::RetryPolicy;
+
+        let mut sim = BusSim::build(BusConfig::default(), Box::new(AllowAll), None);
+        sim.add_master(
+            MasterProgram::uniform(1, BurstKind::Read, 0x0, 4)
+                .with_retry(RetryPolicy::bounded(5, 2)),
+        );
+        sim.set_fault_plan(FaultPlan::from_events(
+            0,
+            vec![FaultEvent {
+                at: 5,
+                kind: FaultKind::DeviceReset { master: 0 },
+            }],
+        ));
+        let r = sim.run_to_completion(100_000);
+        assert!(r.completed);
+        // The aborted burst was transient (faulted), so it was re-issued
+        // and every program burst still moved its data.
+        assert_eq!(r.masters[0].bursts_ok, 4);
+        assert!(r.masters[0].bursts_retried >= 1);
+        assert_eq!(r.masters[0].faults_injected, 1);
+    }
+
+    #[test]
+    fn decision_log_pins_verdicts_to_generations() {
+        use crate::faults::{FaultEvent, FaultKind, FaultPlan};
+        use crate::master::RetryPolicy;
+        use crate::policy::{ControlOp, SiopmpPolicy};
+
+        let (unit, sid) = blocked_unit(1);
+        let mut sim = BusSim::build(
+            BusConfig::default(),
+            Box::new(SiopmpPolicy::new(unit)),
+            None,
+        );
+        sim.enable_decision_log();
+        sim.add_master(
+            MasterProgram::uniform(1, BurstKind::Read, 0x0, 1)
+                .with_retry(RetryPolicy::bounded(10, 8)),
+        );
+        sim.set_fault_plan(FaultPlan::from_events(
+            0,
+            vec![FaultEvent {
+                at: 30,
+                kind: FaultKind::Control(ControlOp::UnblockSid(sid)),
+            }],
+        ));
+        let r = sim.run_to_completion(100_000);
+        assert!(r.completed);
+        let log = sim.decision_log().unwrap();
+        assert!(log.len() >= 2, "at least one retry: {log:?}");
+        // Every attempt resolved, attempts are numbered, and the final
+        // attempt was re-decided under the post-unblock generation.
+        assert!(log.iter().all(|d| d.status.is_some()));
+        assert_eq!(log[0].attempt, 0);
+        assert_eq!(log[0].generation, 0);
+        assert_eq!(log[0].verdict, PolicyVerdict::Stalled);
+        let last = log.last().unwrap();
+        assert_eq!(last.generation, 1);
+        assert_eq!(last.verdict, PolicyVerdict::Allowed);
+        assert_eq!(last.status, Some(BurstStatus::Ok));
+    }
+
+    #[test]
+    fn forced_abort_for_device_is_scoped() {
+        let mut sim = BusSim::build(BusConfig::default(), Box::new(AllowAll), None);
+        sim.add_master(MasterProgram::uniform(1, BurstKind::Read, 0x0, 1));
+        sim.add_master(MasterProgram::uniform(2, BurstKind::Read, 0x0, 1));
+        for _ in 0..3 {
+            sim.step();
+        }
+        assert_eq!(sim.in_flight_for_device(DeviceId(1)), 1);
+        assert_eq!(sim.in_flight_total(), 2);
+        assert_eq!(sim.abort_in_flight_for_device(DeviceId(1)), 1);
+        assert_eq!(sim.in_flight_for_device(DeviceId(1)), 0);
+        assert_eq!(sim.in_flight_for_device(DeviceId(2)), 1);
+        let r = sim.run_to_completion(100_000);
+        assert_eq!(r.masters[0].bursts_bus_error, 1);
+        assert_eq!(r.masters[1].bursts_ok, 1);
     }
 }

@@ -72,6 +72,7 @@ pub mod json;
 pub mod mmio;
 pub mod mountable;
 pub mod pipeline;
+pub mod quiesce;
 pub mod remap;
 pub mod request;
 pub mod stats;

@@ -151,8 +151,16 @@ impl EsidRegister {
 
     /// Programs the register to `device`, returning the previously mounted
     /// device.
+    ///
+    /// Re-programming the register with the device that is already mounted
+    /// is a no-op remount: the register value does not change, so the
+    /// switch counter is **not** bumped. Only real tenant changes count as
+    /// switches (the counter feeds the implicit promotion policy, which
+    /// must not be inflated by spurious same-device writes).
     pub fn mount(&mut self, device: DeviceId) -> Option<DeviceId> {
-        self.switch_count += 1;
+        if self.mounted != Some(device) {
+            self.switch_count += 1;
+        }
         self.mounted.replace(device)
     }
 
@@ -245,6 +253,23 @@ mod tests {
         assert_eq!(esid.switch_count(), 2);
         assert_eq!(esid.unmount(), Some(DeviceId(2)));
         assert_eq!(esid.mounted(), None);
+    }
+
+    #[test]
+    fn remounting_same_device_does_not_count_as_switch() {
+        let mut esid = EsidRegister::new();
+        esid.mount(DeviceId(7));
+        assert_eq!(esid.switch_count(), 1);
+        // Spurious re-programming with the already-mounted device is free.
+        assert_eq!(esid.mount(DeviceId(7)), Some(DeviceId(7)));
+        assert_eq!(esid.switch_count(), 1);
+        // A real tenant change still counts.
+        esid.mount(DeviceId(8));
+        assert_eq!(esid.switch_count(), 2);
+        // Remounting after an unmount is a real switch again.
+        esid.unmount();
+        esid.mount(DeviceId(8));
+        assert_eq!(esid.switch_count(), 3);
     }
 
     #[test]

@@ -1,0 +1,369 @@
+//! Quiesce/drain protocol for cold-device switches.
+//!
+//! The paper's cold-switch security argument (§4.3) assumes no access is
+//! admitted *during* reconfiguration — but a bus keeps transactions in
+//! flight, and those transactions carry the authorization verdict that was
+//! resolved when they were issued. Remounting the cold window while such a
+//! burst is still draining would let data move under a configuration that
+//! no longer exists. [`ColdSwitchDrain`] closes that window with a small
+//! state machine the monitor drives once per cycle:
+//!
+//! ```text
+//!            begin()                    in_flight == 0
+//!   Idle ──────────────▶ Draining ─────────────────────▶ Committed
+//!                           │                                ▲
+//!                           │ deadline passed                │ in_flight == 0
+//!                           ▼                                │
+//!                     AbortRequested ────────────────────────┘
+//!                           │
+//!                           │ abort grace exhausted (still in flight)
+//!                           ▼
+//!                        Refused   (nothing mounted, block released)
+//! ```
+//!
+//! * `begin` prechecks the switch (record exists, fits the cold window) and
+//!   **blocks the cold SID** — the quiesce point. From here no new request
+//!   can be authorized through the cold window; in-flight bursts keep the
+//!   verdict they already hold and are merely waited out.
+//! * `poll` is called with the caller's current in-flight count for the
+//!   affected traffic. At zero the switch commits (the normal
+//!   [`Siopmp::handle_sid_missing`] path, which re-blocks/unblocks around
+//!   the table rewrite). Past the drain deadline the machine demands a
+//!   forced abort; past the abort grace it refuses to mount and releases
+//!   the block, leaving the unit exactly as it was.
+//!
+//! The guarantee tested by the chaos suite: a switch **commits only at
+//! zero in-flight** (drained, possibly after a forced abort) **or refuses**
+//! — it is never silently interleaved with live transactions.
+
+use crate::error::Result;
+use crate::ids::DeviceId;
+use crate::unit::{Siopmp, SwitchReport};
+
+/// Tunable deadlines for one drain, in bus cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainConfig {
+    /// Cycles the drain waits for in-flight transactions to complete on
+    /// their own before requesting a forced abort.
+    pub timeout_cycles: u64,
+    /// Additional cycles granted after the abort request for the caller to
+    /// kill the stragglers; when this also expires the switch is refused.
+    pub abort_grace_cycles: u64,
+}
+
+impl Default for DrainConfig {
+    /// 256 cycles of voluntary drain plus 64 of forced-abort grace —
+    /// comfortably above the worst-case burst latency of the default bus
+    /// model, so well-behaved traffic always drains without an abort.
+    fn default() -> Self {
+        DrainConfig {
+            timeout_cycles: 256,
+            abort_grace_cycles: 64,
+        }
+    }
+}
+
+/// Where a [`ColdSwitchDrain`] currently is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DrainPhase {
+    /// Waiting for in-flight transactions to complete voluntarily.
+    Draining,
+    /// The drain deadline passed; the caller must forcibly abort the
+    /// remaining transactions.
+    AbortRequested,
+    /// The switch committed (terminal).
+    Committed,
+    /// The switch was refused; nothing was mounted (terminal).
+    Refused,
+}
+
+/// One `poll` observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DrainPoll {
+    /// Still draining; `in_flight` transactions outstanding.
+    Draining {
+        /// Transactions still outstanding.
+        in_flight: usize,
+    },
+    /// The drain deadline passed: forcibly abort the outstanding
+    /// transactions, then poll again.
+    AbortRequested {
+        /// Transactions the caller must abort.
+        in_flight: usize,
+    },
+    /// The switch committed; the report is the usual cold-switch report.
+    Committed(SwitchReport),
+    /// The switch was refused (abort grace exhausted, or the extended
+    /// record vanished mid-drain). The cold-SID block is released and
+    /// nothing was mounted.
+    Refused,
+}
+
+/// State machine for one quiesced cold switch. See the [module
+/// docs](self) for the protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColdSwitchDrain {
+    target: DeviceId,
+    deadline: u64,
+    abort_deadline: u64,
+    phase: DrainPhase,
+    report: Option<SwitchReport>,
+}
+
+impl ColdSwitchDrain {
+    /// Starts a drain towards mounting `device`: prechecks the switch and
+    /// blocks the cold SID (the quiesce point). On error nothing is
+    /// blocked or mounted.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::error::SiopmpError::UnknownDevice`] /
+    /// [`crate::error::SiopmpError::MdFull`] from
+    /// [`Siopmp::cold_switch_precheck`] — the refuse-to-mount-early path.
+    pub fn begin(
+        unit: &mut Siopmp,
+        device: DeviceId,
+        now: u64,
+        config: DrainConfig,
+    ) -> Result<Self> {
+        unit.cold_switch_precheck(device)?;
+        unit.block_sid(unit.config().cold_sid());
+        Ok(ColdSwitchDrain {
+            target: device,
+            deadline: now + config.timeout_cycles,
+            abort_deadline: now + config.timeout_cycles + config.abort_grace_cycles,
+            phase: DrainPhase::Draining,
+            report: None,
+        })
+    }
+
+    /// The device this drain is switching to.
+    pub fn target(&self) -> DeviceId {
+        self.target
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> DrainPhase {
+        self.phase
+    }
+
+    /// Whether the drain has reached a terminal phase.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self.phase, DrainPhase::Committed | DrainPhase::Refused)
+    }
+
+    /// Advances the machine one observation: `in_flight` is the number of
+    /// transactions still outstanding for the traffic affected by the
+    /// switch, `now` the current cycle. Commits only when `in_flight` is
+    /// zero; never mounts in any other circumstance. Polling a terminal
+    /// drain returns the terminal result again.
+    pub fn poll(&mut self, unit: &mut Siopmp, in_flight: usize, now: u64) -> DrainPoll {
+        match self.phase {
+            DrainPhase::Committed => {
+                DrainPoll::Committed(self.report.expect("committed drain has a report"))
+            }
+            DrainPhase::Refused => DrainPoll::Refused,
+            DrainPhase::Draining | DrainPhase::AbortRequested => {
+                if in_flight == 0 {
+                    return self.commit(unit);
+                }
+                if self.phase == DrainPhase::Draining {
+                    if now >= self.deadline {
+                        self.phase = DrainPhase::AbortRequested;
+                        return DrainPoll::AbortRequested { in_flight };
+                    }
+                    return DrainPoll::Draining { in_flight };
+                }
+                if now >= self.abort_deadline {
+                    return self.refuse(unit);
+                }
+                DrainPoll::AbortRequested { in_flight }
+            }
+        }
+    }
+
+    /// Abandons the drain without mounting: releases the cold-SID block
+    /// and leaves the unit untouched (the explicit refuse-to-mount path,
+    /// e.g. when the pre-switch verifier rejects the target mid-drain).
+    pub fn cancel(mut self, unit: &mut Siopmp) {
+        if !self.is_terminal() {
+            let _ = self.refuse(unit);
+        }
+    }
+
+    fn commit(&mut self, unit: &mut Siopmp) -> DrainPoll {
+        // The precheck passed at `begin`, but the record may have been
+        // removed while draining — that failure refuses instead of
+        // mounting.
+        match unit.handle_sid_missing(self.target) {
+            Ok(report) => {
+                // `handle_sid_missing` leaves the cold SID unblocked on the
+                // real switch path; its no-op path (target already mounted)
+                // returns early, so release our quiesce block explicitly.
+                unit.unblock_sid(unit.config().cold_sid());
+                self.phase = DrainPhase::Committed;
+                self.report = Some(report);
+                DrainPoll::Committed(report)
+            }
+            Err(_) => self.refuse(unit),
+        }
+    }
+
+    fn refuse(&mut self, unit: &mut Siopmp) -> DrainPoll {
+        unit.unblock_sid(unit.config().cold_sid());
+        self.phase = DrainPhase::Refused;
+        DrainPoll::Refused
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SiopmpConfig;
+    use crate::entry::{AddressRange, IopmpEntry, Permissions};
+    use crate::mountable::MountableEntry;
+    use crate::request::{AccessKind, DmaRequest};
+
+    fn unit_with_cold(device: DeviceId) -> Siopmp {
+        let mut unit = Siopmp::build(SiopmpConfig::small(), None);
+        unit.register_cold_device(
+            device,
+            MountableEntry {
+                domains: vec![],
+                entries: vec![IopmpEntry::new(
+                    AddressRange::new(0x10_0000, 0x1000).unwrap(),
+                    Permissions::rw(),
+                )],
+            },
+        )
+        .unwrap();
+        unit
+    }
+
+    #[test]
+    fn drain_commits_only_at_zero_in_flight() {
+        let mut unit = unit_with_cold(DeviceId(9));
+        let cfg = DrainConfig::default();
+        let mut drain = ColdSwitchDrain::begin(&mut unit, DeviceId(9), 0, cfg).unwrap();
+        assert!(unit.is_sid_blocked(unit.config().cold_sid()));
+        // Transactions still in flight: no mount happens.
+        for t in 1..5 {
+            assert_eq!(
+                drain.poll(&mut unit, 3, t),
+                DrainPoll::Draining { in_flight: 3 }
+            );
+            assert_eq!(unit.mounted_cold_device(), None);
+        }
+        // Drained: the switch commits and releases the block.
+        match drain.poll(&mut unit, 0, 5) {
+            DrainPoll::Committed(report) => assert_eq!(report.mounted, DeviceId(9)),
+            other => panic!("expected commit, got {other:?}"),
+        }
+        assert_eq!(unit.mounted_cold_device(), Some(DeviceId(9)));
+        assert!(!unit.is_sid_blocked(unit.config().cold_sid()));
+        // Terminal polls replay the result.
+        assert!(matches!(
+            drain.poll(&mut unit, 0, 6),
+            DrainPoll::Committed(_)
+        ));
+    }
+
+    #[test]
+    fn timeout_requests_abort_then_commits_once_clear() {
+        let mut unit = unit_with_cold(DeviceId(9));
+        let cfg = DrainConfig {
+            timeout_cycles: 10,
+            abort_grace_cycles: 5,
+        };
+        let mut drain = ColdSwitchDrain::begin(&mut unit, DeviceId(9), 0, cfg).unwrap();
+        assert_eq!(
+            drain.poll(&mut unit, 2, 10),
+            DrainPoll::AbortRequested { in_flight: 2 }
+        );
+        assert_eq!(drain.phase(), DrainPhase::AbortRequested);
+        // Caller aborted the stragglers: the switch commits.
+        assert!(matches!(
+            drain.poll(&mut unit, 0, 11),
+            DrainPoll::Committed(_)
+        ));
+    }
+
+    #[test]
+    fn exhausted_abort_grace_refuses_and_unblocks() {
+        let mut unit = unit_with_cold(DeviceId(9));
+        let cfg = DrainConfig {
+            timeout_cycles: 10,
+            abort_grace_cycles: 5,
+        };
+        let mut drain = ColdSwitchDrain::begin(&mut unit, DeviceId(9), 0, cfg).unwrap();
+        assert!(matches!(
+            drain.poll(&mut unit, 1, 10),
+            DrainPoll::AbortRequested { .. }
+        ));
+        // The caller could not abort; grace expires → refuse-to-mount.
+        assert_eq!(drain.poll(&mut unit, 1, 15), DrainPoll::Refused);
+        assert_eq!(unit.mounted_cold_device(), None);
+        assert!(!unit.is_sid_blocked(unit.config().cold_sid()));
+        assert_eq!(drain.poll(&mut unit, 0, 16), DrainPoll::Refused);
+    }
+
+    #[test]
+    fn begin_refuses_unknown_and_oversized_records_up_front() {
+        let mut unit = unit_with_cold(DeviceId(9));
+        assert!(
+            ColdSwitchDrain::begin(&mut unit, DeviceId(404), 0, DrainConfig::default()).is_err()
+        );
+        assert!(!unit.is_sid_blocked(unit.config().cold_sid()));
+    }
+
+    #[test]
+    fn record_removed_mid_drain_refuses() {
+        let mut unit = unit_with_cold(DeviceId(9));
+        let mut drain =
+            ColdSwitchDrain::begin(&mut unit, DeviceId(9), 0, DrainConfig::default()).unwrap();
+        let _ = unit.take_cold_record(DeviceId(9)).unwrap();
+        assert_eq!(drain.poll(&mut unit, 0, 1), DrainPoll::Refused);
+        assert_eq!(unit.mounted_cold_device(), None);
+        assert!(!unit.is_sid_blocked(unit.config().cold_sid()));
+    }
+
+    #[test]
+    fn cancel_releases_block_without_mounting() {
+        let mut unit = unit_with_cold(DeviceId(9));
+        let drain =
+            ColdSwitchDrain::begin(&mut unit, DeviceId(9), 0, DrainConfig::default()).unwrap();
+        drain.cancel(&mut unit);
+        assert_eq!(unit.mounted_cold_device(), None);
+        assert!(!unit.is_sid_blocked(unit.config().cold_sid()));
+    }
+
+    #[test]
+    fn quiesce_point_stalls_new_cold_traffic() {
+        let mut unit = unit_with_cold(DeviceId(9));
+        // Mount once so device 9's traffic is normally allowed.
+        unit.handle_sid_missing(DeviceId(9)).unwrap();
+        let probe = DmaRequest::new(DeviceId(9), AccessKind::Read, 0x10_0000, 64);
+        assert!(unit.check(&probe).is_allowed());
+        // Register a second cold device and begin switching to it: from the
+        // quiesce point on, the mounted tenant's new requests stall.
+        unit.register_cold_device(
+            DeviceId(10),
+            MountableEntry {
+                domains: vec![],
+                entries: vec![],
+            },
+        )
+        .unwrap();
+        let mut drain =
+            ColdSwitchDrain::begin(&mut unit, DeviceId(10), 0, DrainConfig::default()).unwrap();
+        assert!(matches!(
+            unit.check(&probe),
+            crate::unit::CheckOutcome::Stalled { .. }
+        ));
+        assert!(matches!(
+            drain.poll(&mut unit, 0, 1),
+            DrainPoll::Committed(_)
+        ));
+        assert_eq!(unit.mounted_cold_device(), Some(DeviceId(10)));
+    }
+}

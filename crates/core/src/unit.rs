@@ -207,6 +207,15 @@ impl Siopmp {
         self.counters.snapshot()
     }
 
+    /// The decision-cache table epoch. Every configuration mutation bumps
+    /// it, so two equal readings around an operation prove no cached
+    /// verdict was invalidated in between (and, conversely, a changed
+    /// reading proves stale cache hits are impossible afterwards).
+    /// Constant `1` when the cache is disabled (`decision_cache_slots=0`).
+    pub fn cache_epoch(&self) -> u64 {
+        self.cache.epoch()
+    }
+
     /// Captured violation records, oldest first. The log is a bounded ring
     /// ([`SiopmpConfig::violation_log_capacity`]); once full, each new
     /// record evicts the oldest and bumps `siopmp.violation_log_dropped`.
@@ -479,6 +488,40 @@ impl Siopmp {
         self.extended.upsert(device, record);
     }
 
+    /// Read-only view of `device`'s extended-table record. Unlike
+    /// [`Siopmp::take_cold_record`] this does not disturb the decision
+    /// cache.
+    ///
+    /// # Errors
+    ///
+    /// [`SiopmpError::UnknownDevice`].
+    pub fn cold_record(&self, device: DeviceId) -> Result<&MountableEntry> {
+        self.extended.get(device)
+    }
+
+    /// Validates that a cold switch to `device` could commit right now —
+    /// the device has an extended record and it fits the cold window —
+    /// without touching any state. Returns the number of entries the
+    /// switch would load. The quiesce/drain protocol
+    /// ([`crate::quiesce::ColdSwitchDrain`]) runs this before blocking
+    /// anything so a doomed switch is refused up front instead of after a
+    /// full drain.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Siopmp::handle_sid_missing`]:
+    /// [`SiopmpError::UnknownDevice`] or [`SiopmpError::MdFull`].
+    pub fn cold_switch_precheck(&self, device: DeviceId) -> Result<usize> {
+        let record = self.extended.get(device)?;
+        let cold_md = self.config.cold_md();
+        let (start, end) = self.mdcfg.window(cold_md)?;
+        let window = (end - start) as usize;
+        if record.entries.len() > window {
+            return Err(SiopmpError::MdFull(cold_md));
+        }
+        Ok(record.entries.len())
+    }
+
     // ------------------------------------------------------------------
     // State snapshot (read-only introspection for audits and the static
     // analyzer in `siopmp-verify`)
@@ -685,6 +728,15 @@ impl Siopmp {
     /// duration of the switch so the new tenant can never see the previous
     /// tenant's rules (§5.3, device consistency).
     ///
+    /// Re-mounting the device that is **already mounted** is free: the
+    /// hardware window already holds its entries, so no cycles are paid,
+    /// no switch is counted and the decision-cache epoch is left alone
+    /// (the cached verdicts are still valid). A SID-missing interrupt for
+    /// the mounted device can only be spurious — the eSID register would
+    /// have matched. Callers that rewrote the device's extended record
+    /// while it was mounted must use [`Siopmp::remount_cold_device`]
+    /// instead to force the hardware window to be reloaded.
+    ///
     /// # Errors
     ///
     /// * [`SiopmpError::UnknownDevice`] when the device has no extended
@@ -693,6 +745,36 @@ impl Siopmp {
     ///   the cold window (callers should split the record or promote the
     ///   device to hot).
     pub fn handle_sid_missing(&mut self, device: DeviceId) -> Result<SwitchReport> {
+        if self.esid.matches(device) {
+            // No-op remount: the record must still exist (so spurious
+            // interrupts for unregistered devices keep erroring), but the
+            // hardware window is already correct.
+            let entries_loaded = self.extended.get(device)?.entries.len();
+            return Ok(SwitchReport {
+                mounted: device,
+                unmounted: None,
+                entries_loaded,
+                cycles: 0,
+            });
+        }
+        self.remount_cold_device(device)
+    }
+
+    /// Performs a full cold switch to `device` unconditionally, reloading
+    /// the hardware window from the extended table even when the device is
+    /// already mounted. This is the forced-reload path the monitor uses
+    /// after rewriting a mounted device's extended record
+    /// ([`Siopmp::put_cold_record`]): the decision cache tracks such
+    /// rewrites via the epoch, but the hardware entry window does not, so
+    /// the record must be pushed back out to hardware explicitly.
+    ///
+    /// Pays the full [`cold_switch_cycles`] cost and bumps the
+    /// `siopmp.cold_switches` counter.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Siopmp::handle_sid_missing`].
+    pub fn remount_cold_device(&mut self, device: DeviceId) -> Result<SwitchReport> {
         let record = self.extended.get(device)?.clone();
         let cold_md = self.config.cold_md();
         let (start, end) = self.mdcfg.window(cold_md)?;
@@ -922,6 +1004,87 @@ mod tests {
         // Device 7 is unmounted: SID-missing again.
         assert_eq!(
             u.check(&DmaRequest::new(DeviceId(7), AccessKind::Read, 0x7000, 8)),
+            CheckOutcome::SidMissing {
+                device: DeviceId(7)
+            }
+        );
+    }
+
+    #[test]
+    fn noop_remount_is_free_but_forced_remount_reloads() {
+        let mut u = unit();
+        for d in [7u64, 8] {
+            u.register_cold_device(
+                DeviceId(d),
+                MountableEntry {
+                    domains: vec![],
+                    entries: vec![entry(0x1000 * d, 0x100, Permissions::rw())],
+                },
+            )
+            .unwrap();
+        }
+        u.handle_sid_missing(DeviceId(7)).unwrap();
+        assert_eq!(u.cold_switch_count(), 1);
+        let switches_before = u.stats().cold_switches;
+        let epoch_before = u.cache_epoch();
+
+        // Spurious SID-missing for the already-mounted device: free no-op —
+        // zero cycles, no switch counted, cache epoch untouched.
+        let report = u.handle_sid_missing(DeviceId(7)).unwrap();
+        assert_eq!(report.cycles, 0);
+        assert_eq!(report.unmounted, None);
+        assert_eq!(u.cold_switch_count(), 1);
+        assert_eq!(u.stats().cold_switches, switches_before);
+        assert_eq!(u.cache_epoch(), epoch_before);
+
+        // Rewriting the mounted record then forcing a remount pushes the
+        // new rules out to hardware (the path the monitor relies on).
+        let mut rec = u.take_cold_record(DeviceId(7)).unwrap();
+        rec.entries = vec![entry(0x9000, 0x100, Permissions::rw())];
+        u.put_cold_record(DeviceId(7), rec);
+        let report = u.remount_cold_device(DeviceId(7)).unwrap();
+        assert!(report.cycles > 0);
+        assert!(u
+            .check(&DmaRequest::new(DeviceId(7), AccessKind::Read, 0x9000, 8))
+            .is_allowed());
+        assert!(u
+            .check(&DmaRequest::new(DeviceId(7), AccessKind::Read, 0x7000, 8))
+            .is_denied());
+        // A forced reload of the same tenant is not a tenant change.
+        assert_eq!(u.cold_switch_count(), 1);
+    }
+
+    #[test]
+    fn real_cold_switch_bumps_cache_epoch() {
+        // Regression for the stale-decision-cache hazard: any real switch
+        // must bump the epoch so verdicts cached for the previous tenant
+        // can never be served to the next one.
+        let mut u = Siopmp::build(SiopmpConfig::default(), None);
+        for d in [7u64, 8] {
+            // Page-sized regions: the page-granular cache only stores
+            // verdicts for pages that resolve uniformly.
+            u.register_cold_device(
+                DeviceId(d),
+                MountableEntry {
+                    domains: vec![],
+                    entries: vec![entry(0x1000 * d, 0x1000, Permissions::rw())],
+                },
+            )
+            .unwrap();
+        }
+        assert!(u.cache_epoch() > 0, "default config enables the cache");
+        u.handle_sid_missing(DeviceId(7)).unwrap();
+        // Populate the cache for tenant 7.
+        let req7 = DmaRequest::new(DeviceId(7), AccessKind::Read, 0x7000, 8);
+        assert!(u.check(&req7).is_allowed());
+        assert!(u.check(&req7).is_allowed());
+        assert!(u.stats().cache_hits > 0);
+        let epoch = u.cache_epoch();
+        // Real switch: epoch bumps, and tenant 7's cached verdict is dead.
+        u.handle_sid_missing(DeviceId(8)).unwrap();
+        assert!(u.cache_epoch() > epoch);
+        assert_eq!(
+            u.check(&req7),
             CheckOutcome::SidMissing {
                 device: DeviceId(7)
             }

@@ -11,6 +11,7 @@ struct DmaCounters {
     segments: Counter,
     bursts_emitted: Counter,
     bytes_copied: Counter,
+    resets: Counter,
 }
 
 impl DmaCounters {
@@ -20,6 +21,7 @@ impl DmaCounters {
             segments: t.counter("dma.segments"),
             bursts_emitted: t.counter("dma.bursts_emitted"),
             bytes_copied: t.counter("dma.bytes_copied"),
+            resets: t.counter("dma.resets"),
         }
     }
 }
@@ -139,6 +141,48 @@ impl DmaCopyEngine {
         program
     }
 
+    /// Records a device reset: bumps the `dma.resets` counter. The engine
+    /// is stateless at the bus level — recovery is expressed by re-issuing
+    /// the tail of the copy with [`DmaCopyEngine::resume_program`].
+    pub fn reset(&self) {
+        self.counters.resets.inc();
+    }
+
+    /// Post-reset replay of an interrupted `copy_program(segments)`: skips
+    /// the first `completed_pairs` read/write burst pairs (chunks whose
+    /// destination write already landed before the reset) and re-issues the
+    /// rest. Because each chunk is copied by an idempotent read/write pair,
+    /// resuming at the first unconfirmed pair is always safe — at worst a
+    /// chunk whose write raced the reset is copied twice.
+    pub fn resume_program(&self, segments: &[SgSegment], completed_pairs: usize) -> MasterProgram {
+        let mut program = MasterProgram::uniform(self.device_id, BurstKind::Read, 0, 0);
+        let mut pair = 0usize;
+        for seg in segments {
+            let bursts = seg.len.div_ceil(self.burst_bytes);
+            for b in 0..bursts {
+                if pair >= completed_pairs {
+                    let off = b * self.burst_bytes;
+                    program.bursts.push(siopmp_bus::BurstRequest {
+                        device: siopmp::ids::DeviceId(self.device_id),
+                        kind: BurstKind::Read,
+                        addr: seg.src + off,
+                    });
+                    program.bursts.push(siopmp_bus::BurstRequest {
+                        device: siopmp::ids::DeviceId(self.device_id),
+                        kind: BurstKind::Write,
+                        addr: seg.dst + off,
+                    });
+                }
+                pair += 1;
+            }
+        }
+        self.counters.copy_programs.inc();
+        self.counters
+            .bursts_emitted
+            .add(program.bursts.len() as u64);
+        program
+    }
+
     /// The memory regions a copy needs, as `(base, len, writable)` triples —
     /// used by the monitor to install IOPMP entries before starting the
     /// engine.
@@ -250,5 +294,33 @@ mod tests {
     #[should_panic(expected = "burst size")]
     fn zero_burst_size_rejected() {
         let _ = DmaCopyEngine::build(1, 0, None);
+    }
+
+    #[test]
+    fn resume_skips_completed_pairs_only() {
+        let t = Telemetry::new();
+        let eng = DmaCopyEngine::build(1, 64, t.clone());
+        let segs = [
+            SgSegment {
+                src: 0,
+                dst: 0x1000,
+                len: 128, // 2 pairs
+            },
+            SgSegment {
+                src: 0x500,
+                dst: 0x2000,
+                len: 64, // 1 pair
+            },
+        ];
+        let full = eng.copy_program(&segs);
+        eng.reset();
+        // 2 pairs confirmed before the reset: the replay crosses the
+        // segment boundary and re-issues only the last pair.
+        let replay = eng.resume_program(&segs, 2);
+        assert_eq!(replay.bursts, full.bursts[4..].to_vec());
+        // Resuming past the end yields an empty replay; zero resumes all.
+        assert!(eng.resume_program(&segs, 10).bursts.is_empty());
+        assert_eq!(eng.resume_program(&segs, 0).bursts, full.bursts);
+        assert_eq!(t.snapshot().counters["dma.resets"], 1);
     }
 }

@@ -20,6 +20,8 @@ struct NicCounters {
     tx_programs: Counter,
     rogue_programs: Counter,
     bursts_emitted: Counter,
+    resets: Counter,
+    recovery_programs: Counter,
 }
 
 impl NicCounters {
@@ -29,6 +31,8 @@ impl NicCounters {
             tx_programs: t.counter("nic.tx_programs"),
             rogue_programs: t.counter("nic.rogue_programs"),
             bursts_emitted: t.counter("nic.bursts_emitted"),
+            resets: t.counter("nic.resets"),
+            recovery_programs: t.counter("nic.recovery_programs"),
         }
     }
 }
@@ -153,12 +157,8 @@ impl Nic {
         }
     }
 
-    /// Burst program for receiving `packets` packets of `mtu` bytes:
-    /// per packet, a descriptor fetch, `ceil(mtu/64)` payload write bursts,
-    /// and a completion write-back.
-    pub fn rx_program(&self, mtu: u64, packets: u32) -> MasterProgram {
-        let mut program = MasterProgram::uniform(self.device_id, BurstKind::Read, 0, 0);
-        for p in 0..packets {
+    fn rx_bursts(&self, program: &mut MasterProgram, mtu: u64, first: u32, packets: u32) {
+        for p in first..packets {
             program
                 .bursts
                 .push(self.burst(BurstKind::Read, self.layout.descriptor(true, p)));
@@ -172,8 +172,39 @@ impl Nic {
                 .bursts
                 .push(self.burst(BurstKind::Write, self.layout.descriptor(true, p)));
         }
+    }
+
+    /// Burst program for receiving `packets` packets of `mtu` bytes:
+    /// per packet, a descriptor fetch, `ceil(mtu/64)` payload write bursts,
+    /// and a completion write-back.
+    pub fn rx_program(&self, mtu: u64, packets: u32) -> MasterProgram {
+        let mut program = MasterProgram::uniform(self.device_id, BurstKind::Read, 0, 0);
+        self.rx_bursts(&mut program, mtu, 0, packets);
         program.outstanding = 8; // NICs pipeline aggressively
         self.counters.rx_programs.inc();
+        self.counters
+            .bursts_emitted
+            .add(program.bursts.len() as u64);
+        program
+    }
+
+    /// Records a device reset (firmware re-initialising rings and
+    /// doorbells after a mid-DMA reset): bumps the `nic.resets` counter.
+    pub fn reset(&self) {
+        self.counters.resets.inc();
+    }
+
+    /// Post-reset RX replay: re-issues the traffic of an interrupted
+    /// `rx_program(mtu, packets)` starting at `resume_slot` (typically
+    /// [`crate::rings::RingRecovery::resume_slot`] from a recovery scan of
+    /// the RX descriptor ring). Packets before the resume slot completed
+    /// before the reset and are not re-emitted — their completion flags
+    /// make a stray replay a no-op at the data level anyway.
+    pub fn rx_recovery_program(&self, mtu: u64, packets: u32, resume_slot: u32) -> MasterProgram {
+        let mut program = MasterProgram::uniform(self.device_id, BurstKind::Read, 0, 0);
+        self.rx_bursts(&mut program, mtu, resume_slot.min(packets), packets);
+        program.outstanding = 8;
+        self.counters.recovery_programs.inc();
         self.counters
             .bursts_emitted
             .add(program.bursts.len() as u64);
@@ -296,6 +327,24 @@ mod tests {
             snap.counters["nic.bursts_emitted"],
             (rx.bursts.len() + tx.bursts.len()) as u64
         );
+    }
+
+    #[test]
+    fn recovery_program_replays_only_pending_slots() {
+        let t = Telemetry::new();
+        let nic = Nic::build(7, layout(), t.clone());
+        let full = nic.rx_program(1500, 4);
+        nic.reset();
+        let replay = nic.rx_recovery_program(1500, 4, 2);
+        // Exactly the last two packets' traffic, addressed identically to
+        // the tail of the full program.
+        assert_eq!(replay.bursts.len(), full.bursts.len() / 2);
+        assert_eq!(replay.bursts, full.bursts[full.bursts.len() / 2..].to_vec());
+        // Resuming past the end yields an empty (trivially complete) replay.
+        assert!(nic.rx_recovery_program(1500, 4, 9).bursts.is_empty());
+        let snap = t.snapshot();
+        assert_eq!(snap.counters["nic.resets"], 1);
+        assert_eq!(snap.counters["nic.recovery_programs"], 2);
     }
 
     #[test]

@@ -113,6 +113,49 @@ impl DescriptorRing {
     fn publish_internal(&self, mem: &mut SparseMemory, i: u32, desc: Descriptor) {
         mem.write(self.slot_addr(i), &desc.encode());
     }
+
+    /// Post-reset recovery scan: classifies every slot from the descriptor
+    /// state left in shared memory. Because completion is committed per
+    /// descriptor (the device flips `complete` only after the payload
+    /// landed), the ring itself is the recovery journal — firmware re-walks
+    /// it after a mid-DMA reset and resumes from the first still-pending
+    /// slot without reprocessing finished ones.
+    pub fn recovery_scan(&self, mem: &SparseMemory) -> RingRecovery {
+        let mut completed = Vec::new();
+        let mut pending = Vec::new();
+        for i in 0..self.slots {
+            let desc = self.read(mem, i);
+            if desc.complete {
+                completed.push(i);
+            } else if desc.device_owned {
+                pending.push(i);
+            }
+        }
+        RingRecovery { completed, pending }
+    }
+}
+
+/// Result of [`DescriptorRing::recovery_scan`]: which slots a device reset
+/// left finished and which still need (re)processing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RingRecovery {
+    /// Slots whose descriptors carry the completion flag — their work
+    /// landed before the reset and must not be replayed.
+    pub completed: Vec<u32>,
+    /// Device-owned, incomplete slots — the work the replay must redo.
+    pub pending: Vec<u32>,
+}
+
+impl RingRecovery {
+    /// First slot the replay should resume from, if any work is pending.
+    pub fn resume_slot(&self) -> Option<u32> {
+        self.pending.first().copied()
+    }
+
+    /// Whether the reset interrupted nothing (no pending work).
+    pub fn is_clean(&self) -> bool {
+        self.pending.is_empty()
+    }
 }
 
 #[cfg(test)]
@@ -246,6 +289,40 @@ mod tests {
             mem.read_vec(0x8000_0000, 6),
             vec![b't', b'o', b'o', b' ', 0, 0]
         );
+    }
+
+    #[test]
+    fn recovery_scan_resumes_from_first_pending_slot() {
+        let mut mem = SparseMemory::new();
+        let r = ring();
+        for i in 0..4 {
+            r.publish(
+                &mut mem,
+                i,
+                Descriptor {
+                    buffer: 0x8000_0000 + u64::from(i) * 0x100,
+                    len: 8,
+                    device_owned: true,
+                    complete: false,
+                },
+            );
+        }
+        // The device finished slots 0 and 1, then reset mid-DMA.
+        assert!(r.device_receive(&mut mem, 0, b"pkt0"));
+        assert!(r.device_receive(&mut mem, 1, b"pkt1"));
+        let rec = r.recovery_scan(&mem);
+        assert_eq!(rec.completed, vec![0, 1]);
+        assert_eq!(rec.pending, vec![2, 3]);
+        assert_eq!(rec.resume_slot(), Some(2));
+        assert!(!rec.is_clean());
+        // Replaying from the resume slot processes only the pending work;
+        // completed slots reject reprocessing.
+        for i in rec.pending.clone() {
+            assert!(r.device_receive(&mut mem, i, b"replay"));
+        }
+        assert!(!r.device_receive(&mut mem, 0, b"stale replay"));
+        assert_eq!(mem.read_vec(0x8000_0000, 4), b"pkt0".to_vec());
+        assert!(r.recovery_scan(&mem).is_clean());
     }
 
     /// The Thunderclap-style attack surface: a malicious device rewrites a

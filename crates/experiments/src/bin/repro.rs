@@ -14,7 +14,9 @@
 //! monitored run (see `siopmp_experiments::telemetry_exercise`) and a
 //! bus-simulation report whose `PolicyVerdict` breakdown separates
 //! stalled bursts from SID-missing ones (see
-//! `siopmp_experiments::bus_exercise`).
+//! `siopmp_experiments::bus_exercise`), and a `faults` section from a
+//! pinned-seed fault storm showing the retry/recovery counters (see
+//! `siopmp_experiments::faults_exercise`).
 
 use siopmp::json::Json;
 use std::process::ExitCode;
@@ -79,6 +81,7 @@ fn main() -> ExitCode {
                 siopmp_experiments::telemetry_exercise().to_json(),
             ),
             ("bus", siopmp_experiments::bus_exercise().to_json()),
+            ("faults", siopmp_experiments::faults_exercise().to_json()),
         ]);
         println!("{}", doc.pretty());
     }

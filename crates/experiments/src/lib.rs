@@ -135,6 +135,67 @@ pub fn bus_exercise() -> siopmp_bus::SimReport {
     sim.run_to_completion(100_000)
 }
 
+/// Drives a pinned-seed fault storm — slave errors, dropped beats,
+/// delayed grants, device resets and SID-block pulses against retrying
+/// masters — and returns the run report. This is the `faults` section of
+/// `repro --json`: its per-master `bursts_retried` / `retry_exhausted` /
+/// `faults_injected` counters show the recovery machinery working on a
+/// deterministic schedule (the seed is fixed, so the numbers are stable
+/// across runs and machines).
+pub fn faults_exercise() -> siopmp_bus::SimReport {
+    use siopmp::entry::{AddressRange, IopmpEntry, Permissions};
+    use siopmp::ids::{DeviceId, MdIndex};
+    use siopmp_bus::{
+        BurstKind, BusConfig, BusSim, FaultPlan, FaultPlanConfig, MasterProgram, RetryPolicy,
+        SiopmpPolicy,
+    };
+
+    let mut unit = siopmp::Siopmp::build(siopmp::SiopmpConfig::small(), None);
+    let mut sids = Vec::new();
+    for (dev, md, base) in [(1u64, 0u16, 0x1_0000u64), (2, 1, 0x2_0000)] {
+        let sid = unit.map_hot_device(DeviceId(dev)).expect("hot SIDs free");
+        unit.associate_sid_with_md(sid, MdIndex(md))
+            .expect("MD in range");
+        unit.install_entry(
+            MdIndex(md),
+            IopmpEntry::new(
+                AddressRange::new(base, 0x1000).expect("aligned range"),
+                Permissions::rw(),
+            ),
+        )
+        .expect("window has room");
+        sids.push(sid);
+    }
+    let mut sim = BusSim::build(
+        BusConfig::default(),
+        Box::new(SiopmpPolicy::new(unit)),
+        None,
+    );
+    let retry = RetryPolicy::bounded(3, 2);
+    sim.add_master(
+        MasterProgram::streaming(1, BurstKind::Read, 0x1_0000, 64, 8)
+            .with_outstanding(2)
+            .with_retry(retry),
+    );
+    sim.add_master(
+        MasterProgram::streaming(2, BurstKind::Write, 0x2_0000, 64, 8)
+            .with_outstanding(2)
+            .with_retry(retry),
+    );
+    sim.set_fault_plan(FaultPlan::generate(
+        7,
+        &FaultPlanConfig {
+            horizon: 200,
+            budget: 16,
+            masters: 2,
+            block_sids: sids,
+            cold_devices: vec![],
+            churn_devices: vec![],
+        },
+    ));
+    sim.run_to_completion(100_000)
+}
+
 /// The sIOPMP state [`bus_exercise`] drives traffic against: one blocked
 /// hot SID (device 1) and one registered-but-unmounted cold device
 /// (device 2). Split out so the lint-coverage tests can run the static
@@ -230,6 +291,20 @@ mod tests {
         let text = r.to_json().pretty();
         assert!(text.contains("\"bursts_stalled\": 3"), "{text}");
         assert!(text.contains("\"bursts_sid_missing\": 2"), "{text}");
+    }
+
+    #[test]
+    fn faults_exercise_reports_recovery_counters() {
+        let r = faults_exercise();
+        assert!(r.completed, "fault storm must converge");
+        assert!(r.total_faults_injected() > 0, "plan must land faults");
+        assert!(r.total_retried() > 0, "retries must be exercised");
+        let text = r.to_json().pretty();
+        assert!(text.contains("\"bursts_retried\""), "{text}");
+        assert!(text.contains("\"retry_exhausted\""), "{text}");
+        assert!(text.contains("\"faults_injected\""), "{text}");
+        // Pinned seed: the storm is deterministic.
+        assert_eq!(text, faults_exercise().to_json().pretty());
     }
 
     #[test]

@@ -30,3 +30,4 @@ pub use crate::cap::{CapId, Capability, MemPerms};
 pub use crate::monitor::{MonitorError, SecureMonitor};
 pub use crate::ownership::EntityId;
 pub use crate::tee::TeeId;
+pub use siopmp::quiesce::{ColdSwitchDrain, DrainConfig, DrainPhase, DrainPoll};

@@ -21,6 +21,7 @@ use siopmp::entry::{AddressRange, IopmpEntry, Permissions};
 use siopmp::error::SiopmpError;
 use siopmp::ids::{DeviceId, EntryIndex, MdIndex};
 use siopmp::mountable::MountableEntry;
+use siopmp::quiesce::{ColdSwitchDrain, DrainConfig, DrainPoll};
 use siopmp::telemetry::{Counter, Telemetry};
 use siopmp::{CheckOutcome, Siopmp, SiopmpConfig};
 
@@ -34,6 +35,8 @@ struct MonitorCounters {
     dma_checks: Counter,
     interrupts_handled: Counter,
     cycles_spent: Counter,
+    drains_committed: Counter,
+    drains_refused: Counter,
 }
 
 impl MonitorCounters {
@@ -46,6 +49,8 @@ impl MonitorCounters {
             dma_checks: t.counter("monitor.dma_checks"),
             interrupts_handled: t.counter("monitor.interrupts_handled"),
             cycles_spent: t.counter("monitor.cycles_spent"),
+            drains_committed: t.counter("monitor.drains_committed"),
+            drains_refused: t.counter("monitor.drains_refused"),
         }
     }
 }
@@ -74,6 +79,9 @@ pub enum MonitorError {
     DeviceNotBound(DeviceId),
     /// No free memory domain to give the device.
     NoFreeMd,
+    /// The pre-switch verifier rejected the cold switch (the post-switch
+    /// state carried Error-severity findings), so no drain was started.
+    SwitchRejected(DeviceId),
 }
 
 impl core::fmt::Display for MonitorError {
@@ -88,6 +96,9 @@ impl core::fmt::Display for MonitorError {
             }
             MonitorError::DeviceNotBound(d) => write!(f, "{d} is not bound to the TEE"),
             MonitorError::NoFreeMd => write!(f, "no free memory domain"),
+            MonitorError::SwitchRejected(d) => {
+                write!(f, "pre-switch verification rejected mounting {d}")
+            }
         }
     }
 }
@@ -375,8 +386,10 @@ impl SecureMonitor {
         record.entries.push(entry);
         unit_extended_put(unit, device, record);
         if was_mounted {
-            // Remount so the hardware window reflects the new entry set.
-            unit.handle_sid_missing(device)?;
+            // Force a reload so the hardware window reflects the new entry
+            // set (`handle_sid_missing` would treat the already-mounted
+            // device as a free no-op and skip the reload).
+            unit.remount_cold_device(device)?;
         }
         Ok(idx)
     }
@@ -425,7 +438,9 @@ impl SecureMonitor {
                 let was_mounted = self.siopmp.mounted_cold_device() == Some(device);
                 unit_extended_put(&mut self.siopmp, device, record);
                 if was_mounted {
-                    self.siopmp.handle_sid_missing(device)?;
+                    // Forced reload: the no-op fast path of
+                    // `handle_sid_missing` must not skip this rewrite.
+                    self.siopmp.remount_cold_device(device)?;
                 }
                 siopmp::atomic::modification_cycles(n, true)
             }
@@ -589,10 +604,80 @@ impl SecureMonitor {
     /// surface the hardware error through its own path.
     fn preswitch_allows(&self, device: DeviceId) -> bool {
         let mut shadow = self.siopmp.clone();
-        if shadow.handle_sid_missing(device).is_err() {
+        if shadow.remount_cold_device(device).is_err() {
             return true;
         }
         !analyze(&shadow, Some(&self.capability_map())).has_errors()
+    }
+
+    // ------------------------------------------------------------------
+    // Quiesced cold switching (drain protocol)
+    // ------------------------------------------------------------------
+
+    /// Starts a *quiesced* cold switch towards `device`: runs the
+    /// pre-switch verifier (when enabled), prechecks the switch, and blocks
+    /// the cold SID so no new access can be authorized through the cold
+    /// window while the bus drains. Drive the returned machine with
+    /// [`SecureMonitor::poll_cold_switch`] once per cycle.
+    ///
+    /// # Errors
+    ///
+    /// [`MonitorError::SwitchRejected`] when the verifier flags the
+    /// post-switch state; hardware errors from the precheck (unknown
+    /// device, record too large for the cold window). In every error case
+    /// nothing is blocked and nothing is mounted.
+    pub fn begin_cold_switch(
+        &mut self,
+        device: DeviceId,
+        now: u64,
+        config: DrainConfig,
+    ) -> Result<ColdSwitchDrain, MonitorError> {
+        if self.preswitch_verify && !self.preswitch_allows(device) {
+            self.counters.drains_refused.inc();
+            return Err(MonitorError::SwitchRejected(device));
+        }
+        Ok(ColdSwitchDrain::begin(
+            &mut self.siopmp,
+            device,
+            now,
+            config,
+        )?)
+    }
+
+    /// Advances a drain started by [`SecureMonitor::begin_cold_switch`]
+    /// with the caller's current in-flight count. Commits only at zero in
+    /// flight; refuses when the abort grace runs out. Cycle costs of a
+    /// committed switch land in `monitor.cycles_spent`, and terminal
+    /// outcomes are counted in `monitor.drains_committed` /
+    /// `monitor.drains_refused`.
+    pub fn poll_cold_switch(
+        &mut self,
+        drain: &mut ColdSwitchDrain,
+        in_flight: usize,
+        now: u64,
+    ) -> DrainPoll {
+        let was_terminal = drain.is_terminal();
+        let poll = drain.poll(&mut self.siopmp, in_flight, now);
+        if !was_terminal {
+            match poll {
+                DrainPoll::Committed(report) => {
+                    self.counters.cycles_spent.add(report.cycles);
+                    self.counters.drains_committed.inc();
+                }
+                DrainPoll::Refused => self.counters.drains_refused.inc(),
+                _ => {}
+            }
+        }
+        poll
+    }
+
+    /// Abandons a drain without mounting, releasing the quiesce block.
+    pub fn cancel_cold_switch(&mut self, drain: ColdSwitchDrain) {
+        let was_terminal = drain.is_terminal();
+        drain.cancel(&mut self.siopmp);
+        if !was_terminal {
+            self.counters.drains_refused.inc();
+        }
     }
 }
 
@@ -897,6 +982,140 @@ mod tests {
         ));
         assert!(out.is_allowed(), "{out:?}");
         assert_eq!(m.siopmp().mounted_cold_device(), Some(DeviceId(1)));
+    }
+
+    /// Monitor with one hot device (0) and one cold device (1) mapped over
+    /// `[0x8000_2000, +0x100)`.
+    fn with_cold_device() -> SecureMonitor {
+        let mut cfg = SiopmpConfig::small();
+        cfg.num_sids = 2; // 1 hot SID: the second device goes cold
+        let mut m = SecureMonitor::build(cfg, None);
+        let mem = m.mint_memory(0x8000_0000, 0x100_0000, MemPerms::rw());
+        let d0 = m.mint_device(DeviceId(0));
+        let d1 = m.mint_device(DeviceId(1));
+        let tee = m.create_tee(vec![mem, d0, d1]).unwrap();
+        m.device_map(tee, d1, mem, 0x8000_2000, 0x100, MemPerms::rw())
+            .unwrap();
+        m
+    }
+
+    #[test]
+    fn quiesced_switch_commits_only_after_drain() {
+        let t = Telemetry::new();
+        let mut cfg = SiopmpConfig::small();
+        cfg.num_sids = 2;
+        let mut m = SecureMonitor::build(cfg, t.clone());
+        let mem = m.mint_memory(0x8000_0000, 0x100_0000, MemPerms::rw());
+        let d0 = m.mint_device(DeviceId(0));
+        let d1 = m.mint_device(DeviceId(1));
+        let tee = m.create_tee(vec![mem, d0, d1]).unwrap();
+        m.device_map(tee, d1, mem, 0x8000_2000, 0x100, MemPerms::rw())
+            .unwrap();
+
+        let mut drain = m
+            .begin_cold_switch(DeviceId(1), 0, siopmp::quiesce::DrainConfig::default())
+            .unwrap();
+        // Two bursts still in flight: nothing mounts.
+        for now in 1..4 {
+            assert!(matches!(
+                m.poll_cold_switch(&mut drain, 2, now),
+                DrainPoll::Draining { in_flight: 2 }
+            ));
+            assert_eq!(m.siopmp().mounted_cold_device(), None);
+        }
+        // Drained: commit, and the switch cycles are accounted.
+        let before = m.cycles_spent();
+        assert!(matches!(
+            m.poll_cold_switch(&mut drain, 0, 4),
+            DrainPoll::Committed(_)
+        ));
+        assert_eq!(m.siopmp().mounted_cold_device(), Some(DeviceId(1)));
+        assert!(m.cycles_spent() > before);
+        assert_eq!(t.snapshot().counters["monitor.drains_committed"], 1);
+    }
+
+    #[test]
+    fn quiesced_switch_refuses_when_traffic_never_drains() {
+        let mut m = with_cold_device();
+        let cfg = siopmp::quiesce::DrainConfig {
+            timeout_cycles: 8,
+            abort_grace_cycles: 4,
+        };
+        let mut drain = m.begin_cold_switch(DeviceId(1), 0, cfg).unwrap();
+        assert!(matches!(
+            m.poll_cold_switch(&mut drain, 1, 8),
+            DrainPoll::AbortRequested { in_flight: 1 }
+        ));
+        assert_eq!(m.poll_cold_switch(&mut drain, 1, 12), DrainPoll::Refused);
+        // Refused: nothing mounted, quiesce block released.
+        assert_eq!(m.siopmp().mounted_cold_device(), None);
+        assert!(!m.siopmp().is_sid_blocked(m.siopmp().config().cold_sid()));
+    }
+
+    #[test]
+    fn preswitch_verify_rejects_quiesced_switch_up_front() {
+        let mut m = with_cold_device();
+        let mut record = m.siopmp_mut().take_cold_record(DeviceId(1)).unwrap();
+        record.entries.push(IopmpEntry::new(
+            AddressRange::new(0xDEAD_0000, 0x1000).unwrap(),
+            Permissions::rw(),
+        ));
+        m.siopmp_mut().put_cold_record(DeviceId(1), record);
+        m.set_preswitch_verify(true);
+        assert!(matches!(
+            m.begin_cold_switch(DeviceId(1), 0, siopmp::quiesce::DrainConfig::default()),
+            Err(MonitorError::SwitchRejected(DeviceId(1)))
+        ));
+        // Nothing blocked, nothing mounted.
+        assert!(!m.siopmp().is_sid_blocked(m.siopmp().config().cold_sid()));
+        assert_eq!(m.siopmp().mounted_cold_device(), None);
+    }
+
+    #[test]
+    fn cancel_cold_switch_releases_quiesce_block() {
+        let mut m = with_cold_device();
+        let drain = m
+            .begin_cold_switch(DeviceId(1), 0, siopmp::quiesce::DrainConfig::default())
+            .unwrap();
+        assert!(m.siopmp().is_sid_blocked(m.siopmp().config().cold_sid()));
+        m.cancel_cold_switch(drain);
+        assert!(!m.siopmp().is_sid_blocked(m.siopmp().config().cold_sid()));
+        assert_eq!(m.siopmp().mounted_cold_device(), None);
+    }
+
+    #[test]
+    fn cold_remount_reloads_extended_record_edits() {
+        let mut m = with_cold_device();
+        // Mount device 1, then map a second region while it is mounted: the
+        // monitor must force-reload the window even though the device is
+        // already mounted (the no-op remount fast path must not swallow it).
+        let probe1 = DmaRequest::new(DeviceId(1), AccessKind::Read, 0x8000_2000, 64);
+        assert!(m.check_dma(&probe1).is_allowed());
+        assert_eq!(m.siopmp().mounted_cold_device(), Some(DeviceId(1)));
+        let tee = m.tees.iter().next().unwrap().id;
+        let (dev_cap, mem_cap) = {
+            let caps: Vec<CapId> = m.caps.owned_by(tee.entity());
+            let dev = caps
+                .iter()
+                .copied()
+                .find(|c| m.caps.capability(*c).unwrap().as_device() == Some(DeviceId(1)))
+                .unwrap();
+            let mem = caps
+                .iter()
+                .copied()
+                .find(|c| m.caps.capability(*c).unwrap().as_device().is_none())
+                .unwrap();
+            (dev, mem)
+        };
+        m.device_map(tee, dev_cap, mem_cap, 0x8000_4000, 0x100, MemPerms::rw())
+            .unwrap();
+        let probe2 = DmaRequest::new(DeviceId(1), AccessKind::Read, 0x8000_4000, 64);
+        assert!(m.check_dma(&probe2).is_allowed(), "window must be reloaded");
+        // And unmapping while mounted closes access again (both mappings
+        // ride the same memory capability, so both go).
+        m.device_unmap(tee, dev_cap, mem_cap).unwrap();
+        assert!(m.check_dma(&probe2).is_denied());
+        assert!(m.check_dma(&probe1).is_denied());
     }
 
     #[test]

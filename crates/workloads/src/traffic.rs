@@ -90,6 +90,7 @@ pub fn generate(seed: u64, config: &TrafficConfig) -> Vec<MasterProgram> {
                 device,
                 bursts,
                 outstanding: rng.gen_range_inclusive(1, config.max_outstanding as u64) as usize,
+                retry: siopmp_bus::RetryPolicy::none(),
             }
         })
         .collect()
