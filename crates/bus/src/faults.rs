@@ -129,6 +129,14 @@ impl FaultPlan {
         FaultPlan { seed, events }
     }
 
+    /// A per-domain plan for sharded simulations: `generate` with `seed`
+    /// mixed with `domain` (splitmix-style odd multiplier), so every shard
+    /// of a parallel run draws an independent but reproducible schedule
+    /// from one top-level seed.
+    pub fn for_domain(seed: u64, domain: u64, config: &FaultPlanConfig) -> Self {
+        Self::generate(seed ^ domain.wrapping_mul(0x9E37_79B9_7F4A_7C15), config)
+    }
+
     /// Generates `config.budget` fault events over `config.horizon`
     /// cycles, deterministically from `seed`. Equal seeds and configs
     /// yield equal plans.

@@ -35,6 +35,7 @@ pub mod faults;
 pub mod functional;
 pub mod master;
 pub mod packet;
+pub mod parallel;
 pub mod policy;
 pub mod report;
 pub mod sim;
@@ -44,6 +45,7 @@ pub use config::BusConfig;
 pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultPlanConfig};
 pub use master::{MasterProgram, RetryPolicy};
 pub use packet::{BurstKind, BurstRequest, BurstStatus};
+pub use parallel::{DomainSpec, ParallelSim};
 pub use policy::{ControlOp, PolicyVerdict, SiopmpPolicy};
 pub use report::{MasterReport, SimReport};
-pub use sim::{BusSim, DecisionRecord};
+pub use sim::{BusSim, DecisionRecord, EgressRecord};

@@ -109,6 +109,18 @@ impl MasterProgram {
         }
     }
 
+    /// A program with no bursts of its own. The parallel engine's bridge
+    /// masters start like this: their traffic is appended at epoch
+    /// barriers as cross-domain bursts arrive.
+    pub fn empty(device_id: u64) -> Self {
+        MasterProgram {
+            device: DeviceId(device_id),
+            bursts: Vec::new(),
+            outstanding: 1,
+            retry: RetryPolicy::none(),
+        }
+    }
+
     /// A program of `count` bursts walking a contiguous buffer starting at
     /// `base`, advancing `stride` bytes per burst.
     pub fn streaming(

@@ -1,0 +1,543 @@
+//! Deterministic sharded parallel simulation.
+//!
+//! The paper's headline claim is *scalability* — 1024 entries and tens of
+//! concurrent DMA masters — but a single-threaded cycle-driven [`BusSim`]
+//! makes large sweeps wall-clock bound by the host. Following the
+//! deterministic parallel-discrete-event tradition (gem5's multi-queue
+//! event model, FireSim's token-synchronised partitioning), this module
+//! partitions masters and slaves into per-domain shards, each advanced by
+//! a worker thread in fixed cycle *epochs*, with cross-domain bursts
+//! exchanged only at epoch barriers.
+//!
+//! # Determinism argument
+//!
+//! Any thread count — including 1 — produces identical traces, telemetry
+//! and verdicts, because nothing observable ever depends on thread
+//! arrival order:
+//!
+//! 1. **Shards are disjoint.** Each shard owns its own [`BusSim`] (policy,
+//!    masters, fault plan, telemetry registry). Between two barriers a
+//!    worker touches exactly one shard, so advancing shards concurrently
+//!    is trivially equivalent to advancing them in any serial order.
+//! 2. **Exchange is totally ordered.** At a barrier, every shard's egress
+//!    (bursts that completed `Ok` against an address outside the shard's
+//!    home window) is collected and sorted by `(cycle, domain, master,
+//!    seq)` — a key that is itself computed deterministically inside each
+//!    shard — never by which worker finished first. Delivery appends to
+//!    the destination's bridge master in that order.
+//! 3. **Folding is ordered too.** Per-shard telemetry registries are
+//!    folded into the merged registry in domain order at each barrier
+//!    (see [`Telemetry::absorb_delta`]); `std::thread::scope`'s join
+//!    provides the happens-before edge that makes the shard's relaxed
+//!    atomic counters visible to the coordinator.
+//!
+//! Since epoch boundaries, exchange order and fold order are all functions
+//! of the simulation state alone, the *entire* run is a function of the
+//! inputs — the thread count only chooses how many shards advance at once.
+//! With a single domain and no cross traffic, the engine performs exactly
+//! the serial engine's step sequence, so its report and trace are
+//! byte-identical to [`BusSim::run_to_completion`] (pinned by the
+//! golden-trace test).
+//!
+//! Cross-domain bursts keep their original device IDs, so the destination
+//! shard's policy re-checks them under the source identity — a
+//! hierarchical double-check: the source sIOPMP authorised the egress, the
+//! destination sIOPMP must independently authorise the ingress.
+
+use crate::config::BusConfig;
+use crate::faults::FaultPlan;
+use crate::master::MasterProgram;
+use crate::packet::BurstRequest;
+use crate::policy::AccessPolicy;
+use crate::report::SimReport;
+use crate::sim::BusSim;
+use siopmp::telemetry::{Counter, Telemetry, TelemetrySnapshot};
+
+/// Default barrier spacing. Large enough to amortise barrier costs, small
+/// enough that cross-domain latency (traffic waits for the next barrier)
+/// stays modest relative to typical burst programs.
+pub const DEFAULT_EPOCH_CYCLES: u64 = 256;
+
+/// Device IDs `BRIDGE_DEVICE_BASE + domain` identify the per-shard bridge
+/// masters that replay cross-domain traffic. Pick domain device IDs below
+/// this to avoid collisions.
+pub const BRIDGE_DEVICE_BASE: u64 = 0xB21D_6E00;
+
+/// Everything one shard of a [`ParallelSim`] needs: its bus configuration,
+/// access policy, masters, fault plan, owned address window and telemetry
+/// registry.
+///
+/// Build the policy's sIOPMP unit against [`DomainSpec::telemetry`] (and
+/// let the shard's `BusSim` share it) so the domain's `siopmp.*` and
+/// `bus.*` metrics all land in the same per-shard registry — that registry
+/// is what gets folded into the merged one at each barrier. Each domain
+/// must have its **own** registry; sharing one across domains would
+/// double-fold.
+pub struct DomainSpec {
+    /// Bus timing configuration for this shard.
+    pub config: BusConfig,
+    /// Access policy for this shard.
+    pub policy: Box<dyn AccessPolicy>,
+    /// Master programs local to this shard.
+    pub masters: Vec<MasterProgram>,
+    /// Fault schedule local to this shard (see [`FaultPlan::for_domain`]).
+    pub fault_plan: FaultPlan,
+    /// `(base, len)` of the addresses this shard owns. `Ok` completions
+    /// outside it become cross-domain traffic. `None` keeps everything
+    /// local (no egress is ever produced).
+    pub home_window: Option<(u64, u64)>,
+    /// The shard's private telemetry registry.
+    pub telemetry: Telemetry,
+}
+
+impl DomainSpec {
+    /// A spec with no masters, no faults, no home window and a fresh
+    /// telemetry registry.
+    pub fn new(config: BusConfig, policy: Box<dyn AccessPolicy>) -> Self {
+        DomainSpec {
+            config,
+            policy,
+            masters: Vec::new(),
+            fault_plan: FaultPlan::empty(),
+            home_window: None,
+            telemetry: Telemetry::new(),
+        }
+    }
+
+    /// Adds a master program (builder style).
+    pub fn with_master(mut self, program: MasterProgram) -> Self {
+        self.masters.push(program);
+        self
+    }
+
+    /// Sets the fault plan (builder style).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Sets the owned address window (builder style).
+    pub fn with_home_window(mut self, base: u64, len: u64) -> Self {
+        self.home_window = Some((base, len));
+        self
+    }
+
+    /// Uses `telemetry` as the shard registry (builder style) — pass the
+    /// registry the shard's sIOPMP unit was built against.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+}
+
+struct Shard {
+    sim: BusSim,
+    window: Option<(u64, u64)>,
+    /// Master index of the lazily created bridge. Lazy so that a domain
+    /// that never receives cross traffic reports exactly the masters it
+    /// was built with (which is what makes a single-domain parallel run
+    /// byte-identical to the serial engine).
+    bridge: Option<usize>,
+    telemetry: Telemetry,
+    last_snap: TelemetrySnapshot,
+}
+
+/// The sharded parallel engine. See the [module docs](self) for the
+/// determinism argument.
+pub struct ParallelSim {
+    shards: Vec<Shard>,
+    epoch_cycles: u64,
+    threads: usize,
+    merged: Telemetry,
+    epochs: Counter,
+    cross_domain: Counter,
+    unrouted: Counter,
+}
+
+impl std::fmt::Debug for ParallelSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParallelSim")
+            .field("domains", &self.shards.len())
+            .field("threads", &self.threads)
+            .field("epoch_cycles", &self.epoch_cycles)
+            .finish()
+    }
+}
+
+impl ParallelSim {
+    /// An engine advancing shards in `epoch_cycles`-cycle epochs using
+    /// `threads` worker threads, with a private merged registry. Both
+    /// parameters affect wall clock only, never results: `threads` is
+    /// clamped to `[1, domains]` and the epoch length to at least 1.
+    pub fn new(epoch_cycles: u64, threads: usize) -> Self {
+        Self::build(epoch_cycles, threads, None)
+    }
+
+    /// Like [`ParallelSim::new`], but folding the merged metrics into the
+    /// caller's `telemetry` registry.
+    pub fn build(
+        epoch_cycles: u64,
+        threads: usize,
+        telemetry: impl Into<Option<Telemetry>>,
+    ) -> Self {
+        let merged = telemetry.into().unwrap_or_else(Telemetry::new);
+        ParallelSim {
+            shards: Vec::new(),
+            epoch_cycles: epoch_cycles.max(1),
+            threads: threads.max(1),
+            epochs: merged.counter("parallel.epochs"),
+            cross_domain: merged.counter("parallel.cross_domain_bursts"),
+            unrouted: merged.counter("parallel.unrouted_egress"),
+            merged,
+        }
+    }
+
+    /// Adds a shard built from `spec` and returns its domain index.
+    /// Domains are ordered by insertion; the index is the `domain` field
+    /// of the cross-domain exchange key.
+    pub fn add_domain(&mut self, spec: DomainSpec) -> usize {
+        let mut sim = BusSim::build(spec.config, spec.policy, spec.telemetry.clone());
+        if let Some((base, len)) = spec.home_window {
+            sim.set_home_window(base, len);
+        }
+        sim.set_fault_plan(spec.fault_plan);
+        for program in spec.masters {
+            sim.add_master(program);
+        }
+        self.shards.push(Shard {
+            sim,
+            window: spec.home_window,
+            bridge: None,
+            telemetry: spec.telemetry,
+            last_snap: TelemetrySnapshot::default(),
+        });
+        self.shards.len() - 1
+    }
+
+    /// Number of domains.
+    pub fn domains(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard simulator for `domain` (e.g. to read its trace).
+    pub fn domain(&self, domain: usize) -> &BusSim {
+        &self.shards[domain].sim
+    }
+
+    /// Mutable access to the shard simulator for `domain`.
+    pub fn domain_mut(&mut self, domain: usize) -> &mut BusSim {
+        &mut self.shards[domain].sim
+    }
+
+    /// The merged telemetry registry: per-shard `siopmp.*`/`bus.*` metrics
+    /// folded at every barrier, plus the engine's own `parallel.*`
+    /// counters.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.merged
+    }
+
+    /// Enables event tracing on every shard.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        for shard in &mut self.shards {
+            shard.sim.enable_trace(capacity);
+        }
+    }
+
+    /// Runs every shard to completion (or `max_cycles`, whichever is
+    /// first), exchanging cross-domain bursts at epoch barriers. The
+    /// merged report concatenates per-shard master reports in domain
+    /// order (bridge masters, where created, appear after their domain's
+    /// own masters); `cycles` is the maximum over shards.
+    pub fn run(&mut self, max_cycles: u64) -> SimReport {
+        let epoch = self.epoch_cycles;
+        let mut target = 0u64;
+        loop {
+            target = (target + epoch).min(max_cycles);
+            self.advance_all(target);
+            self.fold_telemetry();
+            let moved = self.exchange(target);
+            self.epochs.inc();
+            let all_done = self.shards.iter().all(|s| s.sim.all_done());
+            if moved == 0 && (all_done || target >= max_cycles) {
+                break;
+            }
+        }
+        // Barrier-time delivery may have stepped shards (catching them up
+        // to the barrier); fold whatever that produced.
+        self.fold_telemetry();
+        self.report()
+    }
+
+    /// The merged report as of the current state (what [`ParallelSim::run`]
+    /// returns).
+    pub fn report(&self) -> SimReport {
+        let mut merged = SimReport {
+            completed: true,
+            ..SimReport::default()
+        };
+        for shard in &self.shards {
+            let r = shard.sim.report();
+            merged.cycles = merged.cycles.max(r.cycles);
+            merged.completed &= r.completed;
+            merged.control_faults += r.control_faults;
+            merged.masters.extend(r.masters);
+        }
+        merged
+    }
+
+    /// Advances every shard to `target` cycles (or until drained),
+    /// partitioned across worker threads. The partition is irrelevant to
+    /// results — shards are disjoint — so only the clamped thread count's
+    /// wall clock differs.
+    fn advance_all(&mut self, target: u64) {
+        fn advance(shard: &mut Shard, target: u64) {
+            while shard.sim.cycle() < target && !shard.sim.all_done() {
+                shard.sim.step();
+            }
+        }
+        let threads = self.threads.min(self.shards.len()).max(1);
+        if threads == 1 {
+            for shard in &mut self.shards {
+                advance(shard, target);
+            }
+        } else {
+            let chunk = self.shards.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                for shards in self.shards.chunks_mut(chunk) {
+                    scope.spawn(move || {
+                        for shard in shards {
+                            advance(shard, target);
+                        }
+                    });
+                }
+            });
+        }
+    }
+
+    /// Folds each shard's telemetry delta since the previous barrier into
+    /// the merged registry, in domain order.
+    fn fold_telemetry(&mut self) {
+        for shard in &mut self.shards {
+            let current = shard.telemetry.snapshot();
+            self.merged.absorb_delta(&shard.last_snap, &current);
+            shard.last_snap = current;
+        }
+    }
+
+    /// Collects every shard's egress, orders it by `(cycle, domain,
+    /// master, seq)`, and delivers each burst to the domain whose home
+    /// window contains its address (via that domain's bridge master,
+    /// created on first delivery). Bursts no window claims are dropped and
+    /// counted in `parallel.unrouted_egress`. Returns the number of
+    /// bursts delivered.
+    fn exchange(&mut self, target: u64) -> usize {
+        let mut outbound: Vec<(u64, usize, usize, u64, BurstRequest)> = Vec::new();
+        for (domain, shard) in self.shards.iter_mut().enumerate() {
+            for e in shard.sim.take_egress() {
+                outbound.push((e.cycle, domain, e.master, e.seq, e.burst));
+            }
+        }
+        if outbound.is_empty() {
+            return 0;
+        }
+        // The deterministic exchange order — never thread arrival order.
+        outbound.sort_by_key(|&(cycle, domain, master, seq, _)| (cycle, domain, master, seq));
+        let windows: Vec<Option<(u64, u64)>> = self.shards.iter().map(|s| s.window).collect();
+        let mut per_dest: Vec<Vec<BurstRequest>> = vec![Vec::new(); self.shards.len()];
+        let mut moved = 0;
+        for (_cycle, source, _master, _seq, burst) in outbound {
+            let dest = windows.iter().enumerate().find(|(domain, window)| {
+                *domain != source
+                    && window.is_some_and(|(base, len)| {
+                        burst.addr >= base && burst.addr < base.saturating_add(len)
+                    })
+            });
+            match dest {
+                Some((domain, _)) => {
+                    per_dest[domain].push(burst);
+                    moved += 1;
+                    self.cross_domain.inc();
+                }
+                None => self.unrouted.inc(),
+            }
+        }
+        for (domain, bursts) in per_dest.into_iter().enumerate() {
+            if bursts.is_empty() {
+                continue;
+            }
+            let shard = &mut self.shards[domain];
+            // A drained shard may have stopped short of the barrier; catch
+            // it up (idle cycles, applying any pending fault events) so the
+            // delivery lands at the barrier cycle on every thread count.
+            while shard.sim.cycle() < target {
+                shard.sim.step();
+            }
+            let bridge = *shard.bridge.get_or_insert_with(|| {
+                shard.sim.add_master(
+                    MasterProgram::empty(BRIDGE_DEVICE_BASE + domain as u64).with_outstanding(4),
+                )
+            });
+            shard.sim.extend_master_program(bridge, bursts);
+        }
+        moved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::BurstKind;
+    use crate::policy::{AllowAll, DenyRange};
+
+    fn two_domain_sim(threads: usize) -> ParallelSim {
+        let mut psim = ParallelSim::new(64, threads);
+        // Domain 0 owns [0x1000, 0x2000); its master also writes into
+        // domain 1's window.
+        psim.add_domain(
+            DomainSpec::new(BusConfig::default(), Box::new(AllowAll))
+                .with_home_window(0x1000, 0x1000)
+                .with_master(
+                    MasterProgram::streaming(1, BurstKind::Read, 0x1000, 64, 4)
+                        .chain(MasterProgram::streaming(1, BurstKind::Write, 0x2000, 64, 2)),
+                ),
+        );
+        psim.add_domain(
+            DomainSpec::new(BusConfig::default(), Box::new(AllowAll))
+                .with_home_window(0x2000, 0x1000)
+                .with_master(MasterProgram::streaming(2, BurstKind::Read, 0x2000, 64, 4)),
+        );
+        psim
+    }
+
+    #[test]
+    fn single_domain_matches_serial_engine() {
+        let mut serial = BusSim::build(BusConfig::default(), Box::new(AllowAll), None);
+        serial.add_master(MasterProgram::streaming(1, BurstKind::Read, 0x0, 64, 16));
+        let want = serial.run_to_completion(100_000);
+
+        let mut psim = ParallelSim::new(32, 4);
+        psim.add_domain(
+            DomainSpec::new(BusConfig::default(), Box::new(AllowAll))
+                .with_master(MasterProgram::streaming(1, BurstKind::Read, 0x0, 64, 16)),
+        );
+        let got = psim.run(100_000);
+        assert_eq!(got, want);
+        assert_eq!(
+            got.to_json().pretty(),
+            want.to_json().pretty(),
+            "single-domain parallel run must be byte-identical to serial"
+        );
+    }
+
+    #[test]
+    fn cross_domain_bursts_reach_the_owning_shard() {
+        let mut psim = two_domain_sim(2);
+        let report = psim.run(100_000);
+        assert!(report.completed);
+        // Domain 1 grew a bridge master that replayed the 2 cross writes.
+        assert_eq!(report.masters.len(), 3);
+        let bridge = &report.masters[2];
+        assert_eq!(bridge.bursts_completed, 2);
+        assert_eq!(
+            psim.telemetry()
+                .counter("parallel.cross_domain_bursts")
+                .get(),
+            2
+        );
+        assert_eq!(
+            psim.telemetry().counter("parallel.unrouted_egress").get(),
+            0
+        );
+    }
+
+    #[test]
+    fn thread_counts_agree_byte_for_byte() {
+        let baseline = {
+            let mut psim = two_domain_sim(1);
+            let report = psim.run(100_000);
+            (
+                report.to_json().pretty(),
+                psim.telemetry().snapshot().to_json().pretty(),
+            )
+        };
+        for threads in [2, 4] {
+            let mut psim = two_domain_sim(threads);
+            let report = psim.run(100_000);
+            assert_eq!(report.to_json().pretty(), baseline.0, "threads={threads}");
+            assert_eq!(
+                psim.telemetry().snapshot().to_json().pretty(),
+                baseline.1,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn unrouted_egress_is_dropped_and_counted() {
+        let mut psim = ParallelSim::new(64, 1);
+        psim.add_domain(
+            DomainSpec::new(BusConfig::default(), Box::new(AllowAll))
+                .with_home_window(0x1000, 0x1000)
+                .with_master(MasterProgram::uniform(1, BurstKind::Write, 0xdead_0000, 3)),
+        );
+        let report = psim.run(100_000);
+        assert!(report.completed);
+        assert_eq!(
+            psim.telemetry().counter("parallel.unrouted_egress").get(),
+            3
+        );
+        assert_eq!(
+            psim.telemetry()
+                .counter("parallel.cross_domain_bursts")
+                .get(),
+            0
+        );
+    }
+
+    #[test]
+    fn denied_bursts_never_cross_domains() {
+        let mut psim = ParallelSim::new(64, 1);
+        // Domain 0 denies the foreign range, so nothing completes Ok
+        // against it and no egress is produced.
+        psim.add_domain(
+            DomainSpec::new(
+                BusConfig::default(),
+                Box::new(DenyRange {
+                    base: 0x2000,
+                    len: 0x1000,
+                }),
+            )
+            .with_home_window(0x1000, 0x1000)
+            .with_master(MasterProgram::uniform(1, BurstKind::Write, 0x2000, 2)),
+        );
+        psim.add_domain(
+            DomainSpec::new(BusConfig::default(), Box::new(AllowAll))
+                .with_home_window(0x2000, 0x1000),
+        );
+        let report = psim.run(100_000);
+        assert!(report.completed);
+        assert_eq!(report.masters[0].bursts_bus_error, 2);
+        assert_eq!(
+            psim.telemetry()
+                .counter("parallel.cross_domain_bursts")
+                .get(),
+            0
+        );
+        assert_eq!(report.masters.len(), 1, "no bridge was ever created");
+    }
+
+    #[test]
+    fn cycle_budget_bounds_every_shard() {
+        let mut psim = ParallelSim::new(64, 2);
+        for d in 0..2u64 {
+            psim.add_domain(
+                DomainSpec::new(BusConfig::default(), Box::new(AllowAll)).with_master(
+                    MasterProgram::uniform(d + 1, BurstKind::Read, 0x0, 1_000_000),
+                ),
+            );
+        }
+        let report = psim.run(200);
+        assert!(!report.completed);
+        assert_eq!(report.cycles, 200);
+    }
+}

@@ -65,9 +65,27 @@ pub enum ControlOp {
 }
 
 /// Decides whether a DMA access is authorised.
-pub trait AccessPolicy {
+///
+/// `Send` is required so a whole simulator (policy included) can be moved
+/// to — or borrowed by — a worker thread in the parallel sharded engine
+/// ([`crate::parallel`]); every policy here is plain owned data, so the
+/// bound costs implementors nothing.
+pub trait AccessPolicy: Send {
     /// Classifies the access.
     fn decide(&mut self, device: DeviceId, kind: AccessKind, addr: u64, len: u64) -> PolicyVerdict;
+
+    /// Classifies a batch of accesses, in order. Observationally identical
+    /// to calling [`AccessPolicy::decide`] once per element — same
+    /// verdicts, same counters, same violation records — but
+    /// implementations may amortise shared per-batch work: the sIOPMP
+    /// adapter resolves each device's SID route once per batch via
+    /// [`siopmp::Siopmp::check_batch`]. The bus engine funnels every
+    /// cycle's issues through this entry point.
+    fn decide_batch(&mut self, reqs: &[(DeviceId, AccessKind, u64, u64)]) -> Vec<PolicyVerdict> {
+        reqs.iter()
+            .map(|&(device, kind, addr, len)| self.decide(device, kind, addr, len))
+            .collect()
+    }
 
     /// Applies a control-plane reconfiguration, returning `true` when the
     /// policy's configuration actually changed. The default ignores every
@@ -162,6 +180,18 @@ impl SiopmpPolicy {
 impl AccessPolicy for SiopmpPolicy {
     fn decide(&mut self, device: DeviceId, kind: AccessKind, addr: u64, len: u64) -> PolicyVerdict {
         PolicyVerdict::from(&self.unit.check(&DmaRequest::new(device, kind, addr, len)))
+    }
+
+    fn decide_batch(&mut self, reqs: &[(DeviceId, AccessKind, u64, u64)]) -> Vec<PolicyVerdict> {
+        let reqs: Vec<DmaRequest> = reqs
+            .iter()
+            .map(|&(device, kind, addr, len)| DmaRequest::new(device, kind, addr, len))
+            .collect();
+        self.unit
+            .check_batch(&reqs)
+            .iter()
+            .map(PolicyVerdict::from)
+            .collect()
     }
 
     fn control(&mut self, op: &ControlOp) -> bool {

@@ -134,6 +134,26 @@ struct RetryEntry {
     attempt: u32,
 }
 
+/// A burst that completed `Ok` against an address *outside* this
+/// simulator's home window — traffic bound for another shard of a
+/// [`crate::parallel::ParallelSim`]. The coordinator collects these at
+/// every epoch barrier and re-injects them into the owning shard in
+/// `(cycle, domain, master, seq)` order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EgressRecord {
+    /// Cycle the burst completed locally.
+    pub cycle: u64,
+    /// Index of the master that issued it.
+    pub master: usize,
+    /// Per-simulator monotone sequence number — the deterministic
+    /// tie-break for bursts completing on the same cycle from the same
+    /// master.
+    pub seq: u64,
+    /// The completed burst (original device ID preserved, so the
+    /// destination shard's policy re-checks it under that identity).
+    pub burst: BurstRequest,
+}
+
 #[derive(Debug)]
 struct MasterState {
     program: MasterProgram,
@@ -167,6 +187,15 @@ pub struct BusSim {
     a_stall_until: u64,
     control_faults: usize,
     decision_log: Option<Vec<DecisionRecord>>,
+    /// Reused per-cycle buffer for the two-phase (select, then batch-decide)
+    /// issue path; always empty between steps.
+    issue_scratch: Vec<(usize, BurstRequest, u32)>,
+    /// Addresses this simulator owns; `Ok` completions outside it are
+    /// captured as egress for a parallel coordinator. `None` (the serial
+    /// default) captures nothing.
+    home_window: Option<(u64, u64)>,
+    egress: Vec<EgressRecord>,
+    egress_seq: u64,
 }
 
 impl std::fmt::Debug for BusSim {
@@ -210,6 +239,10 @@ impl BusSim {
             a_stall_until: 0,
             control_faults: 0,
             decision_log: None,
+            issue_scratch: Vec::new(),
+            home_window: None,
+            egress: Vec::new(),
+            egress_seq: 0,
         }
     }
 
@@ -360,12 +393,57 @@ impl BusSim {
         while !self.all_done() && self.cycle < max_cycles {
             self.step();
         }
+        self.report()
+    }
+
+    /// The run's report as of the current cycle. `run_to_completion`
+    /// returns exactly this; parallel coordinators call it per shard and
+    /// concatenate.
+    pub fn report(&self) -> SimReport {
         SimReport {
             cycles: self.cycle,
             masters: self.masters.iter().map(|m| m.report.clone()).collect(),
             completed: self.all_done(),
             control_faults: self.control_faults,
         }
+    }
+
+    /// Declares `[base, base + len)` as this simulator's own address space.
+    /// From then on, every burst that completes `Ok` at an address outside
+    /// the window is recorded as an [`EgressRecord`] for a parallel
+    /// coordinator to collect with [`BusSim::take_egress`]. Serial,
+    /// standalone simulations never set a window and are unaffected.
+    pub fn set_home_window(&mut self, base: u64, len: u64) {
+        self.home_window = Some((base, len));
+    }
+
+    /// The configured home window, if any.
+    pub fn home_window(&self) -> Option<(u64, u64)> {
+        self.home_window
+    }
+
+    /// Drains the egress records accumulated since the last call, in
+    /// completion order (which is also `(cycle, master, seq)` order for a
+    /// single shard, since `seq` is assigned at completion).
+    pub fn take_egress(&mut self) -> Vec<EgressRecord> {
+        std::mem::take(&mut self.egress)
+    }
+
+    /// Number of masters attached.
+    pub fn master_count(&self) -> usize {
+        self.masters.len()
+    }
+
+    /// Appends bursts to `master`'s program mid-run (the parallel engine's
+    /// barrier-time delivery of cross-domain traffic). The master issues
+    /// them after its current program position, under its usual
+    /// outstanding/retry policy; a drained simulation becomes live again.
+    pub fn extend_master_program(
+        &mut self,
+        master: usize,
+        bursts: impl IntoIterator<Item = BurstRequest>,
+    ) {
+        self.masters[master].program.bursts.extend(bursts);
     }
 
     /// Advances the simulation by one cycle.
@@ -491,7 +569,16 @@ impl BusSim {
     /// Issue new bursts from masters with spare outstanding slots. Retried
     /// bursts whose backoff elapsed take priority over fresh program
     /// bursts; either way the verdict is re-resolved at issue time.
+    ///
+    /// Issuing is two-phase: first every eligible master (in index order)
+    /// commits its next burst to the cycle's batch, then one
+    /// [`AccessPolicy::decide_batch`] call resolves all their verdicts —
+    /// letting an sIOPMP policy amortise SID routing and the decision-cache
+    /// epoch load across the batch. Selection, counter and trace order are
+    /// identical to deciding per master.
     fn issue_bursts(&mut self, t: u64) {
+        debug_assert!(self.issue_scratch.is_empty());
+        let mut batch = std::mem::take(&mut self.issue_scratch);
         for mi in 0..self.masters.len() {
             // One issue per master per cycle (the request queue accepts a
             // single burst header per cycle).
@@ -511,12 +598,20 @@ impl BusSim {
                     continue;
                 };
             m.in_flight += 1;
-            let verdict = self.policy.decide(
-                burst.device,
-                burst.kind.access(),
-                burst.addr,
-                self.config.burst_bytes(),
-            );
+            batch.push((mi, burst, attempt));
+        }
+        if batch.is_empty() {
+            self.issue_scratch = batch;
+            return;
+        }
+        let len = self.config.burst_bytes();
+        let reqs: Vec<(DeviceId, siopmp::request::AccessKind, u64, u64)> = batch
+            .iter()
+            .map(|&(_, burst, _)| (burst.device, burst.kind.access(), burst.addr, len))
+            .collect();
+        let verdicts = self.policy.decide_batch(&reqs);
+        debug_assert_eq!(verdicts.len(), batch.len());
+        for (&(mi, burst, attempt), &verdict) in batch.iter().zip(&verdicts) {
             let (req_total, resp_total) = match burst.kind {
                 BurstKind::Read => (1, self.config.beats_per_burst),
                 BurstKind::Write => (self.config.beats_per_burst, 1),
@@ -537,7 +632,7 @@ impl BusSim {
                     device: burst.device,
                     kind: burst.kind,
                     addr: burst.addr,
-                    len: self.config.burst_bytes(),
+                    len,
                     verdict,
                     generation: self.generation,
                     attempt,
@@ -564,6 +659,8 @@ impl BusSim {
                 done: None,
             });
         }
+        batch.clear();
+        self.issue_scratch = batch;
     }
 
     /// One beat of request-channel arbitration (burst-atomic).
@@ -757,6 +854,23 @@ impl BusSim {
                 attempt: next_attempt,
             });
             return;
+        }
+        if status == BurstStatus::Ok {
+            if let Some((base, len)) = self.home_window {
+                if req.addr < base || req.addr >= base.saturating_add(len) {
+                    // Cross-domain traffic: completed here (the local
+                    // checker approved it), now owed to the shard that owns
+                    // the address.
+                    let seq = self.egress_seq;
+                    self.egress_seq += 1;
+                    self.egress.push(EgressRecord {
+                        cycle: t,
+                        master,
+                        seq,
+                        burst: req,
+                    });
+                }
+            }
         }
         let latency = t - issue_cycle + 1;
         self.counters.bursts_completed.inc();

@@ -153,7 +153,10 @@ impl Histogram {
         }
     }
 
-    fn absorb(&self, snap: &HistogramSnapshot) {
+    /// Adds a snapshot's buckets, count and sum into this histogram
+    /// (wrapping) and raises `max` to the snapshot's. The building block
+    /// for merging per-shard histograms into a fleet-wide one.
+    pub fn absorb(&self, snap: &HistogramSnapshot) {
         let inner = &*self.0;
         for (i, b) in snap.buckets.iter().enumerate() {
             inner.buckets[i].fetch_add(*b, Ordering::Relaxed);
@@ -205,6 +208,21 @@ impl HistogramSnapshot {
     /// 99th percentile (conservative bucket upper bound).
     pub fn p99(&self) -> u64 {
         self.percentile(0.99)
+    }
+
+    /// The samples recorded between `prev` and `self`, where `prev` is an
+    /// earlier snapshot of the *same* histogram: buckets, count and sum are
+    /// wrapping differences (matching [`Histogram::record`]'s wrapping
+    /// arithmetic); `max` is carried over as the current high-water mark,
+    /// because a running maximum has no meaningful delta and
+    /// [`Histogram::absorb`] folds it with `fetch_max` anyway.
+    pub fn delta_since(&self, prev: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].wrapping_sub(prev.buckets[i])),
+            count: self.count.wrapping_sub(prev.count),
+            sum: self.sum.wrapping_sub(prev.sum),
+            max: self.max,
+        }
     }
 
     /// Arithmetic mean of the exact recorded sum; 0.0 when empty.
@@ -422,6 +440,48 @@ impl Telemetry {
         fresh
     }
 
+    /// Folds the activity between two snapshots of *another* registry into
+    /// this one: counters grow by the wrapping difference, histograms
+    /// absorb the bucket/count/sum deltas, and ring events first pushed
+    /// after `prev` are re-pushed here (this registry's rings assign their
+    /// own sequence numbers and eviction accounting). Metrics are folded in
+    /// name order, so repeated folds from the same sequence of snapshots
+    /// always produce the same merged state — the property the parallel bus
+    /// engine relies on when it folds per-shard registries at every epoch
+    /// barrier, no matter which worker thread advanced which shard.
+    ///
+    /// `prev` must be an earlier snapshot of the same registry as `cur`
+    /// (use `TelemetrySnapshot::default()` for "since the beginning").
+    pub fn absorb_delta(&self, prev: &TelemetrySnapshot, cur: &TelemetrySnapshot) {
+        for (name, value) in &cur.counters {
+            let before = prev.counters.get(name).copied().unwrap_or(0);
+            self.counter(name).add(value.wrapping_sub(before));
+        }
+        for (name, snap) in &cur.histograms {
+            static EMPTY: HistogramSnapshot = HistogramSnapshot {
+                buckets: [0; HISTOGRAM_BUCKETS],
+                count: 0,
+                sum: 0,
+                max: 0,
+            };
+            let before = prev.histograms.get(name).unwrap_or(&EMPTY);
+            self.histogram(name).absorb(&snap.delta_since(before));
+        }
+        for (name, snap) in &cur.rings {
+            // Events ever pushed into a ring = dropped + retained, so this
+            // threshold selects exactly the events newer than `prev`.
+            let seen = prev
+                .rings
+                .get(name)
+                .map(|r| r.dropped + r.events.len() as u64)
+                .unwrap_or(0);
+            let ring = self.ring(name, snap.capacity);
+            for e in snap.events.iter().filter(|e| e.seq >= seen) {
+                ring.push(e.message.clone());
+            }
+        }
+    }
+
     /// A point-in-time copy of every registered metric.
     pub fn snapshot(&self) -> TelemetrySnapshot {
         TelemetrySnapshot {
@@ -577,6 +637,50 @@ mod tests {
         f.counter("c").add(10);
         assert_eq!(t.counter("c").get(), 6);
         assert_eq!(f.counter("c").get(), 15);
+    }
+
+    #[test]
+    fn absorb_delta_folds_only_the_new_activity() {
+        let shard = Telemetry::new();
+        let merged = Telemetry::new();
+        shard.counter("c").add(5);
+        shard.histogram("h").record(7);
+        shard.ring("r", 2).push("a");
+        let first = shard.snapshot();
+        merged.absorb_delta(&TelemetrySnapshot::default(), &first);
+        assert_eq!(merged.counter("c").get(), 5);
+        assert_eq!(merged.histogram("h").count(), 1);
+        assert_eq!(merged.ring("r", 2).len(), 1);
+
+        shard.counter("c").add(3);
+        shard.histogram("h").record(100);
+        shard.ring("r", 2).push("b");
+        shard.ring("r", 2).push("c"); // evicts "a" in the shard ring
+        let second = shard.snapshot();
+        merged.absorb_delta(&first, &second);
+        assert_eq!(merged.counter("c").get(), 8);
+        let h = merged.histogram("h").snapshot();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 107);
+        assert_eq!(h.max, 100);
+        // Only "b" and "c" are new; "a" must not be double-folded even
+        // though the shard ring no longer retains it.
+        let r = merged.ring("r", 2).snapshot();
+        assert_eq!(r.dropped, 1);
+        let msgs: Vec<&str> = r.events.iter().map(|e| e.message.as_str()).collect();
+        assert_eq!(msgs, ["b", "c"]);
+    }
+
+    #[test]
+    fn delta_since_carries_the_high_water_mark() {
+        let h = Histogram::new();
+        h.record(50);
+        let first = h.snapshot();
+        h.record(3);
+        let delta = h.snapshot().delta_since(&first);
+        assert_eq!(delta.count, 1);
+        assert_eq!(delta.sum, 3);
+        assert_eq!(delta.max, 50, "max is a running maximum, not a delta");
     }
 
     #[test]

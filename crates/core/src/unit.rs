@@ -22,6 +22,22 @@ use std::collections::VecDeque;
 /// still [`Siopmp::violation_log`]).
 const VIOLATION_RING_CAPACITY: usize = 64;
 
+/// How a device ID resolved through the SID-routing stage (CAM → eSID →
+/// extended table). Routes are stable across a batch of checks — no check
+/// mutates the routing structures — which is what lets
+/// [`Siopmp::check_batch`] resolve each device once per batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DeviceRoute {
+    /// CAM hit: a hot device with a dedicated SID.
+    Hot(SourceId),
+    /// eSID hit: the currently mounted cold device.
+    Cold(SourceId),
+    /// Registered cold device that is not mounted: SID-missing.
+    Missing,
+    /// Not in any table: unconditional deny.
+    Unknown,
+}
+
 /// Outcome of presenting one DMA request to the sIOPMP unit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CheckOutcome {
@@ -563,41 +579,95 @@ impl Siopmp {
     /// using [`crate::checker::CheckerKind::extra_cycles`] and
     /// [`crate::violation::ViolationMode::legal_path_overhead_cycles`].
     pub fn check(&mut self, req: &DmaRequest) -> CheckOutcome {
-        self.counters.checks.inc();
+        let route = self.route_device(req.device());
+        self.check_routed(req, route)
+    }
 
+    /// Presents a whole burst's beats (or any batch of requests) to the
+    /// checker, producing exactly the outcomes a per-beat [`Siopmp::check`]
+    /// loop would — same verdicts, same counters, same violation events —
+    /// while resolving each distinct device's SID route only once.
+    ///
+    /// The memoisation deliberately stops at the *routing* stage (CAM /
+    /// eSID / extended table): nothing on the check path mutates those
+    /// structures, and the only side effect of a repeated CAM lookup is
+    /// re-setting an already-set reference bit, so a route resolved at the
+    /// first beat is valid for the whole batch. Decisions themselves are
+    /// **not** memoised across beats: the decision cache is direct-mapped,
+    /// so a fill for one page can evict another mid-batch, and a
+    /// batch-level decision memo would diverge from the per-beat engine's
+    /// hit/miss counters the moment that happens.
+    pub fn check_batch(&mut self, reqs: &[DmaRequest]) -> Vec<CheckOutcome> {
+        let mut routes: Vec<(DeviceId, DeviceRoute)> = Vec::new();
+        reqs.iter()
+            .map(|req| {
+                let route = match routes.iter().find(|(d, _)| *d == req.device()) {
+                    Some(&(_, route)) => route,
+                    None => {
+                        let route = self.route_device(req.device());
+                        routes.push((req.device(), route));
+                        route
+                    }
+                };
+                self.check_routed(req, route)
+            })
+            .collect()
+    }
+
+    /// Resolves which SID (if any) speaks for `device`: CAM (hot), eSID
+    /// (mounted cold), extended table (registered but unmounted), or
+    /// nothing. Touches the CAM reference bit but no counters.
+    fn route_device(&mut self, device: DeviceId) -> DeviceRoute {
         // 1. CAM lookup: device ID → hot SID.
-        if let Some(sid) = self.cam.lookup(req.device()) {
-            self.counters.hot_hits.inc();
-            return self.check_with_sid(req, sid);
+        if let Some(sid) = self.cam.lookup(device) {
+            return DeviceRoute::Hot(sid);
         }
-
         // 2. eSID comparison: the mounted cold device.
-        if self.esid.matches(req.device()) {
-            self.counters.cold_hits.inc();
-            let sid = self.config.cold_sid();
-            return self.check_with_sid(req, sid);
+        if self.esid.matches(device) {
+            return DeviceRoute::Cold(self.config.cold_sid());
         }
-
-        // 3. Unknown device: raise SID-missing so the monitor can mount it,
-        //    or deny outright if it is not even registered as cold.
-        if self.extended.contains(req.device()) {
-            self.counters.sid_missing_interrupts.inc();
-            CheckOutcome::SidMissing {
-                device: req.device(),
-            }
+        // 3. Unknown device: SID-missing if registered as cold, else deny.
+        if self.extended.contains(device) {
+            DeviceRoute::Missing
         } else {
-            let record = ViolationRecord {
-                device: req.device(),
-                sid: None,
-                addr: req.addr(),
-                len: req.len(),
-                kind: req.kind(),
-            };
-            self.counters.violations.inc();
-            self.counters.denied_no_match.inc();
-            self.push_violation_event(&record);
-            self.record_violation(record);
-            CheckOutcome::Denied(record)
+            DeviceRoute::Unknown
+        }
+    }
+
+    /// The per-request tail of [`Siopmp::check`]: route counters plus the
+    /// SID-level check (or the terminal SID-missing / unknown-device
+    /// outcome).
+    fn check_routed(&mut self, req: &DmaRequest, route: DeviceRoute) -> CheckOutcome {
+        self.counters.checks.inc();
+        match route {
+            DeviceRoute::Hot(sid) => {
+                self.counters.hot_hits.inc();
+                self.check_with_sid(req, sid)
+            }
+            DeviceRoute::Cold(sid) => {
+                self.counters.cold_hits.inc();
+                self.check_with_sid(req, sid)
+            }
+            DeviceRoute::Missing => {
+                self.counters.sid_missing_interrupts.inc();
+                CheckOutcome::SidMissing {
+                    device: req.device(),
+                }
+            }
+            DeviceRoute::Unknown => {
+                let record = ViolationRecord {
+                    device: req.device(),
+                    sid: None,
+                    addr: req.addr(),
+                    len: req.len(),
+                    kind: req.kind(),
+                };
+                self.counters.violations.inc();
+                self.counters.denied_no_match.inc();
+                self.push_violation_event(&record);
+                self.record_violation(record);
+                CheckOutcome::Denied(record)
+            }
         }
     }
 

@@ -7,16 +7,21 @@
 //! repro fig15 fig17  # run a subset
 //! repro --list       # list experiment names
 //! repro --json       # machine-readable output + live telemetry dump
+//! repro --threads 4  # worker threads for the parallel section
 //! ```
 //!
 //! With `--json`, the selected experiments' outputs are wrapped in one
 //! JSON document together with a telemetry snapshot of a representative
-//! monitored run (see `siopmp_experiments::telemetry_exercise`) and a
+//! monitored run (see `siopmp_experiments::telemetry_exercise`), a
 //! bus-simulation report whose `PolicyVerdict` breakdown separates
 //! stalled bursts from SID-missing ones (see
-//! `siopmp_experiments::bus_exercise`), and a `faults` section from a
+//! `siopmp_experiments::bus_exercise`), a `faults` section from a
 //! pinned-seed fault storm showing the retry/recovery counters (see
-//! `siopmp_experiments::faults_exercise`).
+//! `siopmp_experiments::faults_exercise`), and a `parallel` section from
+//! the sharded two-domain engine (see
+//! `siopmp_experiments::parallel_exercise`). `--threads N` sets the
+//! parallel section's worker count — by the engine's determinism
+//! guarantee the output is byte-identical for every `N`.
 
 use siopmp::json::Json;
 use std::process::ExitCode;
@@ -30,22 +35,33 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        println!("usage: repro [--list] [--json] [experiment ...]");
+        println!("usage: repro [--list] [--json] [--threads N] [experiment ...]");
         println!("experiments: {}", siopmp_experiments::ALL.join(" "));
         return ExitCode::SUCCESS;
     }
     let json_mode = args.iter().any(|a| a == "--json");
-    let selected: Vec<&str> = {
-        let named: Vec<&str> = args
-            .iter()
-            .filter(|a| !a.starts_with("--"))
-            .map(String::as_str)
-            .collect();
-        if named.is_empty() {
-            siopmp_experiments::ALL.to_vec()
-        } else {
-            named
+    // `--threads` takes a value, so both the flag and its value must be
+    // kept out of the positional experiment names.
+    let mut threads = 1usize;
+    let mut named: Vec<&str> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--threads" {
+            threads = match iter.next().map(|v| v.parse()) {
+                Some(Ok(n)) if n >= 1 => n,
+                _ => {
+                    eprintln!("--threads requires a thread count of at least 1");
+                    return ExitCode::FAILURE;
+                }
+            };
+        } else if !arg.starts_with("--") {
+            named.push(arg.as_str());
         }
+    }
+    let selected: Vec<&str> = if named.is_empty() {
+        siopmp_experiments::ALL.to_vec()
+    } else {
+        named
     };
     let mut failed = false;
     let mut rendered: Vec<(String, String)> = Vec::new();
@@ -82,6 +98,16 @@ fn main() -> ExitCode {
             ),
             ("bus", siopmp_experiments::bus_exercise().to_json()),
             ("faults", siopmp_experiments::faults_exercise().to_json()),
+            (
+                "parallel",
+                Json::object([
+                    ("threads", Json::u64(threads as u64)),
+                    (
+                        "report",
+                        siopmp_experiments::parallel_exercise(threads).to_json(),
+                    ),
+                ]),
+            ),
         ]);
         println!("{}", doc.pretty());
     }

@@ -196,6 +196,67 @@ pub fn faults_exercise() -> siopmp_bus::SimReport {
     sim.run_to_completion(100_000)
 }
 
+/// Drives a two-domain sharded parallel simulation — each domain running
+/// its own sIOPMP-policed shard with a local reader and a cross-domain
+/// writer into the peer's window (authorised at both ends) — and returns
+/// the merged report. This is the `parallel` section of `repro --json`;
+/// `threads` picks the worker count (`--threads N`) and, by the engine's
+/// determinism guarantee, never changes a byte of the output.
+pub fn parallel_exercise(threads: usize) -> siopmp_bus::SimReport {
+    use siopmp::entry::{AddressRange, IopmpEntry, Permissions};
+    use siopmp::ids::{DeviceId, MdIndex};
+    use siopmp::telemetry::Telemetry;
+    use siopmp_bus::parallel::{DomainSpec, ParallelSim};
+    use siopmp_bus::{BurstKind, BusConfig, MasterProgram, SiopmpPolicy};
+
+    const DOMAINS: usize = 2;
+    let window = |domain: usize| 0x10_0000 * (domain as u64 + 1);
+    let mut psim = ParallelSim::new(64, threads);
+    for domain in 0..DOMAINS {
+        let base = window(domain);
+        let peer_base = window((domain + 1) % DOMAINS);
+        let local = domain as u64 * 10 + 1;
+        let cross = domain as u64 * 10 + 2;
+        let peer_cross = ((domain + 1) % DOMAINS) as u64 * 10 + 2;
+        let registry = Telemetry::new();
+        let mut unit = siopmp::Siopmp::build(siopmp::SiopmpConfig::small(), registry.clone());
+        for (dev, md, win) in [
+            (local, 0u16, base),   // local reader over the home window
+            (cross, 1, peer_base), // egress grant into the peer's window
+            (peer_cross, 2, base), // ingress grant for the peer's writer
+        ] {
+            let sid = unit.map_hot_device(DeviceId(dev)).expect("hot SIDs free");
+            unit.associate_sid_with_md(sid, MdIndex(md))
+                .expect("MD in range");
+            unit.install_entry(
+                MdIndex(md),
+                IopmpEntry::new(
+                    AddressRange::new(win, 0x1000).expect("aligned range"),
+                    Permissions::rw(),
+                ),
+            )
+            .expect("window has room");
+        }
+        psim.add_domain(
+            DomainSpec::new(BusConfig::default(), Box::new(SiopmpPolicy::new(unit)))
+                .with_home_window(base, 0x10_0000)
+                .with_telemetry(registry)
+                .with_master(
+                    MasterProgram::streaming(local, BurstKind::Read, base, 64, 6)
+                        .with_outstanding(2),
+                )
+                .with_master(MasterProgram::streaming(
+                    cross,
+                    BurstKind::Write,
+                    peer_base,
+                    64,
+                    3,
+                )),
+        );
+    }
+    psim.run(100_000)
+}
+
 /// The sIOPMP state [`bus_exercise`] drives traffic against: one blocked
 /// hot SID (device 1) and one registered-but-unmounted cold device
 /// (device 2). Split out so the lint-coverage tests can run the static
@@ -305,6 +366,21 @@ mod tests {
         assert!(text.contains("\"faults_injected\""), "{text}");
         // Pinned seed: the storm is deterministic.
         assert_eq!(text, faults_exercise().to_json().pretty());
+    }
+
+    #[test]
+    fn parallel_exercise_is_thread_count_invariant() {
+        let want = parallel_exercise(1);
+        assert!(want.completed, "the exercise must drain");
+        // 2 domains × (local + cross + bridge): cross traffic reached both.
+        assert_eq!(want.masters.len(), 6);
+        for threads in [2, 4] {
+            assert_eq!(
+                parallel_exercise(threads).to_json().pretty(),
+                want.to_json().pretty(),
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]

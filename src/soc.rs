@@ -149,11 +149,13 @@ impl Soc {
     /// devices mount (and evict each other) on first touch, exactly the
     /// Figure 17 dynamics, at cycle granularity.
     pub fn run_with_monitor(&mut self, programs: Vec<MasterProgram>, max_cycles: u64) -> SimReport {
-        use std::cell::RefCell;
-        use std::rc::Rc;
+        use std::sync::{Arc, Mutex};
 
         struct MonitorPolicy {
-            monitor: Rc<RefCell<SecureMonitor>>,
+            // Arc<Mutex> (not Rc<RefCell>) because `AccessPolicy: Send` —
+            // the run itself is still single-threaded, the lock is never
+            // contended.
+            monitor: Arc<Mutex<SecureMonitor>>,
         }
         impl siopmp_bus::policy::AccessPolicy for MonitorPolicy {
             fn decide(
@@ -166,29 +168,31 @@ impl Soc {
                 // check_dma services SID-missing inline (cold switching).
                 let outcome = self
                     .monitor
-                    .borrow_mut()
+                    .lock()
+                    .unwrap()
                     .check_dma(&siopmp::request::DmaRequest::new(device, kind, addr, len));
                 siopmp_bus::PolicyVerdict::from(&outcome)
             }
         }
         // Temporarily move the monitor into a shared cell for the run.
         let placeholder = SecureMonitor::build(siopmp::SiopmpConfig::small(), None);
-        let monitor = Rc::new(RefCell::new(std::mem::replace(
+        let monitor = Arc::new(Mutex::new(std::mem::replace(
             &mut self.monitor,
             placeholder,
         )));
         let policy = MonitorPolicy {
-            monitor: Rc::clone(&monitor),
+            monitor: Arc::clone(&monitor),
         };
         let mut sim = BusSim::build(self.bus_config.clone(), Box::new(policy), None);
         for p in programs {
             sim.add_master(p);
         }
         let report = sim.run_to_completion(max_cycles);
-        drop(sim); // releases the policy's Rc clone
-        self.monitor = Rc::try_unwrap(monitor)
+        drop(sim); // releases the policy's Arc clone
+        self.monitor = Arc::try_unwrap(monitor)
             .expect("simulation dropped, single owner remains")
-            .into_inner();
+            .into_inner()
+            .unwrap();
         report
     }
 }
