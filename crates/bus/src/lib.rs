@@ -46,6 +46,6 @@ pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultPlanConfig};
 pub use master::{MasterProgram, RetryPolicy};
 pub use packet::{BurstKind, BurstRequest, BurstStatus};
 pub use parallel::{DomainSpec, ParallelSim};
-pub use policy::{ControlOp, PolicyVerdict, SiopmpPolicy};
+pub use policy::{ControlOp, PolicyVerdict, SharedSiopmpPolicy, SiopmpPolicy};
 pub use report::{MasterReport, SimReport};
 pub use sim::{BusSim, DecisionRecord, EgressRecord};

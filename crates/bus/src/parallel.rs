@@ -128,6 +128,23 @@ impl DomainSpec {
         self.telemetry = telemetry;
         self
     }
+
+    /// A spec whose shard checks against a **shared** sIOPMP checker
+    /// ([`siopmp::SharedSiopmp`]) instead of owning a unit: every shard
+    /// built this way — plus any other thread holding a handle — answers
+    /// from the same published snapshot, the software analogue of the
+    /// paper's single multi-ported MT checker fronting all bus masters.
+    ///
+    /// The shared unit's `siopmp.*` counters live in the *owner's*
+    /// registry, not the shard registries folded at each barrier, so the
+    /// merged report carries only `bus.*` metrics for such shards; read
+    /// protection counters from the owning unit's telemetry instead.
+    pub fn with_shared_checker(config: BusConfig, checker: siopmp::SharedSiopmp) -> Self {
+        DomainSpec::new(
+            config,
+            Box::new(crate::policy::SharedSiopmpPolicy::new(checker)),
+        )
+    }
 }
 
 struct Shard {
@@ -539,5 +556,51 @@ mod tests {
         let report = psim.run(200);
         assert!(!report.completed);
         assert_eq!(report.cycles, 200);
+    }
+
+    #[test]
+    fn shards_share_one_checker_deterministically() {
+        use siopmp::entry::{AddressRange, IopmpEntry, Permissions};
+        use siopmp::ids::{DeviceId as Dev, MdIndex};
+
+        // Two shards front the same published snapshot through shared
+        // handles: device 1 is authorised, device 9 is unknown (denied).
+        // Results and protection counters must not depend on how the
+        // shards are scheduled across worker threads.
+        let run = |threads: usize| {
+            let mut unit = siopmp::Siopmp::build(siopmp::SiopmpConfig::small(), None);
+            let sid = unit.map_hot_device(Dev(1)).unwrap();
+            unit.associate_sid_with_md(sid, MdIndex(0)).unwrap();
+            unit.install_entry(
+                MdIndex(0),
+                IopmpEntry::new(
+                    AddressRange::new(0x1000, 0x1000).unwrap(),
+                    Permissions::rw(),
+                ),
+            )
+            .unwrap();
+            let mut psim = ParallelSim::new(64, threads);
+            psim.add_domain(
+                DomainSpec::with_shared_checker(BusConfig::default(), unit.share())
+                    .with_master(MasterProgram::streaming(1, BurstKind::Read, 0x1000, 64, 4)),
+            );
+            psim.add_domain(
+                DomainSpec::with_shared_checker(BusConfig::default(), unit.share())
+                    .with_master(MasterProgram::streaming(9, BurstKind::Write, 0x1000, 64, 2)),
+            );
+            let report = psim.run(100_000);
+            assert!(report.completed);
+            (report.to_json().pretty(), unit.stats())
+        };
+
+        let (baseline_report, baseline_stats) = run(1);
+        assert!(baseline_stats.checks > 0);
+        assert!(baseline_stats.allowed > 0);
+        assert!(baseline_stats.violations > 0, "device 9 must be denied");
+        for threads in [2, 4] {
+            let (report, stats) = run(threads);
+            assert_eq!(report, baseline_report, "threads={threads}");
+            assert_eq!(stats, baseline_stats, "threads={threads}");
+        }
     }
 }

@@ -230,6 +230,54 @@ impl AccessPolicy for SiopmpPolicy {
     }
 }
 
+/// Adapts a [`siopmp::SharedSiopmp`] handle to the bus policy trait: the
+/// checker is *shared*, not owned, so any number of bus shards (or other
+/// threads) can check concurrently against one unit while its owner keeps
+/// mutating — the software analogue of the paper's multi-port MT checker.
+///
+/// Compared to [`SiopmpPolicy`] this adapter has no control plane
+/// ([`AccessPolicy::control`] reports no change) and exposes no unit
+/// reference: reconfiguration belongs to whoever owns the
+/// [`siopmp::Siopmp`] writer, typically the monitor thread.
+#[derive(Debug, Clone)]
+pub struct SharedSiopmpPolicy {
+    checker: siopmp::SharedSiopmp,
+}
+
+impl SharedSiopmpPolicy {
+    /// Wraps a shared checker handle (see [`siopmp::Siopmp::share`]).
+    pub fn new(checker: siopmp::SharedSiopmp) -> Self {
+        SharedSiopmpPolicy { checker }
+    }
+
+    /// The wrapped shared handle.
+    pub fn checker(&self) -> &siopmp::SharedSiopmp {
+        &self.checker
+    }
+}
+
+impl AccessPolicy for SharedSiopmpPolicy {
+    fn decide(&mut self, device: DeviceId, kind: AccessKind, addr: u64, len: u64) -> PolicyVerdict {
+        PolicyVerdict::from(
+            &self
+                .checker
+                .check(&DmaRequest::new(device, kind, addr, len)),
+        )
+    }
+
+    fn decide_batch(&mut self, reqs: &[(DeviceId, AccessKind, u64, u64)]) -> Vec<PolicyVerdict> {
+        let reqs: Vec<DmaRequest> = reqs
+            .iter()
+            .map(|&(device, kind, addr, len)| DmaRequest::new(device, kind, addr, len))
+            .collect();
+        self.checker
+            .check_batch(&reqs)
+            .iter()
+            .map(PolicyVerdict::from)
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -374,5 +422,48 @@ mod tests {
             PolicyVerdict::Stalled
         );
         assert_eq!(p.unit().stats().violations, 2);
+    }
+
+    #[test]
+    fn shared_policy_matches_owned_policy_verdicts() {
+        use siopmp::entry::{AddressRange, IopmpEntry, Permissions};
+        use siopmp::ids::MdIndex;
+
+        let mut unit = siopmp::Siopmp::build(siopmp::SiopmpConfig::small(), None);
+        let sid = unit.map_hot_device(DeviceId(5)).unwrap();
+        unit.associate_sid_with_md(sid, MdIndex(0)).unwrap();
+        unit.install_entry(
+            MdIndex(0),
+            IopmpEntry::new(
+                AddressRange::new(0x8000, 0x1000).unwrap(),
+                Permissions::rw(),
+            ),
+        )
+        .unwrap();
+
+        let mut shared = SharedSiopmpPolicy::new(unit.share());
+        let mut owned = SiopmpPolicy::new(unit);
+        let probes = [
+            (DeviceId(5), AccessKind::Read, 0x8000u64, 64u64),
+            (DeviceId(5), AccessKind::Write, 0x4000, 64),
+            (DeviceId(6), AccessKind::Read, 0x8000, 64),
+        ];
+        for &(d, k, a, l) in &probes {
+            assert_eq!(shared.decide(d, k, a, l), owned.decide(d, k, a, l));
+        }
+        assert_eq!(shared.decide_batch(&probes), owned.decide_batch(&probes));
+        // The shared adapter has no control plane: ops report no change
+        // and the configuration (owned by the unit's writer) is untouched.
+        assert!(!shared.control(&ControlOp::BlockSid(sid)));
+        assert_eq!(
+            shared.decide(DeviceId(5), AccessKind::Read, 0x8000, 64),
+            PolicyVerdict::Allowed
+        );
+        // Writer-side mutations are visible through the shared adapter.
+        owned.unit_mut().block_sid(sid);
+        assert_eq!(
+            shared.decide(DeviceId(5), AccessKind::Read, 0x8000, 64),
+            PolicyVerdict::Stalled
+        );
     }
 }

@@ -75,6 +75,7 @@ pub mod pipeline;
 pub mod quiesce;
 pub mod remap;
 pub mod request;
+pub mod snapshot;
 pub mod stats;
 pub mod tables;
 pub mod telemetry;
@@ -85,4 +86,5 @@ pub mod violation;
 mod unit;
 
 pub use crate::config::SiopmpConfig;
+pub use crate::snapshot::{PinnedChecker, SharedSiopmp, ViolationLog};
 pub use crate::unit::{CheckOutcome, Siopmp, SwitchReport};

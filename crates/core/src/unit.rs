@@ -1,9 +1,14 @@
 //! The top-level sIOPMP unit: CAM → SRC2MD → MDCFG → entry table, plus the
 //! mountable/extended table, blocking bitmap and violation bookkeeping.
+//!
+//! Since the shared-checker rework the unit's *check path* lives in an
+//! immutable [`CheckerSnapshot`](crate::snapshot::CheckerSnapshot): every
+//! mutator rebuilds and publishes a fresh snapshot, the owner's
+//! [`Siopmp::check`] answers from the latest one, and any number of
+//! [`SharedSiopmp`] handles ([`Siopmp::share`]) answer wait-free from
+//! other threads. See [`crate::snapshot`] for the publication protocol.
 
 use crate::atomic::SidBlockBitmap;
-use crate::cache::{self, DecisionCache};
-use crate::checker::Decision;
 use crate::config::SiopmpConfig;
 use crate::entry::IopmpEntry;
 use crate::error::{Result, SiopmpError};
@@ -11,32 +16,21 @@ use crate::ids::{DeviceId, EntryIndex, MdIndex, SourceId};
 use crate::mountable::{cold_switch_cycles, EsidRegister, ExtendedIopmpTable, MountableEntry};
 use crate::remap::DeviceId2SidCam;
 use crate::request::DmaRequest;
+use crate::snapshot::{
+    CheckEffects, CheckerSnapshot, DeviceRoute, SharedSiopmp, SharedState, SnapshotSources,
+    ViolationLog, ViolationSink,
+};
 use crate::stats::{CoreCounters, SiopmpStats};
 use crate::tables::{EntryTable, MdCfgTable, Src2MdTable};
-use crate::telemetry::{EventRing, Histogram, Telemetry};
+use crate::telemetry::{Histogram, Telemetry};
 use crate::violation::ViolationRecord;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Capacity of the `siopmp.violation_events` telemetry ring: enough for a
 /// post-mortem window without unbounded growth (the full, precise log is
 /// still [`Siopmp::violation_log`]).
 const VIOLATION_RING_CAPACITY: usize = 64;
-
-/// How a device ID resolved through the SID-routing stage (CAM → eSID →
-/// extended table). Routes are stable across a batch of checks — no check
-/// mutates the routing structures — which is what lets
-/// [`Siopmp::check_batch`] resolve each device once per batch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum DeviceRoute {
-    /// CAM hit: a hot device with a dedicated SID.
-    Hot(SourceId),
-    /// eSID hit: the currently mounted cold device.
-    Cold(SourceId),
-    /// Registered cold device that is not mounted: SID-missing.
-    Missing,
-    /// Not in any table: unconditional deny.
-    Unknown,
-}
 
 /// Outcome of presenting one DMA request to the sIOPMP unit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,6 +87,11 @@ pub struct SwitchReport {
 /// The complete sIOPMP unit (Figure 6): remapping CAM, SRC2MD, MDCFG and
 /// entry tables in hardware; the extended IOPMP table in protected memory.
 ///
+/// The unit is the *writer* side of the shared-checker split: mutators
+/// take `&mut self`, rebuild the published [`CheckerSnapshot`] and swap it
+/// in; checks — from the owner or from [`SharedSiopmp`] handles — are pure
+/// reads of a snapshot plus atomic counter bumps.
+///
 /// See the [crate-level documentation](crate) for an end-to-end example.
 #[derive(Debug)]
 pub struct Siopmp {
@@ -107,17 +106,42 @@ pub struct Siopmp {
     telemetry: Telemetry,
     counters: CoreCounters,
     switch_cycles: Histogram,
-    violation_events: EventRing,
-    violation_log: VecDeque<ViolationRecord>,
-    cache: DecisionCache,
+    /// Decision-cache table epoch (starts at 1, bumped by every mutator
+    /// while the cache is enabled, constant otherwise).
+    epoch: u64,
+    /// The snapshot most recently published by this unit — the owner's
+    /// check path reads this directly, skipping the shared acquire.
+    snapshot: Arc<CheckerSnapshot>,
+    /// Publication point shared with every [`SharedSiopmp`] handle.
+    shared: Arc<SharedState>,
 }
 
 impl Clone for Siopmp {
     /// Clones the unit with a *forked* telemetry registry: the clone keeps
     /// every counter value accumulated so far but counts independently from
-    /// here on (matching the old value-struct stats semantics).
+    /// here on (matching the old value-struct stats semantics). The clone
+    /// publishes its own fresh snapshot — existing [`SharedSiopmp`] handles
+    /// keep following the original, and the clone's decision cache starts
+    /// cold.
     fn clone(&self) -> Self {
         let telemetry = self.telemetry.fork();
+        let counters = CoreCounters::attach(&telemetry);
+        let snapshot = Arc::new(CheckerSnapshot::capture(SnapshotSources {
+            epoch: self.epoch,
+            config: &self.config,
+            cam: &self.cam,
+            esid: &self.esid,
+            extended: &self.extended,
+            blocks: &self.blocks,
+            src2md: &self.src2md,
+            mdcfg: &self.mdcfg,
+            entries: &self.entries,
+        }));
+        let effects = CheckEffects::new(
+            counters.clone(),
+            telemetry.ring("siopmp.violation_events", VIOLATION_RING_CAPACITY),
+            self.shared.effects().violations().clone(),
+        );
         Siopmp {
             config: self.config.clone(),
             cam: self.cam.clone(),
@@ -127,12 +151,12 @@ impl Clone for Siopmp {
             extended: self.extended.clone(),
             esid: self.esid.clone(),
             blocks: self.blocks.clone(),
-            counters: CoreCounters::attach(&telemetry),
+            counters,
             switch_cycles: telemetry.histogram("siopmp.cold_switch_cycles"),
-            violation_events: telemetry.ring("siopmp.violation_events", VIOLATION_RING_CAPACITY),
             telemetry,
-            violation_log: self.violation_log.clone(),
-            cache: self.cache.clone(),
+            epoch: self.epoch,
+            snapshot: snapshot.clone(),
+            shared: Arc::new(SharedState::new(snapshot, effects)),
         }
     }
 }
@@ -169,42 +193,49 @@ impl Siopmp {
         mdcfg
             .set_top(config.cold_md(), config.num_entries as u32)
             .expect("cold window fits by validation");
+        let cam = DeviceId2SidCam::new(config.num_hot_sids());
+        let src2md = Src2MdTable::new(config.num_sids, config.num_mds);
+        let entries = EntryTable::new(config.num_entries);
+        let extended = ExtendedIopmpTable::new();
+        let esid = EsidRegister::new();
+        let blocks = SidBlockBitmap::new(config.num_sids);
+        let counters = CoreCounters::attach(&telemetry);
+        let epoch = 1u64;
+        let snapshot = Arc::new(CheckerSnapshot::capture(SnapshotSources {
+            epoch,
+            config: &config,
+            cam: &cam,
+            esid: &esid,
+            extended: &extended,
+            blocks: &blocks,
+            src2md: &src2md,
+            mdcfg: &mdcfg,
+            entries: &entries,
+        }));
+        let effects = CheckEffects::new(
+            counters.clone(),
+            telemetry.ring("siopmp.violation_events", VIOLATION_RING_CAPACITY),
+            ViolationSink {
+                capacity: config.violation_log_capacity,
+                log: VecDeque::new(),
+            },
+        );
         Siopmp {
-            cam: DeviceId2SidCam::new(config.num_hot_sids()),
-            src2md: Src2MdTable::new(config.num_sids, config.num_mds),
-            entries: EntryTable::new(config.num_entries),
-            extended: ExtendedIopmpTable::new(),
-            esid: EsidRegister::new(),
-            blocks: SidBlockBitmap::new(config.num_sids),
-            counters: CoreCounters::attach(&telemetry),
+            cam,
+            src2md,
+            entries,
+            extended,
+            esid,
+            blocks,
+            counters,
             switch_cycles: telemetry.histogram("siopmp.cold_switch_cycles"),
-            violation_events: telemetry.ring("siopmp.violation_events", VIOLATION_RING_CAPACITY),
             telemetry,
-            violation_log: VecDeque::new(),
-            cache: DecisionCache::new(config.decision_cache_slots, config.num_sids),
+            epoch,
+            snapshot: snapshot.clone(),
+            shared: Arc::new(SharedState::new(snapshot, effects)),
             mdcfg,
             config,
         }
-    }
-
-    /// Creates a unit from `config` with a private telemetry registry.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `config` fails [`SiopmpConfig::validate`].
-    #[deprecated(note = "use `Siopmp::build(config, None)`")]
-    pub fn new(config: SiopmpConfig) -> Self {
-        Self::build(config, None)
-    }
-
-    /// Creates a unit from `config`, registering its metrics in `telemetry`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `config` fails [`SiopmpConfig::validate`].
-    #[deprecated(note = "use `Siopmp::build(config, telemetry)`")]
-    pub fn with_telemetry(config: SiopmpConfig, telemetry: Telemetry) -> Self {
-        Self::build(config, telemetry)
     }
 
     /// The unit's telemetry registry (shared with whoever constructed the
@@ -223,26 +254,37 @@ impl Siopmp {
         self.counters.snapshot()
     }
 
+    /// A cloneable, thread-safe checker handle over this unit's published
+    /// snapshots: [`SharedSiopmp::check`] takes `&self` and is safe to
+    /// call from any number of threads while this unit keeps mutating.
+    pub fn share(&self) -> SharedSiopmp {
+        SharedSiopmp::new(self.shared.clone())
+    }
+
     /// The decision-cache table epoch. Every configuration mutation bumps
     /// it, so two equal readings around an operation prove no cached
     /// verdict was invalidated in between (and, conversely, a changed
     /// reading proves stale cache hits are impossible afterwards).
     /// Constant `1` when the cache is disabled (`decision_cache_slots=0`).
     pub fn cache_epoch(&self) -> u64 {
-        self.cache.epoch()
+        self.epoch
     }
 
     /// Captured violation records, oldest first. The log is a bounded ring
     /// ([`SiopmpConfig::violation_log_capacity`]); once full, each new
     /// record evicts the oldest and bumps `siopmp.violation_log_dropped`.
-    pub fn violation_log(&self) -> &VecDeque<ViolationRecord> {
-        &self.violation_log
+    ///
+    /// The returned guard locks the log (it is shared with every
+    /// [`SharedSiopmp`] handle); drop it before issuing checks that could
+    /// deny on this thread.
+    pub fn violation_log(&self) -> ViolationLog<'_> {
+        ViolationLog::new(self.shared.effects().violations())
     }
 
     /// Drains the violation log (the monitor does this in its interrupt
     /// handler).
     pub fn take_violations(&mut self) -> Vec<ViolationRecord> {
-        self.violation_log.drain(..).collect()
+        self.shared.effects().violations().log.drain(..).collect()
     }
 
     /// Resizes the violation ring at runtime. Shrinking below the current
@@ -261,29 +303,55 @@ impl Siopmp {
             ));
         }
         self.config.violation_log_capacity = capacity;
-        while self.violation_log.len() > capacity {
-            self.violation_log.pop_front();
+        let mut sink = self.shared.effects().violations();
+        sink.capacity = capacity;
+        while sink.log.len() > capacity {
+            sink.log.pop_front();
             self.counters.violation_log_dropped.inc();
         }
         Ok(())
     }
 
-    /// Bumps the table epoch, invalidating every compiled view and cached
-    /// verdict. Called by every configuration mutator — correctness of the
-    /// decision cache rests on no mutation path skipping this.
-    fn invalidate_cache(&mut self) {
-        if self.cache.is_enabled() {
-            self.cache.invalidate_all();
-            self.counters.cache_invalidations.inc();
-        }
+    /// Runs one mutation and republishes the checker snapshot afterwards —
+    /// unconditionally, including on error paths, because the epoch may
+    /// have been bumped before the failure and readers must never see a
+    /// stale epoch. Correctness of the shared read path rests on every
+    /// mutator going through here.
+    fn mutate<T>(&mut self, f: impl FnOnce(&mut Self) -> T) -> T {
+        let result = f(self);
+        self.publish();
+        result
     }
 
-    fn record_violation(&mut self, record: ViolationRecord) {
-        if self.violation_log.len() >= self.config.violation_log_capacity {
-            self.violation_log.pop_front();
-            self.counters.violation_log_dropped.inc();
+    /// Rebuilds the immutable snapshot from the live tables and publishes
+    /// it with a single pointer swap (readers keep whatever snapshot they
+    /// already pinned; new checks see this one).
+    fn publish(&mut self) {
+        let snapshot = Arc::new(CheckerSnapshot::capture(SnapshotSources {
+            epoch: self.epoch,
+            config: &self.config,
+            cam: &self.cam,
+            esid: &self.esid,
+            extended: &self.extended,
+            blocks: &self.blocks,
+            src2md: &self.src2md,
+            mdcfg: &self.mdcfg,
+            entries: &self.entries,
+        }));
+        self.snapshot = snapshot.clone();
+        self.shared.publish(snapshot);
+    }
+
+    /// Bumps the table epoch, invalidating every compiled view and cached
+    /// verdict (the fresh snapshot published by [`Siopmp::mutate`] carries
+    /// empty decision slots). Called by every configuration mutator at the
+    /// exact point the legacy in-place cache was invalidated, preserving
+    /// the `siopmp.cache.invalidations` accounting.
+    fn bump_epoch(&mut self) {
+        if self.config.decision_cache_slots > 0 {
+            self.epoch += 1;
+            self.counters.cache_invalidations.inc();
         }
-        self.violation_log.push_back(record);
     }
 
     // ------------------------------------------------------------------
@@ -299,8 +367,10 @@ impl Siopmp {
     ///   [`Siopmp::register_cold_device`] or
     ///   [`Siopmp::promote_with_eviction`]).
     pub fn map_hot_device(&mut self, device: DeviceId) -> Result<SourceId> {
-        self.invalidate_cache();
-        self.cam.insert(device)
+        self.mutate(|u| {
+            u.bump_epoch();
+            u.cam.insert(device)
+        })
     }
 
     /// Associates `sid` with memory domain `md`.
@@ -315,8 +385,10 @@ impl Siopmp {
                 "the cold memory domain is managed by cold-device switching",
             ));
         }
-        self.invalidate_cache();
-        self.src2md.associate(sid, md)
+        self.mutate(|u| {
+            u.bump_epoch();
+            u.src2md.associate(sid, md)
+        })
     }
 
     /// Installs `entry` in the first free hardware slot of `md`'s window.
@@ -327,16 +399,18 @@ impl Siopmp {
     /// * [`SiopmpError::MdFull`] when the domain window has no free slot;
     /// * table errors for bad indices.
     pub fn install_entry(&mut self, md: MdIndex, entry: IopmpEntry) -> Result<EntryIndex> {
-        self.invalidate_cache();
-        let (start, end) = self.mdcfg.window(md)?;
-        for j in start..end {
-            let idx = EntryIndex(j);
-            if self.entries.get(idx)?.is_none() {
-                self.entries.set(idx, Some(entry))?;
-                return Ok(idx);
+        self.mutate(|u| {
+            u.bump_epoch();
+            let (start, end) = u.mdcfg.window(md)?;
+            for j in start..end {
+                let idx = EntryIndex(j);
+                if u.entries.get(idx)?.is_none() {
+                    u.entries.set(idx, Some(entry))?;
+                    return Ok(idx);
+                }
             }
-        }
-        Err(SiopmpError::MdFull(md))
+            Err(SiopmpError::MdFull(md))
+        })
     }
 
     /// Replaces the entry at `index` (used by `dma_unmap`-style flows that
@@ -348,8 +422,10 @@ impl Siopmp {
     ///
     /// Table errors for bad indices or locked entries.
     pub fn set_entry(&mut self, index: EntryIndex, entry: Option<IopmpEntry>) -> Result<()> {
-        self.invalidate_cache();
-        self.entries.set(index, entry)
+        self.mutate(|u| {
+            u.bump_epoch();
+            u.entries.set(index, entry)
+        })
     }
 
     /// Reads the entry at `index`.
@@ -377,8 +453,10 @@ impl Siopmp {
     ///
     /// [`crate::tables::MdCfgTable::set_top`] errors.
     pub fn set_md_top(&mut self, md: MdIndex, top: u32) -> Result<()> {
-        self.invalidate_cache();
-        self.mdcfg.set_top(md, top)
+        self.mutate(|u| {
+            u.bump_epoch();
+            u.mdcfg.set_top(md, top)
+        })
     }
 
     /// Whether `md` is associated with `sid`.
@@ -396,13 +474,19 @@ impl Siopmp {
     ///
     /// Table errors (bounds, sticky lock).
     pub fn dissociate_sid_from_md(&mut self, sid: SourceId, md: MdIndex) -> Result<()> {
-        self.invalidate_cache();
-        self.src2md.dissociate(sid, md)
+        self.mutate(|u| {
+            u.bump_epoch();
+            u.src2md.dissociate(sid, md)
+        })
     }
 
     /// Performs a batch of entry updates under the per-SID blocking
     /// protocol (§5.3): block `sid`, apply `updates`, unblock. Returns the
     /// modelled cycle cost ([`crate::atomic::modification_cycles`]).
+    ///
+    /// Concurrent readers never observe the intermediate states: the
+    /// snapshot is republished once, after the unblock, so a shared check
+    /// sees either the pre-update or the post-update configuration.
     ///
     /// # Errors
     ///
@@ -414,29 +498,35 @@ impl Siopmp {
         sid: SourceId,
         updates: &[(EntryIndex, Option<IopmpEntry>)],
     ) -> Result<u64> {
-        self.invalidate_cache();
-        self.blocks.block(sid);
-        let mut result = Ok(());
-        for (idx, entry) in updates {
-            result = self.entries.set(*idx, *entry);
-            if result.is_err() {
-                break;
+        self.mutate(|u| {
+            u.bump_epoch();
+            u.blocks.block(sid);
+            let mut result = Ok(());
+            for (idx, entry) in updates {
+                result = u.entries.set(*idx, *entry);
+                if result.is_err() {
+                    break;
+                }
             }
-        }
-        self.blocks.unblock(sid);
-        result.map(|()| crate::atomic::modification_cycles(updates.len(), true))
+            u.blocks.unblock(sid);
+            result.map(|()| crate::atomic::modification_cycles(updates.len(), true))
+        })
     }
 
     /// Blocks DMA from `sid` (exposed for the monitor's switch sequence).
     pub fn block_sid(&mut self, sid: SourceId) {
-        self.invalidate_cache();
-        self.blocks.block(sid);
+        self.mutate(|u| {
+            u.bump_epoch();
+            u.blocks.block(sid);
+        });
     }
 
     /// Unblocks DMA from `sid`.
     pub fn unblock_sid(&mut self, sid: SourceId) {
-        self.invalidate_cache();
-        self.blocks.unblock(sid);
+        self.mutate(|u| {
+            u.bump_epoch();
+            u.blocks.unblock(sid);
+        });
     }
 
     /// Whether `sid` is currently blocked.
@@ -460,8 +550,10 @@ impl Siopmp {
         if self.cam.peek(device).is_some() {
             return Err(SiopmpError::DeviceAlreadyMapped(device));
         }
-        self.invalidate_cache();
-        self.extended.register(device, record)
+        self.mutate(|u| {
+            u.bump_epoch();
+            u.extended.register(device, record)
+        })
     }
 
     /// Whether `device` currently holds a hot SID.
@@ -493,15 +585,19 @@ impl Siopmp {
     ///
     /// [`SiopmpError::UnknownDevice`] when the device has no record.
     pub fn take_cold_record(&mut self, device: DeviceId) -> Result<MountableEntry> {
-        self.invalidate_cache();
-        self.extended.remove(device)
+        self.mutate(|u| {
+            u.bump_epoch();
+            u.extended.remove(device)
+        })
     }
 
     /// (Re)installs `device`'s extended-table record (counterpart of
     /// [`Siopmp::take_cold_record`]).
     pub fn put_cold_record(&mut self, device: DeviceId, record: MountableEntry) {
-        self.invalidate_cache();
-        self.extended.upsert(device, record);
+        self.mutate(|u| {
+            u.bump_epoch();
+            u.extended.upsert(device, record);
+        });
     }
 
     /// Read-only view of `device`'s extended-table record. Unlike
@@ -578,9 +674,15 @@ impl Siopmp {
     /// fast path; cycle-level latency is modelled by the bus simulator
     /// using [`crate::checker::CheckerKind::extra_cycles`] and
     /// [`crate::violation::ViolationMode::legal_path_overhead_cycles`].
+    ///
+    /// Delegates to the unit's published [`CheckerSnapshot`] — the same
+    /// code path a [`SharedSiopmp`] handle takes — after the one side
+    /// effect only the owner may perform: training the CAM's clock
+    /// reference bit for the requesting device.
     pub fn check(&mut self, req: &DmaRequest) -> CheckOutcome {
         let route = self.route_device(req.device());
-        self.check_routed(req, route)
+        self.snapshot
+            .check_routed(req, route, self.shared.effects())
     }
 
     /// Presents a whole burst's beats (or any batch of requests) to the
@@ -598,6 +700,7 @@ impl Siopmp {
     /// batch-level decision memo would diverge from the per-beat engine's
     /// hit/miss counters the moment that happens.
     pub fn check_batch(&mut self, reqs: &[DmaRequest]) -> Vec<CheckOutcome> {
+        let snapshot = self.snapshot.clone();
         let mut routes: Vec<(DeviceId, DeviceRoute)> = Vec::new();
         reqs.iter()
             .map(|req| {
@@ -609,14 +712,17 @@ impl Siopmp {
                         route
                     }
                 };
-                self.check_routed(req, route)
+                snapshot.check_routed(req, route, self.shared.effects())
             })
             .collect()
     }
 
     /// Resolves which SID (if any) speaks for `device`: CAM (hot), eSID
     /// (mounted cold), extended table (registered but unmounted), or
-    /// nothing. Touches the CAM reference bit but no counters.
+    /// nothing. Touches the CAM reference bit but no counters. Always
+    /// agrees with the published snapshot's pure route — the snapshot is
+    /// republished by every mutator — so the owner path and the shared
+    /// path route identically.
     fn route_device(&mut self, device: DeviceId) -> DeviceRoute {
         // 1. CAM lookup: device ID → hot SID.
         if let Some(sid) = self.cam.lookup(device) {
@@ -632,161 +738,6 @@ impl Siopmp {
         } else {
             DeviceRoute::Unknown
         }
-    }
-
-    /// The per-request tail of [`Siopmp::check`]: route counters plus the
-    /// SID-level check (or the terminal SID-missing / unknown-device
-    /// outcome).
-    fn check_routed(&mut self, req: &DmaRequest, route: DeviceRoute) -> CheckOutcome {
-        self.counters.checks.inc();
-        match route {
-            DeviceRoute::Hot(sid) => {
-                self.counters.hot_hits.inc();
-                self.check_with_sid(req, sid)
-            }
-            DeviceRoute::Cold(sid) => {
-                self.counters.cold_hits.inc();
-                self.check_with_sid(req, sid)
-            }
-            DeviceRoute::Missing => {
-                self.counters.sid_missing_interrupts.inc();
-                CheckOutcome::SidMissing {
-                    device: req.device(),
-                }
-            }
-            DeviceRoute::Unknown => {
-                let record = ViolationRecord {
-                    device: req.device(),
-                    sid: None,
-                    addr: req.addr(),
-                    len: req.len(),
-                    kind: req.kind(),
-                };
-                self.counters.violations.inc();
-                self.counters.denied_no_match.inc();
-                self.push_violation_event(&record);
-                self.record_violation(record);
-                CheckOutcome::Denied(record)
-            }
-        }
-    }
-
-    fn check_with_sid(&mut self, req: &DmaRequest, sid: SourceId) -> CheckOutcome {
-        if self.blocks.is_blocked(sid) {
-            self.counters.blocked.inc();
-            return CheckOutcome::Stalled { sid };
-        }
-        let reg = match self.src2md.register(sid) {
-            Ok(r) => r,
-            Err(_) => {
-                // A SID outside the table cannot match anything.
-                return self.deny(req, Some(sid), Decision::DenyNoMatch);
-            }
-        };
-
-        if !self.cache.is_enabled() {
-            // Cache-free reference path: mask the entry table down to this
-            // SID's domains, preserving global priority order (windows are
-            // disjoint but not ordered by domain, so collect and sort).
-            let mut masked: Vec<(EntryIndex, &IopmpEntry)> = Vec::new();
-            for md in reg.iter() {
-                if let Ok((start, end)) = self.mdcfg.window(md) {
-                    masked.extend(self.entries.iter_window(start, end));
-                }
-            }
-            masked.sort_by_key(|(i, _)| *i);
-            let decision = self
-                .config
-                .checker
-                .decide(masked, req.addr(), req.len(), req.kind());
-            return self.resolve(req, sid, decision);
-        }
-
-        // Fast path: a hit in the page-granular decision cache answers
-        // single-page requests without touching the entry table at all.
-        let page = cache::page_of(req.addr());
-        let cacheable = cache::within_one_page(req.addr(), req.len());
-        if cacheable {
-            if let Some(decision) = self.cache.lookup(sid, page, req.kind()) {
-                self.counters.cache_hits.inc();
-                return self.resolve(req, sid, decision);
-            }
-            self.counters.cache_misses.inc();
-        }
-
-        // Slow path: walk this SID's compiled view (rebuilding it first if
-        // a mutator bumped the epoch since it was last compiled).
-        if let Some(buf) = self.cache.begin_view_rebuild(sid) {
-            for md in reg.iter() {
-                if let Ok((start, end)) = self.mdcfg.window(md) {
-                    buf.extend(self.entries.iter_window(start, end).map(|(i, e)| (i, *e)));
-                }
-            }
-            buf.sort_unstable_by_key(|(i, _)| *i);
-            self.counters.cache_view_rebuilds.inc();
-        }
-        let (decision, fill) = {
-            let view = self.cache.view(sid);
-            let decision = self.config.checker.decide(
-                view.iter().map(|(i, e)| (*i, e)),
-                req.addr(),
-                req.len(),
-                req.kind(),
-            );
-            let fill = if cacheable {
-                cache::page_verdict(view, page, req.kind())
-            } else {
-                None
-            };
-            (decision, fill)
-        };
-        if let Some(verdict) = fill {
-            // A cacheable page verdict is by construction the decision for
-            // every access confined to that page, including this one.
-            debug_assert_eq!(verdict, decision);
-            self.cache.insert(sid, page, req.kind(), verdict);
-        }
-        self.resolve(req, sid, decision)
-    }
-
-    fn resolve(&mut self, req: &DmaRequest, sid: SourceId, decision: Decision) -> CheckOutcome {
-        match decision {
-            Decision::Allow { matched } => {
-                self.counters.allowed.inc();
-                CheckOutcome::Allowed { matched, sid }
-            }
-            other => self.deny(req, Some(sid), other),
-        }
-    }
-
-    fn deny(
-        &mut self,
-        req: &DmaRequest,
-        sid: Option<SourceId>,
-        decision: Decision,
-    ) -> CheckOutcome {
-        match decision {
-            Decision::DenyPermission { .. } => self.counters.denied_permission.inc(),
-            _ => self.counters.denied_no_match.inc(),
-        }
-        self.counters.violations.inc();
-        let record = ViolationRecord {
-            device: req.device(),
-            sid,
-            addr: req.addr(),
-            len: req.len(),
-            kind: req.kind(),
-        };
-        self.push_violation_event(&record);
-        self.record_violation(record);
-        CheckOutcome::Denied(record)
-    }
-
-    fn push_violation_event(&self, record: &ViolationRecord) {
-        self.violation_events.push(format!(
-            "deny device={} addr={:#x} len={} kind={}",
-            record.device.0, record.addr, record.len, record.kind
-        ));
     }
 
     // ------------------------------------------------------------------
@@ -838,6 +789,11 @@ impl Siopmp {
     /// rewrites via the epoch, but the hardware entry window does not, so
     /// the record must be pushed back out to hardware explicitly.
     ///
+    /// The intermediate switch states (cold SID blocked, window
+    /// half-loaded) are never published: concurrent readers answer from
+    /// the pre-switch snapshot until the switch commits, so a switch can
+    /// never transiently widen permissions.
+    ///
     /// Pays the full [`cold_switch_cycles`] cost and bumps the
     /// `siopmp.cold_switches` counter.
     ///
@@ -852,34 +808,35 @@ impl Siopmp {
         if record.entries.len() > window {
             return Err(SiopmpError::MdFull(cold_md));
         }
-        let cold_sid = self.config.cold_sid();
-        self.invalidate_cache();
-        self.blocks.block(cold_sid);
+        self.mutate(|u| {
+            let cold_sid = u.config.cold_sid();
+            u.bump_epoch();
+            u.blocks.block(cold_sid);
 
-        // Flush the previous tenant's entries and SRC2MD row.
-        let unmounted = self.esid.mounted();
-        self.entries.clear_window(start, end);
-        self.src2md.clear(cold_sid)?;
+            // Flush the previous tenant's entries and SRC2MD row.
+            let unmounted = u.esid.mounted();
+            u.entries.clear_window(start, end);
+            u.src2md.clear(cold_sid)?;
 
-        // Load the new tenant.
-        for (k, entry) in record.entries.iter().enumerate() {
-            self.entries
-                .set(EntryIndex(start + k as u32), Some(*entry))?;
-        }
-        self.src2md.associate(cold_sid, cold_md)?;
-        for md in &record.domains {
-            self.src2md.associate(cold_sid, *md)?;
-        }
-        self.esid.mount(device);
-        self.blocks.unblock(cold_sid);
-        self.counters.cold_switches.inc();
-        let cycles = cold_switch_cycles(record.entries.len());
-        self.switch_cycles.record(cycles);
-        Ok(SwitchReport {
-            mounted: device,
-            unmounted,
-            entries_loaded: record.entries.len(),
-            cycles,
+            // Load the new tenant.
+            for (k, entry) in record.entries.iter().enumerate() {
+                u.entries.set(EntryIndex(start + k as u32), Some(*entry))?;
+            }
+            u.src2md.associate(cold_sid, cold_md)?;
+            for md in &record.domains {
+                u.src2md.associate(cold_sid, *md)?;
+            }
+            u.esid.mount(device);
+            u.blocks.unblock(cold_sid);
+            u.counters.cold_switches.inc();
+            let cycles = cold_switch_cycles(record.entries.len());
+            u.switch_cycles.record(cycles);
+            Ok(SwitchReport {
+                mounted: device,
+                unmounted,
+                entries_loaded: record.entries.len(),
+                cycles,
+            })
         })
     }
 
@@ -894,42 +851,44 @@ impl Siopmp {
     ///   record;
     /// * CAM errors when the device is already hot.
     pub fn promote_with_eviction(&mut self, device: DeviceId) -> Result<SourceId> {
-        self.invalidate_cache();
-        let record = self.extended.remove(device)?;
-        let (sid, evicted) = match self.cam.insert_with_eviction(device) {
-            Ok(pair) => pair,
-            Err(e) => {
-                // Restore the record so the device is not lost.
-                self.extended.upsert(device, record);
-                return Err(e);
+        self.mutate(|u| {
+            u.bump_epoch();
+            let record = u.extended.remove(device)?;
+            let (sid, evicted) = match u.cam.insert_with_eviction(device) {
+                Ok(pair) => pair,
+                Err(e) => {
+                    // Restore the record so the device is not lost.
+                    u.extended.upsert(device, record);
+                    return Err(e);
+                }
+            };
+            if let Some(victim) = evicted {
+                // Demote the victim: capture its domains, clear its row.
+                let domains = u.src2md.domains_of(sid)?;
+                u.blocks.block(sid);
+                u.src2md.clear(sid)?;
+                u.blocks.unblock(sid);
+                u.extended.upsert(
+                    victim,
+                    MountableEntry {
+                        domains,
+                        entries: Vec::new(),
+                    },
+                );
             }
-        };
-        if let Some(victim) = evicted {
-            // Demote the victim: capture its domains, clear its row.
-            let domains = self.src2md.domains_of(sid)?;
-            self.blocks.block(sid);
-            self.src2md.clear(sid)?;
-            self.blocks.unblock(sid);
-            self.extended.upsert(
-                victim,
-                MountableEntry {
-                    domains,
-                    entries: Vec::new(),
-                },
-            );
-        }
-        // Wire the promoted device's domains into its new SID.
-        self.blocks.block(sid);
-        self.src2md.clear(sid)?;
-        for md in &record.domains {
-            self.src2md.associate(sid, *md)?;
-        }
-        self.blocks.unblock(sid);
-        // If the device was mounted at the eSID, unmount it.
-        if self.esid.matches(device) {
-            self.esid.unmount();
-        }
-        Ok(sid)
+            // Wire the promoted device's domains into its new SID.
+            u.blocks.block(sid);
+            u.src2md.clear(sid)?;
+            for md in &record.domains {
+                u.src2md.associate(sid, *md)?;
+            }
+            u.blocks.unblock(sid);
+            // If the device was mounted at the eSID, unmount it.
+            if u.esid.matches(device) {
+                u.esid.unmount();
+            }
+            Ok(sid)
+        })
     }
 
     /// Total cold switches performed (from the eSID register's counter).
@@ -1337,6 +1296,48 @@ mod tests {
         assert_eq!(s.cache_misses, 0);
         assert_eq!(s.cache_view_rebuilds, 0);
         assert_eq!(s.cache_invalidations, 0);
+    }
+
+    #[test]
+    fn shared_handle_agrees_with_owner() {
+        let mut u = unit();
+        let shared = u.share();
+        let sid = u.map_hot_device(DeviceId(1)).unwrap();
+        u.associate_sid_with_md(sid, MdIndex(0)).unwrap();
+        u.install_entry(MdIndex(0), entry(0x1000, 0x1000, Permissions::rw()))
+            .unwrap();
+        let allow = DmaRequest::new(DeviceId(1), AccessKind::Read, 0x1000, 8);
+        let deny = DmaRequest::new(DeviceId(1), AccessKind::Read, 0x9000, 8);
+        // The handle sees mutations made after `share()` was called.
+        assert_eq!(shared.check(&allow), u.check(&allow));
+        assert_eq!(shared.check(&deny), u.check(&deny));
+        assert_eq!(shared.cache_epoch(), u.cache_epoch());
+        // Both paths feed the same counters and the same violation log.
+        assert_eq!(shared.stats(), u.stats());
+        assert_eq!(u.stats().checks, 4);
+        assert_eq!(u.violation_log().len(), 2);
+    }
+
+    #[test]
+    fn owner_clone_publishes_independently() {
+        let mut u = unit();
+        let sid = u.map_hot_device(DeviceId(1)).unwrap();
+        u.associate_sid_with_md(sid, MdIndex(0)).unwrap();
+        let idx = u
+            .install_entry(MdIndex(0), entry(0x1000, 0x1000, Permissions::rw()))
+            .unwrap();
+        let shared = u.share();
+        let mut fork = u.clone();
+        // Mutating the clone does not affect the original's handles...
+        fork.set_entry(idx, None).unwrap();
+        let req = DmaRequest::new(DeviceId(1), AccessKind::Read, 0x1000, 8);
+        assert!(shared.check(&req).is_allowed());
+        assert!(fork.check(&req).is_denied());
+        // ...and vice versa.
+        let gen_before = shared.generation();
+        u.set_entry(idx, None).unwrap();
+        assert!(shared.generation() > gen_before);
+        assert!(shared.check(&req).is_denied());
     }
 
     #[test]

@@ -139,7 +139,9 @@ fn check_batch_agrees_with_per_beat_check() {
             check_eq!(batched.cache_epoch(), serial.cache_epoch());
         }
         check_eq!(batched.stats(), serial.stats());
-        check_eq!(batched.violation_log(), serial.violation_log());
+        let vl_b: Vec<_> = batched.violation_log().iter().copied().collect();
+        let vl_s: Vec<_> = serial.violation_log().iter().copied().collect();
+        check_eq!(vl_b, vl_s);
         let snap_b = batched.telemetry().snapshot();
         let snap_s = serial.telemetry().snapshot();
         check_eq!(snap_b.counters, snap_s.counters);

@@ -19,11 +19,16 @@
 //! | [`fig17`] | Figure 17 — cold-device switching overhead |
 //! | [`coldswitch`] | §6.3 — single cold-switch cost (341 cycles) |
 //!
+//! [`contention`] is bench support (the `contended_readers` scenario's
+//! shared-checker workload), not a paper artifact, so it is absent from
+//! [`ALL`].
+//!
 //! Run them all with `cargo run -p siopmp-experiments --bin repro`, or one
 //! with `repro fig15`.
 
 pub mod ablations;
 pub mod coldswitch;
+pub mod contention;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;

@@ -226,6 +226,15 @@ impl SecureMonitor {
         &mut self.siopmp
     }
 
+    /// A shared, thread-safe checker handle over the monitor's sIOPMP
+    /// unit: bus shards (or any other thread) can check DMA wait-free
+    /// against the configuration this monitor publishes, while the monitor
+    /// itself remains the only writer — the paper's split between the
+    /// multi-ported checker data path and the M-mode control path.
+    pub fn shared_checker(&self) -> siopmp::SharedSiopmp {
+        self.siopmp.share()
+    }
+
     /// Read access to the PMP controller.
     pub fn pmp(&self) -> &PmpController {
         &self.pmp
@@ -1126,5 +1135,24 @@ mod tests {
         let v = m.take_violations();
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].device, DeviceId(9));
+    }
+
+    #[test]
+    fn shared_checker_tracks_monitor_reconfiguration() {
+        let mut m = booted();
+        let shared = m.shared_checker();
+        let mem = m.mint_memory(0x8000_0000, 0x10_0000, MemPerms::rw());
+        let dev = m.mint_device(DeviceId(1));
+        let tee = m.create_tee(vec![mem, dev]).unwrap();
+        m.device_map(tee, dev, mem, 0x8000_0000, 0x1000, MemPerms::rw())
+            .unwrap();
+        let probe = DmaRequest::new(DeviceId(1), AccessKind::Write, 0x8000_0100, 64);
+        // The handle (taken before the mapping existed) sees the mapping...
+        assert!(shared.check(&probe).is_allowed());
+        // ...and its removal, publishing through the same unit the
+        // monitor's own check path uses.
+        m.device_unmap(tee, dev, mem).unwrap();
+        assert!(shared.check(&probe).is_denied());
+        assert_eq!(shared.check(&probe), m.check_dma(&probe));
     }
 }
