@@ -5,10 +5,17 @@
 //! siopmp-bench [--smoke] [--out DIR] [--baseline FILE] [--list] [SCENARIO ...]
 //! ```
 //!
+//! The command line goes through the workspace's unified grammar
+//! ([`siopmp_scenario::cli::Spec`]), so `--list`, `--out` and
+//! `--baseline` spell the same here as in `repro`, `siopmp-scenario` and
+//! `siopmp-verify`; `--smoke` is this tool's own flag.
+//!
 //! With no scenario arguments, every scenario runs. `--smoke` switches to
 //! the fast CI mode (few iterations, same code paths and schema);
 //! `--out DIR` redirects the JSON files (default: current directory);
-//! `--list` prints the scenario names and exits.
+//! `--list` prints the scenario names and exits. Each `BENCH_*.json` is
+//! the workspace envelope (`schema_version`, `scenario`, `seed`,
+//! `threads`, `payload`) with the measurement report as the payload.
 //!
 //! `--baseline FILE` is the CI regression guard: the file holds one
 //! `<scenario> <cycles_per_request>` pair per line (`#` comments allowed),
@@ -17,60 +24,58 @@
 //! fails the run; one more than 15% below prints a note suggesting the
 //! baseline be refreshed (improvements never fail).
 
+use siopmp::json::envelope;
 use siopmp_bench::harness::BenchMode;
 use siopmp_bench::scenarios;
+use siopmp_scenario::cli::{Args, Spec};
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+const SPEC: Spec = Spec {
+    tool: "siopmp-bench",
+    usage: "usage: siopmp-bench [--smoke] [--out DIR] [--baseline FILE] [--list] [SCENARIO ...]",
+    flags: &["--smoke"],
+    options: &[],
+    deprecated: &[],
+};
 
 struct Cli {
     mode: BenchMode,
     out_dir: PathBuf,
     baseline: Option<PathBuf>,
     list: bool,
+    help: bool,
+    seed: Option<u64>,
+    threads: usize,
     scenarios: Vec<String>,
+    warnings: Vec<String>,
 }
 
-fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
-    let mut cli = Cli {
-        mode: BenchMode::full(),
-        out_dir: PathBuf::from("."),
-        baseline: None,
-        list: false,
-        scenarios: Vec::new(),
-    };
-    let mut args = args.peekable();
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--smoke" => cli.mode = BenchMode::smoke(),
-            "--list" => cli.list = true,
-            "--out" => {
-                let dir = args.next().ok_or("--out requires a directory argument")?;
-                cli.out_dir = PathBuf::from(dir);
-            }
-            "--baseline" => {
-                let file = args.next().ok_or("--baseline requires a file argument")?;
-                cli.baseline = Some(PathBuf::from(file));
-            }
-            "--help" | "-h" => {
-                return Err(
-                    "usage: siopmp-bench [--smoke] [--out DIR] [--baseline FILE] [--list] [SCENARIO ...]"
-                        .to_string(),
-                )
-            }
-            other if other.starts_with('-') => {
-                return Err(format!("unknown flag {other}; see --help"));
-            }
-            name => {
-                if !scenarios::ALL.contains(&name) {
-                    return Err(format!(
-                        "unknown scenario {name}; known: {}",
-                        scenarios::ALL.join(", ")
-                    ));
-                }
-                cli.scenarios.push(name.to_string());
-            }
+fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Cli, String> {
+    let parsed: Args = SPEC.parse(args)?;
+    for name in &parsed.positional {
+        if !scenarios::ALL.contains(&name.as_str()) {
+            return Err(format!(
+                "unknown scenario {name}; known: {}",
+                scenarios::ALL.join(", ")
+            ));
         }
     }
+    let mut cli = Cli {
+        mode: if parsed.has("--smoke") {
+            BenchMode::smoke()
+        } else {
+            BenchMode::full()
+        },
+        out_dir: parsed.out.unwrap_or_else(|| PathBuf::from(".")),
+        baseline: parsed.baseline,
+        list: parsed.list,
+        help: parsed.help,
+        seed: parsed.seed,
+        threads: parsed.threads.unwrap_or(1),
+        scenarios: parsed.positional,
+        warnings: parsed.warnings,
+    };
     if cli.scenarios.is_empty() {
         cli.scenarios = scenarios::ALL.iter().map(|s| s.to_string()).collect();
     }
@@ -150,6 +155,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    for w in &cli.warnings {
+        eprintln!("{w}");
+    }
+    if cli.help {
+        println!("{}", SPEC.usage);
+        println!("scenarios: {}", scenarios::ALL.join(" "));
+        return ExitCode::SUCCESS;
+    }
     if cli.list {
         for name in scenarios::ALL {
             println!("{name}");
@@ -172,7 +185,8 @@ fn main() -> ExitCode {
     for name in &cli.scenarios {
         let report = scenarios::run(name, cli.mode).expect("scenario validated during parsing");
         let path = cli.out_dir.join(format!("BENCH_{name}.json"));
-        if let Err(e) = std::fs::write(&path, report.to_json().pretty()) {
+        let doc = envelope(name, cli.seed, cli.threads, report.to_json());
+        if let Err(e) = std::fs::write(&path, doc.pretty()) {
             eprintln!("cannot write {}: {e}", path.display());
             return ExitCode::FAILURE;
         }
@@ -232,11 +246,8 @@ fn main() -> ExitCode {
 mod tests {
     use super::*;
 
-    fn args(s: &[&str]) -> std::vec::IntoIter<String> {
-        s.iter()
-            .map(|s| s.to_string())
-            .collect::<Vec<_>>()
-            .into_iter()
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|s| s.to_string()).collect()
     }
 
     #[test]
@@ -258,6 +269,16 @@ mod tests {
     fn unknown_scenario_is_rejected() {
         assert!(parse_args(args(&["bogus"])).is_err());
         assert!(parse_args(args(&["--frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn unified_spellings_are_accepted() {
+        // The shared grammar also takes `--flag=value` and hex numbers.
+        let cli = parse_args(args(&["--out=/tmp/y", "--seed", "0x7", "--threads=2"])).unwrap();
+        assert_eq!(cli.out_dir, PathBuf::from("/tmp/y"));
+        assert_eq!(cli.seed, Some(7));
+        assert_eq!(cli.threads, 2);
+        assert!(cli.warnings.is_empty());
     }
 
     #[test]

@@ -880,7 +880,7 @@ fn parallel_scale_sim(
     telemetry: Telemetry,
 ) -> siopmp_bus::parallel::ParallelSim {
     use siopmp_bus::parallel::{DomainSpec, ParallelSim};
-    use siopmp_bus::{BusConfig, MasterProgram, SiopmpPolicy};
+    use siopmp_bus::{MasterProgram, SiopmpPolicy};
 
     let device = |domain: usize, m: usize| (domain * 10 + m + 1) as u64;
     let mut psim = ParallelSim::build(256, threads, telemetry);
@@ -929,7 +929,7 @@ fn parallel_scale_sim(
             .collect();
         grant(device(prev, 0), PARALLEL_MASTERS as u16, &ingress);
 
-        let mut spec = DomainSpec::new(BusConfig::default(), Box::new(SiopmpPolicy::new(unit)))
+        let mut spec = DomainSpec::for_policy(SiopmpPolicy::new(unit))
             .with_home_window(base, 0x100_0000)
             .with_telemetry(registry);
         for m in 0..PARALLEL_MASTERS {

@@ -61,6 +61,36 @@ impl BusConfig {
         self.bytes_per_beat * self.beats_per_burst as u64
     }
 
+    /// Sets the payload bytes per beat (builder style).
+    pub fn with_bytes_per_beat(mut self, bytes: u64) -> Self {
+        self.bytes_per_beat = bytes;
+        self
+    }
+
+    /// Sets the beats per burst (builder style).
+    pub fn with_beats_per_burst(mut self, beats: u32) -> Self {
+        self.beats_per_burst = beats;
+        self
+    }
+
+    /// Sets the memory read latency in cycles (builder style).
+    pub fn with_mem_read_latency(mut self, cycles: u32) -> Self {
+        self.mem_read_latency = cycles;
+        self
+    }
+
+    /// Sets the memory write latency in cycles (builder style).
+    pub fn with_mem_write_latency(mut self, cycles: u32) -> Self {
+        self.mem_write_latency = cycles;
+        self
+    }
+
+    /// Sets the master issue gap in cycles (builder style).
+    pub fn with_issue_gap(mut self, cycles: u32) -> Self {
+        self.issue_gap = cycles;
+        self
+    }
+
     /// Applies a checker micro-architecture and violation mode from the
     /// core crate, returning the updated configuration (builder style).
     pub fn with_checker(

@@ -91,17 +91,56 @@ pub struct DomainSpec {
 }
 
 impl DomainSpec {
-    /// A spec with no masters, no faults, no home window and a fresh
-    /// telemetry registry.
-    pub fn new(config: BusConfig, policy: Box<dyn AccessPolicy>) -> Self {
+    /// The fluent entry point: a spec checking against `policy`, with the
+    /// default bus configuration, no masters, no faults, no home window
+    /// and a fresh telemetry registry. Refine it with the `with_*`
+    /// builders:
+    ///
+    /// ```
+    /// use siopmp_bus::parallel::DomainSpec;
+    /// use siopmp_bus::policy::AllowAll;
+    /// use siopmp_bus::{BurstKind, BusConfig, MasterProgram};
+    ///
+    /// let spec = DomainSpec::for_policy(AllowAll)
+    ///     .with_config(BusConfig::default().with_issue_gap(2))
+    ///     .with_home_window(0x1000, 0x1000)
+    ///     .with_master(MasterProgram::uniform(1, BurstKind::Read, 0x1000, 4));
+    /// ```
+    pub fn for_policy(policy: impl AccessPolicy + 'static) -> Self {
         DomainSpec {
-            config,
+            config: BusConfig::default(),
+            policy: Box::new(policy),
+            masters: Vec::new(),
+            fault_plan: FaultPlan::empty(),
+            home_window: None,
+            telemetry: Telemetry::new(),
+        }
+    }
+
+    /// Like [`DomainSpec::for_policy`] for policies that are already boxed
+    /// (e.g. chosen at runtime from a `dyn` table).
+    pub fn for_boxed_policy(policy: Box<dyn AccessPolicy>) -> Self {
+        DomainSpec {
+            config: BusConfig::default(),
             policy,
             masters: Vec::new(),
             fault_plan: FaultPlan::empty(),
             home_window: None,
             telemetry: Telemetry::new(),
         }
+    }
+
+    /// A spec with no masters, no faults, no home window and a fresh
+    /// telemetry registry.
+    #[deprecated(note = "use `DomainSpec::for_policy(policy).with_config(config)`")]
+    pub fn new(config: BusConfig, policy: Box<dyn AccessPolicy>) -> Self {
+        DomainSpec::for_boxed_policy(policy).with_config(config)
+    }
+
+    /// Sets the bus timing configuration (builder style).
+    pub fn with_config(mut self, config: BusConfig) -> Self {
+        self.config = config;
+        self
     }
 
     /// Adds a master program (builder style).
@@ -140,10 +179,7 @@ impl DomainSpec {
     /// merged report carries only `bus.*` metrics for such shards; read
     /// protection counters from the owning unit's telemetry instead.
     pub fn with_shared_checker(config: BusConfig, checker: siopmp::SharedSiopmp) -> Self {
-        DomainSpec::new(
-            config,
-            Box::new(crate::policy::SharedSiopmpPolicy::new(checker)),
-        )
+        DomainSpec::for_policy(crate::policy::SharedSiopmpPolicy::new(checker)).with_config(config)
     }
 }
 
@@ -411,7 +447,7 @@ mod tests {
         // Domain 0 owns [0x1000, 0x2000); its master also writes into
         // domain 1's window.
         psim.add_domain(
-            DomainSpec::new(BusConfig::default(), Box::new(AllowAll))
+            DomainSpec::for_policy(AllowAll)
                 .with_home_window(0x1000, 0x1000)
                 .with_master(
                     MasterProgram::streaming(1, BurstKind::Read, 0x1000, 64, 4)
@@ -419,7 +455,7 @@ mod tests {
                 ),
         );
         psim.add_domain(
-            DomainSpec::new(BusConfig::default(), Box::new(AllowAll))
+            DomainSpec::for_policy(AllowAll)
                 .with_home_window(0x2000, 0x1000)
                 .with_master(MasterProgram::streaming(2, BurstKind::Read, 0x2000, 64, 4)),
         );
@@ -434,8 +470,13 @@ mod tests {
 
         let mut psim = ParallelSim::new(32, 4);
         psim.add_domain(
-            DomainSpec::new(BusConfig::default(), Box::new(AllowAll))
-                .with_master(MasterProgram::streaming(1, BurstKind::Read, 0x0, 64, 16)),
+            DomainSpec::for_policy(AllowAll).with_master(MasterProgram::streaming(
+                1,
+                BurstKind::Read,
+                0x0,
+                64,
+                16,
+            )),
         );
         let got = psim.run(100_000);
         assert_eq!(got, want);
@@ -493,7 +534,7 @@ mod tests {
     fn unrouted_egress_is_dropped_and_counted() {
         let mut psim = ParallelSim::new(64, 1);
         psim.add_domain(
-            DomainSpec::new(BusConfig::default(), Box::new(AllowAll))
+            DomainSpec::for_policy(AllowAll)
                 .with_home_window(0x1000, 0x1000)
                 .with_master(MasterProgram::uniform(1, BurstKind::Write, 0xdead_0000, 3)),
         );
@@ -517,20 +558,14 @@ mod tests {
         // Domain 0 denies the foreign range, so nothing completes Ok
         // against it and no egress is produced.
         psim.add_domain(
-            DomainSpec::new(
-                BusConfig::default(),
-                Box::new(DenyRange {
-                    base: 0x2000,
-                    len: 0x1000,
-                }),
-            )
+            DomainSpec::for_policy(DenyRange {
+                base: 0x2000,
+                len: 0x1000,
+            })
             .with_home_window(0x1000, 0x1000)
             .with_master(MasterProgram::uniform(1, BurstKind::Write, 0x2000, 2)),
         );
-        psim.add_domain(
-            DomainSpec::new(BusConfig::default(), Box::new(AllowAll))
-                .with_home_window(0x2000, 0x1000),
-        );
+        psim.add_domain(DomainSpec::for_policy(AllowAll).with_home_window(0x2000, 0x1000));
         let report = psim.run(100_000);
         assert!(report.completed);
         assert_eq!(report.masters[0].bursts_bus_error, 2);
@@ -548,9 +583,12 @@ mod tests {
         let mut psim = ParallelSim::new(64, 2);
         for d in 0..2u64 {
             psim.add_domain(
-                DomainSpec::new(BusConfig::default(), Box::new(AllowAll)).with_master(
-                    MasterProgram::uniform(d + 1, BurstKind::Read, 0x0, 1_000_000),
-                ),
+                DomainSpec::for_policy(AllowAll).with_master(MasterProgram::uniform(
+                    d + 1,
+                    BurstKind::Read,
+                    0x0,
+                    1_000_000,
+                )),
             );
         }
         let report = psim.run(200);

@@ -21,9 +21,7 @@ use siopmp::ids::{DeviceId, MdIndex};
 use siopmp::telemetry::Telemetry;
 use siopmp::{Siopmp, SiopmpConfig};
 use siopmp_bus::parallel::{DomainSpec, ParallelSim};
-use siopmp_bus::{
-    BurstKind, BusConfig, FaultPlan, FaultPlanConfig, MasterProgram, RetryPolicy, SiopmpPolicy,
-};
+use siopmp_bus::{BurstKind, FaultPlan, FaultPlanConfig, MasterProgram, RetryPolicy, SiopmpPolicy};
 
 const DOMAINS: usize = 4;
 const EPOCH_CYCLES: u64 = 96;
@@ -105,7 +103,7 @@ fn build_sim(seed: u64, threads: usize) -> ParallelSim {
         let telemetry = Telemetry::new();
         let (unit, plan_config) = domain_unit(domain, telemetry.clone());
         let (base, len) = window(domain);
-        let mut spec = DomainSpec::new(BusConfig::default(), Box::new(SiopmpPolicy::new(unit)))
+        let mut spec = DomainSpec::for_policy(SiopmpPolicy::new(unit))
             .with_home_window(base, len)
             .with_fault_plan(FaultPlan::for_domain(seed, domain as u64, &plan_config))
             .with_telemetry(telemetry);

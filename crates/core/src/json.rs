@@ -167,9 +167,63 @@ impl fmt::Display for Json {
     }
 }
 
+/// Version of the unified report envelope produced by [`envelope`]. Bump
+/// when a field is added, removed or changes meaning.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Wraps a tool's machine-readable output in the workspace-wide report
+/// envelope shared by `siopmp-scenario`, `repro --json`,
+/// `BENCH_<scenario>.json` and `siopmp-verify`:
+///
+/// ```json
+/// {"schema_version": 1, "scenario": "...", "seed": 7, "threads": 4,
+///  "payload": { ... tool-specific ... }}
+/// ```
+///
+/// Downstream tooling parses one shape: `scenario` names what ran, `seed`
+/// is `null` when the run draws no randomness, `threads` is the worker
+/// count the run was executed with (1 for purely serial tools), and
+/// everything tool-specific lives under `payload`.
+///
+/// # Examples
+///
+/// ```
+/// use siopmp::json::{envelope, Json, SCHEMA_VERSION};
+/// let doc = envelope("quickstart", Some(7), 4, Json::object([("ok", Json::Bool(true))]));
+/// assert_eq!(
+///     doc.to_string(),
+///     format!(
+///         r#"{{"schema_version":{SCHEMA_VERSION},"scenario":"quickstart","seed":7,"threads":4,"payload":{{"ok":true}}}}"#
+///     )
+/// );
+/// ```
+pub fn envelope(scenario: &str, seed: Option<u64>, threads: usize, payload: Json) -> Json {
+    Json::object([
+        ("schema_version", Json::u64(SCHEMA_VERSION)),
+        ("scenario", Json::str(scenario)),
+        ("seed", seed.map(Json::u64).unwrap_or(Json::Null)),
+        ("threads", Json::u64(threads as u64)),
+        ("payload", payload),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn envelope_carries_the_common_fields() {
+        let doc = envelope("s", None, 1, Json::Null);
+        let Json::Object(pairs) = &doc else {
+            panic!("envelope must be an object")
+        };
+        let keys: Vec<&str> = pairs.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            keys,
+            ["schema_version", "scenario", "seed", "threads", "payload"]
+        );
+        assert_eq!(pairs[2].1, Json::Null, "absent seed renders as null");
+    }
 
     #[test]
     fn escapes_strings() {

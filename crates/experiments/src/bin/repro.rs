@@ -10,65 +10,73 @@
 //! repro --threads 4  # worker threads for the parallel section
 //! ```
 //!
-//! With `--json`, the selected experiments' outputs are wrapped in one
-//! JSON document together with a telemetry snapshot of a representative
-//! monitored run (see `siopmp_experiments::telemetry_exercise`), a
-//! bus-simulation report whose `PolicyVerdict` breakdown separates
-//! stalled bursts from SID-missing ones (see
-//! `siopmp_experiments::bus_exercise`), a `faults` section from a
-//! pinned-seed fault storm showing the retry/recovery counters (see
-//! `siopmp_experiments::faults_exercise`), and a `parallel` section from
-//! the sharded two-domain engine (see
+//! The command line goes through the workspace's unified grammar
+//! ([`siopmp_scenario::cli::Spec`]), so `--json`, `--list`, `--threads`
+//! and `--out` spell the same here as in `siopmp-scenario`,
+//! `siopmp-bench` and `siopmp-verify`. The historical `-l` spelling of
+//! `--list` still works but warns.
+//!
+//! With `--json`, the selected experiments' outputs are wrapped in the
+//! workspace JSON envelope (`siopmp::json::envelope` — `schema_version`,
+//! `scenario`, `seed`, `threads`, `payload`) together with a telemetry
+//! snapshot of a representative monitored run (see
+//! `siopmp_experiments::telemetry_exercise`), a bus-simulation report
+//! whose `PolicyVerdict` breakdown separates stalled bursts from
+//! SID-missing ones (see `siopmp_experiments::bus_exercise`), a `faults`
+//! section from a pinned-seed fault storm showing the retry/recovery
+//! counters (see `siopmp_experiments::faults_exercise`), and a `parallel`
+//! section from the sharded two-domain engine (see
 //! `siopmp_experiments::parallel_exercise`). `--threads N` sets the
 //! parallel section's worker count — by the engine's determinism
-//! guarantee the output is byte-identical for every `N`.
+//! guarantee the output is byte-identical for every `N`. `--out PATH`
+//! additionally writes the JSON document to a file.
 
-use siopmp::json::Json;
+use siopmp::json::{envelope, Json};
+use siopmp_scenario::cli::Spec;
 use std::process::ExitCode;
 
+const SPEC: Spec = Spec {
+    tool: "repro",
+    usage: "usage: repro [--list] [--json] [--threads N] [--out PATH] [experiment ...]",
+    flags: &[],
+    options: &[],
+    deprecated: &[("-l", "--list")],
+};
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.iter().any(|a| a == "--list" || a == "-l") {
+    let args = match SPEC.parse(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for w in &args.warnings {
+        eprintln!("{w}");
+    }
+    if args.help {
+        println!("{}", SPEC.usage);
+        println!("experiments: {}", siopmp_experiments::ALL.join(" "));
+        return ExitCode::SUCCESS;
+    }
+    if args.list {
         for name in siopmp_experiments::ALL {
             println!("{name}");
         }
         return ExitCode::SUCCESS;
     }
-    if args.iter().any(|a| a == "--help" || a == "-h") {
-        println!("usage: repro [--list] [--json] [--threads N] [experiment ...]");
-        println!("experiments: {}", siopmp_experiments::ALL.join(" "));
-        return ExitCode::SUCCESS;
-    }
-    let json_mode = args.iter().any(|a| a == "--json");
-    // `--threads` takes a value, so both the flag and its value must be
-    // kept out of the positional experiment names.
-    let mut threads = 1usize;
-    let mut named: Vec<&str> = Vec::new();
-    let mut iter = args.iter();
-    while let Some(arg) = iter.next() {
-        if arg == "--threads" {
-            threads = match iter.next().map(|v| v.parse()) {
-                Some(Ok(n)) if n >= 1 => n,
-                _ => {
-                    eprintln!("--threads requires a thread count of at least 1");
-                    return ExitCode::FAILURE;
-                }
-            };
-        } else if !arg.starts_with("--") {
-            named.push(arg.as_str());
-        }
-    }
-    let selected: Vec<&str> = if named.is_empty() {
+    let threads = args.threads.unwrap_or(1);
+    let selected: Vec<&str> = if args.positional.is_empty() {
         siopmp_experiments::ALL.to_vec()
     } else {
-        named
+        args.positional.iter().map(String::as_str).collect()
     };
     let mut failed = false;
     let mut rendered: Vec<(String, String)> = Vec::new();
     for name in selected {
         match siopmp_experiments::render(name) {
             Some(output) => {
-                if json_mode {
+                if args.json {
                     rendered.push((name.to_string(), output));
                 } else {
                     println!("==== {name} ====");
@@ -84,8 +92,8 @@ fn main() -> ExitCode {
             }
         }
     }
-    if json_mode && !failed {
-        let doc = Json::object([
+    if args.json && !failed {
+        let payload = Json::object([
             (
                 "experiments",
                 Json::array(rendered.into_iter().map(|(name, output)| {
@@ -109,7 +117,14 @@ fn main() -> ExitCode {
                 ]),
             ),
         ]);
+        let doc = envelope("repro", args.seed, threads, payload);
         println!("{}", doc.pretty());
+        if let Some(path) = &args.out {
+            if let Err(e) = std::fs::write(path, format!("{}\n", doc.pretty())) {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
     }
     if failed {
         ExitCode::FAILURE

@@ -212,7 +212,7 @@ pub fn parallel_exercise(threads: usize) -> siopmp_bus::SimReport {
     use siopmp::ids::{DeviceId, MdIndex};
     use siopmp::telemetry::Telemetry;
     use siopmp_bus::parallel::{DomainSpec, ParallelSim};
-    use siopmp_bus::{BurstKind, BusConfig, MasterProgram, SiopmpPolicy};
+    use siopmp_bus::{BurstKind, MasterProgram, SiopmpPolicy};
 
     const DOMAINS: usize = 2;
     let window = |domain: usize| 0x10_0000 * (domain as u64 + 1);
@@ -243,7 +243,7 @@ pub fn parallel_exercise(threads: usize) -> siopmp_bus::SimReport {
             .expect("window has room");
         }
         psim.add_domain(
-            DomainSpec::new(BusConfig::default(), Box::new(SiopmpPolicy::new(unit)))
+            DomainSpec::for_policy(SiopmpPolicy::new(unit))
                 .with_home_window(base, 0x10_0000)
                 .with_telemetry(registry)
                 .with_master(

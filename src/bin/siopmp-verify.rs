@@ -1,28 +1,51 @@
 //! `siopmp-verify` — lint the checked-in scenario/experiment
 //! configurations with the static analyzer.
 //!
-//! Every scenario below is a configuration the repository actually ships
-//! (config presets, the experiments' monitored-system exercise, the SoC
-//! builder examples): the linter assembles each one, runs
-//! [`siopmp_verify::analyze`] over the resulting hardware state (plus the
-//! monitor's capability map when one exists), and reports the findings.
+//! Every built-in scenario below is a configuration the repository
+//! actually ships (config presets, the experiments' monitored-system
+//! exercise, the SoC builder examples): the linter assembles each one,
+//! runs [`siopmp_verify::analyze`] over the resulting hardware state
+//! (plus the monitor's capability map when one exists), and reports the
+//! findings.
 //!
 //! ```text
-//! siopmp-verify [--list] [--json] [--out PATH] [scenario ...]
+//! siopmp-verify [--list] [--json] [--out PATH] [--corpus DIR] [scenario | file.scn ...]
 //! ```
 //!
-//! Exits non-zero when any scenario carries an Error-severity diagnostic —
-//! the `verify-lint` CI job gates on that, with `--out` providing the JSON
-//! artifact.
+//! The command line goes through the workspace's unified grammar
+//! ([`siopmp_scenario::cli::Spec`]): `--json`, `--list` and `--out`
+//! spell the same here as in `repro`, `siopmp-bench` and
+//! `siopmp-scenario`.
+//!
+//! Positional arguments ending in `.scn` are parsed as declarative
+//! scenario files and linted per domain (`<stem>/<domain>` entries);
+//! `--corpus DIR` lints every `.scn` under a directory, which is how the
+//! `verify-lint` CI job covers the committed corpus. JSON output is the
+//! workspace envelope (`schema_version`, `scenario`, `seed`, `threads`,
+//! `payload`).
+//!
+//! Exits non-zero when any scenario carries an Error-severity diagnostic
+//! or a `.scn` file fails to parse/compile — the `verify-lint` CI job
+//! gates on that, with `--out` providing the JSON artifact.
 
+use std::path::Path;
 use std::process::ExitCode;
 
 use siopmp::ids::DeviceId;
-use siopmp::json::Json;
+use siopmp::json::{envelope, Json};
 use siopmp::{Siopmp, SiopmpConfig};
 use siopmp_monitor::{MemPerms, SecureMonitor};
+use siopmp_scenario::cli::Spec;
 use siopmp_suite::soc::{DeviceSpec, SocBuilder};
 use siopmp_verify::{analyze, Report, Severity};
+
+const SPEC: Spec = Spec {
+    tool: "siopmp-verify",
+    usage: "usage: siopmp-verify [--list] [--json] [--out PATH] [--corpus DIR] [scenario | file.scn ...]",
+    flags: &[],
+    options: &["--corpus"],
+    deprecated: &[],
+};
 
 struct Scenario {
     name: &'static str,
@@ -132,69 +155,116 @@ fn cold_churn() -> Report {
 }
 
 fn usage() -> String {
-    let mut s = String::from(
-        "usage: siopmp-verify [--list] [--json] [--out PATH] [scenario ...]\n\nscenarios:\n",
-    );
+    let mut s = format!("{}\n\nbuilt-in scenarios:\n", SPEC.usage);
     for sc in SCENARIOS {
         s.push_str(&format!("  {:<22} {}\n", sc.name, sc.description));
     }
+    s.push_str("\n`.scn` files (and every `.scn` under --corpus DIR) are linted per domain.\n");
     s
 }
 
-fn main() -> ExitCode {
-    let mut json_stdout = false;
-    let mut out_path: Option<String> = None;
-    let mut list = false;
-    let mut selected: Vec<String> = Vec::new();
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--json" => json_stdout = true,
-            "--list" => list = true,
-            "--out" => match args.next() {
-                Some(path) => out_path = Some(path),
-                None => {
-                    eprintln!("--out needs a path\n\n{}", usage());
-                    return ExitCode::FAILURE;
-                }
-            },
-            "--help" | "-h" => {
-                print!("{}", usage());
-                return ExitCode::SUCCESS;
-            }
-            other if other.starts_with('-') => {
-                eprintln!("unknown flag {other}\n\n{}", usage());
-                return ExitCode::FAILURE;
-            }
-            name => selected.push(name.to_string()),
-        }
+/// Lints one `.scn` file, appending a `<stem>/<domain>` entry per domain.
+/// A parse or compile failure is reported as a run failure (the CI gate
+/// must not pass a corpus that does not even assemble).
+fn lint_scn(path: &Path, rendered: &mut Vec<(String, Report)>) -> Result<(), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("{}: cannot read: {e}", path.display()))?;
+    let scenario = siopmp_scenario::parse(&text)
+        .map_err(|e| format!("{}: parse error: {e}", path.display()))?;
+    let lints = siopmp_scenario::lint(&scenario)
+        .map_err(|e| format!("{}: compile error: {e}", path.display()))?;
+    let stem = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.display().to_string());
+    for lint in lints {
+        rendered.push((format!("{stem}/{}", lint.domain), lint.report));
     }
+    Ok(())
+}
 
-    if list {
+/// Every `.scn` directly under `dir`, sorted by name for stable output.
+fn corpus_files(dir: &Path) -> Result<Vec<std::path::PathBuf>, String> {
+    let mut files: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read corpus dir {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "scn"))
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(format!("no .scn files under {}", dir.display()));
+    }
+    Ok(files)
+}
+
+fn main() -> ExitCode {
+    let args = match SPEC.parse(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for w in &args.warnings {
+        eprintln!("{w}");
+    }
+    if args.help || args.list {
         print!("{}", usage());
         return ExitCode::SUCCESS;
     }
-    for name in &selected {
-        if !SCENARIOS.iter().any(|sc| sc.name == name) {
+
+    // Split positionals into built-in names and .scn paths.
+    let mut selected: Vec<&str> = Vec::new();
+    let mut scn_paths: Vec<std::path::PathBuf> = Vec::new();
+    for name in &args.positional {
+        if name.ends_with(".scn") {
+            scn_paths.push(std::path::PathBuf::from(name));
+        } else if SCENARIOS.iter().any(|sc| sc.name == name) {
+            selected.push(name.as_str());
+        } else {
             eprintln!("unknown scenario {name}\n\n{}", usage());
             return ExitCode::FAILURE;
         }
     }
-
-    let mut rendered = Vec::new();
-    let mut totals = [0usize; 3]; // info, warning, error
-    for sc in SCENARIOS {
-        if !selected.is_empty() && !selected.iter().any(|n| n == sc.name) {
-            continue;
+    if let Some(dir) = args.option("--corpus") {
+        match corpus_files(Path::new(dir)) {
+            Ok(files) => scn_paths.extend(files),
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
         }
-        let report = (sc.build)();
+    }
+    // With explicit positionals, only those run; `--corpus` alone also
+    // keeps the built-ins (CI lints everything in one invocation).
+    let run_builtins = args.positional.is_empty();
+
+    let mut rendered: Vec<(String, Report)> = Vec::new();
+    let mut broken = 0usize;
+    if run_builtins || !selected.is_empty() {
+        for sc in SCENARIOS {
+            if !run_builtins && !selected.contains(&sc.name) {
+                continue;
+            }
+            rendered.push((sc.name.to_string(), (sc.build)()));
+        }
+    }
+    for path in &scn_paths {
+        if let Err(msg) = lint_scn(path, &mut rendered) {
+            eprintln!("{msg}");
+            broken += 1;
+        }
+    }
+
+    let mut totals = [0usize; 3]; // info, warning, error
+    for (name, report) in &rendered {
         totals[0] += report.count(Severity::Info);
         totals[1] += report.count(Severity::Warning);
         totals[2] += report.count(Severity::Error);
-        if !json_stdout {
+        if !args.json {
             println!(
                 "{:<22} {} error(s), {} warning(s), {} info",
-                sc.name,
+                name,
                 report.count(Severity::Error),
                 report.count(Severity::Warning),
                 report.count(Severity::Info),
@@ -203,10 +273,9 @@ fn main() -> ExitCode {
                 println!("  [{}] {}: {}", d.severity, d.code, d.message);
             }
         }
-        rendered.push((sc.name, report));
     }
 
-    let json = Json::object([
+    let payload = Json::object([
         (
             "summary",
             Json::object([
@@ -214,27 +283,35 @@ fn main() -> ExitCode {
                 ("warnings", Json::u64(totals[1] as u64)),
                 ("info", Json::u64(totals[0] as u64)),
                 ("scenarios", Json::u64(rendered.len() as u64)),
+                ("broken_files", Json::u64(broken as u64)),
             ]),
         ),
         (
             "scenarios",
             Json::array(rendered.iter().map(|(name, report)| {
-                Json::object([("name", Json::str(*name)), ("report", report.to_json())])
+                Json::object([
+                    ("name", Json::str(name.clone())),
+                    ("report", report.to_json()),
+                ])
             })),
         ),
     ]);
-    if json_stdout {
+    let json = envelope("verify", args.seed, args.threads.unwrap_or(1), payload);
+    if args.json {
         println!("{}", json.pretty());
     }
-    if let Some(path) = out_path {
-        if let Err(e) = std::fs::write(&path, format!("{}\n", json.pretty())) {
-            eprintln!("cannot write {path}: {e}");
+    if let Some(path) = &args.out {
+        if let Err(e) = std::fs::write(path, format!("{}\n", json.pretty())) {
+            eprintln!("cannot write {}: {e}", path.display());
             return ExitCode::FAILURE;
         }
     }
 
-    if totals[2] > 0 {
-        eprintln!("siopmp-verify: {} Error-severity finding(s)", totals[2]);
+    if totals[2] > 0 || broken > 0 {
+        eprintln!(
+            "siopmp-verify: {} Error-severity finding(s), {} broken file(s)",
+            totals[2], broken
+        );
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

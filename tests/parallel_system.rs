@@ -11,7 +11,7 @@
 
 use siopmp_suite::bus::parallel::{DomainSpec, ParallelSim};
 use siopmp_suite::bus::policy::SiopmpPolicy;
-use siopmp_suite::bus::{BurstKind, BusConfig, MasterProgram, SimReport};
+use siopmp_suite::bus::{BurstKind, MasterProgram, SimReport};
 use siopmp_suite::monitor::{MemPerms, SecureMonitor};
 use siopmp_suite::siopmp::ids::DeviceId;
 use siopmp_suite::siopmp::telemetry::Telemetry;
@@ -68,7 +68,7 @@ fn build_sim(threads: usize) -> ParallelSim {
         let monitor = domain_monitor(domain, telemetry.clone());
         let policy = SiopmpPolicy::new(monitor.siopmp().clone());
         psim.add_domain(
-            DomainSpec::new(BusConfig::default(), Box::new(policy))
+            DomainSpec::for_policy(policy)
                 .with_home_window(window(domain), 0x1000_0000)
                 .with_telemetry(telemetry)
                 .with_master(

@@ -1,0 +1,64 @@
+//! Pins the three `repro-*.scn` corpus files to the hand-coded Rust
+//! exercises they re-express: the scenario compiler must produce
+//! byte-for-byte the same report JSON as the original
+//! `siopmp_experiments` functions, at every thread count the original
+//! supports. This is the proof that `.scn` is a faithful front-end and
+//! not a parallel implementation that merely agrees on headline numbers.
+
+use std::fs;
+use std::path::PathBuf;
+
+use siopmp_scenario::{parse, run, RunOptions, Scenario};
+
+fn load(name: &str) -> Scenario {
+    let path = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/corpus")).join(name);
+    let text = fs::read_to_string(&path).expect("readable corpus file");
+    parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"))
+}
+
+fn report_json(s: &Scenario, threads: Option<usize>) -> String {
+    let outcome = run(
+        s,
+        &RunOptions {
+            seed: None,
+            threads,
+        },
+    )
+    .unwrap_or_else(|e| panic!("{}: run failed: {e}", s.name));
+    assert!(
+        outcome.passed(),
+        "{}: expectations failed:\n  {}",
+        s.name,
+        outcome.failures.join("\n  ")
+    );
+    outcome.report.to_json().pretty()
+}
+
+#[test]
+fn repro_bus_matches_the_hand_coded_bus_exercise() {
+    let scenario = load("repro-bus.scn");
+    let hand_coded = siopmp_experiments::bus_exercise().to_json().pretty();
+    assert_eq!(report_json(&scenario, None), hand_coded);
+}
+
+#[test]
+fn repro_faults_matches_the_hand_coded_faults_exercise() {
+    let scenario = load("repro-faults.scn");
+    let hand_coded = siopmp_experiments::faults_exercise().to_json().pretty();
+    assert_eq!(report_json(&scenario, None), hand_coded);
+}
+
+#[test]
+fn repro_parallel_matches_the_hand_coded_parallel_exercise() {
+    let scenario = load("repro-parallel.scn");
+    for threads in [1, 2, 4] {
+        let hand_coded = siopmp_experiments::parallel_exercise(threads)
+            .to_json()
+            .pretty();
+        assert_eq!(
+            report_json(&scenario, Some(threads)),
+            hand_coded,
+            "thread count {threads}"
+        );
+    }
+}
