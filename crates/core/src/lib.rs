@@ -63,7 +63,9 @@
 pub mod area;
 pub mod atomic;
 pub mod cache;
+pub mod canonical;
 pub mod checker;
+pub mod cli;
 pub mod config;
 pub mod entry;
 pub mod error;

@@ -580,23 +580,31 @@ impl SharedState {
     /// wait-free, no shared writes. Only a changed generation takes the
     /// mutex, for the duration of an `Arc::clone`.
     pub(crate) fn snapshot(&self) -> Arc<CheckerSnapshot> {
+        self.snapshot_with_generation().0
+    }
+
+    /// Like [`SharedState::snapshot`], but also returns the exact publish
+    /// generation the snapshot was current at — the pair is consistent
+    /// even against concurrent publishes (a TLS hit's pair was recorded
+    /// under the lock; a miss re-reads both under the lock).
+    pub(crate) fn snapshot_with_generation(&self) -> (Arc<CheckerSnapshot>, u64) {
         let generation = self.generation.load(Ordering::Acquire);
         SNAPSHOT_TLS.with(|tls| {
             let mut tls = tls.borrow_mut();
             if let Some(entry) = tls.iter_mut().find(|(id, ..)| *id == self.state_id) {
                 if entry.1 == generation {
-                    return entry.2.clone();
+                    return (entry.2.clone(), generation);
                 }
                 let (snapshot, generation) = self.acquire_slow();
                 *entry = (self.state_id, generation, snapshot.clone());
-                return snapshot;
+                return (snapshot, generation);
             }
             let (snapshot, generation) = self.acquire_slow();
             if tls.len() >= TLS_CACHE_CAP {
                 tls.remove(0);
             }
             tls.push((self.state_id, generation, snapshot.clone()));
-            snapshot
+            (snapshot, generation)
         })
     }
 
@@ -673,8 +681,10 @@ impl SharedSiopmp {
 
     /// Pins the current snapshot for repeated checks.
     pub fn pin(&self) -> PinnedChecker {
+        let (snapshot, pinned_generation) = self.state.snapshot_with_generation();
         PinnedChecker {
-            snapshot: self.state.snapshot(),
+            snapshot,
+            pinned_generation,
             state: self.state.clone(),
         }
     }
@@ -711,6 +721,9 @@ impl SharedSiopmp {
 #[derive(Debug, Clone)]
 pub struct PinnedChecker {
     snapshot: Arc<CheckerSnapshot>,
+    /// Publish-generation the pin was taken at (see
+    /// [`PinnedChecker::generation`]).
+    pinned_generation: u64,
     state: Arc<SharedState>,
 }
 
@@ -728,6 +741,22 @@ impl PinnedChecker {
     /// The pinned snapshot's table epoch (constant for the pin's life).
     pub fn cache_epoch(&self) -> u64 {
         self.snapshot.epoch()
+    }
+
+    /// The publish generation this pin was taken at (constant for the
+    /// pin's life). Comparing it against the live
+    /// [`SharedSiopmp::generation`] tells exactly how many publishes the
+    /// pinned view has missed: equal readings mean the pin is current,
+    /// and a delta of one across a cold switch is the atomicity witness
+    /// the model checker asserts — the switch was a single publication,
+    /// so no hybrid old/new snapshot was ever observable.
+    pub fn generation(&self) -> u64 {
+        self.pinned_generation
+    }
+
+    /// Whether the owning unit has published past this pin.
+    pub fn is_stale(&self) -> bool {
+        self.pinned_generation != self.state.generation()
     }
 }
 

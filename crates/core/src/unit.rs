@@ -9,8 +9,9 @@
 //! other threads. See [`crate::snapshot`] for the publication protocol.
 
 use crate::atomic::SidBlockBitmap;
+use crate::canonical::CanonicalState;
 use crate::config::SiopmpConfig;
-use crate::entry::IopmpEntry;
+use crate::entry::{IopmpEntry, RangeKind};
 use crate::error::{Result, SiopmpError};
 use crate::ids::{DeviceId, EntryIndex, MdIndex, SourceId};
 use crate::mountable::{cold_switch_cycles, EsidRegister, ExtendedIopmpTable, MountableEntry};
@@ -664,6 +665,70 @@ impl Siopmp {
     /// The occupied hardware entries in global priority order.
     pub fn entries(&self) -> impl Iterator<Item = (EntryIndex, &IopmpEntry)> {
         self.entries.iter()
+    }
+
+    /// Captures the unit's policy-relevant state as a deterministic
+    /// [`CanonicalState`] — the dedup key the bounded model checker
+    /// (`siopmp-prove`) hashes reachable configurations by. See
+    /// [`crate::canonical`] for exactly what is in and out of the
+    /// encoding (epoch, telemetry and the violation log are excluded;
+    /// CAM reference bits are included).
+    pub fn canonical_state(&self) -> CanonicalState {
+        fn rule(entry: &IopmpEntry) -> (u64, u64, u8, u8, bool) {
+            let range = entry.range();
+            let kind = match range.kind() {
+                RangeKind::Plain => 0u8,
+                RangeKind::Napot => 1,
+                RangeKind::Tor => 2,
+            };
+            let perms = entry.permissions();
+            let bits = perms.read() as u8 | (perms.write() as u8) << 1;
+            (range.base(), range.len(), kind, bits, entry.is_locked())
+        }
+
+        let domains = (0..self.config.num_sids)
+            .map(|sid| {
+                self.src2md
+                    .domains_of(SourceId(sid as u16))
+                    .map(|mds| mds.iter().fold(0u64, |mask, md| mask | 1 << md.0))
+                    .unwrap_or(0)
+            })
+            .collect();
+        let windows = (0..self.config.num_mds)
+            .map(|md| self.mdcfg.window(MdIndex(md as u16)).unwrap_or((0, 0)))
+            .collect();
+        let mut cold: Vec<crate::canonical::CanonicalColdRecord> = self
+            .extended
+            .iter()
+            .map(|(dev, record)| {
+                let mask = record.domains.iter().fold(0u64, |m, md| m | 1 << md.0);
+                (dev.0, mask, record.entries.iter().map(rule).collect())
+            })
+            .collect();
+        cold.sort_by_key(|&(dev, ..)| dev);
+        CanonicalState {
+            config: format!("{:?}", self.config),
+            hot: self
+                .cam
+                .iter()
+                .map(|(sid, dev, referenced)| (sid.0, dev.0, referenced))
+                .collect(),
+            domains,
+            windows,
+            entries: self
+                .entries
+                .iter()
+                .map(|(idx, entry)| {
+                    let (base, len, kind, perms, locked) = rule(entry);
+                    (idx.0, base, len, kind, perms, locked)
+                })
+                .collect(),
+            cold,
+            mounted: self.esid.mounted().map(|dev| dev.0),
+            blocked: (0..self.config.num_sids)
+                .map(|sid| self.blocks.is_blocked(SourceId(sid as u16)))
+                .collect(),
+        }
     }
 
     // ------------------------------------------------------------------

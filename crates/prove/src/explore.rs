@@ -1,0 +1,626 @@
+//! Exhaustive breadth-first exploration of the mutator state graph.
+//!
+//! Every monitor-legal mutator is deterministic, so the set of
+//! configurations reachable by *any* mutator sequence up to depth `D` is
+//! exactly the breadth-first closure of the mutator alphabet — no
+//! interleaving or scheduling nondeterminism exists at this level (the
+//! concurrency side is covered by the RCU snapshot checks run on every
+//! transition, plus the loom-style tests in the core crate).
+//!
+//! States are deduplicated on the canonical policy encoding
+//! ([`siopmp::canonical::CanonicalState::encode`]) — the full byte
+//! string, not a hash, so collisions cannot silently merge distinct
+//! states. Paths are kept as mutator lists and states are rebuilt by
+//! replay, which keeps memory proportional to the frontier rather than
+//! the number of live `Siopmp` clones.
+//!
+//! On every *transition* (not just every new state) the explorer asserts
+//! the cold-switch atomicity contract:
+//!
+//! * each mutator publishes **exactly one** snapshot (generation delta
+//!   of 1) — no observable intermediate states;
+//! * a [`PinnedChecker`](siopmp::PinnedChecker) taken before a cold
+//!   switch answers the whole probe grid identically after the switch
+//!   commits (a pinned reader sees old policy or new policy, never a
+//!   hybrid), and its staleness flag flips.
+
+use crate::check::{check_state, StateFindings};
+use crate::model::Model;
+use siopmp::ids::{DeviceId, EntryIndex, MdIndex, SourceId};
+use siopmp::json::Json;
+use siopmp::request::DmaRequest;
+use siopmp::Siopmp;
+use std::collections::{HashSet, VecDeque};
+
+/// One monitor-legal configuration mutation. The alphabet is enumerated
+/// per state by [`enumerate`]; only mutators that will succeed are
+/// produced, so an `Err` from [`apply`] is itself a prover finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutator {
+    /// Map a never-seen device hot through the CAM.
+    MapHot { device: DeviceId },
+    /// Associate a hot device's SID with one of its tenant's domains.
+    Associate { device: DeviceId, md: MdIndex },
+    /// Remove such an association.
+    Dissociate { device: DeviceId, md: MdIndex },
+    /// Install candidate `slot` of tenant `tenant`'s grid into `md`.
+    Install {
+        md: MdIndex,
+        tenant: usize,
+        slot: usize,
+    },
+    /// Clear the (unlocked, hot-window) entry at `index`.
+    Remove { index: EntryIndex },
+    /// Block DMA from a SID.
+    Block { sid: SourceId },
+    /// Unblock it again.
+    Unblock { sid: SourceId },
+    /// Register a never-seen cold device with candidate record `record`.
+    Register { device: DeviceId, record: usize },
+    /// Cold-switch mount via the SID-missing path.
+    Mount { device: DeviceId },
+    /// Forced reload of the already-mounted device.
+    Remount { device: DeviceId },
+    /// Promote a cold device hot, evicting a CAM victim if needed.
+    Promote { device: DeviceId },
+}
+
+impl Mutator {
+    /// Whether this mutator runs the cold-switch / CAM-eviction
+    /// machinery whose atomicity the pinned-stability check targets.
+    pub fn is_switch(self) -> bool {
+        matches!(
+            self,
+            Mutator::Mount { .. } | Mutator::Remount { .. } | Mutator::Promote { .. }
+        )
+    }
+}
+
+/// Applies one mutator. Pre-filtered by [`enumerate`], so failure means
+/// the enumeration and the unit disagree about legality — a finding.
+pub fn apply(unit: &mut Siopmp, model: &Model, m: Mutator) -> Result<(), String> {
+    let sid_of = |unit: &Siopmp, device: DeviceId| -> Result<SourceId, String> {
+        unit.hot_devices()
+            .iter()
+            .find(|&&(_, d)| d == device)
+            .map(|&(sid, _)| sid)
+            .ok_or_else(|| format!("{device:?} is not hot"))
+    };
+    let r = match m {
+        Mutator::MapHot { device } => unit.map_hot_device(device).map(|_| ()),
+        Mutator::Associate { device, md } => {
+            let sid = sid_of(unit, device)?;
+            unit.associate_sid_with_md(sid, md)
+        }
+        Mutator::Dissociate { device, md } => {
+            let sid = sid_of(unit, device)?;
+            unit.dissociate_sid_from_md(sid, md)
+        }
+        Mutator::Install { md, tenant, slot } => unit
+            .install_entry(md, model.tenants[tenant].entry_grid[slot])
+            .map(|_| ()),
+        Mutator::Remove { index } => unit.set_entry(index, None),
+        Mutator::Block { sid } => {
+            unit.block_sid(sid);
+            Ok(())
+        }
+        Mutator::Unblock { sid } => {
+            unit.unblock_sid(sid);
+            Ok(())
+        }
+        Mutator::Register { device, record } => {
+            let tenant = model
+                .tenant_of(device)
+                .ok_or_else(|| format!("{device:?} belongs to no tenant"))?;
+            unit.register_cold_device(device, tenant.records[record].clone())
+        }
+        Mutator::Mount { device } => unit.handle_sid_missing(device).map(|_| ()),
+        Mutator::Remount { device } => unit.remount_cold_device(device).map(|_| ()),
+        Mutator::Promote { device } => unit.promote_with_eviction(device).map(|_| ()),
+    };
+    r.map_err(|e| format!("{m:?}: {e}"))
+}
+
+/// Enumerates every mutator legal in `unit`'s current state, in a fixed
+/// deterministic order (tenants ascending, devices ascending, grid and
+/// record slots ascending) so the breadth-first closure is reproducible.
+pub fn enumerate(model: &Model, unit: &Siopmp) -> Vec<Mutator> {
+    let hot = unit.hot_devices();
+    let mounted = unit.mounted_cold_device();
+    let config = unit.config();
+    let cold_md = config.cold_md();
+    let cold_window_start = unit.md_window(cold_md).map(|(s, _)| s).unwrap_or(0);
+    let mut out = Vec::new();
+
+    for (ti, t) in model.tenants.iter().enumerate() {
+        // Fresh hot mappings.
+        for &d in &t.hot_devices {
+            if !unit.is_hot(d) && !unit.is_cold(d) && hot.len() < config.num_hot_sids() {
+                out.push(Mutator::MapHot { device: d });
+            }
+        }
+        // Association toggles for the tenant's currently-hot devices
+        // (a promoted cold device counts — it holds a SID now).
+        for &d in t.hot_devices.iter().chain(&t.cold_devices) {
+            let Some(&(sid, _)) = hot.iter().find(|&&(_, dev)| dev == d) else {
+                continue;
+            };
+            for &md in &t.mds {
+                if unit.is_associated(sid, md).unwrap_or(false) {
+                    out.push(Mutator::Dissociate { device: d, md });
+                } else {
+                    out.push(Mutator::Associate { device: d, md });
+                }
+            }
+        }
+        // Installs into the tenant's windows, when a slot is free.
+        for &md in &t.mds {
+            let Ok((start, end)) = unit.md_window(md) else {
+                continue;
+            };
+            let has_free = (start..end).any(|j| matches!(unit.entry(EntryIndex(j)), Ok(None)));
+            if has_free {
+                for slot in 0..t.entry_grid.len() {
+                    out.push(Mutator::Install {
+                        md,
+                        tenant: ti,
+                        slot,
+                    });
+                }
+            }
+        }
+        // Fresh cold registrations.
+        for &d in &t.cold_devices {
+            if !unit.is_hot(d) && !unit.is_cold(d) {
+                for record in 0..t.records.len() {
+                    out.push(Mutator::Register { device: d, record });
+                }
+            }
+        }
+    }
+
+    // Hot-window removals (the cold window is switch-managed).
+    for (index, entry) in unit.entries() {
+        if index.0 < cold_window_start && !entry.is_locked() {
+            out.push(Mutator::Remove { index });
+        }
+    }
+
+    // Block-bit toggles over the *live* SID space: CAM-resident SIDs
+    // plus the cold mount SID (block bits of never-assigned SIDs are
+    // policy-inert and would only pad the state space).
+    let mut live_sids: Vec<SourceId> = hot.iter().map(|&(sid, _)| sid).collect();
+    live_sids.push(config.cold_sid());
+    live_sids.sort_by_key(|s| s.0);
+    live_sids.dedup();
+    for sid in live_sids {
+        if unit.is_sid_blocked(sid) {
+            out.push(Mutator::Unblock { sid });
+        } else {
+            out.push(Mutator::Block { sid });
+        }
+    }
+
+    // Cold switching over the extended table's current population
+    // (demoted CAM victims included), ascending by device id.
+    let mut cold: Vec<DeviceId> = unit.cold_devices().map(|(d, _)| d).collect();
+    cold.sort_by_key(|d| d.0);
+    for d in cold {
+        if unit.cold_switch_precheck(d).is_ok() {
+            if mounted == Some(d) {
+                out.push(Mutator::Remount { device: d });
+            } else {
+                out.push(Mutator::Mount { device: d });
+            }
+        }
+        out.push(Mutator::Promote { device: d });
+    }
+
+    out
+}
+
+/// Search bounds: the exploration stops expanding once either limit is
+/// reached (reported as `frontier_truncated`).
+#[derive(Debug, Clone, Copy)]
+pub struct Bounds {
+    /// Maximum mutator-sequence depth explored from the initial state.
+    pub max_depth: usize,
+    /// Maximum number of deduplicated states checked.
+    pub max_states: usize,
+}
+
+/// The two shipped search profiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// CI-on-every-push bound: > 10^4 deduped states in seconds.
+    Smoke,
+    /// Nightly bound: an order of magnitude more states, deeper paths.
+    Full,
+}
+
+impl Profile {
+    /// Parses `--profile` values.
+    pub fn parse(s: &str) -> Option<Profile> {
+        match s {
+            "smoke" => Some(Profile::Smoke),
+            "full" => Some(Profile::Full),
+            _ => None,
+        }
+    }
+
+    /// The profile's name as spelled on the command line.
+    pub fn name(self) -> &'static str {
+        match self {
+            Profile::Smoke => "smoke",
+            Profile::Full => "full",
+        }
+    }
+
+    /// The profile's search bounds.
+    pub fn bounds(self) -> Bounds {
+        match self {
+            Profile::Smoke => Bounds {
+                max_depth: 6,
+                max_states: 12_000,
+            },
+            Profile::Full => Bounds {
+                max_depth: 10,
+                max_states: 150_000,
+            },
+        }
+    }
+}
+
+/// Cap on the number of failure *examples* retained per category (the
+/// totals keep counting past it).
+const MAX_EXAMPLES: usize = 32;
+
+/// Everything one exploration proved (or found).
+#[derive(Debug, Clone)]
+pub struct ProveReport {
+    /// The model explored.
+    pub model: String,
+    /// The bounds used.
+    pub bounds: Bounds,
+    /// Canonically-distinct states checked (including the initial one).
+    pub states: usize,
+    /// Mutator transitions taken (atomicity-checked, including ones
+    /// landing on already-known states).
+    pub transitions: usize,
+    /// Transitions that landed on an already-known state.
+    pub duplicate_hits: usize,
+    /// Deepest mutator-sequence length reached.
+    pub max_depth_reached: usize,
+    /// Whether a bound cut the search off with frontier remaining.
+    pub frontier_truncated: bool,
+    /// Probes evaluated across all checked states.
+    pub probes: u64,
+    /// Isolation-invariant failure count.
+    pub isolation_failures: u64,
+    /// Analyzer soundness failure count (divergence or missed breach).
+    pub soundness_failures: u64,
+    /// Atomicity contract failure count.
+    pub atomicity_failures: u64,
+    /// Retained failure examples, capped at `MAX_EXAMPLES` (32) each.
+    pub isolation_examples: Vec<String>,
+    /// Soundness failure examples.
+    pub soundness_examples: Vec<String>,
+    /// Atomicity failure examples.
+    pub atomicity_examples: Vec<String>,
+    /// Error-severity diagnostics seen across all states.
+    pub error_diagnostics: u64,
+    /// Errors corroborated by an allowed probe in the flagged region.
+    pub corroborated_errors: u64,
+    /// Errors with no witness — the false-positive numerator.
+    pub spurious_diagnostics: u64,
+}
+
+impl ProveReport {
+    fn new(model: &Model, bounds: Bounds) -> ProveReport {
+        ProveReport {
+            model: model.name.clone(),
+            bounds,
+            states: 0,
+            transitions: 0,
+            duplicate_hits: 0,
+            max_depth_reached: 0,
+            frontier_truncated: false,
+            probes: 0,
+            isolation_failures: 0,
+            soundness_failures: 0,
+            atomicity_failures: 0,
+            isolation_examples: Vec::new(),
+            soundness_examples: Vec::new(),
+            atomicity_examples: Vec::new(),
+            error_diagnostics: 0,
+            corroborated_errors: 0,
+            spurious_diagnostics: 0,
+        }
+    }
+
+    fn absorb(&mut self, f: StateFindings) {
+        self.probes += f.probes;
+        self.error_diagnostics += f.errors;
+        self.corroborated_errors += f.corroborated;
+        self.spurious_diagnostics += f.spurious;
+        self.isolation_failures += f.isolation.len() as u64;
+        self.soundness_failures += f.soundness.len() as u64;
+        for msg in f.isolation {
+            if self.isolation_examples.len() < MAX_EXAMPLES {
+                self.isolation_examples.push(msg);
+            }
+        }
+        for msg in f.soundness {
+            if self.soundness_examples.len() < MAX_EXAMPLES {
+                self.soundness_examples.push(msg);
+            }
+        }
+    }
+
+    fn push_atomicity(&mut self, msg: String) {
+        self.atomicity_failures += 1;
+        if self.atomicity_examples.len() < MAX_EXAMPLES {
+            self.atomicity_examples.push(msg);
+        }
+    }
+
+    /// Total hard failures — the binary's exit code gates on this.
+    pub fn violations_total(&self) -> u64 {
+        self.isolation_failures + self.soundness_failures + self.atomicity_failures
+    }
+
+    /// Measured false-positive rate of the analyzer's Error diagnostics
+    /// over every checked state (0 when no Errors were raised).
+    pub fn false_positive_rate(&self) -> f64 {
+        if self.error_diagnostics == 0 {
+            0.0
+        } else {
+            self.spurious_diagnostics as f64 / self.error_diagnostics as f64
+        }
+    }
+
+    /// The standard JSON payload (wrapped in the workspace envelope by
+    /// the binary).
+    pub fn to_json(&self) -> Json {
+        let examples = |v: &[String]| Json::array(v.iter().map(Json::str));
+        Json::object([
+            ("model", Json::str(&self.model)),
+            (
+                "bounds",
+                Json::object([
+                    ("max_depth", Json::u64(self.bounds.max_depth as u64)),
+                    ("max_states", Json::u64(self.bounds.max_states as u64)),
+                ]),
+            ),
+            ("states", Json::u64(self.states as u64)),
+            ("transitions", Json::u64(self.transitions as u64)),
+            ("duplicate_hits", Json::u64(self.duplicate_hits as u64)),
+            (
+                "max_depth_reached",
+                Json::u64(self.max_depth_reached as u64),
+            ),
+            (
+                "frontier_truncated",
+                Json::u64(self.frontier_truncated as u64),
+            ),
+            ("probes", Json::u64(self.probes)),
+            ("isolation_failures", Json::u64(self.isolation_failures)),
+            ("soundness_failures", Json::u64(self.soundness_failures)),
+            ("atomicity_failures", Json::u64(self.atomicity_failures)),
+            ("isolation_examples", examples(&self.isolation_examples)),
+            ("soundness_examples", examples(&self.soundness_examples)),
+            ("atomicity_examples", examples(&self.atomicity_examples)),
+            ("error_diagnostics", Json::u64(self.error_diagnostics)),
+            ("corroborated_errors", Json::u64(self.corroborated_errors)),
+            ("spurious_diagnostics", Json::u64(self.spurious_diagnostics)),
+            ("false_positive_rate", Json::f64(self.false_positive_rate())),
+        ])
+    }
+}
+
+/// Applies `m` to `unit` while asserting the atomicity contract; see
+/// the module docs. Returns `false` when the mutator failed (already
+/// recorded as an atomicity finding).
+fn transition(
+    unit: &mut Siopmp,
+    model: &Model,
+    m: Mutator,
+    switch_probes: &[DmaRequest],
+    report: &mut ProveReport,
+) -> bool {
+    let shared = unit.share();
+    let pinned = shared.pin();
+    let generation_before = shared.generation();
+    let frozen = m.is_switch().then(|| pinned.check_batch(switch_probes));
+
+    if let Err(e) = apply(unit, model, m) {
+        report.push_atomicity(format!("enumerated mutator failed to apply: {e}"));
+        return false;
+    }
+    report.transitions += 1;
+
+    let delta = shared.generation().wrapping_sub(generation_before);
+    if delta != 1 {
+        report.push_atomicity(format!(
+            "{m:?}: expected exactly one snapshot publish, observed generation \
+             delta {delta} — intermediate states are observable"
+        ));
+    }
+    if !pinned.is_stale() {
+        report.push_atomicity(format!(
+            "{m:?}: pinned checker does not report staleness after a publish"
+        ));
+    }
+    if let Some(before) = frozen {
+        // The pinned handle must keep answering from the *old* policy:
+        // any difference means a reader could observe a half-applied
+        // switch (transient permission widening).
+        let after = pinned.check_batch(switch_probes);
+        if before != after {
+            let changed = before.iter().zip(&after).filter(|(a, b)| a != b).count();
+            report.push_atomicity(format!(
+                "{m:?}: pinned snapshot changed {changed} probe answers across the \
+                 switch — transient state leaked through the RCU path"
+            ));
+        }
+    }
+    true
+}
+
+/// Rebuilds the state at the end of `path` by replaying it against a
+/// clone of the model's initial unit.
+fn rebuild(model: &Model, path: &[Mutator]) -> Result<Siopmp, String> {
+    let mut unit = model.initial.clone();
+    for &m in path {
+        apply(&mut unit, model, m).map_err(|e| format!("replay diverged: {e}"))?;
+    }
+    Ok(unit)
+}
+
+/// Breadth-first exhaustive exploration of `model` under `bounds`,
+/// running every per-state and per-transition proof obligation.
+pub fn explore(model: &Model, bounds: Bounds) -> ProveReport {
+    let probes = model.probes();
+    let switch_probes = model.atomicity_probes();
+    let caps = model.caps();
+    let mut report = ProveReport::new(model, bounds);
+
+    let mut seen: HashSet<Vec<u8>> = HashSet::new();
+    let mut queue: VecDeque<(Vec<Mutator>, usize)> = VecDeque::new();
+
+    seen.insert(model.initial.canonical_state().encode());
+    report.absorb(check_state(&model.initial, model, &probes, &caps));
+    queue.push_back((Vec::new(), 0));
+
+    'search: while let Some((path, depth)) = queue.pop_front() {
+        if depth >= bounds.max_depth {
+            report.frontier_truncated = true;
+            continue;
+        }
+        let base = match rebuild(model, &path) {
+            Ok(unit) => unit,
+            Err(e) => {
+                report.push_atomicity(e);
+                continue;
+            }
+        };
+        for m in enumerate(model, &base) {
+            if seen.len() >= bounds.max_states {
+                report.frontier_truncated = true;
+                break 'search;
+            }
+            let mut unit = base.clone();
+            if !transition(&mut unit, model, m, &switch_probes, &mut report) {
+                continue;
+            }
+            let encoding = unit.canonical_state().encode();
+            if !seen.insert(encoding) {
+                report.duplicate_hits += 1;
+                continue;
+            }
+            report.absorb(check_state(&unit, model, &probes, &caps));
+            report.max_depth_reached = report.max_depth_reached.max(depth + 1);
+            let mut next = path.clone();
+            next.push(m);
+            queue.push_back((next, depth + 1));
+        }
+    }
+
+    report.states = seen.len();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_bounds() -> Bounds {
+        Bounds {
+            max_depth: 2,
+            max_states: 2_000,
+        }
+    }
+
+    #[test]
+    fn shallow_exploration_is_clean_and_deterministic() {
+        let model = Model::two_tenant_micro();
+        let a = explore(&model, tiny_bounds());
+        assert_eq!(a.violations_total(), 0, "{a:?}");
+        assert!(a.states > 30, "expected dozens of depth-2 states: {a:?}");
+        assert!(a.transitions > a.states - 1);
+        assert_eq!(a.error_diagnostics, 0, "legal states raise no Errors");
+
+        let b = explore(&model, tiny_bounds());
+        assert_eq!(a.states, b.states);
+        assert_eq!(a.transitions, b.transitions);
+        assert_eq!(a.duplicate_hits, b.duplicate_hits);
+    }
+
+    #[test]
+    fn every_mutator_kind_appears_in_the_shallow_closure() {
+        // The depth-3 closure of the initial state must exercise the
+        // whole 11-variant alphabet (Remount needs Register + Mount
+        // first, Dissociate needs MapHot + Associate, and so on).
+        let model = Model::two_tenant_micro();
+        let mut kinds: HashSet<std::mem::Discriminant<Mutator>> = HashSet::new();
+        let mut queue: VecDeque<Vec<Mutator>> = VecDeque::new();
+        queue.push_back(Vec::new());
+        while let Some(path) = queue.pop_front() {
+            if path.len() >= 3 {
+                continue;
+            }
+            let base = rebuild(&model, &path).unwrap();
+            for m in enumerate(&model, &base) {
+                kinds.insert(std::mem::discriminant(&m));
+                if kinds.len() == 11 {
+                    return; // all variants seen
+                }
+                let mut next = path.clone();
+                next.push(m);
+                queue.push_back(next);
+            }
+        }
+        panic!(
+            "only {} of 11 mutator kinds reachable by depth 3",
+            kinds.len()
+        );
+    }
+
+    #[test]
+    fn bounded_search_reports_truncation() {
+        let model = Model::two_tenant_micro();
+        let r = explore(
+            &model,
+            Bounds {
+                max_depth: 50,
+                max_states: 100,
+            },
+        );
+        assert!(r.frontier_truncated);
+        assert_eq!(r.states, 100);
+    }
+
+    #[test]
+    fn report_json_has_the_headline_fields() {
+        let model = Model::two_tenant_micro();
+        let r = explore(
+            &model,
+            Bounds {
+                max_depth: 1,
+                max_states: 1_000,
+            },
+        );
+        let rendered = r.to_json().pretty();
+        for key in [
+            "states",
+            "transitions",
+            "isolation_failures",
+            "soundness_failures",
+            "atomicity_failures",
+            "false_positive_rate",
+            "frontier_truncated",
+        ] {
+            assert!(rendered.contains(key), "missing {key}: {rendered}");
+        }
+    }
+}

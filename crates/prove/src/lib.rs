@@ -1,0 +1,41 @@
+//! `siopmp-prove` — exhaustive bounded model checking of the sIOPMP
+//! checker, cross-validated against the `siopmp-verify` analyzer.
+//!
+//! The paper's isolation claim (§5) is an invariant over *all* monitor
+//! behaviours, not just the ones the simulator happens to drive. This
+//! crate discharges it by brute force over a small finite world:
+//!
+//! * [`model`] — the bounded world: a starting [`siopmp::Siopmp`] unit,
+//!   a tenant table (who owns which devices and which memory region),
+//!   and the candidate entries/records/domains the monitor may legally
+//!   wire in. The shipped micro model has two tenants, ≤ 4 devices,
+//!   ≤ 4 SIDs and a boundary-aligned probe grid.
+//! * [`mod@explore`] — breadth-first closure of the monitor-legal mutator
+//!   alphabet (map/associate/install/remove/block/register/mount/
+//!   remount/promote), deduplicating states on the canonical policy
+//!   encoding from [`siopmp::canonical`], asserting on every transition
+//!   that exactly one snapshot is published and that a pinned RCU
+//!   reader never observes a hybrid of old and new policy.
+//! * [`check`] — the per-state obligations: the isolation invariant
+//!   (probe grid + abstract interval map), predict/check agreement with
+//!   [`siopmp_verify::analyze`] on every probe, missed-violation
+//!   coverage, and false-positive accounting for Error diagnostics.
+//! * [`mutations`] — seeded mutation testing: ten planted monitor/
+//!   integration bugs (widened entries, swapped SID associations, stale
+//!   pinned checkers, capability drift, …), each of which the proof
+//!   obligations must flag.
+//!
+//! The `siopmp-prove` binary drives [`explore::explore`] under a
+//! `smoke` (every push) or `full` (nightly) profile and emits the
+//! standard workspace JSON envelope; any hard failure or undetected
+//! planted mutation fails its exit code.
+
+pub mod check;
+pub mod explore;
+pub mod model;
+pub mod mutations;
+
+pub use check::{check_state, StateFindings};
+pub use explore::{explore, Bounds, Mutator, Profile, ProveReport};
+pub use model::{Model, TenantModel, UNKNOWN_DEVICE};
+pub use mutations::{run_all, Mutation, MutationOutcome, MUTATIONS};

@@ -1,0 +1,315 @@
+//! Seeded mutation testing: plant known isolation flaws and prove the
+//! prover's proof obligations catch every one.
+//!
+//! Each [`Mutation`] starts from the same *developed* legal state (both
+//! tenants wired up, one cold device mounted), applies one illegal
+//! change through the raw `Siopmp` API (or corrupts the capability map
+//! / pins a checker across a policy change), and is then judged by
+//! exactly the per-state obligations [`crate::check::check_state`] runs
+//! during exploration, plus the staleness detector for the pinned
+//! -checker plant. A mutation slipping through undetected is a hole in
+//! the proof obligations — the test suite and the `siopmp-prove` binary
+//! both fail hard on it.
+
+use crate::check::check_state;
+use crate::explore::{apply, Mutator};
+use crate::model::{Model, UNKNOWN_DEVICE};
+use siopmp::entry::{AddressRange, IopmpEntry, Permissions};
+use siopmp::ids::{DeviceId, EntryIndex, MdIndex};
+use siopmp::json::Json;
+use siopmp::mountable::MountableEntry;
+use siopmp::{PinnedChecker, Siopmp};
+use siopmp_verify::CapabilityMap;
+
+/// The state a mutation is planted into.
+pub struct Ctx {
+    /// The unit, developed to the baseline legal state.
+    pub unit: Siopmp,
+    /// The capability map handed to the analyzer (mutations may corrupt
+    /// it instead of the unit).
+    pub caps: CapabilityMap,
+    /// A checker pinned *before* the plant, for staleness mutations.
+    pub stale_pin: Option<PinnedChecker>,
+}
+
+/// One planted flaw.
+pub struct Mutation {
+    /// Stable identifier.
+    pub name: &'static str,
+    /// What the flaw models.
+    pub description: &'static str,
+    plant: fn(&mut Ctx),
+}
+
+/// How one mutation fared against the proof obligations.
+#[derive(Debug, Clone)]
+pub struct MutationOutcome {
+    /// The mutation's name.
+    pub name: &'static str,
+    /// Whether any obligation flagged it.
+    pub detected: bool,
+    /// Which obligations fired.
+    pub how: String,
+}
+
+impl MutationOutcome {
+    /// JSON row for the report payload.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("name", Json::str(self.name)),
+            ("detected", Json::u64(self.detected as u64)),
+            ("how", Json::str(&self.how)),
+        ])
+    }
+}
+
+/// Builds the baseline legal state every mutation starts from: both hot
+/// devices mapped, associated and granted their base page, both cold
+/// devices registered, tenant 0's cold device mounted.
+fn developed(model: &Model) -> Siopmp {
+    let mut unit = model.initial.clone();
+    let steps = [
+        Mutator::MapHot {
+            device: DeviceId(1),
+        },
+        Mutator::Associate {
+            device: DeviceId(1),
+            md: MdIndex(0),
+        },
+        Mutator::Install {
+            md: MdIndex(0),
+            tenant: 0,
+            slot: 0,
+        },
+        Mutator::MapHot {
+            device: DeviceId(2),
+        },
+        Mutator::Associate {
+            device: DeviceId(2),
+            md: MdIndex(1),
+        },
+        Mutator::Install {
+            md: MdIndex(1),
+            tenant: 1,
+            slot: 0,
+        },
+        Mutator::Register {
+            device: DeviceId(3),
+            record: 1,
+        },
+        Mutator::Register {
+            device: DeviceId(4),
+            record: 1,
+        },
+        Mutator::Mount {
+            device: DeviceId(3),
+        },
+    ];
+    for m in steps {
+        apply(&mut unit, model, m).expect("baseline state is legal");
+    }
+    unit
+}
+
+fn rw(base: u64, len: u64) -> IopmpEntry {
+    IopmpEntry::new(AddressRange::new(base, len).unwrap(), Permissions::rw())
+}
+
+/// The planted-mutation corpus. Every entry models a real monitor or
+/// integration bug class from the paper's threat model.
+pub const MUTATIONS: &[Mutation] = &[
+    Mutation {
+        name: "widened-entry",
+        description: "an installed entry silently rewritten to cover another tenant's region",
+        plant: |ctx| {
+            ctx.unit
+                .set_entry(EntryIndex(0), Some(rw(0x2000, 0x1000)))
+                .unwrap();
+        },
+    },
+    Mutation {
+        name: "swapped-sid-association",
+        description: "a tenant-0 SID associated with tenant 1's memory domain",
+        plant: |ctx| {
+            let (sid, _) = ctx.unit.hot_devices()[0];
+            ctx.unit.associate_sid_with_md(sid, MdIndex(1)).unwrap();
+        },
+    },
+    Mutation {
+        name: "foreign-cold-record",
+        description: "a mounted cold record rewritten to grant another tenant's memory",
+        plant: |ctx| {
+            ctx.unit.put_cold_record(
+                DeviceId(3),
+                MountableEntry {
+                    domains: vec![],
+                    entries: vec![rw(0x2000, 0x1000)],
+                },
+            );
+            ctx.unit.remount_cold_device(DeviceId(3)).unwrap();
+        },
+    },
+    Mutation {
+        name: "cold-window-smuggle",
+        description: "an entry written directly into the switch-managed cold window",
+        plant: |ctx| {
+            let (start, _) = ctx.unit.md_window(ctx.unit.config().cold_md()).unwrap();
+            ctx.unit
+                .set_entry(EntryIndex(start), Some(rw(0x2000, 0x2000)))
+                .unwrap();
+        },
+    },
+    Mutation {
+        name: "stale-pinned-checker",
+        description: "a checker pinned before an access revocation keeps deciding DMA",
+        plant: |ctx| {
+            ctx.stale_pin = Some(ctx.unit.share().pin());
+            // The revocation the stale checker misses.
+            ctx.unit.set_entry(EntryIndex(0), None).unwrap();
+        },
+    },
+    Mutation {
+        name: "window-overlap",
+        description: "MDCFG repartitioned so tenant 0's window swallows tenant 1's entries",
+        plant: |ctx| {
+            ctx.unit.set_md_top(MdIndex(0), 4).unwrap();
+        },
+    },
+    Mutation {
+        name: "cold-sid-leak",
+        description: "the cold mount SID associated with another tenant's domain",
+        plant: |ctx| {
+            let cold_sid = ctx.unit.config().cold_sid();
+            ctx.unit
+                .associate_sid_with_md(cold_sid, MdIndex(1))
+                .unwrap();
+        },
+    },
+    Mutation {
+        name: "capability-revocation",
+        description: "a live grant revoked in the capability map while the table still allows",
+        plant: |ctx| {
+            for g in &mut ctx.caps.devices {
+                if g.device == DeviceId(1) {
+                    g.grants.clear();
+                }
+            }
+        },
+    },
+    Mutation {
+        name: "tenant-flip",
+        description: "the capability map claims tenant 1's device for TEE 0",
+        plant: |ctx| {
+            for g in &mut ctx.caps.devices {
+                if g.device == DeviceId(2) {
+                    g.tee = 0;
+                }
+            }
+        },
+    },
+    Mutation {
+        name: "unknown-device-mount",
+        description: "a device no tenant owns registered and mounted with real grants",
+        plant: |ctx| {
+            ctx.unit
+                .register_cold_device(
+                    UNKNOWN_DEVICE,
+                    MountableEntry {
+                        domains: vec![],
+                        entries: vec![rw(0x0, 0x1000)],
+                    },
+                )
+                .unwrap();
+            ctx.unit.remount_cold_device(UNKNOWN_DEVICE).unwrap();
+        },
+    },
+];
+
+/// Plants every mutation into a fresh baseline and judges detection.
+pub fn run_all(model: &Model) -> Vec<MutationOutcome> {
+    let probes = model.probes();
+    MUTATIONS
+        .iter()
+        .map(|m| {
+            let mut ctx = Ctx {
+                unit: developed(model),
+                caps: model.caps(),
+                stale_pin: None,
+            };
+            (m.plant)(&mut ctx);
+
+            let findings = check_state(&ctx.unit, model, &probes, &ctx.caps);
+            let mut how = Vec::new();
+            if !findings.isolation.is_empty() {
+                how.push(format!("isolation ({})", findings.isolation.len()));
+            }
+            if !findings.soundness.is_empty() {
+                how.push(format!("soundness ({})", findings.soundness.len()));
+            }
+            if findings.corroborated > 0 {
+                how.push(format!(
+                    "corroborated analyzer errors ({})",
+                    findings.corroborated
+                ));
+            }
+            if let Some(pin) = &ctx.stale_pin {
+                // The staleness detector: the pin admits it is stale AND
+                // trusting it would mis-decide at least one probe.
+                let current = ctx.unit.share().check_batch(&probes);
+                let through_pin = pin.check_batch(&probes);
+                if pin.is_stale() && current != through_pin {
+                    how.push("stale pinned checker".to_string());
+                }
+            }
+            MutationOutcome {
+                name: m.name,
+                detected: !how.is_empty(),
+                how: how.join(", "),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_baseline_state_is_clean() {
+        let model = Model::two_tenant_micro();
+        let unit = developed(&model);
+        let f = check_state(&unit, &model, &model.probes(), &model.caps());
+        assert!(f.clean(), "baseline dirty: {f:?}");
+        assert_eq!(f.errors, 0);
+    }
+
+    #[test]
+    fn the_prover_detects_every_planted_mutation() {
+        let model = Model::two_tenant_micro();
+        let outcomes = run_all(&model);
+        assert!(outcomes.len() >= 8, "need at least 8 planted mutations");
+        let missed: Vec<_> = outcomes.iter().filter(|o| !o.detected).collect();
+        assert!(missed.is_empty(), "undetected mutations: {missed:?}");
+    }
+
+    #[test]
+    fn detection_reasons_match_the_planted_class() {
+        let model = Model::two_tenant_micro();
+        for o in run_all(&model) {
+            match o.name {
+                "capability-revocation" | "tenant-flip" => assert!(
+                    o.how.contains("corroborated analyzer errors"),
+                    "{o:?} should be caught by the analyzer cross-check"
+                ),
+                "stale-pinned-checker" => assert!(
+                    o.how.contains("stale pinned checker"),
+                    "{o:?} should be caught by the staleness detector"
+                ),
+                _ => assert!(
+                    o.how.contains("isolation"),
+                    "{o:?} should violate the isolation invariant"
+                ),
+            }
+        }
+    }
+}

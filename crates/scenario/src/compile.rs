@@ -107,7 +107,7 @@ pub fn bus_config(s: &Scenario) -> BusConfig {
     }
 }
 
-fn permissions(p: Perms) -> Permissions {
+pub(crate) fn permissions(p: Perms) -> Permissions {
     match p {
         Perms::R => Permissions::read_only(),
         Perms::W => Permissions::write_only(),
@@ -309,6 +309,40 @@ pub fn compile(s: &Scenario, opts: &RunOptions) -> Result<ParallelSim, CompileEr
         psim.add_domain(spec);
     }
     Ok(psim)
+}
+
+/// One domain's compiled sIOPMP unit, exposed for consumers that need
+/// the raw hardware state rather than a simulator (the static linter
+/// and the `prove` subcommand's model lowering).
+pub struct DomainUnit {
+    /// Domain name from the scenario.
+    pub domain: String,
+    /// The compiled unit, exactly as [`compile`] would shard it.
+    pub unit: Siopmp,
+    /// Hot device → assigned SID, in declaration order.
+    pub hot: Vec<(u64, SourceId)>,
+}
+
+/// Compiles every domain's unit without building a simulator.
+///
+/// # Errors
+///
+/// Same failure modes as [`compile`].
+pub fn domain_units(s: &Scenario) -> Result<Vec<DomainUnit>, CompileError> {
+    if s.domains.is_empty() {
+        return fail(None, "scenario declares no domains");
+    }
+    s.domains
+        .iter()
+        .map(|d| {
+            let built = build_unit(s, d)?;
+            Ok(DomainUnit {
+                domain: d.name.clone(),
+                unit: built.unit,
+                hot: built.sids,
+            })
+        })
+        .collect()
 }
 
 /// One domain's static-analysis result.

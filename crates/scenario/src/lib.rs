@@ -76,19 +76,23 @@
 //! ```
 //!
 //! The `siopmp-scenario` binary exposes the same pipeline as
-//! `run | lint | bench | list` subcommands with the workspace's unified
-//! flag grammar ([`cli`]); the committed corpus under `corpus/` is the
-//! library of shipped topologies.
+//! `run | lint | bench | prove | list` subcommands with the workspace's
+//! unified flag grammar ([`cli`]); the committed corpus under `corpus/`
+//! is the library of shipped topologies. `prove` lowers each domain
+//! into the bounded model checker ([`prove`]).
 
 pub mod ast;
 pub mod cli;
 pub mod compile;
 pub mod parse;
+pub mod prove;
 pub mod render;
 
 pub use ast::Scenario;
 pub use compile::{
-    compile, lint, metric_value, run, CompileError, DomainLint, Outcome, RunOptions,
+    compile, domain_units, lint, metric_value, run, CompileError, DomainLint, DomainUnit, Outcome,
+    RunOptions,
 };
 pub use parse::{parse, ScnError};
+pub use prove::lower;
 pub use render::render;

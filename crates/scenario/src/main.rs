@@ -4,6 +4,7 @@
 //! siopmp-scenario run   FILE...  [--json] [--seed N] [--threads N] [--out PATH]
 //! siopmp-scenario lint  FILE...  [--json] [--out PATH]
 //! siopmp-scenario bench FILE...  [--json] [--seed N] [--threads N] [--out DIR] [--baseline FILE]
+//! siopmp-scenario prove FILE...  [--json] [--out PATH] [--max-depth N] [--max-states N]
 //! siopmp-scenario list  [PATH...]  [--json]
 //! ```
 //!
@@ -12,6 +13,10 @@
 //!   code.
 //! * `lint` compiles each domain's sIOPMP unit and runs the static
 //!   analyzer; any Error-severity diagnostic fails the exit code.
+//! * `prove` lowers each domain into the bounded model checker
+//!   (`siopmp-prove`) and exhaustively explores every mutator sequence
+//!   from the compiled state up to the bound; any isolation, soundness
+//!   or atomicity violation fails the exit code.
 //! * `bench` runs each scenario and reports the host-independent cost
 //!   metric (simulated cycles per completed burst) plus wall time;
 //!   `--baseline FILE` guards `<name> <cycles_per_burst>` pairs at ±15%.
@@ -24,19 +29,21 @@
 //! `siopmp-verify`.
 
 use siopmp::json::{envelope, Json};
+use siopmp_prove::{explore, Bounds};
 use siopmp_scenario::cli::Spec;
 use siopmp_scenario::{lint, parse, render, run, RunOptions, Scenario};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: siopmp-scenario <run|lint|bench|list> [FILE ...] \
-[--json] [--seed N] [--threads N] [--out PATH] [--baseline FILE]";
+const USAGE: &str = "usage: siopmp-scenario <run|lint|bench|prove|list> [FILE ...] \
+[--json] [--seed N] [--threads N] [--out PATH] [--baseline FILE] \
+[--max-depth N] [--max-states N]";
 
 const SPEC: Spec = Spec {
     tool: "siopmp-scenario",
     usage: USAGE,
     flags: &["--render"],
-    options: &[],
+    options: &["--max-depth", "--max-states"],
     deprecated: &[],
 };
 
@@ -277,6 +284,83 @@ fn cmd_bench(
     Ok(ok)
 }
 
+/// Default bounds of `siopmp-scenario prove` — scenario-lowered models
+/// carry full-size configurations (8 SIDs, 32 entries), so the default
+/// stays shallower than the `siopmp-prove` micro-model profiles while
+/// still covering every mutator pair and most triples.
+const PROVE_DEFAULT: Bounds = Bounds {
+    max_depth: 4,
+    max_states: 4_000,
+};
+
+fn prove_bound(
+    args: &siopmp_scenario::cli::Args,
+    flag: &str,
+    default: usize,
+) -> Result<usize, String> {
+    match args.option(flag) {
+        None => Ok(default),
+        Some(v) => v
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| format!("`{flag}` needs a count >= 1, got `{v}`")),
+    }
+}
+
+fn cmd_prove(
+    files: &[PathBuf],
+    args: &siopmp_scenario::cli::Args,
+    json: bool,
+    out: Option<&Path>,
+) -> Result<bool, String> {
+    let bounds = Bounds {
+        max_depth: prove_bound(args, "--max-depth", PROVE_DEFAULT.max_depth)?,
+        max_states: prove_bound(args, "--max-states", PROVE_DEFAULT.max_states)?,
+    };
+    let mut docs = Vec::new();
+    let mut clean = true;
+    for path in files {
+        let scenario = load(path)?;
+        let models =
+            siopmp_scenario::lower(&scenario).map_err(|e| format!("{}: {e}", path.display()))?;
+        let mut domains = Vec::new();
+        for model in &models {
+            let report = explore(model, bounds);
+            let violations = report.violations_total();
+            clean &= violations == 0;
+            if !json {
+                let verdict = if violations == 0 { "proved" } else { "FAIL" };
+                println!(
+                    "{:<28} {verdict}  states {:>7}  transitions {:>8}  depth {:>2}  violations {:>3}",
+                    model.name, report.states, report.transitions, report.max_depth_reached, violations,
+                );
+                for example in report
+                    .isolation_examples
+                    .iter()
+                    .chain(&report.soundness_examples)
+                    .chain(&report.atomicity_examples)
+                {
+                    println!("  VIOLATION {example}");
+                }
+            }
+            domains.push(report.to_json());
+        }
+        docs.push(envelope(
+            &scenario.name,
+            None,
+            1,
+            Json::object([
+                ("bounds_max_depth", Json::u64(bounds.max_depth as u64)),
+                ("bounds_max_states", Json::u64(bounds.max_states as u64)),
+                ("domains", Json::array(domains)),
+            ]),
+        ));
+    }
+    emit(&join(docs), json, out)?;
+    Ok(clean)
+}
+
 fn scan(paths: &[PathBuf]) -> Result<Vec<PathBuf>, String> {
     let mut files = Vec::new();
     for path in paths {
@@ -366,11 +450,12 @@ fn main() -> ExitCode {
         threads: parsed.threads,
     };
     let result = match command.as_str() {
-        "run" | "lint" | "bench" if files.is_empty() => {
+        "run" | "lint" | "bench" | "prove" if files.is_empty() => {
             Err(format!("`{command}` needs at least one .scn file\n{USAGE}"))
         }
         "run" => cmd_run(&files, opts, parsed.json, parsed.out.as_deref()),
         "lint" => cmd_lint(&files, parsed.json, parsed.out.as_deref()),
+        "prove" => cmd_prove(&files, &parsed, parsed.json, parsed.out.as_deref()),
         "bench" => cmd_bench(
             &files,
             opts,

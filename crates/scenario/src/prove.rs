@@ -1,0 +1,223 @@
+//! Lowering `.scn` scenarios into the bounded model checker.
+//!
+//! `siopmp-scenario prove FILE.scn` turns each domain of a scenario
+//! into a single-tenant [`siopmp_prove::Model`] and hands it to the
+//! exhaustive explorer: the compiled unit is the initial state, the
+//! domain's declared entries/records/domains become the monitor-legal
+//! mutator material, and the tenant region is the bounding box of
+//! everything the domain declares (home window, entries, records) — so
+//! the isolation obligation becomes "no mutator sequence lets any of
+//! this domain's devices reach outside what the scenario declared".
+//!
+//! The probe grid is derived from the declared ranges: every base,
+//! last-byte and exclusive-end address, plus zero and a far
+//! out-of-bounds point.
+
+use crate::ast::{DeviceKind, Domain, Scenario};
+use crate::compile::{domain_units, permissions, CompileError, DomainUnit};
+use siopmp::entry::IopmpEntry;
+use siopmp::ids::{DeviceId, MdIndex};
+use siopmp::mountable::MountableEntry;
+use siopmp_prove::{Model, TenantModel};
+
+/// Caps the derived probe-address grid so a range-heavy scenario cannot
+/// make every explored state quadratically expensive.
+const MAX_PROBE_ADDRS: usize = 24;
+
+/// Every `(base, len)` range a domain declares, in declaration order:
+/// home window, entries, then cold records.
+fn declared_ranges(d: &Domain) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    if let Some((base, len)) = d.home {
+        out.push((base, len));
+    }
+    for e in &d.entries {
+        out.push((e.base, e.len));
+    }
+    for dev in &d.devices {
+        if let DeviceKind::Cold { records, .. } = &dev.kind {
+            for r in records {
+                out.push((r.base, r.len));
+            }
+        }
+    }
+    out
+}
+
+/// Lowers one compiled domain to a single-tenant bounded model.
+fn lower_domain(scenario: &Scenario, d: &Domain, built: DomainUnit) -> Model {
+    let cfg = built.unit.config().clone();
+    let ranges = declared_ranges(d);
+    let region = ranges.iter().fold((u64::MAX, 0u64), |(lo, hi), &(b, l)| {
+        (lo.min(b), hi.max(b.saturating_add(l)))
+    });
+    let region = if ranges.is_empty() { (0, 0) } else { region };
+
+    let mut hot_devices = Vec::new();
+    let mut cold_devices = Vec::new();
+    let mut mds: Vec<MdIndex> = Vec::new();
+    let mut records: Vec<MountableEntry> = Vec::new();
+    for dev in &d.devices {
+        let ids = (dev.first..dev.first + dev.count).map(DeviceId);
+        match &dev.kind {
+            DeviceKind::Hot { mds: dm } => {
+                hot_devices.extend(ids);
+                mds.extend(dm.iter().map(|&md| MdIndex(md)));
+            }
+            DeviceKind::Cold {
+                mds: dm,
+                records: rs,
+            } => {
+                cold_devices.extend(ids);
+                let record = MountableEntry {
+                    domains: dm.iter().map(|&md| MdIndex(md)).collect(),
+                    entries: rs
+                        .iter()
+                        .filter_map(|r| {
+                            siopmp::entry::AddressRange::new(r.base, r.len)
+                                .ok()
+                                .map(|range| IopmpEntry::new(range, permissions(r.perms)))
+                        })
+                        .collect(),
+                };
+                if !records.contains(&record) {
+                    records.push(record);
+                }
+            }
+        }
+    }
+
+    let mut entry_grid: Vec<IopmpEntry> = Vec::new();
+    for e in &d.entries {
+        mds.push(MdIndex(e.md));
+        if let Ok(range) = siopmp::entry::AddressRange::new(e.base, e.len) {
+            let entry = IopmpEntry::new(range, permissions(e.perms));
+            if !entry_grid.contains(&entry) {
+                entry_grid.push(entry);
+            }
+        }
+    }
+    mds.retain(|&md| md != cfg.cold_md());
+    mds.sort_by_key(|m| m.0);
+    mds.dedup();
+
+    let far = region.1.saturating_add(0x1_0000);
+    let mut probe_addrs = vec![0, far];
+    for &(base, len) in &ranges {
+        probe_addrs.push(base);
+        probe_addrs.push(base.saturating_add(len.saturating_sub(1)));
+        probe_addrs.push(base.saturating_add(len));
+    }
+    probe_addrs.sort_unstable();
+    probe_addrs.dedup();
+    probe_addrs.truncate(MAX_PROBE_ADDRS);
+    let min_len = ranges.iter().map(|&(_, l)| l).filter(|&l| l > 0).min();
+    let mut probe_lens = vec![0, 1];
+    if let Some(l) = min_len {
+        if !probe_lens.contains(&l) {
+            probe_lens.push(l);
+        }
+    }
+
+    Model {
+        name: format!("{}/{}", scenario.name, d.name),
+        initial: built.unit,
+        tenants: vec![TenantModel {
+            id: 0,
+            region,
+            hot_devices,
+            cold_devices,
+            mds,
+            entry_grid,
+            records,
+        }],
+        probe_addrs,
+        probe_lens,
+    }
+}
+
+/// Lowers every domain of a scenario into its own bounded model.
+///
+/// # Errors
+///
+/// Same failure modes as [`crate::compile::compile`] — the units must
+/// assemble before they can be explored.
+pub fn lower(s: &Scenario) -> Result<Vec<Model>, CompileError> {
+    let units = domain_units(s)?;
+    Ok(s.domains
+        .iter()
+        .zip(units)
+        .map(|(d, built)| lower_domain(s, d, built))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use siopmp_prove::{explore, Bounds};
+
+    /// The three smallest corpus scenarios, inlined shape-for-shape
+    /// (the `siopmp-scenario` binary's `prove` subcommand covers the
+    /// actual files; tests must not depend on the working directory).
+    const QUICKSTART: &str = "\
+scenario quickstart
+config sids=8 mds=8 entries=32 cold_entries=4
+domain tenant0
+  device 1 hot md=0
+  entry md=0 0x1000 0x1000 rw
+run max_cycles=1000
+expect completed
+";
+
+    #[test]
+    fn quickstart_lowers_to_a_clean_single_tenant_model() {
+        let s = parse(QUICKSTART).unwrap();
+        let models = lower(&s).unwrap();
+        assert_eq!(models.len(), 1);
+        let m = &models[0];
+        assert_eq!(m.name, "quickstart/tenant0");
+        assert_eq!(m.tenants[0].region, (0x1000, 0x2000));
+        assert_eq!(m.tenants[0].hot_devices, vec![siopmp::ids::DeviceId(1)]);
+        assert_eq!(m.tenants[0].entry_grid.len(), 1);
+        // The compiled initial state is already wired: the device is hot
+        // and its entry installed.
+        assert!(m.initial.is_hot(siopmp::ids::DeviceId(1)));
+    }
+
+    #[test]
+    fn lowered_exploration_proves_the_declared_envelope() {
+        let s = parse(QUICKSTART).unwrap();
+        let models = lower(&s).unwrap();
+        let report = explore(
+            &models[0],
+            Bounds {
+                max_depth: 3,
+                max_states: 500,
+            },
+        );
+        assert_eq!(report.violations_total(), 0, "{report:?}");
+        assert!(report.states > 10, "{report:?}");
+    }
+
+    #[test]
+    fn cold_records_become_model_records() {
+        let text = "\
+scenario coldone
+config sids=4 mds=4 entries=16 cold_entries=2
+domain soc
+  device 1 hot md=0
+  device 9 cold
+  record 0x4000 0x1000 rw
+  entry md=0 0x4000 0x1000 rw
+run max_cycles=1000
+expect completed
+";
+        let s = parse(text).unwrap();
+        let models = lower(&s).unwrap();
+        let t = &models[0].tenants[0];
+        assert_eq!(t.cold_devices, vec![siopmp::ids::DeviceId(9)]);
+        assert_eq!(t.records.len(), 1);
+        assert_eq!(t.region, (0x4000, 0x5000));
+    }
+}

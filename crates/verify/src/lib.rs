@@ -45,6 +45,7 @@
 //!     .any(|d| d.code == DiagnosticCode::ShadowedEntry));
 //! ```
 
+pub mod differential;
 pub mod domain;
 
 use siopmp::entry::IopmpEntry;

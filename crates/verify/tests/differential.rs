@@ -1,132 +1,22 @@
 //! The soundness bridge: the analyzer's predicted reachability must agree
 //! with the concrete checker on randomized probes.
 //!
-//! Each property case builds a randomized sIOPMP configuration — hot
-//! devices, random MD associations, overlapping entries with mixed
-//! permissions, cold registrations, mount/unmount churn, CAM remaps via
-//! promotion, and blocked SIDs — analyzes the resulting snapshot once,
-//! and then fires randomized `(device, kind, addr, len)` probes through
-//! both [`Report::predict`] and [`Siopmp::check`], requiring agreement on
-//! every single one (including the *winning entry index* for allowed
-//! accesses).
+//! The randomized-configuration generator and the edge-biased probe
+//! distribution live in [`siopmp_verify::differential`] (shared with the
+//! `siopmp-verify` binary's measured sweep and the `siopmp-prove` model
+//! checker); this test drives them through the property harness and
+//! requires agreement on every single probe (including the *winning entry
+//! index* for allowed accesses).
 //!
 //! `CONFIGS × PROBES_PER_CONFIG` comfortably exceeds the 10k-probe /
 //! 100-config acceptance floor; see `probe_budget_meets_acceptance_floor`.
 
-use siopmp::entry::{AddressRange, IopmpEntry, Permissions};
-use siopmp::ids::{DeviceId, MdIndex, SourceId};
-use siopmp::mountable::MountableEntry;
 use siopmp::request::{AccessKind, DmaRequest};
-use siopmp::{Siopmp, SiopmpConfig};
-use siopmp_testkit::{check, prop_check, Gen};
+use siopmp_testkit::{check, prop_check};
 use siopmp_verify::analyze;
-
-const CONFIGS: u64 = 128;
-const PROBES_PER_CONFIG: usize = 128;
-
-/// Device-ID pools: hot devices are small IDs, cold devices live at 100+,
-/// and 999 is never registered anywhere.
-const UNKNOWN_DEVICE: DeviceId = DeviceId(999);
-
-fn random_perms(g: &mut Gen) -> Permissions {
-    *g.choose(&[
-        Permissions::rw(),
-        Permissions::read_only(),
-        Permissions::write_only(),
-        Permissions::none(),
-    ])
-}
-
-fn random_entry(g: &mut Gen) -> IopmpEntry {
-    // Bases cluster on a small page grid so entries overlap often — the
-    // interesting regime for priority reasoning.
-    let base = g.u64(0..24) * 0x800;
-    let len = *g.choose(&[0x100u64, 0x400, 0x800, 0x1000, 0x2000]);
-    IopmpEntry::new(AddressRange::new(base, len).unwrap(), random_perms(g))
-}
-
-/// Builds a randomized unit and returns it plus every device ID that ever
-/// existed in it (hot, cold, promoted, evicted — all worth probing).
-fn random_unit(g: &mut Gen) -> (Siopmp, Vec<DeviceId>) {
-    let mut cfg = SiopmpConfig::small();
-    cfg.num_sids = g.usize(4..9);
-    cfg.num_mds = g.usize(4..9);
-    cfg.num_entries = g.usize(24..65);
-    cfg.cold_md_entries = g.usize(2..5);
-    // Exercise both the cache-free reference path and the decision cache.
-    cfg.decision_cache_slots = if g.bool() { 64 } else { 0 };
-    let mut unit = Siopmp::build(cfg, None);
-    let cfg = unit.config().clone();
-    let hot_mds: Vec<MdIndex> = (0..cfg.cold_md().0).map(MdIndex).collect();
-
-    let mut devices: Vec<DeviceId> = Vec::new();
-
-    // Hot devices with random domain associations.
-    let n_hot = g.usize(1..cfg.num_hot_sids().min(5));
-    for i in 0..n_hot {
-        let device = DeviceId(1 + i as u64);
-        let Ok(sid) = unit.map_hot_device(device) else {
-            continue;
-        };
-        devices.push(device);
-        for _ in 0..g.usize(1..4) {
-            let md = *g.choose(&hot_mds);
-            if !unit.is_associated(sid, md).unwrap_or(true) {
-                let _ = unit.associate_sid_with_md(sid, md);
-            }
-        }
-    }
-
-    // Entries: deliberately overlapping, mixed permissions, some in
-    // windows no SID views.
-    for _ in 0..g.usize(4..16) {
-        let md = *g.choose(&hot_mds);
-        let _ = unit.install_entry(md, random_entry(g)); // MdFull is fine
-    }
-
-    // Cold devices with small mountable records.
-    let n_cold = g.usize(0..3);
-    for i in 0..n_cold {
-        let device = DeviceId(100 + i as u64);
-        let record = MountableEntry {
-            domains: if g.bool_with(0.3) {
-                vec![*g.choose(&hot_mds)]
-            } else {
-                vec![]
-            },
-            entries: (0..g.usize(0..cfg.cold_md_entries + 1))
-                .map(|_| random_entry(g))
-                .collect(),
-        };
-        if unit.register_cold_device(device, record).is_ok() {
-            devices.push(device);
-        }
-    }
-
-    // Mount/unmount churn: each successful mount implicitly unmounts the
-    // previous tenant, whose record stays in the extended table.
-    let cold_now: Vec<DeviceId> = unit.cold_devices().map(|(d, _)| d).collect();
-    if !cold_now.is_empty() {
-        for _ in 0..g.usize(0..3) {
-            let device = *g.choose(&cold_now);
-            let _ = unit.handle_sid_missing(device); // MdFull is fine
-        }
-    }
-
-    // CAM remap: promote a cold device into the CAM, possibly evicting a
-    // hot victim into the extended table.
-    let cold_now: Vec<DeviceId> = unit.cold_devices().map(|(d, _)| d).collect();
-    if !cold_now.is_empty() && g.bool_with(0.4) {
-        let _ = unit.promote_with_eviction(*g.choose(&cold_now));
-    }
-
-    // Occasionally block a SID (stall semantics).
-    if g.bool_with(0.25) {
-        unit.block_sid(SourceId(g.u16(0..cfg.num_sids as u16)));
-    }
-
-    (unit, devices)
-}
+use siopmp_verify::differential::{
+    edge_addresses, measure, random_probe, random_unit, CONFIGS, PROBES_PER_CONFIG, UNKNOWN_DEVICE,
+};
 
 #[test]
 #[allow(clippy::assertions_on_constants)] // the constants ARE the contract
@@ -148,42 +38,20 @@ fn predicted_reachability_matches_concrete_checker() {
         // violation log, never reachability, so one report serves every
         // probe below.
         let report = analyze(&unit, None);
-
-        // Probe addresses cluster around installed entry edges (where
-        // off-by-ones live) plus uniform noise.
-        let mut edges: Vec<u64> = Vec::new();
-        for (_, entry) in unit.entries() {
-            let r = entry.range();
-            edges.extend([
-                r.base().saturating_sub(1),
-                r.base(),
-                r.base() + r.len() / 2,
-                r.end().saturating_sub(1),
-                r.end(),
-            ]);
-        }
-        edges.extend([0, 0x8000_0000, u64::MAX - 8]);
+        let edges = edge_addresses(&unit);
 
         for _ in 0..PROBES_PER_CONFIG {
-            let device = *g.choose(&devices);
-            let kind = if g.bool() {
-                AccessKind::Read
-            } else {
-                AccessKind::Write
-            };
-            let addr = if g.bool_with(0.8) {
-                *g.choose(&edges)
-            } else {
-                g.u64(0..0x2_0000)
-            };
-            let len = *g.choose(&[0u64, 1, 4, 0x80, 0x400, 0x1000]);
-
-            let predicted = report.predict(device, kind, addr, len);
-            let outcome = unit.check(&DmaRequest::new(device, kind, addr, len));
+            let req = random_probe(g, &devices, &edges);
+            let predicted = report.predict(req.device(), req.kind(), req.addr(), req.len());
+            let outcome = unit.check(&req);
             check!(
                 predicted.agrees_with(&outcome),
-                "divergence for device={device:?} kind={kind:?} addr={addr:#x} len={len}: \
-                 predicted {predicted:?}, hardware said {outcome:?}"
+                "divergence for device={:?} kind={:?} addr={:#x} len={}: \
+                 predicted {predicted:?}, hardware said {outcome:?}",
+                req.device(),
+                req.kind(),
+                req.addr(),
+                req.len()
             );
         }
         Ok(())
@@ -229,4 +97,23 @@ fn per_sid_views_agree_with_checker_on_byte_probes() {
         }
         Ok(())
     });
+}
+
+#[test]
+fn full_measured_sweep_is_sound_and_reports_a_rate() {
+    // The exact sweep the `siopmp-verify` binary embeds in its JSON
+    // payload: zero disagreements is the gate, the false-positive rate is
+    // the measurement.
+    let stats = measure(CONFIGS, PROBES_PER_CONFIG, 0);
+    assert_eq!(stats.disagreements, 0, "soundness bug: {stats:?}");
+    assert_eq!(
+        stats.probes,
+        CONFIGS * PROBES_PER_CONFIG as u64,
+        "{stats:?}"
+    );
+    assert!(stats.error_diagnostics > 0, "Error paths unexercised");
+    assert!(
+        (0.0..=1.0).contains(&stats.false_positive_rate),
+        "{stats:?}"
+    );
 }

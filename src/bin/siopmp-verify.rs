@@ -41,8 +41,9 @@ use siopmp_verify::{analyze, Report, Severity};
 
 const SPEC: Spec = Spec {
     tool: "siopmp-verify",
-    usage: "usage: siopmp-verify [--list] [--json] [--out PATH] [--corpus DIR] [scenario | file.scn ...]",
-    flags: &[],
+    usage: "usage: siopmp-verify [--list] [--json] [--out PATH] [--corpus DIR] \
+[--differential] [scenario | file.scn ...]",
+    flags: &["--differential"],
     options: &["--corpus"],
     deprecated: &[],
 };
@@ -275,6 +276,34 @@ fn main() -> ExitCode {
         }
     }
 
+    // The measured soundness sweep: predict vs. hardware over randomized
+    // configurations, reporting the analyzer's false-positive rate. Runs
+    // whenever a JSON payload is produced (the rate is part of the
+    // report contract) or on explicit request; any predict/check
+    // disagreement is a soundness bug and fails the exit code.
+    let differential = if args.json || args.out.is_some() || args.has("--differential") {
+        let stats = siopmp_verify::differential::measure(
+            siopmp_verify::differential::CONFIGS,
+            siopmp_verify::differential::PROBES_PER_CONFIG,
+            args.seed.unwrap_or(0),
+        );
+        if !args.json {
+            println!(
+                "differential           {} probes over {} configs: {} disagreement(s), \
+                 {} Error(s) ({} corroborated), fp rate {:.4}",
+                stats.probes,
+                stats.configs,
+                stats.disagreements,
+                stats.error_diagnostics,
+                stats.corroborated_errors,
+                stats.false_positive_rate,
+            );
+        }
+        Some(stats)
+    } else {
+        None
+    };
+
     let payload = Json::object([
         (
             "summary",
@@ -285,6 +314,13 @@ fn main() -> ExitCode {
                 ("scenarios", Json::u64(rendered.len() as u64)),
                 ("broken_files", Json::u64(broken as u64)),
             ]),
+        ),
+        (
+            "differential",
+            differential
+                .as_ref()
+                .map(|s| s.to_json())
+                .unwrap_or(Json::Null),
         ),
         (
             "scenarios",
@@ -307,10 +343,12 @@ fn main() -> ExitCode {
         }
     }
 
-    if totals[2] > 0 || broken > 0 {
+    let disagreements = differential.as_ref().map_or(0, |s| s.disagreements);
+    if totals[2] > 0 || broken > 0 || disagreements > 0 {
         eprintln!(
-            "siopmp-verify: {} Error-severity finding(s), {} broken file(s)",
-            totals[2], broken
+            "siopmp-verify: {} Error-severity finding(s), {} broken file(s), \
+             {} differential disagreement(s)",
+            totals[2], broken, disagreements
         );
         ExitCode::FAILURE
     } else {
