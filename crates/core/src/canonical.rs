@@ -108,15 +108,30 @@ impl CanonicalState {
 
     /// 64-bit FNV-1a over [`CanonicalState::encode`].
     pub fn fingerprint(&self) -> u64 {
-        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const PRIME: u64 = 0x0000_0100_0000_01b3;
-        let mut h = OFFSET;
-        for byte in self.encode() {
-            h ^= u64::from(byte);
-            h = h.wrapping_mul(PRIME);
-        }
-        h
+        fnv1a_extend(FNV_OFFSET, &self.encode())
     }
+}
+
+/// FNV-1a 64-bit offset basis — the seed value of every measurement
+/// hash and hash chain in the workspace (policy fingerprints, the
+/// monitor's measured-switch chain, the attested config journal).
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds `bytes` into a running 64-bit FNV-1a hash `h`. Start from
+/// [`FNV_OFFSET`] and chain calls to hash multi-part records — this is
+/// the primitive behind [`CanonicalState::fingerprint`] and the
+/// hash-chained measurement records (monitor cold switches, the
+/// `siopmp-serviced` config journal).
+pub fn fnv1a_extend(h: u64, bytes: &[u8]) -> u64 {
+    let mut h = h;
+    for &byte in bytes {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
 }
 
 fn push_len(out: &mut Vec<u8>, len: usize) {

@@ -22,6 +22,18 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// Records that `alias` has been warned about for `tool` and reports
+/// whether it already had been. Deprecation warnings are a migration
+/// nudge, not a log line: a long-lived process (a daemon re-parsing
+/// request specs, a loop retrying `parse`) should nag once per process,
+/// not once per occurrence.
+fn alias_already_warned(tool: &str, alias: &str) -> bool {
+    static WARNED: Mutex<BTreeSet<(String, String)>> = Mutex::new(BTreeSet::new());
+    let mut seen = WARNED.lock().unwrap_or_else(|e| e.into_inner());
+    !seen.insert((tool.to_string(), alias.to_string()))
+}
 
 /// The static description of one tool's command line.
 pub struct Spec {
@@ -99,10 +111,12 @@ impl Spec {
                 None => (raw.clone(), None),
             };
             if let Some(&(_, canonical)) = self.deprecated.iter().find(|&&(old, _)| old == flag) {
-                out.warnings.push(format!(
-                    "{}: `{flag}` is deprecated, use `{canonical}`",
-                    self.tool
-                ));
+                if !alias_already_warned(self.tool, &flag) {
+                    out.warnings.push(format!(
+                        "{}: `{flag}` is deprecated, use `{canonical}`",
+                        self.tool
+                    ));
+                }
                 flag = canonical.to_string();
             }
             let mut value = |inline: Option<String>| -> Result<String, String> {
@@ -214,6 +228,27 @@ mod tests {
         assert_eq!(a.warnings.len(), 1);
         assert!(a.warnings[0].contains("deprecated"), "{:?}", a.warnings);
         assert!(a.warnings[0].contains("--list"), "{:?}", a.warnings);
+    }
+
+    #[test]
+    fn deprecated_alias_warns_once_per_process() {
+        // Distinct tool name: the once-per-process dedup is keyed
+        // `(tool, alias)`, and tests share one process.
+        const ONCE: Spec = Spec {
+            tool: "demo-once",
+            usage: "usage: demo-once [--list]",
+            flags: &[],
+            options: &[],
+            deprecated: &[("-x", "--list")],
+        };
+        // Two occurrences in one command line: one warning.
+        let a = ONCE.parse(strs(&["-x", "-x"])).unwrap();
+        assert!(a.list);
+        assert_eq!(a.warnings.len(), 1, "{:?}", a.warnings);
+        // A later parse in the same process: alias still works, no nag.
+        let b = ONCE.parse(strs(&["-x"])).unwrap();
+        assert!(b.list);
+        assert!(b.warnings.is_empty(), "{:?}", b.warnings);
     }
 
     #[test]

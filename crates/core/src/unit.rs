@@ -731,6 +731,16 @@ impl Siopmp {
         }
     }
 
+    /// 64-bit measurement of the current policy state: the FNV-1a
+    /// [`CanonicalState::fingerprint`] of [`Siopmp::canonical_state`].
+    /// This is the value attested config journals and measured
+    /// cold-switch records capture, so a remote party can audit which
+    /// policy was in force when; two units answer identically to every
+    /// probe whenever their fingerprints agree (modulo 64-bit hashing).
+    pub fn policy_fingerprint(&self) -> u64 {
+        self.canonical_state().fingerprint()
+    }
+
     // ------------------------------------------------------------------
     // Check path (bus side)
     // ------------------------------------------------------------------

@@ -37,6 +37,7 @@ struct MonitorCounters {
     cycles_spent: Counter,
     drains_committed: Counter,
     drains_refused: Counter,
+    measured_switches: Counter,
 }
 
 impl MonitorCounters {
@@ -51,9 +52,34 @@ impl MonitorCounters {
             cycles_spent: t.counter("monitor.cycles_spent"),
             drains_committed: t.counter("monitor.drains_committed"),
             drains_refused: t.counter("monitor.drains_refused"),
+            measured_switches: t.counter("monitor.measured_switches"),
         }
     }
 }
+
+/// One measured cold-switch record: the attestation evidence that a
+/// particular policy state was in force after a particular mount. The
+/// records form a hash chain (`chain` folds the previous record's chain
+/// with this record's device and post-switch policy fingerprint), so a
+/// remote auditor holding the latest `chain` value can detect any
+/// dropped, reordered or rewritten switch in the history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwitchMeasurement {
+    /// Position in the chain (0-based).
+    pub seq: u64,
+    /// The device the switch mounted at the eSID.
+    pub device: DeviceId,
+    /// [`Siopmp::policy_fingerprint`] of the post-switch state.
+    pub policy_hash: u64,
+    /// Running FNV-1a chain over `(prev_chain, device, policy_hash)`.
+    pub chain: u64,
+    /// Modelled cycle cost of the switch.
+    pub cycles: u64,
+}
+
+/// Measured switch records kept in memory; older history is only
+/// reachable through the chain value each retained record carries.
+const MEASUREMENT_CAPACITY: usize = 1024;
 
 use crate::cap::{CapId, Capability, MemPerms};
 use crate::controllers::{InterruptController, MonitorInterrupt, PmpController};
@@ -148,6 +174,12 @@ pub struct SecureMonitor {
     preswitch_verify: bool,
     telemetry: Telemetry,
     counters: MonitorCounters,
+    /// Measured cold-switch records, oldest first (bounded ring).
+    measurements: Vec<SwitchMeasurement>,
+    /// Chain head: [`siopmp::canonical::FNV_OFFSET`] before any switch.
+    measurement_chain: u64,
+    /// Total switches measured (also the next record's `seq`).
+    measurement_seq: u64,
 }
 
 impl SecureMonitor {
@@ -170,6 +202,9 @@ impl SecureMonitor {
             preswitch_verify: false,
             counters: MonitorCounters::attach(&telemetry),
             telemetry,
+            measurements: Vec::new(),
+            measurement_chain: siopmp::canonical::FNV_OFFSET,
+            measurement_seq: 0,
         }
     }
 
@@ -517,6 +552,7 @@ impl SecureMonitor {
                         // repaired capability map unblocks it naturally.
                     } else if let Ok(report) = self.siopmp.handle_sid_missing(device) {
                         self.counters.cycles_spent.add(report.cycles);
+                        self.record_switch_measurement(report.mounted, report.cycles);
                     }
                 }
                 MonitorInterrupt::Violation(_record) => {
@@ -672,12 +708,61 @@ impl SecureMonitor {
                 DrainPoll::Committed(report) => {
                     self.counters.cycles_spent.add(report.cycles);
                     self.counters.drains_committed.inc();
+                    self.record_switch_measurement(report.mounted, report.cycles);
                 }
                 DrainPoll::Refused => self.counters.drains_refused.inc(),
                 _ => {}
             }
         }
         poll
+    }
+
+    /// Appends a measured record for a just-committed cold switch: the
+    /// post-switch [`Siopmp::policy_fingerprint`] folded into the running
+    /// hash chain. Every commit path (interrupt-driven mounts and
+    /// quiesced drains) lands here.
+    fn record_switch_measurement(&mut self, device: DeviceId, cycles: u64) {
+        use siopmp::canonical::fnv1a_extend;
+        let policy_hash = self.siopmp.policy_fingerprint();
+        let mut chain = fnv1a_extend(
+            self.measurement_chain,
+            &self.measurement_chain.to_le_bytes(),
+        );
+        chain = fnv1a_extend(chain, &device.0.to_le_bytes());
+        chain = fnv1a_extend(chain, &policy_hash.to_le_bytes());
+        let record = SwitchMeasurement {
+            seq: self.measurement_seq,
+            device,
+            policy_hash,
+            chain,
+            cycles,
+        };
+        self.measurement_chain = chain;
+        self.measurement_seq += 1;
+        if self.measurements.len() == MEASUREMENT_CAPACITY {
+            self.measurements.remove(0);
+        }
+        self.measurements.push(record);
+        self.counters.measured_switches.inc();
+    }
+
+    /// The retained measured cold-switch records, oldest first.
+    pub fn switch_measurements(&self) -> &[SwitchMeasurement] {
+        &self.measurements
+    }
+
+    /// The most recent measured cold-switch record, if any switch has
+    /// committed since boot.
+    pub fn last_switch_measurement(&self) -> Option<&SwitchMeasurement> {
+        self.measurements.last()
+    }
+
+    /// The current head of the measurement hash chain
+    /// ([`siopmp::canonical::FNV_OFFSET`] before the first switch). This
+    /// is the single value a remote auditor tracks to verify the full
+    /// switch history.
+    pub fn measurement_chain(&self) -> u64 {
+        self.measurement_chain
     }
 
     /// Abandons a drain without mounting, releasing the quiesce block.
@@ -1041,6 +1126,59 @@ mod tests {
         assert_eq!(m.siopmp().mounted_cold_device(), Some(DeviceId(1)));
         assert!(m.cycles_spent() > before);
         assert_eq!(t.snapshot().counters["monitor.drains_committed"], 1);
+    }
+
+    #[test]
+    fn committed_switches_append_measured_records_to_the_chain() {
+        let t = Telemetry::new();
+        let mut cfg = SiopmpConfig::small();
+        cfg.num_sids = 2;
+        let mut m = SecureMonitor::build(cfg, t.clone());
+        let mem = m.mint_memory(0x8000_0000, 0x100_0000, MemPerms::rw());
+        let d0 = m.mint_device(DeviceId(0));
+        let d1 = m.mint_device(DeviceId(1));
+        let tee = m.create_tee(vec![mem, d0, d1]).unwrap();
+        m.device_map(tee, d1, mem, 0x8000_2000, 0x100, MemPerms::rw())
+            .unwrap();
+        assert_eq!(m.switch_measurements(), &[]);
+        assert_eq!(m.measurement_chain(), siopmp::canonical::FNV_OFFSET);
+
+        // Interrupt-driven mount (check_dma raises SID-missing, the
+        // monitor mounts): one measured record.
+        assert!(m
+            .check_dma(&DmaRequest::new(
+                DeviceId(1),
+                AccessKind::Read,
+                0x8000_2000,
+                64
+            ))
+            .is_allowed());
+        assert_eq!(m.switch_measurements().len(), 1);
+        let first = *m.last_switch_measurement().unwrap();
+        assert_eq!(first.seq, 0);
+        assert_eq!(first.device, DeviceId(1));
+        assert_eq!(first.policy_hash, m.siopmp().policy_fingerprint());
+        assert_eq!(first.chain, m.measurement_chain());
+        assert_ne!(first.chain, siopmp::canonical::FNV_OFFSET);
+
+        // Quiesced drain commit: the chain extends, seq advances, and
+        // the record measures the (unchanged no-op remount) state.
+        let mut drain = m
+            .begin_cold_switch(DeviceId(1), 10, siopmp::quiesce::DrainConfig::default())
+            .unwrap();
+        assert!(matches!(
+            m.poll_cold_switch(&mut drain, 0, 11),
+            DrainPoll::Committed(_)
+        ));
+        assert_eq!(m.switch_measurements().len(), 2);
+        let second = *m.last_switch_measurement().unwrap();
+        assert_eq!(second.seq, 1);
+        assert_ne!(second.chain, first.chain, "chain must advance");
+        assert_eq!(
+            t.snapshot().counters["monitor.measured_switches"],
+            2,
+            "both commit paths are measured"
+        );
     }
 
     #[test]

@@ -332,6 +332,27 @@ impl Default for RunParams {
     }
 }
 
+/// The optional scenario-level `fleet` directive: admission-control
+/// parameters `siopmp-serviced` applies to every tenant this scenario
+/// contributes when loaded into a fleet. Scenarios without a `fleet`
+/// stanza get the daemon's defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetParams {
+    /// Per-tenant token-bucket refill rate, in tokens per 1000 virtual
+    /// ticks (one admitted request costs one token).
+    pub rate: u64,
+    /// Token-bucket capacity — the largest burst a tenant can spend at
+    /// once — in whole tokens.
+    pub burst: u64,
+    /// Default per-request admission deadline in ticks; `None` defers to
+    /// the daemon default.
+    pub deadline: Option<u64>,
+    /// Bounded retry budget for `Stalled` verdicts as
+    /// `(max_retries, backoff_base_ticks)`; `None` defers to the daemon
+    /// default.
+    pub retry: Option<(u32, u64)>,
+}
+
 /// A report metric an `expect` line can constrain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Metric {
@@ -495,6 +516,8 @@ pub struct Scenario {
     pub unit: UnitParams,
     /// Bus timing shared by every domain.
     pub bus: BusParams,
+    /// Admission-control parameters for `siopmp-serviced`, if declared.
+    pub fleet: Option<FleetParams>,
     /// Domains, in shard order.
     pub domains: Vec<Domain>,
     /// Run parameters.
@@ -511,6 +534,7 @@ impl Scenario {
             description: None,
             unit: UnitParams::default(),
             bus: BusParams::default(),
+            fleet: None,
             domains: Vec::new(),
             run: RunParams::default(),
             expects: Vec::new(),

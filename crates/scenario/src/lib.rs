@@ -48,6 +48,7 @@
 //! | `master device=<id> kind=.. mode=.. base=.. [stride=..] count=.. [outstanding=..] [retry=m:b] [retry_sid_missing]` | one DMA master |
 //! | `then kind=.. mode=.. base=.. [stride=..] count=..` | chains another traffic segment onto the last master |
 //! | `faults seed=.. horizon=.. budget=.. [block=l] [cold=l] [churn=l]` | a seeded fault schedule for this domain |
+//! | `fleet rate=.. burst=.. [deadline=..] [retry=m:b]` | admission-control limits `siopmp-serviced` applies to this scenario's tenants |
 //! | `run k=v ...` | `max_cycles epoch threads` |
 //! | `expect completed \| lint clean \| <metric> <op> <value>` | an invariant the run must satisfy |
 //!
@@ -88,7 +89,7 @@ pub mod parse;
 pub mod prove;
 pub mod render;
 
-pub use ast::Scenario;
+pub use ast::{FleetParams, Scenario};
 pub use compile::{
     compile, domain_units, lint, metric_value, run, CompileError, DomainLint, DomainUnit, Outcome,
     RunOptions,

@@ -373,6 +373,57 @@ pub fn parse(text: &str) -> Result<Scenario, ScnError> {
                     }
                 }
             }
+            "fleet" => {
+                if scn.fleet.is_some() {
+                    return err(line, "duplicate `fleet` directive");
+                }
+                let mut decl = FleetParams {
+                    rate: 0,
+                    burst: 0,
+                    deadline: None,
+                    retry: None,
+                };
+                let (mut saw_rate, mut saw_burst) = (false, false);
+                for tok in args {
+                    let Some((k, v)) = split_kv(tok) else {
+                        return err(
+                            line,
+                            format!("`fleet` expects key=value pairs, got `{tok}`"),
+                        );
+                    };
+                    match k {
+                        "rate" => {
+                            decl.rate = num_or(line, k, v)?;
+                            saw_rate = true;
+                        }
+                        "burst" => {
+                            decl.burst = num_or(line, k, v)?;
+                            saw_burst = true;
+                        }
+                        "deadline" => decl.deadline = Some(num_or(line, k, v)?),
+                        "retry" => {
+                            let Some((max, backoff)) = v.split_once(':') else {
+                                return err(line, "`fleet` retry expects retry=<max>:<backoff>");
+                            };
+                            decl.retry = Some((
+                                num_or(line, "retry max", max)?,
+                                num_or(line, "retry backoff", backoff)?,
+                            ));
+                        }
+                        other => return err(line, format!("unknown `fleet` key `{other}`")),
+                    }
+                }
+                if !(saw_rate && saw_burst) {
+                    return err(line, "`fleet` requires rate= and burst=");
+                }
+                if decl.rate == 0 || decl.burst == 0 {
+                    return err(line, "`fleet` rate and burst must be at least 1");
+                }
+                if decl.deadline == Some(0) {
+                    return err(line, "`fleet` deadline must be at least 1");
+                }
+                scn.fleet = Some(decl);
+            }
             "domain" => {
                 let [name] = args else {
                     return err(line, "`domain` takes exactly one name");
@@ -717,6 +768,40 @@ mod tests {
     fn comments_and_blank_lines_are_ignored() {
         let s = parse("# header\n\nscenario tiny # trailing\n\ndomain d0 # another\n").unwrap();
         assert_eq!(s.domains.len(), 1);
+    }
+
+    #[test]
+    fn fleet_stanza_parses_and_validates() {
+        let s = parse(
+            "scenario t\nfleet rate=500 burst=64 deadline=1000 retry=3:8\ndomain d\n  device 1 hot md=0\n",
+        )
+        .unwrap();
+        assert_eq!(
+            s.fleet,
+            Some(FleetParams {
+                rate: 500,
+                burst: 64,
+                deadline: Some(1000),
+                retry: Some((3, 8)),
+            })
+        );
+        // Optional keys default off.
+        let s = parse("scenario t\nfleet rate=1 burst=1\ndomain d\n").unwrap();
+        assert_eq!(s.fleet.unwrap().deadline, None);
+        assert!(
+            parse("scenario t\nfleet rate=500\n").is_err(),
+            "burst required"
+        );
+        assert!(
+            parse("scenario t\nfleet rate=0 burst=4\n").is_err(),
+            "zero rate"
+        );
+        assert!(parse("scenario t\nfleet rate=1 burst=1 deadline=0\n").is_err());
+        assert!(parse("scenario t\nfleet rate=1 burst=1 retry=3\n").is_err());
+        assert!(
+            parse("scenario t\nfleet rate=1 burst=1\nfleet rate=1 burst=1\n").is_err(),
+            "duplicate fleet"
+        );
     }
 
     #[test]

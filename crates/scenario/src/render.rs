@@ -110,6 +110,16 @@ pub fn render(scenario: &Scenario) -> String {
         b.issue_gap,
         on_off(b.derive_checker),
     );
+    if let Some(f) = &scenario.fleet {
+        let mut line = format!("fleet rate={} burst={}", f.rate, f.burst);
+        if let Some(d) = f.deadline {
+            let _ = write!(line, " deadline={d}");
+        }
+        if let Some((max, backoff)) = f.retry {
+            let _ = write!(line, " retry={max}:{backoff}");
+        }
+        let _ = writeln!(out, "{line}");
+    }
     for domain in &scenario.domains {
         let _ = writeln!(out, "\ndomain {}", domain.name);
         if let Some((base, len)) = domain.home {

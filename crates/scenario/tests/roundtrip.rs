@@ -116,6 +116,12 @@ fn gen_scenario(g: &mut Gen) -> Scenario {
         issue_gap: g.u32(0..16),
         derive_checker: g.bool(),
     };
+    s.fleet = g.bool().then(|| FleetParams {
+        rate: g.u64(1..100_000),
+        burst: g.u64(1..10_000),
+        deadline: g.bool().then(|| g.u64(1..1_000_000)),
+        retry: g.bool().then(|| (g.u32(1..16), g.u64(1..64))),
+    });
     let domains = g.usize(1..4);
     for i in 0..domains {
         s.domains.push(gen_domain(g, i));

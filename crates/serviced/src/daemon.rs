@@ -1,0 +1,848 @@
+//! The admission daemon's state machine.
+//!
+//! [`Serviced`] is a *deterministic* core: it owns the fleet, the
+//! journal, the virtual clock and all admission state, and exposes one
+//! entry point — [`Serviced::handle`] — mapping a parsed [`Request`] to
+//! a JSON [`Json`] response. The binary wraps this in real I/O (unix
+//! socket / stdin, SIGTERM, wall-clock ticks); tests and benches drive
+//! it directly in virtual time, which is what makes the chaos suite's
+//! 256 seeded runs reproducible byte for byte.
+//!
+//! ## Admission pipeline
+//!
+//! A `check` passes through, in order: drain gate → tenant token
+//! bucket → global token bucket → deadline admission against the
+//! single-worker backlog (queue wait + service + any stall backoff must
+//! fit the deadline) → the tenant's [`SharedSiopmp`] snapshot. `Stalled`
+//! verdicts are retried with the bus crate's bounded exponential
+//! [`RetryPolicy`] before being surfaced. Every shed is explicit — the
+//! response carries the [`ShedReason`] — and sheds never consume worker
+//! backlog, which is exactly why one storming tenant cannot inflate the
+//! others' queue wait (the fairness property the chaos suite measures).
+//!
+//! ## Crash safety
+//!
+//! Every cold switch mutates the tenant unit *first*, then appends a
+//! measured record (post-switch [`Fleet::fleet_hash`]) to the journal
+//! and fsyncs before acking. A crash between the two leaves the journal
+//! one record short; restart replay re-applies the journaled switches
+//! onto a freshly-loaded fleet and verifies each record's measurement,
+//! so the recovered daemon always lands on the journal's last *complete*
+//! policy state — never a torn one.
+//!
+//! [`SharedSiopmp`]: siopmp::SharedSiopmp
+//! [`RetryPolicy`]: siopmp_bus::RetryPolicy
+
+use std::path::Path;
+
+use siopmp::ids::DeviceId;
+use siopmp::json::Json;
+use siopmp::request::DmaRequest;
+use siopmp::telemetry::{Counter, Histogram, Telemetry};
+use siopmp::CheckOutcome;
+use siopmp_bus::RetryPolicy;
+
+use crate::admission::{ShedReason, TokenBucket};
+use crate::fleet::Fleet;
+use crate::journal::{Journal, JournalError, JournalEvent, Replay};
+use crate::proto::Request;
+
+/// Modelled worker service time per admitted request, in ticks.
+pub const SERVICE_TICKS: u64 = 1;
+
+/// Daemon-wide knobs (the fleet stanza covers per-tenant limits).
+#[derive(Debug, Clone, Copy)]
+pub struct ServicedConfig {
+    /// Global token-bucket rate, tokens per 1000 ticks.
+    pub global_rate: u64,
+    /// Global token-bucket capacity in tokens.
+    pub global_burst: u64,
+    /// Force-fail a wedged worker after this many ticks.
+    pub watchdog_ticks: u64,
+    /// Enables chaos-only verbs (`wedge`).
+    pub chaos: bool,
+}
+
+impl Default for ServicedConfig {
+    fn default() -> Self {
+        ServicedConfig {
+            global_rate: 512_000,
+            global_burst: 512,
+            watchdog_ticks: 64,
+            chaos: false,
+        }
+    }
+}
+
+/// Why the daemon refused to start.
+#[derive(Debug)]
+pub enum StartError {
+    /// Journal I/O failure.
+    Journal(JournalError),
+    /// A journaled switch named an unknown tenant or device.
+    ReplayUnknown {
+        /// Journal sequence number of the offending record.
+        seq: u64,
+        /// What was unknown.
+        what: String,
+    },
+    /// Re-applying a journaled switch landed on a different measured
+    /// policy hash than the record attests — the fleet sources changed
+    /// out from under the journal, or the journal was forged.
+    ReplayDiverged {
+        /// Journal sequence number of the diverging record.
+        seq: u64,
+        /// Hash the record attests.
+        recorded: u64,
+        /// Hash re-application produced.
+        computed: u64,
+    },
+}
+
+impl std::fmt::Display for StartError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StartError::Journal(e) => write!(f, "journal: {e}"),
+            StartError::ReplayUnknown { seq, what } => {
+                write!(f, "journal replay: record {seq} references unknown {what}")
+            }
+            StartError::ReplayDiverged {
+                seq,
+                recorded,
+                computed,
+            } => write!(
+                f,
+                "journal replay diverged at record {seq}: \
+                 recorded policy hash {recorded:#018x}, computed {computed:#018x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StartError {}
+
+impl From<JournalError> for StartError {
+    fn from(e: JournalError) -> Self {
+        StartError::Journal(e)
+    }
+}
+
+/// `siopmp.serviced.*` telemetry counters.
+struct ServicedCounters {
+    requests: Counter,
+    allowed: Counter,
+    denied: Counter,
+    stalled: Counter,
+    shed: Counter,
+    drained: Counter,
+    switches: Counter,
+    journal_replays: Counter,
+    watchdog_trips: Counter,
+}
+
+impl ServicedCounters {
+    fn attach(t: &Telemetry) -> Self {
+        ServicedCounters {
+            requests: t.counter("siopmp.serviced.requests"),
+            allowed: t.counter("siopmp.serviced.allowed"),
+            denied: t.counter("siopmp.serviced.denied"),
+            stalled: t.counter("siopmp.serviced.stalled"),
+            shed: t.counter("siopmp.serviced.shed"),
+            drained: t.counter("siopmp.serviced.drained"),
+            switches: t.counter("siopmp.serviced.switches"),
+            journal_replays: t.counter("siopmp.serviced.journal_replays"),
+            watchdog_trips: t.counter("siopmp.serviced.watchdog_trips"),
+        }
+    }
+}
+
+/// The daemon core. See the module docs for the admission pipeline.
+pub struct Serviced {
+    fleet: Fleet,
+    journal: Journal,
+    config: ServicedConfig,
+    telemetry: Telemetry,
+    counters: ServicedCounters,
+    /// Per-tenant admission-latency histograms, fleet order.
+    latency: Vec<Histogram>,
+    /// Virtual clock, in ticks.
+    clock: u64,
+    /// Daemon-wide load-shedding bucket.
+    global_bucket: TokenBucket,
+    /// Tick at which the single worker next becomes free.
+    backlog_until: u64,
+    /// Chaos wedge: worker stuck until this tick, with its start tick.
+    wedge: Option<(u64, u64)>,
+    /// Graceful-drain flag; set by `drain` or SIGTERM.
+    draining: bool,
+    /// What restart replay found (kept for `health`).
+    replay: Replay,
+}
+
+impl Serviced {
+    /// Starts the daemon: replays the journal onto the freshly-loaded
+    /// fleet, verifies every record's measurement, appends a `Boot`
+    /// record and is then ready to serve.
+    ///
+    /// # Errors
+    ///
+    /// [`StartError`] on journal I/O failure, replay divergence, or a
+    /// record referencing tenants/devices the fleet no longer has.
+    pub fn start(
+        fleet: Fleet,
+        journal_path: Option<&Path>,
+        config: ServicedConfig,
+    ) -> Result<Serviced, StartError> {
+        let (journal, replay) = match journal_path {
+            Some(p) => Journal::open(p)?,
+            None => (Journal::in_memory(), Replay::default()),
+        };
+        Serviced::start_with(fleet, journal, replay, config)
+    }
+
+    /// [`Serviced::start`] with an explicit journal + replay, for tests
+    /// injecting in-memory journals and crash faults.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Serviced::start`].
+    pub fn start_with(
+        mut fleet: Fleet,
+        journal: Journal,
+        replay: Replay,
+        config: ServicedConfig,
+    ) -> Result<Serviced, StartError> {
+        let telemetry = Telemetry::new();
+        let counters = ServicedCounters::attach(&telemetry);
+
+        // Re-apply journaled cold switches in order, checking each
+        // record's measured hash against the state it claims to attest.
+        for record in &replay.records {
+            if record.event != JournalEvent::ColdSwitch {
+                continue;
+            }
+            let device =
+                parse_switch_detail(&record.detail).ok_or_else(|| StartError::ReplayUnknown {
+                    seq: record.seq,
+                    what: format!("switch detail `{}`", record.detail),
+                })?;
+            let idx = fleet
+                .index_of(&record.tenant)
+                .ok_or_else(|| StartError::ReplayUnknown {
+                    seq: record.seq,
+                    what: format!("tenant `{}`", record.tenant),
+                })?;
+            fleet.tenants_mut()[idx]
+                .unit
+                .handle_sid_missing(device)
+                .map_err(|e| StartError::ReplayUnknown {
+                    seq: record.seq,
+                    what: format!("device {} ({e})", device.0),
+                })?;
+            let computed = fleet.fleet_hash();
+            if computed != record.policy_hash {
+                return Err(StartError::ReplayDiverged {
+                    seq: record.seq,
+                    recorded: record.policy_hash,
+                    computed,
+                });
+            }
+        }
+        if !replay.records.is_empty() {
+            counters.journal_replays.inc();
+        }
+
+        let latency = fleet
+            .tenants()
+            .iter()
+            .map(|t| telemetry.histogram(&format!("siopmp.serviced.latency.{}", t.name)))
+            .collect();
+        let global_bucket = TokenBucket::new(config.global_rate, config.global_burst, 0);
+        let mut daemon = Serviced {
+            fleet,
+            journal,
+            config,
+            telemetry,
+            counters,
+            latency,
+            clock: 0,
+            global_bucket,
+            backlog_until: 0,
+            wedge: None,
+            draining: false,
+            replay,
+        };
+        let hash = daemon.fleet.fleet_hash();
+        daemon
+            .journal
+            .append(daemon.clock, JournalEvent::Boot, hash, "", "")?;
+        Ok(daemon)
+    }
+
+    /// The fleet (read-only; tests inspect tenants and hashes).
+    pub fn fleet(&self) -> &Fleet {
+        &self.fleet
+    }
+
+    /// The telemetry registry (counters + per-tenant histograms).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Replay results from start-up.
+    pub fn replay(&self) -> &Replay {
+        &self.replay
+    }
+
+    /// The journal (tests arm crash injection through this).
+    pub fn journal_mut(&mut self) -> &mut Journal {
+        &mut self.journal
+    }
+
+    /// Current virtual tick.
+    pub fn now(&self) -> u64 {
+        self.clock
+    }
+
+    /// Whether the daemon is draining.
+    pub fn is_draining(&self) -> bool {
+        self.draining
+    }
+
+    /// Advances the virtual clock and polls the watchdog.
+    pub fn advance(&mut self, ticks: u64) {
+        self.clock = self.clock.saturating_add(ticks);
+        self.poll_watchdog();
+    }
+
+    /// Begins a graceful drain (SIGTERM path): journals the event; all
+    /// subsequent `check`/`switch` requests answer `Draining`.
+    ///
+    /// # Errors
+    ///
+    /// Journal I/O failure (the drain still takes effect locally).
+    pub fn begin_drain(&mut self) -> Result<(), JournalError> {
+        if self.draining {
+            return Ok(());
+        }
+        self.draining = true;
+        let hash = self.fleet.fleet_hash();
+        self.journal
+            .append(self.clock, JournalEvent::Drain, hash, "", "")
+            .map(|_| ())
+    }
+
+    /// Whether the worker is currently wedged.
+    pub fn is_wedged(&self) -> bool {
+        self.wedge.is_some()
+    }
+
+    /// Watchdog trips so far.
+    pub fn watchdog_trips(&self) -> u64 {
+        self.counters.watchdog_trips.get()
+    }
+
+    /// Force-fails the worker if it has been wedged longer than the
+    /// watchdog deadline; clears naturally-expired wedges.
+    fn poll_watchdog(&mut self) {
+        if let Some((started, until)) = self.wedge {
+            if until <= self.clock {
+                self.wedge = None;
+            } else if self.clock.saturating_sub(started) >= self.config.watchdog_ticks {
+                // The self-watchdog fires: kill the wedged work, reset
+                // the backlog so queued latency does not leak into the
+                // next request, and count the trip.
+                self.wedge = None;
+                self.backlog_until = self.clock;
+                self.counters.watchdog_trips.inc();
+            }
+        }
+    }
+
+    /// p99 admission latency of a tenant, from its histogram.
+    pub fn latency_p99(&self, tenant: &str) -> Option<u64> {
+        let idx = self.fleet.index_of(tenant)?;
+        Some(self.latency[idx].snapshot().p99())
+    }
+
+    /// Handles one request, returning the JSON response payload.
+    pub fn handle(&mut self, req: &Request) -> Json {
+        match req {
+            Request::Ping => Json::object([("verdict", Json::str("pong"))]),
+            Request::Health => self.health(),
+            Request::Stats => self.telemetry.snapshot().to_json(),
+            Request::Tenants => self.tenants_json(),
+            Request::Tick { n } => {
+                self.advance(*n);
+                Json::object([
+                    ("verdict", Json::str("ok")),
+                    ("tick", Json::u64(self.clock)),
+                ])
+            }
+            Request::Drain => match self.begin_drain() {
+                Ok(()) => Json::object([
+                    ("verdict", Json::str("draining")),
+                    ("tick", Json::u64(self.clock)),
+                ]),
+                Err(e) => error_json(&format!("journal: {e}")),
+            },
+            Request::Wedge { ticks } => {
+                if !self.config.chaos {
+                    return error_json("wedge requires --chaos");
+                }
+                let until = self.clock.saturating_add(*ticks);
+                self.wedge = Some((self.clock, until));
+                Json::object([
+                    ("verdict", Json::str("wedged")),
+                    ("until", Json::u64(until)),
+                ])
+            }
+            Request::Switch { tenant, device } => self.switch(tenant, *device),
+            Request::Check {
+                tenant,
+                device,
+                kind,
+                addr,
+                len,
+                deadline,
+            } => {
+                let dma = DmaRequest::new(*device, *kind, *addr, *len);
+                self.check(tenant, &dma, *deadline)
+            }
+        }
+    }
+
+    /// Explicit cold switch with a measured, fsynced journal record.
+    fn switch(&mut self, tenant: &str, device: DeviceId) -> Json {
+        if self.draining {
+            self.counters.drained.inc();
+            return verdict_json("draining", self.clock, []);
+        }
+        let Some(idx) = self.fleet.index_of(tenant) else {
+            return error_json(&format!("unknown tenant `{tenant}`"));
+        };
+        let report = match self.fleet.tenants_mut()[idx]
+            .unit
+            .handle_sid_missing(device)
+        {
+            Ok(r) => r,
+            Err(e) => return error_json(&format!("switch failed: {e}")),
+        };
+        let hash = self.fleet.fleet_hash();
+        let detail = format!("device={} cycles={}", device.0, report.cycles);
+        match self
+            .journal
+            .append(self.clock, JournalEvent::ColdSwitch, hash, tenant, &detail)
+        {
+            Ok(record) => {
+                self.counters.switches.inc();
+                Json::object([
+                    ("verdict", Json::str("switched")),
+                    ("tenant", Json::str(tenant)),
+                    ("device", Json::u64(device.0)),
+                    ("cycles", Json::u64(report.cycles)),
+                    ("policy_hash", hex_json(hash)),
+                    ("journal_seq", Json::u64(record.seq)),
+                    ("chain", hex_json(record.chain)),
+                ])
+            }
+            // The switch is applied but not journaled: the daemon must
+            // not ack it. The real binary exits here (crash-only); the
+            // chaos tests assert restart recovers the pre-switch state.
+            Err(e) => error_json(&format!("journal append failed, not acked: {e}")),
+        }
+    }
+
+    /// Full admission pipeline for one DMA check.
+    fn check(&mut self, tenant: &str, dma: &DmaRequest, deadline: Option<u64>) -> Json {
+        self.counters.requests.inc();
+        self.poll_watchdog();
+        if self.draining {
+            self.counters.drained.inc();
+            return verdict_json("draining", self.clock, []);
+        }
+        let Some(idx) = self.fleet.index_of(tenant) else {
+            return error_json(&format!("unknown tenant `{tenant}`"));
+        };
+        let now = self.clock;
+
+        // Rate limits: the tenant's own bucket first, so a storming
+        // tenant burns its own budget before it can touch the global
+        // bucket everyone shares.
+        if !self.fleet.tenants_mut()[idx].bucket.try_take(now) {
+            return self.shed(ShedReason::TenantRate);
+        }
+        if !self.global_bucket.try_take(now) {
+            return self.shed(ShedReason::GlobalLoad);
+        }
+
+        // Deadline admission: queue wait behind the single worker (plus
+        // any live wedge) and the service slot must fit the deadline.
+        let t = &self.fleet.tenants()[idx];
+        let deadline = deadline.unwrap_or(t.limits.deadline);
+        let wedged_until = self.wedge.map(|(_, until)| until).unwrap_or(0);
+        let start = now.max(self.backlog_until).max(wedged_until);
+        let mut finish = start.saturating_add(SERVICE_TICKS);
+        if finish.saturating_sub(now) > deadline {
+            return self.shed(ShedReason::DeadlineExpired);
+        }
+
+        // The check itself answers from the published snapshot; Stalled
+        // verdicts get the bus crate's bounded exponential backoff.
+        let (max_retries, backoff_base) = t.limits.retry;
+        let policy = RetryPolicy::bounded(max_retries, backoff_base);
+        let mut outcome = t.shared.check(dma);
+        let mut retries = 0u32;
+        while matches!(outcome, CheckOutcome::Stalled { .. }) && retries < max_retries {
+            retries += 1;
+            finish = finish.saturating_add(policy.backoff_for(retries));
+            if finish.saturating_sub(now) > deadline {
+                return self.shed(ShedReason::DeadlineExpired);
+            }
+            outcome = t.shared.check(dma);
+        }
+
+        let latency = finish.saturating_sub(now);
+        match outcome {
+            CheckOutcome::Allowed { matched, sid } => {
+                // Admitted work occupies the worker; this backlog is the
+                // queue the fairness test measures.
+                self.backlog_until = finish;
+                self.latency[idx].record(latency);
+                self.counters.allowed.inc();
+                verdict_json(
+                    "allowed",
+                    self.clock,
+                    [
+                        ("matched", Json::u64(matched.0 as u64)),
+                        ("sid", Json::u64(sid.0 as u64)),
+                        ("latency", Json::u64(latency)),
+                    ],
+                )
+            }
+            CheckOutcome::Denied(v) => {
+                self.backlog_until = finish;
+                self.latency[idx].record(latency);
+                self.counters.denied.inc();
+                verdict_json(
+                    "denied",
+                    self.clock,
+                    [
+                        ("device", Json::u64(v.device.0)),
+                        ("addr", Json::u64(v.addr)),
+                        ("latency", Json::u64(latency)),
+                    ],
+                )
+            }
+            CheckOutcome::Stalled { sid } => {
+                self.counters.stalled.inc();
+                verdict_json(
+                    "stalled",
+                    self.clock,
+                    [
+                        ("sid", Json::u64(sid.0 as u64)),
+                        ("retries", Json::u64(retries as u64)),
+                    ],
+                )
+            }
+            CheckOutcome::SidMissing { device } => {
+                self.counters.stalled.inc();
+                verdict_json("sid_missing", self.clock, [("device", Json::u64(device.0))])
+            }
+        }
+    }
+
+    fn shed(&self, reason: ShedReason) -> Json {
+        self.counters.shed.inc();
+        verdict_json("shed", self.clock, [("reason", Json::str(reason.label()))])
+    }
+
+    /// Liveness / readiness / policy-measurement report.
+    pub fn health(&self) -> Json {
+        Json::object([
+            ("verdict", Json::str("health")),
+            ("live", Json::Bool(true)),
+            ("ready", Json::Bool(!self.draining && self.wedge.is_none())),
+            ("draining", Json::Bool(self.draining)),
+            ("wedged", Json::Bool(self.wedge.is_some())),
+            ("tick", Json::u64(self.clock)),
+            ("tenants", Json::u64(self.fleet.tenants().len() as u64)),
+            ("fleet_hash", hex_json(self.fleet.fleet_hash())),
+            ("journal_seq", Json::u64(self.journal.seq())),
+            ("journal_chain", hex_json(self.journal.chain())),
+            (
+                "journal_replayed",
+                Json::u64(self.replay.records.len() as u64),
+            ),
+            (
+                "journal_corruption",
+                match &self.replay.corruption {
+                    Some(c) => Json::str(format!("{} at byte {}", c.kind.label(), c.offset)),
+                    None => Json::Null,
+                },
+            ),
+            ("watchdog_trips", Json::u64(self.watchdog_trips())),
+        ])
+    }
+
+    fn tenants_json(&self) -> Json {
+        Json::object([
+            ("verdict", Json::str("tenants")),
+            (
+                "tenants",
+                Json::array(self.fleet.tenants().iter().map(|t| {
+                    Json::object([
+                        ("name", Json::str(t.name.as_str())),
+                        ("policy_hash", hex_json(t.policy_fingerprint())),
+                        ("hot", Json::u64(t.hot.len() as u64)),
+                        ("cold", Json::u64(t.cold.len() as u64)),
+                        ("rate", Json::u64(t.limits.rate)),
+                        ("burst", Json::u64(t.limits.burst)),
+                    ])
+                })),
+            ),
+        ])
+    }
+}
+
+/// `device=<id> ...` → the device, for replaying switch records.
+fn parse_switch_detail(detail: &str) -> Option<DeviceId> {
+    detail
+        .split_whitespace()
+        .find_map(|tok| tok.strip_prefix("device="))
+        .and_then(|v| v.parse().ok())
+        .map(DeviceId)
+}
+
+fn hex_json(v: u64) -> Json {
+    Json::str(format!("{v:#018x}"))
+}
+
+fn error_json(message: &str) -> Json {
+    Json::object([
+        ("verdict", Json::str("error")),
+        ("error", Json::str(message)),
+    ])
+}
+
+fn verdict_json<'a>(
+    verdict: &str,
+    tick: u64,
+    extra: impl IntoIterator<Item = (&'a str, Json)>,
+) -> Json {
+    let mut pairs = vec![
+        ("verdict".to_string(), Json::str(verdict)),
+        ("tick".to_string(), Json::u64(tick)),
+    ];
+    pairs.extend(extra.into_iter().map(|(k, v)| (k.to_string(), v)));
+    Json::Object(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::Fleet;
+    use siopmp::request::AccessKind;
+    use siopmp_scenario::parse;
+
+    const SCN: &str = "\
+scenario daemon-test
+config sids=8 mds=8 entries=32 cold_entries=4
+fleet rate=2000 burst=4 deadline=100 retry=2:2
+
+domain alpha
+  device 1 hot md=0
+  entry md=0 0x1000 0x1000 rw
+  device 7 cold
+  record 0x8000 0x100 rw
+
+domain beta
+  device 2 hot md=0
+  entry md=0 0x2000 0x1000 rw
+";
+
+    fn fleet() -> Fleet {
+        let s = parse(SCN).unwrap();
+        Fleet::from_scenarios([("t", None, &s)]).unwrap()
+    }
+
+    fn daemon() -> Serviced {
+        Serviced::start_with(
+            fleet(),
+            Journal::in_memory(),
+            Replay::default(),
+            ServicedConfig {
+                chaos: true,
+                ..ServicedConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    fn check_req(tenant: &str, device: u64, addr: u64) -> Request {
+        Request::Check {
+            tenant: tenant.into(),
+            device: DeviceId(device),
+            kind: AccessKind::Write,
+            addr,
+            len: 16,
+            deadline: None,
+        }
+    }
+
+    fn verdict(json: &Json) -> String {
+        match json {
+            Json::Object(pairs) => pairs
+                .iter()
+                .find(|(k, _)| k == "verdict")
+                .map(|(_, v)| match v {
+                    Json::Str(s) => s.clone(),
+                    other => other.to_string(),
+                })
+                .unwrap_or_default(),
+            _ => String::new(),
+        }
+    }
+
+    #[test]
+    fn allowed_denied_and_missing_map_through() {
+        let mut d = daemon();
+        assert_eq!(
+            verdict(&d.handle(&check_req("t/alpha", 1, 0x1000))),
+            "allowed"
+        );
+        assert_eq!(
+            verdict(&d.handle(&check_req("t/alpha", 1, 0x9999_0000))),
+            "denied"
+        );
+        assert_eq!(
+            verdict(&d.handle(&check_req("t/alpha", 7, 0x8000))),
+            "sid_missing",
+            "cold device needs an explicit switch first"
+        );
+        assert_eq!(
+            verdict(&d.handle(&Request::Switch {
+                tenant: "t/alpha".into(),
+                device: DeviceId(7),
+            })),
+            "switched"
+        );
+        assert_eq!(
+            verdict(&d.handle(&check_req("t/alpha", 7, 0x8000))),
+            "allowed",
+            "mounted cold device admits through its record"
+        );
+    }
+
+    #[test]
+    fn tenant_bucket_sheds_before_global() {
+        let mut d = daemon();
+        // burst=4: the 5th immediate request sheds with tenant_rate.
+        let mut verdicts = Vec::new();
+        for _ in 0..5 {
+            verdicts.push(verdict(&d.handle(&check_req("t/alpha", 1, 0x1000))));
+        }
+        assert_eq!(verdicts[3], "allowed");
+        assert_eq!(verdicts[4], "shed");
+        // The other tenant is untouched.
+        assert_eq!(
+            verdict(&d.handle(&check_req("t/beta", 2, 0x2000))),
+            "allowed"
+        );
+        assert_eq!(d.telemetry().snapshot().counters["siopmp.serviced.shed"], 1);
+    }
+
+    #[test]
+    fn draining_refuses_checks_and_switches() {
+        let mut d = daemon();
+        assert_eq!(verdict(&d.handle(&Request::Drain)), "draining");
+        assert_eq!(
+            verdict(&d.handle(&check_req("t/alpha", 1, 0x1000))),
+            "draining"
+        );
+        assert_eq!(
+            verdict(&d.handle(&Request::Switch {
+                tenant: "t/alpha".into(),
+                device: DeviceId(7),
+            })),
+            "draining"
+        );
+        assert_eq!(
+            d.telemetry().snapshot().counters["siopmp.serviced.drained"],
+            2
+        );
+    }
+
+    #[test]
+    fn wedge_trips_the_watchdog_after_the_deadline() {
+        let mut d = daemon();
+        d.handle(&Request::Wedge { ticks: 1000 });
+        assert!(d.is_wedged());
+        // A request during the wedge with a tight deadline sheds.
+        let v = d.handle(&Request::Check {
+            tenant: "t/alpha".into(),
+            device: DeviceId(1),
+            kind: AccessKind::Write,
+            addr: 0x1000,
+            len: 16,
+            deadline: Some(10),
+        });
+        assert_eq!(verdict(&v), "shed");
+        // Advancing past watchdog_ticks force-fails the wedge.
+        d.advance(ServicedConfig::default().watchdog_ticks);
+        assert!(!d.is_wedged(), "watchdog cleared the wedge");
+        assert_eq!(d.watchdog_trips(), 1);
+        assert_eq!(
+            verdict(&d.handle(&check_req("t/alpha", 1, 0x1000))),
+            "allowed"
+        );
+    }
+
+    #[test]
+    fn switches_journal_and_replay_to_the_same_hash() {
+        let mut d = daemon();
+        d.handle(&Request::Switch {
+            tenant: "t/alpha".into(),
+            device: DeviceId(7),
+        });
+        let hash = d.fleet().fleet_hash();
+        let image = d.journal_mut().memory_image().unwrap().to_vec();
+
+        // Restart: fresh fleet + journal replay must converge.
+        let replay = crate::journal::replay_bytes(&image);
+        assert!(replay.corruption.is_none());
+        let journal = Journal::in_memory();
+        let d2 = Serviced::start_with(fleet(), journal, replay, ServicedConfig::default()).unwrap();
+        assert_eq!(d2.fleet().fleet_hash(), hash, "replay converges");
+        assert_eq!(
+            d2.telemetry().snapshot().counters["siopmp.serviced.journal_replays"],
+            1
+        );
+    }
+
+    #[test]
+    fn tampered_replay_hash_refuses_start() {
+        let mut d = daemon();
+        d.handle(&Request::Switch {
+            tenant: "t/alpha".into(),
+            device: DeviceId(7),
+        });
+        let image = d.journal_mut().memory_image().unwrap().to_vec();
+        let mut replay = crate::journal::replay_bytes(&image);
+        // Forge the switch record's attested hash.
+        for r in &mut replay.records {
+            if r.event == JournalEvent::ColdSwitch {
+                r.policy_hash ^= 1;
+            }
+        }
+        let Err(err) = Serviced::start_with(
+            fleet(),
+            Journal::in_memory(),
+            replay,
+            ServicedConfig::default(),
+        ) else {
+            panic!("forged replay accepted");
+        };
+        assert!(matches!(err, StartError::ReplayDiverged { .. }));
+    }
+}

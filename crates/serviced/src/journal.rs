@@ -1,0 +1,599 @@
+//! The attested config journal: the daemon's crash-safety spine.
+//!
+//! Every policy-changing event (boot, cold switch, drain) appends one
+//! record carrying the fleet's measured policy hash
+//! ([`crate::fleet::Fleet::fleet_hash`]) and a running FNV-1a hash chain,
+//! so a remote auditor holding the latest chain value can detect any
+//! dropped, reordered or rewritten event. On disk each record is
+//! length-prefixed and CRC-32-guarded, and appends are fsync'd, so a
+//! crash at *any* byte leaves a journal whose longest valid prefix is
+//! exactly the last acknowledged state:
+//!
+//! ```text
+//! file   := magic record*
+//! magic  := "SIOPMPJ1" (8 bytes)
+//! record := len:u32le payload crc32(payload):u32le
+//! payload:= seq:u64le tick:u64le event:u8 policy_hash:u64le
+//!           tenant_len:u16le tenant detail_len:u16le detail chain:u64le
+//! ```
+//!
+//! The chain is `fnv1a(prev_chain || payload-without-chain)`, seeded with
+//! [`siopmp::canonical::FNV_OFFSET`]. [`replay_bytes`] is a pure function
+//! over the byte image — the property tests flip and truncate arbitrary
+//! bytes through it — and [`Journal::open`] applies it to the file,
+//! truncating a corrupt tail so appends continue the valid chain
+//! (recovery to the last complete record).
+
+use siopmp::canonical::{fnv1a_extend, FNV_OFFSET};
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
+use std::path::Path;
+
+/// File magic, bumped if the record layout ever changes.
+pub const MAGIC: &[u8; 8] = b"SIOPMPJ1";
+
+/// Upper bound on one record's payload; larger length prefixes are
+/// treated as corruption rather than allocation requests.
+pub const MAX_PAYLOAD: usize = 64 * 1024;
+
+/// What a journal record witnesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalEvent {
+    /// Daemon start: measures the fleet as loaded (after replay).
+    Boot,
+    /// A committed cold switch (`tenant` + `detail` = device id).
+    ColdSwitch,
+    /// Graceful drain completed; the measured state is final.
+    Drain,
+}
+
+impl JournalEvent {
+    fn code(self) -> u8 {
+        match self {
+            JournalEvent::Boot => 0,
+            JournalEvent::ColdSwitch => 1,
+            JournalEvent::Drain => 2,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(JournalEvent::Boot),
+            1 => Some(JournalEvent::ColdSwitch),
+            2 => Some(JournalEvent::Drain),
+            _ => None,
+        }
+    }
+
+    /// Stable label for JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            JournalEvent::Boot => "boot",
+            JournalEvent::ColdSwitch => "cold_switch",
+            JournalEvent::Drain => "drain",
+        }
+    }
+}
+
+/// One decoded journal record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalRecord {
+    /// Position in the journal (0-based, dense).
+    pub seq: u64,
+    /// Daemon virtual tick at append time.
+    pub tick: u64,
+    /// Event kind.
+    pub event: JournalEvent,
+    /// Measured fleet policy hash after the event.
+    pub policy_hash: u64,
+    /// Tenant the event concerns (empty for fleet-wide events).
+    pub tenant: String,
+    /// Event detail (the device id of a cold switch, as decimal text).
+    pub detail: String,
+    /// Hash-chain value after folding this record in.
+    pub chain: u64,
+}
+
+/// How a replay stopped before the end of the byte image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptionKind {
+    /// The file is shorter than the magic, or the magic bytes differ.
+    BadMagic,
+    /// A length prefix or payload extends past the end of the file.
+    Truncated,
+    /// The CRC-32 trailer does not match the payload bytes.
+    CrcMismatch,
+    /// The payload failed structural decoding (bad event code, lengths).
+    Malformed,
+    /// The payload decoded but its sequence number or chain value does
+    /// not extend the valid prefix.
+    ChainMismatch,
+}
+
+impl CorruptionKind {
+    /// Stable label for JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            CorruptionKind::BadMagic => "bad_magic",
+            CorruptionKind::Truncated => "truncated",
+            CorruptionKind::CrcMismatch => "crc_mismatch",
+            CorruptionKind::Malformed => "malformed",
+            CorruptionKind::ChainMismatch => "chain_mismatch",
+        }
+    }
+}
+
+/// Where and why a replay stopped early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Corruption {
+    /// Byte offset of the first record that failed to validate.
+    pub offset: usize,
+    /// Failure class.
+    pub kind: CorruptionKind,
+}
+
+/// Result of replaying a journal image.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Replay {
+    /// Records of the longest valid prefix, in order.
+    pub records: Vec<JournalRecord>,
+    /// Byte length of that prefix (magic included); recovery truncates
+    /// the file here.
+    pub valid_bytes: usize,
+    /// Why replay stopped before the end, if it did.
+    pub corruption: Option<Corruption>,
+}
+
+impl Replay {
+    /// The measured policy hash of the last valid record, if any.
+    pub fn last_policy_hash(&self) -> Option<u64> {
+        self.records.last().map(|r| r.policy_hash)
+    }
+
+    /// The chain head after the valid prefix
+    /// ([`siopmp::canonical::FNV_OFFSET`] for an empty journal).
+    pub fn chain_head(&self) -> u64 {
+        self.records.last().map(|r| r.chain).unwrap_or(FNV_OFFSET)
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected) over `bytes` — the per-record
+/// integrity guard. Table-free bitwise form: the journal writes records,
+/// not gigabytes, and zero-dep beats fast here.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Encodes one record payload (chain value included, CRC excluded).
+fn encode_payload(rec: &JournalRecord) -> Vec<u8> {
+    let mut out = encode_measured(rec);
+    out.extend_from_slice(&rec.chain.to_le_bytes());
+    out
+}
+
+/// The chain's input: every payload field *except* the chain itself.
+fn encode_measured(rec: &JournalRecord) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(&rec.seq.to_le_bytes());
+    out.extend_from_slice(&rec.tick.to_le_bytes());
+    out.push(rec.event.code());
+    out.extend_from_slice(&rec.policy_hash.to_le_bytes());
+    out.extend_from_slice(&(rec.tenant.len() as u16).to_le_bytes());
+    out.extend_from_slice(rec.tenant.as_bytes());
+    out.extend_from_slice(&(rec.detail.len() as u16).to_le_bytes());
+    out.extend_from_slice(rec.detail.as_bytes());
+    out
+}
+
+/// Folds one record into the chain: `fnv1a(prev || measured-fields)`.
+fn chain_next(prev: u64, measured: &[u8]) -> u64 {
+    let h = fnv1a_extend(FNV_OFFSET, &prev.to_le_bytes());
+    fnv1a_extend(h, measured)
+}
+
+/// Frames `payload` as it appears on disk: `len || payload || crc`.
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 8);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out
+}
+
+fn decode_payload(bytes: &[u8]) -> Option<JournalRecord> {
+    fn take<'a>(bytes: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+        if bytes.len() < n {
+            return None;
+        }
+        let (head, tail) = bytes.split_at(n);
+        *bytes = tail;
+        Some(head)
+    }
+    fn u64le(bytes: &mut &[u8]) -> Option<u64> {
+        take(bytes, 8).map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+    fn u16le(bytes: &mut &[u8]) -> Option<u16> {
+        take(bytes, 2).map(|b| u16::from_le_bytes(b.try_into().expect("2 bytes")))
+    }
+    let mut rest = bytes;
+    let seq = u64le(&mut rest)?;
+    let tick = u64le(&mut rest)?;
+    let event = JournalEvent::from_code(*take(&mut rest, 1)?.first()?)?;
+    let policy_hash = u64le(&mut rest)?;
+    let tenant_len = u16le(&mut rest)? as usize;
+    let tenant = String::from_utf8(take(&mut rest, tenant_len)?.to_vec()).ok()?;
+    let detail_len = u16le(&mut rest)? as usize;
+    let detail = String::from_utf8(take(&mut rest, detail_len)?.to_vec()).ok()?;
+    let chain = u64le(&mut rest)?;
+    if !rest.is_empty() {
+        return None; // trailing bytes: not a well-formed payload
+    }
+    Some(JournalRecord {
+        seq,
+        tick,
+        event,
+        policy_hash,
+        tenant,
+        detail,
+        chain,
+    })
+}
+
+/// Replays a journal byte image: validates the magic, then records one by
+/// one (length bound, CRC, structural decode, sequence and hash chain),
+/// stopping at the first failure. Pure — the corruption property tests
+/// drive it directly over mutated images.
+pub fn replay_bytes(bytes: &[u8]) -> Replay {
+    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        return Replay {
+            records: Vec::new(),
+            valid_bytes: 0,
+            corruption: Some(Corruption {
+                offset: 0,
+                kind: if bytes.is_empty() {
+                    CorruptionKind::Truncated
+                } else {
+                    CorruptionKind::BadMagic
+                },
+            }),
+        };
+    }
+    let mut records = Vec::new();
+    let mut offset = MAGIC.len();
+    let mut chain = FNV_OFFSET;
+    let corruption = loop {
+        if offset == bytes.len() {
+            break None; // clean end
+        }
+        let stop = |kind| Some(Corruption { offset, kind });
+        let Some(len_bytes) = bytes.get(offset..offset + 4) else {
+            break stop(CorruptionKind::Truncated);
+        };
+        let len = u32::from_le_bytes(len_bytes.try_into().expect("4 bytes")) as usize;
+        if len > MAX_PAYLOAD {
+            break stop(CorruptionKind::Malformed);
+        }
+        let Some(payload) = bytes.get(offset + 4..offset + 4 + len) else {
+            break stop(CorruptionKind::Truncated);
+        };
+        let Some(crc_bytes) = bytes.get(offset + 4 + len..offset + 8 + len) else {
+            break stop(CorruptionKind::Truncated);
+        };
+        if crc32(payload) != u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes")) {
+            break stop(CorruptionKind::CrcMismatch);
+        }
+        let Some(record) = decode_payload(payload) else {
+            break stop(CorruptionKind::Malformed);
+        };
+        let expected_chain = chain_next(chain, &encode_measured(&record));
+        if record.seq != records.len() as u64 || record.chain != expected_chain {
+            break stop(CorruptionKind::ChainMismatch);
+        }
+        chain = record.chain;
+        records.push(record);
+        offset += 8 + len;
+    };
+    Replay {
+        records,
+        valid_bytes: offset,
+        corruption,
+    }
+}
+
+/// Builds a journal byte image from already-chained records — test and
+/// tooling helper, the writing path goes through [`Journal::append`].
+pub fn encode_records(records: &[JournalRecord]) -> Vec<u8> {
+    let mut out = MAGIC.to_vec();
+    for rec in records {
+        out.extend_from_slice(&frame(&encode_payload(rec)));
+    }
+    out
+}
+
+/// Where journal bytes land.
+#[derive(Debug)]
+enum Sink {
+    /// The real thing: append + fsync on a file.
+    File(File),
+    /// In-memory image for tests and benches (no fsync semantics).
+    Memory(Vec<u8>),
+}
+
+/// Crash injected by [`Journal::fail_after_bytes`]: the append wrote a
+/// partial record and the "process" died.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashInjected {
+    /// Bytes of the record that reached the sink before the crash.
+    pub written: usize,
+}
+
+/// Errors surfaced by journal operations.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// A deterministic injected crash (chaos suite).
+    Crash(CrashInjected),
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::Crash(c) => {
+                write!(f, "injected crash after {} bytes of the record", c.written)
+            }
+        }
+    }
+}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+/// The append side of the journal. Obtain one with [`Journal::open`]
+/// (file-backed, replayed and repaired) or [`Journal::in_memory`].
+#[derive(Debug)]
+pub struct Journal {
+    sink: Sink,
+    /// Next record's sequence number.
+    seq: u64,
+    /// Chain head after the last good record.
+    chain: u64,
+    /// When set, the next append writes only this many bytes of the
+    /// framed record, then reports [`JournalError::Crash`] — the chaos
+    /// suite's deterministic kill-mid-write.
+    fail_after: Option<usize>,
+}
+
+impl Journal {
+    /// Opens (or creates) the file journal at `path`, replays it,
+    /// truncates any corrupt tail so the chain continues from the last
+    /// complete record, and returns the writer plus the replay summary.
+    pub fn open(path: &Path) -> Result<(Journal, Replay), JournalError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let (replay, start_len) = if bytes.is_empty() {
+            // Fresh journal: write the magic now so a later torn append
+            // is distinguishable from "never existed".
+            file.write_all(MAGIC)?;
+            file.sync_all()?;
+            (
+                Replay {
+                    records: Vec::new(),
+                    valid_bytes: MAGIC.len(),
+                    corruption: None,
+                },
+                MAGIC.len(),
+            )
+        } else {
+            let replay = replay_bytes(&bytes);
+            let valid = replay.valid_bytes;
+            (replay, valid)
+        };
+        if start_len < bytes.len() || (replay.corruption.is_some() && start_len == 0) {
+            // Repair: drop the corrupt tail (or the whole bad-magic file).
+            file.set_len(start_len as u64)?;
+            if start_len == 0 {
+                file.seek(SeekFrom::Start(0))?;
+                file.write_all(MAGIC)?;
+            }
+            file.sync_all()?;
+        }
+        file.seek(SeekFrom::End(0))?;
+        let journal = Journal {
+            sink: Sink::File(file),
+            seq: replay.records.len() as u64,
+            chain: replay.chain_head(),
+            fail_after: None,
+        };
+        Ok((journal, replay))
+    }
+
+    /// An in-memory journal starting empty (magic only).
+    pub fn in_memory() -> Journal {
+        Journal {
+            sink: Sink::Memory(MAGIC.to_vec()),
+            seq: 0,
+            chain: FNV_OFFSET,
+            fail_after: None,
+        }
+    }
+
+    /// Arms a deterministic crash: the next append stops after `bytes`
+    /// bytes of the framed record and fails. Used by the chaos suite to
+    /// kill the daemon mid-cold-switch at any byte boundary.
+    pub fn fail_after_bytes(&mut self, bytes: usize) {
+        self.fail_after = Some(bytes);
+    }
+
+    /// Next record's sequence number (== records in the valid prefix).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Current hash-chain head.
+    pub fn chain(&self) -> u64 {
+        self.chain
+    }
+
+    /// The in-memory image (memory sink only) — test hook.
+    pub fn memory_image(&self) -> Option<&[u8]> {
+        match &self.sink {
+            Sink::Memory(bytes) => Some(bytes),
+            Sink::File(_) => None,
+        }
+    }
+
+    /// Appends one measured record and flushes it to stable storage
+    /// (fsync for file sinks) before returning. On success the returned
+    /// record carries its assigned `seq` and `chain`.
+    pub fn append(
+        &mut self,
+        tick: u64,
+        event: JournalEvent,
+        policy_hash: u64,
+        tenant: &str,
+        detail: &str,
+    ) -> Result<JournalRecord, JournalError> {
+        let mut record = JournalRecord {
+            seq: self.seq,
+            tick,
+            event,
+            policy_hash,
+            tenant: tenant.to_string(),
+            detail: detail.to_string(),
+            chain: 0,
+        };
+        record.chain = chain_next(self.chain, &encode_measured(&record));
+        let framed = frame(&encode_payload(&record));
+        if let Some(limit) = self.fail_after.take() {
+            let cut = limit.min(framed.len());
+            self.write_raw(&framed[..cut])?;
+            return Err(JournalError::Crash(CrashInjected { written: cut }));
+        }
+        self.write_raw(&framed)?;
+        self.seq += 1;
+        self.chain = record.chain;
+        Ok(record)
+    }
+
+    fn write_raw(&mut self, bytes: &[u8]) -> Result<(), JournalError> {
+        match &mut self.sink {
+            Sink::File(file) => {
+                file.write_all(bytes)?;
+                file.sync_all()?;
+            }
+            Sink::Memory(image) => image.extend_from_slice(bytes),
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("siopmp-journal-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn append_replay_roundtrip_in_memory() {
+        let mut j = Journal::in_memory();
+        let a = j.append(5, JournalEvent::Boot, 0x1111, "", "").unwrap();
+        let b = j
+            .append(9, JournalEvent::ColdSwitch, 0x2222, "scn/d0", "7")
+            .unwrap();
+        assert_eq!((a.seq, b.seq), (0, 1));
+        assert_ne!(a.chain, b.chain);
+        let replay = replay_bytes(j.memory_image().unwrap());
+        assert_eq!(replay.corruption, None);
+        assert_eq!(replay.records, vec![a, b.clone()]);
+        assert_eq!(replay.last_policy_hash(), Some(0x2222));
+        assert_eq!(replay.chain_head(), b.chain);
+    }
+
+    #[test]
+    fn file_journal_survives_reopen_and_repairs_torn_append() {
+        let path = temp_path("reopen");
+        let _ = std::fs::remove_file(&path);
+        let (mut j, replay) = Journal::open(&path).unwrap();
+        assert!(replay.records.is_empty());
+        j.append(1, JournalEvent::Boot, 10, "", "").unwrap();
+        j.append(2, JournalEvent::ColdSwitch, 20, "t", "1").unwrap();
+        // Torn append: crash after 7 bytes of the third record.
+        j.fail_after_bytes(7);
+        let err = j.append(3, JournalEvent::ColdSwitch, 30, "t", "2");
+        assert!(matches!(err, Err(JournalError::Crash(_))));
+        drop(j);
+        // Reopen: the torn tail is detected, dropped, and the chain
+        // continues from record 1.
+        let (mut j2, replay2) = Journal::open(&path).unwrap();
+        assert_eq!(replay2.records.len(), 2);
+        assert_eq!(
+            replay2.corruption.map(|c| c.kind),
+            Some(CorruptionKind::Truncated)
+        );
+        assert_eq!(replay2.last_policy_hash(), Some(20));
+        let c = j2
+            .append(4, JournalEvent::ColdSwitch, 40, "t", "2")
+            .unwrap();
+        assert_eq!(c.seq, 2);
+        drop(j2);
+        let (_, replay3) = Journal::open(&path).unwrap();
+        assert_eq!(replay3.records.len(), 3);
+        assert_eq!(replay3.corruption, None);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn reordered_records_break_the_chain() {
+        let mut j = Journal::in_memory();
+        let a = j.append(1, JournalEvent::Boot, 1, "", "").unwrap();
+        let b = j.append(2, JournalEvent::ColdSwitch, 2, "t", "1").unwrap();
+        // Same records, swapped order: the chain refuses both.
+        let swapped = encode_records(&[b, a]);
+        let replay = replay_bytes(&swapped);
+        assert_eq!(replay.records.len(), 0);
+        assert_eq!(
+            replay.corruption.map(|c| c.kind),
+            Some(CorruptionKind::ChainMismatch)
+        );
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_malformed_not_an_allocation() {
+        let mut image = MAGIC.to_vec();
+        image.extend_from_slice(&u32::MAX.to_le_bytes());
+        let replay = replay_bytes(&image);
+        assert_eq!(
+            replay.corruption.map(|c| c.kind),
+            Some(CorruptionKind::Malformed)
+        );
+        assert_eq!(replay.valid_bytes, MAGIC.len());
+    }
+}

@@ -1,0 +1,38 @@
+//! `siopmp-serviced`: a crash-safe, overload-tolerant multi-tenant
+//! admission daemon over the sIOPMP shared checker.
+//!
+//! The binary loads a *fleet* of tenant configs (`.scn` files, one
+//! tenant per domain), serves a framed request protocol over a unix
+//! socket or stdio, and answers admission checks from each tenant's
+//! published [`SharedSiopmp`] snapshot. Three properties are the point:
+//!
+//! - **Overload protection** ([`admission`]): per-tenant token buckets
+//!   (the scenario `fleet` stanza) plus a global bucket, explicit
+//!   `shed` verdicts with reasons, per-request deadlines, and bounded
+//!   retry/backoff for `Stalled` verdicts.
+//! - **Crash safety** ([`journal`]): every cold switch appends a
+//!   hash-chained, CRC-guarded, fsynced record measuring the
+//!   post-switch fleet policy; restart replay detects truncation or
+//!   corruption at any byte and recovers to the last complete state.
+//! - **Graceful lifecycle** ([`daemon`]): SIGTERM drains instead of
+//!   drops, health/readiness are first-class verbs, and a self-watchdog
+//!   force-fails a wedged worker.
+//!
+//! The deterministic core lives in [`daemon::Serviced`]; `main.rs` only
+//! adds real I/O. See `DESIGN.md` §14 for the architecture and wire
+//! format, and `tests/chaos_daemon.rs` for the seeded kill / truncate /
+//! corrupt / storm suite that proves the recovery story.
+//!
+//! [`SharedSiopmp`]: siopmp::SharedSiopmp
+
+pub mod admission;
+pub mod daemon;
+pub mod fleet;
+pub mod journal;
+pub mod proto;
+
+pub use admission::{ShedReason, TokenBucket};
+pub use daemon::{Serviced, ServicedConfig, StartError};
+pub use fleet::{Fleet, FleetError, Tenant, TenantLimits};
+pub use journal::{replay_bytes, Corruption, CorruptionKind, Journal, JournalEvent, Replay};
+pub use proto::{parse_request, read_frame, write_frame, Request, MAX_FRAME};

@@ -1,0 +1,297 @@
+//! The daemon's wire protocol: length-prefixed UTF-8 frames.
+//!
+//! Each frame is `len:u32le` followed by `len` bytes of UTF-8 text. A
+//! request frame is one verb plus `key=value` tokens; a response frame
+//! is one JSON document in the workspace's standard envelope. Text in,
+//! JSON out keeps the client side scriptable from a shell (`printf` +
+//! `xxd` suffice) while responses stay machine-readable.
+//!
+//! Frames are capped at [`MAX_FRAME`] bytes in both directions so a
+//! corrupt or hostile length prefix can neither allocate unboundedly
+//! nor wedge the read loop.
+
+use std::io::{self, Read, Write};
+
+use siopmp::ids::DeviceId;
+use siopmp::request::AccessKind;
+
+/// Maximum frame payload (64 KiB), matching the journal's record cap.
+pub const MAX_FRAME: usize = 64 * 1024;
+
+/// Reads one frame; `Ok(None)` on clean EOF at a frame boundary.
+///
+/// # Errors
+///
+/// I/O errors from the reader; `InvalidData` for oversized lengths,
+/// non-UTF-8 payloads or EOF mid-frame.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap {MAX_FRAME}"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Writes one frame (length prefix + payload) and flushes.
+///
+/// # Errors
+///
+/// I/O errors from the writer; `InvalidData` for oversized payloads.
+pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame payload {} exceeds cap {MAX_FRAME}", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload.as_bytes())?;
+    w.flush()
+}
+
+/// A parsed request frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Admission check for one DMA request of a tenant's device.
+    Check {
+        /// Tenant name (`<scenario>/<domain>`).
+        tenant: String,
+        /// Device identifier within the tenant's unit.
+        device: DeviceId,
+        /// Read or write.
+        kind: AccessKind,
+        /// Start address.
+        addr: u64,
+        /// Length in bytes.
+        len: u64,
+        /// Per-request deadline in ticks, overriding the fleet default.
+        deadline: Option<u64>,
+    },
+    /// Explicit cold switch: mount a cold device of a tenant.
+    Switch {
+        /// Tenant name.
+        tenant: String,
+        /// Cold device to mount.
+        device: DeviceId,
+    },
+    /// Liveness/readiness/health report.
+    Health,
+    /// Telemetry counter snapshot.
+    Stats,
+    /// Tenant roster with per-tenant policy fingerprints.
+    Tenants,
+    /// Begin graceful drain (same as SIGTERM).
+    Drain,
+    /// Advance the virtual clock by `n` ticks.
+    Tick {
+        /// Ticks to advance.
+        n: u64,
+    },
+    /// Chaos-only: wedge the worker for `ticks` ticks so the watchdog
+    /// can be exercised. Refused unless the daemon runs with chaos on.
+    Wedge {
+        /// Ticks the worker stays wedged.
+        ticks: u64,
+    },
+    /// No-op round trip.
+    Ping,
+}
+
+fn parse_u64(key: &str, value: &str) -> Result<u64, String> {
+    let parsed = match value.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => value.parse(),
+    };
+    parsed.map_err(|_| format!("bad {key}= value `{value}`"))
+}
+
+/// Splits `key=value` tokens, erroring on unknown or duplicate keys.
+fn key_values<'a>(
+    verb: &str,
+    tokens: &[&'a str],
+    allowed: &[&str],
+) -> Result<Vec<(&'a str, &'a str)>, String> {
+    let mut out: Vec<(&str, &str)> = Vec::new();
+    for tok in tokens {
+        let (key, value) = tok
+            .split_once('=')
+            .ok_or_else(|| format!("`{verb}` expects key=value tokens, got `{tok}`"))?;
+        if !allowed.contains(&key) {
+            return Err(format!("unknown `{verb}` key `{key}`"));
+        }
+        if out.iter().any(|(k, _)| *k == key) {
+            return Err(format!("duplicate `{verb}` key `{key}`"));
+        }
+        out.push((key, value));
+    }
+    Ok(out)
+}
+
+fn lookup<'a>(pairs: &[(&str, &'a str)], key: &str) -> Option<&'a str> {
+    pairs.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+}
+
+fn require<'a>(verb: &str, pairs: &[(&str, &'a str)], key: &str) -> Result<&'a str, String> {
+    lookup(pairs, key).ok_or_else(|| format!("`{verb}` requires {key}="))
+}
+
+/// Parses one request frame's text.
+///
+/// # Errors
+///
+/// A human-readable message naming the offending verb, key or value.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let mut tokens = line.split_whitespace();
+    let verb = tokens.next().ok_or_else(|| "empty request".to_string())?;
+    let rest: Vec<&str> = tokens.collect();
+    let bare = |req: Request| {
+        if rest.is_empty() {
+            Ok(req)
+        } else {
+            Err(format!("`{verb}` takes no arguments"))
+        }
+    };
+    match verb {
+        "check" => {
+            let pairs = key_values(
+                verb,
+                &rest,
+                &["tenant", "device", "kind", "addr", "len", "deadline"],
+            )?;
+            let kind = match require(verb, &pairs, "kind")? {
+                "read" => AccessKind::Read,
+                "write" => AccessKind::Write,
+                other => return Err(format!("bad kind= value `{other}` (read|write)")),
+            };
+            Ok(Request::Check {
+                tenant: require(verb, &pairs, "tenant")?.to_string(),
+                device: DeviceId(parse_u64("device", require(verb, &pairs, "device")?)?),
+                kind,
+                addr: parse_u64("addr", require(verb, &pairs, "addr")?)?,
+                len: parse_u64("len", require(verb, &pairs, "len")?)?,
+                deadline: match lookup(&pairs, "deadline") {
+                    Some(v) => Some(parse_u64("deadline", v)?),
+                    None => None,
+                },
+            })
+        }
+        "switch" => {
+            let pairs = key_values(verb, &rest, &["tenant", "device"])?;
+            Ok(Request::Switch {
+                tenant: require(verb, &pairs, "tenant")?.to_string(),
+                device: DeviceId(parse_u64("device", require(verb, &pairs, "device")?)?),
+            })
+        }
+        "tick" => {
+            let pairs = key_values(verb, &rest, &["n"])?;
+            Ok(Request::Tick {
+                n: parse_u64("n", require(verb, &pairs, "n")?)?,
+            })
+        }
+        "wedge" => {
+            let pairs = key_values(verb, &rest, &["ticks"])?;
+            Ok(Request::Wedge {
+                ticks: parse_u64("ticks", require(verb, &pairs, "ticks")?)?,
+            })
+        }
+        "health" => bare(Request::Health),
+        "stats" => bare(Request::Stats),
+        "tenants" => bare(Request::Tenants),
+        "drain" => bare(Request::Drain),
+        "ping" => bare(Request::Ping),
+        other => Err(format!("unknown verb `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "check tenant=a device=1").unwrap();
+        write_frame(&mut buf, "ping").unwrap();
+        let mut r = io::Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut r).unwrap().as_deref(),
+            Some("check tenant=a device=1")
+        );
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("ping"));
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_without_allocation() {
+        let mut r = io::Cursor::new(u32::MAX.to_le_bytes().to_vec());
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error_not_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "health").unwrap();
+        buf.truncate(buf.len() - 2);
+        let mut r = io::Cursor::new(buf);
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn check_parses_with_hex_and_optional_deadline() {
+        let req =
+            parse_request("check tenant=ring/net device=3 kind=write addr=0x9000 len=64").unwrap();
+        assert_eq!(
+            req,
+            Request::Check {
+                tenant: "ring/net".into(),
+                device: DeviceId(3),
+                kind: AccessKind::Write,
+                addr: 0x9000,
+                len: 64,
+                deadline: None,
+            }
+        );
+        let req = parse_request("check tenant=a device=1 kind=read addr=0 len=1 deadline=50");
+        assert!(matches!(
+            req.unwrap(),
+            Request::Check {
+                deadline: Some(50),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn malformed_requests_name_the_problem() {
+        for (line, needle) in [
+            ("", "empty"),
+            ("frob", "unknown verb"),
+            ("check tenant=a", "requires"),
+            ("check tenant=a tenant=b", "duplicate"),
+            ("check bogus=1", "unknown `check` key"),
+            ("ping now", "takes no arguments"),
+            (
+                "check tenant=a device=x kind=read addr=0 len=1",
+                "bad device",
+            ),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert!(err.contains(needle), "{line:?} → {err:?}");
+        }
+    }
+}

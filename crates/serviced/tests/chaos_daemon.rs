@@ -1,0 +1,435 @@
+//! Daemon-level chaos suite: 256 seeded fault plans, each killing,
+//! corrupting or storming a live daemon and asserting it recovers.
+//!
+//! Per ISSUE acceptance: every run injects one fault class — kill
+//! mid-cold-switch (torn journal append), truncate the journal at a
+//! random byte, flip a random journal byte, storm one tenant at 10x its
+//! rate limit, or flap the protocol with garbage frames — then
+//! "restarts" the daemon from the surviving journal image and checks:
+//!
+//! - restart succeeds and replays to the journal's last *complete*
+//!   measured policy hash (torn/corrupt tails dropped, never applied);
+//! - the recovered fleet passes `siopmp-verify` with zero Errors
+//!   (differential check against the static analyzer);
+//! - a tenant storm burns only the storming tenant's budget: the other
+//!   tenants' p99 admission latency stays within 2x of the unloaded
+//!   baseline (the starve test, its own test below).
+
+use siopmp::ids::DeviceId;
+use siopmp::json::Json;
+use siopmp::request::AccessKind;
+use siopmp_serviced::daemon::{Serviced, ServicedConfig};
+use siopmp_serviced::fleet::Fleet;
+use siopmp_serviced::journal::{replay_bytes, Journal, Replay};
+use siopmp_serviced::proto::Request;
+use siopmp_testkit::Rng;
+
+const CHAOS_A: &str = "\
+scenario chaos-a
+config sids=8 mds=8 entries=32 cold_entries=4
+fleet rate=64000 burst=64 deadline=1000 retry=2:2
+
+domain hotpath
+  device 1 hot md=0
+  entry md=0 0x1000 0x1000 rw
+
+domain coldpath
+  device 2 hot md=0
+  entry md=0 0x2000 0x1000 rw
+  device 30 cold
+  record 0x8000 0x1000 rw
+  device 31 cold
+  record 0x9000 0x1000 rw
+";
+
+const CHAOS_B: &str = "\
+scenario chaos-b
+config sids=8 mds=8 entries=32 cold_entries=4
+
+domain edge
+  device 3 hot md=0
+  entry md=0 0x3000 0x1000 rw
+  device 40 cold
+  record 0xa000 0x1000 rw
+";
+
+fn fresh_fleet() -> Fleet {
+    let a = siopmp_scenario::parse(CHAOS_A).expect("chaos-a parses");
+    let b = siopmp_scenario::parse(CHAOS_B).expect("chaos-b parses");
+    Fleet::from_scenarios([("a", None, &a), ("b", None, &b)]).expect("fleet builds")
+}
+
+fn config() -> ServicedConfig {
+    ServicedConfig {
+        chaos: true,
+        ..ServicedConfig::default()
+    }
+}
+
+fn daemon() -> Serviced {
+    Serviced::start_with(
+        fresh_fleet(),
+        Journal::in_memory(),
+        Replay::default(),
+        config(),
+    )
+    .expect("fresh daemon starts")
+}
+
+fn verdict(json: &Json) -> String {
+    match json {
+        Json::Object(pairs) => pairs
+            .iter()
+            .find(|(k, _)| k == "verdict")
+            .map(|(_, v)| match v {
+                Json::Str(s) => s.clone(),
+                other => other.to_string(),
+            })
+            .unwrap_or_default(),
+        _ => String::new(),
+    }
+}
+
+/// (tenant, hot device, in-window address) triples for traffic.
+const HOT: &[(&str, u64, u64)] = &[
+    ("a/hotpath", 1, 0x1000),
+    ("a/coldpath", 2, 0x2000),
+    ("b/edge", 3, 0x3000),
+];
+
+/// (tenant, cold device) pairs eligible for switches.
+const COLD: &[(&str, u64)] = &[("a/coldpath", 30), ("a/coldpath", 31), ("b/edge", 40)];
+
+fn random_check(rng: &mut Rng) -> Request {
+    let &(tenant, device, addr) = rng.choose(HOT);
+    // 1-in-4 requests probe outside the window (a denial, not a shed).
+    let addr = if rng.gen_bool(0.25) {
+        0xdead_0000
+    } else {
+        addr
+    };
+    Request::Check {
+        tenant: tenant.to_string(),
+        device: DeviceId(device),
+        kind: if rng.gen_bool(0.5) {
+            AccessKind::Read
+        } else {
+            AccessKind::Write
+        },
+        addr,
+        len: 16,
+        deadline: None,
+    }
+}
+
+fn random_switch(rng: &mut Rng) -> Request {
+    let &(tenant, device) = rng.choose(COLD);
+    Request::Switch {
+        tenant: tenant.to_string(),
+        device: DeviceId(device),
+    }
+}
+
+/// Drives a random op mix; returns the number of journaled switches.
+fn drive_ops(d: &mut Serviced, rng: &mut Rng, ops: usize) -> u64 {
+    let mut switched = 0;
+    for _ in 0..ops {
+        match rng.gen_range(0..10) {
+            0..=5 => {
+                d.handle(&random_check(rng));
+            }
+            6..=7 => {
+                if verdict(&d.handle(&random_switch(rng))) == "switched" {
+                    switched += 1;
+                }
+            }
+            _ => d.advance(rng.gen_range(1..50)),
+        }
+    }
+    switched
+}
+
+/// Restarts from a journal image: repair to the valid prefix, replay
+/// onto a fresh fleet, and run the cross-checks every fault class
+/// shares. Returns the recovered daemon.
+fn restart_and_check(image: &[u8]) -> Serviced {
+    let replay = replay_bytes(image);
+    let fresh_hash = fresh_fleet().fleet_hash();
+    let expected = replay.last_policy_hash().unwrap_or(fresh_hash);
+    let d = Serviced::start_with(fresh_fleet(), Journal::in_memory(), replay, config())
+        .expect("restart from surviving journal prefix succeeds");
+    assert_eq!(
+        d.fleet().fleet_hash(),
+        expected,
+        "recovered fleet hash matches the journal's last measured record"
+    );
+    // Differential check: the recovered policy state passes the static
+    // analyzer with zero Errors.
+    let bad = d.fleet().verify_errors();
+    assert!(
+        bad.is_empty(),
+        "recovered fleet has analyzer errors in {:?}",
+        bad.iter().map(|(n, _)| n).collect::<Vec<_>>()
+    );
+    d
+}
+
+/// One seeded chaos run. `seed % 5` picks the fault class.
+fn chaos_run(seed: u64) {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut d = daemon();
+    let ops = rng.gen_usize(5..40);
+    drive_ops(&mut d, &mut rng, ops);
+
+    match seed % 5 {
+        // Kill mid-cold-switch: the journal append tears partway
+        // through the frame. The switch must NOT be acked, and restart
+        // must recover the journal's last complete state.
+        0 => {
+            let pre_kill_hash = d.fleet().fleet_hash();
+            let pre_kill_seq = d.journal_mut().seq();
+            d.journal_mut().fail_after_bytes(rng.gen_usize(0..24));
+            let resp = d.handle(&random_switch(&mut rng));
+            let v = verdict(&resp);
+            assert_ne!(v, "switched", "torn journal append must not ack");
+            let image = d.journal_mut().memory_image().unwrap().to_vec();
+            let recovered = restart_and_check(&image);
+            if v == "error" {
+                assert_eq!(
+                    recovered.fleet().fleet_hash(),
+                    pre_kill_hash,
+                    "seed {seed}: torn switch must not survive restart"
+                );
+                assert_eq!(recovered.replay().records.len() as u64, pre_kill_seq);
+            }
+        }
+        // Truncate the journal at a random byte.
+        1 => {
+            let image = d.journal_mut().memory_image().unwrap().to_vec();
+            let cut = rng.gen_usize(0..image.len());
+            restart_and_check(&image[..cut]);
+        }
+        // Flip a random byte (bit) anywhere in the journal.
+        2 => {
+            let mut image = d.journal_mut().memory_image().unwrap().to_vec();
+            let pos = rng.gen_usize(0..image.len());
+            image[pos] ^= 1 << rng.gen_range(0..8);
+            let replay = replay_bytes(&image);
+            assert!(
+                replay.corruption.is_some(),
+                "seed {seed}: single-byte flip at {pos} went undetected"
+            );
+            restart_and_check(&image);
+        }
+        // Storm one tenant far over its bucket; the daemon must keep
+        // answering (explicit sheds, no panic) and the journal must
+        // stay replayable afterwards.
+        3 => {
+            let &(tenant, device, addr) = rng.choose(HOT);
+            let mut sheds = 0;
+            for _ in 0..2000 {
+                let resp = d.handle(&Request::Check {
+                    tenant: tenant.to_string(),
+                    device: DeviceId(device),
+                    kind: AccessKind::Write,
+                    addr,
+                    len: 16,
+                    deadline: None,
+                });
+                if verdict(&resp) == "shed" {
+                    sheds += 1;
+                }
+            }
+            assert!(sheds > 0, "seed {seed}: a 2000-burst storm never shed");
+            let image = d.journal_mut().memory_image().unwrap().to_vec();
+            restart_and_check(&image);
+        }
+        // Protocol flap: garbage and out-of-contract requests must
+        // answer errors without perturbing policy state or the journal.
+        _ => {
+            let hash = d.fleet().fleet_hash();
+            let seq = d.journal_mut().seq();
+            for _ in 0..50 {
+                let garbage = match rng.gen_range(0..4) {
+                    0 => "check tenant=no/such device=9 kind=read addr=0 len=1".to_string(),
+                    1 => "switch tenant=a/hotpath device=999".to_string(),
+                    2 => format!("bogus-verb x={}", rng.next_u64()),
+                    _ => String::new(),
+                };
+                // Parse-level rejection is the point; anything that
+                // parses must still answer an error-class verdict.
+                if let Ok(req) = siopmp_serviced::parse_request(&garbage) {
+                    let v = verdict(&d.handle(&req));
+                    assert!(v == "error" || v == "sid_missing", "got {v}");
+                }
+            }
+            assert_eq!(d.fleet().fleet_hash(), hash, "flap changed policy state");
+            assert_eq!(d.journal_mut().seq(), seq, "flap appended journal records");
+            let image = d.journal_mut().memory_image().unwrap().to_vec();
+            restart_and_check(&image);
+        }
+    }
+}
+
+#[test]
+fn two_hundred_fifty_six_seeded_fault_plans_all_recover() {
+    for seed in 0..256 {
+        chaos_run(seed);
+    }
+}
+
+/// A full restart chain through a *file* journal: crash-torn append,
+/// reopen (which repairs the file in place), and a second clean cycle —
+/// the on-disk path the in-memory runs above cannot cover.
+#[test]
+fn file_journal_survives_a_torn_append_across_reopen() {
+    let dir = std::env::temp_dir().join(format!("siopmp-serviced-chaos-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("chaos.journal");
+    let _ = std::fs::remove_file(&path);
+
+    // Boot, switch, then tear a second switch mid-frame.
+    let (journal, replay) = Journal::open(&path).unwrap();
+    assert!(replay.records.is_empty());
+    let mut d = Serviced::start_with(fresh_fleet(), journal, replay, config()).unwrap();
+    assert_eq!(
+        verdict(&d.handle(&Request::Switch {
+            tenant: "a/coldpath".into(),
+            device: DeviceId(30),
+        })),
+        "switched"
+    );
+    let committed_hash = d.fleet().fleet_hash();
+    d.journal_mut().fail_after_bytes(9);
+    let v = verdict(&d.handle(&Request::Switch {
+        tenant: "a/coldpath".into(),
+        device: DeviceId(31),
+    }));
+    assert_ne!(v, "switched");
+    drop(d); // "crash"
+
+    // Reopen: the torn tail is detected, repaired away, and replay
+    // recovers the committed switch only.
+    let (journal, replay) = Journal::open(&path).unwrap();
+    assert!(
+        replay.corruption.is_some(),
+        "torn tail must be detected on reopen"
+    );
+    assert_eq!(replay.records.len(), 2, "boot + one committed switch");
+    let d2 = Serviced::start_with(fresh_fleet(), journal, replay, config()).unwrap();
+    assert_eq!(d2.fleet().fleet_hash(), committed_hash);
+    assert!(d2.fleet().verify_errors().is_empty());
+
+    // The repaired file is clean for the next cycle.
+    drop(d2);
+    let (_, replay) = Journal::open(&path).unwrap();
+    assert!(replay.corruption.is_none(), "repair left a clean journal");
+
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir(&dir);
+}
+
+const STORM_SCN: &str = "\
+scenario storm
+config sids=8 mds=8 entries=32 cold_entries=4
+fleet rate=500 burst=1 deadline=1000 retry=2:2
+
+domain alpha
+  device 1 hot md=0
+  entry md=0 0x1000 0x1000 rw
+";
+
+const VICTIM_SCN: &str = "\
+scenario victim
+config sids=8 mds=8 entries=32 cold_entries=4
+fleet rate=200 burst=2 deadline=1000
+
+domain beta
+  device 2 hot md=0
+  entry md=0 0x2000 0x1000 rw
+";
+
+fn storm_fleet() -> Fleet {
+    let a = siopmp_scenario::parse(STORM_SCN).unwrap();
+    let b = siopmp_scenario::parse(VICTIM_SCN).unwrap();
+    Fleet::from_scenarios([("storm", None, &a), ("victim", None, &b)]).unwrap()
+}
+
+fn beta_probe() -> Request {
+    Request::Check {
+        tenant: "victim/beta".into(),
+        device: DeviceId(2),
+        kind: AccessKind::Write,
+        addr: 0x2000,
+        len: 16,
+        deadline: None,
+    }
+}
+
+/// The starve test: one tenant storming at 10x its rate limit must not
+/// inflate the other tenant's p99 admission latency beyond 2x the
+/// unloaded baseline (ISSUE acceptance).
+#[test]
+fn tenant_storm_cannot_starve_the_other_tenants() {
+    // Unloaded baseline: beta probes alone, every 20 ticks.
+    let mut base = Serviced::start_with(
+        storm_fleet(),
+        Journal::in_memory(),
+        Replay::default(),
+        config(),
+    )
+    .unwrap();
+    for _ in 0..200 {
+        base.advance(20);
+        assert_eq!(verdict(&base.handle(&beta_probe())), "allowed");
+    }
+    let baseline_p99 = base.latency_p99("victim/beta").unwrap();
+    assert!(baseline_p99 >= 1);
+
+    // Storm: alpha fires 5 requests per tick — 10x its 0.5-per-tick
+    // rate — while beta keeps the same probe pattern.
+    let mut d = Serviced::start_with(
+        storm_fleet(),
+        Journal::in_memory(),
+        Replay::default(),
+        config(),
+    )
+    .unwrap();
+    let mut alpha_allowed = 0u64;
+    let mut alpha_shed = 0u64;
+    for tick in 0..4000u64 {
+        d.advance(1);
+        for _ in 0..5 {
+            let resp = d.handle(&Request::Check {
+                tenant: "storm/alpha".into(),
+                device: DeviceId(1),
+                kind: AccessKind::Write,
+                addr: 0x1000,
+                len: 16,
+                deadline: None,
+            });
+            match verdict(&resp).as_str() {
+                "allowed" => alpha_allowed += 1,
+                "shed" => alpha_shed += 1,
+                other => panic!("unexpected alpha verdict {other}"),
+            }
+        }
+        if tick % 20 == 0 {
+            assert_eq!(
+                verdict(&d.handle(&beta_probe())),
+                "allowed",
+                "beta must never be shed by alpha's storm"
+            );
+        }
+    }
+    // The storm is real: ~90% of alpha's traffic shed, admitted rate
+    // capped at its bucket.
+    assert!(alpha_shed > alpha_allowed * 5, "storm was not rate-limited");
+    assert!(alpha_allowed <= 4000, "admitted more than the rate allows");
+
+    let storm_p99 = d.latency_p99("victim/beta").unwrap();
+    assert!(
+        storm_p99 <= 2 * baseline_p99,
+        "beta p99 {storm_p99} exceeds 2x unloaded baseline {baseline_p99}"
+    );
+}
