@@ -69,6 +69,7 @@ pub mod cli;
 pub mod config;
 pub mod entry;
 pub mod error;
+pub mod explore;
 pub mod ids;
 pub mod json;
 pub mod mmio;

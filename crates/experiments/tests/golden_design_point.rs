@@ -1,0 +1,120 @@
+//! Golden differential test: the design-space explorer, evaluated at the
+//! paper's calibrated configuration, must reproduce the figure-11 timing
+//! and figure-14 area numbers the experiment modules print — byte for
+//! byte, against a committed fixture.
+//!
+//! The fixture is the concatenation of `fig11::render()`,
+//! `fig14::render()` and the explorer's single-point payload at
+//! [`DesignPoint::paper`]. Regenerate after an intentional model change
+//! with:
+//!
+//! ```text
+//! BLESS=1 cargo test -p siopmp-experiments --test golden_design_point
+//! ```
+
+use siopmp::explore::{evaluate, DesignPoint, Sweep};
+use siopmp_experiments::{fig11, fig14};
+use siopmp_scenario::Explorer;
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/golden_design_point.txt"
+);
+
+/// The sweep holding exactly the paper's design point.
+fn paper_sweep() -> Sweep {
+    let p = DesignPoint::paper();
+    Sweep {
+        entries: vec![p.entries],
+        cam_ways: vec![p.cam_ways],
+        stages: vec![p.stages],
+        cache_slots: vec![p.cache_slots],
+        shards: vec![p.shards],
+    }
+}
+
+/// Everything the fixture pins, regenerated from the live models.
+fn golden() -> String {
+    let outcome = Explorer::new(Some(1))
+        .evaluate(&paper_sweep())
+        .expect("single-point sweep is under the cap");
+    format!(
+        "{}\n{}\nExplorer at the paper design point\n{}\n",
+        fig11::render(),
+        fig14::render(),
+        outcome.payload().pretty()
+    )
+}
+
+#[test]
+fn golden_design_point_matches_committed_fixture() {
+    let want = golden();
+    if std::env::var("BLESS").is_ok() {
+        std::fs::write(FIXTURE, &want).expect("fixture writable");
+    }
+    let got = std::fs::read_to_string(FIXTURE)
+        .expect("committed fixture missing — regenerate with BLESS=1");
+    assert_eq!(
+        got, want,
+        "explorer/figure outputs drifted from the committed fixture; \
+         if the model change is intentional, regenerate with BLESS=1"
+    );
+}
+
+#[test]
+fn explorer_area_is_fig14s_column_bitwise() {
+    // The explorer's checker shares the area code path with the fig14
+    // tree column: identical LUT term (no stage dependence), FF higher
+    // by exactly the per-stage register cost. Anchored at fig14's
+    // largest group (512 entries, its sweep's top).
+    let entries = 512;
+    let cost = evaluate(DesignPoint {
+        entries,
+        ..DesignPoint::paper()
+    });
+    let g = fig14::data()
+        .into_iter()
+        .find(|g| g.entries == entries)
+        .expect("512 entries is a fig14 group");
+    assert_eq!(cost.checker.lut_pct.to_bits(), g.lut_tree_pct.to_bits());
+    let stage_ff = cost.checker.ff_pct - g.ff_tree_pct;
+    let stages = f64::from(u32::from(DesignPoint::paper().stages));
+    assert!(
+        (stage_ff - 0.05 * (stages - 1.0)).abs() < 1e-12,
+        "FF differential {stage_ff} is not the pipeline register cost"
+    );
+}
+
+#[test]
+fn explorer_timing_is_fig10s_analysis_bitwise() {
+    let p = DesignPoint::paper();
+    let cost = evaluate(p);
+    let direct = siopmp::timing::analyze(p.checker(), p.entries);
+    assert_eq!(
+        cost.timing.achievable_mhz.to_bits(),
+        direct.achievable_mhz.to_bits()
+    );
+    assert_eq!(
+        cost.timing.critical_path_ns.to_bits(),
+        direct.critical_path_ns.to_bits()
+    );
+    assert!(cost.timing.meets_platform_target);
+}
+
+#[test]
+fn fig11_pipeline_differential_is_the_explorers_extra_cycles() {
+    // Over fig11's 64-burst train, each extra pipeline stage adds one
+    // cycle per burst: the 3pipe − Nopipe read differential equals the
+    // paper checker's extra_cycles() × 64, tying the figure's simulated
+    // bars to the cost model's pipeline term.
+    let bars = fig11::data();
+    let read = |label: &str| {
+        bars.iter()
+            .find(|b| b.label == label && b.scenario == "Read")
+            .expect("fig11 bar present")
+            .cycles
+    };
+    let differential = read("3pipe-BusError") - read("Nopipe-BusError");
+    let extra = u64::from(DesignPoint::paper().checker().extra_cycles());
+    assert_eq!(differential, extra * 64);
+}

@@ -353,6 +353,41 @@ pub struct FleetParams {
     pub retry: Option<(u32, u64)>,
 }
 
+/// The optional scenario-level `explore` directive: design-space sweep
+/// ranges for `siopmp-scenario explore`. Each field lists the values of
+/// one hardware sizing knob; the cross product is the candidate set
+/// (`siopmp::explore::Sweep`). Lists are kept exactly as written — order
+/// and duplicates included — so `parse(render(s)) == s`; the explorer
+/// canonicalizes (sorts + dedups) before enumerating, which is what makes
+/// sweep output permutation-invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExploreParams {
+    /// IOPMP entry counts to sweep (required, each >= 1).
+    pub entries: Vec<u64>,
+    /// Remap-CAM way counts to sweep (each >= 1; default `64`).
+    pub cam_ways: Vec<u64>,
+    /// Checker pipeline depths to sweep (1..=8; default `3`).
+    pub stages: Vec<u64>,
+    /// Decision-cache slot counts to sweep (0 disables; default `1024`).
+    pub cache: Vec<u64>,
+    /// Checker shard counts to sweep (1..=64; default `1`).
+    pub shards: Vec<u64>,
+}
+
+impl Default for ExploreParams {
+    fn default() -> Self {
+        // The paper's calibrated point on every axis
+        // (`siopmp::explore::DesignPoint::paper()`).
+        ExploreParams {
+            entries: vec![1024],
+            cam_ways: vec![64],
+            stages: vec![3],
+            cache: vec![1024],
+            shards: vec![1],
+        }
+    }
+}
+
 /// A report metric an `expect` line can constrain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Metric {
@@ -518,6 +553,9 @@ pub struct Scenario {
     pub bus: BusParams,
     /// Admission-control parameters for `siopmp-serviced`, if declared.
     pub fleet: Option<FleetParams>,
+    /// Design-space sweep ranges for `siopmp-scenario explore`, if
+    /// declared.
+    pub explore: Option<ExploreParams>,
     /// Domains, in shard order.
     pub domains: Vec<Domain>,
     /// Run parameters.
@@ -535,6 +573,7 @@ impl Scenario {
             unit: UnitParams::default(),
             bus: BusParams::default(),
             fleet: None,
+            explore: None,
             domains: Vec::new(),
             run: RunParams::default(),
             expects: Vec::new(),

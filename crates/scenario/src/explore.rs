@@ -1,0 +1,412 @@
+//! The design-space explorer behind `siopmp-scenario explore`.
+//!
+//! [`siopmp::explore`] owns the pure model (points, costs, dominance);
+//! this module adds the *measured* ingredient: a deterministic workload
+//! sample run through the real [`crate::compile()`] → `ParallelSim` pipeline,
+//! whose `bus.burst_latency_cycles` p99 anchors every point's latency
+//! objective. The sample's simulated cycle counts depend only on the
+//! checker's **pipeline depth** — entry count, CAM ways, cache slots and
+//! shard count do not lengthen a hardware pipeline, they move the
+//! achievable clock and the model terms of
+//! [`siopmp::explore::check_p99_cycles`] instead — so the explorer runs at
+//! most one simulation per distinct `stages` value and shares the result
+//! across the whole sweep ([`Explorer`] caches them). `ParallelSim` is
+//! byte-deterministic across thread counts, which is what makes `explore`
+//! output identical under `--threads 1` vs `4` (pinned by the property
+//! suite).
+
+use crate::ast::ExploreParams;
+use crate::compile::{compile, RunOptions};
+use crate::parse::parse;
+use siopmp::explore::{
+    check_p99_cycles, cycles_to_ns, evaluate, frontier_indices, DesignCost, DesignPoint,
+    Objectives, Sweep,
+};
+use siopmp::json::Json;
+use std::collections::BTreeMap;
+
+/// Hard cap on the points one sweep may enumerate; a guard against
+/// accidentally quadratic `.scn` declarations, not a tuning limit.
+pub const MAX_SWEEP_POINTS: usize = 4096;
+
+/// Converts a parsed `explore` stanza into a canonical model sweep.
+pub fn sweep_from_params(p: &ExploreParams) -> Sweep {
+    Sweep {
+        entries: p.entries.iter().map(|&v| v as usize).collect(),
+        cam_ways: p.cam_ways.iter().map(|&v| v as usize).collect(),
+        stages: p.stages.iter().map(|&v| v as u8).collect(),
+        cache_slots: p.cache.iter().map(|&v| v as usize).collect(),
+        shards: p.shards.iter().map(|&v| v as usize).collect(),
+    }
+    .canonicalized()
+}
+
+/// The deterministic workload sample: four hot streaming masters through
+/// one derived-timing bus, exercising the checker at the given pipeline
+/// depth. Small enough to simulate in milliseconds, busy enough that the
+/// burst-latency histogram has a meaningful p99.
+fn sample_text(stages: u8) -> String {
+    format!(
+        "\
+scenario explore-sample
+describe Deterministic workload sample anchoring the explorer's p99 objective.
+config sids=8 mds=8 entries=32 cold_entries=4 checker=mt:{stages}:2
+bus derive_checker=on
+domain probe
+  device 1 hot md=0
+  device 2 hot md=0
+  device 3 hot md=0
+  device 4 hot md=0
+  entry md=0 0x1000 0x8000 rw
+  master device=1 kind=read mode=stream base=0x1000 stride=64 count=64 outstanding=4
+  master device=2 kind=read mode=stream base=0x3000 stride=64 count=64 outstanding=4
+  master device=3 kind=write mode=stream base=0x5000 stride=64 count=64 outstanding=4
+  master device=4 kind=write mode=stream base=0x7000 stride=64 count=64 outstanding=4
+run max_cycles=50000
+expect completed
+"
+    )
+}
+
+/// One evaluated sweep point: model cost plus the measured/modelled p99.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointReport {
+    /// Timing/area evaluation from the calibrated model.
+    pub cost: DesignCost,
+    /// Simulated bus-level p99 at this point's pipeline depth, in cycles.
+    pub sim_p99_cycles: u64,
+    /// Modelled p99 check-path latency in cycles
+    /// ([`check_p99_cycles`] applied to the simulated figure).
+    pub p99_cycles: u64,
+    /// The p99 in nanoseconds at this point's achievable clock.
+    pub p99_ns: f64,
+    /// Whether the point is on the Pareto frontier.
+    pub frontier: bool,
+    /// Whether this is the paper's calibrated design point.
+    pub paper: bool,
+}
+
+impl PointReport {
+    fn to_json(self) -> Json {
+        let p = self.cost.point;
+        let t = self.cost.timing;
+        Json::object([
+            ("entries", Json::u64(p.entries as u64)),
+            ("cam_ways", Json::u64(p.cam_ways as u64)),
+            ("stages", Json::u64(u64::from(p.stages))),
+            ("cache_slots", Json::u64(p.cache_slots as u64)),
+            ("shards", Json::u64(p.shards as u64)),
+            ("critical_path_ns", Json::f64(t.critical_path_ns)),
+            ("achievable_mhz", Json::f64(t.achievable_mhz)),
+            ("meets_platform_target", Json::Bool(t.meets_platform_target)),
+            ("routable", Json::Bool(t.routable)),
+            ("lut_pct", Json::f64(self.cost.lut_pct())),
+            ("ff_pct", Json::f64(self.cost.ff_pct())),
+            ("area_pct", Json::f64(self.cost.area_pct())),
+            ("sim_p99_cycles", Json::u64(self.sim_p99_cycles)),
+            ("p99_cycles", Json::u64(self.p99_cycles)),
+            ("p99_ns", Json::f64(self.p99_ns)),
+            ("frontier", Json::Bool(self.frontier)),
+            ("paper_point", Json::Bool(self.paper)),
+        ])
+    }
+}
+
+/// The result of evaluating one sweep: every point (frontier flagged), in
+/// canonical enumeration order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExploreOutcome {
+    /// The canonicalized sweep that was evaluated.
+    pub sweep: Sweep,
+    /// All evaluated points, in [`Sweep::points`] order.
+    pub points: Vec<PointReport>,
+}
+
+impl ExploreOutcome {
+    /// The frontier members, in canonical order.
+    pub fn frontier(&self) -> Vec<&PointReport> {
+        self.points.iter().filter(|r| r.frontier).collect()
+    }
+
+    /// Whether the paper point was swept at all.
+    pub fn paper_point_swept(&self) -> bool {
+        self.points.iter().any(|r| r.paper)
+    }
+
+    /// Whether the paper point survived to the frontier.
+    pub fn paper_point_on_frontier(&self) -> bool {
+        self.points.iter().any(|r| r.paper && r.frontier)
+    }
+
+    /// The JSON envelope payload (every swept point, frontier flagged).
+    pub fn payload(&self) -> Json {
+        let routable = self
+            .points
+            .iter()
+            .filter(|r| r.cost.timing.routable)
+            .count();
+        Json::object([
+            ("swept", Json::u64(self.points.len() as u64)),
+            ("routable", Json::u64(routable as u64)),
+            ("frontier_size", Json::u64(self.frontier().len() as u64)),
+            ("paper_point_swept", Json::Bool(self.paper_point_swept())),
+            (
+                "paper_point_on_frontier",
+                Json::Bool(self.paper_point_on_frontier()),
+            ),
+            (
+                "points",
+                Json::array(self.points.iter().map(|r| r.to_json())),
+            ),
+        ])
+    }
+
+    /// Renders the frontier as a fixed-width table (the human half of the
+    /// CLI output; the JSON payload carries the full sweep).
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Design-space Pareto frontier: {} of {} swept points (* = paper design point)\n",
+            self.frontier().len(),
+            self.points.len()
+        ));
+        out.push_str(
+            "entries  ways  stages  cache  shards |   MHz |  LUT% |   FF% | p99 cyc |   p99 ns\n",
+        );
+        for r in self.frontier() {
+            let p = r.cost.point;
+            out.push_str(&format!(
+                "{:>7} {:>5} {:>7} {:>6} {:>7} | {:>5.1} | {:>5.2} | {:>5.2} | {:>7} | {:>8.1}{}\n",
+                p.entries,
+                p.cam_ways,
+                p.stages,
+                p.cache_slots,
+                p.shards,
+                r.cost.timing.achievable_mhz,
+                r.cost.lut_pct(),
+                r.cost.ff_pct(),
+                r.p99_cycles,
+                r.p99_ns,
+                if r.paper { " *" } else { "" },
+            ));
+        }
+        out
+    }
+}
+
+/// Evaluates `sweep` against a caller-supplied simulated-p99 source (cycles
+/// per pipeline depth). Pure and deterministic: the property suite drives
+/// this directly with a precomputed table. Unroutable points are reported
+/// but never enter the frontier.
+pub fn evaluate_with_sim(sweep: &Sweep, sim_p99: impl Fn(u8) -> u64) -> ExploreOutcome {
+    let sweep = sweep.clone().canonicalized();
+    let mut points: Vec<PointReport> = sweep
+        .points()
+        .into_iter()
+        .map(|p| {
+            let cost = evaluate(p);
+            let sim = sim_p99(p.stages);
+            let p99_cycles = check_p99_cycles(p, sim);
+            PointReport {
+                cost,
+                sim_p99_cycles: sim,
+                p99_cycles,
+                p99_ns: cycles_to_ns(p99_cycles, &cost.timing),
+                frontier: false,
+                paper: p == DesignPoint::paper(),
+            }
+        })
+        .collect();
+    let routable: Vec<usize> = points
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.cost.timing.routable)
+        .map(|(i, _)| i)
+        .collect();
+    let objs: Vec<Objectives> = routable
+        .iter()
+        .map(|&i| points[i].cost.objectives(points[i].p99_ns))
+        .collect();
+    for fi in frontier_indices(&objs) {
+        points[routable[fi]].frontier = true;
+    }
+    ExploreOutcome { sweep, points }
+}
+
+/// The stateful explorer: runs (and caches) one workload sample per
+/// distinct pipeline depth, then defers to [`evaluate_with_sim`].
+#[derive(Debug, Default)]
+pub struct Explorer {
+    threads: Option<usize>,
+    sim_cache: BTreeMap<u8, u64>,
+}
+
+impl Explorer {
+    /// An explorer whose samples run at `threads` worker threads (`None`
+    /// = the scenario/CLI default). The thread count cannot change any
+    /// result — `ParallelSim` is byte-deterministic — it only changes how
+    /// the sample is scheduled.
+    pub fn new(threads: Option<usize>) -> Explorer {
+        Explorer {
+            threads,
+            sim_cache: BTreeMap::new(),
+        }
+    }
+
+    /// The simulated bus-level p99 (cycles) at `stages` pipeline stages,
+    /// from cache or from one fresh sample run.
+    ///
+    /// # Errors
+    ///
+    /// Returns the compile error of the sample scenario (cannot happen for
+    /// the committed template; surfaced rather than unwrapped so the CLI
+    /// reports it).
+    pub fn sim_p99_cycles(&mut self, stages: u8) -> Result<u64, String> {
+        if let Some(&v) = self.sim_cache.get(&stages) {
+            return Ok(v);
+        }
+        let s = parse(&sample_text(stages)).map_err(|e| e.to_string())?;
+        let mut psim = compile(
+            &s,
+            &RunOptions {
+                seed: None,
+                threads: self.threads,
+            },
+        )
+        .map_err(|e| e.to_string())?;
+        let _ = psim.run(s.run.max_cycles);
+        let p99 = psim
+            .telemetry()
+            .histogram("bus.burst_latency_cycles")
+            .snapshot()
+            .p99();
+        self.sim_cache.insert(stages, p99);
+        Ok(p99)
+    }
+
+    /// Evaluates `sweep`: one sample per distinct pipeline depth, then the
+    /// pure model over the cross product.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the sweep enumerates more than [`MAX_SWEEP_POINTS`]
+    /// points or a sample fails to compile.
+    pub fn evaluate(&mut self, sweep: &Sweep) -> Result<ExploreOutcome, String> {
+        let sweep = sweep.clone().canonicalized();
+        if sweep.len() > MAX_SWEEP_POINTS {
+            return Err(format!(
+                "sweep enumerates {} points, more than the {MAX_SWEEP_POINTS}-point cap",
+                sweep.len()
+            ));
+        }
+        for &stages in &sweep.stages {
+            self.sim_p99_cycles(stages)?;
+        }
+        let cache = &self.sim_cache;
+        Ok(evaluate_with_sim(&sweep, |stages| {
+            *cache.get(&stages).expect("pre-warmed above")
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use siopmp::explore::dominates;
+
+    #[test]
+    fn smoke_sweep_frontier_contains_the_paper_point() {
+        let mut explorer = Explorer::new(Some(1));
+        let out = explorer.evaluate(&Sweep::smoke()).unwrap();
+        assert_eq!(out.points.len(), Sweep::smoke().len());
+        assert!(!out.frontier().is_empty());
+        assert!(out.paper_point_swept());
+        assert!(out.paper_point_on_frontier(), "paper point dominated");
+        // The table lists exactly the frontier, with the paper marker.
+        let table = out.render_table();
+        assert!(table.contains('*'));
+        assert_eq!(table.lines().count(), out.frontier().len() + 2);
+    }
+
+    #[test]
+    fn explore_output_is_thread_invariant() {
+        let mut one = Explorer::new(Some(1));
+        let mut four = Explorer::new(Some(4));
+        let a = one.evaluate(&Sweep::smoke()).unwrap();
+        let b = four.evaluate(&Sweep::smoke()).unwrap();
+        assert_eq!(a.payload().pretty(), b.payload().pretty());
+    }
+
+    #[test]
+    fn frontier_has_no_dominated_member() {
+        let out = evaluate_with_sim(&Sweep::smoke(), |stages| 30 + u64::from(stages) * 4);
+        let objs: Vec<_> = out
+            .points
+            .iter()
+            .map(|r| r.cost.objectives(r.p99_ns))
+            .collect();
+        for (i, r) in out.points.iter().enumerate() {
+            if !r.frontier {
+                continue;
+            }
+            for other in &objs {
+                assert!(
+                    !dominates(other, &objs[i]),
+                    "frontier point {:?} is dominated",
+                    r.cost.point
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unroutable_points_never_reach_the_frontier() {
+        // A 4096-entry single-stage tree misses ROUTABLE_MIN_MHZ.
+        let sweep = Sweep {
+            entries: vec![1024, 4096],
+            cam_ways: vec![64],
+            stages: vec![1],
+            cache_slots: vec![0],
+            shards: vec![1],
+        };
+        let out = evaluate_with_sim(&sweep, |_| 30);
+        let big = out
+            .points
+            .iter()
+            .find(|r| r.cost.point.entries == 4096)
+            .unwrap();
+        assert!(!big.cost.timing.routable);
+        assert!(!big.frontier);
+    }
+
+    #[test]
+    fn oversized_sweeps_are_refused() {
+        let sweep = Sweep {
+            entries: (1..=100).map(|i| i * 16).collect(),
+            cam_ways: vec![16, 32, 64],
+            stages: vec![1, 2, 3],
+            cache_slots: vec![0, 256, 512, 1024],
+            shards: vec![1, 2],
+        };
+        assert!(sweep.len() > MAX_SWEEP_POINTS);
+        let err = Explorer::new(Some(1)).evaluate(&sweep).unwrap_err();
+        assert!(err.contains("cap"), "{err}");
+    }
+
+    #[test]
+    fn stanza_lists_lower_to_a_canonical_sweep() {
+        let p = ExploreParams {
+            entries: vec![1024, 256, 256],
+            cam_ways: vec![64, 16],
+            stages: vec![3, 1],
+            cache: vec![1024, 0],
+            shards: vec![2, 1],
+        };
+        let sweep = sweep_from_params(&p);
+        assert_eq!(sweep.entries, vec![256, 1024]);
+        assert_eq!(sweep.cam_ways, vec![16, 64]);
+        assert_eq!(sweep.stages, vec![1, 3]);
+        assert_eq!(sweep.cache_slots, vec![0, 1024]);
+        assert_eq!(sweep.shards, vec![1, 2]);
+    }
+}

@@ -49,6 +49,7 @@
 //! | `then kind=.. mode=.. base=.. [stride=..] count=..` | chains another traffic segment onto the last master |
 //! | `faults seed=.. horizon=.. budget=.. [block=l] [cold=l] [churn=l]` | a seeded fault schedule for this domain |
 //! | `fleet rate=.. burst=.. [deadline=..] [retry=m:b]` | admission-control limits `siopmp-serviced` applies to this scenario's tenants |
+//! | `explore entries=l [cam_ways=l] [stages=l] [cache=l] [shards=l]` | design-space sweep ranges for `siopmp-scenario explore` (omitted axes pin the paper point) |
 //! | `run k=v ...` | `max_cycles epoch threads` |
 //! | `expect completed \| lint clean \| <metric> <op> <value>` | an invariant the run must satisfy |
 //!
@@ -85,15 +86,17 @@
 pub mod ast;
 pub mod cli;
 pub mod compile;
+pub mod explore;
 pub mod parse;
 pub mod prove;
 pub mod render;
 
-pub use ast::{FleetParams, Scenario};
+pub use ast::{ExploreParams, FleetParams, Scenario};
 pub use compile::{
     compile, domain_units, lint, metric_value, run, CompileError, DomainLint, DomainUnit, Outcome,
     RunOptions,
 };
+pub use explore::{evaluate_with_sim, sweep_from_params, ExploreOutcome, Explorer, PointReport};
 pub use parse::{parse, ScnError};
 pub use prove::lower;
 pub use render::render;

@@ -5,6 +5,7 @@
 //! siopmp-scenario lint  FILE...  [--json] [--out PATH]
 //! siopmp-scenario bench FILE...  [--json] [--seed N] [--threads N] [--out DIR] [--baseline FILE]
 //! siopmp-scenario prove FILE...  [--json] [--out PATH] [--max-depth N] [--max-states N]
+//! siopmp-scenario explore [FILE...] [--json] [--threads N] [--out PATH]
 //! siopmp-scenario list  [PATH...]  [--json]
 //! ```
 //!
@@ -20,6 +21,10 @@
 //! * `bench` runs each scenario and reports the host-independent cost
 //!   metric (simulated cycles per completed burst) plus wall time;
 //!   `--baseline FILE` guards `<name> <cycles_per_burst>` pairs at ±15%.
+//! * `explore` sweeps the hardware design space declared by each file's
+//!   `explore` stanza (no files = the built-in smoke sweep) over the
+//!   calibrated timing/area model and prints the Pareto frontier; an
+//!   empty frontier fails the exit code.
 //! * `list` scans files or directories (default `corpus/`) and prints
 //!   each scenario's name, description and shape.
 //!
@@ -35,7 +40,7 @@ use siopmp_scenario::{lint, parse, render, run, RunOptions, Scenario};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: siopmp-scenario <run|lint|bench|prove|list> [FILE ...] \
+const USAGE: &str = "usage: siopmp-scenario <run|lint|bench|prove|explore|list> [FILE ...] \
 [--json] [--seed N] [--threads N] [--out PATH] [--baseline FILE] \
 [--max-depth N] [--max-states N]";
 
@@ -361,6 +366,50 @@ fn cmd_prove(
     Ok(clean)
 }
 
+fn cmd_explore(
+    files: &[PathBuf],
+    threads: Option<usize>,
+    json: bool,
+    out: Option<&Path>,
+) -> Result<bool, String> {
+    use siopmp::explore::Sweep;
+    use siopmp_scenario::{sweep_from_params, Explorer};
+    // One explorer across all files: the simulated samples depend only on
+    // pipeline depth, so sweeps share them.
+    let mut explorer = Explorer::new(threads);
+    let threads_reported = threads.unwrap_or(1);
+    let mut jobs: Vec<(String, Sweep)> = Vec::new();
+    if files.is_empty() {
+        jobs.push(("explore-smoke".to_string(), Sweep::smoke()));
+    }
+    for path in files {
+        let scenario = load(path)?;
+        let Some(params) = &scenario.explore else {
+            return Err(format!(
+                "{}: no `explore` stanza — declare sweep ranges with \
+                 `explore entries=... [cam_ways=...] [stages=...] [cache=...] [shards=...]`",
+                path.display()
+            ));
+        };
+        jobs.push((scenario.name.clone(), sweep_from_params(params)));
+    }
+    let mut docs = Vec::new();
+    let mut ok = true;
+    for (name, sweep) in &jobs {
+        let outcome = explorer
+            .evaluate(sweep)
+            .map_err(|e| format!("{name}: {e}"))?;
+        ok &= !outcome.frontier().is_empty();
+        if !json {
+            println!("{name}:");
+            print!("{}", outcome.render_table());
+        }
+        docs.push(envelope(name, None, threads_reported, outcome.payload()));
+    }
+    emit(&join(docs), json, out)?;
+    Ok(ok)
+}
+
 fn scan(paths: &[PathBuf]) -> Result<Vec<PathBuf>, String> {
     let mut files = Vec::new();
     for path in paths {
@@ -463,6 +512,7 @@ fn main() -> ExitCode {
             parsed.out.as_deref(),
             parsed.baseline.as_deref(),
         ),
+        "explore" => cmd_explore(&files, parsed.threads, parsed.json, parsed.out.as_deref()),
         "list" => {
             let paths = if files.is_empty() {
                 vec![PathBuf::from("corpus")]

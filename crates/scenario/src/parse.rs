@@ -424,6 +424,48 @@ pub fn parse(text: &str) -> Result<Scenario, ScnError> {
                 }
                 scn.fleet = Some(decl);
             }
+            "explore" => {
+                if scn.explore.is_some() {
+                    return err(line, "duplicate `explore` directive");
+                }
+                let mut decl = ExploreParams::default();
+                let mut saw_entries = false;
+                for tok in args {
+                    let Some((k, v)) = split_kv(tok) else {
+                        return err(
+                            line,
+                            format!("`explore` expects key=value pairs, got `{tok}`"),
+                        );
+                    };
+                    match k {
+                        "entries" => {
+                            decl.entries = id_list(line, k, v)?;
+                            saw_entries = true;
+                        }
+                        "cam_ways" => decl.cam_ways = id_list(line, k, v)?,
+                        "stages" => decl.stages = id_list(line, k, v)?,
+                        "cache" => decl.cache = id_list(line, k, v)?,
+                        "shards" => decl.shards = id_list(line, k, v)?,
+                        other => return err(line, format!("unknown `explore` key `{other}`")),
+                    }
+                }
+                if !saw_entries {
+                    return err(line, "`explore` requires entries=<list>");
+                }
+                if decl.entries.contains(&0) {
+                    return err(line, "`explore` entries values must be at least 1");
+                }
+                if decl.cam_ways.contains(&0) {
+                    return err(line, "`explore` cam_ways values must be at least 1");
+                }
+                if decl.stages.iter().any(|&s| !(1..=8).contains(&s)) {
+                    return err(line, "`explore` stages values must be between 1 and 8");
+                }
+                if decl.shards.iter().any(|&s| !(1..=64).contains(&s)) {
+                    return err(line, "`explore` shards values must be between 1 and 64");
+                }
+                scn.explore = Some(decl);
+            }
             "domain" => {
                 let [name] = args else {
                     return err(line, "`domain` takes exactly one name");
@@ -801,6 +843,54 @@ mod tests {
         assert!(
             parse("scenario t\nfleet rate=1 burst=1\nfleet rate=1 burst=1\n").is_err(),
             "duplicate fleet"
+        );
+    }
+
+    #[test]
+    fn explore_stanza_parses_and_validates() {
+        let s = parse(
+            "scenario t\nexplore entries=256,512,1024 cam_ways=16,64 stages=1,3 cache=0,1024 shards=1,2\ndomain d\n  device 1 hot md=0\n",
+        )
+        .unwrap();
+        assert_eq!(
+            s.explore,
+            Some(ExploreParams {
+                entries: vec![256, 512, 1024],
+                cam_ways: vec![16, 64],
+                stages: vec![1, 3],
+                cache: vec![0, 1024],
+                shards: vec![1, 2],
+            })
+        );
+        // Omitted axes default to the paper point; list order and
+        // duplicates are preserved as written (canonicalization happens
+        // at sweep time, not parse time).
+        let s = parse("scenario t\nexplore entries=1024,256,256\ndomain d\n").unwrap();
+        let e = s.explore.unwrap();
+        assert_eq!(e.entries, vec![1024, 256, 256]);
+        assert_eq!(e.cam_ways, vec![64]);
+        assert_eq!(e.stages, vec![3]);
+        assert_eq!(e.cache, vec![1024]);
+        assert_eq!(e.shards, vec![1]);
+        assert!(
+            parse("scenario t\nexplore cam_ways=64\n").is_err(),
+            "entries required"
+        );
+        assert!(
+            parse("scenario t\nexplore entries=0\n").is_err(),
+            "zero entries"
+        );
+        assert!(
+            parse("scenario t\nexplore entries=64 stages=9\n").is_err(),
+            "stages out of range"
+        );
+        assert!(
+            parse("scenario t\nexplore entries=64 shards=0\n").is_err(),
+            "zero shards"
+        );
+        assert!(
+            parse("scenario t\nexplore entries=64\nexplore entries=64\n").is_err(),
+            "duplicate explore"
         );
     }
 

@@ -120,6 +120,17 @@ pub fn render(scenario: &Scenario) -> String {
         }
         let _ = writeln!(out, "{line}");
     }
+    if let Some(e) = &scenario.explore {
+        let _ = writeln!(
+            out,
+            "explore entries={} cam_ways={} stages={} cache={} shards={}",
+            list(&e.entries),
+            list(&e.cam_ways),
+            list(&e.stages),
+            list(&e.cache),
+            list(&e.shards),
+        );
+    }
     for domain in &scenario.domains {
         let _ = writeln!(out, "\ndomain {}", domain.name);
         if let Some((base, len)) = domain.home {

@@ -168,6 +168,54 @@ fn unknown_comparison() {
 }
 
 #[test]
+fn explore_requires_entries() {
+    assert_eq!(
+        error_of("scenario t\nexplore cam_ways=16,64\n"),
+        "line 2: `explore` requires entries=<list>"
+    );
+}
+
+#[test]
+fn explore_rejects_malformed_ranges() {
+    assert_eq!(
+        error_of("scenario t\nexplore entries\n"),
+        "line 2: `explore` expects key=value pairs, got `entries`"
+    );
+    assert_eq!(
+        error_of("scenario t\nexplore entries=0\n"),
+        "line 2: `explore` entries values must be at least 1"
+    );
+    assert_eq!(
+        error_of("scenario t\nexplore entries=64 cam_ways=0\n"),
+        "line 2: `explore` cam_ways values must be at least 1"
+    );
+    assert_eq!(
+        error_of("scenario t\nexplore entries=64 stages=0\n"),
+        "line 2: `explore` stages values must be between 1 and 8"
+    );
+    assert_eq!(
+        error_of("scenario t\nexplore entries=64 stages=9\n"),
+        "line 2: `explore` stages values must be between 1 and 8"
+    );
+    assert_eq!(
+        error_of("scenario t\nexplore entries=64 shards=65\n"),
+        "line 2: `explore` shards values must be between 1 and 64"
+    );
+}
+
+#[test]
+fn explore_rejects_unknown_keys_and_duplicates() {
+    assert_eq!(
+        error_of("scenario t\nexplore entries=64 depth=3\n"),
+        "line 2: unknown `explore` key `depth`"
+    );
+    assert_eq!(
+        error_of("scenario t\nexplore entries=64\nexplore entries=128\n"),
+        "line 3: duplicate `explore` directive"
+    );
+}
+
+#[test]
 fn unknown_directive() {
     assert_eq!(
         error_of("scenario t\nfrobnicate 7\n"),

@@ -122,6 +122,16 @@ fn gen_scenario(g: &mut Gen) -> Scenario {
         deadline: g.bool().then(|| g.u64(1..1_000_000)),
         retry: g.bool().then(|| (g.u32(1..16), g.u64(1..64))),
     });
+    // The explore stanza preserves written order and duplicates (lists
+    // are canonicalized at sweep time, not parse time), so the generator
+    // emits unsorted, repeating lists on purpose.
+    s.explore = g.bool().then(|| ExploreParams {
+        entries: g.vec(1..4, |g| g.u64(1..65536)),
+        cam_ways: g.vec(1..4, |g| g.u64(1..1024)),
+        stages: g.vec(1..4, |g| g.u64(1..9)),
+        cache: g.vec(1..4, |g| g.u64(0..16384)),
+        shards: g.vec(1..4, |g| g.u64(1..65)),
+    });
     let domains = g.usize(1..4);
     for i in 0..domains {
         s.domains.push(gen_domain(g, i));

@@ -18,6 +18,7 @@
 //! are remapped per packet *and* the RX ring must be refilled, so RX pays
 //! ~1.5 mapping operations per packet (`RX_MAP_FACTOR`).
 
+use siopmp::explore::{self, DesignPoint};
 use siopmp_iommu::DmaProtection;
 
 /// Extra mapping operations per RX packet relative to TX (ring refill).
@@ -165,6 +166,28 @@ pub fn evaluate(mech: &mut dyn DmaProtection, cfg: &NetworkConfig) -> NetworkRep
     }
 }
 
+/// Evaluates the sIOPMP mechanism at an explored design point: on top of
+/// the CPU and link limits of [`evaluate`], the checker itself caps the
+/// packet rate at one check per cycle of its achievable clock. At the
+/// paper's design point (60 MHz, one MTU packet per check) the checker is
+/// never the bottleneck; low-frequency corners of the sweep are, which is
+/// why the explorer carries frequency as a Pareto objective.
+pub fn evaluate_at_design_point(
+    mech: &mut dyn DmaProtection,
+    point: &DesignPoint,
+    cfg: &NetworkConfig,
+) -> NetworkReport {
+    let mut report = evaluate(mech, cfg);
+    let cost = explore::evaluate(*point);
+    let checker_pps = cost.timing.achievable_mhz * 1e6;
+    let base_pps = (f64::from(cfg.cores) * cfg.cpu_ghz * 1e9 / cfg.per_packet_cpu_cycles as f64)
+        .min(cfg.link_pps());
+    let pps = (report.throughput_gbps * 1e9 / 8.0 / cfg.mtu_bytes as f64).min(checker_pps);
+    report.throughput_gbps = pps * cfg.mtu_bytes as f64 * 8.0 / 1e9;
+    report.fraction_of_baseline = pps / base_pps;
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -283,6 +306,65 @@ mod tests {
         let a = evaluate(&mut SiopmpMech::new(), &c).fraction_of_baseline;
         let b = evaluate(&mut SiopmpMech::two_pipe(), &c).fraction_of_baseline;
         assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_design_point_never_bottlenecks_the_link() {
+        // Stress case: small packets (48.8 Mpps at 100 Gb/s) and enough
+        // cores that the CPU is not the limit either. The paper point's
+        // 60 MHz checker handles 60 Mpps, so throughput is unchanged.
+        let c = NetworkConfig {
+            mtu_bytes: 256,
+            cores: 64,
+            ..NetworkConfig::default()
+        };
+        let plain = evaluate(&mut SiopmpMech::new(), &c);
+        let mut m = SiopmpMech::new();
+        let at = evaluate_at_design_point(&mut m, &DesignPoint::paper(), &c);
+        assert!(
+            (at.fraction_of_baseline - plain.fraction_of_baseline).abs() < 1e-9,
+            "{} vs {}",
+            at.fraction_of_baseline,
+            plain.fraction_of_baseline
+        );
+        assert!(at.fraction_of_baseline > 0.97);
+    }
+
+    #[test]
+    fn slow_design_points_cap_small_packet_throughput() {
+        // A single-stage checker at 1024 entries clocks at ~33.8 MHz —
+        // under the ~48.8 Mpps a 100 Gb/s link offers at 256-byte
+        // packets, so the checker becomes the bottleneck.
+        let c = NetworkConfig {
+            mtu_bytes: 256,
+            cores: 64,
+            ..NetworkConfig::default()
+        };
+        let weak = DesignPoint {
+            stages: 1,
+            cache_slots: 0,
+            ..DesignPoint::paper()
+        };
+        let mut m = SiopmpMech::new();
+        let r = evaluate_at_design_point(&mut m, &weak, &c);
+        assert!(
+            r.fraction_of_baseline < 0.75,
+            "fraction {}",
+            r.fraction_of_baseline
+        );
+        // At full-size MTU the same weak point keeps up: 33.8 Mpps far
+        // exceeds the 8.3 Mpps a 100 Gb/s link offers at 1500 bytes.
+        let c_mtu = NetworkConfig {
+            cores: 64,
+            ..NetworkConfig::default()
+        };
+        let mut m2 = SiopmpMech::new();
+        let r2 = evaluate_at_design_point(&mut m2, &weak, &c_mtu);
+        assert!(
+            r2.fraction_of_baseline > 0.97,
+            "{}",
+            r2.fraction_of_baseline
+        );
     }
 
     #[test]
